@@ -1,0 +1,20 @@
+//! # glove-baselines — the comparators of the GLOVE evaluation
+//!
+//! * [`uniform`] — legacy *uniform spatiotemporal generalization*: the whole
+//!   dataset is coarsened to one spatial pitch and one temporal window
+//!   (§5.2, Fig. 4). The paper shows this barely helps: even at 20 km / 8 h
+//!   only ~35 % of users become 2-anonymous.
+//! * [`w4m`] — *Wait-for-Me* with Linear spatiotemporal distance and
+//!   Chunking (W4M-LC, Abul–Bonchi–Nanni 2010), the only prior technique
+//!   able to anonymize trajectories along both space and time, used as the
+//!   state-of-the-art benchmark in §7.2 / Table 2. Re-implemented from
+//!   scratch (the original tool is unavailable); see DESIGN.md §1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod uniform;
+pub mod w4m;
+
+pub use uniform::{generalize_uniform, GeneralizationLevel};
+pub use w4m::{w4m_lc, W4mConfig, W4mOutput, W4mStats};

@@ -1,0 +1,199 @@
+//! Legacy uniform spatiotemporal generalization (§5.2, Fig. 4).
+//!
+//! The classical way to reduce micro-data uniqueness: snap every sample of
+//! every fingerprint onto a coarser grid in space (pitch `g_σ`) and time
+//! (window `g_τ`). All samples get the *same* granularity — precisely the
+//! property that makes the technique fail on mobile traffic, because the
+//! single hardest sample of a fingerprint forces a dataset-wide loss (§5.4).
+
+use glove_core::{Dataset, Fingerprint, Sample};
+
+/// A uniform generalization level: spatial pitch × temporal window.
+///
+/// The paper's Fig. 4 sweeps `(0.1 km, 1 min)` — the native granularity —
+/// up to `(20 km, 480 min)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneralizationLevel {
+    /// Spatial pitch in meters.
+    pub space_m: u32,
+    /// Temporal window in minutes.
+    pub time_min: u32,
+}
+
+impl GeneralizationLevel {
+    /// The levels swept in the paper's Fig. 4, labeled "km–min":
+    /// 0.1–1, 1–30, 2.5–60, 5–120, 10–240, 20–480.
+    pub fn figure4_sweep() -> Vec<GeneralizationLevel> {
+        vec![
+            GeneralizationLevel { space_m: 100, time_min: 1 },
+            GeneralizationLevel { space_m: 1_000, time_min: 30 },
+            GeneralizationLevel { space_m: 2_500, time_min: 60 },
+            GeneralizationLevel { space_m: 5_000, time_min: 120 },
+            GeneralizationLevel { space_m: 10_000, time_min: 240 },
+            GeneralizationLevel { space_m: 20_000, time_min: 480 },
+        ]
+    }
+
+    /// Human-readable label matching the paper's legend (e.g. "2.5-60").
+    pub fn label(&self) -> String {
+        let km = self.space_m as f64 / 1_000.0;
+        if km.fract() == 0.0 {
+            format!("{}-{}", km as u32, self.time_min)
+        } else {
+            format!("{km}-{}", self.time_min)
+        }
+    }
+}
+
+/// Applies uniform generalization to one sample: the box is replaced by the
+/// enclosing cell of the coarser space/time grid.
+pub fn generalize_sample(s: &Sample, level: &GeneralizationLevel) -> Sample {
+    let gs = i64::from(level.space_m.max(1));
+    let gt = u64::from(level.time_min.max(1));
+    // Enclose the whole original box (which may already be generalized).
+    let x0 = s.x.div_euclid(gs) * gs;
+    let y0 = s.y.div_euclid(gs) * gs;
+    let x1 = (s.x_end() - 1).div_euclid(gs) * gs + gs;
+    let y1 = (s.y_end() - 1).div_euclid(gs) * gs + gs;
+    let t0 = (u64::from(s.t) / gt) * gt;
+    let t1 = ((s.t_end() - 1) / gt) * gt + gt;
+    Sample {
+        x: x0,
+        y: y0,
+        dx: (x1 - x0) as u32,
+        dy: (y1 - y0) as u32,
+        t: t0 as u32,
+        dt: (t1 - t0) as u32,
+    }
+}
+
+/// Applies uniform generalization to a whole dataset (Fig. 4 workload).
+///
+/// Samples of a fingerprint that become identical after coarsening are
+/// deduplicated — they carry the same information.
+///
+/// ```
+/// use glove_baselines::{generalize_uniform, GeneralizationLevel};
+/// use glove_core::{Dataset, Fingerprint};
+///
+/// let ds = Dataset::new("demo", vec![
+///     Fingerprint::from_points(0, &[(120, 80, 17)]).unwrap(),
+/// ]).unwrap();
+/// let coarse = generalize_uniform(&ds, &GeneralizationLevel {
+///     space_m: 1_000,
+///     time_min: 30,
+/// });
+/// let s = coarse.fingerprints[0].samples()[0];
+/// assert_eq!((s.x, s.dx, s.t, s.dt), (0, 1_000, 0, 30));
+/// ```
+pub fn generalize_uniform(dataset: &Dataset, level: &GeneralizationLevel) -> Dataset {
+    let fps = dataset
+        .fingerprints
+        .iter()
+        .map(|fp| {
+            let mut samples: Vec<Sample> = fp
+                .samples()
+                .iter()
+                .map(|s| generalize_sample(s, level))
+                .collect();
+            samples.sort_unstable_by_key(|s| (s.t, s.x, s.y));
+            samples.dedup();
+            Fingerprint::with_users(fp.users().to_vec(), samples)
+                .expect("generalization preserves non-emptiness")
+        })
+        .collect();
+    Dataset::new(
+        format!("{}-gen-{}", dataset.name, level.label()),
+        fps,
+    )
+    .expect("user ids unchanged")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glove_core::StretchConfig;
+
+    #[test]
+    fn native_level_is_identity_on_native_data() {
+        let s = Sample::point(1_200, 300, 45);
+        let g = generalize_sample(&s, &GeneralizationLevel { space_m: 100, time_min: 1 });
+        assert_eq!(g, s);
+    }
+
+    #[test]
+    fn generalized_box_contains_original() {
+        let s = Sample::point(1_234 * 100, -567 * 100, 1_234);
+        for level in GeneralizationLevel::figure4_sweep() {
+            let g = generalize_sample(&s, &level);
+            assert!(g.covers(&s), "level {} does not cover", level.label());
+            assert_eq!(g.dx, level.space_m);
+            assert_eq!(g.dt, level.time_min);
+            assert_eq!(g.x.rem_euclid(i64::from(level.space_m)), 0);
+            assert_eq!(g.t % level.time_min, 0);
+        }
+    }
+
+    #[test]
+    fn negative_coordinates_snap_down() {
+        let s = Sample::point(-150, -100, 0);
+        let g = generalize_sample(&s, &GeneralizationLevel { space_m: 1_000, time_min: 30 });
+        assert_eq!(g.x, -1_000);
+        assert_eq!(g.y, -1_000);
+        assert!(g.covers(&s));
+    }
+
+    #[test]
+    fn already_generalized_boxes_still_covered() {
+        let s = Sample::new(950, 0, 200, 100, 59, 2).unwrap();
+        let g = generalize_sample(&s, &GeneralizationLevel { space_m: 1_000, time_min: 30 });
+        assert!(g.covers(&s));
+        // Box straddles the 1 km boundary at x = 1000 -> 2 km wide.
+        assert_eq!(g.dx, 2_000);
+        // Window straddles the 30 min boundary at t = 60 -> 60 min long.
+        assert_eq!(g.dt, 60);
+    }
+
+    #[test]
+    fn coarsening_makes_nearby_users_identical() {
+        let cfg = StretchConfig::default();
+        let fps = vec![
+            Fingerprint::from_points(0, &[(100, 200, 5)]).unwrap(),
+            Fingerprint::from_points(1, &[(700, 600, 25)]).unwrap(),
+        ];
+        let ds = Dataset::new("near", fps).unwrap();
+        // Distinct at native granularity...
+        let d0 = glove_core::stretch::fingerprint_stretch(
+            &ds.fingerprints[0],
+            &ds.fingerprints[1],
+            &cfg,
+        );
+        assert!(d0 > 0.0);
+        // ...identical after 1 km / 30 min coarsening.
+        let gen = generalize_uniform(&ds, &GeneralizationLevel { space_m: 1_000, time_min: 30 });
+        let d1 = glove_core::stretch::fingerprint_stretch(
+            &gen.fingerprints[0],
+            &gen.fingerprints[1],
+            &cfg,
+        );
+        assert_eq!(d1, 0.0);
+    }
+
+    #[test]
+    fn duplicate_samples_are_merged() {
+        let fps = vec![Fingerprint::from_points(0, &[(0, 0, 0), (300, 0, 10)]).unwrap()];
+        let ds = Dataset::new("dup", fps).unwrap();
+        let gen = generalize_uniform(&ds, &GeneralizationLevel { space_m: 1_000, time_min: 30 });
+        // Both samples fall into the same (cell, window) -> deduplicated.
+        assert_eq!(gen.fingerprints[0].len(), 1);
+    }
+
+    #[test]
+    fn sweep_labels_match_paper_legend() {
+        let labels: Vec<String> = GeneralizationLevel::figure4_sweep()
+            .iter()
+            .map(|l| l.label())
+            .collect();
+        assert_eq!(labels, vec!["0.1-1", "1-30", "2.5-60", "5-120", "10-240", "20-480"]);
+    }
+}

@@ -1,0 +1,45 @@
+//! Benchmarks of the evaluation baselines:
+//!
+//! * `uniform_generalization` — the §5.2 legacy coarsening (Fig. 4 driver);
+//! * `w4m_lc` — the §7.2 comparator (Table 2 driver).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glove_baselines::{generalize_uniform, w4m_lc, GeneralizationLevel, W4mConfig};
+use glove_bench::bench_dataset;
+use std::hint::black_box;
+
+fn bench_uniform(c: &mut Criterion) {
+    let ds = bench_dataset(64);
+    let mut group = c.benchmark_group("uniform_generalization");
+    for level in GeneralizationLevel::figure4_sweep() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(level.label()),
+            &level,
+            |bencher, level| bencher.iter(|| black_box(generalize_uniform(&ds, level))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_w4m(c: &mut Criterion) {
+    let mut group = c.benchmark_group("w4m_lc");
+    group.sample_size(10);
+    for users in [16usize, 32, 64] {
+        let ds = bench_dataset(users);
+        group.bench_with_input(BenchmarkId::from_parameter(users), &ds, |bencher, ds| {
+            bencher.iter(|| {
+                black_box(w4m_lc(
+                    ds,
+                    &W4mConfig {
+                        k: 2,
+                        ..W4mConfig::default()
+                    },
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_uniform, bench_w4m);
+criterion_main!(benches);

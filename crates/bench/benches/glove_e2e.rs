@@ -1,0 +1,95 @@
+//! End-to-end benchmarks of the paper's workloads:
+//!
+//! * `kgap_all` — the §5 anonymizability audit (Figs. 3–5 driver);
+//! * `glove_anonymize` — Alg. 1 end to end, k ∈ {2, 5} (Figs. 7–8 driver);
+//! * `merge` — a single fingerprint merge (§6.2);
+//! * `reshape` — temporal-overlap resolution (§6.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use glove_bench::bench_dataset;
+use glove_core::glove::anonymize;
+use glove_core::kgap::kgap_all;
+use glove_core::merge::merge_fingerprints;
+use glove_core::reshape::reshape_samples;
+use glove_core::{GloveConfig, StretchConfig, SuppressionThresholds};
+use std::hint::black_box;
+
+fn bench_kgap(c: &mut Criterion) {
+    let cfg = StretchConfig::default();
+    let mut group = c.benchmark_group("kgap_all");
+    group.sample_size(10);
+    for users in [16usize, 32, 64] {
+        let ds = bench_dataset(users);
+        group.bench_with_input(BenchmarkId::from_parameter(users), &ds, |bencher, ds| {
+            bencher.iter(|| black_box(kgap_all(ds, 2, 1, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_glove(c: &mut Criterion) {
+    let mut group = c.benchmark_group("glove_anonymize");
+    group.sample_size(10);
+    for (users, k) in [(32usize, 2usize), (32, 5), (64, 2)] {
+        let ds = bench_dataset(users);
+        let config = GloveConfig {
+            k,
+            threads: 1,
+            ..GloveConfig::default()
+        };
+        group.bench_with_input(
+            BenchmarkId::new(format!("k{k}"), users),
+            &ds,
+            |bencher, ds| bencher.iter(|| black_box(anonymize(ds, &config).expect("succeeds"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let cfg = StretchConfig::default();
+    let ds = bench_dataset(24);
+    let a = &ds.fingerprints[0];
+    let b = &ds.fingerprints[1];
+    c.bench_function("merge/pair", |bencher| {
+        bencher.iter(|| {
+            black_box(
+                merge_fingerprints(
+                    black_box(a),
+                    black_box(b),
+                    &cfg,
+                    &SuppressionThresholds::default(),
+                )
+                .expect("merge succeeds"),
+            )
+        })
+    });
+    c.bench_function("merge/pair_with_suppression", |bencher| {
+        let thresholds = SuppressionThresholds::table2();
+        bencher.iter(|| {
+            black_box(
+                merge_fingerprints(black_box(a), black_box(b), &cfg, &thresholds)
+                    .expect("merge succeeds"),
+            )
+        })
+    });
+}
+
+fn bench_reshape(c: &mut Criterion) {
+    // A merged-looking fingerprint with plenty of overlaps.
+    let ds = bench_dataset(8);
+    let cfg = StretchConfig::default();
+    let mut acc = ds.fingerprints[0].clone();
+    for other in &ds.fingerprints[1..] {
+        acc = merge_fingerprints(&acc, other, &cfg, &SuppressionThresholds::default())
+            .expect("merge succeeds")
+            .fingerprint;
+    }
+    let samples = acc.samples().to_vec();
+    c.bench_function("reshape/merged_fingerprint", |bencher| {
+        bencher.iter(|| black_box(reshape_samples(black_box(&samples))))
+    });
+}
+
+criterion_group!(benches, bench_kgap, bench_glove, bench_merge, bench_reshape);
+criterion_main!(benches);

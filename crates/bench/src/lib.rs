@@ -1,0 +1,30 @@
+//! Shared fixtures for the Criterion benches: deterministic synthetic
+//! datasets at several scales.
+
+use glove_core::Dataset;
+use glove_synth::{generate, ScenarioConfig};
+
+/// Generates a deterministic civ-like dataset of `users` subscribers sized
+/// for benchmarking (fewer towers than the evaluation presets to keep
+/// generation itself cheap).
+pub fn bench_dataset(users: usize) -> Dataset {
+    let mut cfg = ScenarioConfig::civ_like(users);
+    cfg.num_towers = 300;
+    cfg.seed = 0xBE_AC_4; // fixed: benches must compare like against like
+    generate(&cfg).dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixture_is_deterministic() {
+        let a = bench_dataset(12);
+        let b = bench_dataset(12);
+        assert_eq!(a.num_samples(), b.num_samples());
+        for (fa, fb) in a.fingerprints.iter().zip(&b.fingerprints) {
+            assert_eq!(fa.samples(), fb.samples());
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! The CLI subcommand implementations, separated from argument parsing so
+//! they can be unit-tested directly.
+
+use crate::io;
+use glove_baselines::{generalize_uniform, w4m_lc, GeneralizationLevel, W4mConfig};
+use glove_core::accuracy::{mean_position_accuracy_m, mean_time_accuracy_min};
+use glove_core::glove::anonymize;
+use glove_core::kgap::kgap_all;
+use glove_core::{
+    Dataset, GloveConfig, ResidualPolicy, StretchConfig, SuppressionThresholds,
+};
+use glove_stats::{Ecdf, Summary};
+use glove_synth::{generate, QualityReport, ScenarioConfig};
+use std::error::Error;
+use std::path::Path;
+
+/// `glove synth`: generate a synthetic dataset and write it to a file.
+pub fn synth(
+    preset: &str,
+    users: usize,
+    seed: Option<u64>,
+    out: &Path,
+) -> Result<String, Box<dyn Error>> {
+    let mut cfg = match preset {
+        "civ" | "civ-like" => ScenarioConfig::civ_like(users),
+        "sen" | "sen-like" => ScenarioConfig::sen_like(users),
+        other => return Err(format!("unknown preset '{other}' (use civ | sen)").into()),
+    };
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    let synth = generate(&cfg);
+    io::write_file(&synth.dataset, out)?;
+    Ok(format!(
+        "wrote {}: {} users, {} samples, span {} days, {} towers ({} candidates screened out)",
+        out.display(),
+        synth.dataset.num_users(),
+        synth.dataset.num_samples(),
+        synth.dataset.span_min().div_ceil(1_440),
+        synth.towers.len(),
+        synth.screened_out,
+    ))
+}
+
+/// `glove info`: dataset summary.
+pub fn info(input: &Path) -> Result<String, Box<dyn Error>> {
+    let ds = io::read_file(input)?;
+    let lens: Vec<f64> = ds.fingerprints.iter().map(|f| f.len() as f64).collect();
+    let len_summary = Summary::of(&lens).ok_or("empty dataset")?;
+    let mut out = String::new();
+    out.push_str(&format!("name:          {}\n", ds.name));
+    out.push_str(&format!("fingerprints:  {}\n", ds.fingerprints.len()));
+    out.push_str(&format!("subscribers:   {}\n", ds.num_users()));
+    out.push_str(&format!("samples:       {}\n", ds.num_samples()));
+    out.push_str(&format!(
+        "span:          {} min ({:.1} days)\n",
+        ds.span_min(),
+        ds.span_min() as f64 / 1_440.0
+    ));
+    out.push_str(&format!(
+        "samples/fp:    median {:.0}, mean {:.1}, max {:.0}\n",
+        len_summary.median, len_summary.mean, len_summary.max
+    ));
+    let k = (2..=16)
+        .take_while(|&k| ds.is_k_anonymous(k))
+        .last()
+        .unwrap_or(1);
+    out.push_str(&format!("k-anonymity:   {k}\n"));
+    if let Some(quality) = QualityReport::of(&ds) {
+        out.push_str("--- data quality ---\n");
+        out.push_str(&quality.render());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `glove audit`: the anonymizability audit of §5 — k-gap distribution.
+pub fn audit(input: &Path, k: usize, threads: usize) -> Result<String, Box<dyn Error>> {
+    let ds = io::read_file(input)?;
+    if k < 2 || ds.fingerprints.len() < k {
+        return Err(format!(
+            "k must be in [2, {}] for this dataset",
+            ds.fingerprints.len()
+        )
+        .into());
+    }
+    let cfg = StretchConfig::default();
+    let gaps = kgap_all(&ds, k, threads, &cfg);
+    let ecdf = Ecdf::new(gaps).ok_or("k-gap computation produced no values")?;
+    let mut out = String::new();
+    out.push_str(&format!("k-gap audit of {} (k = {k})\n", ds.name));
+    out.push_str(&format!(
+        "already k-anonymous: {:.1}%\n",
+        ecdf.fraction_at_or_below(0.0) * 100.0
+    ));
+    for p in [0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+        out.push_str(&format!("p{:<4} {:.4}\n", (p * 100.0) as u32, ecdf.quantile(p)));
+    }
+    out.push_str(&format!("mean  {:.4}\nmax   {:.4}\n", ecdf.mean(), ecdf.max()));
+    out.push_str(
+        "\nInterpretation: 0 = already hidden in a crowd of k; 1 = hiding this user\n\
+         saturates both the 20 km spatial and 8 h temporal caps (uninformative).\n",
+    );
+    Ok(out)
+}
+
+/// Options of `glove anonymize`.
+#[derive(Debug, Clone)]
+pub struct AnonymizeOpts {
+    /// Anonymity level.
+    pub k: usize,
+    /// Optional spatial suppression threshold, meters.
+    pub suppress_space_m: Option<u32>,
+    /// Optional temporal suppression threshold, minutes.
+    pub suppress_time_min: Option<u32>,
+    /// Residual policy (`merge` or `suppress`).
+    pub residual: ResidualPolicy,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+/// `glove anonymize`: run GLOVE and write the anonymized dataset.
+pub fn anonymize_cmd(
+    input: &Path,
+    out: &Path,
+    opts: &AnonymizeOpts,
+) -> Result<String, Box<dyn Error>> {
+    let ds = io::read_file(input)?;
+    let config = GloveConfig {
+        k: opts.k,
+        suppression: SuppressionThresholds {
+            max_space_m: opts.suppress_space_m,
+            max_time_min: opts.suppress_time_min,
+        },
+        residual: opts.residual,
+        threads: opts.threads,
+        ..GloveConfig::default()
+    };
+    let output = anonymize(&ds, &config)?;
+    io::write_file(&output.dataset, out)?;
+    let s = &output.stats;
+    Ok(format!(
+        "wrote {}: {} groups covering {} subscribers (k = {})\n\
+         merges: {}, pairs computed: {} ({:.0} pairs/s), elapsed {:.1} s\n\
+         suppressed samples: {} ({} user-samples), reshaped: {}\n\
+         discarded fingerprints: {} ({} subscribers)\n\
+         mean accuracy: {:.0} m position, {:.0} min time",
+        out.display(),
+        output.dataset.fingerprints.len(),
+        output.dataset.num_users(),
+        opts.k,
+        s.merges,
+        s.pairs_computed,
+        s.pairs_per_second(),
+        s.elapsed_s,
+        s.suppressed.samples,
+        s.suppressed.user_samples,
+        s.reshaped_samples,
+        s.discarded_fingerprints,
+        s.discarded_users,
+        mean_position_accuracy_m(&output.dataset),
+        mean_time_accuracy_min(&output.dataset),
+    ))
+}
+
+/// `glove generalize`: uniform spatiotemporal generalization baseline.
+pub fn generalize_cmd(
+    input: &Path,
+    out: &Path,
+    space_m: u32,
+    time_min: u32,
+) -> Result<String, Box<dyn Error>> {
+    let ds = io::read_file(input)?;
+    let level = GeneralizationLevel { space_m, time_min };
+    let generalized = generalize_uniform(&ds, &level);
+    io::write_file(&generalized, out)?;
+    Ok(format!(
+        "wrote {}: uniform generalization at {} m / {} min ({} samples -> {})",
+        out.display(),
+        space_m,
+        time_min,
+        ds.num_samples(),
+        generalized.num_samples(),
+    ))
+}
+
+/// `glove w4m`: the W4M-LC baseline.
+pub fn w4m_cmd(
+    input: &Path,
+    out: &Path,
+    k: usize,
+    delta_m: f64,
+) -> Result<String, Box<dyn Error>> {
+    let ds = io::read_file(input)?;
+    let output = w4m_lc(
+        &ds,
+        &W4mConfig {
+            k,
+            delta_m,
+            ..W4mConfig::default()
+        },
+    );
+    io::write_file(&output.dataset, out)?;
+    let s = &output.stats;
+    Ok(format!(
+        "wrote {}: W4M-LC k = {k}, delta = {delta_m} m\n\
+         discarded fingerprints: {}, created samples: {}, deleted samples: {}\n\
+         mean position error: {:.0} m, mean time error: {:.0} min",
+        out.display(),
+        s.discarded_fingerprints,
+        s.created_samples,
+        s.deleted_samples,
+        s.mean_position_error_m,
+        s.mean_time_error_min,
+    ))
+}
+
+/// `glove attack`: record-linkage adversaries against a published dataset.
+///
+/// `original` holds the ground truth the adversary observed (raw
+/// fingerprints); `published` is what was released (possibly anonymized).
+/// Pass the same file twice to measure raw-data uniqueness.
+pub fn attack_cmd(
+    original: &Path,
+    published: &Path,
+    points: usize,
+    trials: usize,
+) -> Result<String, Box<dyn Error>> {
+    let orig = io::read_file(original)?;
+    let publ = io::read_file(published)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "record-linkage attacks: knowledge from {}, linking against {}\n\n",
+        orig.name, publ.name
+    ));
+    out.push_str("top-location adversary (unique signatures in the published data):\n");
+    for l in [1usize, 2, 3] {
+        out.push_str(&format!(
+            "  top-{l}: {:.1}%\n",
+            glove_attack::top_location_uniqueness(&publ, l) * 100.0
+        ));
+    }
+    let cfg = glove_attack::RandomPointAttack {
+        points,
+        trials,
+        seed: 0xC11,
+    };
+    let outcome = glove_attack::random_point_attack(&orig, &publ, &cfg);
+    if outcome.anonymity_sets.is_empty() {
+        out.push_str("\nrandom-point adversary: no target has enough samples\n");
+    } else {
+        out.push_str(&format!(
+            "\nrandom-point adversary ({points} points, {trials} trials):\n  \
+             pinpoint rate: {:.1}%\n  min anonymity set: {}\n  mean anonymity set: {:.1}\n",
+            outcome.pinpoint_rate() * 100.0,
+            outcome.min_anonymity(),
+            outcome.mean_anonymity(),
+        ));
+    }
+    Ok(out)
+}
+
+/// Convenience used by tests: writes `dataset` to a temp file and returns
+/// its path.
+pub fn write_temp(dataset: &Dataset, stem: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("glove-cli-{stem}-{}.txt", std::process::id()));
+    io::write_file(dataset, &path).expect("temp file writable");
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp(stem: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("glove-cmd-{stem}-{}.txt", std::process::id()))
+    }
+
+    #[test]
+    fn synth_info_audit_anonymize_pipeline() {
+        let data = temp("pipeline-data");
+        let anon = temp("pipeline-anon");
+
+        let msg = synth("civ", 20, Some(7), &data).unwrap();
+        assert!(msg.contains("20 users"));
+
+        let msg = info(&data).unwrap();
+        assert!(msg.contains("subscribers:   20"));
+        assert!(msg.contains("k-anonymity:   1"));
+
+        let msg = audit(&data, 2, 1).unwrap();
+        assert!(msg.contains("already k-anonymous: 0.0%"));
+
+        let opts = AnonymizeOpts {
+            k: 2,
+            suppress_space_m: None,
+            suppress_time_min: None,
+            residual: ResidualPolicy::MergeIntoNearest,
+            threads: 1,
+        };
+        let msg = anonymize_cmd(&data, &anon, &opts).unwrap();
+        assert!(msg.contains("20 subscribers"));
+
+        let anonymized = io::read_file(&anon).unwrap();
+        assert!(anonymized.is_k_anonymous(2));
+        assert_eq!(anonymized.num_users(), 20);
+
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&anon);
+    }
+
+    #[test]
+    fn generalize_and_w4m_baselines_run() {
+        let data = temp("baseline-data");
+        let gen = temp("baseline-gen");
+        let w4m = temp("baseline-w4m");
+
+        synth("sen", 12, Some(3), &data).unwrap();
+        let msg = generalize_cmd(&data, &gen, 5_000, 120).unwrap();
+        assert!(msg.contains("5000 m / 120 min"));
+        let generalized = io::read_file(&gen).unwrap();
+        assert!(generalized
+            .fingerprints
+            .iter()
+            .all(|f| f.samples().iter().all(|s| s.dx >= 5_000)));
+
+        let msg = w4m_cmd(&data, &w4m, 2, 2_000.0).unwrap();
+        assert!(msg.contains("W4M-LC k = 2"));
+        assert!(io::read_file(&w4m).is_ok());
+
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&gen);
+        let _ = std::fs::remove_file(&w4m);
+    }
+
+    #[test]
+    fn attack_command_raw_vs_anonymized() {
+        let data = temp("attack-data");
+        let anon = temp("attack-anon");
+        synth("civ", 24, Some(5), &data).unwrap();
+        let opts = AnonymizeOpts {
+            k: 2,
+            suppress_space_m: None,
+            suppress_time_min: None,
+            residual: ResidualPolicy::MergeIntoNearest,
+            threads: 1,
+        };
+        anonymize_cmd(&data, &anon, &opts).unwrap();
+
+        let raw = attack_cmd(&data, &data, 3, 50).unwrap();
+        assert!(raw.contains("pinpoint rate"));
+        let protected = attack_cmd(&data, &anon, 3, 50).unwrap();
+        assert!(
+            protected.contains("pinpoint rate: 0.0%"),
+            "anonymized data must not be pinpointable:\n{protected}"
+        );
+
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&anon);
+    }
+
+    #[test]
+    fn synth_rejects_unknown_preset() {
+        let out = temp("bad-preset");
+        assert!(synth("mars", 10, None, &out).is_err());
+    }
+
+    #[test]
+    fn audit_rejects_bad_k() {
+        let data = temp("audit-k");
+        synth("civ", 10, Some(1), &data).unwrap();
+        assert!(audit(&data, 1, 1).is_err());
+        assert!(audit(&data, 999, 1).is_err());
+        let _ = std::fs::remove_file(&data);
+    }
+}

@@ -1,0 +1,271 @@
+//! Dataset file format: a line-oriented, diff-friendly text encoding.
+//!
+//! ```text
+//! # glove dataset v1
+//! # name: civ-like
+//! F 17            <- fingerprint header: user ids (comma-separated)
+//! S 1200 300 100 100 481 1
+//! S 5400 800 100 100 912 1
+//! F 18,19         <- merged fingerprint shared by users 18 and 19
+//! S 0 0 2000 1500 100 60
+//! ```
+//!
+//! `S x y dx dy t dt` — the box encoding of [`Sample`]: west/south corner in
+//! meters, extents in meters, window start/length in minutes. Comments (`#`)
+//! and blank lines are ignored except for the `# name:` header.
+
+use glove_core::{Dataset, Fingerprint, GloveError, Sample, UserId};
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Serializes a dataset to its text representation.
+pub fn to_string(dataset: &Dataset) -> String {
+    let mut out = String::new();
+    out.push_str("# glove dataset v1\n");
+    out.push_str(&format!("# name: {}\n", dataset.name));
+    for fp in &dataset.fingerprints {
+        let users: Vec<String> = fp.users().iter().map(|u| u.to_string()).collect();
+        out.push_str(&format!("F {}\n", users.join(",")));
+        for s in fp.samples() {
+            out.push_str(&format!(
+                "S {} {} {} {} {} {}\n",
+                s.x, s.y, s.dx, s.dy, s.t, s.dt
+            ));
+        }
+    }
+    out
+}
+
+/// Writes a dataset to a file.
+pub fn write_file(dataset: &Dataset, path: &Path) -> io::Result<()> {
+    let mut f = fs::File::create(path)?;
+    f.write_all(to_string(dataset).as_bytes())
+}
+
+/// Parse error with line context.
+#[derive(Debug)]
+pub enum ParseError {
+    /// I/O failure while reading.
+    Io(io::Error),
+    /// Syntax or semantic error at a line.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Problem description.
+        message: String,
+    },
+    /// The parsed data violates model invariants.
+    Model(GloveError),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseError::Syntax { line, message } => write!(f, "line {line}: {message}"),
+            ParseError::Model(e) => write!(f, "invalid data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+impl From<GloveError> for ParseError {
+    fn from(e: GloveError) -> Self {
+        ParseError::Model(e)
+    }
+}
+
+/// Parses a dataset from its text representation.
+pub fn from_str(content: &str) -> Result<Dataset, ParseError> {
+    let mut name = String::from("unnamed");
+    let mut fingerprints: Vec<Fingerprint> = Vec::new();
+    let mut current_users: Option<Vec<UserId>> = None;
+    let mut current_samples: Vec<Sample> = Vec::new();
+
+    let mut flush = |users: Option<Vec<UserId>>,
+                     samples: &mut Vec<Sample>,
+                     line: usize|
+     -> Result<(), ParseError> {
+        if let Some(users) = users {
+            if samples.is_empty() {
+                return Err(ParseError::Syntax {
+                    line,
+                    message: "fingerprint with no samples".into(),
+                });
+            }
+            fingerprints.push(Fingerprint::with_users(users, std::mem::take(samples))?);
+        }
+        Ok(())
+    };
+
+    for (idx, raw) in content.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            if let Some(n) = rest.trim().strip_prefix("name:") {
+                name = n.trim().to_string();
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("F ") {
+            flush(current_users.take(), &mut current_samples, line_no)?;
+            let users: Result<Vec<UserId>, _> =
+                rest.split(',').map(|t| t.trim().parse::<UserId>()).collect();
+            let users = users.map_err(|e| ParseError::Syntax {
+                line: line_no,
+                message: format!("bad user id list: {e}"),
+            })?;
+            if users.is_empty() {
+                return Err(ParseError::Syntax {
+                    line: line_no,
+                    message: "empty user id list".into(),
+                });
+            }
+            current_users = Some(users);
+        } else if let Some(rest) = line.strip_prefix("S ") {
+            if current_users.is_none() {
+                return Err(ParseError::Syntax {
+                    line: line_no,
+                    message: "sample before any fingerprint header".into(),
+                });
+            }
+            let fields: Vec<&str> = rest.split_whitespace().collect();
+            if fields.len() != 6 {
+                return Err(ParseError::Syntax {
+                    line: line_no,
+                    message: format!("expected 6 sample fields, got {}", fields.len()),
+                });
+            }
+            let parse_i64 = |s: &str| -> Result<i64, ParseError> {
+                s.parse().map_err(|e| ParseError::Syntax {
+                    line: line_no,
+                    message: format!("bad integer '{s}': {e}"),
+                })
+            };
+            let parse_u32 = |s: &str| -> Result<u32, ParseError> {
+                s.parse().map_err(|e| ParseError::Syntax {
+                    line: line_no,
+                    message: format!("bad integer '{s}': {e}"),
+                })
+            };
+            let sample = Sample::new(
+                parse_i64(fields[0])?,
+                parse_i64(fields[1])?,
+                parse_u32(fields[2])?,
+                parse_u32(fields[3])?,
+                parse_u32(fields[4])?,
+                parse_u32(fields[5])?,
+            )?;
+            current_samples.push(sample);
+        } else {
+            return Err(ParseError::Syntax {
+                line: line_no,
+                message: format!("unrecognized line: {line}"),
+            });
+        }
+    }
+    flush(current_users.take(), &mut current_samples, content.lines().count())?;
+    Ok(Dataset::new(name, fingerprints)?)
+}
+
+/// Reads a dataset from a file.
+pub fn read_file(path: &Path) -> Result<Dataset, ParseError> {
+    let content = fs::read_to_string(path)?;
+    from_str(&content)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_dataset() -> Dataset {
+        let fps = vec![
+            Fingerprint::from_points(0, &[(100, 200, 5), (5_000, -300, 700)]).unwrap(),
+            Fingerprint::with_users(
+                vec![1, 2],
+                vec![Sample::new(0, 0, 2_000, 1_500, 100, 60).unwrap()],
+            )
+            .unwrap(),
+        ];
+        Dataset::new("round-trip", fps).unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let ds = sample_dataset();
+        let text = to_string(&ds);
+        let back = from_str(&text).unwrap();
+        assert_eq!(back.name, ds.name);
+        assert_eq!(back.fingerprints.len(), ds.fingerprints.len());
+        for (a, b) in back.fingerprints.iter().zip(&ds.fingerprints) {
+            assert_eq!(a.users(), b.users());
+            assert_eq!(a.samples(), b.samples());
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let ds = sample_dataset();
+        let path = std::env::temp_dir().join("glove-io-test.txt");
+        write_file(&ds, &path).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back.num_users(), ds.num_users());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_sample_before_header() {
+        let err = from_str("S 0 0 100 100 0 1\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_sample() {
+        let err = from_str("F 0\nS 0 0 100 100 0\n").unwrap_err();
+        assert!(err.to_string().contains("expected 6 sample fields"));
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let err = from_str("F 0\nS a 0 100 100 0 1\n").unwrap_err();
+        assert!(err.to_string().contains("bad integer"));
+    }
+
+    #[test]
+    fn rejects_empty_fingerprint() {
+        let err = from_str("F 0\nF 1\nS 0 0 100 100 0 1\n").unwrap_err();
+        assert!(err.to_string().contains("no samples"));
+    }
+
+    #[test]
+    fn rejects_duplicate_users_across_fingerprints() {
+        let text = "F 0\nS 0 0 100 100 0 1\nF 0\nS 0 0 100 100 5 1\n";
+        let err = from_str(text).unwrap_err();
+        assert!(matches!(err, ParseError::Model(_)));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# comment\n\n# name: hello\nF 3\n# inner comment\nS 0 0 100 100 0 1\n\n";
+        let ds = from_str(text).unwrap();
+        assert_eq!(ds.name, "hello");
+        assert_eq!(ds.num_users(), 1);
+    }
+
+    #[test]
+    fn rejects_zero_extent_sample() {
+        let err = from_str("F 0\nS 0 0 0 100 0 1\n").unwrap_err();
+        assert!(matches!(err, ParseError::Model(_)));
+    }
+}

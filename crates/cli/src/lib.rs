@@ -1,0 +1,22 @@
+//! # glove-cli — command-line workflows for GLOVE
+//!
+//! The `glove` binary wires the workspace into PPDP practitioner workflows:
+//!
+//! ```text
+//! glove synth      generate a synthetic CDR dataset (civ-like / sen-like)
+//! glove info       inspect a dataset file
+//! glove audit      anonymizability audit: k-gap distribution (paper §5)
+//! glove anonymize  k-anonymize with GLOVE (§6), optional suppression (§7.1)
+//! glove generalize uniform spatiotemporal generalization baseline (§5.2)
+//! glove w4m        W4M-LC baseline (§7.2)
+//! ```
+//!
+//! Datasets travel as a line-oriented text format (see [`io`]) so that they
+//! can be produced and consumed by external tooling without bespoke
+//! dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod io;

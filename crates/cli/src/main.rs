@@ -1,0 +1,176 @@
+//! `glove` — CLI entry point. Argument parsing only; the work happens in
+//! [`glove_cli::commands`].
+
+use glove_cli::commands::{self, AnonymizeOpts};
+use glove_core::ResidualPolicy;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+glove — k-anonymization of mobile traffic fingerprints (GLOVE, CoNEXT'15)
+
+USAGE:
+  glove synth      --preset civ|sen --users N [--seed S] --out FILE
+  glove info       --in FILE
+  glove audit      --in FILE --k K [--threads N]
+  glove anonymize  --in FILE --out FILE --k K
+                   [--suppress-space METERS] [--suppress-time MINUTES]
+                   [--residual merge|suppress] [--threads N]
+  glove generalize --in FILE --out FILE --space METERS --time MINUTES
+  glove w4m        --in FILE --out FILE --k K [--delta METERS]
+  glove attack     --original FILE --published FILE [--points N] [--trials N]
+
+Datasets are line-oriented text files (see `glove-cli` docs).
+";
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Splits `--key value` pairs into a map; returns an error message on
+/// malformed input or duplicate keys.
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut map = HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let key = arg
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected an option, got '{arg}'"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("option --{key} needs a value"))?;
+        if map.insert(key.to_string(), value.clone()).is_some() {
+            return Err(format!("duplicate option --{key}"));
+        }
+    }
+    Ok(map)
+}
+
+fn required<'m>(flags: &'m HashMap<String, String>, key: &str) -> Result<&'m str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required option --{key}"))
+}
+
+fn parse_num<T: std::str::FromStr>(value: &str, key: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("option --{key}: cannot parse '{value}'"))
+}
+
+fn run() -> Result<String, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return Err("no command given".into());
+    };
+    let flags = parse_flags(rest)?;
+    let err = |e: Box<dyn std::error::Error>| e.to_string();
+
+    match command.as_str() {
+        "synth" => {
+            let preset = required(&flags, "preset")?;
+            let users: usize = parse_num(required(&flags, "users")?, "users")?;
+            let seed = flags
+                .get("seed")
+                .map(|s| parse_num::<u64>(s, "seed"))
+                .transpose()?;
+            let out = PathBuf::from(required(&flags, "out")?);
+            commands::synth(preset, users, seed, &out).map_err(err)
+        }
+        "info" => {
+            let input = PathBuf::from(required(&flags, "in")?);
+            commands::info(&input).map_err(err)
+        }
+        "audit" => {
+            let input = PathBuf::from(required(&flags, "in")?);
+            let k: usize = parse_num(required(&flags, "k")?, "k")?;
+            let threads = flags
+                .get("threads")
+                .map(|s| parse_num::<usize>(s, "threads"))
+                .transpose()?
+                .unwrap_or(0);
+            commands::audit(&input, k, threads).map_err(err)
+        }
+        "anonymize" => {
+            let input = PathBuf::from(required(&flags, "in")?);
+            let out = PathBuf::from(required(&flags, "out")?);
+            let k: usize = parse_num(required(&flags, "k")?, "k")?;
+            let suppress_space_m = flags
+                .get("suppress-space")
+                .map(|s| parse_num::<u32>(s, "suppress-space"))
+                .transpose()?;
+            let suppress_time_min = flags
+                .get("suppress-time")
+                .map(|s| parse_num::<u32>(s, "suppress-time"))
+                .transpose()?;
+            let residual = match flags.get("residual").map(String::as_str) {
+                None | Some("merge") => ResidualPolicy::MergeIntoNearest,
+                Some("suppress") => ResidualPolicy::Suppress,
+                Some(other) => {
+                    return Err(format!("--residual must be merge|suppress, got '{other}'"))
+                }
+            };
+            let threads = flags
+                .get("threads")
+                .map(|s| parse_num::<usize>(s, "threads"))
+                .transpose()?
+                .unwrap_or(0);
+            let opts = AnonymizeOpts {
+                k,
+                suppress_space_m,
+                suppress_time_min,
+                residual,
+                threads,
+            };
+            commands::anonymize_cmd(&input, &out, &opts).map_err(err)
+        }
+        "generalize" => {
+            let input = PathBuf::from(required(&flags, "in")?);
+            let out = PathBuf::from(required(&flags, "out")?);
+            let space: u32 = parse_num(required(&flags, "space")?, "space")?;
+            let time: u32 = parse_num(required(&flags, "time")?, "time")?;
+            commands::generalize_cmd(&input, &out, space, time).map_err(err)
+        }
+        "w4m" => {
+            let input = PathBuf::from(required(&flags, "in")?);
+            let out = PathBuf::from(required(&flags, "out")?);
+            let k: usize = parse_num(required(&flags, "k")?, "k")?;
+            let delta = flags
+                .get("delta")
+                .map(|s| parse_num::<f64>(s, "delta"))
+                .transpose()?
+                .unwrap_or(2_000.0);
+            commands::w4m_cmd(&input, &out, k, delta).map_err(err)
+        }
+        "attack" => {
+            let original = PathBuf::from(required(&flags, "original")?);
+            let published = PathBuf::from(required(&flags, "published")?);
+            let points = flags
+                .get("points")
+                .map(|s| parse_num::<usize>(s, "points"))
+                .transpose()?
+                .unwrap_or(4);
+            let trials = flags
+                .get("trials")
+                .map(|s| parse_num::<usize>(s, "trials"))
+                .transpose()?
+                .unwrap_or(200);
+            commands::attack_cmd(&original, &published, points, trials).map_err(err)
+        }
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(msg) => {
+            println!("{msg}");
+            ExitCode::SUCCESS
+        }
+        Err(msg) => fail(&msg),
+    }
+}

@@ -1,0 +1,60 @@
+//! Property tests of the dataset text format: serialize → parse must be the
+//! identity on arbitrary valid datasets, and the parser must reject
+//! structurally broken inputs instead of panicking.
+
+use glove_cli::io;
+use glove_core::{Dataset, Fingerprint, Sample, UserId};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn arb_sample() -> impl Strategy<Value = Sample> {
+    (
+        -1_000_000i64..1_000_000,
+        -1_000_000i64..1_000_000,
+        1u32..100_000,
+        1u32..100_000,
+        0u32..40_000,
+        1u32..5_000,
+    )
+        .prop_map(|(x, y, dx, dy, t, dt)| Sample::new(x, y, dx, dy, t, dt).expect("valid"))
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    vec(vec(arb_sample(), 1..=8), 1..=12).prop_map(|per_user| {
+        let fps = per_user
+            .into_iter()
+            .enumerate()
+            .map(|(u, samples)| {
+                Fingerprint::with_users(vec![u as UserId], samples).expect("non-empty")
+            })
+            .collect();
+        Dataset::new("prop-io", fps).expect("unique users")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn round_trip_is_identity(ds in arb_dataset()) {
+        let text = io::to_string(&ds);
+        let back = io::from_str(&text).expect("serializer output must parse");
+        prop_assert_eq!(back.name, ds.name);
+        prop_assert_eq!(back.fingerprints.len(), ds.fingerprints.len());
+        for (a, b) in back.fingerprints.iter().zip(&ds.fingerprints) {
+            prop_assert_eq!(a.users(), b.users());
+            prop_assert_eq!(a.samples(), b.samples());
+        }
+    }
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_text(text in "\\PC{0,400}") {
+        // Any outcome is fine except a panic.
+        let _ = io::from_str(&text);
+    }
+
+    #[test]
+    fn parser_never_panics_on_liney_garbage(lines in vec("[FS#] ?[-0-9a-z, ]{0,40}", 0..20)) {
+        let _ = io::from_str(&lines.join("\n"));
+    }
+}

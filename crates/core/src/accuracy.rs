@@ -1,0 +1,135 @@
+//! Spatiotemporal accuracy of anonymized datasets (§7, Figs. 7–11).
+//!
+//! Generalization publishes boxes instead of points; the accuracy of a
+//! published sample is the extent of its box: position accuracy is the mean
+//! spatial side `(dx + dy)/2` (100 m for untouched samples) and time
+//! accuracy is the window length `dt` (1 min for untouched samples). See
+//! DESIGN.md §1 for the rationale of these estimators against the paper's
+//! unlabeled axes.
+//!
+//! Accuracy vectors are *user-weighted*: a sample shared by a group of `n`
+//! subscribers contributes `n` observations, so the CDFs answer "how
+//! accurate is the data of a random subscriber's sample", matching §7.
+
+use crate::model::Dataset;
+
+/// Position accuracy (meters) of every user-sample in the dataset.
+pub fn position_accuracy_m(dataset: &Dataset) -> Vec<f64> {
+    let mut out = Vec::with_capacity(dataset.num_user_samples());
+    for fp in &dataset.fingerprints {
+        let weight = fp.multiplicity();
+        for s in fp.samples() {
+            let v = s.position_accuracy_m();
+            for _ in 0..weight {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Time accuracy (minutes) of every user-sample in the dataset.
+pub fn time_accuracy_min(dataset: &Dataset) -> Vec<f64> {
+    let mut out = Vec::with_capacity(dataset.num_user_samples());
+    for fp in &dataset.fingerprints {
+        let weight = fp.multiplicity();
+        for s in fp.samples() {
+            let v = s.time_accuracy_min();
+            for _ in 0..weight {
+                out.push(v);
+            }
+        }
+    }
+    out
+}
+
+/// Fraction of user-samples that kept the original spatial accuracy
+/// (≤ `native_m`, default 100 m) — the "20 % to 40 % of the samples retain
+/// their original spatial accuracy" statistic of §7.
+pub fn fraction_at_native_position(dataset: &Dataset, native_m: f64) -> f64 {
+    let acc = position_accuracy_m(dataset);
+    if acc.is_empty() {
+        return 0.0;
+    }
+    acc.iter().filter(|&&v| v <= native_m).count() as f64 / acc.len() as f64
+}
+
+/// Mean position accuracy in meters (the Table 2 "Mean position error" for
+/// GLOVE-anonymized data).
+pub fn mean_position_accuracy_m(dataset: &Dataset) -> f64 {
+    let acc = position_accuracy_m(dataset);
+    if acc.is_empty() {
+        return 0.0;
+    }
+    acc.iter().sum::<f64>() / acc.len() as f64
+}
+
+/// Mean time accuracy in minutes (the Table 2 "Mean time error" for
+/// GLOVE-anonymized data).
+pub fn mean_time_accuracy_min(dataset: &Dataset) -> f64 {
+    let acc = time_accuracy_min(dataset);
+    if acc.is_empty() {
+        return 0.0;
+    }
+    acc.iter().sum::<f64>() / acc.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Fingerprint, Sample};
+
+    fn dataset() -> Dataset {
+        let fps = vec![
+            // 1 user, native samples.
+            Fingerprint::from_points(0, &[(0, 0, 0), (100, 0, 10)]).unwrap(),
+            // 3 users sharing one generalized sample 1 km x 3 km x 60 min.
+            Fingerprint::with_users(
+                vec![1, 2, 3],
+                vec![Sample::new(0, 0, 1_000, 3_000, 0, 60).unwrap()],
+            )
+            .unwrap(),
+        ];
+        Dataset::new("acc", fps).unwrap()
+    }
+
+    #[test]
+    fn accuracy_vectors_are_user_weighted() {
+        let ds = dataset();
+        let pos = position_accuracy_m(&ds);
+        // 2 samples x 1 user + 1 sample x 3 users = 5 observations.
+        assert_eq!(pos.len(), 5);
+        assert_eq!(pos.iter().filter(|&&v| v == 100.0).count(), 2);
+        assert_eq!(pos.iter().filter(|&&v| v == 2_000.0).count(), 3);
+
+        let time = time_accuracy_min(&ds);
+        assert_eq!(time.len(), 5);
+        assert_eq!(time.iter().filter(|&&v| v == 1.0).count(), 2);
+        assert_eq!(time.iter().filter(|&&v| v == 60.0).count(), 3);
+    }
+
+    #[test]
+    fn native_fraction() {
+        let ds = dataset();
+        let f = fraction_at_native_position(&ds, 100.0);
+        assert!((f - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means() {
+        let ds = dataset();
+        let mp = mean_position_accuracy_m(&ds);
+        assert!((mp - (100.0 * 2.0 + 2_000.0 * 3.0) / 5.0).abs() < 1e-9);
+        let mt = mean_time_accuracy_min(&ds);
+        assert!((mt - (1.0 * 2.0 + 60.0 * 3.0) / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn untouched_dataset_is_fully_native() {
+        let fps = vec![Fingerprint::from_points(0, &[(0, 0, 0)]).unwrap()];
+        let ds = Dataset::new("native", fps).unwrap();
+        assert_eq!(fraction_at_native_position(&ds, 100.0), 1.0);
+        assert_eq!(mean_position_accuracy_m(&ds), 100.0);
+        assert_eq!(mean_time_accuracy_min(&ds), 1.0);
+    }
+}

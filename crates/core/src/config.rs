@@ -1,0 +1,214 @@
+//! Configuration of the stretch-effort algebra and the GLOVE algorithm.
+
+use crate::error::GloveError;
+
+/// Parameters of the sample stretch effort `δ` (paper §4.1, Eqs. 1–3).
+///
+/// The defaults are the paper's choices: `φmax_σ = 20 km`, `φmax_τ = 8 h`,
+/// `w_σ = w_τ = ½`. Footnote 3 of the paper explains the calibration: the
+/// ratio `φmax_σ / φmax_τ` fixes which spatial loss is "worth" which temporal
+/// loss (≈ 0.5 km ↔ 15 min), and values beyond the caps are considered
+/// uninformative (effort saturates at 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchConfig {
+    /// Spatial saturation threshold `φmax_σ`, meters. Default 20 000 m.
+    pub phi_max_space_m: f64,
+    /// Temporal saturation threshold `φmax_τ`, minutes. Default 480 min.
+    pub phi_max_time_min: f64,
+    /// Spatial weight `w_σ`. Default 0.5.
+    pub w_space: f64,
+    /// Temporal weight `w_τ`. Default 0.5.
+    pub w_time: f64,
+    /// Weight the per-direction stretches by group multiplicity (the
+    /// `n_a/(n_a+n_b)` factors of Eqs. 4 and 7). Disabling this is an
+    /// ablation of the paper's design choice: merged groups then count like
+    /// single users when pricing further merges. Default: true.
+    pub population_weighting: bool,
+}
+
+impl Default for StretchConfig {
+    fn default() -> Self {
+        Self {
+            phi_max_space_m: 20_000.0,
+            phi_max_time_min: 480.0,
+            w_space: 0.5,
+            w_time: 0.5,
+            population_weighting: true,
+        }
+    }
+}
+
+impl StretchConfig {
+    /// Validates the configuration: positive caps, non-negative weights
+    /// summing to 1 (which keeps `δ ∈ [0, 1]`, Eq. 1).
+    pub fn validate(&self) -> Result<(), GloveError> {
+        if !(self.phi_max_space_m.is_finite() && self.phi_max_space_m > 0.0) {
+            return Err(GloveError::InvalidConfig(
+                "phi_max_space_m must be positive and finite".into(),
+            ));
+        }
+        if !(self.phi_max_time_min.is_finite() && self.phi_max_time_min > 0.0) {
+            return Err(GloveError::InvalidConfig(
+                "phi_max_time_min must be positive and finite".into(),
+            ));
+        }
+        if self.w_space < 0.0 || self.w_time < 0.0 {
+            return Err(GloveError::InvalidConfig(
+                "stretch weights must be non-negative".into(),
+            ));
+        }
+        if (self.w_space + self.w_time - 1.0).abs() > 1e-9 {
+            return Err(GloveError::InvalidConfig(
+                "stretch weights must sum to 1 so that delta stays in [0, 1]".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Suppression thresholds of §7.1: during a merge, a sample whose
+/// generalization would exceed either bound is discarded instead of merged.
+///
+/// `None` on an axis disables the threshold on that axis (the paper's Fig. 9
+/// right plot uses temporal-only thresholds; footnote 8 notes spatial-only
+/// thresholding gains little).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SuppressionThresholds {
+    /// Maximum tolerated spatial extent of a merged sample, meters
+    /// (`max(dx, dy)` is compared against this).
+    pub max_space_m: Option<u32>,
+    /// Maximum tolerated temporal extent of a merged sample, minutes.
+    pub max_time_min: Option<u32>,
+}
+
+impl SuppressionThresholds {
+    /// Thresholds used for the paper's Table 2 runs: 15 km and 6 h.
+    pub fn table2() -> Self {
+        Self {
+            max_space_m: Some(15_000),
+            max_time_min: Some(360),
+        }
+    }
+
+    /// True if no axis is constrained (suppression disabled).
+    pub fn is_disabled(&self) -> bool {
+        self.max_space_m.is_none() && self.max_time_min.is_none()
+    }
+}
+
+/// What to do with the at-most-one fingerprint that can remain with
+/// multiplicity `< k` when Alg. 1's main loop runs out of mergeable pairs
+/// (see DESIGN.md "Residual fingerprints").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ResidualPolicy {
+    /// Merge the residual fingerprint into the nearest (minimum stretch
+    /// effort) already-k-anonymized group. Keeps every subscriber in the
+    /// published dataset. This is the default.
+    #[default]
+    MergeIntoNearest,
+    /// Drop the residual fingerprint (its subscribers are not published).
+    Suppress,
+}
+
+/// Full configuration of a GLOVE run (Alg. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GloveConfig {
+    /// The anonymity level `k`: every published fingerprint must hide at
+    /// least `k` subscribers. Default 2.
+    pub k: usize,
+    /// Stretch-effort parameters.
+    pub stretch: StretchConfig,
+    /// Optional suppression thresholds (§7.1). Default: disabled.
+    pub suppression: SuppressionThresholds,
+    /// Residual-fingerprint policy. Default: merge into nearest group.
+    pub residual: ResidualPolicy,
+    /// Apply the reshaping step of §6.2 to every published fingerprint,
+    /// resolving temporal overlaps. Default: true.
+    pub reshape: bool,
+    /// Worker threads for the parallel kernel; 0 = one per available core.
+    pub threads: usize,
+}
+
+impl Default for GloveConfig {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            stretch: StretchConfig::default(),
+            suppression: SuppressionThresholds::default(),
+            residual: ResidualPolicy::default(),
+            reshape: true,
+            threads: 0,
+        }
+    }
+}
+
+impl GloveConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), GloveError> {
+        if self.k < 2 {
+            return Err(GloveError::InvalidConfig(
+                "k must be at least 2 (k = 1 is the identity transformation)".into(),
+            ));
+        }
+        self.stretch.validate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = StretchConfig::default();
+        assert_eq!(c.phi_max_space_m, 20_000.0);
+        assert_eq!(c.phi_max_time_min, 480.0);
+        assert_eq!(c.w_space, 0.5);
+        assert_eq!(c.w_time, 0.5);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_weights() {
+        let c = StretchConfig {
+            w_space: 0.7,
+            w_time: 0.7,
+            ..StretchConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = StretchConfig {
+            w_space: -0.5,
+            w_time: 1.5,
+            ..StretchConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_bad_caps() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let c = StretchConfig {
+                phi_max_space_m: bad,
+                ..StretchConfig::default()
+            };
+            assert!(c.validate().is_err(), "cap {bad} should be rejected");
+        }
+    }
+
+    #[test]
+    fn glove_config_rejects_k_below_two() {
+        let c = GloveConfig {
+            k: 1,
+            ..GloveConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = GloveConfig::default();
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn suppression_disabled_detection() {
+        assert!(SuppressionThresholds::default().is_disabled());
+        assert!(!SuppressionThresholds::table2().is_disabled());
+    }
+}

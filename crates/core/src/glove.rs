@@ -1,0 +1,624 @@
+//! GLOVE — Algorithm 1 of §6.1.
+//!
+//! The algorithm greedily builds k-anonymous groups:
+//!
+//! 1. compute the fingerprint stretch effort (Eq. 10) between all pairs of
+//!    fingerprints;
+//! 2. repeatedly take the two not-yet-k-anonymized fingerprints at minimum
+//!    effort, merge them (§6.2), and put the merged fingerprint back —
+//!    recomputing its efforts to everything still in play — until it hides
+//!    at least `k` subscribers;
+//! 3. stop when no two under-`k` fingerprints remain.
+//!
+//! Attaining optimal k-anonymity is NP-hard [Bettini et al., SDM'05]; GLOVE
+//! is a polynomial greedy approximation, quadratic in both the number of
+//! users and the fingerprint length (§6.3).
+//!
+//! ### Implementation notes
+//!
+//! * The pairwise matrix is stored triangularly over an append-only slot
+//!   arena; merged inputs retire, merged outputs append. The arena compacts
+//!   itself when retired slots dominate, bounding memory at O(active²).
+//! * Each active slot caches its row minimum, so one iteration costs O(A)
+//!   for extraction plus O(A·n̄²) for the new row (A = active slots) — the
+//!   complexity stated in §6.3.
+//! * Matrix construction and row recomputation fan out over
+//!   [`crate::parallel`], the stand-in for the paper's GPU kernel.
+//! * At most one fingerprint can be left with multiplicity < `k` when the
+//!   loop exhausts mergeable pairs; [`ResidualPolicy`] decides its fate
+//!   (the paper does not specify — see DESIGN.md).
+
+use crate::config::{GloveConfig, ResidualPolicy};
+use crate::error::GloveError;
+use crate::merge::merge_fingerprints;
+use crate::model::{Dataset, Fingerprint};
+use crate::parallel::par_map;
+use crate::reshape::reshape_suppressed;
+use crate::stretch::fingerprint_stretch;
+use crate::suppress::SuppressionLedger;
+use std::time::Instant;
+
+/// Statistics of one GLOVE run.
+#[derive(Debug, Clone, Default)]
+pub struct GloveStats {
+    /// Number of pairwise merges performed.
+    pub merges: u64,
+    /// Number of fingerprint-pair stretch efforts computed (Eq. 10
+    /// evaluations) — the unit of the paper's §6.3 throughput figure.
+    pub pairs_computed: u64,
+    /// Suppression bookkeeping (§7.1); all-zero when suppression is off.
+    pub suppressed: SuppressionLedger,
+    /// Samples absorbed by the final reshaping pass (§6.2).
+    pub reshaped_samples: u64,
+    /// Fingerprints (and their subscribers) dropped by
+    /// [`ResidualPolicy::Suppress`].
+    pub discarded_fingerprints: u64,
+    /// Subscribers dropped with those fingerprints.
+    pub discarded_users: u64,
+    /// Wall-clock duration of the run in seconds.
+    pub elapsed_s: f64,
+}
+
+impl GloveStats {
+    /// Pairwise-effort throughput in pairs/second — comparable to the
+    /// paper's "20–50,000 fingerprint pairs per second" (§6.3).
+    pub fn pairs_per_second(&self) -> f64 {
+        if self.elapsed_s > 0.0 {
+            self.pairs_computed as f64 / self.elapsed_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Result of a GLOVE run: the anonymized dataset plus run statistics.
+#[derive(Debug, Clone)]
+pub struct GloveOutput {
+    /// The anonymized dataset: every fingerprint hides ≥ `k` subscribers.
+    pub dataset: Dataset,
+    /// Run statistics.
+    pub stats: GloveStats,
+}
+
+/// State of a slot in the arena.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotState {
+    /// Multiplicity < k: participates in merging.
+    Active,
+    /// Multiplicity ≥ k: finished, waits for publication.
+    Done,
+    /// Consumed by a merge.
+    Retired,
+}
+
+/// Cached minimum of a slot's matrix row over *active* partners.
+#[derive(Clone, Copy, Debug)]
+struct RowMin {
+    value: f64,
+    partner: usize,
+}
+
+const NO_PARTNER: usize = usize::MAX;
+
+struct Arena {
+    fps: Vec<Fingerprint>,
+    states: Vec<SlotState>,
+    /// Lower-triangular effort matrix: `tri[i][j]` = Δ between slots i and j
+    /// for j < i.
+    tri: Vec<Vec<f64>>,
+    row_min: Vec<RowMin>,
+    active: Vec<usize>,
+    retired_count: usize,
+}
+
+impl Arena {
+    #[inline]
+    fn dist(&self, i: usize, j: usize) -> f64 {
+        debug_assert_ne!(i, j);
+        if i > j {
+            self.tri[i][j]
+        } else {
+            self.tri[j][i]
+        }
+    }
+
+    /// Recomputes the cached row minimum of slot `i` by scanning the active
+    /// set.
+    fn rescan_row_min(&mut self, i: usize) {
+        let mut best = RowMin {
+            value: f64::INFINITY,
+            partner: NO_PARTNER,
+        };
+        for &j in &self.active {
+            if j == i {
+                continue;
+            }
+            let d = self.dist(i, j);
+            if d < best.value || (d == best.value && j < best.partner) {
+                best = RowMin { value: d, partner: j };
+            }
+        }
+        self.row_min[i] = best;
+    }
+
+    /// Drops retired slots and remaps ids, shrinking the matrix.
+    fn compact(&mut self) {
+        let old_ids: Vec<usize> = (0..self.states.len())
+            .filter(|&i| self.states[i] != SlotState::Retired)
+            .collect();
+        let mut remap = vec![usize::MAX; self.states.len()];
+        for (new_id, &old_id) in old_ids.iter().enumerate() {
+            remap[old_id] = new_id;
+        }
+
+        let mut fps = Vec::with_capacity(old_ids.len());
+        let mut states = Vec::with_capacity(old_ids.len());
+        let mut tri = Vec::with_capacity(old_ids.len());
+        let mut row_min = Vec::with_capacity(old_ids.len());
+        for (new_i, &old_i) in old_ids.iter().enumerate() {
+            fps.push(std::mem::replace(
+                &mut self.fps[old_i],
+                Fingerprint::with_users(vec![0], vec![crate::model::Sample::point(0, 0, 0)])
+                    .expect("placeholder"),
+            ));
+            states.push(self.states[old_i]);
+            // Only Active–Active distances are ever read again; Done slots
+            // appended mid-run have empty rows, so copying their entries
+            // would be both wrong and out of bounds.
+            let i_active = self.states[old_i] == SlotState::Active;
+            let mut row = Vec::with_capacity(new_i);
+            for &old_j in &old_ids[..new_i] {
+                if i_active && self.states[old_j] == SlotState::Active {
+                    row.push(self.dist(old_i, old_j));
+                } else {
+                    row.push(f64::INFINITY);
+                }
+            }
+            tri.push(row);
+            let old_min = self.row_min[old_i];
+            row_min.push(RowMin {
+                value: old_min.value,
+                partner: if old_min.partner == NO_PARTNER {
+                    NO_PARTNER
+                } else {
+                    remap[old_min.partner]
+                },
+            });
+        }
+        self.active = self
+            .active
+            .iter()
+            .map(|&i| remap[i])
+            .collect();
+        self.fps = fps;
+        self.states = states;
+        self.tri = tri;
+        self.row_min = row_min;
+        self.retired_count = 0;
+    }
+}
+
+/// Runs GLOVE on a dataset, returning the k-anonymized dataset and run
+/// statistics.
+///
+/// # Errors
+///
+/// * [`GloveError::InvalidConfig`] for invalid configurations;
+/// * [`GloveError::Unsatisfiable`] when the dataset holds fewer than `k`
+///   subscribers (no grouping can reach k-anonymity);
+/// * [`GloveError::InvalidDataset`] for an empty dataset.
+pub fn anonymize(dataset: &Dataset, config: &GloveConfig) -> Result<GloveOutput, GloveError> {
+    config.validate()?;
+    if dataset.fingerprints.is_empty() {
+        return Err(GloveError::InvalidDataset(
+            "cannot anonymize an empty dataset".into(),
+        ));
+    }
+    if dataset.num_users() < config.k {
+        return Err(GloveError::Unsatisfiable(format!(
+            "dataset has {} subscribers, fewer than k = {}",
+            dataset.num_users(),
+            config.k
+        )));
+    }
+
+    let started = Instant::now();
+    let mut stats = GloveStats::default();
+    let threads = config.threads;
+    let cfg = &config.stretch;
+
+    // ---- Initialization (Alg. 1 lines 1–3) -------------------------------
+    let n = dataset.fingerprints.len();
+    let mut arena = Arena {
+        fps: dataset.fingerprints.clone(),
+        states: dataset
+            .fingerprints
+            .iter()
+            .map(|f| {
+                if f.multiplicity() >= config.k {
+                    SlotState::Done
+                } else {
+                    SlotState::Active
+                }
+            })
+            .collect(),
+        tri: Vec::with_capacity(n),
+        row_min: vec![
+            RowMin {
+                value: f64::INFINITY,
+                partner: NO_PARTNER,
+            };
+            n
+        ],
+        active: Vec::new(),
+        retired_count: 0,
+    };
+    arena.active = (0..n)
+        .filter(|&i| arena.states[i] == SlotState::Active)
+        .collect();
+
+    // Full triangular matrix, rows in parallel.
+    let fps_ref = &arena.fps;
+    arena.tri = par_map(n, threads, |i| {
+        let mut row = Vec::with_capacity(i);
+        for j in 0..i {
+            row.push(fingerprint_stretch(&fps_ref[i], &fps_ref[j], cfg));
+        }
+        row
+    });
+    stats.pairs_computed += (n as u64) * (n as u64 - 1) / 2;
+
+    let actives: Vec<usize> = arena.active.clone();
+    for &i in &actives {
+        arena.rescan_row_min(i);
+    }
+
+    // ---- Main loop (Alg. 1 lines 4–15) ------------------------------------
+    while arena.active.len() >= 2 {
+        // Global minimum over cached row minima.
+        let mut best = RowMin {
+            value: f64::INFINITY,
+            partner: NO_PARTNER,
+        };
+        let mut best_i = NO_PARTNER;
+        for &i in &arena.active {
+            let rm = arena.row_min[i];
+            if rm.value < best.value || (rm.value == best.value && i < best_i) {
+                best = rm;
+                best_i = i;
+            }
+        }
+        let (a, b) = (best_i, best.partner);
+        debug_assert_ne!(b, NO_PARTNER, "active set of >= 2 must yield a pair");
+
+        // Merge and retire (lines 5–8).
+        let outcome = merge_fingerprints(&arena.fps[a], &arena.fps[b], cfg, &config.suppression)?;
+        stats.merges += 1;
+        stats.suppressed.absorb(outcome.suppressed);
+        arena.states[a] = SlotState::Retired;
+        arena.states[b] = SlotState::Retired;
+        arena.retired_count += 2;
+        arena.active.retain(|&i| i != a && i != b);
+
+        let m = arena.fps.len();
+        let m_multiplicity = outcome.fingerprint.multiplicity();
+        arena.fps.push(outcome.fingerprint);
+        arena.tri.push(Vec::new());
+        arena.row_min.push(RowMin {
+            value: f64::INFINITY,
+            partner: NO_PARTNER,
+        });
+
+        if m_multiplicity >= config.k {
+            // The merged fingerprint is k-anonymous: it leaves the game
+            // (lines 10–14 skip recomputation).
+            arena.states.push(SlotState::Done);
+            // Rows that pointed at a or b must find a new minimum.
+            let stale: Vec<usize> = arena
+                .active
+                .iter()
+                .copied()
+                .filter(|&i| {
+                    let p = arena.row_min[i].partner;
+                    p == a || p == b
+                })
+                .collect();
+            for i in stale {
+                arena.rescan_row_min(i);
+            }
+        } else {
+            // Recompute efforts of the merged fingerprint to every remaining
+            // active fingerprint (lines 11–13), in parallel.
+            arena.states.push(SlotState::Active);
+            let partners = arena.active.clone();
+            let fps_ref = &arena.fps;
+            let dists = par_map(partners.len(), threads, |idx| {
+                fingerprint_stretch(&fps_ref[m], &fps_ref[partners[idx]], cfg)
+            });
+            stats.pairs_computed += partners.len() as u64;
+
+            // Fill the new slot's triangular row (it is the largest id, so
+            // everything fits in tri[m]).
+            arena.tri[m] = vec![f64::INFINITY; m];
+            let mut new_min = RowMin {
+                value: f64::INFINITY,
+                partner: NO_PARTNER,
+            };
+            for (idx, &j) in partners.iter().enumerate() {
+                let d = dists[idx];
+                arena.tri[m][j] = d;
+                if d < new_min.value || (d == new_min.value && j < new_min.partner) {
+                    new_min = RowMin { value: d, partner: j };
+                }
+            }
+            arena.row_min[m] = new_min;
+
+            // Update the partners' cached minima against the newcomer, and
+            // rescan rows whose minimum pointed at a retired slot.
+            for (idx, &j) in partners.iter().enumerate() {
+                let p = arena.row_min[j].partner;
+                if p == a || p == b {
+                    arena.rescan_row_min(j);
+                } else {
+                    let d = dists[idx];
+                    if d < arena.row_min[j].value
+                        || (d == arena.row_min[j].value && m < arena.row_min[j].partner)
+                    {
+                        arena.row_min[j] = RowMin { value: d, partner: m };
+                    }
+                }
+            }
+            arena.active.push(m);
+        }
+
+        // Keep memory proportional to the live set.
+        if arena.retired_count > 64 && arena.retired_count * 2 > arena.states.len() {
+            arena.compact();
+        }
+    }
+
+    // ---- Residual handling (not specified by Alg. 1; see DESIGN.md) -------
+    if let Some(&r) = arena.active.first() {
+        match config.residual {
+            ResidualPolicy::MergeIntoNearest => {
+                let done: Vec<usize> = (0..arena.states.len())
+                    .filter(|&i| arena.states[i] == SlotState::Done)
+                    .collect();
+                if done.is_empty() {
+                    // Fewer than k users in total was rejected up front, so
+                    // this can only happen if every user sits in the single
+                    // residual fingerprint — which then cannot be helped.
+                    return Err(GloveError::Unsatisfiable(format!(
+                        "no k-anonymous group exists to absorb the residual fingerprint \
+                         ({} users < k = {})",
+                        arena.fps[r].multiplicity(),
+                        config.k
+                    )));
+                }
+                let fps_ref = &arena.fps;
+                let dists = par_map(done.len(), threads, |idx| {
+                    fingerprint_stretch(&fps_ref[r], &fps_ref[done[idx]], cfg)
+                });
+                stats.pairs_computed += done.len() as u64;
+                let (best_idx, _) = dists
+                    .iter()
+                    .enumerate()
+                    .min_by(|(i, x), (j, y)| x.partial_cmp(y).unwrap().then(i.cmp(j)))
+                    .expect("done is non-empty");
+                let target = done[best_idx];
+                let outcome =
+                    merge_fingerprints(&arena.fps[target], &arena.fps[r], cfg, &config.suppression)?;
+                stats.merges += 1;
+                stats.suppressed.absorb(outcome.suppressed);
+                arena.fps[target] = outcome.fingerprint;
+                arena.states[r] = SlotState::Retired;
+            }
+            ResidualPolicy::Suppress => {
+                stats.discarded_fingerprints += 1;
+                stats.discarded_users += arena.fps[r].multiplicity() as u64;
+                arena.states[r] = SlotState::Retired;
+            }
+        }
+    }
+
+    // ---- Publication -------------------------------------------------------
+    let mut published = Vec::new();
+    for i in 0..arena.states.len() {
+        if arena.states[i] == SlotState::Done {
+            let mut fp = arena.fps[i].clone();
+            if config.reshape {
+                stats.reshaped_samples +=
+                    reshape_suppressed(&mut fp, &config.suppression, &mut stats.suppressed)?
+                        as u64;
+            }
+            published.push(fp);
+        }
+    }
+    stats.elapsed_s = started.elapsed().as_secs_f64();
+
+    let dataset = Dataset::new(format!("{}-glove-k{}", dataset.name, config.k), published)?;
+    debug_assert!(dataset.is_k_anonymous(config.k));
+    Ok(GloveOutput { dataset, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{GloveConfig, SuppressionThresholds};
+    use crate::model::Sample;
+
+    fn toy_dataset(n: usize) -> Dataset {
+        // n users in two spatial clusters with slightly jittered times.
+        let fps = (0..n)
+            .map(|u| {
+                let cluster = (u % 2) as i64;
+                Fingerprint::from_points(
+                    u as u32,
+                    &[
+                        (cluster * 50_000 + (u as i64 % 7) * 100, 0, 60 + u as u32 % 5),
+                        (cluster * 50_000 + 1_000, 2_000, 600 + (u as u32 % 11)),
+                        (cluster * 50_000, 4_000, 1_200 + (u as u32 % 3)),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        Dataset::new("toy", fps).unwrap()
+    }
+
+    #[test]
+    fn k2_yields_k_anonymity_and_keeps_all_users() {
+        let ds = toy_dataset(20);
+        let out = anonymize(&ds, &GloveConfig::default()).unwrap();
+        assert!(out.dataset.is_k_anonymous(2));
+        assert_eq!(out.dataset.num_users(), 20);
+        assert!(out.stats.merges >= 10);
+        assert!(out.stats.pairs_computed >= 190);
+    }
+
+    #[test]
+    fn k5_grouping() {
+        let ds = toy_dataset(23);
+        let cfg = GloveConfig {
+            k: 5,
+            ..GloveConfig::default()
+        };
+        let out = anonymize(&ds, &cfg).unwrap();
+        assert!(out.dataset.is_k_anonymous(5));
+        assert_eq!(out.dataset.num_users(), 23);
+        // 23 users in groups of >= 5 means at most 4 groups.
+        assert!(out.dataset.fingerprints.len() <= 4);
+    }
+
+    #[test]
+    fn odd_user_count_residual_merge() {
+        let ds = toy_dataset(7);
+        let out = anonymize(&ds, &GloveConfig::default()).unwrap();
+        assert!(out.dataset.is_k_anonymous(2));
+        assert_eq!(out.dataset.num_users(), 7);
+        // One group must have absorbed the residual (size 3).
+        assert!(out
+            .dataset
+            .fingerprints
+            .iter()
+            .any(|f| f.multiplicity() == 3));
+    }
+
+    #[test]
+    fn odd_user_count_residual_suppress() {
+        let ds = toy_dataset(7);
+        let cfg = GloveConfig {
+            residual: ResidualPolicy::Suppress,
+            ..GloveConfig::default()
+        };
+        let out = anonymize(&ds, &cfg).unwrap();
+        assert!(out.dataset.is_k_anonymous(2));
+        assert_eq!(
+            out.dataset.num_users() as u64 + out.stats.discarded_users,
+            7
+        );
+        assert_eq!(out.stats.discarded_fingerprints, 1);
+    }
+
+    #[test]
+    fn identical_fingerprints_merge_at_zero_cost() {
+        let samples = vec![Sample::point(0, 0, 100), Sample::point(5_000, 0, 700)];
+        let fps = (0..4)
+            .map(|u| Fingerprint::with_users(vec![u], samples.clone()).unwrap())
+            .collect();
+        let ds = Dataset::new("dup", fps).unwrap();
+        let out = anonymize(&ds, &GloveConfig::default()).unwrap();
+        // All published samples are exactly the originals: zero stretching.
+        for fp in &out.dataset.fingerprints {
+            assert_eq!(fp.samples(), &samples[..]);
+        }
+    }
+
+    #[test]
+    fn rejects_k_larger_than_population() {
+        let ds = toy_dataset(3);
+        let cfg = GloveConfig {
+            k: 5,
+            ..GloveConfig::default()
+        };
+        assert!(matches!(
+            anonymize(&ds, &cfg),
+            Err(GloveError::Unsatisfiable(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_dataset() {
+        let ds = Dataset::new("empty", vec![]).unwrap();
+        assert!(anonymize(&ds, &GloveConfig::default()).is_err());
+    }
+
+    #[test]
+    fn suppression_reduces_extents() {
+        // One user has an outlier sample extremely far away; with
+        // suppression the published boxes stay within the threshold.
+        let fps = vec![
+            Fingerprint::from_points(0, &[(0, 0, 10), (800_000, 0, 20)]).unwrap(),
+            Fingerprint::from_points(1, &[(200, 0, 12)]).unwrap(),
+        ];
+        let ds = Dataset::new("outlier", fps).unwrap();
+        let cfg = GloveConfig {
+            suppression: SuppressionThresholds {
+                max_space_m: Some(10_000),
+                max_time_min: None,
+            },
+            ..GloveConfig::default()
+        };
+        let out = anonymize(&ds, &cfg).unwrap();
+        assert!(out.stats.suppressed.samples >= 1);
+        for fp in &out.dataset.fingerprints {
+            for s in fp.samples() {
+                assert!(s.dx.max(s.dy) <= 10_000);
+            }
+        }
+    }
+
+    #[test]
+    fn published_fingerprints_have_disjoint_windows() {
+        let ds = toy_dataset(12);
+        let out = anonymize(&ds, &GloveConfig::default()).unwrap();
+        for fp in &out.dataset.fingerprints {
+            for w in fp.samples().windows(2) {
+                assert!(!w[0].overlaps_in_time(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn no_reshape_option_skips_reshaping() {
+        let ds = toy_dataset(12);
+        let cfg = GloveConfig {
+            reshape: false,
+            ..GloveConfig::default()
+        };
+        let out = anonymize(&ds, &cfg).unwrap();
+        assert_eq!(out.stats.reshaped_samples, 0);
+    }
+
+    #[test]
+    fn compaction_preserves_result() {
+        // Large enough run to trigger compaction paths with k = 5 (which
+        // keeps intermediate groups active).
+        let ds = toy_dataset(64);
+        let cfg = GloveConfig {
+            k: 5,
+            ..GloveConfig::default()
+        };
+        let out = anonymize(&ds, &cfg).unwrap();
+        assert!(out.dataset.is_k_anonymous(5));
+        assert_eq!(out.dataset.num_users(), 64);
+    }
+
+    #[test]
+    fn throughput_counter_sane() {
+        let ds = toy_dataset(10);
+        let out = anonymize(&ds, &GloveConfig::default()).unwrap();
+        assert!(out.stats.pairs_per_second() > 0.0);
+        assert!(out.stats.elapsed_s > 0.0);
+    }
+}

@@ -1,0 +1,285 @@
+//! The fingerprint merging operation of §6.2 (Fig. 6a).
+//!
+//! Merging two fingerprints produces one generalized fingerprint shared by
+//! the union of their subscribers, in two stages:
+//!
+//! 1. every sample of the **longer** fingerprint is matched to the sample of
+//!    the shorter fingerprint at minimum sample stretch effort (Eq. 1); all
+//!    samples of the longer fingerprint pointing at the same short sample are
+//!    generalized together with it (Eqs. 12–13);
+//! 2. the samples of the **shorter** fingerprint that received no match in
+//!    stage 1 are matched against the stage-1 results and generalized into
+//!    them.
+//!
+//! The result realizes *specialized generalization*: each published sample
+//! gets the minimal individual coarsening required to hide it, instead of a
+//! dataset-wide granularity cut.
+//!
+//! Optionally, the merge applies the suppression rule of §7.1: a sample
+//! whose generalization step would exceed the configured extents is dropped
+//! instead of merged (accounted in a [`SuppressionLedger`]).
+
+use crate::config::{StretchConfig, SuppressionThresholds};
+use crate::error::GloveError;
+use crate::model::{Fingerprint, Sample};
+use crate::stretch::sample_stretch;
+use crate::suppress::{violates, SuppressionLedger};
+
+/// Outcome of merging two fingerprints.
+#[derive(Debug, Clone)]
+pub struct MergeOutcome {
+    /// The merged, generalized fingerprint (users = union of inputs).
+    pub fingerprint: Fingerprint,
+    /// Suppression bookkeeping for this merge (zero when disabled).
+    pub suppressed: SuppressionLedger,
+}
+
+/// Merges two fingerprints per §6.2 with optional suppression.
+///
+/// Never fails in practice: the stage-1 bases guarantee at least one sample
+/// survives even under aggressive thresholds. The `Result` covers the
+/// invariant-violation path defensively.
+///
+/// ```
+/// use glove_core::merge::merge_fingerprints;
+/// use glove_core::prelude::*;
+///
+/// let a = Fingerprint::from_points(0, &[(0, 0, 480), (9_000, 0, 1_100)]).unwrap();
+/// let b = Fingerprint::from_points(1, &[(300, 100, 500)]).unwrap();
+/// let out = merge_fingerprints(&a, &b, &StretchConfig::default(),
+///                              &SuppressionThresholds::default()).unwrap();
+///
+/// // One generalized fingerprint shared by both subscribers, covering
+/// // every original sample.
+/// assert_eq!(out.fingerprint.users(), &[0, 1]);
+/// for s in a.samples().iter().chain(b.samples()) {
+///     assert!(out.fingerprint.samples().iter().any(|m| m.covers(s)));
+/// }
+/// ```
+pub fn merge_fingerprints(
+    a: &Fingerprint,
+    b: &Fingerprint,
+    cfg: &StretchConfig,
+    thresholds: &SuppressionThresholds,
+) -> Result<MergeOutcome, GloveError> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let n_long = long.multiplicity() as f64;
+    let n_short = short.multiplicity() as f64;
+    let mut ledger = SuppressionLedger::default();
+
+    // Stage 1: match each long sample to its minimum-effort short sample.
+    // `groups[j]` collects the indices of long samples pointing at short
+    // sample j.
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); short.len()];
+    for (i, s) in long.samples().iter().enumerate() {
+        let mut best = f64::INFINITY;
+        let mut best_j = 0;
+        for (j, q) in short.samples().iter().enumerate() {
+            let d = sample_stretch(s, n_long, q, n_short, cfg);
+            if d < best {
+                best = d;
+                best_j = j;
+            }
+        }
+        groups[best_j].push(i);
+    }
+
+    // Generalize each non-empty group around its short-sample base. The base
+    // is never dropped, so the merge result cannot be empty; long samples
+    // whose fold step would violate the thresholds are suppressed.
+    let mut merged: Vec<Sample> = Vec::with_capacity(short.len());
+    for (j, group) in groups.iter().enumerate() {
+        if group.is_empty() {
+            continue;
+        }
+        let mut acc = short.samples()[j];
+        for &i in group {
+            let candidate = acc.generalize_with(&long.samples()[i]);
+            if !thresholds.is_disabled() && violates(&candidate, thresholds) {
+                ledger.record(long.multiplicity());
+            } else {
+                acc = candidate;
+            }
+        }
+        merged.push(acc);
+    }
+
+    // Stage 2: short samples that received no match are folded into the
+    // nearest stage-1 result (or suppressed).
+    for (j, group) in groups.iter().enumerate() {
+        if !group.is_empty() {
+            continue;
+        }
+        let q = &short.samples()[j];
+        let mut best = f64::INFINITY;
+        let mut best_m = 0;
+        for (m, acc) in merged.iter().enumerate() {
+            // The stage-1 results already represent both groups; weight them
+            // with the combined multiplicity.
+            let d = sample_stretch(q, n_short, acc, n_long + n_short, cfg);
+            if d < best {
+                best = d;
+                best_m = m;
+            }
+        }
+        let candidate = merged[best_m].generalize_with(q);
+        if !thresholds.is_disabled() && violates(&candidate, thresholds) {
+            ledger.record(short.multiplicity());
+        } else {
+            merged[best_m] = candidate;
+        }
+    }
+
+    let mut users = Vec::with_capacity(long.multiplicity() + short.multiplicity());
+    users.extend_from_slice(long.users());
+    users.extend_from_slice(short.users());
+    let fingerprint = Fingerprint::from_parts(users, merged)?;
+
+    Ok(MergeOutcome {
+        fingerprint,
+        suppressed: ledger,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StretchConfig;
+
+    fn no_suppression() -> SuppressionThresholds {
+        SuppressionThresholds::default()
+    }
+
+    #[test]
+    fn merge_of_identical_fingerprints_is_identity_with_union_users() {
+        let cfg = StretchConfig::default();
+        let a = Fingerprint::from_points(0, &[(0, 0, 10), (5_000, 0, 400)]).unwrap();
+        let b = Fingerprint::with_users(vec![1], a.samples().to_vec()).unwrap();
+        let out = merge_fingerprints(&a, &b, &cfg, &no_suppression()).unwrap();
+        assert_eq!(out.fingerprint.samples(), a.samples());
+        assert_eq!(out.fingerprint.users(), &[0, 1]);
+        assert_eq!(out.suppressed.samples, 0);
+    }
+
+    #[test]
+    fn merged_fingerprint_covers_every_input_sample() {
+        let cfg = StretchConfig::default();
+        let a = Fingerprint::from_points(0, &[(0, 0, 10), (3_000, 1_000, 300), (0, 0, 900)])
+            .unwrap();
+        let b = Fingerprint::from_points(1, &[(500, 200, 15), (2_500, 900, 310)]).unwrap();
+        let out = merge_fingerprints(&a, &b, &cfg, &no_suppression()).unwrap();
+        for s in a.samples().iter().chain(b.samples()) {
+            assert!(
+                out.fingerprint
+                    .samples()
+                    .iter()
+                    .any(|m| m.covers(s)),
+                "no merged sample covers {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn result_length_equals_matched_short_samples() {
+        // Fig. 6a structure: 6 long samples map onto 3 of the 5 short
+        // samples; the 2 unmatched short samples fold into the results, so
+        // the merged fingerprint has 3 samples.
+        let cfg = StretchConfig::default();
+        let long = Fingerprint::from_points(
+            0,
+            &[(0, 0, 0), (100, 0, 2), (5_000, 5_000, 500), (5_100, 5_000, 505),
+              (10_000, 0, 1_000), (10_100, 0, 1_002)],
+        )
+        .unwrap();
+        let short = Fingerprint::from_points(
+            1,
+            &[(50, 0, 1), (5_050, 5_000, 502), (10_050, 0, 1_001), (60, 10, 3), (5_060, 5_010, 503)],
+        )
+        .unwrap();
+        let out = merge_fingerprints(&long, &short, &cfg, &no_suppression()).unwrap();
+        assert!(out.fingerprint.len() <= short.len());
+        assert!(!out.fingerprint.is_empty());
+    }
+
+    #[test]
+    fn merge_is_argument_order_insensitive() {
+        let cfg = StretchConfig::default();
+        let a = Fingerprint::from_points(0, &[(0, 0, 0), (1_000, 0, 100), (2_000, 0, 200)])
+            .unwrap();
+        let b = Fingerprint::from_points(1, &[(100, 0, 5), (1_900, 100, 210)]).unwrap();
+        let ab = merge_fingerprints(&a, &b, &cfg, &no_suppression()).unwrap();
+        let ba = merge_fingerprints(&b, &a, &cfg, &no_suppression()).unwrap();
+        assert_eq!(ab.fingerprint.samples(), ba.fingerprint.samples());
+        assert_eq!(ab.fingerprint.users(), ba.fingerprint.users());
+    }
+
+    #[test]
+    fn multiplicities_accumulate() {
+        let cfg = StretchConfig::default();
+        let a = Fingerprint::with_users(
+            vec![0, 1, 2],
+            vec![Sample::point(0, 0, 0)],
+        )
+        .unwrap();
+        let b = Fingerprint::with_users(vec![3, 4], vec![Sample::point(100, 0, 1)]).unwrap();
+        let out = merge_fingerprints(&a, &b, &cfg, &no_suppression()).unwrap();
+        assert_eq!(out.fingerprint.multiplicity(), 5);
+    }
+
+    #[test]
+    fn suppression_drops_outlier_and_records_it() {
+        let cfg = StretchConfig::default();
+        // Two near samples and one 100 km away; thresholds at 1 km drop the
+        // outlier's fold.
+        let a = Fingerprint::from_points(0, &[(0, 0, 0), (100_000, 0, 5)]).unwrap();
+        let b = Fingerprint::from_points(1, &[(200, 0, 2)]).unwrap();
+        let thresholds = SuppressionThresholds {
+            max_space_m: Some(1_000),
+            max_time_min: None,
+        };
+        let out = merge_fingerprints(&a, &b, &cfg, &thresholds).unwrap();
+        assert_eq!(out.suppressed.samples, 1);
+        assert_eq!(out.suppressed.user_samples, 1);
+        // The surviving sample stays small.
+        assert!(out
+            .fingerprint
+            .samples()
+            .iter()
+            .all(|s| s.dx.max(s.dy) <= 1_000));
+    }
+
+    #[test]
+    fn suppression_never_empties_the_result() {
+        let cfg = StretchConfig::default();
+        // Absurdly tight thresholds: everything violates, but the stage-1
+        // bases survive.
+        let a = Fingerprint::from_points(0, &[(0, 0, 0), (50_000, 50_000, 5_000)]).unwrap();
+        let b = Fingerprint::from_points(1, &[(100_000, 0, 10_000)]).unwrap();
+        let thresholds = SuppressionThresholds {
+            max_space_m: Some(100),
+            max_time_min: Some(1),
+        };
+        let out = merge_fingerprints(&a, &b, &cfg, &thresholds).unwrap();
+        assert!(!out.fingerprint.is_empty());
+        assert_eq!(out.suppressed.samples, 2 + 0);
+    }
+
+    #[test]
+    fn weighted_matching_respects_multiplicity() {
+        // A short fingerprint with many users should attract matches that
+        // minimize *their* loss; we just verify the merge succeeds and the
+        // result covers whatever was not suppressed.
+        let cfg = StretchConfig::default();
+        let a = Fingerprint::with_users(
+            (0..10).collect::<Vec<_>>(),
+            vec![Sample::point(0, 0, 0), Sample::point(0, 0, 100)],
+        )
+        .unwrap();
+        let b = Fingerprint::with_users(vec![10], vec![Sample::point(300, 0, 50)]).unwrap();
+        let out = merge_fingerprints(&a, &b, &cfg, &no_suppression()).unwrap();
+        assert_eq!(out.fingerprint.multiplicity(), 11);
+        for s in a.samples().iter().chain(b.samples()) {
+            assert!(out.fingerprint.samples().iter().any(|m| m.covers(s)));
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! The movement micro-data model of §2.1 and §4.1.
+//!
+//! A [`Sample`] is the spatiotemporal information attached to one logged
+//! network event, generalized to a *box*: the spatial tuple
+//! `σ = (x, dx, y, dy)` bounds the geographical rectangle where the user was,
+//! and the temporal tuple `τ = (t, dt)` bounds when — the user was inside `σ`
+//! at some instant in `[t, t + dt)`.
+//!
+//! A [`Fingerprint`] is the complete, time-ordered set of samples of one
+//! subscriber — or, after GLOVE merges fingerprints, of a *group* of
+//! subscribers who have become indistinguishable. A [`Dataset`] is a
+//! collection of fingerprints.
+//!
+//! All coordinates are integers: meters for space (grid-aligned; the paper's
+//! native granularity is `dx = dy = 100 m`) and minutes for time (native
+//! `dt = 1 min`).
+
+use crate::error::GloveError;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifier of one subscriber (a pseudo-identifier in PPDP terms: it names
+/// a record, not a person).
+pub type UserId = u32;
+
+/// The paper's native spatial granularity: the 100 m grid pitch of §3.
+pub const NATIVE_PITCH_M: u32 = 100;
+/// The paper's native temporal granularity: one minute (§3).
+pub const NATIVE_QUANTUM_MIN: u32 = 1;
+
+/// One spatiotemporal sample, generalized to a box.
+///
+/// Invariants (enforced by [`Sample::new`]): `dx ≥ 1`, `dy ≥ 1`, `dt ≥ 1`,
+/// and the spatial extent fits in `i64` arithmetic.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sample {
+    /// West edge of the spatial box, meters.
+    pub x: i64,
+    /// South edge of the spatial box, meters.
+    pub y: i64,
+    /// Width of the spatial box, meters (`≥ 1`).
+    pub dx: u32,
+    /// Height of the spatial box, meters (`≥ 1`).
+    pub dy: u32,
+    /// Start of the time window, minutes since the dataset epoch.
+    pub t: u32,
+    /// Length of the time window, minutes (`≥ 1`).
+    pub dt: u32,
+}
+
+impl fmt::Debug for Sample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Sample[x={}+{}, y={}+{}, t={}+{}]",
+            self.x, self.dx, self.y, self.dy, self.t, self.dt
+        )
+    }
+}
+
+impl Sample {
+    /// Creates a sample, validating the box invariants.
+    pub fn new(x: i64, y: i64, dx: u32, dy: u32, t: u32, dt: u32) -> Result<Self, GloveError> {
+        if dx == 0 || dy == 0 || dt == 0 {
+            return Err(GloveError::InvalidSample(
+                "sample extents dx, dy, dt must all be >= 1".into(),
+            ));
+        }
+        Ok(Self { x, y, dx, dy, t, dt })
+    }
+
+    /// Creates a native-granularity point sample: a 100 m × 100 m cell
+    /// observed during one minute — the finest precision of the paper's
+    /// datasets (§3).
+    pub fn point(x: i64, y: i64, t: u32) -> Self {
+        Self {
+            x,
+            y,
+            dx: NATIVE_PITCH_M,
+            dy: NATIVE_PITCH_M,
+            t,
+            dt: NATIVE_QUANTUM_MIN,
+        }
+    }
+
+    /// East edge (exclusive) of the spatial box.
+    #[inline]
+    pub fn x_end(&self) -> i64 {
+        self.x + i64::from(self.dx)
+    }
+
+    /// North edge (exclusive) of the spatial box.
+    #[inline]
+    pub fn y_end(&self) -> i64 {
+        self.y + i64::from(self.dy)
+    }
+
+    /// End (exclusive) of the time window, minutes.
+    #[inline]
+    pub fn t_end(&self) -> u64 {
+        u64::from(self.t) + u64::from(self.dt)
+    }
+
+    /// True if this sample's box fully contains `other`'s box in space and
+    /// time — the post-condition of the merge in Eqs. (12)–(13).
+    pub fn covers(&self, other: &Sample) -> bool {
+        self.x <= other.x
+            && self.y <= other.y
+            && self.x_end() >= other.x_end()
+            && self.y_end() >= other.y_end()
+            && self.t <= other.t
+            && self.t_end() >= other.t_end()
+    }
+
+    /// The generalization of Eqs. (12)–(13): the smallest box covering both
+    /// samples along every axis.
+    pub fn generalize_with(&self, other: &Sample) -> Sample {
+        let x = self.x.min(other.x);
+        let y = self.y.min(other.y);
+        let dx = (self.x_end().max(other.x_end()) - x) as u32;
+        let dy = (self.y_end().max(other.y_end()) - y) as u32;
+        let t = self.t.min(other.t);
+        let dt = (self.t_end().max(other.t_end()) - u64::from(t)) as u32;
+        Sample { x, y, dx, dy, t, dt }
+    }
+
+    /// Mean spatial side length `(dx + dy) / 2` in meters — the "position
+    /// accuracy" of a published sample (original data: 100 m). See DESIGN.md
+    /// §1 for why this estimator is used for the paper's accuracy axes.
+    #[inline]
+    pub fn position_accuracy_m(&self) -> f64 {
+        (f64::from(self.dx) + f64::from(self.dy)) / 2.0
+    }
+
+    /// Time window length in minutes — the "time accuracy" of a published
+    /// sample (original data: 1 min).
+    #[inline]
+    pub fn time_accuracy_min(&self) -> f64 {
+        f64::from(self.dt)
+    }
+}
+
+impl Sample {
+    /// True if the time windows of the two samples overlap (share at least
+    /// one instant) — the condition that triggers reshaping (§6.2).
+    #[inline]
+    pub fn overlaps_in_time(&self, other: &Sample) -> bool {
+        u64::from(self.t) < other.t_end() && u64::from(other.t) < self.t_end()
+    }
+}
+
+/// The mobile fingerprint of one subscriber — or of a group of subscribers
+/// whose fingerprints have been merged and are now identical.
+///
+/// Invariants: at least one sample; samples sorted by `(t, x, y)`; at least
+/// one user; users sorted and unique.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Fingerprint {
+    users: Vec<UserId>,
+    samples: Vec<Sample>,
+}
+
+impl Fingerprint {
+    /// Creates a single-subscriber fingerprint from its samples.
+    pub fn new(user: UserId, samples: Vec<Sample>) -> Result<Self, GloveError> {
+        Self::with_users(vec![user], samples)
+    }
+
+    /// Creates a fingerprint already shared by a group of subscribers —
+    /// used by the merge machinery and by dataset deserialization.
+    pub fn with_users(mut users: Vec<UserId>, mut samples: Vec<Sample>) -> Result<Self, GloveError> {
+        if samples.is_empty() {
+            return Err(GloveError::InvalidFingerprint(
+                "a fingerprint must contain at least one sample".into(),
+            ));
+        }
+        if users.is_empty() {
+            return Err(GloveError::InvalidFingerprint(
+                "a fingerprint must belong to at least one user".into(),
+            ));
+        }
+        users.sort_unstable();
+        users.dedup();
+        samples.sort_unstable_by_key(|s| (s.t, s.x, s.y));
+        Ok(Self { users, samples })
+    }
+
+    /// Convenience constructor from native-granularity `(x, y, t)` points.
+    pub fn from_points(user: UserId, points: &[(i64, i64, u32)]) -> Result<Self, GloveError> {
+        let samples = points
+            .iter()
+            .map(|&(x, y, t)| Sample::point(x, y, t))
+            .collect();
+        Self::new(user, samples)
+    }
+
+    /// The subscribers hidden in this fingerprint (`n_a` in the paper's
+    /// weighting of Eqs. 4 and 7).
+    #[inline]
+    pub fn users(&self) -> &[UserId] {
+        &self.users
+    }
+
+    /// Number of subscribers sharing this fingerprint (`a.k` in Alg. 1).
+    #[inline]
+    pub fn multiplicity(&self) -> usize {
+        self.users.len()
+    }
+
+    /// The time-ordered samples (`m_a` of them).
+    #[inline]
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Number of samples (`m_a` in Eq. 10).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Fingerprints are never empty; provided for API completeness.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Replaces the sample list (used by reshape/suppression). Keeps the
+    /// invariants by re-sorting and rejecting emptiness.
+    pub(crate) fn replace_samples(&mut self, mut samples: Vec<Sample>) -> Result<(), GloveError> {
+        if samples.is_empty() {
+            return Err(GloveError::InvalidFingerprint(
+                "operation would leave a fingerprint with no samples".into(),
+            ));
+        }
+        samples.sort_unstable_by_key(|s| (s.t, s.x, s.y));
+        self.samples = samples;
+        Ok(())
+    }
+
+    /// Builds a merged fingerprint from parts (crate-internal; callers
+    /// guarantee non-emptiness through the merge logic).
+    pub(crate) fn from_parts(users: Vec<UserId>, samples: Vec<Sample>) -> Result<Self, GloveError> {
+        Self::with_users(users, samples)
+    }
+}
+
+/// A dataset of mobile fingerprints — the database `M` of Alg. 1.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"civ-like"`).
+    pub name: String,
+    /// The fingerprints (records) of the dataset.
+    pub fingerprints: Vec<Fingerprint>,
+}
+
+impl Dataset {
+    /// Creates a dataset, checking that no subscriber appears in two
+    /// fingerprints.
+    pub fn new(name: impl Into<String>, fingerprints: Vec<Fingerprint>) -> Result<Self, GloveError> {
+        let mut seen = BTreeSet::new();
+        for fp in &fingerprints {
+            for &u in fp.users() {
+                if !seen.insert(u) {
+                    return Err(GloveError::InvalidDataset(format!(
+                        "user {u} appears in more than one fingerprint"
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            name: name.into(),
+            fingerprints,
+        })
+    }
+
+    /// Total number of subscribers across all fingerprints.
+    pub fn num_users(&self) -> usize {
+        self.fingerprints.iter().map(Fingerprint::multiplicity).sum()
+    }
+
+    /// Total number of published samples (each fingerprint's samples counted
+    /// once per record, not per subscriber).
+    pub fn num_samples(&self) -> usize {
+        self.fingerprints.iter().map(Fingerprint::len).sum()
+    }
+
+    /// Total number of *user-samples*: fingerprint samples weighted by how
+    /// many subscribers share them. This is the denominator used for the
+    /// suppression percentages of §7.1 / Table 2.
+    pub fn num_user_samples(&self) -> usize {
+        self.fingerprints
+            .iter()
+            .map(|f| f.len() * f.multiplicity())
+            .sum()
+    }
+
+    /// End of the dataset observation window: the maximum `t + dt` over all
+    /// samples, in minutes.
+    pub fn span_min(&self) -> u64 {
+        self.fingerprints
+            .iter()
+            .flat_map(|f| f.samples())
+            .map(Sample::t_end)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True if every fingerprint hides at least `k` subscribers — the
+    /// k-anonymity criterion of §2.4.
+    pub fn is_k_anonymous(&self, k: usize) -> bool {
+        self.fingerprints.iter().all(|f| f.multiplicity() >= k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_validation() {
+        assert!(Sample::new(0, 0, 0, 100, 0, 1).is_err());
+        assert!(Sample::new(0, 0, 100, 0, 0, 1).is_err());
+        assert!(Sample::new(0, 0, 100, 100, 0, 0).is_err());
+        assert!(Sample::new(0, 0, 100, 100, 0, 1).is_ok());
+    }
+
+    #[test]
+    fn point_sample_has_native_granularity() {
+        let s = Sample::point(500, -300, 42);
+        assert_eq!((s.dx, s.dy, s.dt), (100, 100, 1));
+        assert_eq!(s.x_end(), 600);
+        assert_eq!(s.y_end(), -200);
+        assert_eq!(s.t_end(), 43);
+    }
+
+    #[test]
+    fn generalize_covers_both_inputs() {
+        let a = Sample::point(0, 0, 10);
+        let b = Sample::point(1_000, -500, 200);
+        let m = a.generalize_with(&b);
+        assert!(m.covers(&a));
+        assert!(m.covers(&b));
+        assert_eq!(m.x, 0);
+        assert_eq!(m.y, -500);
+        assert_eq!(m.x_end(), 1_100);
+        assert_eq!(m.y_end(), 100);
+        assert_eq!(m.t, 10);
+        assert_eq!(m.t_end(), 201);
+    }
+
+    #[test]
+    fn generalize_is_commutative_and_idempotent() {
+        let a = Sample::new(10, 20, 300, 400, 5, 6).unwrap();
+        let b = Sample::new(-5, 100, 50, 60, 9, 30).unwrap();
+        assert_eq!(a.generalize_with(&b), b.generalize_with(&a));
+        assert_eq!(a.generalize_with(&a), a);
+    }
+
+    #[test]
+    fn time_overlap_semantics() {
+        let a = Sample::new(0, 0, 100, 100, 10, 5).unwrap(); // [10, 15)
+        let b = Sample::new(0, 0, 100, 100, 14, 5).unwrap(); // [14, 19)
+        let c = Sample::new(0, 0, 100, 100, 15, 5).unwrap(); // [15, 20)
+        assert!(a.overlaps_in_time(&b));
+        assert!(b.overlaps_in_time(&a));
+        assert!(!a.overlaps_in_time(&c), "touching windows do not overlap");
+    }
+
+    #[test]
+    fn fingerprint_sorts_and_validates() {
+        assert!(Fingerprint::new(0, vec![]).is_err());
+        let f = Fingerprint::from_points(7, &[(0, 0, 30), (0, 0, 10), (0, 0, 20)]).unwrap();
+        let ts: Vec<u32> = f.samples().iter().map(|s| s.t).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+        assert_eq!(f.multiplicity(), 1);
+        assert_eq!(f.users(), &[7]);
+    }
+
+    #[test]
+    fn dataset_rejects_duplicate_users() {
+        let f1 = Fingerprint::from_points(1, &[(0, 0, 0)]).unwrap();
+        let f2 = Fingerprint::from_points(1, &[(100, 0, 5)]).unwrap();
+        assert!(Dataset::new("dup", vec![f1, f2]).is_err());
+    }
+
+    #[test]
+    fn dataset_counters() {
+        let f1 = Fingerprint::from_points(1, &[(0, 0, 0), (0, 0, 10)]).unwrap();
+        let f2 = Fingerprint::with_users(
+            vec![2, 3],
+            vec![Sample::point(0, 0, 5), Sample::point(0, 0, 7), Sample::point(0, 0, 9)],
+        )
+        .unwrap();
+        let ds = Dataset::new("t", vec![f1, f2]).unwrap();
+        assert_eq!(ds.num_users(), 3);
+        assert_eq!(ds.num_samples(), 5);
+        assert_eq!(ds.num_user_samples(), 2 + 3 * 2);
+        assert_eq!(ds.span_min(), 11);
+        assert!(ds.is_k_anonymous(1));
+        assert!(!ds.is_k_anonymous(2));
+    }
+}

@@ -1,0 +1,183 @@
+//! Reshaping of merged fingerprints (§6.2, Fig. 6b).
+//!
+//! When the minimum stretch effort is dominated by the spatial component,
+//! merging can produce samples whose time windows overlap while referring to
+//! different places — formally correct but hard to read or analyze. The
+//! paper resolves "all temporal overlappings, either partial or complete, by
+//! creating a new sample for each such case", covering the overlapping time
+//! intervals and merging the geographical areas of the samples it replaces
+//! (per Eqs. 12–13).
+//!
+//! [`reshape`] therefore collapses every maximal run of mutually
+//! time-overlapping samples into a single generalized sample, leaving the
+//! fingerprint with pairwise-disjoint time windows. Reshaping costs spatial
+//! granularity but improves usability; GLOVE applies it to published
+//! fingerprints.
+
+use crate::config::SuppressionThresholds;
+use crate::error::GloveError;
+use crate::model::{Fingerprint, Sample};
+use crate::suppress::{violates, SuppressionLedger};
+
+/// Resolves all temporal overlaps in a fingerprint by generalizing
+/// overlapping samples together. Returns the number of samples absorbed
+/// (input length minus output length).
+pub fn reshape(fingerprint: &mut Fingerprint) -> Result<usize, GloveError> {
+    let merged = reshape_samples(fingerprint.samples());
+    let absorbed = fingerprint.len() - merged.len();
+    fingerprint.replace_samples(merged)?;
+    Ok(absorbed)
+}
+
+/// Threshold-aware reshaping: overlap resolution uses the same Eqs. (12)–(13)
+/// generalization as merging, so the suppression rule of §7.1 applies to it
+/// as well — an overlapping sample whose union box would exceed the
+/// configured extents is *dropped* (suppressed) instead of merged, keeping
+/// the guarantee that every published sample respects the thresholds.
+///
+/// Returns the number of samples absorbed by generalization; suppressed
+/// drops are recorded in `ledger` weighted by `multiplicity`.
+pub fn reshape_suppressed(
+    fingerprint: &mut Fingerprint,
+    thresholds: &SuppressionThresholds,
+    ledger: &mut SuppressionLedger,
+) -> Result<usize, GloveError> {
+    if thresholds.is_disabled() {
+        return reshape(fingerprint);
+    }
+    let multiplicity = fingerprint.multiplicity();
+    let mut out: Vec<Sample> = Vec::with_capacity(fingerprint.len());
+    let mut absorbed = 0usize;
+    for s in fingerprint.samples() {
+        match out.last_mut() {
+            Some(last) if s.overlaps_in_time(last) => {
+                let candidate = last.generalize_with(s);
+                if violates(&candidate, thresholds) {
+                    // Union would blow the budget: suppress the incoming
+                    // sample (the emitted one already satisfies the
+                    // thresholds and keeps the fingerprint non-empty).
+                    ledger.record(multiplicity);
+                } else {
+                    *last = candidate;
+                    absorbed += 1;
+                }
+            }
+            _ => out.push(*s),
+        }
+    }
+    fingerprint.replace_samples(out)?;
+    Ok(absorbed)
+}
+
+/// Pure-function core of [`reshape`]: samples must be sorted by start time
+/// (a [`Fingerprint`] invariant).
+pub fn reshape_samples(samples: &[Sample]) -> Vec<Sample> {
+    let mut out: Vec<Sample> = Vec::with_capacity(samples.len());
+    for s in samples {
+        match out.last_mut() {
+            Some(last) if s.overlaps_in_time(last) => {
+                *last = last.generalize_with(s);
+            }
+            _ => out.push(*s),
+        }
+    }
+    // A generalization can extend `last` far enough to overlap samples that
+    // were already emitted? No: input is sorted by start time and we only
+    // ever grow the *last* element's end, so earlier emitted samples end at
+    // or before the current one's start. A single pass suffices; assert the
+    // postcondition in debug builds.
+    debug_assert!(out
+        .windows(2)
+        .all(|w| !w[0].overlaps_in_time(&w[1])));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(samples: Vec<Sample>) -> Fingerprint {
+        Fingerprint::with_users(vec![0], samples).unwrap()
+    }
+
+    #[test]
+    fn disjoint_windows_untouched() {
+        let samples = vec![
+            Sample::new(0, 0, 100, 100, 0, 10).unwrap(),
+            Sample::new(5_000, 0, 100, 100, 10, 10).unwrap(),
+            Sample::new(0, 9_000, 100, 100, 50, 5).unwrap(),
+        ];
+        let mut f = fp(samples.clone());
+        let absorbed = reshape(&mut f).unwrap();
+        assert_eq!(absorbed, 0);
+        assert_eq!(f.samples(), &samples[..]);
+    }
+
+    #[test]
+    fn partial_overlap_collapses_to_union() {
+        let a = Sample::new(0, 0, 100, 100, 0, 10).unwrap(); // [0, 10)
+        let b = Sample::new(5_000, 2_000, 100, 100, 5, 10).unwrap(); // [5, 15)
+        let mut f = fp(vec![a, b]);
+        let absorbed = reshape(&mut f).unwrap();
+        assert_eq!(absorbed, 1);
+        assert_eq!(f.len(), 1);
+        let m = f.samples()[0];
+        assert!(m.covers(&a) && m.covers(&b));
+        assert_eq!(m.t, 0);
+        assert_eq!(m.t_end(), 15);
+    }
+
+    #[test]
+    fn touching_windows_do_not_merge() {
+        let a = Sample::new(0, 0, 100, 100, 0, 10).unwrap(); // [0, 10)
+        let b = Sample::new(9_000, 0, 100, 100, 10, 10).unwrap(); // [10, 20)
+        let mut f = fp(vec![a, b]);
+        assert_eq!(reshape(&mut f).unwrap(), 0);
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn chain_of_overlaps_collapses_transitively() {
+        // [0,10), [8,18), [16,26): pairwise chain — all three must collapse.
+        let samples = vec![
+            Sample::new(0, 0, 100, 100, 0, 10).unwrap(),
+            Sample::new(1_000, 0, 100, 100, 8, 10).unwrap(),
+            Sample::new(2_000, 0, 100, 100, 16, 10).unwrap(),
+        ];
+        let mut f = fp(samples);
+        assert_eq!(reshape(&mut f).unwrap(), 2);
+        assert_eq!(f.len(), 1);
+        let m = f.samples()[0];
+        assert_eq!((m.t, m.t_end()), (0, 26));
+        assert_eq!((m.x, m.x_end()), (0, 2_100));
+    }
+
+    #[test]
+    fn containment_collapses() {
+        // A long window containing a short one.
+        let outer = Sample::new(0, 0, 100, 100, 0, 100).unwrap();
+        let inner = Sample::new(50_000, 0, 100, 100, 40, 5).unwrap();
+        let mut f = fp(vec![outer, inner]);
+        assert_eq!(reshape(&mut f).unwrap(), 1);
+        let m = f.samples()[0];
+        assert!(m.covers(&outer) && m.covers(&inner));
+    }
+
+    #[test]
+    fn output_windows_are_pairwise_disjoint() {
+        // Messy mix of overlapping runs.
+        let samples = vec![
+            Sample::new(0, 0, 100, 100, 0, 30).unwrap(),
+            Sample::new(500, 0, 100, 100, 10, 10).unwrap(),
+            Sample::new(0, 500, 100, 100, 25, 10).unwrap(),
+            Sample::new(0, 0, 100, 100, 40, 5).unwrap(),
+            Sample::new(900, 900, 100, 100, 44, 10).unwrap(),
+            Sample::new(0, 0, 100, 100, 100, 1).unwrap(),
+        ];
+        let mut f = fp(samples);
+        reshape(&mut f).unwrap();
+        for w in f.samples().windows(2) {
+            assert!(!w[0].overlaps_in_time(&w[1]));
+        }
+    }
+}

@@ -1,0 +1,512 @@
+//! The stretch-effort algebra of §4: how much accuracy must be sacrificed to
+//! merge samples (Eqs. 1–9) and fingerprints (Eq. 10) through
+//! generalization.
+//!
+//! * [`sample_stretch`] — `δ_ab(i,j) = w_σ φ_σ + w_τ φ_τ ∈ [0, 1]`;
+//! * [`sample_stretch_parts`] — the same, decomposed into its spatial and
+//!   temporal addends (needed by the §5.3 analysis);
+//! * [`fingerprint_stretch`] — `Δ_ab`: each sample of the *longer*
+//!   fingerprint matched to its minimum-effort partner in the shorter one,
+//!   averaged;
+//! * [`fingerprint_stretch_decomposed`] — `Δ_ab` plus the per-sample matched
+//!   efforts, feeding the tail-weight analysis of Fig. 5.
+//!
+//! The per-pair inner loop is the hottest code in the workspace (it runs
+//! `O(|M|² · n̄²)` times); [`fingerprint_stretch`] therefore uses a
+//! temporal-gap lower bound to prune candidates, which is checked against the
+//! naive scan by property tests.
+
+use crate::config::StretchConfig;
+use crate::model::{Fingerprint, Sample};
+
+/// The spatial covering stretch of Eqs. (4)–(6), *before* capping and
+/// normalization: the population-weighted sum of how far `a`'s box must grow
+/// to cover `b`'s and vice versa, in meters.
+///
+/// `na` and `nb` are the multiplicities of the (possibly already merged)
+/// fingerprints the samples belong to.
+#[inline]
+pub fn raw_spatial_stretch_m(a: &Sample, na: f64, b: &Sample, nb: f64) -> f64 {
+    // l_σ(a, b): westward/southward growth of a to reach b's lower edges.
+    // r_σ(a, b): eastward/northward growth of a to reach b's upper edges.
+    let l_ab = (a.x - a.x.min(b.x)) + (a.y - a.y.min(b.y));
+    let r_ab = (a.x_end().max(b.x_end()) - a.x_end()) + (a.y_end().max(b.y_end()) - a.y_end());
+    let l_ba = (b.x - a.x.min(b.x)) + (b.y - a.y.min(b.y));
+    let r_ba = (a.x_end().max(b.x_end()) - b.x_end()) + (a.y_end().max(b.y_end()) - b.y_end());
+    ((l_ab + r_ab) as f64 * na + (l_ba + r_ba) as f64 * nb) / (na + nb)
+}
+
+/// The temporal covering stretch of Eqs. (7)–(9), before capping and
+/// normalization, in minutes.
+#[inline]
+pub fn raw_temporal_stretch_min(a: &Sample, na: f64, b: &Sample, nb: f64) -> f64 {
+    let (at, ae) = (i64::from(a.t), a.t_end() as i64);
+    let (bt, be) = (i64::from(b.t), b.t_end() as i64);
+    let l_ab = at - at.min(bt);
+    let r_ab = ae.max(be) - ae;
+    let l_ba = bt - at.min(bt);
+    let r_ba = ae.max(be) - be;
+    ((l_ab + r_ab) as f64 * na + (l_ba + r_ba) as f64 * nb) / (na + nb)
+}
+
+/// The two addends of Eq. (1): `(w_σ φ_σ, w_τ φ_τ)`, each already capped to
+/// its saturation threshold (Eqs. 2–3) and weighted.
+#[inline]
+pub fn sample_stretch_parts(
+    a: &Sample,
+    na: f64,
+    b: &Sample,
+    nb: f64,
+    cfg: &StretchConfig,
+) -> (f64, f64) {
+    let (na, nb) = if cfg.population_weighting {
+        (na, nb)
+    } else {
+        (1.0, 1.0)
+    };
+    let phi_s = (raw_spatial_stretch_m(a, na, b, nb) / cfg.phi_max_space_m).min(1.0);
+    let phi_t = (raw_temporal_stretch_min(a, na, b, nb) / cfg.phi_max_time_min).min(1.0);
+    (cfg.w_space * phi_s, cfg.w_time * phi_t)
+}
+
+/// The sample stretch effort `δ_ab(i,j)` of Eq. (1): the loss of accuracy
+/// required to merge two samples through generalization, in `[0, 1]`.
+///
+/// `δ = 0` iff the two boxes are identical; `δ = 1` means both the spatial
+/// and temporal stretches saturate their caps and the merged sample would be
+/// uninformative.
+#[inline]
+pub fn sample_stretch(a: &Sample, na: f64, b: &Sample, nb: f64, cfg: &StretchConfig) -> f64 {
+    let (s, t) = sample_stretch_parts(a, na, b, nb, cfg);
+    s + t
+}
+
+/// Convenience wrapper for unweighted (single-subscriber) samples.
+#[inline]
+pub fn sample_stretch_unweighted(a: &Sample, b: &Sample, cfg: &StretchConfig) -> f64 {
+    sample_stretch(a, 1.0, b, 1.0, cfg)
+}
+
+/// Separation between two time windows in minutes (0 when they overlap).
+///
+/// This is a lower bound on the raw temporal stretch of Eqs. (7)–(9): to
+/// merge two samples, at least the gap between their windows must be covered
+/// on both sides, and the weighted sum of per-side stretches is minimized at
+/// exactly `gap` (weights sum to 1).
+#[inline]
+pub fn time_gap_min(a: &Sample, b: &Sample) -> f64 {
+    let (at, ae) = (i64::from(a.t), a.t_end() as i64);
+    let (bt, be) = (i64::from(b.t), b.t_end() as i64);
+    ((bt - ae).max(at - be)).max(0) as f64
+}
+
+/// The fingerprint stretch effort `Δ_ab` of Eq. (10): for each sample of the
+/// longer fingerprint, the minimum sample stretch effort to the shorter
+/// fingerprint; averaged over the longer fingerprint.
+///
+/// The multiplicities of `a` and `b` weight the per-sample efforts per
+/// Eqs. (4) and (7), which is how Alg. 1 accounts for the number of
+/// subscribers affected when merging already-merged fingerprints.
+///
+/// ```
+/// use glove_core::prelude::*;
+///
+/// let a = Fingerprint::from_points(0, &[(0, 0, 480), (5_000, 0, 1_020)]).unwrap();
+/// let b = Fingerprint::from_points(1, &[(200, 0, 490), (5_100, 0, 1_050)]).unwrap();
+/// let cfg = StretchConfig::default();
+///
+/// let d = fingerprint_stretch(&a, &b, &cfg);
+/// assert!(d > 0.0 && d < 0.1, "similar routines are cheap to merge: {d}");
+/// assert_eq!(d, fingerprint_stretch(&b, &a, &cfg), "Δ is symmetric");
+/// ```
+pub fn fingerprint_stretch(a: &Fingerprint, b: &Fingerprint, cfg: &StretchConfig) -> f64 {
+    match a.len().cmp(&b.len()) {
+        std::cmp::Ordering::Greater => directed_stretch(a, b, cfg),
+        std::cmp::Ordering::Less => directed_stretch(b, a, cfg),
+        // Eq. (10) leaves the orientation ambiguous for equal lengths (the
+        // paper computes the matrix once per unordered pair, so it never
+        // observes the asymmetry). We canonicalize by averaging the two
+        // directions, which keeps Δ symmetric in its arguments.
+        std::cmp::Ordering::Equal => {
+            (directed_stretch(a, b, cfg) + directed_stretch(b, a, cfg)) / 2.0
+        }
+    }
+}
+
+/// Below this many samples in the shorter fingerprint, a branch-light
+/// linear scan of the inner loop beats the pruned two-sided walk (measured
+/// on sparse ~90-sample CDR fingerprints, where pruning eliminates little
+/// and its bookkeeping dominates). Dense fingerprints — the paper's
+/// hundreds-of-samples-per-week regime — go through the pruned path.
+const PRUNE_MIN_SHORT_LEN: usize = 128;
+
+/// One direction of Eq. (10): match every sample of `long` into `short`.
+fn directed_stretch(long: &Fingerprint, short: &Fingerprint, cfg: &StretchConfig) -> f64 {
+    let n_long = long.multiplicity() as f64;
+    let n_short = short.multiplicity() as f64;
+    let mut total = 0.0;
+    if short.len() < PRUNE_MIN_SHORT_LEN {
+        for s in long.samples() {
+            let mut best = f64::INFINITY;
+            for q in short.samples() {
+                let d = sample_stretch(s, n_long, q, n_short, cfg);
+                if d < best {
+                    best = d;
+                }
+            }
+            total += best;
+        }
+    } else {
+        // Largest window length in the shorter fingerprint, needed to make
+        // the temporal pruning bound valid on samples sorted by start time.
+        let short_max_dt = short
+            .samples()
+            .iter()
+            .map(|q| q.dt)
+            .max()
+            .expect("fingerprints are never empty");
+        for s in long.samples() {
+            total += min_stretch_to(s, n_long, short, n_short, short_max_dt, cfg);
+        }
+    }
+    total / long.len() as f64
+}
+
+/// `Δ_ab` together with the matched per-sample efforts, decomposed into
+/// `(w_σ φ_σ, w_τ φ_τ)` pairs — one per sample of the longer fingerprint.
+/// These are the elements of the sets `S^k_a` and `T^k_a` of §5.3.
+pub fn fingerprint_stretch_decomposed(
+    a: &Fingerprint,
+    b: &Fingerprint,
+    cfg: &StretchConfig,
+) -> (f64, Vec<(f64, f64)>) {
+    let mut parts = Vec::new();
+    match a.len().cmp(&b.len()) {
+        std::cmp::Ordering::Greater => directed_decomposed(a, b, cfg, &mut parts),
+        std::cmp::Ordering::Less => directed_decomposed(b, a, cfg, &mut parts),
+        // Equal lengths: union of both directions' matched terms, so that
+        // mean(parts) still equals the canonical (averaged) Δ.
+        std::cmp::Ordering::Equal => {
+            directed_decomposed(a, b, cfg, &mut parts);
+            directed_decomposed(b, a, cfg, &mut parts);
+        }
+    }
+    let total: f64 = parts.iter().map(|(s, t)| s + t).sum();
+    (total / parts.len() as f64, parts)
+}
+
+/// One direction of the decomposition: appends one `(w_σ φ_σ, w_τ φ_τ)`
+/// pair per sample of `long` (its minimum-effort match into `short`).
+fn directed_decomposed(
+    long: &Fingerprint,
+    short: &Fingerprint,
+    cfg: &StretchConfig,
+    parts: &mut Vec<(f64, f64)>,
+) {
+    let n_long = long.multiplicity() as f64;
+    let n_short = short.multiplicity() as f64;
+    for s in long.samples() {
+        let mut best = f64::INFINITY;
+        let mut best_parts = (0.0, 0.0);
+        for q in short.samples() {
+            let (ps, pt) = sample_stretch_parts(s, n_long, q, n_short, cfg);
+            let d = ps + pt;
+            if d < best {
+                best = d;
+                best_parts = (ps, pt);
+            }
+        }
+        parts.push(best_parts);
+    }
+}
+
+/// Minimum sample stretch effort from `s` (of a fingerprint with
+/// multiplicity `ns`) to any sample of `short` (multiplicity `n_short`),
+/// pruned by a temporal-gap lower bound.
+///
+/// `short`'s samples are sorted by start time (a `Fingerprint` invariant),
+/// but their window lengths `dt` vary, so `t_end` is not monotone in the
+/// sort order. The bounds therefore use `short_max_dt`:
+///
+/// * walking left from the pivot, every remaining candidate `q` has
+///   `q.t ≤ samples[lo-1].t`, hence `q.t_end ≤ samples[lo-1].t + max_dt` and
+///   `gap ≥ s.t − samples[lo-1].t − max_dt`;
+/// * walking right, `q.t ≥ samples[hi].t`, hence `gap ≥ samples[hi].t −
+///   s.t_end`.
+///
+/// Since the raw temporal stretch is at least the gap and `δ ≥ w_τ·φ_τ`,
+/// once both bounds exceed the best effort found no better match can exist.
+fn min_stretch_to(
+    s: &Sample,
+    ns: f64,
+    short: &Fingerprint,
+    n_short: f64,
+    short_max_dt: u32,
+    cfg: &StretchConfig,
+) -> f64 {
+    let samples = short.samples();
+    let m = samples.len();
+    let max_dt = i64::from(short_max_dt);
+    let s_t = i64::from(s.t);
+    let s_end = s.t_end() as i64;
+    // Start position: first sample with start time >= s.t.
+    let pivot = samples.partition_point(|q| q.t < s.t);
+    let mut best = f64::INFINITY;
+    // A candidate with window gap >= gap_cutoff cannot beat `best`:
+    // δ >= w_τ·min(gap/φmax_τ, 1). Expressed as a gap so the per-candidate
+    // check is a subtraction and comparison, not a division.
+    let mut gap_cutoff = i64::MAX;
+    let cutoff_of = |best: f64| -> i64 {
+        if best >= cfg.w_time {
+            // Even a saturated temporal stretch cannot prune.
+            i64::MAX
+        } else {
+            (best / cfg.w_time * cfg.phi_max_time_min).ceil() as i64
+        }
+    };
+
+    let mut lo = pivot; // next candidate to the left is lo - 1
+    let mut hi = pivot; // next candidate to the right is hi
+    loop {
+        // Minimum possible gap of the next candidate on each side (and, by
+        // sort order + max_dt, of everything beyond it).
+        let left_gap = if lo > 0 {
+            s_t - i64::from(samples[lo - 1].t) - max_dt
+        } else {
+            i64::MAX
+        };
+        let right_gap = if hi < m {
+            i64::from(samples[hi].t) - s_end
+        } else {
+            i64::MAX
+        };
+        if left_gap >= gap_cutoff && right_gap >= gap_cutoff {
+            break;
+        }
+        // Visit the side with the smaller gap bound first.
+        if left_gap <= right_gap {
+            let q = &samples[lo - 1];
+            let d = sample_stretch(s, ns, q, n_short, cfg);
+            if d < best {
+                best = d;
+                gap_cutoff = cutoff_of(best);
+            }
+            lo -= 1;
+        } else {
+            let q = &samples[hi];
+            let d = sample_stretch(s, ns, q, n_short, cfg);
+            if d < best {
+                best = d;
+                gap_cutoff = cutoff_of(best);
+            }
+            hi += 1;
+        }
+    }
+    debug_assert!(best.is_finite(), "fingerprints are never empty");
+    best
+}
+
+/// Naive reference implementation of Eq. (10) (no pruning). Exposed for
+/// testing and benchmarking the pruned version against.
+pub fn fingerprint_stretch_naive(a: &Fingerprint, b: &Fingerprint, cfg: &StretchConfig) -> f64 {
+    let directed = |long: &Fingerprint, short: &Fingerprint| -> f64 {
+        let n_long = long.multiplicity() as f64;
+        let n_short = short.multiplicity() as f64;
+        let mut total = 0.0;
+        for s in long.samples() {
+            let mut best = f64::INFINITY;
+            for q in short.samples() {
+                let d = sample_stretch(s, n_long, q, n_short, cfg);
+                if d < best {
+                    best = d;
+                }
+            }
+            total += best;
+        }
+        total / long.len() as f64
+    };
+    match a.len().cmp(&b.len()) {
+        std::cmp::Ordering::Greater => directed(a, b),
+        std::cmp::Ordering::Less => directed(b, a),
+        std::cmp::Ordering::Equal => (directed(a, b) + directed(b, a)) / 2.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Fingerprint;
+
+    fn cfg() -> StretchConfig {
+        StretchConfig::default()
+    }
+
+    #[test]
+    fn identical_samples_have_zero_stretch() {
+        let s = Sample::point(1_000, 2_000, 500);
+        assert_eq!(sample_stretch_unweighted(&s, &s, &cfg()), 0.0);
+    }
+
+    #[test]
+    fn stretch_is_symmetric_for_equal_weights() {
+        let a = Sample::point(0, 0, 10);
+        let b = Sample::new(5_000, -2_000, 300, 700, 100, 45).unwrap();
+        let d_ab = sample_stretch_unweighted(&a, &b, &cfg());
+        let d_ba = sample_stretch_unweighted(&b, &a, &cfg());
+        assert!((d_ab - d_ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretch_is_in_unit_interval_and_saturates() {
+        let a = Sample::point(0, 0, 0);
+        // Farther than both caps: delta saturates at exactly 1.
+        let b = Sample::point(1_000_000, 1_000_000, 10_000);
+        let d = sample_stretch_unweighted(&a, &b, &cfg());
+        assert_eq!(d, 1.0);
+    }
+
+    #[test]
+    fn disjoint_boxes_spatial_stretch_matches_hand_computation() {
+        // a = [0,100)x[0,100), b = [300,400)x[0,100): covering b from a needs
+        // r = 300 east; covering a from b needs l = 300 west. Equal weights
+        // -> raw spatial stretch = (300 + 300)/2 = 300.
+        let a = Sample::point(0, 0, 0);
+        let b = Sample::point(300, 0, 0);
+        let raw = raw_spatial_stretch_m(&a, 1.0, &b, 1.0);
+        assert_eq!(raw, 300.0);
+    }
+
+    #[test]
+    fn overlapping_boxes_cost_less_than_disjoint() {
+        let a = Sample::new(0, 0, 200, 200, 0, 1).unwrap();
+        let overlapping = Sample::new(100, 0, 200, 200, 0, 1).unwrap();
+        let disjoint = Sample::new(400, 0, 200, 200, 0, 1).unwrap();
+        let d_overlap = sample_stretch_unweighted(&a, &overlapping, &cfg());
+        let d_disjoint = sample_stretch_unweighted(&a, &disjoint, &cfg());
+        assert!(d_overlap < d_disjoint);
+    }
+
+    #[test]
+    fn containment_still_costs_the_container_side() {
+        // b inside a: a needs no growth, but b must grow to cover a, so the
+        // weighted effort is positive (Eq. 4 sums both directions).
+        let a = Sample::new(0, 0, 1_000, 1_000, 0, 60).unwrap();
+        let b = Sample::new(400, 400, 100, 100, 20, 1).unwrap();
+        let d = sample_stretch_unweighted(&a, &b, &cfg());
+        assert!(d > 0.0);
+        // With all the weight on a (na >> nb), the effort vanishes because
+        // a's users lose nothing.
+        let d_weighted = sample_stretch(&a, 1e9, &b, 1.0, &cfg());
+        assert!(d_weighted < 1e-6);
+    }
+
+    #[test]
+    fn population_weighting_can_be_ablated() {
+        // With weighting off, swapping the multiplicities changes nothing
+        // and the result equals the unweighted effort.
+        let unweighted_cfg = StretchConfig {
+            population_weighting: false,
+            ..StretchConfig::default()
+        };
+        let a = Sample::point(0, 0, 0);
+        let b = Sample::new(-500, -500, 2_000, 2_000, 0, 1).unwrap();
+        let d1 = sample_stretch(&a, 9.0, &b, 1.0, &unweighted_cfg);
+        let d2 = sample_stretch(&a, 1.0, &b, 9.0, &unweighted_cfg);
+        let d3 = sample_stretch_unweighted(&a, &b, &unweighted_cfg);
+        assert_eq!(d1, d2);
+        assert_eq!(d1, d3);
+        // And with weighting on the two differ (covered by the test below).
+    }
+
+    #[test]
+    fn weights_shift_cost_toward_larger_group() {
+        // Stretching a group of 9 users costs more than stretching 1 user:
+        // the effort of the direction affecting more users dominates.
+        let a = Sample::point(0, 0, 0); // would need to grow a lot
+        let b = Sample::new(-500, -500, 2_000, 2_000, 0, 1).unwrap(); // covers a
+        // a covers nothing of b; b already covers a.
+        let d_a_heavy = sample_stretch(&a, 9.0, &b, 1.0, &cfg());
+        let d_b_heavy = sample_stretch(&a, 1.0, &b, 9.0, &cfg());
+        // When a (the sample that must grow) carries 9 users, cost is higher.
+        assert!(d_a_heavy > d_b_heavy);
+    }
+
+    #[test]
+    fn temporal_stretch_hand_computation() {
+        // a = [0, 1), b = [60, 61): gap covering needs 60 min on each side's
+        // account; equal weights -> raw = (60 + 60)/2 = 60.
+        let a = Sample::point(0, 0, 0);
+        let b = Sample::point(0, 0, 60);
+        assert_eq!(raw_temporal_stretch_min(&a, 1.0, &b, 1.0), 60.0);
+        // delta = 0.5 * 60/480 = 0.0625
+        let d = sample_stretch_unweighted(&a, &b, &cfg());
+        assert!((d - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_gap_is_zero_for_overlap() {
+        let a = Sample::new(0, 0, 100, 100, 10, 20).unwrap();
+        let b = Sample::new(0, 0, 100, 100, 25, 20).unwrap();
+        assert_eq!(time_gap_min(&a, &b), 0.0);
+        let c = Sample::new(0, 0, 100, 100, 100, 5).unwrap();
+        assert_eq!(time_gap_min(&a, &c), 70.0);
+        assert_eq!(time_gap_min(&c, &a), 70.0);
+    }
+
+    #[test]
+    fn fingerprint_stretch_zero_on_identical() {
+        let f = Fingerprint::from_points(0, &[(0, 0, 10), (5_000, 3_000, 400)]).unwrap();
+        let g = Fingerprint::with_users(vec![1], f.samples().to_vec()).unwrap();
+        assert_eq!(fingerprint_stretch(&f, &g, &cfg()), 0.0);
+    }
+
+    #[test]
+    fn fingerprint_stretch_averages_over_longer() {
+        // long has 2 samples; one matches short exactly (δ=0), the other is
+        // 60 min away in time only (δ=0.0625). Average = 0.03125.
+        let long = Fingerprint::from_points(0, &[(0, 0, 0), (0, 0, 60)]).unwrap();
+        let short = Fingerprint::from_points(1, &[(0, 0, 0)]).unwrap();
+        let d = fingerprint_stretch(&long, &short, &cfg());
+        assert!((d - 0.03125).abs() < 1e-12);
+        // Orientation is by length, so the argument order must not matter.
+        let d2 = fingerprint_stretch(&short, &long, &cfg());
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn pruned_matches_naive_on_structured_data() {
+        let cfg = cfg();
+        let a = Fingerprint::from_points(
+            0,
+            &[
+                (0, 0, 5),
+                (1_000, 0, 100),
+                (2_000, 500, 101),
+                (0, 0, 700),
+                (9_000, 9_000, 1_440),
+                (0, 0, 10_000),
+            ],
+        )
+        .unwrap();
+        let b = Fingerprint::from_points(
+            1,
+            &[(50, 50, 8), (1_200, 100, 95), (-4_000, 2_000, 650), (100, 0, 9_500)],
+        )
+        .unwrap();
+        let pruned = fingerprint_stretch(&a, &b, &cfg);
+        let naive = fingerprint_stretch_naive(&a, &b, &cfg);
+        assert!((pruned - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn decomposed_total_matches_plain() {
+        let a = Fingerprint::from_points(0, &[(0, 0, 5), (3_000, 200, 300), (0, 0, 900)]).unwrap();
+        let b = Fingerprint::from_points(1, &[(100, 0, 20), (2_500, 0, 310)]).unwrap();
+        let (total, parts) = fingerprint_stretch_decomposed(&a, &b, &cfg());
+        assert_eq!(parts.len(), 3);
+        let recomputed: f64 = parts.iter().map(|(s, t)| s + t).sum::<f64>() / 3.0;
+        assert!((total - recomputed).abs() < 1e-12);
+        let plain = fingerprint_stretch(&a, &b, &cfg());
+        assert!((total - plain).abs() < 1e-12);
+    }
+}

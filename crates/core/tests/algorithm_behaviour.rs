@@ -1,0 +1,271 @@
+//! Behavioural tests of the GLOVE algorithm beyond the unit level:
+//! structural guarantees, suppression monotonicity, weighting effects and
+//! edge-case inputs.
+
+use glove_core::accuracy::mean_position_accuracy_m;
+use glove_core::glove::anonymize;
+use glove_core::model::{Dataset, Fingerprint, Sample};
+use glove_core::{GloveConfig, ResidualPolicy, StretchConfig, SuppressionThresholds};
+
+/// Deterministic pseudo-random walk dataset (no rand dependency).
+fn dataset(n_users: u32, samples_per_user: u32, seed: u64) -> Dataset {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let fps = (0..n_users)
+        .map(|u| {
+            let points: Vec<(i64, i64, u32)> = (0..samples_per_user)
+                .map(|_| {
+                    (
+                        (next() % 1_500) as i64 * 100,
+                        (next() % 1_500) as i64 * 100,
+                        (next() % 20_000) as u32,
+                    )
+                })
+                .collect();
+            Fingerprint::from_points(u, &points).expect("non-empty")
+        })
+        .collect();
+    Dataset::new("behaviour", fps).expect("unique users")
+}
+
+#[test]
+fn tighter_suppression_discards_more_and_bounds_extents() {
+    let ds = dataset(20, 8, 42);
+    let mut last_discarded = 0u64;
+    for max_space in [50_000u32, 20_000, 5_000] {
+        let config = GloveConfig {
+            suppression: SuppressionThresholds {
+                max_space_m: Some(max_space),
+                max_time_min: None,
+            },
+            ..GloveConfig::default()
+        };
+        let out = anonymize(&ds, &config).expect("run succeeds");
+        assert!(
+            out.stats.suppressed.user_samples >= last_discarded,
+            "tightening the threshold must not discard fewer samples"
+        );
+        last_discarded = out.stats.suppressed.user_samples;
+        for fp in &out.dataset.fingerprints {
+            for s in fp.samples() {
+                assert!(
+                    s.dx.max(s.dy) <= max_space,
+                    "published extent {} exceeds the {max_space} m threshold",
+                    s.dx.max(s.dy)
+                );
+            }
+        }
+    }
+    assert!(last_discarded > 0, "5 km threshold must bite on this data");
+}
+
+#[test]
+fn suppression_improves_mean_position_accuracy() {
+    let ds = dataset(24, 8, 7);
+    let plain = anonymize(&ds, &GloveConfig::default()).expect("plain");
+    let suppressed = anonymize(
+        &ds,
+        &GloveConfig {
+            suppression: SuppressionThresholds {
+                max_space_m: Some(10_000),
+                max_time_min: Some(360),
+            },
+            ..GloveConfig::default()
+        },
+    )
+    .expect("suppressed");
+    assert!(
+        mean_position_accuracy_m(&suppressed.dataset)
+            < mean_position_accuracy_m(&plain.dataset),
+        "suppression exists to buy accuracy"
+    );
+}
+
+#[test]
+fn pre_grouped_inputs_pass_through() {
+    // Fingerprints already at multiplicity >= k never merge further.
+    let group = Fingerprint::with_users(
+        vec![0, 1, 2],
+        vec![Sample::point(0, 0, 100), Sample::point(5_000, 0, 900)],
+    )
+    .expect("valid");
+    let single_a = Fingerprint::from_points(3, &[(200, 0, 105)]).expect("valid");
+    let single_b = Fingerprint::from_points(4, &[(400, 100, 110)]).expect("valid");
+    let ds = Dataset::new("pre-grouped", vec![group.clone(), single_a, single_b]).unwrap();
+
+    let out = anonymize(&ds, &GloveConfig::default()).expect("run succeeds");
+    assert!(out.dataset.is_k_anonymous(2));
+    // The pre-existing group survives untouched.
+    assert!(out
+        .dataset
+        .fingerprints
+        .iter()
+        .any(|f| f.users() == group.users() && f.samples() == group.samples()));
+    // The two singles merged with each other, not with the done group.
+    assert_eq!(out.dataset.fingerprints.len(), 2);
+}
+
+#[test]
+fn two_users_one_sample_each() {
+    let ds = Dataset::new(
+        "minimal",
+        vec![
+            Fingerprint::from_points(0, &[(0, 0, 10)]).unwrap(),
+            Fingerprint::from_points(1, &[(300, 0, 50)]).unwrap(),
+        ],
+    )
+    .unwrap();
+    let out = anonymize(&ds, &GloveConfig::default()).expect("run succeeds");
+    assert_eq!(out.dataset.fingerprints.len(), 1);
+    let fp = &out.dataset.fingerprints[0];
+    assert_eq!(fp.multiplicity(), 2);
+    assert_eq!(fp.len(), 1);
+    let s = fp.samples()[0];
+    // The merged box must cover both original samples exactly.
+    assert_eq!((s.x, s.x_end()), (0, 400));
+    assert_eq!((s.t, s.t_end()), (10, 51));
+}
+
+#[test]
+fn k_equal_to_population_collapses_to_one_group() {
+    let ds = dataset(6, 4, 11);
+    let config = GloveConfig {
+        k: 6,
+        ..GloveConfig::default()
+    };
+    let out = anonymize(&ds, &config).expect("run succeeds");
+    assert_eq!(out.dataset.fingerprints.len(), 1);
+    assert_eq!(out.dataset.fingerprints[0].multiplicity(), 6);
+}
+
+#[test]
+fn residual_suppress_never_publishes_under_k() {
+    // 7 users at k = 3 may or may not leave a residual (3+4 partitions
+    // exist); the accounting identity must hold either way.
+    let ds = dataset(7, 5, 13);
+    let config = GloveConfig {
+        k: 3,
+        residual: ResidualPolicy::Suppress,
+        ..GloveConfig::default()
+    };
+    let out = anonymize(&ds, &config).expect("run succeeds");
+    assert!(out.dataset.is_k_anonymous(3));
+    assert_eq!(
+        out.dataset.num_users() as u64 + out.stats.discarded_users,
+        7
+    );
+}
+
+#[test]
+fn three_users_k2_guarantees_a_residual() {
+    // Three singletons at k = 2: the first merge produces a done pair, the
+    // leftover single is *always* the residual — the one case where the two
+    // policies must observably diverge.
+    let ds = dataset(3, 5, 17);
+
+    let merged = anonymize(&ds, &GloveConfig::default()).expect("merge policy");
+    assert_eq!(merged.dataset.num_users(), 3);
+    assert_eq!(merged.dataset.fingerprints.len(), 1);
+    assert_eq!(merged.dataset.fingerprints[0].multiplicity(), 3);
+    assert_eq!(merged.stats.discarded_users, 0);
+
+    let suppressed = anonymize(
+        &ds,
+        &GloveConfig {
+            residual: ResidualPolicy::Suppress,
+            ..GloveConfig::default()
+        },
+    )
+    .expect("suppress policy");
+    assert_eq!(suppressed.stats.discarded_fingerprints, 1);
+    assert_eq!(suppressed.stats.discarded_users, 1);
+    assert_eq!(suppressed.dataset.num_users(), 2);
+    assert!(suppressed.dataset.is_k_anonymous(2));
+}
+
+#[test]
+fn population_weighting_flips_the_preferred_merge_partner() {
+    // The paper's rationale for the n_a/(n_a+n_b) weights (§4.1): stretching
+    // a group's sample costs accuracy for *every* subscriber in it. An exact
+    // construction where the cheaper partner flips with the knob:
+    //
+    //   G — a group of 3 users, one point sample at the origin;
+    //   B — a single user whose sample is a 16.1 km-wide box covering G
+    //       (G must grow ~16 km to match; B grows nothing);
+    //   C — a single user with a point sample 9.6 km away (both sides grow
+    //       9.6 km).
+    //
+    // Weighted:   Δ(G,B) ∝ 16000·(3/4) = 12000 > Δ(G,C) ∝ 9600 → prefer C.
+    // Unweighted: Δ(G,B) ∝ 16000/2    =  8000 < Δ(G,C) ∝ 9600 → prefer B.
+    use glove_core::stretch::fingerprint_stretch;
+
+    let g = Fingerprint::with_users(vec![0, 1, 2], vec![Sample::point(0, 0, 1_000)]).unwrap();
+    let b = Fingerprint::with_users(
+        vec![3],
+        vec![Sample::new(0, 0, 16_100, 100, 1_000, 1).unwrap()],
+    )
+    .unwrap();
+    let c = Fingerprint::with_users(vec![4], vec![Sample::point(9_600, 0, 1_000)]).unwrap();
+
+    let weighted = StretchConfig::default();
+    let unweighted = StretchConfig {
+        population_weighting: false,
+        ..StretchConfig::default()
+    };
+
+    let d_gb_w = fingerprint_stretch(&g, &b, &weighted);
+    let d_gc_w = fingerprint_stretch(&g, &c, &weighted);
+    assert!(
+        d_gc_w < d_gb_w,
+        "weighted pricing must prefer the point partner: {d_gc_w} vs {d_gb_w}"
+    );
+
+    let d_gb_u = fingerprint_stretch(&g, &b, &unweighted);
+    let d_gc_u = fingerprint_stretch(&g, &c, &unweighted);
+    assert!(
+        d_gb_u < d_gc_u,
+        "unweighted pricing must prefer the covering box: {d_gb_u} vs {d_gc_u}"
+    );
+
+    // And the exact magnitudes match the hand computation (w_sigma = 1/2,
+    // phi_max = 20 km, zero temporal component).
+    assert!((d_gb_w - 0.5 * (16_000.0 * 0.75) / 20_000.0).abs() < 1e-9);
+    assert!((d_gc_w - 0.5 * 9_600.0 / 20_000.0).abs() < 1e-9);
+    assert!((d_gb_u - 0.5 * (16_000.0 * 0.5) / 20_000.0).abs() < 1e-9);
+    assert!((d_gc_u - 0.5 * 9_600.0 / 20_000.0).abs() < 1e-9);
+}
+
+#[test]
+fn merged_groups_absorb_all_user_ids_exactly_once() {
+    let ds = dataset(21, 5, 5);
+    let config = GloveConfig {
+        k: 4,
+        ..GloveConfig::default()
+    };
+    let out = anonymize(&ds, &config).expect("run succeeds");
+    let mut seen: Vec<u32> = out
+        .dataset
+        .fingerprints
+        .iter()
+        .flat_map(|f| f.users().to_vec())
+        .collect();
+    seen.sort_unstable();
+    let expected: Vec<u32> = (0..21).collect();
+    assert_eq!(seen, expected);
+}
+
+#[test]
+fn stats_accounting_is_consistent() {
+    let ds = dataset(18, 6, 3);
+    let out = anonymize(&ds, &GloveConfig::default()).expect("run succeeds");
+    // k = 2 on 18 users: exactly 9 merges, no new active rows, so the pair
+    // count is exactly the initial matrix.
+    assert_eq!(out.stats.merges, 9);
+    assert_eq!(out.stats.pairs_computed, 18 * 17 / 2);
+    assert_eq!(out.dataset.fingerprints.len(), 9);
+}

@@ -1,0 +1,106 @@
+//! Determinism guarantees: GLOVE is a pure function of (dataset, config) —
+//! the thread count of the parallel kernel must not leak into results, and
+//! repeated runs must agree bit-for-bit.
+
+use glove_core::glove::anonymize;
+use glove_core::kgap::kgap_all;
+use glove_core::{Dataset, Fingerprint, GloveConfig, StretchConfig};
+
+/// A deterministic pseudo-random dataset without pulling in `rand`:
+/// an xorshift walk over cells and minutes.
+fn dataset(n_users: u32, samples_per_user: u32) -> Dataset {
+    let mut state = 0x853c_49e6_748f_ea9bu64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let fps = (0..n_users)
+        .map(|u| {
+            let points: Vec<(i64, i64, u32)> = (0..samples_per_user)
+                .map(|_| {
+                    let x = (next() % 2_000) as i64 * 100;
+                    let y = (next() % 2_000) as i64 * 100;
+                    let t = (next() % 20_000) as u32;
+                    (x, y, t)
+                })
+                .collect();
+            Fingerprint::from_points(u, &points).expect("non-empty")
+        })
+        .collect();
+    Dataset::new("determinism", fps).expect("unique users")
+}
+
+#[test]
+fn kgap_is_thread_count_invariant() {
+    let ds = dataset(30, 8);
+    let cfg = StretchConfig::default();
+    let one = kgap_all(&ds, 3, 1, &cfg);
+    let four = kgap_all(&ds, 3, 4, &cfg);
+    let auto = kgap_all(&ds, 3, 0, &cfg);
+    assert_eq!(one, four);
+    assert_eq!(one, auto);
+}
+
+#[test]
+fn glove_is_thread_count_invariant() {
+    let ds = dataset(24, 6);
+    let outputs: Vec<_> = [1usize, 3, 0]
+        .into_iter()
+        .map(|threads| {
+            let config = GloveConfig {
+                threads,
+                ..GloveConfig::default()
+            };
+            anonymize(&ds, &config).expect("anonymization succeeds")
+        })
+        .collect();
+    for pair in outputs.windows(2) {
+        assert_eq!(
+            pair[0].dataset.fingerprints, pair[1].dataset.fingerprints,
+            "published fingerprints must not depend on the thread count"
+        );
+        assert_eq!(pair[0].stats.merges, pair[1].stats.merges);
+        assert_eq!(
+            pair[0].stats.suppressed.user_samples,
+            pair[1].stats.suppressed.user_samples
+        );
+    }
+}
+
+#[test]
+fn glove_repeated_runs_agree() {
+    let ds = dataset(20, 7);
+    let config = GloveConfig::default();
+    let a = anonymize(&ds, &config).expect("first run");
+    let b = anonymize(&ds, &config).expect("second run");
+    assert_eq!(a.dataset.fingerprints, b.dataset.fingerprints);
+}
+
+#[test]
+fn glove_is_input_order_stable_on_group_composition() {
+    // Reversing the fingerprint order may change internal slot ids, but the
+    // *partition into groups* (which users hide together) must stay the
+    // same when all pairwise efforts are distinct.
+    let ds = dataset(16, 6);
+    let reversed = Dataset::new(
+        "determinism-rev",
+        ds.fingerprints.iter().rev().cloned().collect(),
+    )
+    .expect("same users");
+
+    let config = GloveConfig::default();
+    let group_sets = |d: &Dataset| -> Vec<Vec<u32>> {
+        let mut groups: Vec<Vec<u32>> = anonymize(d, &config)
+            .expect("run succeeds")
+            .dataset
+            .fingerprints
+            .iter()
+            .map(|f| f.users().to_vec())
+            .collect();
+        groups.sort();
+        groups
+    };
+    assert_eq!(group_sets(&ds), group_sets(&reversed));
+}

@@ -1,0 +1,163 @@
+//! Shared state across experiments: configuration, dataset cache and
+//! memoized GLOVE runs.
+
+use glove_core::glove::{anonymize, GloveOutput};
+use glove_core::{Dataset, GloveConfig, SuppressionThresholds};
+use glove_synth::{generate, ScenarioConfig, SynthDataset};
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct EvalConfig {
+    /// Subscribers per nation-wide dataset. The paper uses 82 k / 320 k; the
+    /// reproduction defaults to a laptop-scale population whose distribution
+    /// shapes are stable (see DESIGN.md §1 on scaling).
+    pub users: usize,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Output directory for CSV series.
+    pub out_dir: PathBuf,
+    /// Override of the median CDR events per user-day (None = preset
+    /// values). The paper's fingerprints carry hundreds of samples per week
+    /// (§8); denser fingerprints sharpen the §5.3 tail-weight analysis but
+    /// cost quadratically in the O(N²·n̄²) kernel.
+    pub events_per_day: Option<f64>,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        Self {
+            users: 600,
+            threads: 0,
+            out_dir: PathBuf::from("results"),
+            events_per_day: None,
+        }
+    }
+}
+
+/// Lazily generated datasets plus memoized GLOVE runs, shared by all
+/// experiments in one harness invocation.
+pub struct EvalContext {
+    /// The harness configuration.
+    pub cfg: EvalConfig,
+    civ: Option<SynthDataset>,
+    sen: Option<SynthDataset>,
+    glove_cache: HashMap<String, GloveOutput>,
+}
+
+impl EvalContext {
+    /// Creates a context.
+    pub fn new(cfg: EvalConfig) -> Self {
+        Self {
+            cfg,
+            civ: None,
+            sen: None,
+            glove_cache: HashMap::new(),
+        }
+    }
+
+    /// The `d4d-civ` stand-in (generated on first use).
+    pub fn civ(&mut self) -> &SynthDataset {
+        if self.civ.is_none() {
+            let mut cfg = ScenarioConfig::civ_like(self.cfg.users);
+            if let Some(rate) = self.cfg.events_per_day {
+                cfg.traffic.events_per_day_median = rate;
+            }
+            eprintln!(
+                "[eval] generating {} ({} users)…",
+                cfg.name, self.cfg.users
+            );
+            self.civ = Some(generate(&cfg));
+        }
+        self.civ.as_ref().expect("generated above")
+    }
+
+    /// The `d4d-sen` stand-in (generated on first use).
+    pub fn sen(&mut self) -> &SynthDataset {
+        if self.sen.is_none() {
+            let mut cfg = ScenarioConfig::sen_like(self.cfg.users);
+            if let Some(rate) = self.cfg.events_per_day {
+                cfg.traffic.events_per_day_median = rate;
+            }
+            eprintln!(
+                "[eval] generating {} ({} users)…",
+                cfg.name, self.cfg.users
+            );
+            self.sen = Some(generate(&cfg));
+        }
+        self.sen.as_ref().expect("generated above")
+    }
+
+    /// Both nation-wide datasets, cloned out of the cache (cheap relative to
+    /// the experiments themselves; avoids borrow entanglement in runners).
+    pub fn both(&mut self) -> Vec<(String, Dataset)> {
+        let civ = self.civ().dataset.clone();
+        let sen = self.sen().dataset.clone();
+        vec![("civ-like".into(), civ), ("sen-like".into(), sen)]
+    }
+
+    /// Runs GLOVE, memoizing on `(dataset name, k, suppression)` so that
+    /// experiments sharing a configuration (e.g. Fig. 7 and Fig. 8 at k = 2)
+    /// pay for it once.
+    pub fn glove(
+        &mut self,
+        dataset: &Dataset,
+        k: usize,
+        suppression: SuppressionThresholds,
+    ) -> GloveOutput {
+        let key = format!(
+            "{}|k={}|s={:?}|t={:?}",
+            dataset.name, k, suppression.max_space_m, suppression.max_time_min
+        );
+        if let Some(hit) = self.glove_cache.get(&key) {
+            return hit.clone();
+        }
+        let config = GloveConfig {
+            k,
+            suppression,
+            threads: self.cfg.threads,
+            ..GloveConfig::default()
+        };
+        eprintln!(
+            "[eval] GLOVE on {} (k={}, suppression={:?}/{:?})…",
+            dataset.name, k, suppression.max_space_m, suppression.max_time_min
+        );
+        let out = anonymize(dataset, &config).expect("anonymization must succeed");
+        self.glove_cache.insert(key.clone(), out);
+        self.glove_cache[&key].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_ctx() -> EvalContext {
+        EvalContext::new(EvalConfig {
+            users: 24,
+            threads: 0,
+            out_dir: std::env::temp_dir().join("glove-eval-ctx-test"),
+            events_per_day: None,
+        })
+    }
+
+    #[test]
+    fn datasets_are_cached() {
+        let mut ctx = tiny_ctx();
+        let a = ctx.civ().dataset.num_samples();
+        let b = ctx.civ().dataset.num_samples();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn glove_runs_are_memoized() {
+        let mut ctx = tiny_ctx();
+        let ds = ctx.civ().dataset.clone();
+        let a = ctx.glove(&ds, 2, SuppressionThresholds::default());
+        let b = ctx.glove(&ds, 2, SuppressionThresholds::default());
+        // Same cached run: identical stats object contents.
+        assert_eq!(a.stats.merges, b.stats.merges);
+        assert_eq!(a.dataset.num_samples(), b.dataset.num_samples());
+    }
+}

@@ -1,0 +1,89 @@
+//! Record-linkage attack evaluation — the motivating threat model of §1
+//! and §2.3, demonstrated before and after GLOVE.
+//!
+//! Not a figure of the paper itself, but the empirical closure of its
+//! argument: the uniqueness statistics the paper cites (refs. `[5]` and `[6]`)
+//! hold on the synthetic data too, and GLOVE's k-anonymity bounds the
+//! adversary's anonymity set at k regardless of how many true points they
+//! know (quasi-identifier-blind anonymity, §2.3).
+
+use crate::context::EvalContext;
+use crate::report::{fmt, pct, write_csv, Report};
+use glove_attack::{random_point_attack, top_location_uniqueness, RandomPointAttack};
+use glove_core::SuppressionThresholds;
+
+/// Runs both adversaries against the raw and the 2-anonymized datasets.
+pub fn attack(ctx: &mut EvalContext) -> Report {
+    let mut report = Report::new(
+        "attack",
+        "record-linkage adversaries before/after GLOVE (paper §1, §2.3)",
+    );
+    let mut csv_rows = Vec::new();
+
+    for (name, ds) in ctx.both() {
+        let out = ctx.glove(&ds, 2, SuppressionThresholds::default());
+
+        // Adversary [5]: top-L locations.
+        let mut rows = Vec::new();
+        for l in [1usize, 2, 3] {
+            let raw = top_location_uniqueness(&ds, l);
+            let anon = top_location_uniqueness(&out.dataset, l);
+            rows.push(vec![
+                format!("top-{l} locations"),
+                pct(raw),
+                pct(anon),
+            ]);
+            csv_rows.push(vec![
+                name.clone(),
+                format!("top{l}"),
+                fmt(raw),
+                fmt(anon),
+            ]);
+        }
+
+        // Adversary [6]: p random spatiotemporal points.
+        for points in [2usize, 4] {
+            let cfg = RandomPointAttack {
+                points,
+                trials: 300,
+                seed: 0xA77AC_4 + points as u64,
+            };
+            let raw = random_point_attack(&ds, &ds, &cfg);
+            let anon = random_point_attack(&ds, &out.dataset, &cfg);
+            rows.push(vec![
+                format!("{points} random points"),
+                pct(raw.pinpoint_rate()),
+                pct(anon.pinpoint_rate()),
+            ]);
+            rows.push(vec![
+                format!("  min anonymity set"),
+                raw.min_anonymity().to_string(),
+                anon.min_anonymity().to_string(),
+            ]);
+            csv_rows.push(vec![
+                name.clone(),
+                format!("random{points}"),
+                fmt(raw.pinpoint_rate()),
+                fmt(anon.pinpoint_rate()),
+            ]);
+        }
+
+        report.line(format!("dataset: {name}"));
+        report.table(&["adversary", "raw data", "after GLOVE k=2"], &rows);
+        report.line("");
+    }
+
+    report.line("Context: ref. `[5]` found 50% top-3 uniqueness at 25M users; ref. `[6]`");
+    report.line("pinpointed ~95% of users from 4 points. After GLOVE every record hides");
+    report.line(">= k subscribers, so the pinpoint rate must be exactly 0.");
+
+    if let Ok(path) = write_csv(
+        &ctx.cfg.out_dir,
+        "attack_linkage.csv",
+        &["dataset", "adversary", "raw", "after_glove"],
+        &csv_rows,
+    ) {
+        report.csv_files.push(path);
+    }
+    report
+}

@@ -1,0 +1,119 @@
+//! Supporting measurements: radius of gyration (§7.3) and the pairwise
+//! kernel throughput (§6.3).
+
+use crate::context::EvalContext;
+use crate::report::{fmt, write_csv, Report};
+use glove_core::parallel::par_map;
+use glove_core::stretch::fingerprint_stretch;
+use glove_core::StretchConfig;
+use glove_stats::{radius_of_gyration, Summary};
+use std::time::Instant;
+
+/// §7.3 — radius of gyration of the synthetic populations.
+///
+/// Paper values: median ≈ 1.8 km / mean ≈ 12 km (civ), median ≈ 2 km / mean
+/// ≈ 10 km (sen). The generator is calibrated to land in these bands.
+pub fn rog(ctx: &mut EvalContext) -> Report {
+    let mut report = Report::new("rog", "radius of gyration (paper §7.3)");
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for (name, ds) in ctx.both() {
+        let rogs: Vec<f64> = ds
+            .fingerprints
+            .iter()
+            .filter_map(|fp| {
+                let pts: Vec<(f64, f64)> = fp
+                    .samples()
+                    .iter()
+                    .map(|s| (s.x as f64, s.y as f64))
+                    .collect();
+                radius_of_gyration(&pts)
+            })
+            .collect();
+        let s = Summary::of(&rogs).expect("non-empty");
+        rows.push(vec![
+            name.clone(),
+            fmt(s.median / 1_000.0),
+            fmt(s.mean / 1_000.0),
+            fmt(s.p25 / 1_000.0),
+            fmt(s.p75 / 1_000.0),
+        ]);
+        csv_rows.push(vec![
+            name,
+            fmt(s.median),
+            fmt(s.mean),
+            fmt(s.p25),
+            fmt(s.p75),
+        ]);
+    }
+    report.table(
+        &["dataset", "median [km]", "mean [km]", "p25 [km]", "p75 [km]"],
+        &rows,
+    );
+    report.line("");
+    report.line("Paper: median 1.8-2 km, mean 10-12 km.");
+    if let Ok(path) = write_csv(
+        &ctx.cfg.out_dir,
+        "rog_stats.csv",
+        &["dataset", "median_m", "mean_m", "p25_m", "p75_m"],
+        &csv_rows,
+    ) {
+        report.csv_files.push(path);
+    }
+    report
+}
+
+/// §6.3 — throughput of the pairwise stretch kernel, in fingerprint pairs
+/// per second (the paper reports 20–50 k pairs/s on a GeForce GT 740).
+pub fn throughput(ctx: &mut EvalContext) -> Report {
+    let mut report = Report::new("throughput", "pairwise kernel throughput (paper §6.3)");
+    let cfg = StretchConfig::default();
+    let threads = ctx.cfg.threads;
+    let ds = ctx.civ().dataset.clone();
+    let n = ds.fingerprints.len().min(300);
+    let pairs = n * (n - 1) / 2;
+
+    let started = Instant::now();
+    let _rows = par_map(n, threads, |i| {
+        let mut row = Vec::with_capacity(i);
+        for j in 0..i {
+            row.push(fingerprint_stretch(
+                &ds.fingerprints[i],
+                &ds.fingerprints[j],
+                &cfg,
+            ));
+        }
+        row
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+    let rate = pairs as f64 / elapsed;
+
+    let avg_len: f64 = ds.fingerprints[..n]
+        .iter()
+        .map(|f| f.len() as f64)
+        .sum::<f64>()
+        / n as f64;
+    report.line(format!(
+        "{pairs} pairs over {n} fingerprints (mean length {}) in {} s",
+        fmt(avg_len),
+        fmt(elapsed)
+    ));
+    report.line(format!("throughput: {} pairs/second", fmt(rate)));
+    report.line("");
+    report.line("Paper: 20,000-50,000 pairs/second on a single low-end GPU (GT 740).");
+    if let Ok(path) = write_csv(
+        &ctx.cfg.out_dir,
+        "throughput.csv",
+        &["fingerprints", "pairs", "mean_len", "seconds", "pairs_per_s"],
+        &[vec![
+            n.to_string(),
+            pairs.to_string(),
+            fmt(avg_len),
+            fmt(elapsed),
+            fmt(rate),
+        ]],
+    ) {
+        report.csv_files.push(path);
+    }
+    report
+}

@@ -1,0 +1,16 @@
+//! The experiment runners, grouped by theme:
+//!
+//! * [`kgap`] — anonymizability analysis (§5: Figs. 3a, 3b, 4, 5a, 5b);
+//! * [`accuracy`] — GLOVE performance (§7: Figs. 7, 8, 9, 10, 11);
+//! * [`table2`] — the comparative analysis against W4M-LC (§7.2);
+//! * [`misc`] — supporting measurements (radius of gyration §7.3, kernel
+//!   throughput §6.3);
+//! * [`attack`] — record-linkage adversaries before/after GLOVE (§1, §2.3);
+//! * [`ablation`] — design-choice ablations (DESIGN.md §5).
+
+pub mod ablation;
+pub mod accuracy;
+pub mod attack;
+pub mod kgap;
+pub mod misc;
+pub mod table2;

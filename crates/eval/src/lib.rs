@@ -1,0 +1,53 @@
+//! # glove-eval — the experiment harness of the GLOVE reproduction
+//!
+//! One runner per table and figure of the paper's evaluation (§5 and §7).
+//! Each runner generates (or reuses) the synthetic stand-ins for the
+//! `d4d-civ` / `d4d-sen` datasets, executes the corresponding workload and
+//! emits:
+//!
+//! * a paper-style text report on stdout (the same rows/series the paper
+//!   plots), and
+//! * CSV series under the configured output directory, ready for plotting.
+//!
+//! The experiment inventory lives in DESIGN.md §4; measured-vs-paper values
+//! are recorded in EXPERIMENTS.md. Run everything with
+//! `cargo run --release -p glove-eval -- all`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod context;
+pub mod experiments;
+pub mod report;
+
+pub use context::{EvalConfig, EvalContext};
+pub use report::Report;
+
+/// The registry of experiment names accepted by the CLI, in paper order.
+pub const EXPERIMENTS: &[&str] = &[
+    "fig3a", "fig3b", "fig4", "fig5a", "fig5b", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "table2", "rog", "throughput", "attack", "ablation",
+];
+
+/// Runs one experiment by name. Returns `None` for unknown names.
+pub fn run_experiment(name: &str, ctx: &mut EvalContext) -> Option<Report> {
+    let report = match name {
+        "fig3a" => experiments::kgap::fig3a(ctx),
+        "fig3b" => experiments::kgap::fig3b(ctx),
+        "fig4" => experiments::kgap::fig4(ctx),
+        "fig5a" => experiments::kgap::fig5a(ctx),
+        "fig5b" => experiments::kgap::fig5b(ctx),
+        "fig7" => experiments::accuracy::fig7(ctx),
+        "fig8" => experiments::accuracy::fig8(ctx),
+        "fig9" => experiments::accuracy::fig9(ctx),
+        "fig10" => experiments::accuracy::fig10(ctx),
+        "fig11" => experiments::accuracy::fig11(ctx),
+        "table2" => experiments::table2::table2(ctx),
+        "rog" => experiments::misc::rog(ctx),
+        "throughput" => experiments::misc::throughput(ctx),
+        "attack" => experiments::attack::attack(ctx),
+        "ablation" => experiments::ablation::ablation(ctx),
+        _ => return None,
+    };
+    Some(report)
+}

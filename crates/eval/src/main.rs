@@ -1,0 +1,82 @@
+//! `glove-eval` — regenerate the tables and figures of the GLOVE paper.
+//!
+//! ```text
+//! glove-eval [OPTIONS] <experiment>... | all
+//!
+//! Experiments: fig3a fig3b fig4 fig5a fig5b fig7 fig8 fig9 fig10 fig11
+//!              table2 rog throughput
+//!
+//! Options:
+//!   --users N     subscribers per nation-wide dataset  (default 600)
+//!   --events F    median CDR events per user-day       (default: preset)
+//!   --threads N   worker threads, 0 = all cores        (default 0)
+//!   --out DIR     CSV output directory                 (default results/)
+//!   --quick       shorthand for --users 150
+//! ```
+
+use glove_eval::{run_experiment, EvalConfig, EvalContext, EXPERIMENTS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: glove-eval [--users N] [--threads N] [--out DIR] [--quick] <experiment>... | all\n\
+         experiments: {}",
+        EXPERIMENTS.join(" ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut cfg = EvalConfig::default();
+    let mut selected: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--users" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.users = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--events" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.events_per_day = Some(v.parse().unwrap_or_else(|_| usage()));
+            }
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.threads = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--out" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                cfg.out_dir = PathBuf::from(v);
+            }
+            "--quick" => cfg.users = 150,
+            "--help" | "-h" => usage(),
+            "all" => selected.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            name if EXPERIMENTS.contains(&name) => selected.push(name.to_string()),
+            other => {
+                eprintln!("unknown experiment or option: {other}");
+                usage();
+            }
+        }
+    }
+    if selected.is_empty() {
+        usage();
+    }
+    if cfg.users < 10 {
+        eprintln!("--users must be at least 10");
+        return ExitCode::from(2);
+    }
+
+    let mut ctx = EvalContext::new(cfg);
+    for name in &selected {
+        match run_experiment(name, &mut ctx) {
+            Some(report) => println!("{}", report.render()),
+            None => {
+                eprintln!("unknown experiment: {name}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

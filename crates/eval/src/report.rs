@@ -1,0 +1,228 @@
+//! Report rendering: aligned text tables for stdout and CSV files for
+//! plotting.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A finished experiment report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment identifier (e.g. `fig5a`).
+    pub name: String,
+    /// Title line (paper reference).
+    pub title: String,
+    /// Rendered text body.
+    pub body: String,
+    /// CSV files written.
+    pub csv_files: Vec<PathBuf>,
+}
+
+impl Report {
+    /// Starts a report.
+    pub fn new(name: impl Into<String>, title: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            title: title.into(),
+            body: String::new(),
+            csv_files: Vec::new(),
+        }
+    }
+
+    /// Appends a paragraph line.
+    pub fn line(&mut self, text: impl AsRef<str>) {
+        self.body.push_str(text.as_ref());
+        self.body.push('\n');
+    }
+
+    /// Appends an aligned table: `header` then `rows` (all stringly).
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) {
+        let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+        for row in rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                let w = widths.get(i).copied().unwrap_or(cell.len());
+                let _ = write!(out, "{cell:>w$}  ");
+            }
+            out.push('\n');
+        };
+        let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+        render_row(&header_cells, &mut self.body);
+        let rule: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        render_row(&rule, &mut self.body);
+        for row in rows {
+            render_row(row, &mut self.body);
+        }
+    }
+
+    /// Renders the full report for stdout.
+    pub fn render(&self) -> String {
+        let bar = "=".repeat(72);
+        let mut out = String::new();
+        let _ = writeln!(out, "{bar}\n{} — {}\n{bar}", self.name, self.title);
+        out.push_str(&self.body);
+        if !self.csv_files.is_empty() {
+            let _ = writeln!(out, "CSV:");
+            for f in &self.csv_files {
+                let _ = writeln!(out, "  {}", f.display());
+            }
+        }
+        out
+    }
+}
+
+/// Writes a CSV file: `header` row then `rows`, creating the directory.
+pub fn write_csv(
+    dir: &Path,
+    file_name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let path = dir.join(file_name);
+    let mut content = String::new();
+    content.push_str(&header.join(","));
+    content.push('\n');
+    for row in rows {
+        content.push_str(&row.join(","));
+        content.push('\n');
+    }
+    fs::write(&path, content)?;
+    Ok(path)
+}
+
+/// Renders a set of CDF curves as a compact ASCII chart, one row per curve:
+/// each column is an abscissa bucket over `[lo, hi]` and the glyph encodes
+/// F(x) in ninths (` ` = 0, `█` = 1). A legend line maps rows to labels.
+///
+/// This is what makes `glove-eval` output *look* like the paper's figures
+/// in a terminal; the precise series go to CSV.
+pub fn ascii_cdf(
+    curves: &[(String, &dyn Fn(f64) -> f64)],
+    lo: f64,
+    hi: f64,
+    width: usize,
+) -> String {
+    const GLYPHS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    assert!(width >= 2 && hi > lo);
+    let label_w = curves.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, f) in curves {
+        let _ = write!(out, "{label:>label_w$} |");
+        for i in 0..width {
+            let x = lo + (hi - lo) * i as f64 / (width - 1) as f64;
+            let v = f(x).clamp(0.0, 1.0);
+            let idx = (v * (GLYPHS.len() - 1) as f64).round() as usize;
+            out.push(GLYPHS[idx]);
+        }
+        out.push_str("|\n");
+    }
+    let _ = writeln!(
+        out,
+        "{:>label_w$}  {:<w$}{}",
+        "",
+        format_args!("{lo}"),
+        hi,
+        w = width.saturating_sub(format!("{hi}").len())
+    );
+    out
+}
+
+/// Formats a float compactly for reports (4 significant-ish decimals).
+pub fn fmt(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.1}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let mut r = Report::new("t", "test");
+        r.table(
+            &["a", "long-header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["100".into(), "20000".into()],
+            ],
+        );
+        let lines: Vec<&str> = r.body.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // All rows render to the same width.
+        assert_eq!(lines[0].len(), lines[2].len());
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let dir = std::env::temp_dir().join("glove-eval-test-csv");
+        let path = write_csv(
+            &dir,
+            "t.csv",
+            &["x", "y"],
+            &[vec!["1".into(), "2".into()]],
+        )
+        .unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "x,y\n1,2\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(0.1234567), "0.1235");
+        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(12345.6), "12345.6");
+        assert_eq!(pct(0.125), "12.5%");
+    }
+
+    #[test]
+    fn ascii_cdf_renders_monotone_fill() {
+        let f = |x: f64| x; // identity CDF on [0, 1]
+        let g = |_: f64| 1.0; // saturated CDF
+        let chart = ascii_cdf(
+            &[("ramp".to_string(), &f as _), ("full".to_string(), &g as _)],
+            0.0,
+            1.0,
+            20,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("ramp |"));
+        assert!(lines[0].trim_end().ends_with('|'));
+        // Saturated curve is all-full glyphs.
+        assert!(lines[1].contains("████████████████████"));
+    }
+
+    #[test]
+    fn render_includes_title_and_body() {
+        let mut r = Report::new("figX", "An experiment");
+        r.line("hello");
+        let s = r.render();
+        assert!(s.contains("figX"));
+        assert!(s.contains("An experiment"));
+        assert!(s.contains("hello"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Smoke test: every registered experiment runs to completion on a tiny
+//! population and produces a non-empty report plus its CSV artifacts.
+//!
+//! This guards the harness itself — the figure-regeneration code is part of
+//! the deliverable and must not rot.
+
+use glove_eval::{run_experiment, EvalConfig, EvalContext, EXPERIMENTS};
+
+#[test]
+fn every_experiment_runs_at_tiny_scale() {
+    let out_dir = std::env::temp_dir().join(format!("glove-eval-smoke-{}", std::process::id()));
+    let mut ctx = EvalContext::new(EvalConfig {
+        users: 24,
+        threads: 1,
+        out_dir: out_dir.clone(),
+        events_per_day: None,
+    });
+
+    for name in EXPERIMENTS {
+        let report = run_experiment(name, &mut ctx)
+            .unwrap_or_else(|| panic!("registered experiment {name} missing from dispatcher"));
+        assert_eq!(&report.name, name);
+        assert!(
+            !report.body.trim().is_empty(),
+            "experiment {name} produced an empty report"
+        );
+        for csv in &report.csv_files {
+            let content = std::fs::read_to_string(csv)
+                .unwrap_or_else(|e| panic!("experiment {name}: unreadable CSV {csv:?}: {e}"));
+            let mut lines = content.lines();
+            let header = lines.next().unwrap_or_default();
+            assert!(
+                header.contains(','),
+                "experiment {name}: CSV {csv:?} has no header columns"
+            );
+            assert!(
+                lines.next().is_some(),
+                "experiment {name}: CSV {csv:?} has no data rows"
+            );
+        }
+        // The rendered report must carry the experiment banner.
+        assert!(report.render().contains(name));
+    }
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn unknown_experiment_is_rejected() {
+    let mut ctx = EvalContext::new(EvalConfig {
+        users: 24,
+        threads: 1,
+        out_dir: std::env::temp_dir(),
+        events_per_day: None,
+    });
+    assert!(run_experiment("fig99", &mut ctx).is_none());
+}

@@ -1,0 +1,282 @@
+//! Spherical Lambert azimuthal equal-area (LAEA) projection.
+//!
+//! The projection maps latitude/longitude onto a plane such that areas are
+//! preserved — the property that matters when antenna positions are later
+//! snapped onto an equal-pitch grid (paper §3). The forward/inverse formulas
+//! follow Snyder, *Map Projections — A Working Manual* (USGS PP 1395),
+//! equations (24-2)…(24-4) and (20-14)…(20-15) for the sphere.
+
+use crate::EARTH_RADIUS_M;
+
+/// A geographic position in degrees.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeoPoint {
+    /// Latitude in degrees, positive north, in `[-90, 90]`.
+    pub lat_deg: f64,
+    /// Longitude in degrees, positive east, in `[-180, 180]`.
+    pub lon_deg: f64,
+}
+
+/// A projected position in meters on the LAEA plane.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricPoint {
+    /// Easting in meters (relative to the projection origin).
+    pub x: f64,
+    /// Northing in meters (relative to the projection origin).
+    pub y: f64,
+}
+
+/// Spherical Lambert azimuthal equal-area projection centred on an origin.
+///
+/// ```
+/// use glove_geo::{GeoPoint, LambertAzimuthalEqualArea};
+///
+/// // Projection centred on Dakar, Senegal.
+/// let proj = LambertAzimuthalEqualArea::new(GeoPoint { lat_deg: 14.7, lon_deg: -17.5 });
+/// let p = proj.forward(GeoPoint { lat_deg: 14.8, lon_deg: -17.3 });
+/// let back = proj.inverse(p);
+/// assert!((back.lat_deg - 14.8).abs() < 1e-9);
+/// assert!((back.lon_deg + 17.3).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct LambertAzimuthalEqualArea {
+    lat0: f64,
+    lon0: f64,
+    sin_lat0: f64,
+    cos_lat0: f64,
+    radius: f64,
+}
+
+impl LambertAzimuthalEqualArea {
+    /// Creates a projection centred on `origin` with the mean Earth radius.
+    pub fn new(origin: GeoPoint) -> Self {
+        Self::with_radius(origin, EARTH_RADIUS_M)
+    }
+
+    /// Creates a projection centred on `origin` with a custom sphere radius
+    /// (useful for testing against closed-form values).
+    pub fn with_radius(origin: GeoPoint, radius: f64) -> Self {
+        assert!(
+            origin.lat_deg.abs() <= 90.0,
+            "projection origin latitude out of range: {}",
+            origin.lat_deg
+        );
+        assert!(radius.is_finite() && radius > 0.0, "invalid sphere radius");
+        let lat0 = origin.lat_deg.to_radians();
+        Self {
+            lat0,
+            lon0: origin.lon_deg.to_radians(),
+            sin_lat0: lat0.sin(),
+            cos_lat0: lat0.cos(),
+            radius,
+        }
+    }
+
+    /// The projection origin.
+    pub fn origin(&self) -> GeoPoint {
+        GeoPoint {
+            lat_deg: self.lat0.to_degrees(),
+            lon_deg: self.lon0.to_degrees(),
+        }
+    }
+
+    /// Projects a geographic point onto the plane (forward projection).
+    ///
+    /// The antipode of the origin is a singularity of LAEA; inputs within
+    /// ~1e-9 rad of it are clamped to the projection rim. Country-scale
+    /// datasets (the paper's use case) never approach it.
+    pub fn forward(&self, p: GeoPoint) -> MetricPoint {
+        let lat = p.lat_deg.to_radians();
+        let dlon = p.lon_deg.to_radians() - self.lon0;
+        let (sin_lat, cos_lat) = lat.sin_cos();
+        let (sin_dlon, cos_dlon) = dlon.sin_cos();
+
+        // k' = sqrt(2 / (1 + sin φ0 sin φ + cos φ0 cos φ cos Δλ))
+        let denom = 1.0 + self.sin_lat0 * sin_lat + self.cos_lat0 * cos_lat * cos_dlon;
+        // The antipodal point makes denom → 0; clamp to keep the math finite.
+        let denom = denom.max(1e-12);
+        let kp = (2.0 / denom).sqrt();
+
+        MetricPoint {
+            x: self.radius * kp * cos_lat * sin_dlon,
+            y: self.radius * kp * (self.cos_lat0 * sin_lat - self.sin_lat0 * cos_lat * cos_dlon),
+        }
+    }
+
+    /// Un-projects a planar point back to latitude/longitude (inverse
+    /// projection).
+    pub fn inverse(&self, p: MetricPoint) -> GeoPoint {
+        let rho = (p.x * p.x + p.y * p.y).sqrt();
+        if rho < 1e-12 {
+            return self.origin();
+        }
+        // c = 2 asin(ρ / 2R)
+        let c = 2.0 * (rho / (2.0 * self.radius)).clamp(-1.0, 1.0).asin();
+        let (sin_c, cos_c) = c.sin_cos();
+
+        let lat = (cos_c * self.sin_lat0 + p.y * sin_c * self.cos_lat0 / rho)
+            .clamp(-1.0, 1.0)
+            .asin();
+        let lon = self.lon0
+            + (p.x * sin_c)
+                .atan2(rho * self.cos_lat0 * cos_c - p.y * self.sin_lat0 * sin_c);
+
+        GeoPoint {
+            lat_deg: lat.to_degrees(),
+            lon_deg: normalize_lon_deg(lon.to_degrees()),
+        }
+    }
+}
+
+/// Wraps a longitude in degrees into `(-180, 180]`.
+fn normalize_lon_deg(mut lon: f64) -> f64 {
+    while lon <= -180.0 {
+        lon += 360.0;
+    }
+    while lon > 180.0 {
+        lon -= 360.0;
+    }
+    lon
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ORIGIN: GeoPoint = GeoPoint {
+        lat_deg: 14.7,
+        lon_deg: -17.5,
+    };
+
+    #[test]
+    fn origin_projects_to_zero() {
+        let proj = LambertAzimuthalEqualArea::new(ORIGIN);
+        let p = proj.forward(ORIGIN);
+        assert!(p.x.abs() < 1e-9 && p.y.abs() < 1e-9);
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let proj = LambertAzimuthalEqualArea::new(ORIGIN);
+        for &(lat, lon) in &[
+            (14.7, -17.5),
+            (15.3, -16.2),
+            (12.0, -12.0),
+            (16.9, -14.1),
+            (5.3, -4.0), // Abidjan-ish, far from origin
+        ] {
+            let p = proj.forward(GeoPoint {
+                lat_deg: lat,
+                lon_deg: lon,
+            });
+            let back = proj.inverse(p);
+            assert!(
+                (back.lat_deg - lat).abs() < 1e-8,
+                "lat round trip failed for ({lat},{lon}): {}",
+                back.lat_deg
+            );
+            assert!(
+                (back.lon_deg - lon).abs() < 1e-8,
+                "lon round trip failed for ({lat},{lon}): {}",
+                back.lon_deg
+            );
+        }
+    }
+
+    #[test]
+    fn spherical_reference_values() {
+        // Hand-computed from Snyder's spherical LAEA formulas (24-2)…(24-4):
+        // R = 3, φ0 = 40° N, λ0 = 100° W, φ = 30° N, λ = 110° W.
+        //   k' = sqrt(2 / (1 + sin40·sin30 + cos40·cos30·cos(−10°)))
+        //      = 1.006378
+        //   x  = 3 · k' · cos30 · sin(−10°) = −0.45403
+        //   y  = 3 · k' · (cos40·sin30 − sin40·cos30·cos(−10°)) = −0.49873
+        let proj = LambertAzimuthalEqualArea::with_radius(
+            GeoPoint {
+                lat_deg: 40.0,
+                lon_deg: -100.0,
+            },
+            3.0,
+        );
+        let p = proj.forward(GeoPoint {
+            lat_deg: 30.0,
+            lon_deg: -110.0,
+        });
+        assert!((p.x - (-0.45403)).abs() < 5e-5, "x = {}", p.x);
+        assert!((p.y - (-0.49873)).abs() < 5e-5, "y = {}", p.y);
+    }
+
+    #[test]
+    fn north_is_positive_y_east_is_positive_x() {
+        let proj = LambertAzimuthalEqualArea::new(ORIGIN);
+        let north = proj.forward(GeoPoint {
+            lat_deg: ORIGIN.lat_deg + 0.5,
+            ..ORIGIN
+        });
+        let east = proj.forward(GeoPoint {
+            lon_deg: ORIGIN.lon_deg + 0.5,
+            ..ORIGIN
+        });
+        assert!(north.y > 0.0 && north.x.abs() < 1.0);
+        assert!(east.x > 0.0);
+    }
+
+    #[test]
+    fn local_scale_is_metric() {
+        // 0.01° of latitude ≈ 1.1132 km on the sphere; the projected distance
+        // near the origin must match to high accuracy.
+        let proj = LambertAzimuthalEqualArea::new(ORIGIN);
+        let p = proj.forward(GeoPoint {
+            lat_deg: ORIGIN.lat_deg + 0.01,
+            ..ORIGIN
+        });
+        let expected = EARTH_RADIUS_M * 0.01f64.to_radians();
+        assert!(
+            (p.y - expected).abs() < 0.01,
+            "expected {expected} m, got {} m",
+            p.y
+        );
+    }
+
+    #[test]
+    fn area_preservation_of_small_quad() {
+        // Equal-area property: a small lat/lon quad far from the origin must
+        // project to (approximately) its true spherical area.
+        let proj = LambertAzimuthalEqualArea::new(ORIGIN);
+        let (lat, lon, d) = (10.0f64, -10.0f64, 0.05f64);
+        let corners = [
+            (lat, lon),
+            (lat + d, lon),
+            (lat + d, lon + d),
+            (lat, lon + d),
+        ]
+        .map(|(la, lo)| {
+            proj.forward(GeoPoint {
+                lat_deg: la,
+                lon_deg: lo,
+            })
+        });
+        // Shoelace area of the projected quad.
+        let mut area2 = 0.0;
+        for i in 0..4 {
+            let a = corners[i];
+            let b = corners[(i + 1) % 4];
+            area2 += a.x * b.y - b.x * a.y;
+        }
+        let projected_area = area2.abs() / 2.0;
+        let true_area = EARTH_RADIUS_M
+            * EARTH_RADIUS_M
+            * d.to_radians()
+            * (((lat + d).to_radians()).sin() - (lat.to_radians()).sin());
+        let rel_err = (projected_area - true_area).abs() / true_area;
+        assert!(rel_err < 1e-4, "relative area error {rel_err}");
+    }
+
+    #[test]
+    fn normalize_lon_wraps() {
+        assert_eq!(normalize_lon_deg(190.0), -170.0);
+        assert_eq!(normalize_lon_deg(-190.0), 170.0);
+        assert_eq!(normalize_lon_deg(0.0), 0.0);
+        assert_eq!(normalize_lon_deg(360.0), 0.0);
+    }
+}

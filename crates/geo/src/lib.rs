@@ -1,0 +1,59 @@
+//! Geodesy substrate for the GLOVE reproduction.
+//!
+//! The GLOVE paper (§3) receives antenna positions as latitude/longitude
+//! pairs, maps them "to a two-dimensional coordinate system using the Lambert
+//! azimuthal equal-area projection", and then discretizes the projected
+//! positions "on a 100-m regular grid, which represents the maximum spatial
+//! granularity". This crate implements exactly that pipeline:
+//!
+//! * [`LambertAzimuthalEqualArea`] — the spherical forward/inverse LAEA
+//!   projection centred on a configurable origin;
+//! * [`Grid`] — snapping of projected metric coordinates onto a regular grid
+//!   (100 m by default) with an origin offset so that all cells are
+//!   non-negative;
+//! * small geometric helpers shared by the rest of the workspace.
+//!
+//! Everything here is deterministic, allocation-free and `no_std`-shaped
+//! (plain `f64` math), so it can be unit- and property-tested exhaustively.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod laea;
+
+pub use grid::{Grid, GridCell};
+pub use laea::{GeoPoint, LambertAzimuthalEqualArea, MetricPoint};
+
+/// Mean Earth radius in meters (IUGG value), used by the spherical LAEA
+/// projection. The paper does not state the ellipsoid; at country scale the
+/// spherical model keeps positional error well below the 100 m grid pitch.
+pub const EARTH_RADIUS_M: f64 = 6_371_008.8;
+
+/// Euclidean distance between two metric points, in meters.
+#[inline]
+pub fn euclidean(a: MetricPoint, b: MetricPoint) -> f64 {
+    let dx = a.x - b.x;
+    let dy = a.y - b.y;
+    (dx * dx + dy * dy).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_is_symmetric_and_zero_on_self() {
+        let a = MetricPoint { x: 10.0, y: -4.0 };
+        let b = MetricPoint { x: -2.5, y: 9.0 };
+        assert_eq!(euclidean(a, b), euclidean(b, a));
+        assert_eq!(euclidean(a, a), 0.0);
+    }
+
+    #[test]
+    fn euclidean_matches_pythagoras() {
+        let a = MetricPoint { x: 0.0, y: 0.0 };
+        let b = MetricPoint { x: 3.0, y: 4.0 };
+        assert!((euclidean(a, b) - 5.0).abs() < 1e-12);
+    }
+}

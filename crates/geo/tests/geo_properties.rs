@@ -1,0 +1,92 @@
+//! Property tests of the geodesy substrate: projection round trips and
+//! grid-snapping invariants over the whole usable domain.
+
+use glove_geo::{Grid, GeoPoint, LambertAzimuthalEqualArea, MetricPoint};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn forward_inverse_round_trip_anywhere_reasonable(
+        lat0 in -60.0f64..60.0,
+        lon0 in -180.0f64..180.0,
+        dlat in -20.0f64..20.0,
+        dlon in -20.0f64..20.0,
+    ) {
+        // Points within ~20° of the projection origin — far beyond any
+        // country-scale dataset.
+        let proj = LambertAzimuthalEqualArea::new(GeoPoint { lat_deg: lat0, lon_deg: lon0 });
+        let lat = (lat0 + dlat).clamp(-89.0, 89.0);
+        let lon = lon0 + dlon;
+        let p = proj.forward(GeoPoint { lat_deg: lat, lon_deg: lon });
+        prop_assert!(p.x.is_finite() && p.y.is_finite());
+        let back = proj.inverse(p);
+        prop_assert!((back.lat_deg - lat).abs() < 1e-7, "lat: {} vs {lat}", back.lat_deg);
+        // Longitudes wrap; compare via angular distance.
+        let dl = (back.lon_deg - lon).rem_euclid(360.0);
+        let dl = dl.min(360.0 - dl);
+        prop_assert!(dl < 1e-7, "lon: {} vs {lon}", back.lon_deg);
+    }
+
+    #[test]
+    fn projection_distance_close_to_great_circle_locally(
+        lat0 in -60.0f64..60.0,
+        bearing in 0.0f64..std::f64::consts::TAU,
+        dist_deg in 0.001f64..0.5,
+    ) {
+        // Within ~50 km of the origin, the projected Euclidean distance must
+        // match the sphere distance to high relative accuracy (LAEA is
+        // equal-area, and distortion grows quadratically from the origin).
+        let origin = GeoPoint { lat_deg: lat0, lon_deg: 10.0 };
+        let proj = LambertAzimuthalEqualArea::new(origin);
+        let lat = lat0 + dist_deg * bearing.cos();
+        let lon = 10.0 + dist_deg * bearing.sin() / lat0.to_radians().cos().max(0.2);
+        let p = proj.forward(GeoPoint { lat_deg: lat, lon_deg: lon });
+        let planar = (p.x * p.x + p.y * p.y).sqrt();
+
+        // Haversine ground truth.
+        let (la0, lo0) = (lat0.to_radians(), 10.0f64.to_radians());
+        let (la1, lo1) = (lat.to_radians(), lon.to_radians());
+        let h = ((la1 - la0) / 2.0).sin().powi(2)
+            + la0.cos() * la1.cos() * ((lo1 - lo0) / 2.0).sin().powi(2);
+        let sphere = 2.0 * glove_geo::EARTH_RADIUS_M * h.sqrt().asin();
+
+        prop_assert!(
+            (planar - sphere).abs() <= 1e-4 * sphere + 0.5,
+            "planar {planar} vs sphere {sphere}"
+        );
+    }
+
+    #[test]
+    fn snap_is_idempotent_and_contains_point(
+        x in -1e7f64..1e7,
+        y in -1e7f64..1e7,
+        pitch in 1.0f64..10_000.0,
+    ) {
+        let grid = Grid::new(pitch);
+        let p = MetricPoint { x, y };
+        let s = grid.snap_corner_m(p);
+        prop_assert_eq!(grid.snap_corner_m(s), s, "snapping must be idempotent");
+        // The original point lies within [corner, corner + pitch) on both
+        // axes (up to f64 rounding at huge magnitudes).
+        prop_assert!(s.x <= p.x + 1e-6 && p.x < s.x + pitch + 1e-6);
+        prop_assert!(s.y <= p.y + 1e-6 && p.y < s.y + pitch + 1e-6);
+    }
+
+    #[test]
+    fn cells_partition_points(
+        x1 in -1e6f64..1e6,
+        y1 in -1e6f64..1e6,
+        x2 in -1e6f64..1e6,
+        y2 in -1e6f64..1e6,
+    ) {
+        let grid = Grid::default();
+        let a = grid.cell_of(MetricPoint { x: x1, y: y1 });
+        let b = grid.cell_of(MetricPoint { x: x2, y: y2 });
+        // Same cell iff both coordinates land in the same 100 m bucket.
+        let same = (x1 / 100.0).floor() == (x2 / 100.0).floor()
+            && (y1 / 100.0).floor() == (y2 / 100.0).floor();
+        prop_assert_eq!(a == b, same);
+    }
+}

@@ -1,0 +1,158 @@
+//! Empirical cumulative distribution functions.
+
+/// An empirical CDF over a finite sample.
+///
+/// Construction sorts the sample once; all queries are then O(log n).
+/// Non-finite values are rejected at construction so that downstream quantile
+/// arithmetic is total.
+///
+/// ```
+/// use glove_stats::Ecdf;
+/// let cdf = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Builds an ECDF from a sample.
+    ///
+    /// Returns `None` if the sample is empty or contains NaN/±∞.
+    pub fn new(mut values: Vec<f64>) -> Option<Self> {
+        if values.is_empty() || values.iter().any(|v| !v.is_finite()) {
+            return None;
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        Some(Self { sorted: values })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if there are no observations (never: construction rejects that).
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// F(x): fraction of observations ≤ `x`.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        // partition_point returns the count of elements <= x when used with
+        // the predicate `v <= x` on sorted data.
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Exact empirical quantile using the inverse-CDF (type-1) definition:
+    /// the smallest observation `v` with `F(v) ≥ p`.
+    ///
+    /// `p` is clamped into `[0, 1]`.
+    pub fn quantile(&self, p: f64) -> f64 {
+        let p = p.clamp(0.0, 1.0);
+        if p == 0.0 {
+            return self.sorted[0];
+        }
+        let n = self.sorted.len();
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        self.sorted[idx]
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.sorted[0]
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        *self.sorted.last().expect("non-empty")
+    }
+
+    /// Arithmetic mean of the observations.
+    pub fn mean(&self) -> f64 {
+        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
+    }
+
+    /// Samples the CDF at `n` evenly spaced abscissae spanning
+    /// `[lo, hi]`, returning `(x, F(x))` pairs — the series plotted in the
+    /// paper's CDF figures.
+    pub fn series(&self, lo: f64, hi: f64, n: usize) -> Vec<(f64, f64)> {
+        assert!(n >= 2, "need at least two sample points");
+        assert!(hi >= lo, "series range must be ordered");
+        (0..n)
+            .map(|i| {
+                let x = lo + (hi - lo) * i as f64 / (n - 1) as f64;
+                (x, self.fraction_at_or_below(x))
+            })
+            .collect()
+    }
+
+    /// The underlying sorted observations.
+    pub fn values(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_empty_and_nonfinite() {
+        assert!(Ecdf::new(vec![]).is_none());
+        assert!(Ecdf::new(vec![1.0, f64::NAN]).is_none());
+        assert!(Ecdf::new(vec![f64::INFINITY]).is_none());
+    }
+
+    #[test]
+    fn step_function_semantics() {
+        let cdf = Ecdf::new(vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.25);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(3.9), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(4.0), 1.0);
+        assert_eq!(cdf.fraction_at_or_below(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_order_statistics() {
+        let cdf = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]).unwrap();
+        assert_eq!(cdf.quantile(0.0), 10.0);
+        assert_eq!(cdf.quantile(0.2), 10.0);
+        assert_eq!(cdf.quantile(0.21), 20.0);
+        assert_eq!(cdf.quantile(0.5), 30.0);
+        assert_eq!(cdf.quantile(1.0), 50.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let cdf = Ecdf::new((1..=100).map(|i| i as f64).collect()).unwrap();
+        for p in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let q = cdf.quantile(p);
+            assert!(cdf.fraction_at_or_below(q) >= p);
+        }
+    }
+
+    #[test]
+    fn series_is_monotone() {
+        let cdf = Ecdf::new(vec![3.0, 1.0, 2.0, 8.0, 5.0]).unwrap();
+        let series = cdf.series(0.0, 10.0, 21);
+        assert_eq!(series.len(), 21);
+        for w in series.windows(2) {
+            assert!(w[1].1 >= w[0].1, "CDF series must be non-decreasing");
+        }
+        assert_eq!(series.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn mean_min_max() {
+        let cdf = Ecdf::new(vec![2.0, 4.0, 6.0]).unwrap();
+        assert_eq!(cdf.mean(), 4.0);
+        assert_eq!(cdf.min(), 2.0);
+        assert_eq!(cdf.max(), 6.0);
+    }
+}

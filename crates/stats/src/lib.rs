@@ -1,0 +1,26 @@
+//! Statistics substrate for the GLOVE reproduction.
+//!
+//! The paper characterizes anonymizability through distributions, not point
+//! values (§5): CDFs of the k-gap, quantiles of accuracy, the Tail Weight
+//! Index of per-user stretch-effort distributions, and the radius of gyration
+//! of subscribers. This crate provides those tools:
+//!
+//! * [`Ecdf`] — an empirical cumulative distribution function with exact
+//!   quantile queries and fixed-grid sampling for figure regeneration;
+//! * [`twi()`] — the Hoaglin–Mosteller–Tukey quantile tail-weight index used in
+//!   the paper's Fig. 5a (exponential(1) ⇒ ≈ 1.6, Pareto(1) ⇒ ≈ 14);
+//! * [`radius_of_gyration`] — the standard mobility metric quoted in §7.3;
+//! * [`Summary`] — mean / median / quartiles used throughout §7.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ecdf;
+pub mod rog;
+pub mod summary;
+pub mod twi;
+
+pub use ecdf::Ecdf;
+pub use rog::radius_of_gyration;
+pub use summary::Summary;
+pub use twi::{twi, GAUSSIAN_TAIL_RATIO};

@@ -1,0 +1,75 @@
+//! Summary statistics (mean, median, quartiles) used by the §7 figures,
+//! where each curve is annotated with "Median / Mean / 25–75 %ile".
+
+use crate::Ecdf;
+
+/// Mean, median and quartiles of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (Q50).
+    pub median: f64,
+    /// Lower quartile (Q25).
+    pub p25: f64,
+    /// Upper quartile (Q75).
+    pub p75: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes the summary of a sample; `None` if empty or non-finite.
+    pub fn of(values: &[f64]) -> Option<Self> {
+        let ecdf = Ecdf::new(values.to_vec())?;
+        Some(Self::of_ecdf(&ecdf))
+    }
+
+    /// Computes the summary from an existing ECDF.
+    pub fn of_ecdf(ecdf: &Ecdf) -> Self {
+        Self {
+            n: ecdf.len(),
+            mean: ecdf.mean(),
+            median: ecdf.quantile(0.5),
+            p25: ecdf.quantile(0.25),
+            p75: ecdf.quantile(0.75),
+            min: ecdf.min(),
+            max: ecdf.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert_eq!(s.mean, 4.5);
+        assert_eq!(s.median, 4.0);
+        assert_eq!(s.p25, 2.0);
+        assert_eq!(s.p75, 6.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 8.0);
+    }
+
+    #[test]
+    fn ordering_invariants() {
+        let s = Summary::of(&[9.0, 1.0, 5.0, 3.0, 7.0]).unwrap();
+        assert!(s.min <= s.p25);
+        assert!(s.p25 <= s.median);
+        assert!(s.median <= s.p75);
+        assert!(s.p75 <= s.max);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+    }
+}

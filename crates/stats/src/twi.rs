@@ -1,0 +1,155 @@
+//! The Tail Weight Index (TWI) of §5.3 / Fig. 5a.
+//!
+//! The paper measures how heavy the tail of each per-user stretch-effort
+//! distribution is, citing Hoaglin, Mosteller & Tukey ("Understanding Robust
+//! and Exploratory Data Analysis", Wiley 1983) and calibrating the index with
+//! two anchors (§5.3, footnote 5):
+//!
+//! > An exponential distribution with parameter equal to one has TWI 1.6,
+//! > whereas a fat-tailed Pareto distribution with shape equal to one has
+//! > TWI 14.
+//!
+//! The Gaussian-normalized upper-tail quantile-spread ratio
+//!
+//! ```text
+//! TWI(F) = [(Q(0.99) − Q(0.5)) / (Q(0.75) − Q(0.5))] / [z(0.99) / z(0.75)]
+//! ```
+//!
+//! (`z` = standard normal quantile; `z(0.99)/z(0.75) ≈ 3.4496`) reproduces
+//! both anchors exactly: exponential(1) gives `(ln100 − ln2)/(ln4 − ln2) /
+//! 3.4496 ≈ 1.64` and Pareto(shape 1) gives `(100 − 2)/(4 − 2)/3.4496 ≈
+//! 14.2`. A Gaussian therefore has TWI 1 by construction, and heavier tails
+//! give larger values.
+
+use crate::Ecdf;
+
+/// `z(0.99) / z(0.75)` for the standard normal: the normalization constant
+/// that pins the Gaussian at TWI = 1.
+///
+/// z(0.99) = 2.3263478740408408, z(0.75) = 0.6744897501960817.
+pub const GAUSSIAN_TAIL_RATIO: f64 = 2.3263478740408408 / 0.6744897501960817;
+
+/// Computes the Tail Weight Index of a sample.
+///
+/// Returns `None` when the sample is empty, contains non-finite values, or is
+/// too concentrated for the index to be defined (interquartile half-spread
+/// `Q(0.75) − Q(0.5)` equal to zero — e.g. constant samples). Callers decide
+/// how to treat degenerate distributions; the evaluation harness reports them
+/// separately.
+pub fn twi(values: &[f64]) -> Option<f64> {
+    let ecdf = Ecdf::new(values.to_vec())?;
+    twi_of_ecdf(&ecdf)
+}
+
+/// Computes the TWI from an already-built ECDF.
+pub fn twi_of_ecdf(ecdf: &Ecdf) -> Option<f64> {
+    let q50 = ecdf.quantile(0.50);
+    let q75 = ecdf.quantile(0.75);
+    let q99 = ecdf.quantile(0.99);
+    let body = q75 - q50;
+    if body <= 0.0 {
+        return None;
+    }
+    Some(((q99 - q50) / body) / GAUSSIAN_TAIL_RATIO)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    /// Closed-form check: with exact exponential(1) quantiles,
+    /// TWI = (ln100 − ln2)/(ln4 − ln2)/3.4496… ≈ 1.636.
+    #[test]
+    fn exponential_anchor_closed_form() {
+        // Build a huge "sample" that hits the exact quantiles by inverse CDF.
+        let n = 200_000;
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let p = (i as f64 + 0.5) / n as f64;
+                -(1.0 - p).ln()
+            })
+            .collect();
+        let t = twi(&values).unwrap();
+        assert!(
+            (t - 1.636).abs() < 0.02,
+            "exponential(1) should have TWI ≈ 1.6 (paper anchor), got {t}"
+        );
+    }
+
+    /// Closed-form check: Pareto(shape 1, xm 1) quantile Q(p) = 1/(1−p);
+    /// TWI = (100 − 2)/(4 − 2)/3.4496… ≈ 14.2.
+    #[test]
+    fn pareto_anchor_closed_form() {
+        let n = 200_000;
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let p = (i as f64 + 0.5) / n as f64;
+                1.0 / (1.0 - p)
+            })
+            .collect();
+        let t = twi(&values).unwrap();
+        assert!(
+            (t - 14.2).abs() < 0.3,
+            "Pareto(1) should have TWI ≈ 14 (paper anchor), got {t}"
+        );
+    }
+
+    #[test]
+    fn gaussian_is_one() {
+        // Monte-Carlo Gaussian; generous tolerance for sampling noise.
+        let mut rng = StdRng::seed_from_u64(7);
+        let values: Vec<f64> = (0..100_000)
+            .map(|_| {
+                // Box-Muller
+                let u1: f64 = rng.gen_range(1e-12..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            })
+            .collect();
+        let t = twi(&values).unwrap();
+        assert!((t - 1.0).abs() < 0.05, "Gaussian TWI should be ≈ 1, got {t}");
+    }
+
+    #[test]
+    fn uniform_is_lighter_than_gaussian() {
+        let n = 100_000;
+        let values: Vec<f64> = (0..n).map(|i| i as f64 / n as f64).collect();
+        // Uniform: (0.49/0.25)/3.4496 ≈ 0.568.
+        let t = twi(&values).unwrap();
+        assert!(t < 0.7, "uniform tails are light, got {t}");
+    }
+
+    #[test]
+    fn heavier_tail_larger_twi() {
+        let n = 100_000;
+        let expo: Vec<f64> = (0..n)
+            .map(|i| -(1.0 - (i as f64 + 0.5) / n as f64).ln())
+            .collect();
+        let pareto: Vec<f64> = (0..n)
+            .map(|i| 1.0 / (1.0 - (i as f64 + 0.5) / n as f64))
+            .collect();
+        assert!(twi(&pareto).unwrap() > twi(&expo).unwrap());
+    }
+
+    #[test]
+    fn degenerate_samples_return_none() {
+        assert!(twi(&[]).is_none());
+        assert!(twi(&[1.0, 1.0, 1.0, 1.0]).is_none());
+        assert!(twi(&[1.0, f64::NAN]).is_none());
+    }
+
+    #[test]
+    fn scale_invariance() {
+        // TWI is a quantile ratio: multiplying the sample by a constant must
+        // not change it.
+        let n = 50_000;
+        let base: Vec<f64> = (0..n)
+            .map(|i| -(1.0 - (i as f64 + 0.5) / n as f64).ln())
+            .collect();
+        let scaled: Vec<f64> = base.iter().map(|v| v * 123.45).collect();
+        let a = twi(&base).unwrap();
+        let b = twi(&scaled).unwrap();
+        assert!((a - b).abs() < 1e-9);
+    }
+}

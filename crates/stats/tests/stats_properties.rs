@@ -1,0 +1,68 @@
+//! Property tests of the statistics substrate.
+
+use glove_stats::{radius_of_gyration, twi, Ecdf, Summary};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn ecdf_is_a_distribution_function(values in vec(-1e6f64..1e6, 1..200)) {
+        let ecdf = Ecdf::new(values.clone()).expect("finite non-empty");
+        // Bounds.
+        prop_assert_eq!(ecdf.fraction_at_or_below(f64::MAX), 1.0);
+        prop_assert_eq!(ecdf.fraction_at_or_below(ecdf.min() - 1.0), 0.0);
+        // Monotone.
+        let probes = [-1e7, -1e3, 0.0, 1e3, 1e7];
+        for w in probes.windows(2) {
+            prop_assert!(ecdf.fraction_at_or_below(w[0]) <= ecdf.fraction_at_or_below(w[1]));
+        }
+    }
+
+    #[test]
+    fn quantile_and_cdf_are_galois_connected(values in vec(-1e6f64..1e6, 1..200),
+                                             p in 0.0f64..=1.0) {
+        let ecdf = Ecdf::new(values).expect("finite non-empty");
+        let q = ecdf.quantile(p);
+        // The inverse-CDF definition: F(Q(p)) >= p…
+        prop_assert!(ecdf.fraction_at_or_below(q) >= p - 1e-12);
+        // …and Q(p) is an observation.
+        prop_assert!(ecdf.values().contains(&q));
+    }
+
+    #[test]
+    fn summary_ordering_invariants(values in vec(-1e6f64..1e6, 1..200)) {
+        let s = Summary::of(&values).expect("finite non-empty");
+        prop_assert!(s.min <= s.p25);
+        prop_assert!(s.p25 <= s.median);
+        prop_assert!(s.median <= s.p75);
+        prop_assert!(s.p75 <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+    }
+
+    #[test]
+    fn twi_is_translation_and_scale_invariant(values in vec(0.0f64..1e4, 30..150),
+                                              shift in -100.0f64..100.0,
+                                              scale in 0.01f64..100.0) {
+        // TWI is built from quantile differences and ratios of them.
+        if let Some(base) = twi(&values) {
+            let transformed: Vec<f64> = values.iter().map(|v| v * scale + shift).collect();
+            let t = twi(&transformed).expect("transformed stays non-degenerate");
+            prop_assert!((base - t).abs() < 1e-6, "TWI changed: {base} vs {t}");
+        }
+    }
+
+    #[test]
+    fn rog_is_translation_invariant_and_scales(points in vec((-1e5f64..1e5, -1e5f64..1e5), 1..100),
+                                               dx in -1e6f64..1e6,
+                                               scale in 0.1f64..10.0) {
+        let base = radius_of_gyration(&points).expect("non-empty");
+        let shifted: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x + dx, y - dx)).collect();
+        let scaled: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x * scale, y * scale)).collect();
+        let s = radius_of_gyration(&shifted).expect("non-empty");
+        let c = radius_of_gyration(&scaled).expect("non-empty");
+        prop_assert!((base - s).abs() < 1e-4 * (1.0 + base), "translation changed rog");
+        prop_assert!((base * scale - c).abs() < 1e-6 * (1.0 + base * scale), "scaling mismatched");
+    }
+}

@@ -1,0 +1,266 @@
+//! Country geometry: a rectangular projected region with
+//! population-weighted cities.
+//!
+//! The two presets loosely mirror the geography of the paper's datasets
+//! (§3): a large coastal metropolis holding a substantial share of the
+//! subscriber population (Abidjan / Dakar), a handful of secondary cities
+//! with Zipf-decaying weights, and a rural remainder. Coordinates are in
+//! meters on the LAEA plane with the origin at the country's south-west
+//! corner (everything non-negative, ready for the 100 m grid).
+
+/// A city: an attraction pole for homes, workplaces and towers.
+#[derive(Debug, Clone)]
+pub struct City {
+    /// Name (used by [`crate::city_subset`] and Table 2's city columns).
+    pub name: String,
+    /// City centre, meters (projected plane).
+    pub center: (f64, f64),
+    /// Share of the subscriber population living in this city (the rural
+    /// remainder is `1 − Σ weights`).
+    pub weight: f64,
+    /// Spatial scale of the city (standard deviation of the tower/home
+    /// scatter around the centre), meters.
+    pub sigma_m: f64,
+}
+
+/// A rectangular country on the projected plane.
+#[derive(Debug, Clone)]
+pub struct Country {
+    /// Country name.
+    pub name: String,
+    /// Extent along x, meters.
+    pub width_m: f64,
+    /// Extent along y, meters.
+    pub height_m: f64,
+    /// The cities, ordered by decreasing weight.
+    pub cities: Vec<City>,
+}
+
+impl Country {
+    /// Validates the geometry: positive extent, city weights in (0, 1) with
+    /// sum < 1 (the remainder is rural), centres inside the country.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.width_m > 0.0 && self.height_m > 0.0) {
+            return Err("country extent must be positive".into());
+        }
+        if self.cities.is_empty() {
+            return Err("a country needs at least one city".into());
+        }
+        let mut total = 0.0;
+        for c in &self.cities {
+            if !(c.weight > 0.0 && c.weight < 1.0) {
+                return Err(format!("city {} has weight {} outside (0,1)", c.name, c.weight));
+            }
+            if !(c.sigma_m > 0.0) {
+                return Err(format!("city {} has non-positive sigma", c.name));
+            }
+            if c.center.0 < 0.0
+                || c.center.0 > self.width_m
+                || c.center.1 < 0.0
+                || c.center.1 > self.height_m
+            {
+                return Err(format!("city {} centre outside the country", c.name));
+            }
+            total += c.weight;
+        }
+        if total >= 1.0 {
+            return Err(format!("city weights sum to {total} >= 1"));
+        }
+        Ok(())
+    }
+
+    /// The population share not attached to any city (rural).
+    pub fn rural_weight(&self) -> f64 {
+        1.0 - self.cities.iter().map(|c| c.weight).sum::<f64>()
+    }
+
+    /// The largest (first) city.
+    pub fn primary_city(&self) -> &City {
+        &self.cities[0]
+    }
+
+    /// Looks a city up by name (case-sensitive).
+    pub fn city(&self, name: &str) -> Option<&City> {
+        self.cities.iter().find(|c| c.name == name)
+    }
+
+    /// Clamps a point into the country rectangle.
+    pub fn clamp(&self, x: f64, y: f64) -> (f64, f64) {
+        (x.clamp(0.0, self.width_m), y.clamp(0.0, self.height_m))
+    }
+
+    /// Ivory-Coast-like geometry: ~650 × 700 km, a dominant coastal
+    /// metropolis ("abidjan") in the south-east, secondary cities inland.
+    pub fn civ_like() -> Self {
+        let country = Self {
+            name: "civ-like".into(),
+            width_m: 650_000.0,
+            height_m: 700_000.0,
+            cities: vec![
+                City {
+                    name: "abidjan".into(),
+                    center: (480_000.0, 80_000.0),
+                    weight: 0.34,
+                    sigma_m: 9_000.0,
+                },
+                City {
+                    name: "bouake".into(),
+                    center: (330_000.0, 390_000.0),
+                    weight: 0.10,
+                    sigma_m: 5_000.0,
+                },
+                City {
+                    name: "daloa".into(),
+                    center: (180_000.0, 330_000.0),
+                    weight: 0.06,
+                    sigma_m: 4_000.0,
+                },
+                City {
+                    name: "korhogo".into(),
+                    center: (310_000.0, 610_000.0),
+                    weight: 0.05,
+                    sigma_m: 3_500.0,
+                },
+                City {
+                    name: "san-pedro".into(),
+                    center: (170_000.0, 60_000.0),
+                    weight: 0.05,
+                    sigma_m: 3_500.0,
+                },
+                City {
+                    name: "yamoussoukro".into(),
+                    center: (310_000.0, 290_000.0),
+                    weight: 0.05,
+                    sigma_m: 3_500.0,
+                },
+                City {
+                    name: "man".into(),
+                    center: (80_000.0, 360_000.0),
+                    weight: 0.04,
+                    sigma_m: 3_000.0,
+                },
+                City {
+                    name: "abengourou".into(),
+                    center: (540_000.0, 280_000.0),
+                    weight: 0.03,
+                    sigma_m: 2_500.0,
+                },
+            ],
+        };
+        country.validate().expect("civ-like preset is valid");
+        country
+    }
+
+    /// Senegal-like geometry: ~700 × 580 km, a dominant metropolis
+    /// ("dakar") on the far western tip, secondary cities spread east.
+    pub fn sen_like() -> Self {
+        let country = Self {
+            name: "sen-like".into(),
+            width_m: 700_000.0,
+            height_m: 580_000.0,
+            cities: vec![
+                City {
+                    name: "dakar".into(),
+                    center: (40_000.0, 280_000.0),
+                    weight: 0.38,
+                    sigma_m: 8_000.0,
+                },
+                City {
+                    name: "touba".into(),
+                    center: (190_000.0, 310_000.0),
+                    weight: 0.10,
+                    sigma_m: 4_500.0,
+                },
+                City {
+                    name: "thies".into(),
+                    center: (90_000.0, 290_000.0),
+                    weight: 0.07,
+                    sigma_m: 4_000.0,
+                },
+                City {
+                    name: "saint-louis".into(),
+                    center: (120_000.0, 500_000.0),
+                    weight: 0.05,
+                    sigma_m: 3_500.0,
+                },
+                City {
+                    name: "kaolack".into(),
+                    center: (180_000.0, 200_000.0),
+                    weight: 0.05,
+                    sigma_m: 3_500.0,
+                },
+                City {
+                    name: "ziguinchor".into(),
+                    center: (110_000.0, 40_000.0),
+                    weight: 0.04,
+                    sigma_m: 3_000.0,
+                },
+                City {
+                    name: "tambacounda".into(),
+                    center: (430_000.0, 180_000.0),
+                    weight: 0.03,
+                    sigma_m: 2_500.0,
+                },
+            ],
+        };
+        country.validate().expect("sen-like preset is valid");
+        country
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_valid() {
+        Country::civ_like().validate().unwrap();
+        Country::sen_like().validate().unwrap();
+    }
+
+    #[test]
+    fn primary_cities_are_the_metropolises() {
+        assert_eq!(Country::civ_like().primary_city().name, "abidjan");
+        assert_eq!(Country::sen_like().primary_city().name, "dakar");
+    }
+
+    #[test]
+    fn rural_weight_complements_cities() {
+        let c = Country::civ_like();
+        let total: f64 = c.cities.iter().map(|c| c.weight).sum();
+        assert!((c.rural_weight() - (1.0 - total)).abs() < 1e-12);
+        assert!(c.rural_weight() > 0.2, "a sizeable rural population");
+    }
+
+    #[test]
+    fn city_lookup() {
+        let c = Country::sen_like();
+        assert!(c.city("dakar").is_some());
+        assert!(c.city("atlantis").is_none());
+    }
+
+    #[test]
+    fn clamp_keeps_points_inside() {
+        let c = Country::civ_like();
+        let (x, y) = c.clamp(-5.0, 1e9);
+        assert_eq!(x, 0.0);
+        assert_eq!(y, c.height_m);
+    }
+
+    #[test]
+    fn validation_catches_bad_geometry() {
+        let mut c = Country::civ_like();
+        c.cities[0].weight = 1.5;
+        assert!(c.validate().is_err());
+
+        let mut c = Country::civ_like();
+        c.cities[0].center = (-10.0, 0.0);
+        assert!(c.validate().is_err());
+
+        let mut c = Country::civ_like();
+        for city in &mut c.cities {
+            city.weight = 0.2;
+        }
+        assert!(c.validate().is_err(), "weights summing past 1 rejected");
+    }
+}

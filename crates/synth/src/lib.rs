@@ -1,0 +1,45 @@
+//! # glove-synth — synthetic CDR substrate
+//!
+//! The GLOVE paper evaluates on two proprietary datasets released by Orange
+//! within the D4D challenges (§3): `d4d-civ` (Ivory Coast, 82 k users) and
+//! `d4d-sen` (Senegal, 320 k users over a 2-week rolling window). Those
+//! datasets cannot be redistributed, so this crate builds the closest
+//! synthetic equivalent that exercises the same code paths (see DESIGN.md
+//! §1 for the substitution argument):
+//!
+//! * [`country`] — country geometry with population-weighted cities
+//!   (`civ-like` and `sen-like` presets mirroring the two datasets);
+//! * [`towers`] — cell-tower deployment: dense Gaussian scatter in cities,
+//!   sparse rural coverage, nearest-tower lookup via a bucket index;
+//! * [`mobility`] — anchor-based daily-routine mobility (home/work/errand
+//!   anchors, commuting, weekend trips, Lévy-style exploration) calibrated
+//!   to the radius-of-gyration statistics the paper reports in §7.3
+//!   (median ≈ 2 km, mean ≈ 10 km);
+//! * [`traffic`] — the CDR event process: per-user lognormal activity
+//!   rates, diurnal modulation and bursty sessions, producing the sparse
+//!   *heterogeneous* sampling whose heavy-tailed timing is the root cause
+//!   of poor anonymizability (§5.3);
+//! * [`scenario`] — end-to-end dataset builders with activity screening
+//!   (the paper keeps only users averaging ≥ 1 sample/day in `d4d-civ`);
+//! * [`subset`] — the time-span, user-fraction and city subsetting used by
+//!   the generality analysis (§7.3, Figs. 10–11, Table 2's `abidjan`/`dakar`
+//!   columns).
+//!
+//! All generation is deterministic given the scenario seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod country;
+pub mod mobility;
+pub mod quality;
+pub mod scenario;
+pub mod subset;
+pub mod towers;
+pub mod traffic;
+
+pub use country::{City, Country};
+pub use quality::QualityReport;
+pub use scenario::{generate, ScenarioConfig, SynthDataset};
+pub use subset::{city_subset, time_subset, user_subset};
+pub use towers::TowerNetwork;

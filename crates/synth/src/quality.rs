@@ -1,0 +1,184 @@
+//! Data-quality report: does a (synthetic or imported) CDR dataset exhibit
+//! the structural properties the paper's findings rest on?
+//!
+//! The substitution argument of DESIGN.md §1 stands or falls with four
+//! stylized facts of mobile traffic data:
+//!
+//! 1. **activity heterogeneity** — per-user event volumes spread over an
+//!    order of magnitude (log-normal-ish);
+//! 2. **bursty, heavy-tailed timing** — inter-event gaps mix minute-scale
+//!    sessions with multi-hour silences;
+//! 3. **diurnal modulation** — deep night troughs;
+//! 4. **spatial locality** — median radius of gyration of a couple of
+//!    kilometres with a heavy-tailed mean (§7.3).
+//!
+//! [`QualityReport::of`] measures all four so tests can assert them and the
+//! CLI can show them (`glove synth …` prints the report).
+
+use glove_core::Dataset;
+use glove_stats::{radius_of_gyration, Ecdf, Summary};
+
+/// Minutes per day.
+const DAY_MIN: u32 = 1_440;
+
+/// The measured structural properties of a CDR dataset.
+#[derive(Debug, Clone)]
+pub struct QualityReport {
+    /// Per-user samples-per-day statistics.
+    pub events_per_day: Summary,
+    /// Inter-event gap statistics across all users, minutes.
+    pub gaps_min: Summary,
+    /// Fraction of inter-event gaps of at most 10 minutes (sessions).
+    pub short_gap_frac: f64,
+    /// Fraction of inter-event gaps of at least 6 hours (silences).
+    pub long_gap_frac: f64,
+    /// Ratio of night (02:00–05:00) to evening (18:00–21:00) event volume
+    /// per hour; deep diurnal modulation gives a small value.
+    pub night_evening_ratio: f64,
+    /// Per-user radius of gyration statistics, meters.
+    pub rog_m: Summary,
+}
+
+impl QualityReport {
+    /// Measures a dataset. Returns `None` for datasets without enough data
+    /// (no users, or no user with at least two samples).
+    pub fn of(dataset: &Dataset) -> Option<QualityReport> {
+        if dataset.fingerprints.is_empty() {
+            return None;
+        }
+        let span_days = (dataset.span_min() as f64 / f64::from(DAY_MIN)).max(1.0 / f64::from(DAY_MIN));
+
+        let mut events_per_day = Vec::new();
+        let mut gaps = Vec::new();
+        let mut rogs = Vec::new();
+        let mut hour_counts = [0u64; 24];
+
+        for fp in &dataset.fingerprints {
+            events_per_day.push(fp.len() as f64 / span_days);
+            let samples = fp.samples();
+            for w in samples.windows(2) {
+                gaps.push(f64::from(w[1].t - w[0].t));
+            }
+            for s in samples {
+                hour_counts[((s.t % DAY_MIN) / 60) as usize] += 1;
+            }
+            let pts: Vec<(f64, f64)> = samples
+                .iter()
+                .map(|s| {
+                    (
+                        s.x as f64 + f64::from(s.dx) / 2.0,
+                        s.y as f64 + f64::from(s.dy) / 2.0,
+                    )
+                })
+                .collect();
+            if let Some(r) = radius_of_gyration(&pts) {
+                rogs.push(r);
+            }
+        }
+
+        let gaps_ecdf = Ecdf::new(gaps.clone())?;
+        let night: u64 = (2..5).map(|h| hour_counts[h]).sum();
+        let evening: u64 = (18..21).map(|h| hour_counts[h]).sum();
+        let night_evening_ratio = if evening > 0 {
+            night as f64 / evening as f64
+        } else {
+            f64::NAN
+        };
+
+        Some(QualityReport {
+            events_per_day: Summary::of(&events_per_day)?,
+            gaps_min: Summary::of_ecdf(&gaps_ecdf),
+            short_gap_frac: gaps_ecdf.fraction_at_or_below(10.0),
+            long_gap_frac: 1.0 - gaps_ecdf.fraction_at_or_below(360.0 - 1e-9),
+            night_evening_ratio,
+            rog_m: Summary::of(&rogs)?,
+        })
+    }
+
+    /// True if the dataset exhibits all four stylized facts of CDR data at
+    /// the (deliberately generous) thresholds used by the test suite.
+    pub fn looks_like_cdr(&self) -> bool {
+        let heterogeneous = self.events_per_day.max >= 2.0 * self.events_per_day.median;
+        let bursty = self.short_gap_frac > 0.05 && self.long_gap_frac > 0.02;
+        let diurnal = self.night_evening_ratio < 0.35;
+        let local = self.rog_m.median < 10_000.0 && self.rog_m.mean > self.rog_m.median;
+        heterogeneous && bursty && diurnal && local
+    }
+
+    /// Renders the report as aligned text (used by the CLI).
+    pub fn render(&self) -> String {
+        format!(
+            "events/day:    median {:.1}, mean {:.1}, max {:.1}\n\
+             gaps [min]:    median {:.0}, p75 {:.0} — <=10 min: {:.0}%, >=6 h: {:.1}%\n\
+             night/evening: {:.2} (small = strong diurnal cycle)\n\
+             rog [km]:      median {:.2}, mean {:.2}\n\
+             CDR-like:      {}",
+            self.events_per_day.median,
+            self.events_per_day.mean,
+            self.events_per_day.max,
+            self.gaps_min.median,
+            self.gaps_min.p75,
+            self.short_gap_frac * 100.0,
+            self.long_gap_frac * 100.0,
+            self.night_evening_ratio,
+            self.rog_m.median / 1_000.0,
+            self.rog_m.mean / 1_000.0,
+            self.looks_like_cdr(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{generate, ScenarioConfig};
+    use glove_core::Fingerprint;
+
+    #[test]
+    fn synthetic_presets_pass_the_cdr_check() {
+        for cfg in [ScenarioConfig::civ_like(120), ScenarioConfig::sen_like(120)] {
+            let mut cfg = cfg;
+            cfg.num_towers = 400;
+            let synth = generate(&cfg);
+            let report = QualityReport::of(&synth.dataset).expect("measurable dataset");
+            assert!(
+                report.looks_like_cdr(),
+                "{} failed the CDR check:\n{}",
+                cfg.name,
+                report.render()
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_data_fails_the_check() {
+        // Perfectly regular robot users: one event per hour, same cell.
+        let fps = (0..10)
+            .map(|u| {
+                let points: Vec<(i64, i64, u32)> =
+                    (0..200).map(|i| (0, 0, i * 60)).collect();
+                Fingerprint::from_points(u, &points).unwrap()
+            })
+            .collect();
+        let ds = Dataset::new("robots", fps).unwrap();
+        let report = QualityReport::of(&ds).expect("measurable dataset");
+        assert!(!report.looks_like_cdr(), "robots must not look like CDR");
+    }
+
+    #[test]
+    fn empty_dataset_is_none() {
+        let ds = Dataset::new("empty", vec![]).unwrap();
+        assert!(QualityReport::of(&ds).is_none());
+    }
+
+    #[test]
+    fn render_mentions_all_sections() {
+        let mut cfg = ScenarioConfig::civ_like(40);
+        cfg.num_towers = 300;
+        let synth = generate(&cfg);
+        let text = QualityReport::of(&synth.dataset).unwrap().render();
+        for needle in ["events/day", "gaps", "night/evening", "rog", "CDR-like"] {
+            assert!(text.contains(needle), "missing section {needle}");
+        }
+    }
+}

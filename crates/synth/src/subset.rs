@@ -1,0 +1,214 @@
+//! Dataset subsetting for the generality analysis (§7.3).
+//!
+//! * [`time_subset`] — truncates the observation window (Fig. 10 sweeps
+//!   1 → 14 days);
+//! * [`user_subset`] — keeps a random fraction of subscribers (Fig. 11
+//!   sweeps 5 % → 100 %);
+//! * [`city_subset`] — restricts to a metropolitan area (Table 2's
+//!   `abidjan` and `dakar` columns).
+
+use crate::scenario::SynthDataset;
+use glove_core::{Dataset, Fingerprint};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Minutes per day.
+const DAY_MIN: u64 = 1_440;
+
+/// Keeps only the samples of the first `days` days; users left without
+/// samples are dropped. Mirrors the paper's timespan sweep (Fig. 10).
+pub fn time_subset(dataset: &Dataset, days: u32) -> Dataset {
+    let cutoff = u64::from(days) * DAY_MIN;
+    let fps: Vec<Fingerprint> = dataset
+        .fingerprints
+        .iter()
+        .filter_map(|fp| {
+            let samples: Vec<_> = fp
+                .samples()
+                .iter()
+                .filter(|s| s.t_end() <= cutoff)
+                .copied()
+                .collect();
+            if samples.is_empty() {
+                None
+            } else {
+                Some(
+                    Fingerprint::with_users(fp.users().to_vec(), samples)
+                        .expect("non-empty samples"),
+                )
+            }
+        })
+        .collect();
+    Dataset::new(format!("{}-{}d", dataset.name, days), fps).expect("user ids unchanged")
+}
+
+/// Keeps a uniformly random `fraction` of the fingerprints (at least one).
+/// Mirrors the paper's dataset-size sweep (Fig. 11). Deterministic in
+/// `seed`; selection order follows the original dataset order.
+pub fn user_subset(dataset: &Dataset, fraction: f64, seed: u64) -> Dataset {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be in [0, 1], got {fraction}"
+    );
+    let n = dataset.fingerprints.len();
+    let keep = ((n as f64 * fraction).round() as usize).clamp(1, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut rng);
+    let mut chosen: Vec<usize> = indices.into_iter().take(keep).collect();
+    chosen.sort_unstable();
+    let fps = chosen
+        .into_iter()
+        .map(|i| dataset.fingerprints[i].clone())
+        .collect();
+    Dataset::new(
+        format!("{}-{}pct", dataset.name, (fraction * 100.0).round() as u32),
+        fps,
+    )
+    .expect("subset of valid dataset")
+}
+
+/// Restricts the dataset to the metropolitan area of a city: keeps samples
+/// within `radius_m` of the city centre, and only users with at least half
+/// of their samples inside (the city's actual inhabitants and commuters,
+/// not passers-by). Mirrors Table 2's citywide datasets.
+///
+/// Returns `None` if the city does not exist in the scenario geometry.
+pub fn city_subset(synth: &SynthDataset, city_name: &str, radius_m: f64) -> Option<Dataset> {
+    let city = synth.country.city(city_name)?;
+    let (cx, cy) = city.center;
+    let r2 = radius_m * radius_m;
+
+    let fps: Vec<Fingerprint> = synth
+        .dataset
+        .fingerprints
+        .iter()
+        .filter_map(|fp| {
+            let inside: Vec<_> = fp
+                .samples()
+                .iter()
+                .filter(|s| {
+                    let sx = s.x as f64 + f64::from(s.dx) / 2.0;
+                    let sy = s.y as f64 + f64::from(s.dy) / 2.0;
+                    let dx = sx - cx;
+                    let dy = sy - cy;
+                    dx * dx + dy * dy <= r2
+                })
+                .copied()
+                .collect();
+            if inside.is_empty() || inside.len() * 2 < fp.len() {
+                None
+            } else {
+                Some(
+                    Fingerprint::with_users(fp.users().to_vec(), inside)
+                        .expect("non-empty samples"),
+                )
+            }
+        })
+        .collect();
+    Some(Dataset::new(city_name.to_string(), fps).expect("user ids unchanged"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{generate, ScenarioConfig};
+
+    fn synth() -> SynthDataset {
+        let mut cfg = ScenarioConfig::civ_like(50);
+        cfg.num_towers = 400;
+        generate(&cfg)
+    }
+
+    #[test]
+    fn time_subset_truncates() {
+        let s = synth();
+        let sub = time_subset(&s.dataset, 5);
+        assert!(sub.span_min() <= 5 * 1_440);
+        assert!(sub.fingerprints.len() <= s.dataset.fingerprints.len());
+        // With >= 1 event/day screening, nearly everyone has samples in the
+        // first 5 days.
+        assert!(sub.fingerprints.len() >= s.dataset.fingerprints.len() / 2);
+    }
+
+    #[test]
+    fn time_subset_full_span_is_identity() {
+        let s = synth();
+        let sub = time_subset(&s.dataset, 14);
+        assert_eq!(sub.num_samples(), s.dataset.num_samples());
+    }
+
+    #[test]
+    fn time_subset_zero_days_drops_everyone() {
+        let s = synth();
+        let sub = time_subset(&s.dataset, 0);
+        assert!(sub.fingerprints.is_empty());
+        assert_eq!(sub.num_users(), 0);
+    }
+
+    #[test]
+    fn user_subset_minimum_is_one_fingerprint() {
+        let s = synth();
+        let sub = user_subset(&s.dataset, 0.0, 3);
+        assert_eq!(sub.fingerprints.len(), 1, "fraction 0 still keeps one");
+    }
+
+    #[test]
+    fn user_subset_keeps_fraction() {
+        let s = synth();
+        let sub = user_subset(&s.dataset, 0.5, 7);
+        assert_eq!(sub.fingerprints.len(), 25);
+        // All kept fingerprints exist in the original.
+        for fp in &sub.fingerprints {
+            assert!(s
+                .dataset
+                .fingerprints
+                .iter()
+                .any(|orig| orig.users() == fp.users()));
+        }
+    }
+
+    #[test]
+    fn user_subset_is_deterministic_and_seed_sensitive() {
+        let s = synth();
+        let a = user_subset(&s.dataset, 0.3, 1);
+        let b = user_subset(&s.dataset, 0.3, 1);
+        let c = user_subset(&s.dataset, 0.3, 2);
+        let users =
+            |d: &Dataset| d.fingerprints.iter().flat_map(|f| f.users().to_vec()).collect::<Vec<_>>();
+        assert_eq!(users(&a), users(&b));
+        assert_ne!(users(&a), users(&c));
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction must be in")]
+    fn user_subset_rejects_bad_fraction() {
+        let s = synth();
+        let _ = user_subset(&s.dataset, 1.5, 0);
+    }
+
+    #[test]
+    fn city_subset_contains_only_city_samples() {
+        let s = synth();
+        let city = s.country.primary_city().clone();
+        let radius = 6.0 * city.sigma_m;
+        let sub = city_subset(&s, &city.name, radius).unwrap();
+        assert!(!sub.fingerprints.is_empty(), "metropolis must have users");
+        for fp in &sub.fingerprints {
+            for smp in fp.samples() {
+                let dx = smp.x as f64 + 50.0 - city.center.0;
+                let dy = smp.y as f64 + 50.0 - city.center.1;
+                assert!((dx * dx + dy * dy).sqrt() <= radius + 1.0);
+            }
+        }
+        // The primary city holds roughly its population weight of users.
+        let share = sub.fingerprints.len() as f64 / s.dataset.fingerprints.len() as f64;
+        assert!(share > 0.15, "city share {share} suspiciously low");
+    }
+
+    #[test]
+    fn city_subset_unknown_city_is_none() {
+        let s = synth();
+        assert!(city_subset(&s, "nowhere", 10_000.0).is_none());
+    }
+}

@@ -1,0 +1,101 @@
+//! City-scale PPDP release with suppression tuning (the §7.1 workflow).
+//!
+//! An operator wants to publish a 2-anonymous dataset for the largest
+//! metropolis. Straight GLOVE already guarantees k-anonymity, but a handful
+//! of hard-to-anonymize outlier samples drag the average accuracy down. The
+//! paper's recipe: sweep suppression thresholds and pick the knee where a
+//! few percent of discarded samples buy back most of the accuracy (Fig. 9).
+//!
+//! Run with: `cargo run --release --example city_release`
+
+use glove::prelude::*;
+
+fn main() {
+    println!("synthesizing a sen-like CDR dataset…");
+    let mut scenario = ScenarioConfig::sen_like(220);
+    scenario.num_towers = 600;
+    let synth = generate(&scenario);
+
+    // Restrict to the metropolitan area around the primary city.
+    let city = synth.country.primary_city().clone();
+    let metro = city_subset(&synth, &city.name, 5.0 * city.sigma_m)
+        .expect("primary city exists in its own country");
+    println!(
+        "  {} metro: {} of {} subscribers, {} samples\n",
+        city.name,
+        metro.num_users(),
+        synth.dataset.num_users(),
+        metro.num_samples()
+    );
+
+    let total_user_samples = metro.num_user_samples() as f64;
+
+    println!("suppression sweep (k = 2), spatial threshold x fixed 6 h temporal:");
+    println!(
+        "  {:>12} {:>12} {:>16} {:>16}",
+        "threshold", "discarded", "mean pos [km]", "mean time [min]"
+    );
+
+    let mut candidates = Vec::new();
+    for space_km in [0u32, 4, 15, 40] {
+        let suppression = if space_km == 0 {
+            SuppressionThresholds::default() // disabled: the reference point
+        } else {
+            SuppressionThresholds {
+                max_space_m: Some(space_km * 1_000),
+                max_time_min: Some(360),
+            }
+        };
+        let config = GloveConfig {
+            k: 2,
+            suppression,
+            ..GloveConfig::default()
+        };
+        let output = anonymize(&metro, &config).expect("anonymization succeeds");
+        assert!(output.dataset.is_k_anonymous(2));
+
+        let discarded = output.stats.suppressed.user_samples as f64 / total_user_samples;
+        let mean_pos = glove::core::accuracy::mean_position_accuracy_m(&output.dataset);
+        let mean_time = glove::core::accuracy::mean_time_accuracy_min(&output.dataset);
+        let label = if space_km == 0 {
+            "none".to_string()
+        } else {
+            format!("6h-{space_km}km")
+        };
+        println!(
+            "  {label:>12} {:>11.1}% {:>16.2} {:>16.1}",
+            discarded * 100.0,
+            mean_pos / 1_000.0,
+            mean_time
+        );
+        candidates.push((label, discarded, mean_pos, output));
+    }
+
+    // Pick the knee: the configuration with the best accuracy at tolerable
+    // sample loss. (The paper's 82k-user datasets hit the knee below 8 %
+    // suppression; a metro subset of a small synthetic crowd discards more
+    // because nearest neighbours are farther — see EXPERIMENTS.md.)
+    let budget = 0.30;
+    let (label, discarded, _, chosen) = candidates
+        .iter()
+        .filter(|(_, discarded, _, _)| *discarded < budget)
+        .min_by(|a, b| a.2.partial_cmp(&b.2).expect("finite"))
+        .expect("at least the unsuppressed run qualifies");
+
+    println!(
+        "\nchosen configuration: {label} ({:.1}% of samples suppressed)",
+        discarded * 100.0
+    );
+    println!(
+        "released dataset: {} groups, {} subscribers, {} samples — 2-anonymous: {}",
+        chosen.dataset.fingerprints.len(),
+        chosen.dataset.num_users(),
+        chosen.dataset.num_samples(),
+        chosen.dataset.is_k_anonymous(2)
+    );
+
+    // Every subscriber of the metro dataset is still present: suppression
+    // drops samples, never people.
+    assert_eq!(chosen.dataset.num_users(), metro.num_users());
+    println!("no subscriber was dropped — suppression removed outlier samples only ✓");
+}

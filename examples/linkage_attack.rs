@@ -1,0 +1,73 @@
+//! Record-linkage attack demo: the adversaries that motivate the paper
+//! (§1), run against raw and GLOVE-anonymized data.
+//!
+//! * the *top-location* adversary (Zang & Bolot — the paper's ref. [5])
+//!   knows the target's most frequent cells;
+//! * the *random-point* adversary (de Montjoye et al. — ref. [6]) knows a
+//!   handful of true spatiotemporal points.
+//!
+//! On raw CDR data both attacks pinpoint most subscribers. After GLOVE,
+//! every record consistent with *any* knowledge hides at least k people —
+//! quasi-identifier-blind anonymity (§2.3).
+//!
+//! Run with: `cargo run --release --example linkage_attack`
+
+use glove::prelude::*;
+
+fn main() {
+    println!("synthesizing a civ-like CDR dataset…");
+    let mut scenario = ScenarioConfig::civ_like(150);
+    scenario.num_towers = 500;
+    let synth = generate(&scenario);
+    let raw = &synth.dataset;
+
+    println!("anonymizing with GLOVE (k = 2)…\n");
+    let out = anonymize(raw, &GloveConfig::default()).expect("anonymization succeeds");
+    let published = &out.dataset;
+
+    // --- Adversary 1: top-L locations ---------------------------------------
+    println!("top-location adversary (share of users with a unique signature):");
+    println!("  {:>14} {:>10} {:>14}", "knowledge", "raw data", "after GLOVE");
+    for l in [1usize, 2, 3] {
+        println!(
+            "  {:>14} {:>9.1}% {:>13.1}%",
+            format!("top-{l} cells"),
+            top_location_uniqueness(raw, l) * 100.0,
+            top_location_uniqueness(published, l) * 100.0,
+        );
+    }
+    println!("  (ref. [5]: 50% of 25M subscribers unique from their top-3 cells)\n");
+
+    // --- Adversary 2: p random spatiotemporal points ------------------------
+    println!("random-point adversary (300 trials each):");
+    println!(
+        "  {:>14} {:>16} {:>16} {:>14}",
+        "knowledge", "raw pinpoint", "GLOVE pinpoint", "min anon set"
+    );
+    for points in [2usize, 4] {
+        let cfg = RandomPointAttack {
+            points,
+            trials: 300,
+            seed: 42 + points as u64,
+        };
+        let on_raw = random_point_attack(raw, raw, &cfg);
+        let on_published = random_point_attack(raw, published, &cfg);
+        println!(
+            "  {:>14} {:>15.1}% {:>15.1}% {:>14}",
+            format!("{points} points"),
+            on_raw.pinpoint_rate() * 100.0,
+            on_published.pinpoint_rate() * 100.0,
+            on_published.min_anonymity(),
+        );
+        assert_eq!(
+            on_published.pinpoint_rate(),
+            0.0,
+            "k-anonymity must zero the pinpoint rate"
+        );
+        assert!(on_published.min_anonymity() >= 2);
+    }
+    println!("  (ref. [6]: 4 points pinpointed ~95% of 1.5M subscribers)\n");
+
+    println!("after GLOVE, no amount of trajectory knowledge isolates fewer than");
+    println!("k = 2 subscribers — the record-linkage attack is dead by construction ✓");
+}

@@ -1,0 +1,99 @@
+//! Privacy audit of a nation-wide CDR dataset (the §5 workflow).
+//!
+//! A data-protection team has a CDR extract and wants to know, *before*
+//! releasing anything: how unique are our subscribers, how hard would they
+//! be to hide, and which dimension — space or time — is the blocker?
+//!
+//! This example reproduces the paper's anonymizability analysis on a
+//! synthetic civ-like dataset:
+//!
+//! 1. verify that nobody is 2-anonymous at native granularity (Fig. 3a);
+//! 2. check whether uniform coarsening would fix it (Fig. 4 — it will not);
+//! 3. decompose the anonymization cost into spatial and temporal parts and
+//!    measure the tail weight of each (Fig. 5) to locate the root cause.
+//!
+//! Run with: `cargo run --release --example privacy_audit`
+
+use glove::prelude::*;
+
+fn main() {
+    let users = 150;
+    println!("synthesizing a civ-like CDR dataset ({users} users, 2 weeks)…");
+    let mut scenario = ScenarioConfig::civ_like(users);
+    scenario.num_towers = 500;
+    let synth = generate(&scenario);
+    let dataset = &synth.dataset;
+    println!(
+        "  {} subscribers, {} samples, {} towers\n",
+        dataset.num_users(),
+        dataset.num_samples(),
+        synth.towers.len()
+    );
+
+    let stretch = StretchConfig::default();
+
+    // -- Step 1: uniqueness at native granularity ---------------------------
+    let gaps = kgap_all(dataset, 2, 0, &stretch);
+    let ecdf = Ecdf::new(gaps).expect("non-empty");
+    println!("step 1 — 2-gap at native granularity (100 m / 1 min):");
+    println!(
+        "  already 2-anonymous: {:.1}%  (paper: 0%)",
+        ecdf.fraction_at_or_below(0.0) * 100.0
+    );
+    println!(
+        "  median {:.3}, p90 {:.3} — anonymity looks cheap on average\n",
+        ecdf.quantile(0.5),
+        ecdf.quantile(0.9)
+    );
+
+    // -- Step 2: does uniform generalization help? ---------------------------
+    println!("step 2 — 2-anonymity under uniform generalization:");
+    for level in GeneralizationLevel::figure4_sweep() {
+        let coarse = generalize_uniform(dataset, &level);
+        let gaps = kgap_all(&coarse, 2, 0, &stretch);
+        let anonymous = gaps.iter().filter(|&&g| g == 0.0).count();
+        println!(
+            "  {:>8}: {:>5.1}% 2-anonymous",
+            level.label(),
+            anonymous as f64 / gaps.len() as f64 * 100.0
+        );
+    }
+    println!("  (paper: even 20 km / 8 h leaves ~65% of users unique)\n");
+
+    // -- Step 3: why? spatial vs temporal decomposition ---------------------
+    println!("step 3 — root cause (tail weight of per-user stretch costs):");
+    let decomposed = kgap_decomposed_all(dataset, 2, 0, &stretch);
+    let mut spatial_heavy = 0usize;
+    let mut temporal_heavy = 0usize;
+    let mut shares = Vec::new();
+    let mut measured = 0usize;
+    for d in &decomposed {
+        if let (Some(ts), Some(tt)) = (twi(&d.spatial), twi(&d.temporal)) {
+            measured += 1;
+            if ts >= 1.5 {
+                spatial_heavy += 1;
+            }
+            if tt >= 1.5 {
+                temporal_heavy += 1;
+            }
+        }
+        if let Some(share) = d.temporal_share() {
+            shares.push(share);
+        }
+    }
+    println!(
+        "  heavy spatial tails (TWI >= 1.5):  {:>5.1}% of fingerprints (paper ~15%)",
+        spatial_heavy as f64 / measured as f64 * 100.0
+    );
+    println!(
+        "  heavy temporal tails (TWI >= 1.5): {:>5.1}% of fingerprints (paper ~70%)",
+        temporal_heavy as f64 / measured as f64 * 100.0
+    );
+    let share_summary = Summary::of(&shares).expect("non-empty");
+    println!(
+        "  temporal share of the hiding cost: median {:.2} (paper >= 0.8)",
+        share_summary.median
+    );
+    println!("\nconclusion: WHERE people are is easy to hide; WHEN they are active is");
+    println!("what makes them unique — generalize each sample individually (GLOVE).");
+}

@@ -1,0 +1,61 @@
+//! # glove — hiding mobile traffic fingerprints (CoNEXT'15 reproduction)
+//!
+//! Facade crate re-exporting the whole workspace behind one dependency:
+//!
+//! * [`core`] — the paper's contribution: the k-gap anonymizability measure
+//!   and the GLOVE k-anonymization algorithm;
+//! * [`geo`] — Lambert azimuthal equal-area projection and 100 m gridding;
+//! * [`synth`] — the synthetic CDR substrate standing in for the
+//!   proprietary D4D datasets;
+//! * [`stats`] — CDFs, quantiles, the Tail Weight Index, radius of gyration;
+//! * [`baselines`] — uniform generalization and W4M-LC, the evaluation
+//!   comparators;
+//! * [`attack`] — record-linkage adversaries (top-location and
+//!   random-point knowledge) quantifying uniqueness before and after
+//!   anonymization.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use glove::prelude::*;
+//!
+//! // Synthesize a small CDR dataset and 2-anonymize it.
+//! let mut scenario = ScenarioConfig::civ_like(20);
+//! scenario.num_towers = 300;
+//! let synth = generate(&scenario);
+//!
+//! let output = anonymize(&synth.dataset, &GloveConfig::default()).unwrap();
+//! assert!(output.dataset.is_k_anonymous(2));
+//! assert_eq!(output.dataset.num_users(), 20);
+//! ```
+//!
+//! See the `examples/` directory for complete workflows and DESIGN.md for
+//! the system inventory and experiment index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use glove_attack as attack;
+pub use glove_baselines as baselines;
+pub use glove_core as core;
+pub use glove_geo as geo;
+pub use glove_stats as stats;
+pub use glove_synth as synth;
+
+/// One-stop imports for typical use.
+pub mod prelude {
+    pub use glove_attack::{
+        random_point_attack, top_location_uniqueness, AttackOutcome, RandomPointAttack,
+    };
+    pub use glove_baselines::{generalize_uniform, w4m_lc, GeneralizationLevel, W4mConfig};
+    pub use glove_core::glove::{anonymize, GloveOutput, GloveStats};
+    pub use glove_core::kgap::{kgap, kgap_all, kgap_decomposed_all};
+    pub use glove_core::{
+        Dataset, Fingerprint, GloveConfig, GloveError, ResidualPolicy, Sample, StretchConfig,
+        SuppressionThresholds, UserId,
+    };
+    pub use glove_stats::{radius_of_gyration, twi, Ecdf, Summary};
+    pub use glove_synth::{
+        city_subset, generate, time_subset, user_subset, ScenarioConfig, SynthDataset,
+    };
+}

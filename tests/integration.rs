@@ -1,0 +1,240 @@
+//! Cross-crate integration tests: the full pipeline from synthetic CDR
+//! generation through auditing, anonymization and evaluation.
+
+use glove::core::accuracy::{
+    fraction_at_native_position, mean_position_accuracy_m, mean_time_accuracy_min,
+};
+use glove::prelude::*;
+use std::collections::BTreeSet;
+
+fn small_synth(users: usize, seed: u64) -> SynthDataset {
+    let mut cfg = ScenarioConfig::civ_like(users);
+    cfg.num_towers = 350;
+    cfg.seed = seed;
+    generate(&cfg)
+}
+
+#[test]
+fn synth_audit_anonymize_roundtrip() {
+    let synth = small_synth(40, 11);
+    let ds = &synth.dataset;
+
+    // Audit: nobody is 2-anonymous at native granularity.
+    let stretch = StretchConfig::default();
+    let gaps = kgap_all(ds, 2, 0, &stretch);
+    assert!(gaps.iter().all(|&g| g > 0.0));
+
+    // Anonymize: everyone is 2-anonymous afterwards, nobody is lost.
+    let out = anonymize(ds, &GloveConfig::default()).expect("anonymization succeeds");
+    assert!(out.dataset.is_k_anonymous(2));
+    let before: BTreeSet<UserId> = ds.fingerprints.iter().flat_map(|f| f.users().to_vec()).collect();
+    let after: BTreeSet<UserId> = out
+        .dataset
+        .fingerprints
+        .iter()
+        .flat_map(|f| f.users().to_vec())
+        .collect();
+    assert_eq!(before, after, "MergeIntoNearest must keep every subscriber");
+}
+
+#[test]
+fn glove_beats_uniform_generalization_at_equal_privacy() {
+    // The paper's core claim: GLOVE achieves 2-anonymity of everyone while
+    // uniform generalization at tolerable granularity anonymizes almost
+    // nobody — and GLOVE's published samples stay far more accurate than
+    // the coarsening that would be needed.
+    let synth = small_synth(40, 12);
+    let ds = &synth.dataset;
+    let stretch = StretchConfig::default();
+
+    // Uniform at 1 km / 30 min: data utility OK but anonymity poor.
+    let mild = generalize_uniform(
+        ds,
+        &GeneralizationLevel {
+            space_m: 1_000,
+            time_min: 30,
+        },
+    );
+    let anonymous = kgap_all(&mild, 2, 0, &stretch)
+        .iter()
+        .filter(|&&g| g == 0.0)
+        .count();
+    assert!(
+        (anonymous as f64) < 0.5 * ds.num_users() as f64,
+        "mild uniform generalization should leave most users unique, got {anonymous}"
+    );
+
+    // GLOVE: full 2-anonymity while a substantial share of samples keeps
+    // fine granularity.
+    let out = anonymize(ds, &GloveConfig::default()).expect("anonymization succeeds");
+    assert!(out.dataset.is_k_anonymous(2));
+    // At this tiny population the nearest neighbour is far, so only a sliver
+    // of samples stays at native precision — the fraction grows with the
+    // crowd (paper: 20-40% at 82k users; see EXPERIMENTS.md for measured
+    // values at harness scale). Here we assert the qualitative property.
+    let native = fraction_at_native_position(&out.dataset, 100.0);
+    assert!(
+        native > 0.0,
+        "specialized generalization must leave some samples untouched, got {native}"
+    );
+}
+
+#[test]
+fn suppression_trades_few_samples_for_accuracy() {
+    let synth = small_synth(40, 13);
+    let ds = &synth.dataset;
+
+    let plain = anonymize(ds, &GloveConfig::default()).expect("plain run");
+    let suppressed = anonymize(
+        ds,
+        &GloveConfig {
+            suppression: SuppressionThresholds::table2(),
+            ..GloveConfig::default()
+        },
+    )
+    .expect("suppressed run");
+
+    // Suppression discards a bounded share of samples (a few percent at the
+    // paper's population; larger here because 40-user crowds are thin — the
+    // harness-scale number is recorded in EXPERIMENTS.md)…
+    let discarded = suppressed.stats.suppressed.user_samples as f64
+        / ds.num_user_samples() as f64;
+    assert!(
+        discarded < 0.55,
+        "suppression should drop well under half of the samples, got {discarded}"
+    );
+    // …and never loses a subscriber…
+    assert_eq!(suppressed.dataset.num_users(), ds.num_users());
+    // …while improving (or at least not worsening) mean accuracy.
+    assert!(
+        mean_position_accuracy_m(&suppressed.dataset)
+            <= mean_position_accuracy_m(&plain.dataset) * 1.05
+    );
+    assert!(
+        mean_time_accuracy_min(&suppressed.dataset)
+            <= mean_time_accuracy_min(&plain.dataset) * 1.05
+    );
+}
+
+#[test]
+fn w4m_on_cdr_data_shows_the_table2_pathology() {
+    // On sparse heterogeneous CDR fingerprints W4M-LC must fabricate
+    // samples and incur large time errors — the paper's Table 2 shape.
+    let synth = small_synth(40, 14);
+    let ds = &synth.dataset;
+
+    let w4m = w4m_lc(
+        ds,
+        &W4mConfig {
+            k: 2,
+            ..W4mConfig::default()
+        },
+    );
+    assert!(
+        w4m.stats.created_samples > 0,
+        "heterogeneous lengths force sample fabrication"
+    );
+    let created_frac = w4m.stats.created_samples as f64 / ds.num_user_samples() as f64;
+    assert!(
+        created_frac > 0.05,
+        "fabrication should be substantial on CDR data, got {created_frac}"
+    );
+
+    // GLOVE on the same data: zero fabrication by construction, and a much
+    // smaller time distortion.
+    let glove_out = anonymize(
+        ds,
+        &GloveConfig {
+            suppression: SuppressionThresholds::table2(),
+            ..GloveConfig::default()
+        },
+    )
+    .expect("GLOVE run");
+    let glove_time = mean_time_accuracy_min(&glove_out.dataset);
+    assert!(
+        w4m.stats.mean_time_error_min > glove_time,
+        "W4M time error ({}) should exceed GLOVE's ({glove_time})",
+        w4m.stats.mean_time_error_min
+    );
+}
+
+#[test]
+fn higher_k_costs_accuracy() {
+    // Fig. 8's monotonicity: larger crowds need coarser samples.
+    let synth = small_synth(45, 15);
+    let ds = &synth.dataset;
+    let mut previous = 0.0;
+    for k in [2usize, 3, 5] {
+        let out = anonymize(
+            ds,
+            &GloveConfig {
+                k,
+                ..GloveConfig::default()
+            },
+        )
+        .expect("run succeeds");
+        assert!(out.dataset.is_k_anonymous(k));
+        let mean_pos = mean_position_accuracy_m(&out.dataset);
+        assert!(
+            mean_pos >= previous * 0.8,
+            "accuracy should broadly degrade with k: k={k} gives {mean_pos} after {previous}"
+        );
+        previous = mean_pos;
+    }
+}
+
+#[test]
+fn timespan_subsets_anonymize_more_accurately() {
+    // Fig. 10's direction: shorter windows, better accuracy.
+    let synth = small_synth(40, 16);
+    let short = time_subset(&synth.dataset, 2);
+    let long = &synth.dataset;
+
+    let out_short = anonymize(&short, &GloveConfig::default()).expect("short run");
+    let out_long = anonymize(long, &GloveConfig::default()).expect("long run");
+    let acc_short = mean_position_accuracy_m(&out_short.dataset);
+    let acc_long = mean_position_accuracy_m(&out_long.dataset);
+    assert!(
+        acc_short <= acc_long * 1.25,
+        "2-day data ({acc_short} m) should not anonymize much worse than 14-day ({acc_long} m)"
+    );
+}
+
+#[test]
+fn user_subsets_preserve_validity() {
+    let synth = small_synth(40, 17);
+    for fraction in [0.25, 0.5, 1.0] {
+        let sub = user_subset(&synth.dataset, fraction, 99);
+        let out = anonymize(&sub, &GloveConfig::default()).expect("subset run");
+        assert!(out.dataset.is_k_anonymous(2));
+        assert_eq!(out.dataset.num_users(), sub.num_users());
+    }
+}
+
+#[test]
+fn city_subset_pipeline() {
+    let synth = small_synth(60, 18);
+    let city = synth.country.primary_city().clone();
+    let metro = city_subset(&synth, &city.name, 5.0 * city.sigma_m).expect("city exists");
+    assert!(metro.num_users() >= 4, "metropolis should hold users");
+    let out = anonymize(&metro, &GloveConfig::default()).expect("metro run");
+    assert!(out.dataset.is_k_anonymous(2));
+}
+
+#[test]
+fn published_fingerprints_are_identical_within_disclosure_semantics() {
+    // k-anonymity semantics: a published record is one fingerprint shared
+    // by >= k subscribers; its samples must be time-disjoint (reshaped) and
+    // well-formed boxes.
+    let synth = small_synth(30, 19);
+    let out = anonymize(&synth.dataset, &GloveConfig::default()).expect("run");
+    for fp in &out.dataset.fingerprints {
+        assert!(fp.multiplicity() >= 2);
+        for w in fp.samples().windows(2) {
+            assert!(!w[0].overlaps_in_time(&w[1]));
+        }
+        for s in fp.samples() {
+            assert!(s.dx >= 100 && s.dy >= 100 && s.dt >= 1);
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Property-based tests on the core invariants of the stretch algebra, the
+//! merge/reshape machinery and the end-to-end anonymity guarantee.
+
+use glove::core::merge::merge_fingerprints;
+use glove::core::reshape::reshape_samples;
+use glove::core::stretch::{
+    fingerprint_stretch, fingerprint_stretch_naive, sample_stretch, sample_stretch_parts,
+};
+use glove::prelude::*;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary (possibly generalized) sample in a country-sized
+/// box over a two-week span.
+fn arb_sample() -> impl Strategy<Value = Sample> {
+    (
+        -50_000i64..700_000,
+        -50_000i64..700_000,
+        1u32..30_000,
+        1u32..30_000,
+        0u32..20_160,
+        1u32..1_500,
+    )
+        .prop_map(|(x, y, dx, dy, t, dt)| Sample::new(x, y, dx, dy, t, dt).expect("valid extents"))
+}
+
+/// Strategy: a fingerprint with 1..=12 samples.
+fn arb_fingerprint(user: UserId) -> impl Strategy<Value = Fingerprint> {
+    vec(arb_sample(), 1..=12)
+        .prop_map(move |samples| Fingerprint::with_users(vec![user], samples).expect("non-empty"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sample_stretch_is_in_unit_interval(a in arb_sample(), b in arb_sample()) {
+        let cfg = StretchConfig::default();
+        let d = sample_stretch(&a, 1.0, &b, 1.0, &cfg);
+        prop_assert!((0.0..=1.0).contains(&d), "delta = {d}");
+    }
+
+    #[test]
+    fn sample_stretch_is_symmetric_under_weight_swap(a in arb_sample(), b in arb_sample(),
+                                                     na in 1u32..50, nb in 1u32..50) {
+        let cfg = StretchConfig::default();
+        let d_ab = sample_stretch(&a, f64::from(na), &b, f64::from(nb), &cfg);
+        let d_ba = sample_stretch(&b, f64::from(nb), &a, f64::from(na), &cfg);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_stretch_zero_iff_identical(a in arb_sample(), b in arb_sample()) {
+        let cfg = StretchConfig::default();
+        let d = sample_stretch(&a, 1.0, &b, 1.0, &cfg);
+        if a == b {
+            prop_assert_eq!(d, 0.0);
+        } else {
+            prop_assert!(d > 0.0, "distinct boxes must cost something");
+        }
+    }
+
+    #[test]
+    fn stretch_parts_sum_to_delta(a in arb_sample(), b in arb_sample()) {
+        let cfg = StretchConfig::default();
+        let (s, t) = sample_stretch_parts(&a, 1.0, &b, 1.0, &cfg);
+        let d = sample_stretch(&a, 1.0, &b, 1.0, &cfg);
+        prop_assert!((s + t - d).abs() < 1e-12);
+        prop_assert!(s >= 0.0 && s <= cfg.w_space);
+        prop_assert!(t >= 0.0 && t <= cfg.w_time);
+    }
+
+    #[test]
+    fn generalize_with_covers_both(a in arb_sample(), b in arb_sample()) {
+        let m = a.generalize_with(&b);
+        prop_assert!(m.covers(&a));
+        prop_assert!(m.covers(&b));
+        // And it is the *smallest* such box: its corners touch the inputs.
+        prop_assert_eq!(m.x, a.x.min(b.x));
+        prop_assert_eq!(m.t, a.t.min(b.t));
+        prop_assert_eq!(m.x_end(), a.x_end().max(b.x_end()));
+        prop_assert_eq!(m.t_end(), a.t_end().max(b.t_end()));
+    }
+
+    #[test]
+    fn pruned_fingerprint_stretch_matches_naive(a in arb_fingerprint(0), b in arb_fingerprint(1)) {
+        let cfg = StretchConfig::default();
+        let fast = fingerprint_stretch(&a, &b, &cfg);
+        let slow = fingerprint_stretch_naive(&a, &b, &cfg);
+        prop_assert!((fast - slow).abs() < 1e-12, "pruning changed the result: {fast} vs {slow}");
+    }
+
+    #[test]
+    fn fingerprint_stretch_is_argument_symmetric(a in arb_fingerprint(0), b in arb_fingerprint(1)) {
+        let cfg = StretchConfig::default();
+        let d_ab = fingerprint_stretch(&a, &b, &cfg);
+        let d_ba = fingerprint_stretch(&b, &a, &cfg);
+        prop_assert!((d_ab - d_ba).abs() < 1e-12);
+        prop_assert!((0.0..=1.0).contains(&d_ab));
+    }
+
+    #[test]
+    fn merge_covers_every_input_sample(a in arb_fingerprint(0), b in arb_fingerprint(1)) {
+        let cfg = StretchConfig::default();
+        let out = merge_fingerprints(&a, &b, &cfg, &SuppressionThresholds::default())
+            .expect("merge succeeds");
+        for s in a.samples().iter().chain(b.samples()) {
+            prop_assert!(
+                out.fingerprint.samples().iter().any(|m| m.covers(s)),
+                "sample {s:?} not covered"
+            );
+        }
+        prop_assert_eq!(out.fingerprint.multiplicity(), 2);
+        prop_assert!(out.fingerprint.len() <= a.len().min(b.len()));
+    }
+
+    #[test]
+    fn merge_with_suppression_never_empties(a in arb_fingerprint(0), b in arb_fingerprint(1)) {
+        let cfg = StretchConfig::default();
+        let thresholds = SuppressionThresholds { max_space_m: Some(500), max_time_min: Some(5) };
+        let out = merge_fingerprints(&a, &b, &cfg, &thresholds).expect("merge succeeds");
+        prop_assert!(!out.fingerprint.is_empty());
+    }
+
+    #[test]
+    fn reshape_yields_disjoint_windows_preserving_coverage(samples in vec(arb_sample(), 1..=15)) {
+        let mut sorted = samples.clone();
+        sorted.sort_by_key(|s| (s.t, s.x, s.y));
+        let reshaped = reshape_samples(&sorted);
+        // Disjoint windows.
+        for w in reshaped.windows(2) {
+            prop_assert!(!w[0].overlaps_in_time(&w[1]));
+        }
+        // Every input sample is covered by some output sample.
+        for s in &sorted {
+            prop_assert!(reshaped.iter().any(|m| m.covers(s)));
+        }
+        prop_assert!(reshaped.len() <= sorted.len());
+    }
+}
+
+/// A tiny random dataset for end-to-end property checks (kept small: GLOVE
+/// is quadratic and proptest runs many cases).
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    vec(vec(arb_sample(), 1..=6), 4..=10).prop_map(|users| {
+        let fps = users
+            .into_iter()
+            .enumerate()
+            .map(|(u, samples)| {
+                Fingerprint::with_users(vec![u as UserId], samples).expect("non-empty")
+            })
+            .collect();
+        Dataset::new("proptest", fps).expect("unique users")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn glove_always_reaches_k_anonymity(ds in arb_dataset(), k in 2usize..=3) {
+        let config = GloveConfig { k, threads: 1, ..GloveConfig::default() };
+        let out = anonymize(&ds, &config).expect("anonymization succeeds");
+        prop_assert!(out.dataset.is_k_anonymous(k));
+        prop_assert_eq!(out.dataset.num_users(), ds.num_users());
+        // Published windows are pairwise disjoint after reshaping.
+        for fp in &out.dataset.fingerprints {
+            for w in fp.samples().windows(2) {
+                prop_assert!(!w[0].overlaps_in_time(&w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn glove_residual_suppress_counts_add_up(ds in arb_dataset()) {
+        let config = GloveConfig {
+            k: 2,
+            residual: ResidualPolicy::Suppress,
+            threads: 1,
+            ..GloveConfig::default()
+        };
+        let out = anonymize(&ds, &config).expect("anonymization succeeds");
+        prop_assert!(out.dataset.is_k_anonymous(2));
+        prop_assert_eq!(
+            out.dataset.num_users() as u64 + out.stats.discarded_users,
+            ds.num_users() as u64
+        );
+    }
+}
