@@ -112,7 +112,7 @@ impl Default for RandomPointAttack {
         Self {
             points: 4,
             trials: 200,
-            seed: 0xA77AC_4,
+            seed: 0x00A7_7AC4,
         }
     }
 }
@@ -243,7 +243,11 @@ mod tests {
 
     #[test]
     fn known_point_consistency_semantics() {
-        let p = KnownPoint { x: 100, y: 200, t: 50 };
+        let p = KnownPoint {
+            x: 100,
+            y: 200,
+            t: 50,
+        };
         let exact = Sample::point(100, 200, 50);
         assert!(p.consistent_with(&exact));
         let covering = Sample::new(0, 0, 1_000, 1_000, 0, 100).unwrap();
@@ -258,7 +262,14 @@ mod tests {
     fn top_locations_ranked_by_frequency() {
         let fp = Fingerprint::from_points(
             0,
-            &[(0, 0, 1), (0, 0, 2), (0, 0, 3), (500, 0, 4), (500, 0, 5), (900, 0, 6)],
+            &[
+                (0, 0, 1),
+                (0, 0, 2),
+                (0, 0, 3),
+                (500, 0, 4),
+                (500, 0, 5),
+                (900, 0, 6),
+            ],
         )
         .unwrap();
         assert_eq!(top_locations(&fp, 1), vec![(0, 0)]);

@@ -25,12 +25,30 @@ impl GeneralizationLevel {
     /// 0.1–1, 1–30, 2.5–60, 5–120, 10–240, 20–480.
     pub fn figure4_sweep() -> Vec<GeneralizationLevel> {
         vec![
-            GeneralizationLevel { space_m: 100, time_min: 1 },
-            GeneralizationLevel { space_m: 1_000, time_min: 30 },
-            GeneralizationLevel { space_m: 2_500, time_min: 60 },
-            GeneralizationLevel { space_m: 5_000, time_min: 120 },
-            GeneralizationLevel { space_m: 10_000, time_min: 240 },
-            GeneralizationLevel { space_m: 20_000, time_min: 480 },
+            GeneralizationLevel {
+                space_m: 100,
+                time_min: 1,
+            },
+            GeneralizationLevel {
+                space_m: 1_000,
+                time_min: 30,
+            },
+            GeneralizationLevel {
+                space_m: 2_500,
+                time_min: 60,
+            },
+            GeneralizationLevel {
+                space_m: 5_000,
+                time_min: 120,
+            },
+            GeneralizationLevel {
+                space_m: 10_000,
+                time_min: 240,
+            },
+            GeneralizationLevel {
+                space_m: 20_000,
+                time_min: 480,
+            },
         ]
     }
 
@@ -102,11 +120,8 @@ pub fn generalize_uniform(dataset: &Dataset, level: &GeneralizationLevel) -> Dat
                 .expect("generalization preserves non-emptiness")
         })
         .collect();
-    Dataset::new(
-        format!("{}-gen-{}", dataset.name, level.label()),
-        fps,
-    )
-    .expect("user ids unchanged")
+    Dataset::new(format!("{}-gen-{}", dataset.name, level.label()), fps)
+        .expect("user ids unchanged")
 }
 
 #[cfg(test)]
@@ -117,7 +132,13 @@ mod tests {
     #[test]
     fn native_level_is_identity_on_native_data() {
         let s = Sample::point(1_200, 300, 45);
-        let g = generalize_sample(&s, &GeneralizationLevel { space_m: 100, time_min: 1 });
+        let g = generalize_sample(
+            &s,
+            &GeneralizationLevel {
+                space_m: 100,
+                time_min: 1,
+            },
+        );
         assert_eq!(g, s);
     }
 
@@ -137,7 +158,13 @@ mod tests {
     #[test]
     fn negative_coordinates_snap_down() {
         let s = Sample::point(-150, -100, 0);
-        let g = generalize_sample(&s, &GeneralizationLevel { space_m: 1_000, time_min: 30 });
+        let g = generalize_sample(
+            &s,
+            &GeneralizationLevel {
+                space_m: 1_000,
+                time_min: 30,
+            },
+        );
         assert_eq!(g.x, -1_000);
         assert_eq!(g.y, -1_000);
         assert!(g.covers(&s));
@@ -146,7 +173,13 @@ mod tests {
     #[test]
     fn already_generalized_boxes_still_covered() {
         let s = Sample::new(950, 0, 200, 100, 59, 2).unwrap();
-        let g = generalize_sample(&s, &GeneralizationLevel { space_m: 1_000, time_min: 30 });
+        let g = generalize_sample(
+            &s,
+            &GeneralizationLevel {
+                space_m: 1_000,
+                time_min: 30,
+            },
+        );
         assert!(g.covers(&s));
         // Box straddles the 1 km boundary at x = 1000 -> 2 km wide.
         assert_eq!(g.dx, 2_000);
@@ -170,7 +203,13 @@ mod tests {
         );
         assert!(d0 > 0.0);
         // ...identical after 1 km / 30 min coarsening.
-        let gen = generalize_uniform(&ds, &GeneralizationLevel { space_m: 1_000, time_min: 30 });
+        let gen = generalize_uniform(
+            &ds,
+            &GeneralizationLevel {
+                space_m: 1_000,
+                time_min: 30,
+            },
+        );
         let d1 = glove_core::stretch::fingerprint_stretch(
             &gen.fingerprints[0],
             &gen.fingerprints[1],
@@ -183,7 +222,13 @@ mod tests {
     fn duplicate_samples_are_merged() {
         let fps = vec![Fingerprint::from_points(0, &[(0, 0, 0), (300, 0, 10)]).unwrap()];
         let ds = Dataset::new("dup", fps).unwrap();
-        let gen = generalize_uniform(&ds, &GeneralizationLevel { space_m: 1_000, time_min: 30 });
+        let gen = generalize_uniform(
+            &ds,
+            &GeneralizationLevel {
+                space_m: 1_000,
+                time_min: 30,
+            },
+        );
         // Both samples fall into the same (cell, window) -> deduplicated.
         assert_eq!(gen.fingerprints[0].len(), 1);
     }
@@ -194,6 +239,9 @@ mod tests {
             .iter()
             .map(|l| l.label())
             .collect();
-        assert_eq!(labels, vec!["0.1-1", "1-30", "2.5-60", "5-120", "10-240", "20-480"]);
+        assert_eq!(
+            labels,
+            vec!["0.1-1", "1-30", "2.5-60", "5-120", "10-240", "20-480"]
+        );
     }
 }

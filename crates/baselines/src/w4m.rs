@@ -177,11 +177,7 @@ impl Traj {
                 let w = pos - lo as f64;
                 let (x0, y0, t0) = self.points[lo];
                 let (x1, y1, t1) = self.points[hi];
-                (
-                    x0 + (x1 - x0) * w,
-                    y0 + (y1 - y0) * w,
-                    t0 + (t1 - t0) * w,
-                )
+                (x0 + (x1 - x0) * w, y0 + (y1 - y0) * w, t0 + (t1 - t0) * w)
             })
             .collect()
     }
@@ -213,10 +209,7 @@ fn lstd(a: &Traj, b: &Traj, samples: usize) -> f64 {
 pub fn w4m_lc(dataset: &Dataset, cfg: &W4mConfig) -> W4mOutput {
     assert!(cfg.k >= 2, "W4M requires k >= 2");
     assert!(
-        dataset
-            .fingerprints
-            .iter()
-            .all(|f| f.multiplicity() == 1),
+        dataset.fingerprints.iter().all(|f| f.multiplicity() == 1),
         "W4M operates on single-subscriber trajectories"
     );
 
@@ -249,7 +242,10 @@ pub fn w4m_lc(dataset: &Dataset, cfg: &W4mConfig) -> W4mOutput {
         // nearest. The (1 - trash_fraction) quantile is the trash threshold.
         let widths: Vec<f64> = (0..u)
             .map(|i| {
-                let mut row: Vec<f64> = (0..u).filter(|&j| j != i).map(|j| dist[i * u + j]).collect();
+                let mut row: Vec<f64> = (0..u)
+                    .filter(|&j| j != i)
+                    .map(|j| dist[i * u + j])
+                    .collect();
                 row.sort_by(|a, b| a.partial_cmp(b).unwrap());
                 row[..cfg.k - 1].iter().sum::<f64>() / (cfg.k - 1) as f64
             })
@@ -343,18 +339,14 @@ fn anonymize_cluster(
     // Common length: rounded mean member length (W4M aligns sequences to a
     // shared sampling; the mean makes short members fabricate samples and
     // long members drop them, as Table 2 reports on both counters).
-    let m_star = (members
-        .iter()
-        .map(|m| m.points.len())
-        .sum::<usize>() as f64
+    let m_star = (members.iter().map(|m| m.points.len()).sum::<usize>() as f64
         / members.len() as f64)
         .round()
         .max(1.0) as usize;
 
     // Resample everyone to the common length; the cluster centre is the
     // point-wise mean.
-    let resampled: Vec<Vec<(f64, f64, f64)>> =
-        members.iter().map(|m| m.resample(m_star)).collect();
+    let resampled: Vec<Vec<(f64, f64, f64)>> = members.iter().map(|m| m.resample(m_star)).collect();
     let centre: Vec<(f64, f64, f64)> = (0..m_star)
         .map(|i| {
             let n = members.len() as f64;
@@ -426,7 +418,14 @@ mod tests {
     use super::*;
 
     /// A trajectory with evenly spaced samples along a line.
-    fn line_fp(user: UserId, x0: i64, step_m: i64, t0: u32, step_min: u32, n: usize) -> Fingerprint {
+    fn line_fp(
+        user: UserId,
+        x0: i64,
+        step_m: i64,
+        t0: u32,
+        step_min: u32,
+        n: usize,
+    ) -> Fingerprint {
         let points: Vec<(i64, i64, u32)> = (0..n)
             .map(|i| (x0 + step_m * i as i64, 0, t0 + step_min * i as u32))
             .collect();

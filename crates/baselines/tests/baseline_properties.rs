@@ -21,10 +21,8 @@ fn arb_sample() -> impl Strategy<Value = Sample> {
 }
 
 fn arb_level() -> impl Strategy<Value = GeneralizationLevel> {
-    (1u32..25_000, 1u32..600).prop_map(|(space_m, time_min)| GeneralizationLevel {
-        space_m,
-        time_min,
-    })
+    (1u32..25_000, 1u32..600)
+        .prop_map(|(space_m, time_min)| GeneralizationLevel { space_m, time_min })
 }
 
 proptest! {
@@ -67,8 +65,10 @@ fn arb_trajectories() -> impl Strategy<Value = Dataset> {
             .into_iter()
             .enumerate()
             .map(|(u, pts)| {
-                let points: Vec<(i64, i64, u32)> =
-                    pts.into_iter().map(|(x, y, t)| (x * 100, y * 100, t)).collect();
+                let points: Vec<(i64, i64, u32)> = pts
+                    .into_iter()
+                    .map(|(x, y, t)| (x * 100, y * 100, t))
+                    .collect();
                 Fingerprint::from_points(u as UserId, &points).expect("non-empty")
             })
             .collect();

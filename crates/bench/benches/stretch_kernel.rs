@@ -55,11 +55,7 @@ fn bench_stretch_matrix(c: &mut Criterion) {
                 let mut acc = 0.0;
                 for i in 0..ds.fingerprints.len() {
                     for j in 0..i {
-                        acc += fingerprint_stretch(
-                            &ds.fingerprints[i],
-                            &ds.fingerprints[j],
-                            &cfg,
-                        );
+                        acc += fingerprint_stretch(&ds.fingerprints[i], &ds.fingerprints[j], &cfg);
                     }
                 }
                 black_box(acc)

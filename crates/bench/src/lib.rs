@@ -10,7 +10,7 @@ use glove_synth::{generate, ScenarioConfig};
 pub fn bench_dataset(users: usize) -> Dataset {
     let mut cfg = ScenarioConfig::civ_like(users);
     cfg.num_towers = 300;
-    cfg.seed = 0xBE_AC_4; // fixed: benches must compare like against like
+    cfg.seed = 0x000B_EAC4; // fixed: benches must compare like against like
     generate(&cfg).dataset
 }
 

@@ -6,9 +6,7 @@ use glove_baselines::{generalize_uniform, w4m_lc, GeneralizationLevel, W4mConfig
 use glove_core::accuracy::{mean_position_accuracy_m, mean_time_accuracy_min};
 use glove_core::glove::anonymize;
 use glove_core::kgap::kgap_all;
-use glove_core::{
-    Dataset, GloveConfig, ResidualPolicy, StretchConfig, SuppressionThresholds,
-};
+use glove_core::{Dataset, GloveConfig, ResidualPolicy, StretchConfig, SuppressionThresholds};
 use glove_stats::{Ecdf, Summary};
 use glove_synth::{generate, QualityReport, ScenarioConfig};
 use std::error::Error;
@@ -94,9 +92,17 @@ pub fn audit(input: &Path, k: usize, threads: usize) -> Result<String, Box<dyn E
         ecdf.fraction_at_or_below(0.0) * 100.0
     ));
     for p in [0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
-        out.push_str(&format!("p{:<4} {:.4}\n", (p * 100.0) as u32, ecdf.quantile(p)));
+        out.push_str(&format!(
+            "p{:<4} {:.4}\n",
+            (p * 100.0) as u32,
+            ecdf.quantile(p)
+        ));
     }
-    out.push_str(&format!("mean  {:.4}\nmax   {:.4}\n", ecdf.mean(), ecdf.max()));
+    out.push_str(&format!(
+        "mean  {:.4}\nmax   {:.4}\n",
+        ecdf.mean(),
+        ecdf.max()
+    ));
     out.push_str(
         "\nInterpretation: 0 = already hidden in a crowd of k; 1 = hiding this user\n\
          saturates both the 20 km spatial and 8 h temporal caps (uninformative).\n",
@@ -185,12 +191,7 @@ pub fn generalize_cmd(
 }
 
 /// `glove w4m`: the W4M-LC baseline.
-pub fn w4m_cmd(
-    input: &Path,
-    out: &Path,
-    k: usize,
-    delta_m: f64,
-) -> Result<String, Box<dyn Error>> {
+pub fn w4m_cmd(input: &Path, out: &Path, k: usize, delta_m: f64) -> Result<String, Box<dyn Error>> {
     let ds = io::read_file(input)?;
     let output = w4m_lc(
         &ds,

@@ -120,8 +120,10 @@ pub fn from_str(content: &str) -> Result<Dataset, ParseError> {
         }
         if let Some(rest) = line.strip_prefix("F ") {
             flush(current_users.take(), &mut current_samples, line_no)?;
-            let users: Result<Vec<UserId>, _> =
-                rest.split(',').map(|t| t.trim().parse::<UserId>()).collect();
+            let users: Result<Vec<UserId>, _> = rest
+                .split(',')
+                .map(|t| t.trim().parse::<UserId>())
+                .collect();
             let users = users.map_err(|e| ParseError::Syntax {
                 line: line_no,
                 message: format!("bad user id list: {e}"),
@@ -175,7 +177,11 @@ pub fn from_str(content: &str) -> Result<Dataset, ParseError> {
             });
         }
     }
-    flush(current_users.take(), &mut current_samples, content.lines().count())?;
+    flush(
+        current_users.take(),
+        &mut current_samples,
+        content.lines().count(),
+    )?;
     Ok(Dataset::new(name, fingerprints)?)
 }
 

@@ -1,0 +1,127 @@
+//! End-to-end smoke test of the compiled `glove` binary: drives the
+//! documented `synth → info → anonymize` workflow through real process
+//! invocations and asserts on exit codes and on the k-anonymity of the
+//! produced dataset file.
+
+use glove_cli::io;
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// Path of the binary under test, provided by Cargo for integration tests.
+fn glove_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_glove")
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(glove_bin())
+        .args(args)
+        .output()
+        .expect("spawning the glove binary succeeds")
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("glove-cli-smoke-{}-{name}", std::process::id()))
+}
+
+#[test]
+fn synth_info_anonymize_round_trip() {
+    let data = temp_path("data.txt");
+    let anon = temp_path("anon.txt");
+
+    // synth: exit 0, file exists, reports the requested population.
+    let out = run(&[
+        "synth",
+        "--preset",
+        "civ",
+        "--users",
+        "10",
+        "--seed",
+        "7",
+        "--out",
+        data.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "synth failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("10 users"),
+        "unexpected synth output: {stdout}"
+    );
+
+    // info: exit 0 and a sane summary of the same file.
+    let out = run(&["info", "--in", data.to_str().unwrap()]);
+    assert!(
+        out.status.success(),
+        "info failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("subscribers:   10"),
+        "info output: {stdout}"
+    );
+    assert!(stdout.contains("k-anonymity:   1"), "info output: {stdout}");
+
+    // anonymize: exit 0 and the output file is verifiably 2-anonymous.
+    let out = run(&[
+        "anonymize",
+        "--in",
+        data.to_str().unwrap(),
+        "--out",
+        anon.to_str().unwrap(),
+        "--k",
+        "2",
+    ]);
+    assert!(
+        out.status.success(),
+        "anonymize failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let published = io::read_file(&anon).expect("anonymize must write a parseable dataset");
+    assert!(
+        published.is_k_anonymous(2),
+        "published dataset is not 2-anonymous"
+    );
+    let original = io::read_file(&data).expect("synth output stays parseable");
+    assert_eq!(
+        published.num_users(),
+        original.num_users(),
+        "default residual policy must keep every subscriber"
+    );
+
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_file(&anon);
+}
+
+#[test]
+fn bad_invocations_exit_nonzero_with_usage() {
+    // No command.
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+
+    // Unknown command.
+    let out = run(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    // Missing required option.
+    let out = run(&["synth", "--preset", "civ"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--users"));
+
+    // Unreadable input file.
+    let out = run(&["info", "--in", "/nonexistent/definitely-missing.txt"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn help_prints_usage_on_stdout() {
+    let out = run(&["help"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("anonymize"));
+}

@@ -135,7 +135,10 @@ impl Arena {
             }
             let d = self.dist(i, j);
             if d < best.value || (d == best.value && j < best.partner) {
-                best = RowMin { value: d, partner: j };
+                best = RowMin {
+                    value: d,
+                    partner: j,
+                };
             }
         }
         self.row_min[i] = best;
@@ -185,11 +188,7 @@ impl Arena {
                 },
             });
         }
-        self.active = self
-            .active
-            .iter()
-            .map(|&i| remap[i])
-            .collect();
+        self.active = self.active.iter().map(|&i| remap[i]).collect();
         self.fps = fps;
         self.states = states;
         self.tri = tri;
@@ -348,7 +347,10 @@ pub fn anonymize(dataset: &Dataset, config: &GloveConfig) -> Result<GloveOutput,
                 let d = dists[idx];
                 arena.tri[m][j] = d;
                 if d < new_min.value || (d == new_min.value && j < new_min.partner) {
-                    new_min = RowMin { value: d, partner: j };
+                    new_min = RowMin {
+                        value: d,
+                        partner: j,
+                    };
                 }
             }
             arena.row_min[m] = new_min;
@@ -364,7 +366,10 @@ pub fn anonymize(dataset: &Dataset, config: &GloveConfig) -> Result<GloveOutput,
                     if d < arena.row_min[j].value
                         || (d == arena.row_min[j].value && m < arena.row_min[j].partner)
                     {
-                        arena.row_min[j] = RowMin { value: d, partner: m };
+                        arena.row_min[j] = RowMin {
+                            value: d,
+                            partner: m,
+                        };
                     }
                 }
             }
@@ -406,8 +411,12 @@ pub fn anonymize(dataset: &Dataset, config: &GloveConfig) -> Result<GloveOutput,
                     .min_by(|(i, x), (j, y)| x.partial_cmp(y).unwrap().then(i.cmp(j)))
                     .expect("done is non-empty");
                 let target = done[best_idx];
-                let outcome =
-                    merge_fingerprints(&arena.fps[target], &arena.fps[r], cfg, &config.suppression)?;
+                let outcome = merge_fingerprints(
+                    &arena.fps[target],
+                    &arena.fps[r],
+                    cfg,
+                    &config.suppression,
+                )?;
                 stats.merges += 1;
                 stats.suppressed.absorb(outcome.suppressed);
                 arena.fps[target] = outcome.fingerprint;
@@ -428,8 +437,7 @@ pub fn anonymize(dataset: &Dataset, config: &GloveConfig) -> Result<GloveOutput,
             let mut fp = arena.fps[i].clone();
             if config.reshape {
                 stats.reshaped_samples +=
-                    reshape_suppressed(&mut fp, &config.suppression, &mut stats.suppressed)?
-                        as u64;
+                    reshape_suppressed(&mut fp, &config.suppression, &mut stats.suppressed)? as u64;
             }
             published.push(fp);
         }
@@ -455,7 +463,11 @@ mod tests {
                 Fingerprint::from_points(
                     u as u32,
                     &[
-                        (cluster * 50_000 + (u as i64 % 7) * 100, 0, 60 + u as u32 % 5),
+                        (
+                            cluster * 50_000 + (u as i64 % 7) * 100,
+                            0,
+                            60 + u as u32 % 5,
+                        ),
                         (cluster * 50_000 + 1_000, 2_000, 600 + (u as u32 % 11)),
                         (cluster * 50_000, 4_000, 1_200 + (u as u32 % 3)),
                     ],

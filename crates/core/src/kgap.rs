@@ -236,8 +236,7 @@ mod tests {
         let ds = three_user_dataset();
         // For user 0, the nearest is user 1, not the far-away user 2.
         let g0 = kgap(&ds, 0, 2, &cfg()).unwrap();
-        let d01 =
-            fingerprint_stretch(&ds.fingerprints[0], &ds.fingerprints[1], &cfg());
+        let d01 = fingerprint_stretch(&ds.fingerprints[0], &ds.fingerprints[1], &cfg());
         assert!((g0 - d01).abs() < 1e-12);
     }
 

@@ -66,7 +66,14 @@ impl Sample {
                 "sample extents dx, dy, dt must all be >= 1".into(),
             ));
         }
-        Ok(Self { x, y, dx, dy, t, dt })
+        Ok(Self {
+            x,
+            y,
+            dx,
+            dy,
+            t,
+            dt,
+        })
     }
 
     /// Creates a native-granularity point sample: a 100 m × 100 m cell
@@ -121,7 +128,14 @@ impl Sample {
         let dy = (self.y_end().max(other.y_end()) - y) as u32;
         let t = self.t.min(other.t);
         let dt = (self.t_end().max(other.t_end()) - u64::from(t)) as u32;
-        Sample { x, y, dx, dy, t, dt }
+        Sample {
+            x,
+            y,
+            dx,
+            dy,
+            t,
+            dt,
+        }
     }
 
     /// Mean spatial side length `(dx + dy) / 2` in meters — the "position
@@ -168,7 +182,10 @@ impl Fingerprint {
 
     /// Creates a fingerprint already shared by a group of subscribers —
     /// used by the merge machinery and by dataset deserialization.
-    pub fn with_users(mut users: Vec<UserId>, mut samples: Vec<Sample>) -> Result<Self, GloveError> {
+    pub fn with_users(
+        mut users: Vec<UserId>,
+        mut samples: Vec<Sample>,
+    ) -> Result<Self, GloveError> {
         if samples.is_empty() {
             return Err(GloveError::InvalidFingerprint(
                 "a fingerprint must contain at least one sample".into(),
@@ -257,7 +274,10 @@ pub struct Dataset {
 impl Dataset {
     /// Creates a dataset, checking that no subscriber appears in two
     /// fingerprints.
-    pub fn new(name: impl Into<String>, fingerprints: Vec<Fingerprint>) -> Result<Self, GloveError> {
+    pub fn new(
+        name: impl Into<String>,
+        fingerprints: Vec<Fingerprint>,
+    ) -> Result<Self, GloveError> {
         let mut seen = BTreeSet::new();
         for fp in &fingerprints {
             for &u in fp.users() {
@@ -276,7 +296,10 @@ impl Dataset {
 
     /// Total number of subscribers across all fingerprints.
     pub fn num_users(&self) -> usize {
-        self.fingerprints.iter().map(Fingerprint::multiplicity).sum()
+        self.fingerprints
+            .iter()
+            .map(Fingerprint::multiplicity)
+            .sum()
     }
 
     /// Total number of published samples (each fingerprint's samples counted
@@ -389,7 +412,11 @@ mod tests {
         let f1 = Fingerprint::from_points(1, &[(0, 0, 0), (0, 0, 10)]).unwrap();
         let f2 = Fingerprint::with_users(
             vec![2, 3],
-            vec![Sample::point(0, 0, 5), Sample::point(0, 0, 7), Sample::point(0, 0, 9)],
+            vec![
+                Sample::point(0, 0, 5),
+                Sample::point(0, 0, 7),
+                Sample::point(0, 0, 9),
+            ],
         )
         .unwrap();
         let ds = Dataset::new("t", vec![f1, f2]).unwrap();

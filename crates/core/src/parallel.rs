@@ -10,11 +10,12 @@
 //!
 //! Following the Rust guidance for CPU-bound work (Tokio is for IO-bound
 //! concurrency; computation belongs on plain threads), the executor uses
-//! `crossbeam::scope` so that closures may borrow the dataset without `Arc`
-//! gymnastics, and an atomic cursor for dynamic load balancing — rows of the
-//! pairwise matrix have very uneven cost.
+//! `std::thread::scope` so that closures may borrow the dataset without
+//! `Arc` gymnastics, and an atomic cursor for dynamic load balancing — rows
+//! of the pairwise matrix have very uneven cost.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
 
 /// Returns the number of worker threads to use: `requested`, or one per
 /// available core when `requested == 0`.
@@ -48,14 +49,14 @@ where
     // Small batches amortize cursor contention without hurting balance.
     const BATCH: usize = 8;
     let cursor = AtomicUsize::new(0);
-    let (tx, rx) = crossbeam::channel::unbounded::<(usize, T)>();
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
             let tx = tx.clone();
             let cursor = &cursor;
             let f = &f;
-            scope.spawn(move |_| loop {
+            scope.spawn(move || loop {
                 let start = cursor.fetch_add(BATCH, Ordering::Relaxed);
                 if start >= n {
                     break;
@@ -80,7 +81,6 @@ where
             .map(|s| s.expect("every index produced exactly once"))
             .collect()
     })
-    .expect("worker panicked in par_map")
 }
 
 /// Convenience wrapper: applies `f` to every element of `items` in parallel,

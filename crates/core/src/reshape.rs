@@ -86,9 +86,7 @@ pub fn reshape_samples(samples: &[Sample]) -> Vec<Sample> {
     // ever grow the *last* element's end, so earlier emitted samples end at
     // or before the current one's start. A single pass suffices; assert the
     // postcondition in debug builds.
-    debug_assert!(out
-        .windows(2)
-        .all(|w| !w[0].overlaps_in_time(&w[1])));
+    debug_assert!(out.windows(2).all(|w| !w[0].overlaps_in_time(&w[1])));
     out
 }
 

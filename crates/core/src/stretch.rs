@@ -424,7 +424,7 @@ mod tests {
         // the effort of the direction affecting more users dominates.
         let a = Sample::point(0, 0, 0); // would need to grow a lot
         let b = Sample::new(-500, -500, 2_000, 2_000, 0, 1).unwrap(); // covers a
-        // a covers nothing of b; b already covers a.
+                                                                      // a covers nothing of b; b already covers a.
         let d_a_heavy = sample_stretch(&a, 9.0, &b, 1.0, &cfg());
         let d_b_heavy = sample_stretch(&a, 1.0, &b, 9.0, &cfg());
         // When a (the sample that must grow) carries 9 users, cost is higher.
@@ -490,7 +490,12 @@ mod tests {
         .unwrap();
         let b = Fingerprint::from_points(
             1,
-            &[(50, 50, 8), (1_200, 100, 95), (-4_000, 2_000, 650), (100, 0, 9_500)],
+            &[
+                (50, 50, 8),
+                (1_200, 100, 95),
+                (-4_000, 2_000, 650),
+                (100, 0, 9_500),
+            ],
         )
         .unwrap();
         let pruned = fingerprint_stretch(&a, &b, &cfg);

@@ -80,8 +80,7 @@ fn suppression_improves_mean_position_accuracy() {
     )
     .expect("suppressed");
     assert!(
-        mean_position_accuracy_m(&suppressed.dataset)
-            < mean_position_accuracy_m(&plain.dataset),
+        mean_position_accuracy_m(&suppressed.dataset) < mean_position_accuracy_m(&plain.dataset),
         "suppression exists to buy accuracy"
     );
 }

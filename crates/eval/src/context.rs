@@ -64,10 +64,7 @@ impl EvalContext {
             if let Some(rate) = self.cfg.events_per_day {
                 cfg.traffic.events_per_day_median = rate;
             }
-            eprintln!(
-                "[eval] generating {} ({} users)…",
-                cfg.name, self.cfg.users
-            );
+            eprintln!("[eval] generating {} ({} users)…", cfg.name, self.cfg.users);
             self.civ = Some(generate(&cfg));
         }
         self.civ.as_ref().expect("generated above")
@@ -80,10 +77,7 @@ impl EvalContext {
             if let Some(rate) = self.cfg.events_per_day {
                 cfg.traffic.events_per_day_median = rate;
             }
-            eprintln!(
-                "[eval] generating {} ({} users)…",
-                cfg.name, self.cfg.users
-            );
+            eprintln!("[eval] generating {} ({} users)…", cfg.name, self.cfg.users);
             self.sen = Some(generate(&cfg));
         }
         self.sen.as_ref().expect("generated above")

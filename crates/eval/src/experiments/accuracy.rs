@@ -2,7 +2,7 @@
 //! the suppression / timespan / dataset-size sweeps.
 
 use crate::context::EvalContext;
-use crate::report::{ascii_cdf, fmt, pct, write_csv, Report};
+use crate::report::{ascii_cdf, fmt, pct, write_csv, NamedCurve, Report};
 use glove_core::accuracy::{position_accuracy_m, time_accuracy_min};
 use glove_core::{Dataset, SuppressionThresholds};
 use glove_stats::{Ecdf, Summary};
@@ -111,7 +111,7 @@ pub fn fig7(ctx: &mut EvalContext) -> Report {
     report.table(&ACCURACY_HEADER, &rows);
     report.line("");
     report.line("position-accuracy CDF over [0.1, 20] km (fill height = F(x)):");
-    let chart_curves: Vec<(String, Box<dyn Fn(f64) -> f64>)> = runs
+    let chart_curves: Vec<NamedCurve> = runs
         .iter()
         .map(|(name, pos, _)| {
             let pos = pos.clone();
@@ -218,13 +218,27 @@ pub fn fig9(ctx: &mut EvalContext) -> Report {
         ]);
     }
     report.table(
-        &["thresholds", "discarded", "mean [km]", "median [km]", "p25 [km]", "p75 [km]"],
+        &[
+            "thresholds",
+            "discarded",
+            "mean [km]",
+            "median [km]",
+            "p25 [km]",
+            "p75 [km]",
+        ],
         &rows,
     );
     if let Ok(path) = write_csv(
         &ctx.cfg.out_dir,
         "fig9_suppression_spatial.csv",
-        &["thresholds", "discarded_frac", "mean_m", "median_m", "p25_m", "p75_m"],
+        &[
+            "thresholds",
+            "discarded_frac",
+            "mean_m",
+            "median_m",
+            "p25_m",
+            "p75_m",
+        ],
         &csv_rows,
     ) {
         report.csv_files.push(path);
@@ -289,13 +303,27 @@ pub fn fig9(ctx: &mut EvalContext) -> Report {
         ]);
     }
     report.table(
-        &["threshold", "discarded", "mean [min]", "median [min]", "p25 [min]", "p75 [min]"],
+        &[
+            "threshold",
+            "discarded",
+            "mean [min]",
+            "median [min]",
+            "p25 [min]",
+            "p75 [min]",
+        ],
         &rows,
     );
     if let Ok(path) = write_csv(
         &ctx.cfg.out_dir,
         "fig9_suppression_temporal.csv",
-        &["threshold", "discarded_frac", "mean_min", "median_min", "p25_min", "p75_min"],
+        &[
+            "threshold",
+            "discarded_frac",
+            "mean_min",
+            "median_min",
+            "p25_min",
+            "p75_min",
+        ],
         &csv_rows,
     ) {
         report.csv_files.push(path);
@@ -340,14 +368,26 @@ pub fn fig10(ctx: &mut EvalContext) -> Report {
         }
         report.line(format!("dataset: {name}"));
         report.table(
-            &["days", "med pos [km]", "mean pos [km]", "med time [min]", "mean time [min]"],
+            &[
+                "days",
+                "med pos [km]",
+                "mean pos [km]",
+                "med time [min]",
+                "mean time [min]",
+            ],
             &rows,
         );
         report.line("");
         if let Ok(path) = write_csv(
             &ctx.cfg.out_dir,
             &format!("fig10_timespan_{name}.csv"),
-            &["days", "median_pos_m", "mean_pos_m", "median_time_min", "mean_time_min"],
+            &[
+                "days",
+                "median_pos_m",
+                "mean_pos_m",
+                "median_time_min",
+                "mean_time_min",
+            ],
             &csv_rows,
         ) {
             report.csv_files.push(path);
@@ -369,7 +409,11 @@ pub fn fig11(ctx: &mut EvalContext) -> Report {
         let mut rows = Vec::new();
         let mut csv_rows = Vec::new();
         for pct_users in [5u32, 10, 25, 50, 75, 100] {
-            let sub = user_subset(&ds, pct_users as f64 / 100.0, 0xF16_11 + pct_users as u64);
+            let sub = user_subset(
+                &ds,
+                pct_users as f64 / 100.0,
+                0x000F_1611 + pct_users as u64,
+            );
             if sub.num_users() < 2 {
                 continue;
             }
@@ -393,14 +437,26 @@ pub fn fig11(ctx: &mut EvalContext) -> Report {
         }
         report.line(format!("dataset: {name}"));
         report.table(
-            &["users", "med pos [km]", "mean pos [km]", "med time [min]", "mean time [min]"],
+            &[
+                "users",
+                "med pos [km]",
+                "mean pos [km]",
+                "med time [min]",
+                "mean time [min]",
+            ],
             &rows,
         );
         report.line("");
         if let Ok(path) = write_csv(
             &ctx.cfg.out_dir,
             &format!("fig11_size_{name}.csv"),
-            &["users_pct", "median_pos_m", "mean_pos_m", "median_time_min", "mean_time_min"],
+            &[
+                "users_pct",
+                "median_pos_m",
+                "mean_pos_m",
+                "median_time_min",
+                "mean_time_min",
+            ],
             &csv_rows,
         ) {
             report.csv_files.push(path);

@@ -28,17 +28,8 @@ pub fn attack(ctx: &mut EvalContext) -> Report {
         for l in [1usize, 2, 3] {
             let raw = top_location_uniqueness(&ds, l);
             let anon = top_location_uniqueness(&out.dataset, l);
-            rows.push(vec![
-                format!("top-{l} locations"),
-                pct(raw),
-                pct(anon),
-            ]);
-            csv_rows.push(vec![
-                name.clone(),
-                format!("top{l}"),
-                fmt(raw),
-                fmt(anon),
-            ]);
+            rows.push(vec![format!("top-{l} locations"), pct(raw), pct(anon)]);
+            csv_rows.push(vec![name.clone(), format!("top{l}"), fmt(raw), fmt(anon)]);
         }
 
         // Adversary [6]: p random spatiotemporal points.
@@ -46,7 +37,7 @@ pub fn attack(ctx: &mut EvalContext) -> Report {
             let cfg = RandomPointAttack {
                 points,
                 trials: 300,
-                seed: 0xA77AC_4 + points as u64,
+                seed: 0x00A7_7AC4 + points as u64,
             };
             let raw = random_point_attack(&ds, &ds, &cfg);
             let anon = random_point_attack(&ds, &out.dataset, &cfg);

@@ -2,10 +2,10 @@
 //! generalization, and the tail-weight root-cause analysis.
 
 use crate::context::EvalContext;
-use crate::report::{ascii_cdf, fmt, pct, write_csv, Report};
+use crate::report::{ascii_cdf, fmt, pct, write_csv, NamedCurve, Report};
+use glove_baselines::{generalize_uniform, GeneralizationLevel};
 use glove_core::kgap::{kgap_all, kgap_decomposed_all, kgap_many};
 use glove_core::StretchConfig;
-use glove_baselines::{generalize_uniform, GeneralizationLevel};
 use glove_stats::{twi, Ecdf};
 
 /// Fig. 3a — CDF of the 2-gap in both datasets.
@@ -40,7 +40,7 @@ pub fn fig3a(ctx: &mut EvalContext) -> Report {
     );
     report.line("");
     report.line("CDF of the 2-gap over [0, 0.8] (fill height = F(x)):");
-    let chart_curves: Vec<(String, Box<dyn Fn(f64) -> f64>)> = curves
+    let chart_curves: Vec<NamedCurve> = curves
         .iter()
         .map(|(name, ecdf)| {
             let ecdf = ecdf.clone();
@@ -137,7 +137,12 @@ pub fn fig3b(ctx: &mut EvalContext) -> Report {
     let mut header = vec!["deltak".to_string()];
     header.extend(ks.iter().map(|k| format!("cdf_k{k}")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    if let Ok(path) = write_csv(&ctx.cfg.out_dir, "fig3b_kgap_by_k.csv", &header_refs, &csv_rows) {
+    if let Ok(path) = write_csv(
+        &ctx.cfg.out_dir,
+        "fig3b_kgap_by_k.csv",
+        &header_refs,
+        &csv_rows,
+    ) {
         report.csv_files.push(path);
     }
     report
@@ -148,10 +153,7 @@ pub fn fig3b(ctx: &mut EvalContext) -> Report {
 /// Paper headline: even at 20 km / 8 h granularity only ~35 % of users
 /// become 2-anonymous — legacy generalization does not work.
 pub fn fig4(ctx: &mut EvalContext) -> Report {
-    let mut report = Report::new(
-        "fig4",
-        "2-gap under uniform generalization (paper Fig. 4)",
-    );
+    let mut report = Report::new("fig4", "2-gap under uniform generalization (paper Fig. 4)");
     let cfg = StretchConfig::default();
     let threads = ctx.cfg.threads;
 
@@ -177,10 +179,7 @@ pub fn fig4(ctx: &mut EvalContext) -> Report {
             ]);
         }
         report.line(format!("dataset: {name}"));
-        report.table(
-            &["km-min", "2-anonymous", "median gap", "p90 gap"],
-            &rows,
-        );
+        report.table(&["km-min", "2-anonymous", "median gap", "p90 gap"], &rows);
         report.line("");
         if let Ok(path) = write_csv(
             &ctx.cfg.out_dir,

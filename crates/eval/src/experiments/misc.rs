@@ -47,7 +47,13 @@ pub fn rog(ctx: &mut EvalContext) -> Report {
         ]);
     }
     report.table(
-        &["dataset", "median [km]", "mean [km]", "p25 [km]", "p75 [km]"],
+        &[
+            "dataset",
+            "median [km]",
+            "mean [km]",
+            "p25 [km]",
+            "p75 [km]",
+        ],
         &rows,
     );
     report.line("");
@@ -104,7 +110,13 @@ pub fn throughput(ctx: &mut EvalContext) -> Report {
     if let Ok(path) = write_csv(
         &ctx.cfg.out_dir,
         "throughput.csv",
-        &["fingerprints", "pairs", "mean_len", "seconds", "pairs_per_s"],
+        &[
+            "fingerprints",
+            "pairs",
+            "mean_len",
+            "seconds",
+            "pairs_per_s",
+        ],
         &[vec![
             n.to_string(),
             pairs.to_string(),

@@ -32,8 +32,7 @@ fn run_glove(ctx: &mut EvalContext, ds: &Dataset, k: usize) -> Cell {
     let out = ctx.glove(ds, k, SuppressionThresholds::table2());
     Cell {
         discarded_fp: out.stats.discarded_fingerprints,
-        discarded_fp_frac: out.stats.discarded_fingerprints as f64
-            / ds.fingerprints.len() as f64,
+        discarded_fp_frac: out.stats.discarded_fingerprints as f64 / ds.fingerprints.len() as f64,
         created_samples: 0,
         created_frac: 0.0,
         deleted_samples: out.stats.suppressed.user_samples,
@@ -54,8 +53,7 @@ fn run_w4m(ds: &Dataset, k: usize) -> Cell {
     );
     Cell {
         discarded_fp: out.stats.discarded_fingerprints,
-        discarded_fp_frac: out.stats.discarded_fingerprints as f64
-            / ds.fingerprints.len() as f64,
+        discarded_fp_frac: out.stats.discarded_fingerprints as f64 / ds.fingerprints.len() as f64,
         created_samples: out.stats.created_samples,
         created_frac: out.stats.created_samples as f64 / total_samples,
         deleted_samples: out.stats.deleted_samples,

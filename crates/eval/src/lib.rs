@@ -25,8 +25,21 @@ pub use report::Report;
 
 /// The registry of experiment names accepted by the CLI, in paper order.
 pub const EXPERIMENTS: &[&str] = &[
-    "fig3a", "fig3b", "fig4", "fig5a", "fig5b", "fig7", "fig8", "fig9", "fig10", "fig11",
-    "table2", "rog", "throughput", "attack", "ablation",
+    "fig3a",
+    "fig3b",
+    "fig4",
+    "fig5a",
+    "fig5b",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "table2",
+    "rog",
+    "throughput",
+    "attack",
+    "ablation",
 ];
 
 /// Runs one experiment by name. Returns `None` for unknown names.

@@ -98,6 +98,10 @@ pub fn write_csv(
     Ok(path)
 }
 
+/// A labelled CDF curve, as the experiment runners build them for
+/// [`ascii_cdf`] rendering.
+pub type NamedCurve = (String, Box<dyn Fn(f64) -> f64>);
+
 /// Renders a set of CDF curves as a compact ASCII chart, one row per curve:
 /// each column is an abscissa bucket over `[lo, hi]` and the glyph encodes
 /// F(x) in ninths (` ` = 0, `█` = 1). A legend line maps rows to labels.
@@ -124,12 +128,11 @@ pub fn ascii_cdf(
         }
         out.push_str("|\n");
     }
+    let lo_label = format!("{lo}");
     let _ = writeln!(
         out,
-        "{:>label_w$}  {:<w$}{}",
+        "{:>label_w$}  {lo_label:<w$}{hi}",
         "",
-        format_args!("{lo}"),
-        hi,
         w = width.saturating_sub(format!("{hi}").len())
     );
     out
@@ -177,13 +180,7 @@ mod tests {
     #[test]
     fn csv_round_trip() {
         let dir = std::env::temp_dir().join("glove-eval-test-csv");
-        let path = write_csv(
-            &dir,
-            "t.csv",
-            &["x", "y"],
-            &[vec!["1".into(), "2".into()]],
-        )
-        .unwrap();
+        let path = write_csv(&dir, "t.csv", &["x", "y"], &[vec!["1".into(), "2".into()]]).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert_eq!(content, "x,y\n1,2\n");
         let _ = std::fs::remove_dir_all(&dir);
@@ -193,7 +190,7 @@ mod tests {
     fn fmt_ranges() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(0.1234567), "0.1235");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(2.4459), "2.45");
         assert_eq!(fmt(12345.6), "12345.6");
         assert_eq!(pct(0.125), "12.5%");
     }

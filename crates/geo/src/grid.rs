@@ -138,7 +138,10 @@ mod tests {
     #[test]
     fn snapping_is_idempotent() {
         let grid = Grid::default();
-        let p = MetricPoint { x: 12_345.6, y: -789.1 };
+        let p = MetricPoint {
+            x: 12_345.6,
+            y: -789.1,
+        };
         let s1 = grid.snap_corner_m(p);
         let s2 = grid.snap_corner_m(s1);
         assert_eq!(s1, s2);
@@ -164,13 +167,22 @@ mod tests {
         assert_eq!(cell, GridCell { col: -1, row: -1 });
         assert_eq!(
             grid.corner_m(cell),
-            MetricPoint { x: -100.0, y: -100.0 }
+            MetricPoint {
+                x: -100.0,
+                y: -100.0
+            }
         );
     }
 
     #[test]
     fn origin_offset_shifts_cells() {
-        let grid = Grid::with_origin(100.0, MetricPoint { x: -1000.0, y: -1000.0 });
+        let grid = Grid::with_origin(
+            100.0,
+            MetricPoint {
+                x: -1000.0,
+                y: -1000.0,
+            },
+        );
         let cell = grid.cell_of(MetricPoint { x: 0.0, y: 0.0 });
         assert_eq!(cell, GridCell { col: 10, row: 10 });
     }

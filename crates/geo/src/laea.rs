@@ -118,8 +118,7 @@ impl LambertAzimuthalEqualArea {
             .clamp(-1.0, 1.0)
             .asin();
         let lon = self.lon0
-            + (p.x * sin_c)
-                .atan2(rho * self.cos_lat0 * cos_c - p.y * self.sin_lat0 * sin_c);
+            + (p.x * sin_c).atan2(rho * self.cos_lat0 * cos_c - p.y * self.sin_lat0 * sin_c);
 
         GeoPoint {
             lat_deg: lat.to_degrees(),

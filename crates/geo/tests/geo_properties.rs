@@ -1,7 +1,7 @@
 //! Property tests of the geodesy substrate: projection round trips and
 //! grid-snapping invariants over the whole usable domain.
 
-use glove_geo::{Grid, GeoPoint, LambertAzimuthalEqualArea, MetricPoint};
+use glove_geo::{GeoPoint, Grid, LambertAzimuthalEqualArea, MetricPoint};
 use proptest::prelude::*;
 
 proptest! {

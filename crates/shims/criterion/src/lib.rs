@@ -1,0 +1,306 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the Criterion API the `glove-bench` benches use:
+//! [`Criterion::benchmark_group`]/[`Criterion::bench_function`], benchmark
+//! groups with `sample_size`/`throughput`, [`BenchmarkId`], [`Bencher::iter`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Mode selection mirrors real Criterion: `cargo bench` passes `--bench`,
+//! which enables measurement mode (warm-up plus a timed run, reporting
+//! ns/iter and, when a throughput was set, elements/s). Without `--bench`,
+//! or with an explicit `--test` (as in `cargo bench -- --test`), every
+//! benchmark body runs exactly once so CI can keep the benches compiling
+//! and executable without paying for stable measurements.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark in measurement mode.
+const MEASURE_TARGET: Duration = Duration::from_millis(200);
+/// Iteration cap so quadratic workloads cannot stall a bench run.
+const MAX_ITERS: u64 = 10_000;
+
+/// The benchmark driver handed to every registered bench function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Criterion {
+    fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let bench = args.iter().any(|a| a == "--bench");
+        let test = args.iter().any(|a| a == "--test");
+        Self {
+            test_mode: test || !bench,
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.test_mode, &name.into(), None, |b| f(b));
+        self
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes runs by wall time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Declares how much work one iteration performs, enabling rate output.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion.test_mode, &label, self.throughput, |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark that borrows a per-case input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_one(self.criterion.test_mode, &label, self.throughput, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: a function name plus a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id naming only the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Anything accepted where a benchmark id is expected.
+pub trait IntoBenchmarkId {
+    /// Converts to the display label of the benchmark.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// The per-iteration work one benchmark performs.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    test_mode: bool,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // Warm-up: one call, which also sizes the timed run.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let warm = warm_start.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (MEASURE_TARGET.as_nanos() / warm.as_nanos()).clamp(1, u128::from(MAX_ITERS)) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    test_mode: bool,
+    label: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        test_mode,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {label} ... ok (ran once)");
+        return;
+    }
+    let per_iter_ns = if bencher.iters == 0 {
+        0.0
+    } else {
+        bencher.elapsed.as_nanos() as f64 / bencher.iters as f64
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) if per_iter_ns > 0.0 => {
+            let rate = n as f64 / (per_iter_ns / 1e9);
+            println!("{label:50} {per_iter_ns:>14.1} ns/iter {rate:>14.0} elem/s");
+        }
+        Some(Throughput::Bytes(n)) if per_iter_ns > 0.0 => {
+            let rate = n as f64 / (per_iter_ns / 1e9) / (1024.0 * 1024.0);
+            println!("{label:50} {per_iter_ns:>14.1} ns/iter {rate:>14.1} MiB/s");
+        }
+        _ => println!("{label:50} {per_iter_ns:>14.1} ns/iter"),
+    }
+}
+
+/// Registers benchmark functions under a group name, mirroring Criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::__from_args_for_macro();
+            $($group(&mut criterion);)+
+        }
+    };
+}
+
+impl Criterion {
+    /// Implementation detail of [`criterion_main!`].
+    #[doc(hidden)]
+    pub fn __from_args_for_macro() -> Self {
+        Self::from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_bodies_run_in_test_mode() {
+        let mut criterion = Criterion { test_mode: true };
+        let mut calls = 0u32;
+        criterion.bench_function("unit/one", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1, "test mode runs the routine exactly once");
+
+        let mut group = criterion.benchmark_group("unit");
+        group.sample_size(10).throughput(Throughput::Elements(4));
+        let mut with_input = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &v| {
+            b.iter(|| with_input += v)
+        });
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.finish();
+        assert_eq!(with_input, 7);
+    }
+
+    #[test]
+    fn measurement_mode_times_the_routine() {
+        let mut criterion = Criterion { test_mode: false };
+        let mut calls = 0u64;
+        criterion.bench_function("unit/timed", |b| b.iter(|| calls += 1));
+        assert!(calls > 1, "measurement mode iterates ({calls} calls)");
+    }
+
+    #[test]
+    fn benchmark_ids_format_like_criterion() {
+        assert_eq!(BenchmarkId::new("k2", 32).to_string(), "k2/32");
+        assert_eq!(
+            BenchmarkId::from_parameter("100m x 1min").to_string(),
+            "100m x 1min"
+        );
+    }
+}

@@ -1,0 +1,581 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of the proptest API the GLOVE workspace uses: the
+//! [`proptest!`] macro, [`prop_assert!`]/[`prop_assert_eq!`], the
+//! [`strategy::Strategy`] trait with `prop_map`, numeric-range and tuple
+//! strategies, [`collection::vec`], and string strategies from a small
+//! regex subset (`\PC`, character classes, `{m,n}`/`?` quantifiers).
+//!
+//! Differences from real proptest, by design:
+//!
+//! * **no shrinking** — a failing case panics with the drawn inputs instead
+//!   of minimizing them;
+//! * **deterministic seeding** — the RNG is seeded from the test's module
+//!   path and name, so failures reproduce exactly on re-run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of value this strategy generates.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<T> Strategy for Range<T>
+    where
+        T: Copy,
+        Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rand::SampleRange::sample_from(self.clone(), rng)
+        }
+    }
+
+    impl<T> Strategy for RangeInclusive<T>
+    where
+        T: Copy,
+        RangeInclusive<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            rand::SampleRange::sample_from(self.clone(), rng)
+        }
+    }
+
+    /// String strategy from a regex subset; see [`crate::string`].
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            crate::string::generate_matching(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size interval for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            Self {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            Self {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { min: n, max: n }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec()`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.min..=self.size.max);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    //! Generation of strings matching a small regex subset.
+    //!
+    //! Supported syntax: literal characters, `\PC` (any printable,
+    //! non-control character), character classes `[...]` with ranges and a
+    //! literal leading `-`, and the quantifiers `{m,n}`, `{n}`, `?`, `*`
+    //! and `+` (the starred forms capped at 8 repetitions).
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    #[derive(Clone, Debug)]
+    enum Atom {
+        Literal(char),
+        /// Any printable char (`\PC`): drawn from an ASCII + small unicode pool.
+        AnyPrintable,
+        /// A set of alternatives from a `[...]` class.
+        Class(Vec<(char, char)>),
+    }
+
+    #[derive(Clone, Debug)]
+    struct Piece {
+        atom: Atom,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates a string matching `pattern`.
+    ///
+    /// # Panics
+    /// Panics on syntax outside the supported subset (which would silently
+    /// generate non-matching strings otherwise).
+    pub fn generate_matching(pattern: &str, rng: &mut StdRng) -> String {
+        let pieces = parse(pattern);
+        let mut out = String::new();
+        for piece in &pieces {
+            let count = rng.gen_range(piece.min..=piece.max);
+            for _ in 0..count {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut StdRng) -> char {
+        match atom {
+            Atom::Literal(c) => *c,
+            Atom::AnyPrintable => {
+                // Mostly ASCII printable, occasionally multi-byte unicode so
+                // parsers see non-trivial UTF-8.
+                if rng.gen_bool(0.9) {
+                    char::from_u32(rng.gen_range(0x20u32..0x7F)).expect("printable ascii")
+                } else {
+                    const POOL: &[char] = &['é', 'Ω', '中', '🜂', 'ß', 'ñ', '→', '\u{00A0}'];
+                    POOL[rng.gen_range(0..POOL.len())]
+                }
+            }
+            Atom::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for (lo, hi) in ranges {
+                    let span = *hi as u32 - *lo as u32 + 1;
+                    if pick < span {
+                        return char::from_u32(*lo as u32 + pick).expect("class range char");
+                    }
+                    pick -= span;
+                }
+                unreachable!("pick is bounded by the total class size")
+            }
+        }
+    }
+
+    fn parse(pattern: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0;
+        let mut pieces = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '\\' => {
+                    // Only `\PC` and escaped literals are supported.
+                    if chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C') {
+                        i += 3;
+                        Atom::AnyPrintable
+                    } else {
+                        let c = *chars
+                            .get(i + 1)
+                            .unwrap_or_else(|| panic!("dangling escape in regex '{pattern}'"));
+                        i += 2;
+                        Atom::Literal(c)
+                    }
+                }
+                '[' => {
+                    // Find the closing `]`, honouring escapes so `[a\]b]`
+                    // keeps its escaped bracket inside the class body.
+                    let mut close = i + 1;
+                    while close < chars.len() && chars[close] != ']' {
+                        close += if chars[close] == '\\' { 2 } else { 1 };
+                    }
+                    assert!(
+                        close < chars.len(),
+                        "unterminated class in regex '{pattern}'"
+                    );
+                    let body = &chars[i + 1..close];
+                    i = close + 1;
+                    Atom::Class(parse_class(body, pattern))
+                }
+                '.' => {
+                    i += 1;
+                    Atom::AnyPrintable
+                }
+                c => {
+                    assert!(
+                        !"(){}|^$*+?".contains(c),
+                        "unsupported regex syntax '{c}' in '{pattern}'"
+                    );
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .unwrap_or_else(|| panic!("unterminated quantifier in '{pattern}'"))
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((lo, hi)) => (
+                            lo.trim().parse().expect("quantifier lower bound"),
+                            hi.trim().parse().expect("quantifier upper bound"),
+                        ),
+                        None => {
+                            let n = body.trim().parse().expect("quantifier count");
+                            (n, n)
+                        }
+                    }
+                }
+                _ => (1, 1),
+            };
+            pieces.push(Piece { atom, min, max });
+        }
+        pieces
+    }
+
+    fn parse_class(body: &[char], pattern: &str) -> Vec<(char, char)> {
+        // Resolve escapes first so `a-z` range detection below cannot
+        // mistake an escaped `\-` for a range separator.
+        let mut tokens: Vec<(char, bool)> = Vec::new();
+        let mut j = 0;
+        while j < body.len() {
+            if body[j] == '\\' {
+                j += 1;
+                assert!(j < body.len(), "dangling escape in class in '{pattern}'");
+                tokens.push((body[j], true));
+            } else {
+                tokens.push((body[j], false));
+            }
+            j += 1;
+        }
+        assert!(!tokens.is_empty(), "empty class in regex '{pattern}'");
+
+        // `a-z` is a range unless `-` is first, last, or escaped.
+        let mut ranges = Vec::new();
+        let mut k = 0;
+        while k < tokens.len() {
+            if k + 2 < tokens.len() && tokens[k + 1] == ('-', false) {
+                let (lo, hi) = (tokens[k].0, tokens[k + 2].0);
+                assert!(lo <= hi, "inverted class range in '{pattern}'");
+                ranges.push((lo, hi));
+                k += 3;
+            } else {
+                ranges.push((tokens[k].0, tokens[k].0));
+                k += 1;
+            }
+        }
+        ranges
+    }
+}
+
+pub mod test_runner {
+    //! Test configuration and the deterministic RNG behind each test.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Configuration of a `proptest!` block.
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases each property is checked against.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 256 }
+        }
+    }
+
+    /// A deterministic RNG derived from the test's fully qualified name, so
+    /// each property sees a distinct but reproducible stream.
+    pub fn rng_for(test_name: &str) -> StdRng {
+        // FNV-1a over the name: stable across platforms and compiler versions.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        StdRng::seed_from_u64(hash)
+    }
+}
+
+/// The conventional catch-all import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` against `cases` random draws.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $(
+        $(#[$meta:meta])+
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])+
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $cfg;
+            let mut rng =
+                $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..config.cases {
+                let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                    let ($($arg,)+) =
+                        ($($crate::strategy::Strategy::generate(&($strat), &mut rng),)+);
+                    $body
+                }));
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {case}/{} of {} failed",
+                        config.cases,
+                        stringify!($name),
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property, reporting the failing expression.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::collection::vec;
+    use crate::prelude::*;
+    use crate::test_runner::rng_for;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -50i64..50, y in 1u32..=9, f in 0.0f64..1.0) {
+            prop_assert!((-50..50).contains(&x));
+            prop_assert!((1..=9).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(v in vec((0u32..10, 0u32..10).prop_map(|(a, b)| a + b), 2..=5)) {
+            prop_assert!((2..=5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&s| s < 19));
+        }
+
+        #[test]
+        fn regex_class_strings_match(s in "[FS#] ?[-0-9a-z, ]{0,40}") {
+            let mut chars = s.chars();
+            let first = chars.next().expect("leading class is mandatory");
+            prop_assert!("FS#".contains(first));
+            prop_assert!(s.len() <= 2 + 40);
+        }
+
+        #[test]
+        fn printable_strings_have_no_controls(s in "\\PC{0,50}") {
+            prop_assert!(!s.chars().any(|c| c.is_control()), "control char in {s:?}");
+        }
+
+        #[test]
+        fn escaped_bracket_in_class_stays_literal(s in "[a\\]b]{1,30}") {
+            prop_assert!(
+                s.chars().all(|c| matches!(c, 'a' | ']' | 'b')),
+                "escaped bracket must stay inside the class: {s:?}"
+            );
+        }
+
+        #[test]
+        fn escaped_dash_in_class_stays_literal(s in "[a\\-z]{1,30}") {
+            prop_assert!(
+                s.chars().all(|c| matches!(c, 'a' | '-' | 'z')),
+                "escaped dash must not form a range: {s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_name() {
+        use rand::RngCore;
+        let mut a = rng_for("some::test");
+        let mut b = rng_for("some::test");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = rng_for("other::test");
+        assert_ne!(rng_for("some::test").next_u64(), c.next_u64());
+    }
+}

@@ -108,7 +108,10 @@ mod tests {
             })
             .collect();
         let t = twi(&values).unwrap();
-        assert!((t - 1.0).abs() < 0.05, "Gaussian TWI should be ≈ 1, got {t}");
+        assert!(
+            (t - 1.0).abs() < 0.05,
+            "Gaussian TWI should be ≈ 1, got {t}"
+        );
     }
 
     #[test]

@@ -49,9 +49,13 @@ impl Country {
         let mut total = 0.0;
         for c in &self.cities {
             if !(c.weight > 0.0 && c.weight < 1.0) {
-                return Err(format!("city {} has weight {} outside (0,1)", c.name, c.weight));
+                return Err(format!(
+                    "city {} has weight {} outside (0,1)",
+                    c.name, c.weight
+                ));
             }
-            if !(c.sigma_m > 0.0) {
+            // NaN must be rejected too, hence not `c.sigma_m <= 0.0`.
+            if !(c.sigma_m > 0.0 && c.sigma_m.is_finite()) {
                 return Err(format!("city {} has non-positive sigma", c.name));
             }
             if c.center.0 < 0.0

@@ -220,10 +220,8 @@ pub fn build_itinerary(
                     if rng.gen_bool(0.25) {
                         let lunch = base + jitter_min(rng, 12 * 60 + 45, 25);
                         if lunch > leave + 30 && lunch + 45 < work_end {
-                            let spot = country.clamp(
-                                work.0 + normal(rng) * 400.0,
-                                work.1 + normal(rng) * 400.0,
-                            );
+                            let spot = country
+                                .clamp(work.0 + normal(rng) * 400.0, work.1 + normal(rng) * 400.0);
                             push(lunch, spot, &mut blocks);
                             push(lunch + rng.gen_range(20..50), work, &mut blocks);
                         }
@@ -249,8 +247,10 @@ pub fn build_itinerary(
                 let d = (cfg.trip_min_m * u.powf(-1.0 / cfg.trip_alpha))
                     .min(country.width_m.max(country.height_m));
                 let theta = rng.gen_range(0.0..std::f64::consts::TAU);
-                let dest =
-                    country.clamp(profile.home.0 + d * theta.cos(), profile.home.1 + d * theta.sin());
+                let dest = country.clamp(
+                    profile.home.0 + d * theta.cos(),
+                    profile.home.1 + d * theta.sin(),
+                );
                 let start = base + jitter_min(rng, 9 * 60 + 30, 90);
                 let end = start + rng.gen_range(3 * 60..9 * 60);
                 push(start, dest, &mut blocks);
@@ -299,7 +299,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup(seed: u64) -> (Country, MobilityConfig, StdRng) {
-        (Country::civ_like(), MobilityConfig::default(), StdRng::seed_from_u64(seed))
+        (
+            Country::civ_like(),
+            MobilityConfig::default(),
+            StdRng::seed_from_u64(seed),
+        )
     }
 
     #[test]

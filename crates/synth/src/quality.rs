@@ -46,7 +46,8 @@ impl QualityReport {
         if dataset.fingerprints.is_empty() {
             return None;
         }
-        let span_days = (dataset.span_min() as f64 / f64::from(DAY_MIN)).max(1.0 / f64::from(DAY_MIN));
+        let span_days =
+            (dataset.span_min() as f64 / f64::from(DAY_MIN)).max(1.0 / f64::from(DAY_MIN));
 
         let mut events_per_day = Vec::new();
         let mut gaps = Vec::new();
@@ -155,8 +156,7 @@ mod tests {
         // Perfectly regular robot users: one event per hour, same cell.
         let fps = (0..10)
             .map(|u| {
-                let points: Vec<(i64, i64, u32)> =
-                    (0..200).map(|i| (0, 0, i * 60)).collect();
+                let points: Vec<(i64, i64, u32)> = (0..200).map(|i| (0, 0, i * 60)).collect();
                 Fingerprint::from_points(u, &points).unwrap()
             })
             .collect();

@@ -57,7 +57,7 @@ impl ScenarioConfig {
     pub fn civ_like(num_users: usize) -> Self {
         Self {
             name: "civ-like".into(),
-            seed: 0xC1_1F_00D5,
+            seed: 0xC11F_00D5,
             num_users,
             span_days: 14,
             num_towers: 900,
@@ -153,7 +153,13 @@ pub fn generate(cfg: &ScenarioConfig) -> SynthDataset {
             screened_out += 1;
             continue;
         }
-        let itinerary = build_itinerary(&profile, &cfg.country, &cfg.mobility, cfg.span_days, &mut rng);
+        let itinerary = build_itinerary(
+            &profile,
+            &cfg.country,
+            &cfg.mobility,
+            cfg.span_days,
+            &mut rng,
+        );
 
         let mut samples = Vec::with_capacity(minutes.len());
         for &t in &minutes {

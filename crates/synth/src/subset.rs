@@ -174,8 +174,12 @@ mod tests {
         let a = user_subset(&s.dataset, 0.3, 1);
         let b = user_subset(&s.dataset, 0.3, 1);
         let c = user_subset(&s.dataset, 0.3, 2);
-        let users =
-            |d: &Dataset| d.fingerprints.iter().flat_map(|f| f.users().to_vec()).collect::<Vec<_>>();
+        let users = |d: &Dataset| {
+            d.fingerprints
+                .iter()
+                .flat_map(|f| f.users().to_vec())
+                .collect::<Vec<_>>()
+        };
         assert_eq!(users(&a), users(&b));
         assert_ne!(users(&a), users(&c));
     }

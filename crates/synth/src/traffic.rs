@@ -134,7 +134,10 @@ mod tests {
     #[test]
     fn diurnal_profile_is_normalized() {
         let mean: f64 = DIURNAL_PROFILE.iter().sum::<f64>() / 24.0;
-        assert!((mean - 1.0).abs() < 0.02, "profile mean {mean} should be ~1");
+        assert!(
+            (mean - 1.0).abs() < 0.02,
+            "profile mean {mean} should be ~1"
+        );
     }
 
     #[test]
@@ -204,7 +207,9 @@ mod tests {
     fn user_rates_are_heterogeneous() {
         let cfg = TrafficConfig::default();
         let mut rng = StdRng::seed_from_u64(5);
-        let rates: Vec<f64> = (0..2_000).map(|_| sample_user_rate(&cfg, &mut rng)).collect();
+        let rates: Vec<f64> = (0..2_000)
+            .map(|_| sample_user_rate(&cfg, &mut rng))
+            .collect();
         let mean = rates.iter().sum::<f64>() / rates.len() as f64;
         let mut sorted = rates.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());

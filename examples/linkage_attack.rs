@@ -27,7 +27,10 @@ fn main() {
 
     // --- Adversary 1: top-L locations ---------------------------------------
     println!("top-location adversary (share of users with a unique signature):");
-    println!("  {:>14} {:>10} {:>14}", "knowledge", "raw data", "after GLOVE");
+    println!(
+        "  {:>14} {:>10} {:>14}",
+        "knowledge", "raw data", "after GLOVE"
+    );
     for l in [1usize, 2, 3] {
         println!(
             "  {:>14} {:>9.1}% {:>13.1}%",

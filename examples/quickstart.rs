@@ -32,11 +32,8 @@ fn main() {
         ],
     )
     .expect("valid fingerprint");
-    let c = Fingerprint::from_points(
-        2,
-        &[(900, 4_200, 7 * 60 + 40), (8_400, 1_400, 20 * 60)],
-    )
-    .expect("valid fingerprint");
+    let c = Fingerprint::from_points(2, &[(900, 4_200, 7 * 60 + 40), (8_400, 1_400, 20 * 60)])
+        .expect("valid fingerprint");
 
     let dataset = Dataset::new("fig1", vec![a, b, c]).expect("unique users");
 

@@ -12,7 +12,12 @@
 //!   comparators;
 //! * [`attack`] — record-linkage adversaries (top-location and
 //!   random-point knowledge) quantifying uniqueness before and after
-//!   anonymization.
+//!   anonymization;
+//! * [`eval`] — the experiment harness regenerating the paper's tables and
+//!   figures;
+//! * [`cli`] — the library side of the `glove` binary (dataset text format
+//!   and subcommand implementations);
+//! * [`bench`] — shared fixtures of the Criterion benches.
 //!
 //! ## Quickstart
 //!
@@ -37,7 +42,10 @@
 
 pub use glove_attack as attack;
 pub use glove_baselines as baselines;
+pub use glove_bench as bench;
+pub use glove_cli as cli;
 pub use glove_core as core;
+pub use glove_eval as eval;
 pub use glove_geo as geo;
 pub use glove_stats as stats;
 pub use glove_synth as synth;
