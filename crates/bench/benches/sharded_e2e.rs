@@ -1,0 +1,98 @@
+//! `sharded_e2e` — end-to-end sharded vs monolithic GLOVE on the
+//! `metro_like` scenario, emitting a BENCH JSON point.
+//!
+//! Unlike the Criterion-shimmed benches, this target measures two full runs
+//! directly (monolithic and `--shards 8`), prints a `BENCH {...}` line and
+//! writes the same JSON point to `BENCH_sharded_e2e.json` in the working
+//! directory, so CI can archive the speedup trajectory across commits.
+//!
+//! Modes mirror the criterion shim: `cargo bench --bench sharded_e2e` (the
+//! plain `--bench` flag) measures at full size; `--test` (as in CI's
+//! `cargo bench -- --test`) shrinks the population so the smoke run stays
+//! fast. `--users N` overrides the population either way.
+
+use glove_bench::metro_bench_dataset;
+use glove_core::glove::anonymize;
+use glove_core::{GloveConfig, ShardPolicy};
+use std::time::Instant;
+
+const SHARDS: usize = 8;
+
+fn run(
+    ds: &glove_core::Dataset,
+    shard: Option<ShardPolicy>,
+) -> (f64, glove_core::glove::GloveOutput) {
+    let config = GloveConfig {
+        k: 2,
+        threads: 0,
+        shard,
+        ..GloveConfig::default()
+    };
+    let started = Instant::now();
+    let out = anonymize(ds, &config).expect("anonymization succeeds");
+    (started.elapsed().as_secs_f64(), out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
+    let mut users = if test_mode { 96 } else { 600 };
+    if let Some(pos) = args.iter().position(|a| a == "--users") {
+        users = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--users N");
+    }
+
+    eprintln!("[sharded_e2e] generating metro_like ({users} users)…");
+    let ds = metro_bench_dataset(users);
+    let samples = ds.num_samples();
+
+    eprintln!("[sharded_e2e] monolithic run…");
+    let (mono_s, mono) = run(&ds, None);
+    eprintln!("[sharded_e2e] sharded run ({SHARDS} activity shards)…");
+    let (shard_s, sharded) = run(&ds, Some(ShardPolicy::activity(SHARDS)));
+
+    // The benchmark doubles as an invariant check: both outputs must be
+    // 2-anonymous and conserve the population.
+    assert!(mono.dataset.is_k_anonymous(2));
+    assert!(sharded.dataset.is_k_anonymous(2));
+    assert_eq!(mono.dataset.num_users(), users);
+    assert_eq!(sharded.dataset.num_users(), users);
+
+    let speedup = mono_s / shard_s.max(1e-9);
+    let json = format!(
+        "{{\"name\":\"sharded_e2e\",\"scenario\":\"metro_like\",\"users\":{users},\
+         \"samples\":{samples},\"shards\":{SHARDS},\"mode\":\"{}\",\
+         \"monolithic_s\":{mono_s:.3},\"sharded_s\":{shard_s:.3},\"speedup\":{speedup:.2},\
+         \"monolithic_pairs\":{},\"sharded_pairs\":{},\
+         \"monolithic_pruned\":{},\"sharded_pruned\":{}}}",
+        if test_mode { "test" } else { "bench" },
+        mono.stats.pairs_computed,
+        sharded.stats.pairs_computed,
+        mono.stats.pairs_pruned,
+        sharded.stats.pairs_pruned,
+    );
+    println!("BENCH {json}");
+    // Benches run with the package as working directory; anchor the JSON at
+    // the workspace root so CI can pick up BENCH_*.json uniformly. An
+    // explicit BENCH_DIR env var wins; if the compile-time workspace path
+    // does not exist at run time (prebuilt binary, moved checkout), fall
+    // back to the current directory rather than dropping the artifact.
+    let dir = std::env::var("BENCH_DIR").unwrap_or_else(|_| {
+        let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+        if std::path::Path::new(&root).is_dir() {
+            root
+        } else {
+            ".".to_string()
+        }
+    });
+    let path = format!("{dir}/BENCH_sharded_e2e.json");
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("[sharded_e2e] could not write {path}: {e}");
+    }
+    println!(
+        "sharded_e2e/metro_{users}: monolithic {mono_s:.2}s, {SHARDS} shards {shard_s:.2}s \
+         -> {speedup:.1}x"
+    );
+}

@@ -14,6 +14,15 @@ pub fn bench_dataset(users: usize) -> Dataset {
     generate(&cfg).dataset
 }
 
+/// Generates a deterministic metro-like dataset of `users` subscribers —
+/// the dense single-region workload of the `sharded_e2e` benchmark.
+pub fn metro_bench_dataset(users: usize) -> Dataset {
+    let mut cfg = ScenarioConfig::metro_like(users);
+    cfg.num_towers = 300;
+    cfg.seed = 0x000B_EAC5; // fixed: benches must compare like against like
+    generate(&cfg).dataset
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

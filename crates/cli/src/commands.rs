@@ -6,7 +6,10 @@ use glove_baselines::{generalize_uniform, w4m_lc, GeneralizationLevel, W4mConfig
 use glove_core::accuracy::{mean_position_accuracy_m, mean_time_accuracy_min};
 use glove_core::glove::anonymize;
 use glove_core::kgap::kgap_all;
-use glove_core::{Dataset, GloveConfig, ResidualPolicy, StretchConfig, SuppressionThresholds};
+use glove_core::{
+    Dataset, GloveConfig, ResidualPolicy, ShardBy, ShardPolicy, StretchConfig,
+    SuppressionThresholds,
+};
 use glove_stats::{Ecdf, Summary};
 use glove_synth::{generate, QualityReport, ScenarioConfig};
 use std::error::Error;
@@ -22,7 +25,8 @@ pub fn synth(
     let mut cfg = match preset {
         "civ" | "civ-like" => ScenarioConfig::civ_like(users),
         "sen" | "sen-like" => ScenarioConfig::sen_like(users),
-        other => return Err(format!("unknown preset '{other}' (use civ | sen)").into()),
+        "metro" | "metro-like" => ScenarioConfig::metro_like(users),
+        other => return Err(format!("unknown preset '{other}' (use civ | sen | metro)").into()),
     };
     if let Some(seed) = seed {
         cfg.seed = seed;
@@ -75,12 +79,8 @@ pub fn info(input: &Path) -> Result<String, Box<dyn Error>> {
 /// `glove audit`: the anonymizability audit of §5 — k-gap distribution.
 pub fn audit(input: &Path, k: usize, threads: usize) -> Result<String, Box<dyn Error>> {
     let ds = io::read_file(input)?;
-    if k < 2 || ds.fingerprints.len() < k {
-        return Err(format!(
-            "k must be in [2, {}] for this dataset",
-            ds.fingerprints.len()
-        )
-        .into());
+    if k < 2 || ds.num_users() < k {
+        return Err(format!("k must be in [2, {}] for this dataset", ds.num_users()).into());
     }
     let cfg = StretchConfig::default();
     let gaps = kgap_all(&ds, k, threads, &cfg);
@@ -123,6 +123,10 @@ pub struct AnonymizeOpts {
     pub residual: ResidualPolicy,
     /// Worker threads (0 = all cores).
     pub threads: usize,
+    /// Optional shard count; `None` runs monolithically.
+    pub shards: Option<usize>,
+    /// Shard assignment key (only meaningful with `shards`).
+    pub shard_by: ShardBy,
 }
 
 /// `glove anonymize`: run GLOVE and write the anonymized dataset.
@@ -140,14 +144,18 @@ pub fn anonymize_cmd(
         },
         residual: opts.residual,
         threads: opts.threads,
+        shard: opts.shards.map(|shards| ShardPolicy {
+            shards,
+            by: opts.shard_by,
+        }),
         ..GloveConfig::default()
     };
     let output = anonymize(&ds, &config)?;
     io::write_file(&output.dataset, out)?;
     let s = &output.stats;
-    Ok(format!(
+    let mut msg = format!(
         "wrote {}: {} groups covering {} subscribers (k = {})\n\
-         merges: {}, pairs computed: {} ({:.0} pairs/s), elapsed {:.1} s\n\
+         merges: {}, pairs computed: {} ({:.0} pairs/s, {} pruned), elapsed {:.1} s\n\
          suppressed samples: {} ({} user-samples), reshaped: {}\n\
          discarded fingerprints: {} ({} subscribers)\n\
          mean accuracy: {:.0} m position, {:.0} min time",
@@ -158,6 +166,7 @@ pub fn anonymize_cmd(
         s.merges,
         s.pairs_computed,
         s.pairs_per_second(),
+        s.pairs_pruned,
         s.elapsed_s,
         s.suppressed.samples,
         s.suppressed.user_samples,
@@ -166,7 +175,30 @@ pub fn anonymize_cmd(
         s.discarded_users,
         mean_position_accuracy_m(&output.dataset),
         mean_time_accuracy_min(&output.dataset),
-    ))
+    );
+    if !s.per_shard.is_empty() {
+        msg.push_str(&format!(
+            "\nshards: {} ({})",
+            s.per_shard.len(),
+            match opts.shard_by {
+                ShardBy::Activity => "activity",
+                ShardBy::Spatial => "spatial",
+            }
+        ));
+        for sh in &s.per_shard {
+            msg.push_str(&format!(
+                "\n  shard {}: {} fps ({} users) -> {} groups, {} merges, {} pairs, {:.2} s",
+                sh.shard,
+                sh.fingerprints_in,
+                sh.users_in,
+                sh.fingerprints_out,
+                sh.merges,
+                sh.pairs_computed,
+                sh.elapsed_s,
+            ));
+        }
+    }
+    Ok(msg)
 }
 
 /// `glove generalize`: uniform spatiotemporal generalization baseline.
@@ -298,6 +330,8 @@ mod tests {
             suppress_time_min: None,
             residual: ResidualPolicy::MergeIntoNearest,
             threads: 1,
+            shards: None,
+            shard_by: ShardBy::Activity,
         };
         let msg = anonymize_cmd(&data, &anon, &opts).unwrap();
         assert!(msg.contains("20 subscribers"));
@@ -306,6 +340,31 @@ mod tests {
         assert!(anonymized.is_k_anonymous(2));
         assert_eq!(anonymized.num_users(), 20);
 
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&anon);
+    }
+
+    #[test]
+    fn sharded_anonymize_reports_per_shard_stats() {
+        let data = temp("shard-data");
+        let anon = temp("shard-anon");
+        synth("civ", 24, Some(11), &data).unwrap();
+        let opts = AnonymizeOpts {
+            k: 2,
+            suppress_space_m: None,
+            suppress_time_min: None,
+            residual: ResidualPolicy::MergeIntoNearest,
+            threads: 1,
+            shards: Some(4),
+            shard_by: ShardBy::Activity,
+        };
+        let msg = anonymize_cmd(&data, &anon, &opts).unwrap();
+        assert!(msg.contains("shards: 4 (activity)"), "message: {msg}");
+        assert!(msg.contains("shard 0:"), "message: {msg}");
+        assert!(msg.contains("shard 3:"), "message: {msg}");
+        let anonymized = io::read_file(&anon).unwrap();
+        assert!(anonymized.is_k_anonymous(2));
+        assert_eq!(anonymized.num_users(), 24);
         let _ = std::fs::remove_file(&data);
         let _ = std::fs::remove_file(&anon);
     }
@@ -345,6 +404,8 @@ mod tests {
             suppress_time_min: None,
             residual: ResidualPolicy::MergeIntoNearest,
             threads: 1,
+            shards: None,
+            shard_by: ShardBy::Activity,
         };
         anonymize_cmd(&data, &anon, &opts).unwrap();
 

@@ -2,7 +2,7 @@
 //! [`glove_cli::commands`].
 
 use glove_cli::commands::{self, AnonymizeOpts};
-use glove_core::ResidualPolicy;
+use glove_core::{ResidualPolicy, ShardBy};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -11,12 +11,13 @@ const USAGE: &str = "\
 glove — k-anonymization of mobile traffic fingerprints (GLOVE, CoNEXT'15)
 
 USAGE:
-  glove synth      --preset civ|sen --users N [--seed S] --out FILE
+  glove synth      --preset civ|sen|metro --users N [--seed S] --out FILE
   glove info       --in FILE
   glove audit      --in FILE --k K [--threads N]
   glove anonymize  --in FILE --out FILE --k K
                    [--suppress-space METERS] [--suppress-time MINUTES]
                    [--residual merge|suppress] [--threads N]
+                   [--shards N] [--shard-by activity|spatial]
   glove generalize --in FILE --out FILE --space METERS --time MINUTES
   glove w4m        --in FILE --out FILE --k K [--delta METERS]
   glove attack     --original FILE --published FILE [--points N] [--trials N]
@@ -118,12 +119,32 @@ fn run() -> Result<String, String> {
                 .map(|s| parse_num::<usize>(s, "threads"))
                 .transpose()?
                 .unwrap_or(0);
+            let shards = flags
+                .get("shards")
+                .map(|s| parse_num::<usize>(s, "shards"))
+                .transpose()?;
+            if shards == Some(0) {
+                return Err("--shards must be at least 1".into());
+            }
+            let shard_by = match flags.get("shard-by") {
+                None => ShardBy::Activity,
+                Some(value) => {
+                    if shards.is_none() {
+                        return Err("--shard-by requires --shards".into());
+                    }
+                    value
+                        .parse::<ShardBy>()
+                        .map_err(|e| format!("--shard-by: {e}"))?
+                }
+            };
             let opts = AnonymizeOpts {
                 k,
                 suppress_space_m,
                 suppress_time_min,
                 residual,
                 threads,
+                shards,
+                shard_by,
             };
             commands::anonymize_cmd(&input, &out, &opts).map_err(err)
         }

@@ -97,6 +97,150 @@ fn synth_info_anonymize_round_trip() {
 }
 
 #[test]
+fn sharded_anonymize_round_trips_through_audit() {
+    let data = temp_path("shard-data.txt");
+    let anon = temp_path("shard-anon.txt");
+
+    let out = run(&[
+        "synth",
+        "--preset",
+        "civ",
+        "--users",
+        "24",
+        "--seed",
+        "3",
+        "--out",
+        data.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "synth failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // anonymize with 4 activity shards: exit 0 and per-shard stats printed.
+    let out = run(&[
+        "anonymize",
+        "--in",
+        data.to_str().unwrap(),
+        "--out",
+        anon.to_str().unwrap(),
+        "--k",
+        "2",
+        "--shards",
+        "4",
+        "--shard-by",
+        "activity",
+    ]);
+    assert!(
+        out.status.success(),
+        "sharded anonymize failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("shards: 4 (activity)"),
+        "missing shard summary: {stdout}"
+    );
+    assert!(
+        stdout.contains("shard 0:") && stdout.contains("shard 3:"),
+        "missing per-shard stats: {stdout}"
+    );
+
+    // The sharded output round-trips through `audit`, which confirms every
+    // published fingerprint already hides >= 2 subscribers.
+    let out = run(&["audit", "--in", anon.to_str().unwrap(), "--k", "2"]);
+    assert!(
+        out.status.success(),
+        "audit of sharded output failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("already k-anonymous: 100.0%"),
+        "sharded output not fully k-anonymous per audit: {stdout}"
+    );
+
+    // File-level invariants: parseable, 2-anonymous, user-conserving.
+    let published = io::read_file(&anon).expect("sharded output parseable");
+    assert!(published.is_k_anonymous(2));
+    assert_eq!(published.num_users(), 24);
+
+    let _ = std::fs::remove_file(&data);
+    let _ = std::fs::remove_file(&anon);
+}
+
+#[test]
+fn bad_shard_flags_exit_nonzero_with_clear_errors() {
+    let data = temp_path("bad-shard-data.txt");
+    let out = run(&[
+        "synth",
+        "--preset",
+        "civ",
+        "--users",
+        "10",
+        "--seed",
+        "1",
+        "--out",
+        data.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+
+    // Unknown shard key.
+    let out = run(&[
+        "anonymize",
+        "--in",
+        data.to_str().unwrap(),
+        "--out",
+        "/tmp/never-written.txt",
+        "--k",
+        "2",
+        "--shards",
+        "2",
+        "--shard-by",
+        "geohash",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("activity|spatial"),
+        "unhelpful --shard-by error: {stderr}"
+    );
+
+    // --shard-by without --shards.
+    let out = run(&[
+        "anonymize",
+        "--in",
+        data.to_str().unwrap(),
+        "--out",
+        "/tmp/never-written.txt",
+        "--k",
+        "2",
+        "--shard-by",
+        "activity",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shard-by requires --shards"));
+
+    // Zero shards.
+    let out = run(&[
+        "anonymize",
+        "--in",
+        data.to_str().unwrap(),
+        "--out",
+        "/tmp/never-written.txt",
+        "--k",
+        "2",
+        "--shards",
+        "0",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shards must be at least 1"));
+
+    let _ = std::fs::remove_file(&data);
+}
+
+#[test]
 fn bad_invocations_exit_nonzero_with_usage() {
     // No command.
     let out = run(&[]);

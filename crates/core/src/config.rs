@@ -110,6 +110,71 @@ pub enum ResidualPolicy {
     Suppress,
 }
 
+/// How the sharded engine assigns fingerprints to shards (see
+/// `core::shard` and DESIGN.md "Sharded anonymization").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardBy {
+    /// Bucket by activity: fingerprints are ordered by sample count and cut
+    /// into contiguous runs, so each shard holds similar-length fingerprints
+    /// — the §6.3 batching idea ("grouping fingerprints of similar activity").
+    /// This is the default.
+    #[default]
+    Activity,
+    /// Bucket spatially: fingerprints are ordered by the Z-order index of
+    /// their centroid's cell on a coarse grid (one cell per `φmax_σ`), so
+    /// each shard holds geographically coherent users and cheap merges stay
+    /// available within the shard.
+    Spatial,
+}
+
+impl std::str::FromStr for ShardBy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "activity" => Ok(ShardBy::Activity),
+            "spatial" => Ok(ShardBy::Spatial),
+            other => Err(format!("shard key must be activity|spatial, got '{other}'")),
+        }
+    }
+}
+
+/// Sharding policy: split the dataset into `shards` buckets, anonymize each
+/// independently, and stitch the outputs back together.
+///
+/// Sharding trades away cross-shard merges (a pair living in different
+/// shards can never be grouped) for a `shards`-fold reduction of the
+/// quadratic pair matrix and embarrassing parallelism across shards.
+/// k-anonymity is preserved: every shard is anonymized to the same `k`, so
+/// every published fingerprint still hides ≥ `k` subscribers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShardPolicy {
+    /// Number of shards to cut the dataset into. `1` behaves exactly like a
+    /// monolithic run. Shards that would fall below `k` subscribers are
+    /// coalesced with a neighbour, so the effective count can be lower.
+    pub shards: usize,
+    /// Shard assignment key.
+    pub by: ShardBy,
+}
+
+impl ShardPolicy {
+    /// An activity-bucketed policy with `shards` shards.
+    pub fn activity(shards: usize) -> Self {
+        Self {
+            shards,
+            by: ShardBy::Activity,
+        }
+    }
+
+    /// A spatially-bucketed policy with `shards` shards.
+    pub fn spatial(shards: usize) -> Self {
+        Self {
+            shards,
+            by: ShardBy::Spatial,
+        }
+    }
+}
+
 /// Full configuration of a GLOVE run (Alg. 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GloveConfig {
@@ -127,6 +192,15 @@ pub struct GloveConfig {
     pub reshape: bool,
     /// Worker threads for the parallel kernel; 0 = one per available core.
     pub threads: usize,
+    /// Optional sharding policy. `None` (the default) runs the monolithic
+    /// Alg. 1 over the whole dataset.
+    pub shard: Option<ShardPolicy>,
+    /// Admissible pair pruning: skip full Eq. 10 evaluations whose
+    /// hull-derived lower bound proves they cannot be a row minimum. The
+    /// published output is byte-identical with pruning on or off (the bound
+    /// is admissible, not approximate); only `pairs_computed` shrinks.
+    /// Default: true.
+    pub pruning: bool,
 }
 
 impl Default for GloveConfig {
@@ -138,6 +212,8 @@ impl Default for GloveConfig {
             residual: ResidualPolicy::default(),
             reshape: true,
             threads: 0,
+            shard: None,
+            pruning: true,
         }
     }
 }
@@ -149,6 +225,13 @@ impl GloveConfig {
             return Err(GloveError::InvalidConfig(
                 "k must be at least 2 (k = 1 is the identity transformation)".into(),
             ));
+        }
+        if let Some(policy) = &self.shard {
+            if policy.shards == 0 {
+                return Err(GloveError::InvalidConfig(
+                    "shard count must be at least 1".into(),
+                ));
+            }
         }
         self.stretch.validate()
     }
@@ -210,5 +293,23 @@ mod tests {
     fn suppression_disabled_detection() {
         assert!(SuppressionThresholds::default().is_disabled());
         assert!(!SuppressionThresholds::table2().is_disabled());
+    }
+
+    #[test]
+    fn shard_policy_validation_and_parsing() {
+        let c = GloveConfig {
+            shard: Some(ShardPolicy::activity(0)),
+            ..GloveConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = GloveConfig {
+            shard: Some(ShardPolicy::spatial(8)),
+            ..GloveConfig::default()
+        };
+        assert!(c.validate().is_ok());
+
+        assert_eq!("activity".parse::<ShardBy>().unwrap(), ShardBy::Activity);
+        assert_eq!("spatial".parse::<ShardBy>().unwrap(), ShardBy::Spatial);
+        assert!("geohash".parse::<ShardBy>().is_err());
     }
 }

@@ -24,17 +24,26 @@
 //!   complexity stated in §6.3.
 //! * Matrix construction and row recomputation fan out over
 //!   [`crate::parallel`], the stand-in for the paper's GPU kernel.
+//! * With [`GloveConfig::pruning`] on (the default), matrix cells hold an
+//!   admissible hull-derived lower bound on Eq. 10 until an exact value is
+//!   actually needed to decide a row minimum; pairs whose bound exceeds the
+//!   row's best exact effort are never evaluated at all. The published
+//!   output is byte-identical to the unpruned path — see
+//!   [`crate::stretch::stretch_lower_bound`] and DESIGN.md.
 //! * At most one fingerprint can be left with multiplicity < `k` when the
 //!   loop exhausts mergeable pairs; [`ResidualPolicy`] decides its fate
 //!   (the paper does not specify — see DESIGN.md).
+//! * [`GloveConfig::shard`] routes the run through [`crate::shard`], which
+//!   partitions the dataset and runs this loop per shard.
 
-use crate::config::{GloveConfig, ResidualPolicy};
+use crate::config::{GloveConfig, ResidualPolicy, StretchConfig};
 use crate::error::GloveError;
 use crate::merge::merge_fingerprints;
 use crate::model::{Dataset, Fingerprint};
 use crate::parallel::par_map;
 use crate::reshape::reshape_suppressed;
-use crate::stretch::fingerprint_stretch;
+use crate::shard::ShardStat;
+use crate::stretch::{fingerprint_stretch, stretch_lower_bound, StretchHull};
 use crate::suppress::SuppressionLedger;
 use std::time::Instant;
 
@@ -44,8 +53,19 @@ pub struct GloveStats {
     /// Number of pairwise merges performed.
     pub merges: u64,
     /// Number of fingerprint-pair stretch efforts computed (Eq. 10
-    /// evaluations) — the unit of the paper's §6.3 throughput figure.
+    /// evaluations) — the unit of the paper's §6.3 throughput figure. With
+    /// pruning on, only pairs whose lower bound could not rule them out are
+    /// counted here; the rest land in `pairs_pruned`.
     pub pairs_computed: u64,
+    /// Distinct pairs whose full Eq. 10 evaluation was never needed: their
+    /// admissible lower bound ruled them out of every row minimum they
+    /// participated in (0 when pruning is disabled). `pairs_computed +
+    /// pairs_pruned` equals the number of pairs the unpruned kernel would
+    /// have evaluated.
+    pub pairs_pruned: u64,
+    /// Per-shard breakdown when the run was sharded (empty for monolithic
+    /// runs).
+    pub per_shard: Vec<ShardStat>,
     /// Suppression bookkeeping (§7.1); all-zero when suppression is off.
     pub suppressed: SuppressionLedger,
     /// Samples absorbed by the final reshaping pass (§6.2).
@@ -100,15 +120,73 @@ struct RowMin {
 
 const NO_PARTNER: usize = usize::MAX;
 
+/// Matrix cells hold either an exact Eq. 10 effort (`≥ 0`, with `+∞` for
+/// pairs that can never be read again) or an admissible lower bound awaiting
+/// lazy evaluation, encoded as `-bound - 1.0` (`≤ -1.0`) so one f64 carries
+/// both cases.
+#[inline]
+fn encode_bound(bound: f64) -> f64 {
+    -bound - 1.0
+}
+
+#[inline]
+fn decode_bound(cell: f64) -> f64 {
+    -cell - 1.0
+}
+
+#[inline]
+fn is_exact(cell: f64) -> bool {
+    cell >= 0.0
+}
+
+/// The pruning walk shared by matrix construction, merged-row filling and
+/// row-minimum rescans: sorts `cand` by ascending `(bound, j)` and evaluates
+/// each candidate whose bound could still produce — or tie — the minimum,
+/// folding results into `best` under the `(value, smaller j)` rule.
+///
+/// Stops at the first bound strictly above the current best value: every
+/// remaining candidate's exact effort is ≥ that bound, so it can neither win
+/// nor tie. A candidate whose exact effort equals the final minimum always
+/// has a bound ≤ it and is therefore evaluated, which keeps tie-breaking —
+/// and hence the published output — byte-identical to the unpruned scan.
+///
+/// `eval` computes the exact effort for partner `j` and is responsible for
+/// storing it and counting the evaluation.
+fn ascending_bound_walk(
+    mut cand: Vec<(f64, usize)>,
+    best: &mut RowMin,
+    mut eval: impl FnMut(usize) -> f64,
+) {
+    cand.sort_unstable_by(|a, b| a.partial_cmp(b).expect("bounds are finite"));
+    for &(bound, j) in &cand {
+        if bound > best.value {
+            break;
+        }
+        let d = eval(j);
+        if d < best.value || (d == best.value && j < best.partner) {
+            *best = RowMin {
+                value: d,
+                partner: j,
+            };
+        }
+    }
+}
+
 struct Arena {
     fps: Vec<Fingerprint>,
     states: Vec<SlotState>,
+    /// Per-slot hull summaries feeding the admissible lower bound.
+    hulls: Vec<StretchHull>,
     /// Lower-triangular effort matrix: `tri[i][j]` = Δ between slots i and j
-    /// for j < i.
+    /// for j < i (encoded; see [`encode_bound`]).
     tri: Vec<Vec<f64>>,
     row_min: Vec<RowMin>,
     active: Vec<usize>,
     retired_count: usize,
+    /// Bound cells later upgraded to exact by a lazy evaluation. Together
+    /// with the count of bound cells ever created this yields the distinct
+    /// never-evaluated pairs (`GloveStats::pairs_pruned`).
+    lazy_evaluated: u64,
 }
 
 impl Arena {
@@ -122,25 +200,53 @@ impl Arena {
         }
     }
 
+    #[inline]
+    fn set_dist(&mut self, i: usize, j: usize, cell: f64) {
+        debug_assert_ne!(i, j);
+        if i > j {
+            self.tri[i][j] = cell;
+        } else {
+            self.tri[j][i] = cell;
+        }
+    }
+
     /// Recomputes the cached row minimum of slot `i` by scanning the active
-    /// set.
-    fn rescan_row_min(&mut self, i: usize) {
+    /// set, lazily evaluating bound-only cells in ascending-bound order
+    /// until the bound alone rules the remainder out.
+    ///
+    /// The result is the exact minimum by `(value, partner)`: every cell
+    /// whose exact effort could equal the final minimum has a bound no
+    /// larger than it and is therefore evaluated before the walk stops, so
+    /// ties break on the same partner the unpruned scan would pick.
+    fn rescan_row_min(&mut self, i: usize, cfg: &StretchConfig, stats: &mut GloveStats) {
         let mut best = RowMin {
             value: f64::INFINITY,
             partner: NO_PARTNER,
         };
+        let mut deferred: Vec<(f64, usize)> = Vec::new();
         for &j in &self.active {
             if j == i {
                 continue;
             }
-            let d = self.dist(i, j);
-            if d < best.value || (d == best.value && j < best.partner) {
-                best = RowMin {
-                    value: d,
-                    partner: j,
-                };
+            let cell = self.dist(i, j);
+            if is_exact(cell) {
+                if cell < best.value || (cell == best.value && j < best.partner) {
+                    best = RowMin {
+                        value: cell,
+                        partner: j,
+                    };
+                }
+            } else {
+                deferred.push((decode_bound(cell), j));
             }
         }
+        ascending_bound_walk(deferred, &mut best, |j| {
+            let d = fingerprint_stretch(&self.fps[i], &self.fps[j], cfg);
+            stats.pairs_computed += 1;
+            self.lazy_evaluated += 1;
+            self.set_dist(i, j, d);
+            d
+        });
         self.row_min[i] = best;
     }
 
@@ -156,6 +262,7 @@ impl Arena {
 
         let mut fps = Vec::with_capacity(old_ids.len());
         let mut states = Vec::with_capacity(old_ids.len());
+        let mut hulls = Vec::with_capacity(old_ids.len());
         let mut tri = Vec::with_capacity(old_ids.len());
         let mut row_min = Vec::with_capacity(old_ids.len());
         for (new_i, &old_i) in old_ids.iter().enumerate() {
@@ -165,6 +272,7 @@ impl Arena {
                     .expect("placeholder"),
             ));
             states.push(self.states[old_i]);
+            hulls.push(self.hulls[old_i]);
             // Only Active–Active distances are ever read again; Done slots
             // appended mid-run have empty rows, so copying their entries
             // would be both wrong and out of bounds.
@@ -191,6 +299,7 @@ impl Arena {
         self.active = self.active.iter().map(|&i| remap[i]).collect();
         self.fps = fps;
         self.states = states;
+        self.hulls = hulls;
         self.tri = tri;
         self.row_min = row_min;
         self.retired_count = 0;
@@ -199,6 +308,10 @@ impl Arena {
 
 /// Runs GLOVE on a dataset, returning the k-anonymized dataset and run
 /// statistics.
+///
+/// When [`GloveConfig::shard`] is set with more than one shard, the run is
+/// routed through the sharded engine ([`crate::shard`]); otherwise the
+/// monolithic Alg. 1 processes the whole dataset.
 ///
 /// # Errors
 ///
@@ -220,7 +333,21 @@ pub fn anonymize(dataset: &Dataset, config: &GloveConfig) -> Result<GloveOutput,
             config.k
         )));
     }
+    match config.shard {
+        Some(policy) if policy.shards > 1 => {
+            crate::shard::anonymize_sharded(dataset, config, policy)
+        }
+        _ => run_monolithic(dataset, config),
+    }
+}
 
+/// The monolithic Alg. 1 loop over one (possibly shard-sized) dataset.
+/// Callers guarantee a validated config and a non-empty dataset holding at
+/// least `k` subscribers.
+pub(crate) fn run_monolithic(
+    dataset: &Dataset,
+    config: &GloveConfig,
+) -> Result<GloveOutput, GloveError> {
     let started = Instant::now();
     let mut stats = GloveStats::default();
     let threads = config.threads;
@@ -241,6 +368,7 @@ pub fn anonymize(dataset: &Dataset, config: &GloveConfig) -> Result<GloveOutput,
                 }
             })
             .collect(),
+        hulls: dataset.fingerprints.iter().map(StretchHull::of).collect(),
         tri: Vec::with_capacity(n),
         row_min: vec![
             RowMin {
@@ -251,25 +379,69 @@ pub fn anonymize(dataset: &Dataset, config: &GloveConfig) -> Result<GloveOutput,
         ],
         active: Vec::new(),
         retired_count: 0,
+        lazy_evaluated: 0,
     };
     arena.active = (0..n)
         .filter(|&i| arena.states[i] == SlotState::Active)
         .collect();
 
-    // Full triangular matrix, rows in parallel.
-    let fps_ref = &arena.fps;
-    arena.tri = par_map(n, threads, |i| {
-        let mut row = Vec::with_capacity(i);
-        for j in 0..i {
-            row.push(fingerprint_stretch(&fps_ref[i], &fps_ref[j], cfg));
+    // Triangular matrix, rows in parallel. Pruned runs seed every cell with
+    // the O(1) hull bound and, still inside the parallel row pass, walk the
+    // row's active candidates in ascending-bound order evaluating exactly
+    // until the bound rules the rest out — so the bulk of the exact efforts
+    // is computed in parallel and the sequential row-minimum rescans below
+    // only top up cells a row-local walk cannot see (j > i). Unpruned runs
+    // evaluate everything up front (the paper's full-matrix GPU kernel).
+    let mut bound_created: u64 = 0;
+    if config.pruning {
+        let hulls_ref = &arena.hulls;
+        let fps_ref = &arena.fps;
+        let states_ref = &arena.states;
+        let rows: Vec<(Vec<f64>, u64)> = par_map(n, threads, |i| {
+            let mut row = Vec::with_capacity(i);
+            let mut cand: Vec<(f64, usize)> = Vec::new();
+            for j in 0..i {
+                let b = stretch_lower_bound(&hulls_ref[i], &hulls_ref[j], cfg);
+                row.push(encode_bound(b));
+                if states_ref[i] == SlotState::Active && states_ref[j] == SlotState::Active {
+                    cand.push((b, j));
+                }
+            }
+            let mut evals = 0u64;
+            let mut best = RowMin {
+                value: f64::INFINITY,
+                partner: NO_PARTNER,
+            };
+            ascending_bound_walk(cand, &mut best, |j| {
+                let d = fingerprint_stretch(&fps_ref[i], &fps_ref[j], cfg);
+                evals += 1;
+                row[j] = d;
+                d
+            });
+            (row, evals)
+        });
+        let mut tri = Vec::with_capacity(n);
+        for (row, evals) in rows {
+            stats.pairs_computed += evals;
+            bound_created += row.len() as u64 - evals;
+            tri.push(row);
         }
-        row
-    });
-    stats.pairs_computed += (n as u64) * (n as u64 - 1) / 2;
+        arena.tri = tri;
+    } else {
+        let fps_ref = &arena.fps;
+        arena.tri = par_map(n, threads, |i| {
+            let mut row = Vec::with_capacity(i);
+            for j in 0..i {
+                row.push(fingerprint_stretch(&fps_ref[i], &fps_ref[j], cfg));
+            }
+            row
+        });
+        stats.pairs_computed += (n as u64) * (n as u64 - 1) / 2;
+    }
 
     let actives: Vec<usize> = arena.active.clone();
     for &i in &actives {
-        arena.rescan_row_min(i);
+        arena.rescan_row_min(i, cfg, &mut stats);
     }
 
     // ---- Main loop (Alg. 1 lines 4–15) ------------------------------------
@@ -301,6 +473,7 @@ pub fn anonymize(dataset: &Dataset, config: &GloveConfig) -> Result<GloveOutput,
 
         let m = arena.fps.len();
         let m_multiplicity = outcome.fingerprint.multiplicity();
+        arena.hulls.push(StretchHull::of(&outcome.fingerprint));
         arena.fps.push(outcome.fingerprint);
         arena.tri.push(Vec::new());
         arena.row_min.push(RowMin {
@@ -323,46 +496,65 @@ pub fn anonymize(dataset: &Dataset, config: &GloveConfig) -> Result<GloveOutput,
                 })
                 .collect();
             for i in stale {
-                arena.rescan_row_min(i);
+                arena.rescan_row_min(i, cfg, &mut stats);
             }
         } else {
-            // Recompute efforts of the merged fingerprint to every remaining
-            // active fingerprint (lines 11–13), in parallel.
+            // Compute efforts of the merged fingerprint to every remaining
+            // active fingerprint (lines 11–13).
             arena.states.push(SlotState::Active);
             let partners = arena.active.clone();
-            let fps_ref = &arena.fps;
-            let dists = par_map(partners.len(), threads, |idx| {
-                fingerprint_stretch(&fps_ref[m], &fps_ref[partners[idx]], cfg)
-            });
-            stats.pairs_computed += partners.len() as u64;
 
-            // Fill the new slot's triangular row (it is the largest id, so
-            // everything fits in tri[m]).
-            arena.tri[m] = vec![f64::INFINITY; m];
-            let mut new_min = RowMin {
-                value: f64::INFINITY,
-                partner: NO_PARTNER,
-            };
-            for (idx, &j) in partners.iter().enumerate() {
-                let d = dists[idx];
-                arena.tri[m][j] = d;
-                if d < new_min.value || (d == new_min.value && j < new_min.partner) {
-                    new_min = RowMin {
-                        value: d,
-                        partner: j,
-                    };
+            if config.pruning {
+                // Bound every candidate, then evaluate in ascending-bound
+                // order until the bound alone rules the remainder out.
+                let mut row = vec![f64::INFINITY; m];
+                let mut cand: Vec<(f64, usize)> = Vec::with_capacity(partners.len());
+                for &j in &partners {
+                    let b = stretch_lower_bound(&arena.hulls[m], &arena.hulls[j], cfg);
+                    row[j] = encode_bound(b);
+                    cand.push((b, j));
                 }
-            }
-            arena.row_min[m] = new_min;
+                let n_cand = cand.len() as u64;
+                let mut new_min = RowMin {
+                    value: f64::INFINITY,
+                    partner: NO_PARTNER,
+                };
+                let mut evals = 0u64;
+                let fps_ref = &arena.fps;
+                ascending_bound_walk(cand, &mut new_min, |j| {
+                    let d = fingerprint_stretch(&fps_ref[m], &fps_ref[j], cfg);
+                    evals += 1;
+                    row[j] = d;
+                    d
+                });
+                stats.pairs_computed += evals;
+                bound_created += n_cand - evals;
+                arena.tri[m] = row;
+                arena.row_min[m] = new_min;
 
-            // Update the partners' cached minima against the newcomer, and
-            // rescan rows whose minimum pointed at a retired slot.
-            for (idx, &j) in partners.iter().enumerate() {
-                let p = arena.row_min[j].partner;
-                if p == a || p == b {
-                    arena.rescan_row_min(j);
-                } else {
-                    let d = dists[idx];
+                // Partners whose minimum pointed at a retired slot rescan;
+                // the rest only evaluate the new pair when its bound could
+                // actually beat their cached minimum (a tie never wins: `m`
+                // is the largest id).
+                for &j in &partners {
+                    let p = arena.row_min[j].partner;
+                    if p == a || p == b {
+                        arena.rescan_row_min(j, cfg, &mut stats);
+                        continue;
+                    }
+                    let cell = arena.dist(m, j);
+                    let d = if is_exact(cell) {
+                        cell
+                    } else {
+                        if decode_bound(cell) >= arena.row_min[j].value {
+                            continue;
+                        }
+                        let d = fingerprint_stretch(&arena.fps[m], &arena.fps[j], cfg);
+                        stats.pairs_computed += 1;
+                        arena.lazy_evaluated += 1;
+                        arena.set_dist(m, j, d);
+                        d
+                    };
                     if d < arena.row_min[j].value
                         || (d == arena.row_min[j].value && m < arena.row_min[j].partner)
                     {
@@ -370,6 +562,51 @@ pub fn anonymize(dataset: &Dataset, config: &GloveConfig) -> Result<GloveOutput,
                             value: d,
                             partner: m,
                         };
+                    }
+                }
+            } else {
+                // Unpruned: the full new row, in parallel.
+                let fps_ref = &arena.fps;
+                let dists = par_map(partners.len(), threads, |idx| {
+                    fingerprint_stretch(&fps_ref[m], &fps_ref[partners[idx]], cfg)
+                });
+                stats.pairs_computed += partners.len() as u64;
+
+                // Fill the new slot's triangular row (it is the largest id,
+                // so everything fits in tri[m]).
+                arena.tri[m] = vec![f64::INFINITY; m];
+                let mut new_min = RowMin {
+                    value: f64::INFINITY,
+                    partner: NO_PARTNER,
+                };
+                for (idx, &j) in partners.iter().enumerate() {
+                    let d = dists[idx];
+                    arena.tri[m][j] = d;
+                    if d < new_min.value || (d == new_min.value && j < new_min.partner) {
+                        new_min = RowMin {
+                            value: d,
+                            partner: j,
+                        };
+                    }
+                }
+                arena.row_min[m] = new_min;
+
+                // Update the partners' cached minima against the newcomer,
+                // and rescan rows whose minimum pointed at a retired slot.
+                for (idx, &j) in partners.iter().enumerate() {
+                    let p = arena.row_min[j].partner;
+                    if p == a || p == b {
+                        arena.rescan_row_min(j, cfg, &mut stats);
+                    } else {
+                        let d = dists[idx];
+                        if d < arena.row_min[j].value
+                            || (d == arena.row_min[j].value && m < arena.row_min[j].partner)
+                        {
+                            arena.row_min[j] = RowMin {
+                                value: d,
+                                partner: m,
+                            };
+                        }
                     }
                 }
             }
@@ -442,6 +679,9 @@ pub fn anonymize(dataset: &Dataset, config: &GloveConfig) -> Result<GloveOutput,
             published.push(fp);
         }
     }
+    // Every pair cell ever created was either evaluated (at creation or
+    // lazily) or survived the whole run on its bound alone.
+    stats.pairs_pruned = bound_created.saturating_sub(arena.lazy_evaluated);
     stats.elapsed_s = started.elapsed().as_secs_f64();
 
     let dataset = Dataset::new(format!("{}-glove-k{}", dataset.name, config.k), published)?;
@@ -485,7 +725,27 @@ mod tests {
         assert!(out.dataset.is_k_anonymous(2));
         assert_eq!(out.dataset.num_users(), 20);
         assert!(out.stats.merges >= 10);
-        assert!(out.stats.pairs_computed >= 190);
+        // The unpruned path evaluates the full matrix; pruning may only
+        // reduce the count, never change the published output.
+        let unpruned = anonymize(
+            &ds,
+            &GloveConfig {
+                pruning: false,
+                ..GloveConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(unpruned.stats.pairs_computed >= 190);
+        assert_eq!(unpruned.stats.pairs_pruned, 0);
+        assert!(out.stats.pairs_computed <= unpruned.stats.pairs_computed);
+        // Computed + distinct-pruned accounts for exactly the pairs the
+        // unpruned kernel evaluates.
+        assert_eq!(
+            out.stats.pairs_computed + out.stats.pairs_pruned,
+            unpruned.stats.pairs_computed
+        );
+        assert_eq!(out.dataset.fingerprints, unpruned.dataset.fingerprints);
+        assert_eq!(out.stats.merges, unpruned.stats.merges);
     }
 
     #[test]

@@ -20,8 +20,15 @@ use crate::stretch::{fingerprint_stretch, fingerprint_stretch_decomposed};
 /// Computes the k-gap of a single fingerprint (by index) against the rest of
 /// the dataset.
 ///
-/// Returns `None` when the dataset has fewer than `k` fingerprints (no crowd
-/// of `k` exists) or `k < 2`.
+/// Records that already hide `k` or more subscribers (merged groups in an
+/// anonymized dataset) have a k-gap of 0; otherwise the crowd of `k` is
+/// assembled from the nearest fingerprints, each contributing as many
+/// subscribers as it hides, and the gap is the contribution-weighted mean
+/// effort to them. On raw single-subscriber data this reduces exactly to
+/// Eq. 11: the average effort to the k−1 nearest fingerprints.
+///
+/// Returns `None` when the dataset holds fewer than `k` subscribers (no
+/// crowd of `k` exists) or `k < 2`.
 ///
 /// ```
 /// use glove_core::prelude::*;
@@ -39,32 +46,57 @@ use crate::stretch::{fingerprint_stretch, fingerprint_stretch_decomposed};
 /// assert!(kgap(&ds, 2, 2, &cfg).unwrap() > 0.5);
 /// ```
 pub fn kgap(dataset: &Dataset, index: usize, k: usize, cfg: &StretchConfig) -> Option<f64> {
-    if k < 2 || dataset.fingerprints.len() < k {
+    if k < 2 || dataset.num_users() < k {
         return None;
     }
     let a = &dataset.fingerprints[index];
-    let mut efforts: Vec<f64> = dataset
+    let mut need = k.saturating_sub(a.multiplicity());
+    if need == 0 {
+        return Some(0.0);
+    }
+    let mut efforts: Vec<(f64, usize)> = dataset
         .fingerprints
         .iter()
         .enumerate()
         .filter(|&(j, _)| j != index)
-        .map(|(_, b)| fingerprint_stretch(a, b, cfg))
+        .map(|(j, b)| (fingerprint_stretch(a, b, cfg), j))
         .collect();
-    // Select the k-1 smallest efforts.
-    let kn = k - 1;
-    efforts.select_nth_unstable_by(kn - 1, |x, y| x.partial_cmp(y).expect("finite"));
-    Some(efforts[..kn].iter().sum::<f64>() / kn as f64)
+    // Every record contributes at least one subscriber, so at most `need`
+    // fingerprints are consumed: select that prefix in O(n) and sort only
+    // it, rather than sorting all n-1 efforts.
+    let cmp = |x: &(f64, usize), y: &(f64, usize)| {
+        x.0.partial_cmp(&y.0).expect("finite").then(x.1.cmp(&y.1))
+    };
+    let take = need.min(efforts.len());
+    if take < efforts.len() {
+        efforts.select_nth_unstable_by(take - 1, cmp);
+        efforts.truncate(take);
+    }
+    efforts.sort_unstable_by(cmp);
+    let mut total = 0.0;
+    let mut taken = 0usize;
+    for (d, j) in efforts {
+        let contributed = dataset.fingerprints[j].multiplicity().min(need);
+        total += d * contributed as f64;
+        taken += contributed;
+        need -= contributed;
+        if need == 0 {
+            break;
+        }
+    }
+    Some(total / taken as f64)
 }
 
 /// Computes the k-gap of every fingerprint in the dataset, in parallel.
 ///
 /// Returns one value per fingerprint, in dataset order. This is the workload
-/// behind the paper's Fig. 3 and Fig. 4 CDFs.
+/// behind the paper's Fig. 3 and Fig. 4 CDFs — and, on an anonymized
+/// dataset, the audit that every published record reports a gap of 0.
 pub fn kgap_all(dataset: &Dataset, k: usize, threads: usize, cfg: &StretchConfig) -> Vec<f64> {
     assert!(k >= 2, "k-gap requires k >= 2");
     assert!(
-        dataset.fingerprints.len() >= k,
-        "dataset must contain at least k fingerprints"
+        dataset.num_users() >= k,
+        "dataset must contain at least k subscribers"
     );
     par_map(dataset.fingerprints.len(), threads, |i| {
         kgap(dataset, i, k, cfg).expect("bounds checked above")
@@ -74,6 +106,10 @@ pub fn kgap_all(dataset: &Dataset, k: usize, threads: usize, cfg: &StretchConfig
 /// Computes the k-gap of every fingerprint for *several* values of `k` in a
 /// single pass over the pairwise efforts (the Fig. 3b workload: one curve
 /// per k). Returns one vector per requested `k`, in the same order.
+///
+/// This is a §5 analysis workload over *raw* data: records are assumed to
+/// be single-subscriber (use [`kgap`] for multiplicity-aware audits of
+/// anonymized output).
 ///
 /// `ks` must be sorted ascending, all ≥ 2 and ≤ the number of fingerprints.
 pub fn kgap_many(
@@ -151,7 +187,8 @@ impl KgapDecomposition {
 
 /// Computes, for every fingerprint, the k-gap together with the
 /// spatial/temporal decomposition of the matched sample efforts over the
-/// k−1 nearest fingerprints.
+/// k−1 nearest fingerprints. Like [`kgap_many`], this is a raw-data (§5.3)
+/// workload assuming single-subscriber records.
 pub fn kgap_decomposed_all(
     dataset: &Dataset,
     k: usize,
@@ -253,6 +290,28 @@ mod tests {
         let ds = three_user_dataset();
         assert!(kgap(&ds, 0, 4, &cfg()).is_none());
         assert!(kgap(&ds, 0, 1, &cfg()).is_none());
+    }
+
+    #[test]
+    fn kgap_accounts_for_record_multiplicity() {
+        use crate::model::Sample;
+        let fps = vec![
+            Fingerprint::with_users(vec![0, 1], vec![Sample::point(0, 0, 100)]).unwrap(),
+            Fingerprint::from_points(2, &[(0, 0, 5_000)]).unwrap(),
+        ];
+        let ds = Dataset::new("merged", fps).unwrap();
+        // The merged pair already hides 2 subscribers: gap 0.
+        assert_eq!(kgap(&ds, 0, 2, &cfg()), Some(0.0));
+        // The loner can borrow 1 of the group's 2 users; the cost is the
+        // full pair effort.
+        let d = fingerprint_stretch(&ds.fingerprints[0], &ds.fingerprints[1], &cfg());
+        let g = kgap(&ds, 1, 2, &cfg()).unwrap();
+        assert!((g - d).abs() < 1e-12);
+        // At k = 3 even the group needs one companion.
+        assert!(kgap(&ds, 0, 3, &cfg()).unwrap() > 0.0);
+        // An anonymized dataset audits as all-zero.
+        let gaps = kgap_all(&ds, 2, 1, &cfg());
+        assert_eq!(gaps[0], 0.0);
     }
 
     #[test]

@@ -27,7 +27,10 @@
 //!   generalization (Eqs. 12–13) and optional suppression (§7.1);
 //! * [`reshape`] — resolution of temporal overlaps in merged fingerprints;
 //! * [`glove`] — Algorithm 1: greedy global merging until every published
-//!   fingerprint hides at least `k` subscribers;
+//!   fingerprint hides at least `k` subscribers, with admissible pair
+//!   pruning;
+//! * [`shard`] — the sharded engine: activity/spatially bucketed partitions
+//!   anonymized independently and stitched (the §6.3 batching idea);
 //! * [`accuracy`] — spatiotemporal accuracy metrics of anonymized output;
 //! * [`parallel`] — the data-parallel kernel that stands in for the paper's
 //!   GPU implementation (§6.3).
@@ -66,20 +69,26 @@ pub mod merge;
 pub mod model;
 pub mod parallel;
 pub mod reshape;
+pub mod shard;
 pub mod stretch;
 pub mod suppress;
 
 /// Convenient re-exports of the types used in almost every interaction with
 /// the crate.
 pub mod prelude {
-    pub use crate::config::{GloveConfig, ResidualPolicy, StretchConfig, SuppressionThresholds};
+    pub use crate::config::{
+        GloveConfig, ResidualPolicy, ShardBy, ShardPolicy, StretchConfig, SuppressionThresholds,
+    };
     pub use crate::error::GloveError;
     pub use crate::glove::{anonymize, GloveOutput, GloveStats};
     pub use crate::kgap::{kgap, kgap_all};
     pub use crate::model::{Dataset, Fingerprint, Sample, UserId};
+    pub use crate::shard::ShardStat;
     pub use crate::stretch::{fingerprint_stretch, sample_stretch};
 }
 
-pub use config::{GloveConfig, ResidualPolicy, StretchConfig, SuppressionThresholds};
+pub use config::{
+    GloveConfig, ResidualPolicy, ShardBy, ShardPolicy, StretchConfig, SuppressionThresholds,
+};
 pub use error::GloveError;
 pub use model::{Dataset, Fingerprint, Sample, UserId};

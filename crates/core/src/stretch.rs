@@ -95,9 +95,12 @@ pub fn sample_stretch_unweighted(a: &Sample, b: &Sample, cfg: &StretchConfig) ->
 /// exactly `gap` (weights sum to 1).
 #[inline]
 pub fn time_gap_min(a: &Sample, b: &Sample) -> f64 {
-    let (at, ae) = (i64::from(a.t), a.t_end() as i64);
-    let (bt, be) = (i64::from(b.t), b.t_end() as i64);
-    ((bt - ae).max(at - be)).max(0) as f64
+    interval_gap(
+        i64::from(a.t),
+        a.t_end() as i64,
+        i64::from(b.t),
+        b.t_end() as i64,
+    ) as f64
 }
 
 /// The fingerprint stretch effort `Δ_ab` of Eq. (10): for each sample of the
@@ -306,6 +309,102 @@ fn min_stretch_to(
     best
 }
 
+/// Per-fingerprint summary powering the admissible *pair* pruning of the
+/// GLOVE arena: the spatiotemporal hull (the smallest box covering every
+/// sample) plus the sample count.
+///
+/// Computed once per fingerprint in O(n), it yields [`stretch_lower_bound`]
+/// in O(1) per pair — cheap enough to precede every full Eq. (10)
+/// evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StretchHull {
+    /// West edge of the hull, meters.
+    pub x_min: i64,
+    /// East edge (exclusive) of the hull, meters.
+    pub x_end: i64,
+    /// South edge of the hull, meters.
+    pub y_min: i64,
+    /// North edge (exclusive) of the hull, meters.
+    pub y_end: i64,
+    /// Start of the hull's time window, minutes.
+    pub t_min: i64,
+    /// End (exclusive) of the hull's time window, minutes.
+    pub t_end: i64,
+    /// Number of samples summarized.
+    pub len: usize,
+}
+
+impl StretchHull {
+    /// Computes the hull of a fingerprint.
+    pub fn of(fp: &Fingerprint) -> Self {
+        let samples = fp.samples();
+        let first = &samples[0];
+        let mut hull = Self {
+            x_min: first.x,
+            x_end: first.x_end(),
+            y_min: first.y,
+            y_end: first.y_end(),
+            t_min: i64::from(first.t),
+            t_end: first.t_end() as i64,
+            len: samples.len(),
+        };
+        for s in &samples[1..] {
+            hull.x_min = hull.x_min.min(s.x);
+            hull.x_end = hull.x_end.max(s.x_end());
+            hull.y_min = hull.y_min.min(s.y);
+            hull.y_end = hull.y_end.max(s.y_end());
+            hull.t_min = hull.t_min.min(i64::from(s.t));
+            hull.t_end = hull.t_end.max(s.t_end() as i64);
+        }
+        hull
+    }
+}
+
+/// Gap between two half-open intervals `[a0, a1)` and `[b0, b1)`; 0 when
+/// they overlap or touch.
+#[inline]
+fn interval_gap(a0: i64, a1: i64, b0: i64, b1: i64) -> i64 {
+    (b0 - a1).max(a0 - b1).max(0)
+}
+
+/// An admissible lower bound on the fingerprint stretch effort `Δ_ab` of
+/// Eq. (10), computed from the two hull summaries alone.
+///
+/// Derivation (see DESIGN.md "Admissible pair pruning" for the long form):
+/// for any samples `s ∈ a`, `q ∈ b`, the raw per-axis covering stretch of
+/// Eqs. (4)–(9) is, in each direction, at least the gap between the two
+/// intervals on that axis; since the direction weights `n_a/(n_a+n_b)` and
+/// `n_b/(n_a+n_b)` sum to 1, the weighted average is also at least the gap
+/// (this holds with population weighting on or off). Samples lie inside
+/// their fingerprint's hull and set distances shrink as sets grow, so every
+/// per-sample gap is at least the hull gap. Capping (`min(·, 1)`) is
+/// monotone, hence
+///
+/// ```text
+/// δ_ab(i,j) ≥ w_σ·min((gx+gy)/φmax_σ, 1) + w_τ·min(gt/φmax_τ, 1)
+/// ```
+///
+/// for every sample pair, where `gx, gy, gt` are the per-axis hull gaps.
+/// `Δ_ab` averages per-sample *minima* of `δ`, each of which obeys the same
+/// bound, so `Δ_ab` does too — in both orientations of Eq. (10) and for the
+/// equal-length average, making the bound independent of which fingerprint
+/// is longer.
+///
+/// The bound is exactly 0 when the hulls overlap on every axis, so it only
+/// ever *prunes* genuinely separated pairs; it never misranks a pair.
+#[inline]
+pub fn stretch_lower_bound(a: &StretchHull, b: &StretchHull, cfg: &StretchConfig) -> f64 {
+    let gx = interval_gap(a.x_min, a.x_end, b.x_min, b.x_end);
+    let gy = interval_gap(a.y_min, a.y_end, b.y_min, b.y_end);
+    let gt = interval_gap(a.t_min, a.t_end, b.t_min, b.t_end);
+    if gx == 0 && gy == 0 && gt == 0 {
+        return 0.0;
+    }
+    let phi_s = ((gx + gy) as f64 / cfg.phi_max_space_m).min(1.0);
+    let phi_t = (gt as f64 / cfg.phi_max_time_min).min(1.0);
+    cfg.w_space * phi_s + cfg.w_time * phi_t
+}
+
 /// Naive reference implementation of Eq. (10) (no pruning). Exposed for
 /// testing and benchmarking the pruned version against.
 pub fn fingerprint_stretch_naive(a: &Fingerprint, b: &Fingerprint, cfg: &StretchConfig) -> f64 {
@@ -501,6 +600,47 @@ mod tests {
         let pruned = fingerprint_stretch(&a, &b, &cfg);
         let naive = fingerprint_stretch_naive(&a, &b, &cfg);
         assert!((pruned - naive).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hull_lower_bound_is_admissible_on_structured_data() {
+        let cfg = cfg();
+        // Spatially and temporally separated fingerprints: the bound is
+        // positive and never exceeds the true effort.
+        let a = Fingerprint::from_points(0, &[(0, 0, 10), (2_000, 500, 200)]).unwrap();
+        let b = Fingerprint::from_points(1, &[(60_000, 0, 5_000), (64_000, 900, 5_400)]).unwrap();
+        let ha = StretchHull::of(&a);
+        let hb = StretchHull::of(&b);
+        let lb = stretch_lower_bound(&ha, &hb, &cfg);
+        let exact = fingerprint_stretch(&a, &b, &cfg);
+        assert!(lb > 0.0);
+        assert!(
+            lb <= exact + 1e-12,
+            "bound {lb} must not exceed the true effort {exact}"
+        );
+        // Symmetric in its arguments.
+        assert_eq!(lb, stretch_lower_bound(&hb, &ha, &cfg));
+    }
+
+    #[test]
+    fn hull_lower_bound_is_zero_for_overlapping_hulls() {
+        let cfg = cfg();
+        let a = Fingerprint::from_points(0, &[(0, 0, 10), (5_000, 5_000, 900)]).unwrap();
+        let b = Fingerprint::from_points(1, &[(2_500, 2_500, 500)]).unwrap();
+        let lb = stretch_lower_bound(&StretchHull::of(&a), &StretchHull::of(&b), &cfg);
+        assert_eq!(lb, 0.0);
+    }
+
+    #[test]
+    fn hull_covers_every_sample() {
+        let f = Fingerprint::from_points(3, &[(100, -300, 7), (-2_000, 900, 1_440)]).unwrap();
+        let h = StretchHull::of(&f);
+        assert_eq!(h.len, 2);
+        for s in f.samples() {
+            assert!(h.x_min <= s.x && s.x_end() <= h.x_end);
+            assert!(h.y_min <= s.y && s.y_end() <= h.y_end);
+            assert!(h.t_min <= i64::from(s.t) && s.t_end() as i64 <= h.t_end);
+        }
     }
 
     #[test]

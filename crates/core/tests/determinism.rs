@@ -4,7 +4,7 @@
 
 use glove_core::glove::anonymize;
 use glove_core::kgap::kgap_all;
-use glove_core::{Dataset, Fingerprint, GloveConfig, StretchConfig};
+use glove_core::{Dataset, Fingerprint, GloveConfig, ShardBy, ShardPolicy, StretchConfig};
 
 /// A deterministic pseudo-random dataset without pulling in `rand`:
 /// an xorshift walk over cells and minutes.
@@ -67,6 +67,58 @@ fn glove_is_thread_count_invariant() {
             pair[1].stats.suppressed.user_samples
         );
     }
+}
+
+#[test]
+fn sharded_glove_is_thread_count_invariant() {
+    // The shard partition is a pure function of (dataset, policy) and each
+    // shard runs single-threaded, so the worker count used to fan shards
+    // out must never leak into the output: bit-identical fingerprints and
+    // stats across threads ∈ {1, 2, 8} for a fixed seed and shard count.
+    let ds = dataset(40, 6);
+    for by in [ShardBy::Activity, ShardBy::Spatial] {
+        let outputs: Vec<_> = [1usize, 2, 8]
+            .into_iter()
+            .map(|threads| {
+                let config = GloveConfig {
+                    threads,
+                    shard: Some(ShardPolicy { shards: 4, by }),
+                    ..GloveConfig::default()
+                };
+                anonymize(&ds, &config).expect("sharded anonymization succeeds")
+            })
+            .collect();
+        for pair in outputs.windows(2) {
+            assert_eq!(
+                pair[0].dataset.fingerprints, pair[1].dataset.fingerprints,
+                "sharded output must not depend on the thread count ({by:?})"
+            );
+            assert_eq!(pair[0].stats.merges, pair[1].stats.merges);
+            assert_eq!(pair[0].stats.pairs_computed, pair[1].stats.pairs_computed);
+            assert_eq!(pair[0].stats.pairs_pruned, pair[1].stats.pairs_pruned);
+            assert_eq!(pair[0].stats.per_shard.len(), pair[1].stats.per_shard.len());
+            for (a, b) in pair[0].stats.per_shard.iter().zip(&pair[1].stats.per_shard) {
+                assert_eq!(a.fingerprints_in, b.fingerprints_in);
+                assert_eq!(a.users_in, b.users_in);
+                assert_eq!(a.fingerprints_out, b.fingerprints_out);
+                assert_eq!(a.merges, b.merges);
+                assert_eq!(a.pairs_computed, b.pairs_computed);
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_glove_repeated_runs_agree() {
+    let ds = dataset(24, 5);
+    let config = GloveConfig {
+        shard: Some(ShardPolicy::activity(3)),
+        ..GloveConfig::default()
+    };
+    let a = anonymize(&ds, &config).expect("first run");
+    let b = anonymize(&ds, &config).expect("second run");
+    assert_eq!(a.dataset.fingerprints, b.dataset.fingerprints);
+    assert_eq!(a.stats.merges, b.stats.merges);
 }
 
 #[test]

@@ -1,0 +1,160 @@
+//! Property harness for the sharded engine and the admissible pair pruning:
+//!
+//! * **Shard invariants** — for random datasets and any shard count, the
+//!   sharded output preserves the ≥ k guarantee for every published
+//!   fingerprint and conserves users (none lost except those counted in
+//!   `discarded_users`).
+//! * **Exactness** — pruned and unpruned GLOVE produce identical `Dataset`
+//!   serializations and identical `merges` counts on randomized inputs: the
+//!   lower bound is admissible, not approximate.
+
+use glove_core::glove::anonymize;
+use glove_core::{
+    Dataset, Fingerprint, GloveConfig, ResidualPolicy, Sample, ShardBy, ShardPolicy, UserId,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary (possibly generalized) sample. Coordinates are
+/// clustered around a handful of "cities" so that both overlapping and
+/// well-separated hulls occur — the two regimes of the pruning bound.
+fn arb_sample() -> impl Strategy<Value = Sample> {
+    (
+        0usize..4,
+        -9_000i64..9_000,
+        -9_000i64..9_000,
+        1u32..5_000,
+        1u32..5_000,
+        0u32..20_160,
+        1u32..700,
+    )
+        .prop_map(|(city, ox, oy, dx, dy, t, dt)| {
+            let (cx, cy) = [(0, 0), (120_000, 0), (0, 150_000), (300_000, 280_000)][city];
+            Sample::new(cx + ox, cy + oy, dx, dy, t, dt).expect("valid extents")
+        })
+}
+
+/// Strategy: a dataset of `users` single-subscriber fingerprints with 1..=8
+/// samples each.
+fn arb_dataset(users: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = Dataset> {
+    vec(vec(arb_sample(), 1..=8), users).prop_map(|fps| {
+        let fps = fps
+            .into_iter()
+            .enumerate()
+            .map(|(u, samples)| {
+                Fingerprint::with_users(vec![u as UserId], samples).expect("non-empty")
+            })
+            .collect();
+        Dataset::new("shard-prop", fps).expect("unique users")
+    })
+}
+
+/// Canonical serialization for bit-exact comparison of published datasets
+/// (the CLI text format lives in `glove-cli`; this standalone encoding keeps
+/// the property inside `glove-core`).
+fn serialize(ds: &Dataset) -> String {
+    let mut out = String::new();
+    for fp in &ds.fingerprints {
+        out.push_str(&format!("F {:?}\n", fp.users()));
+        for s in fp.samples() {
+            out.push_str(&format!(
+                "S {} {} {} {} {} {}\n",
+                s.x, s.y, s.dx, s.dy, s.t, s.dt
+            ));
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Sharded runs keep the ≥ k invariant for every fingerprint and
+    /// conserve users, for any shard count and both partitioners.
+    #[test]
+    fn sharded_output_is_k_anonymous_and_conserves_users(
+        ds in arb_dataset(6..=16),
+        k in 2usize..=3,
+        shards in 1usize..=6,
+        spatial in 0usize..2,
+        suppress_residual in 0usize..2,
+    ) {
+        let by = if spatial == 1 { ShardBy::Spatial } else { ShardBy::Activity };
+        let config = GloveConfig {
+            k,
+            residual: if suppress_residual == 1 {
+                ResidualPolicy::Suppress
+            } else {
+                ResidualPolicy::MergeIntoNearest
+            },
+            shard: Some(ShardPolicy { shards, by }),
+            threads: 1,
+            ..GloveConfig::default()
+        };
+        let out = anonymize(&ds, &config).expect("sharded anonymization succeeds");
+        for fp in &out.dataset.fingerprints {
+            prop_assert!(
+                fp.multiplicity() >= k,
+                "published fingerprint hides {} < k = {k} users",
+                fp.multiplicity()
+            );
+        }
+        prop_assert_eq!(
+            out.dataset.num_users() as u64 + out.stats.discarded_users,
+            ds.num_users() as u64,
+            "subscribers lost outside the discarded ledger"
+        );
+        // Every input user appears exactly once (or was discarded): the
+        // Dataset constructor enforces uniqueness, so counting suffices
+        // together with the conservation check above.
+        if suppress_residual == 0 {
+            prop_assert_eq!(out.stats.discarded_users, 0u64);
+        }
+    }
+
+    /// Pruned vs unpruned GLOVE: identical serializations, identical merge
+    /// counts — the bound is admissible, so pruning can only skip pairs
+    /// that provably never become a row minimum.
+    #[test]
+    fn pruned_and_unpruned_runs_are_identical(
+        ds in arb_dataset(4..=14),
+        k in 2usize..=3,
+    ) {
+        let pruned_cfg = GloveConfig { k, threads: 1, pruning: true, ..GloveConfig::default() };
+        let unpruned_cfg = GloveConfig { k, threads: 1, pruning: false, ..GloveConfig::default() };
+        let pruned = anonymize(&ds, &pruned_cfg).expect("pruned run succeeds");
+        let unpruned = anonymize(&ds, &unpruned_cfg).expect("unpruned run succeeds");
+        prop_assert_eq!(
+            serialize(&pruned.dataset),
+            serialize(&unpruned.dataset),
+            "pruning changed the published dataset"
+        );
+        prop_assert_eq!(pruned.stats.merges, unpruned.stats.merges);
+        prop_assert_eq!(
+            pruned.stats.suppressed.user_samples,
+            unpruned.stats.suppressed.user_samples
+        );
+        prop_assert!(pruned.stats.pairs_computed <= unpruned.stats.pairs_computed);
+        prop_assert_eq!(unpruned.stats.pairs_pruned, 0u64);
+    }
+
+    /// Exactness also holds through the sharded path (the per-shard loop is
+    /// the same pruned arena).
+    #[test]
+    fn sharded_pruned_and_unpruned_runs_are_identical(
+        ds in arb_dataset(8..=16),
+        shards in 2usize..=4,
+    ) {
+        let base = GloveConfig {
+            shard: Some(ShardPolicy { shards, by: ShardBy::Activity }),
+            threads: 1,
+            ..GloveConfig::default()
+        };
+        let pruned = anonymize(&ds, &GloveConfig { pruning: true, ..base })
+            .expect("pruned run succeeds");
+        let unpruned = anonymize(&ds, &GloveConfig { pruning: false, ..base })
+            .expect("unpruned run succeeds");
+        prop_assert_eq!(serialize(&pruned.dataset), serialize(&unpruned.dataset));
+        prop_assert_eq!(pruned.stats.merges, unpruned.stats.merges);
+    }
+}

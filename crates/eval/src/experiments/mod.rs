@@ -6,11 +6,14 @@
 //! * [`misc`] — supporting measurements (radius of gyration §7.3, kernel
 //!   throughput §6.3);
 //! * [`attack`] — record-linkage adversaries before/after GLOVE (§1, §2.3);
-//! * [`ablation`] — design-choice ablations (DESIGN.md §5).
+//! * [`ablation`] — design-choice ablations (DESIGN.md §5);
+//! * [`shard`] — sharded vs monolithic GLOVE: speedup and k-anonymity
+//!   retention of the §6.3 batching idea.
 
 pub mod ablation;
 pub mod accuracy;
 pub mod attack;
 pub mod kgap;
 pub mod misc;
+pub mod shard;
 pub mod table2;

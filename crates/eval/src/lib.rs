@@ -40,6 +40,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "throughput",
     "attack",
     "ablation",
+    "shard",
 ];
 
 /// Runs one experiment by name. Returns `None` for unknown names.
@@ -60,6 +61,7 @@ pub fn run_experiment(name: &str, ctx: &mut EvalContext) -> Option<Report> {
         "throughput" => experiments::misc::throughput(ctx),
         "attack" => experiments::attack::attack(ctx),
         "ablation" => experiments::ablation::ablation(ctx),
+        "shard" => experiments::shard::shard(ctx),
         _ => return None,
     };
     Some(report)

@@ -20,6 +20,33 @@ pub struct GridCell {
     pub row: i64,
 }
 
+impl GridCell {
+    /// Z-order (Morton) linearization of the cell: the interleaved bits of
+    /// the column and row indices, offset so that negative indices sort
+    /// correctly. Cells close on the plane land close on the resulting 1-D
+    /// key, which is what the sharded GLOVE engine uses to cut a dataset
+    /// into spatially coherent contiguous runs.
+    ///
+    /// Indices are taken modulo 2³² after the offset; country-scale grids
+    /// (≤ ~10⁷ cells per axis at any useful pitch) are far inside that range.
+    pub fn z_index(&self) -> u64 {
+        let col = (self.col.wrapping_add(1 << 31)) as u64 & 0xFFFF_FFFF;
+        let row = (self.row.wrapping_add(1 << 31)) as u64 & 0xFFFF_FFFF;
+        spread_bits(col) | (spread_bits(row) << 1)
+    }
+}
+
+/// Spreads the lower 32 bits of `v` into the even bit positions of a `u64`.
+fn spread_bits(v: u64) -> u64 {
+    let mut v = v & 0xFFFF_FFFF;
+    v = (v | (v << 16)) & 0x0000_FFFF_0000_FFFF;
+    v = (v | (v << 8)) & 0x00FF_00FF_00FF_00FF;
+    v = (v | (v << 4)) & 0x0F0F_0F0F_0F0F_0F0F;
+    v = (v | (v << 2)) & 0x3333_3333_3333_3333;
+    v = (v | (v << 1)) & 0x5555_5555_5555_5555;
+    v
+}
+
 /// A regular square grid over the projected plane.
 ///
 /// The grid is anchored at a metric origin so that datasets can be normalized
@@ -201,6 +228,37 @@ mod tests {
     #[should_panic(expected = "grid pitch must be positive")]
     fn zero_pitch_rejected() {
         let _ = Grid::new(0.0);
+    }
+
+    #[test]
+    fn z_index_preserves_locality_and_order() {
+        // Interleaving: within a 2x2 block the four cells are consecutive.
+        let base = GridCell { col: 0, row: 0 };
+        let right = GridCell { col: 1, row: 0 };
+        let up = GridCell { col: 0, row: 1 };
+        let diag = GridCell { col: 1, row: 1 };
+        let z0 = base.z_index();
+        assert_eq!(right.z_index(), z0 + 1);
+        assert_eq!(up.z_index(), z0 + 2);
+        assert_eq!(diag.z_index(), z0 + 3);
+        // Far-away cells are far away on the key.
+        let far = GridCell {
+            col: 1 << 20,
+            row: 0,
+        };
+        assert!(far.z_index() > diag.z_index() + 1_000_000);
+    }
+
+    #[test]
+    fn z_index_handles_negative_cells() {
+        // Negative indices sort below non-negative ones and stay distinct.
+        let neg = GridCell { col: -1, row: -1 };
+        let origin = GridCell { col: 0, row: 0 };
+        assert!(neg.z_index() < origin.z_index());
+        assert_ne!(
+            GridCell { col: -2, row: 3 }.z_index(),
+            GridCell { col: 3, row: -2 }.z_index()
+        );
     }
 
     #[test]

@@ -155,6 +155,52 @@ impl Country {
         country
     }
 
+    /// Metropolitan-area geometry: a single ~70 × 70 km conurbation — a
+    /// dense core ("centro") ringed by satellite districts — rather than a
+    /// whole country. This is the stand-in for one operator region at full
+    /// subscriber density, the workload the sharded engine targets.
+    pub fn metro_like() -> Self {
+        let country = Self {
+            name: "metro-like".into(),
+            width_m: 70_000.0,
+            height_m: 70_000.0,
+            cities: vec![
+                City {
+                    name: "centro".into(),
+                    center: (35_000.0, 35_000.0),
+                    weight: 0.40,
+                    sigma_m: 5_500.0,
+                },
+                City {
+                    name: "norte".into(),
+                    center: (33_000.0, 57_000.0),
+                    weight: 0.12,
+                    sigma_m: 3_000.0,
+                },
+                City {
+                    name: "levante".into(),
+                    center: (58_000.0, 38_000.0),
+                    weight: 0.11,
+                    sigma_m: 3_000.0,
+                },
+                City {
+                    name: "sur".into(),
+                    center: (37_000.0, 12_000.0),
+                    weight: 0.10,
+                    sigma_m: 2_800.0,
+                },
+                City {
+                    name: "poniente".into(),
+                    center: (13_000.0, 33_000.0),
+                    weight: 0.09,
+                    sigma_m: 2_800.0,
+                },
+            ],
+        };
+        country.validate().expect("metro-like preset is valid");
+        country
+    }
+
     /// Senegal-like geometry: ~700 × 580 km, a dominant metropolis
     /// ("dakar") on the far western tip, secondary cities spread east.
     pub fn sen_like() -> Self {

@@ -70,6 +70,34 @@ impl ScenarioConfig {
         }
     }
 
+    /// Metropolitan scenario: one dense ~70 × 70 km conurbation at high
+    /// subscriber density — the sharded-engine workload (tens of thousands
+    /// of users in a single region). Fingerprints are kept lighter than the
+    /// nation-wide presets (≈ 2.2 events/day median) so population, not
+    /// per-user sample count, dominates the cost, matching the regime where
+    /// the §6.3 batching idea pays off.
+    pub fn metro_like(num_users: usize) -> Self {
+        Self {
+            name: "metro-like".into(),
+            seed: 0x3E7A_05C0,
+            num_users,
+            span_days: 14,
+            num_towers: 700,
+            country: Country::metro_like(),
+            mobility: MobilityConfig {
+                commute_median_m: 2_200.0,
+                ..MobilityConfig::default()
+            },
+            traffic: TrafficConfig {
+                events_per_day_median: 2.2,
+                ..TrafficConfig::default()
+            },
+            min_events_per_day: 1.0,
+            wander_sigma_m: 180.0,
+            excursion_p: 0.006,
+        }
+    }
+
     /// Senegal-like scenario (`d4d-sen` stand-in): 2-week span; the source
     /// dataset is pre-screened to users active on > 75 % of days, which a
     /// 0.75 events/day floor approximates.
@@ -321,5 +349,27 @@ mod tests {
         let s = generate(&cfg);
         assert_eq!(s.dataset.fingerprints.len(), 20);
         assert_eq!(s.dataset.name, "sen-like");
+    }
+
+    #[test]
+    fn metro_like_preset_generates_dense_compact_region() {
+        let mut cfg = ScenarioConfig::metro_like(30);
+        cfg.num_towers = 250;
+        let s = generate(&cfg);
+        assert_eq!(s.dataset.fingerprints.len(), 30);
+        assert_eq!(s.dataset.name, "metro-like");
+        // Everything fits inside the 70 km metro square.
+        for fp in &s.dataset.fingerprints {
+            for smp in fp.samples() {
+                assert!((0..=70_000).contains(&smp.x), "x = {} outside metro", smp.x);
+                assert!((0..=70_000).contains(&smp.y), "y = {} outside metro", smp.y);
+            }
+        }
+        // Lighter fingerprints than the nation-wide presets: screening
+        // floor is 14 samples, the median stays laptop-friendly.
+        let mut lens: Vec<usize> = s.dataset.fingerprints.iter().map(|f| f.len()).collect();
+        lens.sort_unstable();
+        assert!(lens[0] >= 14, "screening floor violated");
+        assert!(lens[lens.len() / 2] < 120, "metro fingerprints too dense");
     }
 }

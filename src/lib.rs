@@ -17,7 +17,7 @@
 //!   figures;
 //! * [`cli`] — the library side of the `glove` binary (dataset text format
 //!   and subcommand implementations);
-//! * [`bench`] — shared fixtures of the Criterion benches.
+//! * [`mod@bench`] — shared fixtures of the Criterion benches.
 //!
 //! ## Quickstart
 //!
@@ -58,9 +58,10 @@ pub mod prelude {
     pub use glove_baselines::{generalize_uniform, w4m_lc, GeneralizationLevel, W4mConfig};
     pub use glove_core::glove::{anonymize, GloveOutput, GloveStats};
     pub use glove_core::kgap::{kgap, kgap_all, kgap_decomposed_all};
+    pub use glove_core::shard::ShardStat;
     pub use glove_core::{
-        Dataset, Fingerprint, GloveConfig, GloveError, ResidualPolicy, Sample, StretchConfig,
-        SuppressionThresholds, UserId,
+        Dataset, Fingerprint, GloveConfig, GloveError, ResidualPolicy, Sample, ShardBy,
+        ShardPolicy, StretchConfig, SuppressionThresholds, UserId,
     };
     pub use glove_stats::{radius_of_gyration, twi, Ecdf, Summary};
     pub use glove_synth::{

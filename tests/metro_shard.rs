@@ -1,0 +1,65 @@
+//! Metro-scale sharded anonymization: 50 000 subscribers in one dense
+//! region, the workload the sharded engine exists for.
+//!
+//! Ignored by default — the run takes minutes — and executed in CI as a
+//! dedicated release-mode step:
+//!
+//! ```sh
+//! cargo test -q --release --test metro_shard -- --ignored
+//! ```
+//!
+//! A small non-ignored companion keeps the same code path exercised on
+//! every `cargo test`.
+
+use glove::core::glove::anonymize;
+use glove::prelude::*;
+use glove::synth::{generate, ScenarioConfig};
+
+const METRO_USERS: usize = 50_000;
+/// Shard count sized so one shard is a few hundred fingerprints: large
+/// enough for good groups, small enough that the per-shard quadratic matrix
+/// stays cheap (the whole point of §6.3 batching at this scale).
+const METRO_SHARDS: usize = 128;
+
+fn run_metro(users: usize, shards: usize) {
+    let scenario = ScenarioConfig::metro_like(users);
+    let synth = generate(&scenario);
+    assert_eq!(synth.dataset.num_users(), users);
+
+    let config = GloveConfig {
+        k: 2,
+        shard: Some(ShardPolicy::activity(shards)),
+        ..GloveConfig::default()
+    };
+    let out = anonymize(&synth.dataset, &config).expect("sharded metro anonymization succeeds");
+
+    // The two invariants every scaling change must preserve: nobody is
+    // published below k, and nobody silently disappears.
+    assert!(out.dataset.is_k_anonymous(2), "output not 2-anonymous");
+    assert_eq!(
+        out.dataset.num_users(),
+        users,
+        "default residual policy must keep every subscriber"
+    );
+    assert_eq!(out.stats.discarded_users, 0);
+
+    // Per-shard accounting covers the whole population.
+    assert!(!out.stats.per_shard.is_empty());
+    let users_in: usize = out.stats.per_shard.iter().map(|s| s.users_in).sum();
+    assert_eq!(users_in, users);
+    let groups: usize = out.stats.per_shard.iter().map(|s| s.fingerprints_out).sum();
+    assert_eq!(groups, out.dataset.fingerprints.len());
+}
+
+/// The CI-gated 50k-user run (see .github/workflows/ci.yml).
+#[test]
+#[ignore = "metro-scale run: minutes of wall clock; exercised in CI via --ignored"]
+fn metro_50k_sharded_anonymization() {
+    run_metro(METRO_USERS, METRO_SHARDS);
+}
+
+/// Same path at a population every `cargo test` can afford.
+#[test]
+fn metro_small_sharded_anonymization() {
+    run_metro(400, 8);
+}
