@@ -1,0 +1,135 @@
+//! `stream_e2e` — end-to-end streamed vs batch GLOVE on the `metro_like`
+//! scenario, emitting a BENCH JSON point.
+//!
+//! Like `sharded_e2e`, this target measures full runs directly rather than
+//! through the Criterion shim: one monolithic batch run and one streamed
+//! run (daily windows, fresh carry) over the same events, printing a
+//! `BENCH {...}` line and writing the JSON point to
+//! `BENCH_stream_e2e.json` so CI can archive the trajectory.
+//!
+//! The two fingerprints CI watches:
+//!
+//! * **events/s** — streamed anonymization throughput, end to end;
+//! * **peak-resident fingerprints/samples** — the engine's memory bound,
+//!   which must follow the *window* population, not the dataset: the run
+//!   asserts `peak_resident_samples` stays well below the dataset's sample
+//!   count and `peak_resident_fingerprints` within the largest window's
+//!   population.
+//!
+//! Modes mirror the criterion shim: `--bench` measures at full size,
+//! `--test` (CI smoke) shrinks the population. `--users N` overrides.
+
+use glove_bench::metro_bench_dataset;
+use glove_core::glove::anonymize;
+use glove_core::stream::{events_of, run_stream};
+use glove_core::{CarryPolicy, GloveConfig, StreamConfig, UnderKPolicy};
+use std::time::Instant;
+
+const WINDOW_MIN: u32 = 1_440; // daily epochs over the 14-day metro span
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
+    let mut users = if test_mode { 96 } else { 600 };
+    if let Some(pos) = args.iter().position(|a| a == "--users") {
+        users = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--users N");
+    }
+
+    eprintln!("[stream_e2e] generating metro_like ({users} users)…");
+    let ds = metro_bench_dataset(users);
+    let samples = ds.num_samples();
+    let events = events_of(&ds);
+
+    eprintln!("[stream_e2e] monolithic batch run…");
+    let started = Instant::now();
+    let batch = anonymize(&ds, &GloveConfig::default()).expect("batch run succeeds");
+    let batch_s = started.elapsed().as_secs_f64();
+
+    eprintln!("[stream_e2e] streamed run ({WINDOW_MIN} min windows, fresh carry)…");
+    let config = StreamConfig {
+        window_min: WINDOW_MIN,
+        carry: CarryPolicy::Fresh,
+        under_k: UnderKPolicy::Defer,
+        glove: GloveConfig::default(),
+    };
+    let started = Instant::now();
+    let run =
+        run_stream(ds.name.clone(), events.iter().copied(), config).expect("streamed run succeeds");
+    let stream_s = started.elapsed().as_secs_f64();
+
+    // The benchmark doubles as an invariant check.
+    assert!(batch.dataset.is_k_anonymous(2));
+    assert_eq!(batch.dataset.num_users(), users);
+    for epoch in &run.epochs {
+        assert!(epoch.output.dataset.is_k_anonymous(2));
+    }
+    let max_window_users = run
+        .stats
+        .per_epoch
+        .iter()
+        .map(|e| e.users_in)
+        .max()
+        .unwrap_or(0);
+    // Memory follows the window, not the dataset: the sample high-water
+    // mark must sit far below the dataset (daily windows over a 14-day
+    // span), and the fingerprint mark within the largest window population
+    // (deferred under-k users ride along).
+    assert!(
+        run.stats.peak_resident_samples * 2 < samples,
+        "peak resident samples {} not bounded by the window (dataset {})",
+        run.stats.peak_resident_samples,
+        samples
+    );
+    assert!(
+        run.stats.peak_resident_fingerprints
+            <= max_window_users + run.stats.deferred_users as usize,
+        "peak resident fingerprints {} exceeded the window population {}",
+        run.stats.peak_resident_fingerprints,
+        max_window_users
+    );
+
+    let events_per_s = run.stats.events as f64 / stream_s.max(1e-9);
+    let json = format!(
+        "{{\"name\":\"stream_e2e\",\"scenario\":\"metro_like\",\"users\":{users},\
+         \"samples\":{samples},\"events\":{},\"window_min\":{WINDOW_MIN},\"mode\":\"{}\",\
+         \"batch_s\":{batch_s:.3},\"stream_s\":{stream_s:.3},\"events_per_s\":{events_per_s:.0},\
+         \"epochs\":{},\"peak_resident_fingerprints\":{},\"max_window_users\":{max_window_users},\
+         \"peak_resident_samples\":{},\"suppressed_user_slices\":{},\
+         \"deferred_user_slices\":{}}}",
+        run.stats.events,
+        if test_mode { "test" } else { "bench" },
+        run.stats.epochs,
+        run.stats.peak_resident_fingerprints,
+        run.stats.peak_resident_samples,
+        run.stats.suppressed_users,
+        run.stats.deferred_users,
+    );
+    println!("BENCH {json}");
+    // Benches run with the package as working directory; anchor the JSON at
+    // the workspace root so CI can pick up BENCH_*.json uniformly (see
+    // sharded_e2e for the fallback rationale).
+    let dir = std::env::var("BENCH_DIR").unwrap_or_else(|_| {
+        let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+        if std::path::Path::new(&root).is_dir() {
+            root
+        } else {
+            ".".to_string()
+        }
+    });
+    let path = format!("{dir}/BENCH_stream_e2e.json");
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("[stream_e2e] could not write {path}: {e}");
+    }
+    println!(
+        "stream_e2e/metro_{users}: batch {batch_s:.2}s, streamed {stream_s:.2}s \
+         ({} daily epochs, {events_per_s:.0} events/s, peak {} fps / {} samples resident \
+         vs {} total)",
+        run.stats.epochs,
+        run.stats.peak_resident_fingerprints,
+        run.stats.peak_resident_samples,
+        samples
+    );
+}

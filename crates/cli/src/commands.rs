@@ -6,42 +6,83 @@ use glove_baselines::{generalize_uniform, w4m_lc, GeneralizationLevel, W4mConfig
 use glove_core::accuracy::{mean_position_accuracy_m, mean_time_accuracy_min};
 use glove_core::glove::anonymize;
 use glove_core::kgap::kgap_all;
+use glove_core::stream::{events_of, StreamEngine, StreamEvent};
 use glove_core::{
-    Dataset, GloveConfig, ResidualPolicy, ShardBy, ShardPolicy, StretchConfig,
-    SuppressionThresholds,
+    CarryPolicy, Dataset, GloveConfig, ResidualPolicy, ShardBy, ShardPolicy, StreamConfig,
+    StretchConfig, SuppressionThresholds, UnderKPolicy,
 };
 use glove_stats::{Ecdf, Summary};
-use glove_synth::{generate, QualityReport, ScenarioConfig};
+use glove_synth::{generate, QualityReport, ScenarioConfig, ScenarioEvents};
 use std::error::Error;
 use std::path::Path;
 
-/// `glove synth`: generate a synthetic dataset and write it to a file.
-pub fn synth(
-    preset: &str,
-    users: usize,
-    seed: Option<u64>,
-    out: &Path,
-) -> Result<String, Box<dyn Error>> {
+/// Resolves a preset name to its scenario configuration.
+fn preset_config(preset: &str, users: usize, seed: Option<u64>) -> Result<ScenarioConfig, String> {
     let mut cfg = match preset {
         "civ" | "civ-like" => ScenarioConfig::civ_like(users),
         "sen" | "sen-like" => ScenarioConfig::sen_like(users),
         "metro" | "metro-like" => ScenarioConfig::metro_like(users),
-        other => return Err(format!("unknown preset '{other}' (use civ | sen | metro)").into()),
+        other => return Err(format!("unknown preset '{other}' (use civ | sen | metro)")),
     };
     if let Some(seed) = seed {
         cfg.seed = seed;
     }
-    let synth = generate(&cfg);
-    io::write_file(&synth.dataset, out)?;
-    Ok(format!(
-        "wrote {}: {} users, {} samples, span {} days, {} towers ({} candidates screened out)",
-        out.display(),
-        synth.dataset.num_users(),
-        synth.dataset.num_samples(),
-        synth.dataset.span_min().div_ceil(1_440),
-        synth.towers.len(),
-        synth.screened_out,
-    ))
+    Ok(cfg)
+}
+
+/// `glove synth`: generate a synthetic dataset file (`out`), an event
+/// stream file (`events_out`), or both. The events-only path streams
+/// straight from the scenario's event iterator and never materializes a
+/// dataset.
+pub fn synth(
+    preset: &str,
+    users: usize,
+    seed: Option<u64>,
+    out: Option<&Path>,
+    events_out: Option<&Path>,
+) -> Result<String, Box<dyn Error>> {
+    let cfg = preset_config(preset, users, seed)?;
+    match (out, events_out) {
+        (None, None) => Err("synth needs --out and/or --events-out".into()),
+        (None, Some(ev_path)) => {
+            // Bounded-memory path: lazy event iterator straight to disk.
+            let mut stream = ScenarioEvents::new(&cfg);
+            let total = stream.remaining();
+            io::write_events_file(&cfg.name, stream.by_ref(), ev_path)?;
+            Ok(format!(
+                "wrote {}: {} events from {} users, {} towers ({} candidates screened out)",
+                ev_path.display(),
+                total,
+                users,
+                stream.towers().len(),
+                stream.screened_out(),
+            ))
+        }
+        (Some(out), events_out) => {
+            let synth = generate(&cfg);
+            io::write_file(&synth.dataset, out)?;
+            let mut msg = format!(
+                "wrote {}: {} users, {} samples, span {} days, {} towers \
+                 ({} candidates screened out)",
+                out.display(),
+                synth.dataset.num_users(),
+                synth.dataset.num_samples(),
+                synth.dataset.span_min().div_ceil(1_440),
+                synth.towers.len(),
+                synth.screened_out,
+            );
+            if let Some(ev_path) = events_out {
+                let events = events_of(&synth.dataset);
+                io::write_events_file(&synth.dataset.name, events.iter().copied(), ev_path)?;
+                msg.push_str(&format!(
+                    "\nwrote {}: {} events (time-ordered view of the same dataset)",
+                    ev_path.display(),
+                    events.len(),
+                ));
+            }
+            Ok(msg)
+        }
+    }
 }
 
 /// `glove info`: dataset summary.
@@ -153,9 +194,17 @@ pub fn anonymize_cmd(
     let output = anonymize(&ds, &config)?;
     io::write_file(&output.dataset, out)?;
     let s = &output.stats;
+    let candidates = s.pairs_computed + s.pairs_pruned;
+    let pruned_pct = if candidates > 0 {
+        s.pairs_pruned as f64 / candidates as f64 * 100.0
+    } else {
+        0.0
+    };
     let mut msg = format!(
         "wrote {}: {} groups covering {} subscribers (k = {})\n\
-         merges: {}, pairs computed: {} ({:.0} pairs/s, {} pruned), elapsed {:.1} s\n\
+         merges: {}, elapsed {:.1} s\n\
+         pairs: {} computed + {} pruned of {} candidates ({:.1}% skipped by the \
+         admissible bound), {:.0} pairs/s\n\
          suppressed samples: {} ({} user-samples), reshaped: {}\n\
          discarded fingerprints: {} ({} subscribers)\n\
          mean accuracy: {:.0} m position, {:.0} min time",
@@ -164,10 +213,12 @@ pub fn anonymize_cmd(
         output.dataset.num_users(),
         opts.k,
         s.merges,
-        s.pairs_computed,
-        s.pairs_per_second(),
-        s.pairs_pruned,
         s.elapsed_s,
+        s.pairs_computed,
+        s.pairs_pruned,
+        candidates,
+        pruned_pct,
+        s.pairs_per_second(),
         s.suppressed.samples,
         s.suppressed.user_samples,
         s.reshaped_samples,
@@ -197,6 +248,203 @@ pub fn anonymize_cmd(
                 sh.elapsed_s,
             ));
         }
+    }
+    Ok(msg)
+}
+
+/// Options of `glove stream`.
+#[derive(Debug, Clone)]
+pub struct StreamOpts {
+    /// Anonymity level per epoch.
+    pub k: usize,
+    /// Window (epoch) length, minutes.
+    pub window_min: u32,
+    /// Cross-epoch continuity policy.
+    pub carry: CarryPolicy,
+    /// Policy for windows below `k` subscribers.
+    pub under_k: UnderKPolicy,
+    /// Optional spatial suppression threshold, meters.
+    pub suppress_space_m: Option<u32>,
+    /// Optional temporal suppression threshold, minutes.
+    pub suppress_time_min: Option<u32>,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Optional per-epoch shard count.
+    pub shards: Option<usize>,
+    /// Shard assignment key (only meaningful with `shards`).
+    pub shard_by: ShardBy,
+}
+
+impl Default for StreamOpts {
+    fn default() -> Self {
+        Self {
+            k: 2,
+            window_min: 1_440,
+            carry: CarryPolicy::Fresh,
+            under_k: UnderKPolicy::Suppress,
+            suppress_space_m: None,
+            suppress_time_min: None,
+            threads: 0,
+            shards: None,
+            shard_by: ShardBy::Activity,
+        }
+    }
+}
+
+/// `glove stream`: windowed online GLOVE over an event stream.
+///
+/// `input` may be an event file (`E` records, streamed through
+/// [`io::EventReader`] with bounded memory) or a dataset file (replayed as
+/// its time-ordered event view — a convenience that loads the dataset
+/// first). Each closed window's anonymized epoch is written to
+/// `out_dir/epoch-NNNN.txt` as soon as it is emitted and dropped from
+/// memory. `out_dir` is treated as owned by this command: `epoch-*.txt`
+/// files left by a previous run are removed (after the input has been
+/// opened successfully), and the removal is reported in the output.
+pub fn stream_cmd(
+    input: &Path,
+    out_dir: &Path,
+    opts: &StreamOpts,
+) -> Result<String, Box<dyn Error>> {
+    let config = StreamConfig {
+        window_min: opts.window_min,
+        carry: opts.carry,
+        under_k: opts.under_k,
+        glove: GloveConfig {
+            k: opts.k,
+            suppression: SuppressionThresholds {
+                max_space_m: opts.suppress_space_m,
+                max_time_min: opts.suppress_time_min,
+            },
+            threads: opts.threads,
+            shard: opts.shards.map(|shards| ShardPolicy {
+                shards,
+                by: opts.shard_by,
+            }),
+            ..GloveConfig::default()
+        },
+    };
+    // Open (or load) the input before touching the output directory, so a
+    // typo'd path or unparseable file cannot destroy a previous run.
+    enum Source {
+        Events(io::EventReader<std::io::BufReader<std::fs::File>>),
+        Dataset(Dataset),
+    }
+    let source = if io::is_events_file(input)? {
+        Source::Events(io::EventReader::open(input)?)
+    } else {
+        Source::Dataset(io::read_file(input)?)
+    };
+
+    std::fs::create_dir_all(out_dir)?;
+    // A rerun into the same directory may emit fewer epochs (longer
+    // windows); stale epoch files from a previous run would silently
+    // interleave with the new output, so clear them first — and say so.
+    let mut cleared = 0usize;
+    for entry in std::fs::read_dir(out_dir)? {
+        let path = entry?.path();
+        if let Some(name) = path.file_name().and_then(|n| n.to_str()) {
+            if name.starts_with("epoch-") && name.ends_with(".txt") {
+                std::fs::remove_file(&path)?;
+                cleared += 1;
+            }
+        }
+    }
+
+    let write_epoch = |epoch: &glove_core::stream::EpochOutput| -> Result<(), Box<dyn Error>> {
+        let path = out_dir.join(format!("epoch-{:04}.txt", epoch.epoch));
+        io::write_file(&epoch.output.dataset, &path)?;
+        Ok(())
+    };
+    let drive = |engine: &mut StreamEngine,
+                 events: &mut dyn Iterator<Item = Result<StreamEvent, io::ParseError>>|
+     -> Result<(), Box<dyn Error>> {
+        for event in events {
+            if let Some(epoch) = engine.push(event?)? {
+                write_epoch(&epoch)?;
+            }
+        }
+        Ok(())
+    };
+
+    let engine = match source {
+        Source::Events(mut reader) => {
+            let mut engine = StreamEngine::new(reader.name().to_string(), config)?;
+            drive(&mut engine, &mut reader)?;
+            engine
+        }
+        Source::Dataset(ds) => {
+            let mut engine = StreamEngine::new(ds.name.clone(), config)?;
+            drive(&mut engine, &mut events_of(&ds).into_iter().map(Ok))?;
+            engine
+        }
+    };
+
+    let (last, stats) = engine.finish()?;
+    if let Some(epoch) = last {
+        write_epoch(&epoch)?;
+    }
+
+    let mut msg = format!(
+        "streamed {} events into {} epochs under {} (k = {}, window {} min, {} carry, \
+         under-k {})\n\
+         peak resident: {} fingerprints, {} samples\n\
+         merges: {}, pairs: {} computed + {} pruned, anonymization {:.1} s",
+        stats.events,
+        stats.epochs,
+        out_dir.display(),
+        opts.k,
+        opts.window_min,
+        match opts.carry {
+            CarryPolicy::Fresh => "fresh",
+            CarryPolicy::Sticky => "sticky",
+        },
+        match opts.under_k {
+            UnderKPolicy::Suppress => "suppress",
+            UnderKPolicy::Defer => "defer",
+        },
+        stats.peak_resident_fingerprints,
+        stats.peak_resident_samples,
+        stats.merges,
+        stats.pairs_computed,
+        stats.pairs_pruned,
+        stats.elapsed_s,
+    );
+    if cleared > 0 {
+        msg.push_str(&format!(
+            "\nreplaced {cleared} epoch file(s) left by a previous run"
+        ));
+    }
+    if stats.suppressed_users > 0 || stats.deferred_users > 0 {
+        msg.push_str(&format!(
+            "\nunder-k ledger: {} user-slices suppressed ({} samples), \
+             {} deferred ({} samples)",
+            stats.suppressed_users,
+            stats.suppressed_samples,
+            stats.deferred_users,
+            stats.deferred_samples,
+        ));
+    }
+    if stats.seeded_groups > 0 {
+        msg.push_str(&format!(
+            "\ncarry-over: {} sticky groups seeded across epochs",
+            stats.seeded_groups
+        ));
+    }
+    for e in &stats.per_epoch {
+        msg.push_str(&format!(
+            "\n  epoch {:>3} @ {:>6} min: {} users in {} fps ({} seeded) -> {} groups, \
+             {} merges, {} pairs, {:.2} s",
+            e.epoch,
+            e.window_start_min,
+            e.users_in,
+            e.fingerprints_in,
+            e.seeded_groups,
+            e.groups_out,
+            e.merges,
+            e.pairs_computed,
+            e.elapsed_s,
+        ));
     }
     Ok(msg)
 }
@@ -314,7 +562,7 @@ mod tests {
         let data = temp("pipeline-data");
         let anon = temp("pipeline-anon");
 
-        let msg = synth("civ", 20, Some(7), &data).unwrap();
+        let msg = synth("civ", 20, Some(7), Some(&data), None).unwrap();
         assert!(msg.contains("20 users"));
 
         let msg = info(&data).unwrap();
@@ -348,7 +596,7 @@ mod tests {
     fn sharded_anonymize_reports_per_shard_stats() {
         let data = temp("shard-data");
         let anon = temp("shard-anon");
-        synth("civ", 24, Some(11), &data).unwrap();
+        synth("civ", 24, Some(11), Some(&data), None).unwrap();
         let opts = AnonymizeOpts {
             k: 2,
             suppress_space_m: None,
@@ -375,7 +623,7 @@ mod tests {
         let gen = temp("baseline-gen");
         let w4m = temp("baseline-w4m");
 
-        synth("sen", 12, Some(3), &data).unwrap();
+        synth("sen", 12, Some(3), Some(&data), None).unwrap();
         let msg = generalize_cmd(&data, &gen, 5_000, 120).unwrap();
         assert!(msg.contains("5000 m / 120 min"));
         let generalized = io::read_file(&gen).unwrap();
@@ -397,7 +645,7 @@ mod tests {
     fn attack_command_raw_vs_anonymized() {
         let data = temp("attack-data");
         let anon = temp("attack-anon");
-        synth("civ", 24, Some(5), &data).unwrap();
+        synth("civ", 24, Some(5), Some(&data), None).unwrap();
         let opts = AnonymizeOpts {
             k: 2,
             suppress_space_m: None,
@@ -424,13 +672,219 @@ mod tests {
     #[test]
     fn synth_rejects_unknown_preset() {
         let out = temp("bad-preset");
-        assert!(synth("mars", 10, None, &out).is_err());
+        assert!(synth("mars", 10, None, Some(&out), None).is_err());
+    }
+
+    #[test]
+    fn anonymize_surfaces_pruning_counters() {
+        let data = temp("pruned-data");
+        let anon = temp("pruned-anon");
+        synth("civ", 16, Some(21), Some(&data), None).unwrap();
+        let opts = AnonymizeOpts {
+            k: 2,
+            suppress_space_m: None,
+            suppress_time_min: None,
+            residual: ResidualPolicy::MergeIntoNearest,
+            threads: 1,
+            shards: None,
+            shard_by: ShardBy::Activity,
+        };
+        let msg = anonymize_cmd(&data, &anon, &opts).unwrap();
+        assert!(msg.contains("computed +"), "message: {msg}");
+        assert!(msg.contains("pruned of"), "message: {msg}");
+        assert!(
+            msg.contains("candidates") && msg.contains("% skipped"),
+            "message: {msg}"
+        );
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&anon);
+    }
+
+    #[test]
+    fn synth_events_only_writes_a_streamable_file() {
+        let events = temp("synth-events");
+        let msg = synth("civ", 10, Some(4), None, Some(&events)).unwrap();
+        assert!(msg.contains("events from 10 users"), "message: {msg}");
+        assert!(io::is_events_file(&events).unwrap());
+        let reader = io::EventReader::open(&events).unwrap();
+        assert_eq!(reader.name(), "civ-like");
+        let parsed: Result<Vec<_>, _> = reader.collect();
+        let parsed = parsed.unwrap();
+        assert!(!parsed.is_empty());
+        assert!(parsed.windows(2).all(|w| w[0].sample.t <= w[1].sample.t));
+        let _ = std::fs::remove_file(&events);
+    }
+
+    #[test]
+    fn synth_events_view_matches_dataset_view() {
+        // --out + --events-out must describe the same data.
+        let data = temp("synth-both-ds");
+        let events = temp("synth-both-ev");
+        synth("civ", 8, Some(4), Some(&data), Some(&events)).unwrap();
+        let ds = io::read_file(&data).unwrap();
+        let (name, parsed) = {
+            let reader = io::EventReader::open(&events).unwrap();
+            let name = reader.name().to_string();
+            let ev: Result<Vec<_>, _> = reader.collect();
+            (name, ev.unwrap())
+        };
+        assert_eq!(name, ds.name);
+        assert_eq!(parsed, events_of(&ds));
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&events);
+    }
+
+    fn temp_dir(stem: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("glove-cmd-{stem}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn stream_command_emits_k_anonymous_epochs() {
+        let data = temp("stream-data");
+        let out_dir = temp_dir("stream-epochs");
+        synth("civ", 16, Some(9), Some(&data), None).unwrap();
+        let opts = StreamOpts {
+            k: 2,
+            window_min: 2_880,
+            threads: 1,
+            ..StreamOpts::default()
+        };
+        let msg = stream_cmd(&data, &out_dir, &opts).unwrap();
+        assert!(msg.contains("epochs under"), "message: {msg}");
+        assert!(msg.contains("peak resident:"), "message: {msg}");
+        assert!(msg.contains("epoch   0"), "message: {msg}");
+        // Every emitted epoch file parses and is 2-anonymous.
+        let mut epoch_files: Vec<_> = std::fs::read_dir(&out_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        epoch_files.sort();
+        assert!(
+            epoch_files.len() >= 4,
+            "14-day civ span with 2-day windows must emit several epochs, got {}",
+            epoch_files.len()
+        );
+        for f in &epoch_files {
+            let epoch = io::read_file(f).unwrap();
+            assert!(epoch.is_k_anonymous(2), "{} not 2-anonymous", f.display());
+        }
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn stream_command_consumes_event_files_and_sticky_carries() {
+        let events = temp("stream-ev-in");
+        let out_dir = temp_dir("stream-ev-epochs");
+        synth("civ", 12, Some(13), None, Some(&events)).unwrap();
+        let opts = StreamOpts {
+            k: 2,
+            window_min: 4_320,
+            carry: CarryPolicy::Sticky,
+            under_k: UnderKPolicy::Defer,
+            threads: 1,
+            ..StreamOpts::default()
+        };
+        let msg = stream_cmd(&events, &out_dir, &opts).unwrap();
+        assert!(msg.contains("sticky carry"), "message: {msg}");
+        assert!(msg.contains("under-k defer"), "message: {msg}");
+        assert!(
+            msg.contains("sticky groups seeded"),
+            "stable civ users must re-seed groups: {msg}"
+        );
+        let _ = std::fs::remove_file(&events);
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn stream_rerun_clears_stale_epoch_files() {
+        // A rerun with longer windows emits fewer epochs; the previous
+        // run's surplus epoch files must not survive in the directory.
+        let data = temp("stream-rerun-data");
+        let out_dir = temp_dir("stream-rerun-epochs");
+        synth("civ", 12, Some(19), Some(&data), None).unwrap();
+
+        let short = StreamOpts {
+            k: 2,
+            window_min: 2_880,
+            threads: 1,
+            ..StreamOpts::default()
+        };
+        stream_cmd(&data, &out_dir, &short).unwrap();
+        let count_epochs = || {
+            std::fs::read_dir(&out_dir)
+                .unwrap()
+                .filter(|e| {
+                    e.as_ref()
+                        .unwrap()
+                        .file_name()
+                        .to_string_lossy()
+                        .starts_with("epoch-")
+                })
+                .count()
+        };
+        let many = count_epochs();
+        assert!(many >= 4, "short windows must emit several epochs");
+
+        let long = StreamOpts {
+            k: 2,
+            window_min: 1_000_000,
+            threads: 1,
+            ..StreamOpts::default()
+        };
+        stream_cmd(&data, &out_dir, &long).unwrap();
+        assert_eq!(
+            count_epochs(),
+            1,
+            "stale epochs from the previous run must be cleared"
+        );
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn stream_single_window_is_byte_identical_to_anonymize() {
+        // The equivalence anchor, end to end through the CLI: one window
+        // covering the whole span + fresh carry == the batch command.
+        let data = temp("stream-eq-data");
+        let anon = temp("stream-eq-anon");
+        let out_dir = temp_dir("stream-eq-epochs");
+        synth("civ", 12, Some(17), Some(&data), None).unwrap();
+
+        let aopts = AnonymizeOpts {
+            k: 2,
+            suppress_space_m: None,
+            suppress_time_min: None,
+            residual: ResidualPolicy::MergeIntoNearest,
+            threads: 1,
+            shards: None,
+            shard_by: ShardBy::Activity,
+        };
+        anonymize_cmd(&data, &anon, &aopts).unwrap();
+
+        let sopts = StreamOpts {
+            k: 2,
+            window_min: 1_000_000, // one window over the whole horizon
+            threads: 1,
+            ..StreamOpts::default()
+        };
+        stream_cmd(&data, &out_dir, &sopts).unwrap();
+
+        let batch_bytes = std::fs::read(&anon).unwrap();
+        let epoch_bytes = std::fs::read(out_dir.join("epoch-0000.txt")).unwrap();
+        assert_eq!(
+            batch_bytes, epoch_bytes,
+            "single-window fresh stream must be byte-identical to the batch run"
+        );
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&anon);
+        let _ = std::fs::remove_dir_all(&out_dir);
     }
 
     #[test]
     fn audit_rejects_bad_k() {
         let data = temp("audit-k");
-        synth("civ", 10, Some(1), &data).unwrap();
+        synth("civ", 10, Some(1), Some(&data), None).unwrap();
         assert!(audit(&data, 1, 1).is_err());
         assert!(audit(&data, 999, 1).is_err());
         let _ = std::fs::remove_file(&data);

@@ -13,34 +13,58 @@
 //! `S x y dx dy t dt` — the box encoding of [`Sample`]: west/south corner in
 //! meters, extents in meters, window start/length in minutes. Comments (`#`)
 //! and blank lines are ignored except for the `# name:` header.
+//!
+//! ### Event streams
+//!
+//! The streaming pipeline (`glove stream`) speaks a sibling format, one
+//! record per logged network event, strictly time-ordered:
+//!
+//! ```text
+//! # glove events v1
+//! # name: civ-like
+//! E 17 1200 300 100 100 481 1   <- user id then the S fields
+//! E 4 5400 800 100 100 482 1
+//! ```
+//!
+//! [`EventReader`] iterates such a file through a [`io::BufRead`] without
+//! ever holding more than one line resident — the ingest half of the
+//! bounded-memory pipeline.
 
+use glove_core::stream::StreamEvent;
 use glove_core::{Dataset, Fingerprint, GloveError, Sample, UserId};
 use std::fs;
-use std::io::{self, Write};
+use std::io::{self, BufRead, BufWriter, Write};
 use std::path::Path;
 
-/// Serializes a dataset to its text representation.
-pub fn to_string(dataset: &Dataset) -> String {
-    let mut out = String::new();
-    out.push_str("# glove dataset v1\n");
-    out.push_str(&format!("# name: {}\n", dataset.name));
+/// Writes a dataset's text representation to any sink, one fingerprint at a
+/// time — no whole-dataset string is ever materialized.
+pub fn write_to(dataset: &Dataset, out: &mut impl Write) -> io::Result<()> {
+    writeln!(out, "# glove dataset v1")?;
+    writeln!(out, "# name: {}", dataset.name)?;
     for fp in &dataset.fingerprints {
         let users: Vec<String> = fp.users().iter().map(|u| u.to_string()).collect();
-        out.push_str(&format!("F {}\n", users.join(",")));
+        writeln!(out, "F {}", users.join(","))?;
         for s in fp.samples() {
-            out.push_str(&format!(
-                "S {} {} {} {} {} {}\n",
-                s.x, s.y, s.dx, s.dy, s.t, s.dt
-            ));
+            writeln!(out, "S {} {} {} {} {} {}", s.x, s.y, s.dx, s.dy, s.t, s.dt)?;
         }
     }
-    out
+    Ok(())
 }
 
-/// Writes a dataset to a file.
+/// Serializes a dataset to its text representation (small datasets and
+/// tests; large datasets should stream through [`write_file`]).
+pub fn to_string(dataset: &Dataset) -> String {
+    let mut buf = Vec::new();
+    write_to(dataset, &mut buf).expect("writing to memory cannot fail");
+    String::from_utf8(buf).expect("dataset text is UTF-8")
+}
+
+/// Writes a dataset to a file through a [`BufWriter`], fingerprint by
+/// fingerprint: peak extra memory is one sample line, not O(dataset).
 pub fn write_file(dataset: &Dataset, path: &Path) -> io::Result<()> {
-    let mut f = fs::File::create(path)?;
-    f.write_all(to_string(dataset).as_bytes())
+    let mut w = BufWriter::new(fs::File::create(path)?);
+    write_to(dataset, &mut w)?;
+    w.flush()
 }
 
 /// Parse error with line context.
@@ -191,6 +215,193 @@ pub fn read_file(path: &Path) -> Result<Dataset, ParseError> {
     from_str(&content)
 }
 
+// ---------------------------------------------------------------------------
+// Event streams
+
+/// Writes an event stream to any sink, one record per event.
+pub fn write_events_to(
+    name: &str,
+    events: impl IntoIterator<Item = StreamEvent>,
+    out: &mut impl Write,
+) -> io::Result<()> {
+    writeln!(out, "# glove events v1")?;
+    writeln!(out, "# name: {name}")?;
+    for e in events {
+        let s = e.sample;
+        writeln!(
+            out,
+            "E {} {} {} {} {} {} {}",
+            e.user, s.x, s.y, s.dx, s.dy, s.t, s.dt
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes an event stream to a file through a [`BufWriter`]. The iterator
+/// is drained incrementally, so a lazy source (e.g.
+/// `glove_synth::ScenarioEvents`) never materializes the whole stream.
+pub fn write_events_file(
+    name: &str,
+    events: impl IntoIterator<Item = StreamEvent>,
+    path: &Path,
+) -> io::Result<()> {
+    let mut w = BufWriter::new(fs::File::create(path)?);
+    write_events_to(name, events, &mut w)?;
+    w.flush()
+}
+
+/// Serializes an event stream to a string (tests and small streams).
+pub fn events_to_string(name: &str, events: impl IntoIterator<Item = StreamEvent>) -> String {
+    let mut buf = Vec::new();
+    write_events_to(name, events, &mut buf).expect("writing to memory cannot fail");
+    String::from_utf8(buf).expect("event text is UTF-8")
+}
+
+/// Parses one `E user x y dx dy t dt` record.
+fn parse_event_line(line: &str, line_no: usize) -> Result<StreamEvent, ParseError> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.first() != Some(&"E") {
+        return Err(ParseError::Syntax {
+            line: line_no,
+            message: format!(
+                "expected an 'E' event record, got '{}'",
+                fields.first().unwrap_or(&"")
+            ),
+        });
+    }
+    if fields.len() != 8 {
+        return Err(ParseError::Syntax {
+            line: line_no,
+            message: format!(
+                "expected 'E user x y dx dy t dt' (8 fields), got {} fields",
+                fields.len()
+            ),
+        });
+    }
+    let bad = |s: &str, e: &dyn std::fmt::Display| ParseError::Syntax {
+        line: line_no,
+        message: format!("bad integer '{s}': {e}"),
+    };
+    let user: UserId = fields[1].parse().map_err(|e| bad(fields[1], &e))?;
+    let x: i64 = fields[2].parse().map_err(|e| bad(fields[2], &e))?;
+    let y: i64 = fields[3].parse().map_err(|e| bad(fields[3], &e))?;
+    let dx: u32 = fields[4].parse().map_err(|e| bad(fields[4], &e))?;
+    let dy: u32 = fields[5].parse().map_err(|e| bad(fields[5], &e))?;
+    let t: u32 = fields[6].parse().map_err(|e| bad(fields[6], &e))?;
+    let dt: u32 = fields[7].parse().map_err(|e| bad(fields[7], &e))?;
+    let sample = Sample::new(x, y, dx, dy, t, dt)?;
+    Ok(StreamEvent { user, sample })
+}
+
+/// Streaming reader of the event format: yields one event per `E` record,
+/// holding a single line resident. Comments and blank lines are skipped;
+/// the `# name:` header (if present before the first record) is captured.
+pub struct EventReader<R: BufRead> {
+    lines: io::Lines<R>,
+    line_no: usize,
+    name: String,
+    /// First record line, pre-read while scanning the header.
+    pending: Option<(usize, String)>,
+}
+
+impl EventReader<io::BufReader<fs::File>> {
+    /// Opens an event file for streaming.
+    pub fn open(path: &Path) -> Result<Self, ParseError> {
+        Self::new(io::BufReader::new(fs::File::open(path)?))
+    }
+}
+
+impl<R: BufRead> EventReader<R> {
+    /// Wraps any buffered reader, consuming header comments eagerly so
+    /// [`EventReader::name`] is available before the first event.
+    pub fn new(reader: R) -> Result<Self, ParseError> {
+        let mut lines = reader.lines();
+        let mut line_no = 0usize;
+        let mut name = String::from("unnamed");
+        let mut pending = None;
+        for raw in lines.by_ref() {
+            let raw = raw?;
+            line_no += 1;
+            let line = raw.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('#') {
+                if let Some(n) = rest.trim().strip_prefix("name:") {
+                    name = n.trim().to_string();
+                }
+                continue;
+            }
+            pending = Some((line_no, line.to_string()));
+            break;
+        }
+        Ok(Self {
+            lines,
+            line_no,
+            name,
+            pending,
+        })
+    }
+
+    /// The stream name from the `# name:` header (`"unnamed"` if absent).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl<R: BufRead> Iterator for EventReader<R> {
+    type Item = Result<StreamEvent, ParseError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if let Some((line_no, line)) = self.pending.take() {
+            return Some(parse_event_line(&line, line_no));
+        }
+        loop {
+            let raw = match self.lines.next()? {
+                Ok(raw) => raw,
+                Err(e) => return Some(Err(ParseError::Io(e))),
+            };
+            self.line_no += 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            return Some(parse_event_line(line, self.line_no));
+        }
+    }
+}
+
+/// Parses an in-memory event stream (tests and small inputs).
+pub fn events_from_str(content: &str) -> Result<(String, Vec<StreamEvent>), ParseError> {
+    let reader = EventReader::new(io::Cursor::new(content))?;
+    let name = reader.name().to_string();
+    let events: Result<Vec<StreamEvent>, ParseError> = reader.collect();
+    Ok((name, events?))
+}
+
+/// Sniffs whether a file is an event stream (vs a dataset): true when the
+/// events header comment appears or the first record is an `E` line. Reads
+/// only up to the first record line, mirroring [`EventReader::new`]'s
+/// tolerance for arbitrarily long header comment blocks.
+pub fn is_events_file(path: &Path) -> io::Result<bool> {
+    let reader = io::BufReader::new(fs::File::open(path)?);
+    for raw in reader.lines() {
+        let raw = raw?;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with("# glove events") {
+            return Ok(true);
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        return Ok(line.starts_with("E "));
+    }
+    Ok(false)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,5 +484,71 @@ mod tests {
     fn rejects_zero_extent_sample() {
         let err = from_str("F 0\nS 0 0 0 100 0 1\n").unwrap_err();
         assert!(matches!(err, ParseError::Model(_)));
+    }
+
+    #[test]
+    fn events_round_trip() {
+        let ds = sample_dataset();
+        let events = glove_core::stream::events_of(&ds);
+        let text = events_to_string(&ds.name, events.iter().copied());
+        let (name, back) = events_from_str(&text).unwrap();
+        assert_eq!(name, ds.name);
+        assert_eq!(back, events);
+    }
+
+    #[test]
+    fn event_reader_streams_a_file() {
+        let ds = sample_dataset();
+        let events = glove_core::stream::events_of(&ds);
+        let path = std::env::temp_dir().join(format!("glove-events-{}.txt", std::process::id()));
+        write_events_file(&ds.name, events.iter().copied(), &path).unwrap();
+        let reader = EventReader::open(&path).unwrap();
+        assert_eq!(reader.name(), ds.name);
+        let back: Result<Vec<_>, _> = reader.collect();
+        assert_eq!(back.unwrap(), events);
+        assert!(is_events_file(&path).unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dataset_files_are_not_sniffed_as_events() {
+        let ds = sample_dataset();
+        let path = std::env::temp_dir().join(format!("glove-ds-sniff-{}.txt", std::process::id()));
+        write_file(&ds, &path).unwrap();
+        assert!(!is_events_file(&path).unwrap());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn event_parse_errors_carry_line_numbers() {
+        // Record on line 3 (after header comments) is malformed.
+        let text = "# glove events v1\n# name: x\nE 0 0 0 100 100 0\n";
+        let err = events_from_str(text).unwrap_err();
+        assert!(
+            matches!(err, ParseError::Syntax { line: 3, .. }),
+            "got {err:?}"
+        );
+        let text = "# glove events v1\nE 0 zero 0 100 100 0 1\n";
+        let err = events_from_str(text).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "got {err}");
+        assert!(err.to_string().contains("bad integer"));
+        // Invalid box extents surface as model errors, not panics.
+        let text = "E 0 0 0 0 100 0 1\n";
+        assert!(matches!(
+            events_from_str(text).unwrap_err(),
+            ParseError::Model(_)
+        ));
+    }
+
+    #[test]
+    fn buffered_writer_output_matches_to_string() {
+        // write_file must stay byte-identical to the in-memory serializer —
+        // the equivalence anchor relies on it.
+        let ds = sample_dataset();
+        let path = std::env::temp_dir().join(format!("glove-bufw-{}.txt", std::process::id()));
+        write_file(&ds, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert_eq!(bytes, to_string(&ds).into_bytes());
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -3,10 +3,11 @@
 //! The `glove` binary wires the workspace into PPDP practitioner workflows:
 //!
 //! ```text
-//! glove synth      generate a synthetic CDR dataset (civ-like / sen-like)
+//! glove synth      generate a synthetic CDR dataset and/or event stream
 //! glove info       inspect a dataset file
 //! glove audit      anonymizability audit: k-gap distribution (paper §5)
 //! glove anonymize  k-anonymize with GLOVE (§6), optional suppression (§7.1)
+//! glove stream     windowed online GLOVE over a time-ordered event stream
 //! glove generalize uniform spatiotemporal generalization baseline (§5.2)
 //! glove w4m        W4M-LC baseline (§7.2)
 //! ```

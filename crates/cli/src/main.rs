@@ -1,8 +1,8 @@
 //! `glove` — CLI entry point. Argument parsing only; the work happens in
 //! [`glove_cli::commands`].
 
-use glove_cli::commands::{self, AnonymizeOpts};
-use glove_core::{ResidualPolicy, ShardBy};
+use glove_cli::commands::{self, AnonymizeOpts, StreamOpts};
+use glove_core::{CarryPolicy, ResidualPolicy, ShardBy, UnderKPolicy};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -11,18 +11,27 @@ const USAGE: &str = "\
 glove — k-anonymization of mobile traffic fingerprints (GLOVE, CoNEXT'15)
 
 USAGE:
-  glove synth      --preset civ|sen|metro --users N [--seed S] --out FILE
+  glove synth      --preset civ|sen|metro --users N [--seed S]
+                   [--out FILE] [--events-out FILE]
   glove info       --in FILE
   glove audit      --in FILE --k K [--threads N]
   glove anonymize  --in FILE --out FILE --k K
                    [--suppress-space METERS] [--suppress-time MINUTES]
                    [--residual merge|suppress] [--threads N]
                    [--shards N] [--shard-by activity|spatial]
+  glove stream     --in FILE --out-dir DIR --k K [--window MINUTES]
+                   [--carry fresh|sticky] [--under-k suppress|defer]
+                   [--suppress-space METERS] [--suppress-time MINUTES]
+                   [--threads N] [--shards N] [--shard-by activity|spatial]
   glove generalize --in FILE --out FILE --space METERS --time MINUTES
   glove w4m        --in FILE --out FILE --k K [--delta METERS]
   glove attack     --original FILE --published FILE [--points N] [--trials N]
 
-Datasets are line-oriented text files (see `glove-cli` docs).
+Datasets and event streams are line-oriented text files (see `glove-cli`
+docs). `glove stream` accepts either: event files replay with bounded
+memory, dataset files are converted to their time-ordered event view.
+The stream --out-dir is owned by the command: epoch-*.txt files from a
+previous run are replaced.
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -62,6 +71,55 @@ fn parse_num<T: std::str::FromStr>(value: &str, key: &str) -> Result<T, String> 
         .map_err(|_| format!("option --{key}: cannot parse '{value}'"))
 }
 
+/// `--threads N` (0 = all cores; default 0), shared by every heavy command.
+fn parse_threads(flags: &HashMap<String, String>) -> Result<usize, String> {
+    Ok(flags
+        .get("threads")
+        .map(|s| parse_num::<usize>(s, "threads"))
+        .transpose()?
+        .unwrap_or(0))
+}
+
+/// `--suppress-space METERS` / `--suppress-time MINUTES`, shared by
+/// `anonymize` and `stream`.
+fn parse_suppression(
+    flags: &HashMap<String, String>,
+) -> Result<(Option<u32>, Option<u32>), String> {
+    let space = flags
+        .get("suppress-space")
+        .map(|s| parse_num::<u32>(s, "suppress-space"))
+        .transpose()?;
+    let time = flags
+        .get("suppress-time")
+        .map(|s| parse_num::<u32>(s, "suppress-time"))
+        .transpose()?;
+    Ok((space, time))
+}
+
+/// `--shards N` / `--shard-by activity|spatial` with their coupling rules,
+/// shared by `anonymize` and `stream`.
+fn parse_sharding(flags: &HashMap<String, String>) -> Result<(Option<usize>, ShardBy), String> {
+    let shards = flags
+        .get("shards")
+        .map(|s| parse_num::<usize>(s, "shards"))
+        .transpose()?;
+    if shards == Some(0) {
+        return Err("--shards must be at least 1".into());
+    }
+    let shard_by = match flags.get("shard-by") {
+        None => ShardBy::Activity,
+        Some(value) => {
+            if shards.is_none() {
+                return Err("--shard-by requires --shards".into());
+            }
+            value
+                .parse::<ShardBy>()
+                .map_err(|e| format!("--shard-by: {e}"))?
+        }
+    };
+    Ok((shards, shard_by))
+}
+
 fn run() -> Result<String, String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = args.split_first() else {
@@ -78,8 +136,10 @@ fn run() -> Result<String, String> {
                 .get("seed")
                 .map(|s| parse_num::<u64>(s, "seed"))
                 .transpose()?;
-            let out = PathBuf::from(required(&flags, "out")?);
-            commands::synth(preset, users, seed, &out).map_err(err)
+            let out = flags.get("out").map(PathBuf::from);
+            let events_out = flags.get("events-out").map(PathBuf::from);
+            // commands::synth rejects the no-output case with its own error.
+            commands::synth(preset, users, seed, out.as_deref(), events_out.as_deref()).map_err(err)
         }
         "info" => {
             let input = PathBuf::from(required(&flags, "in")?);
@@ -88,25 +148,14 @@ fn run() -> Result<String, String> {
         "audit" => {
             let input = PathBuf::from(required(&flags, "in")?);
             let k: usize = parse_num(required(&flags, "k")?, "k")?;
-            let threads = flags
-                .get("threads")
-                .map(|s| parse_num::<usize>(s, "threads"))
-                .transpose()?
-                .unwrap_or(0);
+            let threads = parse_threads(&flags)?;
             commands::audit(&input, k, threads).map_err(err)
         }
         "anonymize" => {
             let input = PathBuf::from(required(&flags, "in")?);
             let out = PathBuf::from(required(&flags, "out")?);
             let k: usize = parse_num(required(&flags, "k")?, "k")?;
-            let suppress_space_m = flags
-                .get("suppress-space")
-                .map(|s| parse_num::<u32>(s, "suppress-space"))
-                .transpose()?;
-            let suppress_time_min = flags
-                .get("suppress-time")
-                .map(|s| parse_num::<u32>(s, "suppress-time"))
-                .transpose()?;
+            let (suppress_space_m, suppress_time_min) = parse_suppression(&flags)?;
             let residual = match flags.get("residual").map(String::as_str) {
                 None | Some("merge") => ResidualPolicy::MergeIntoNearest,
                 Some("suppress") => ResidualPolicy::Suppress,
@@ -114,29 +163,8 @@ fn run() -> Result<String, String> {
                     return Err(format!("--residual must be merge|suppress, got '{other}'"))
                 }
             };
-            let threads = flags
-                .get("threads")
-                .map(|s| parse_num::<usize>(s, "threads"))
-                .transpose()?
-                .unwrap_or(0);
-            let shards = flags
-                .get("shards")
-                .map(|s| parse_num::<usize>(s, "shards"))
-                .transpose()?;
-            if shards == Some(0) {
-                return Err("--shards must be at least 1".into());
-            }
-            let shard_by = match flags.get("shard-by") {
-                None => ShardBy::Activity,
-                Some(value) => {
-                    if shards.is_none() {
-                        return Err("--shard-by requires --shards".into());
-                    }
-                    value
-                        .parse::<ShardBy>()
-                        .map_err(|e| format!("--shard-by: {e}"))?
-                }
-            };
+            let threads = parse_threads(&flags)?;
+            let (shards, shard_by) = parse_sharding(&flags)?;
             let opts = AnonymizeOpts {
                 k,
                 suppress_space_m,
@@ -147,6 +175,43 @@ fn run() -> Result<String, String> {
                 shard_by,
             };
             commands::anonymize_cmd(&input, &out, &opts).map_err(err)
+        }
+        "stream" => {
+            let input = PathBuf::from(required(&flags, "in")?);
+            let out_dir = PathBuf::from(required(&flags, "out-dir")?);
+            let k: usize = parse_num(required(&flags, "k")?, "k")?;
+            let window_min = flags
+                .get("window")
+                .map(|s| parse_num::<u32>(s, "window"))
+                .transpose()?
+                .unwrap_or(1_440);
+            let carry = flags
+                .get("carry")
+                .map(|s| s.parse::<CarryPolicy>())
+                .transpose()
+                .map_err(|e| format!("--carry: {e}"))?
+                .unwrap_or_default();
+            let under_k = flags
+                .get("under-k")
+                .map(|s| s.parse::<UnderKPolicy>())
+                .transpose()
+                .map_err(|e| format!("--under-k: {e}"))?
+                .unwrap_or_default();
+            let (suppress_space_m, suppress_time_min) = parse_suppression(&flags)?;
+            let threads = parse_threads(&flags)?;
+            let (shards, shard_by) = parse_sharding(&flags)?;
+            let opts = StreamOpts {
+                k,
+                window_min,
+                carry,
+                under_k,
+                suppress_space_m,
+                suppress_time_min,
+                threads,
+                shards,
+                shard_by,
+            };
+            commands::stream_cmd(&input, &out_dir, &opts).map_err(err)
         }
         "generalize" => {
             let input = PathBuf::from(required(&flags, "in")?);

@@ -241,6 +241,117 @@ fn bad_shard_flags_exit_nonzero_with_clear_errors() {
 }
 
 #[test]
+fn synth_events_stream_round_trip() {
+    // The streaming pipeline end to end through the binary: synthesize an
+    // event file (no dataset ever materialized), stream it into daily
+    // epochs, verify each epoch file is k-anonymous.
+    let events = temp_path("events.txt");
+    let out_dir = temp_path("stream-epochs");
+
+    let out = run(&[
+        "synth",
+        "--preset",
+        "civ",
+        "--users",
+        "12",
+        "--seed",
+        "5",
+        "--events-out",
+        events.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "synth --events-out failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("events from 12 users"),
+        "unexpected synth output: {stdout}"
+    );
+
+    let out = run(&[
+        "stream",
+        "--in",
+        events.to_str().unwrap(),
+        "--out-dir",
+        out_dir.to_str().unwrap(),
+        "--k",
+        "2",
+        "--window",
+        "2880",
+        "--carry",
+        "sticky",
+        "--under-k",
+        "defer",
+    ]);
+    assert!(
+        out.status.success(),
+        "stream failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("peak resident:"),
+        "missing residency stats: {stdout}"
+    );
+
+    let mut epoch_files: Vec<_> = std::fs::read_dir(&out_dir)
+        .expect("stream created the output directory")
+        .map(|e| e.unwrap().path())
+        .collect();
+    epoch_files.sort();
+    assert!(
+        epoch_files.len() >= 3,
+        "expected several 2-day epochs, got {}",
+        epoch_files.len()
+    );
+    for f in &epoch_files {
+        let epoch = io::read_file(f).expect("epoch file parseable");
+        assert!(epoch.is_k_anonymous(2), "{} not 2-anonymous", f.display());
+    }
+
+    let _ = std::fs::remove_file(&events);
+    let _ = std::fs::remove_dir_all(&out_dir);
+}
+
+#[test]
+fn bad_stream_flags_exit_nonzero_with_clear_errors() {
+    let out = run(&[
+        "stream",
+        "--in",
+        "/tmp/whatever.txt",
+        "--out-dir",
+        "/tmp/whatever-dir",
+        "--k",
+        "2",
+        "--carry",
+        "warm",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("fresh|sticky"));
+
+    let out = run(&[
+        "stream",
+        "--in",
+        "/tmp/whatever.txt",
+        "--out-dir",
+        "/tmp/whatever-dir",
+        "--k",
+        "2",
+        "--under-k",
+        "drop",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("suppress|defer"));
+
+    // synth with neither output flag is rejected.
+    let out = run(&["synth", "--preset", "civ", "--users", "5"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--events-out"));
+}
+
+#[test]
 fn bad_invocations_exit_nonzero_with_usage() {
     // No command.
     let out = run(&[]);

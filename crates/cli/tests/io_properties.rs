@@ -1,8 +1,10 @@
-//! Property tests of the dataset text format: serialize → parse must be the
-//! identity on arbitrary valid datasets, and the parser must reject
-//! structurally broken inputs instead of panicking.
+//! Property tests of the dataset and event text formats: serialize → parse
+//! must be the identity on arbitrary valid inputs, malformed records must
+//! be rejected with the *exact* 1-based line number of the offending
+//! record, and the parsers must never panic.
 
 use glove_cli::io;
+use glove_core::stream::events_of;
 use glove_core::{Dataset, Fingerprint, Sample, UserId};
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -32,6 +34,23 @@ fn arb_dataset() -> impl Strategy<Value = Dataset> {
     })
 }
 
+/// Datasets with multi-subscriber (merged) fingerprints — the shape GLOVE
+/// output files have.
+fn arb_grouped_dataset() -> impl Strategy<Value = Dataset> {
+    (vec(vec(arb_sample(), 1..=6), 1..=6), 1u32..4).prop_map(|(per_group, width)| {
+        let fps = per_group
+            .into_iter()
+            .enumerate()
+            .map(|(g, samples)| {
+                let base = g as UserId * 10;
+                let users: Vec<UserId> = (0..width).map(|i| base + i).collect();
+                Fingerprint::with_users(users, samples).expect("non-empty")
+            })
+            .collect();
+        Dataset::new("prop-io-grouped", fps).expect("unique users")
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(128))]
 
@@ -56,5 +75,112 @@ proptest! {
     #[test]
     fn parser_never_panics_on_liney_garbage(lines in vec("[FS#] ?[-0-9a-z, ]{0,40}", 0..20)) {
         let _ = io::from_str(&lines.join("\n"));
+    }
+
+    #[test]
+    fn grouped_round_trip_is_identity(ds in arb_grouped_dataset()) {
+        let text = io::to_string(&ds);
+        let back = io::from_str(&text).expect("serializer output must parse");
+        prop_assert_eq!(back.fingerprints.len(), ds.fingerprints.len());
+        for (a, b) in back.fingerprints.iter().zip(&ds.fingerprints) {
+            prop_assert_eq!(a.users(), b.users());
+            prop_assert_eq!(a.samples(), b.samples());
+        }
+    }
+
+    /// Corrupting one `S` record must be reported at exactly that record's
+    /// 1-based line number.
+    #[test]
+    fn malformed_sample_record_reports_its_line(
+        ds in arb_dataset(),
+        corrupt_kind in 0usize..3,
+        pick in 0usize..1_000,
+    ) {
+        let text = io::to_string(&ds);
+        let lines: Vec<&str> = text.lines().collect();
+        let sample_lines: Vec<usize> =
+            (0..lines.len()).filter(|&i| lines[i].starts_with("S ")).collect();
+        let victim = sample_lines[pick % sample_lines.len()];
+
+        let corrupted = match corrupt_kind {
+            // Too few fields.
+            0 => lines[victim].rsplit_once(' ').expect("has fields").0.to_string(),
+            // Non-numeric field.
+            1 => lines[victim].replacen("S ", "S x", 1),
+            // Unknown record tag.
+            _ => lines[victim].replacen("S ", "Q ", 1),
+        };
+        let mut mutated: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        mutated[victim] = corrupted;
+        let err = io::from_str(&mutated.join("\n")).expect_err("corruption must be caught");
+        match err {
+            io::ParseError::Syntax { line, .. } => prop_assert_eq!(
+                line, victim + 1, "error reported at the wrong line"
+            ),
+            other => prop_assert!(false, "expected a Syntax error, got {other:?}"),
+        }
+    }
+
+    /// Corrupting an `F` header must be reported at that header's line.
+    #[test]
+    fn malformed_fingerprint_header_reports_its_line(
+        ds in arb_dataset(),
+        pick in 0usize..1_000,
+    ) {
+        let text = io::to_string(&ds);
+        let lines: Vec<&str> = text.lines().collect();
+        let header_lines: Vec<usize> =
+            (0..lines.len()).filter(|&i| lines[i].starts_with("F ")).collect();
+        let victim = header_lines[pick % header_lines.len()];
+
+        let mut mutated: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        mutated[victim] = "F 1,borked".to_string();
+        let err = io::from_str(&mutated.join("\n")).expect_err("corruption must be caught");
+        match err {
+            io::ParseError::Syntax { line, ref message } => {
+                prop_assert_eq!(line, victim + 1);
+                prop_assert!(message.contains("user id"), "message: {message}");
+            }
+            other => prop_assert!(false, "expected a Syntax error, got {other:?}"),
+        }
+    }
+
+    /// Event streams: serialize → parse is the identity on the canonical
+    /// event view of any dataset.
+    #[test]
+    fn event_round_trip_is_identity(ds in arb_grouped_dataset()) {
+        let events = events_of(&ds);
+        let text = io::events_to_string(&ds.name, events.iter().copied());
+        let (name, back) = io::events_from_str(&text).expect("serializer output must parse");
+        prop_assert_eq!(name, ds.name.clone());
+        prop_assert_eq!(back, events);
+    }
+
+    /// The event parser never panics on arbitrary text.
+    #[test]
+    fn event_parser_never_panics(text in "\\PC{0,400}") {
+        let _ = io::events_from_str(&text);
+    }
+
+    /// Corrupting one `E` record reports that record's line number.
+    #[test]
+    fn malformed_event_record_reports_its_line(
+        ds in arb_dataset(),
+        pick in 0usize..1_000,
+    ) {
+        let events = events_of(&ds);
+        let text = io::events_to_string(&ds.name, events.iter().copied());
+        let lines: Vec<&str> = text.lines().collect();
+        let event_lines: Vec<usize> =
+            (0..lines.len()).filter(|&i| lines[i].starts_with("E ")).collect();
+        let victim = event_lines[pick % event_lines.len()];
+
+        let mut mutated: Vec<String> = lines.iter().map(|s| s.to_string()).collect();
+        mutated[victim] = "E not-a-user 0 0 100 100 0 1".to_string();
+        let err = io::events_from_str(&mutated.join("\n")).expect_err("must be caught");
+        match err {
+            io::ParseError::Syntax { line, .. } => prop_assert_eq!(line, victim + 1),
+            other => prop_assert!(false, "expected a Syntax error, got {other:?}"),
+        }
     }
 }

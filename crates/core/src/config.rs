@@ -175,6 +175,105 @@ impl ShardPolicy {
     }
 }
 
+/// Continuity policy of the streaming engine (`core::stream`): what an
+/// epoch inherits from the previous one (see DESIGN.md "Streaming
+/// anonymization").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CarryPolicy {
+    /// Regroup from scratch every window: each epoch's groups are chosen
+    /// only from that window's data. Maximizes per-epoch accuracy and is the
+    /// policy under which a single full-horizon window reproduces the batch
+    /// run byte for byte. This is the default.
+    #[default]
+    Fresh,
+    /// Seed each epoch's pair arena with the previous window's groups:
+    /// subscribers who shared a published fingerprint and are all active
+    /// again enter pre-merged, so stable cohorts keep their merge partners
+    /// across epochs instead of being reshuffled.
+    Sticky,
+}
+
+impl std::str::FromStr for CarryPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fresh" => Ok(CarryPolicy::Fresh),
+            "sticky" => Ok(CarryPolicy::Sticky),
+            other => Err(format!("carry policy must be fresh|sticky, got '{other}'")),
+        }
+    }
+}
+
+/// What the streaming engine does with a window whose population is below
+/// `k` (no k-anonymous release is possible for that window at all).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UnderKPolicy {
+    /// Drop the window's users for this epoch; their samples are never
+    /// published. Counted in the stream's under-k ledger. This is the
+    /// default (publication never lags the stream).
+    #[default]
+    Suppress,
+    /// Defer the window's users to the next epoch: their samples ride along
+    /// and are published once a window with enough co-travellers closes.
+    /// Users still deferred when the stream ends are suppressed.
+    Defer,
+}
+
+impl std::str::FromStr for UnderKPolicy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "suppress" => Ok(UnderKPolicy::Suppress),
+            "defer" => Ok(UnderKPolicy::Defer),
+            other => Err(format!(
+                "under-k policy must be suppress|defer, got '{other}'"
+            )),
+        }
+    }
+}
+
+/// Configuration of the streaming engine (`core::stream`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamConfig {
+    /// Window (epoch) length `W` in minutes: an epoch closes, is anonymized
+    /// and emitted every time the event clock crosses a multiple of `W`.
+    /// Default: 1440 (one day).
+    pub window_min: u32,
+    /// Cross-epoch continuity policy.
+    pub carry: CarryPolicy,
+    /// Policy for windows whose population falls below `k`.
+    pub under_k: UnderKPolicy,
+    /// The per-epoch GLOVE configuration (k, stretch, suppression, sharding,
+    /// pruning, threads) — each closed window is anonymized with exactly
+    /// this configuration.
+    pub glove: GloveConfig,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            window_min: 1_440,
+            carry: CarryPolicy::default(),
+            under_k: UnderKPolicy::default(),
+            glove: GloveConfig::default(),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), GloveError> {
+        if self.window_min == 0 {
+            return Err(GloveError::InvalidConfig(
+                "stream window length must be at least 1 minute".into(),
+            ));
+        }
+        self.glove.validate()
+    }
+}
+
 /// Full configuration of a GLOVE run (Alg. 1).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GloveConfig {
@@ -293,6 +392,40 @@ mod tests {
     fn suppression_disabled_detection() {
         assert!(SuppressionThresholds::default().is_disabled());
         assert!(!SuppressionThresholds::table2().is_disabled());
+    }
+
+    #[test]
+    fn stream_config_validation_and_parsing() {
+        assert!(StreamConfig::default().validate().is_ok());
+        let c = StreamConfig {
+            window_min: 0,
+            ..StreamConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = StreamConfig {
+            glove: GloveConfig {
+                k: 1,
+                ..GloveConfig::default()
+            },
+            ..StreamConfig::default()
+        };
+        assert!(c.validate().is_err(), "inner glove config is validated too");
+
+        assert_eq!("fresh".parse::<CarryPolicy>().unwrap(), CarryPolicy::Fresh);
+        assert_eq!(
+            "sticky".parse::<CarryPolicy>().unwrap(),
+            CarryPolicy::Sticky
+        );
+        assert!("warm".parse::<CarryPolicy>().is_err());
+        assert_eq!(
+            "suppress".parse::<UnderKPolicy>().unwrap(),
+            UnderKPolicy::Suppress
+        );
+        assert_eq!(
+            "defer".parse::<UnderKPolicy>().unwrap(),
+            UnderKPolicy::Defer
+        );
+        assert!("drop".parse::<UnderKPolicy>().is_err());
     }
 
     #[test]

@@ -16,6 +16,9 @@ pub enum GloveError {
     /// The requested anonymity level cannot be met (e.g. fewer than `k`
     /// subscribers in the dataset).
     Unsatisfiable(String),
+    /// A streaming event arrived with a timestamp earlier than an event
+    /// already consumed (the stream engine requires time order).
+    OutOfOrderEvent(String),
 }
 
 impl fmt::Display for GloveError {
@@ -26,6 +29,7 @@ impl fmt::Display for GloveError {
             GloveError::InvalidDataset(msg) => write!(f, "invalid dataset: {msg}"),
             GloveError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             GloveError::Unsatisfiable(msg) => write!(f, "unsatisfiable request: {msg}"),
+            GloveError::OutOfOrderEvent(msg) => write!(f, "out-of-order event: {msg}"),
         }
     }
 }

@@ -31,6 +31,9 @@
 //!   pruning;
 //! * [`shard`] — the sharded engine: activity/spatially bucketed partitions
 //!   anonymized independently and stitched (the §6.3 batching idea);
+//! * [`stream`] — the streaming engine: windowed online GLOVE over
+//!   time-ordered events with carry-over groups and bounded resident
+//!   memory;
 //! * [`accuracy`] — spatiotemporal accuracy metrics of anonymized output;
 //! * [`parallel`] — the data-parallel kernel that stands in for the paper's
 //!   GPU implementation (§6.3).
@@ -70,6 +73,7 @@ pub mod model;
 pub mod parallel;
 pub mod reshape;
 pub mod shard;
+pub mod stream;
 pub mod stretch;
 pub mod suppress;
 
@@ -77,18 +81,24 @@ pub mod suppress;
 /// the crate.
 pub mod prelude {
     pub use crate::config::{
-        GloveConfig, ResidualPolicy, ShardBy, ShardPolicy, StretchConfig, SuppressionThresholds,
+        CarryPolicy, GloveConfig, ResidualPolicy, ShardBy, ShardPolicy, StreamConfig,
+        StretchConfig, SuppressionThresholds, UnderKPolicy,
     };
     pub use crate::error::GloveError;
     pub use crate::glove::{anonymize, GloveOutput, GloveStats};
     pub use crate::kgap::{kgap, kgap_all};
     pub use crate::model::{Dataset, Fingerprint, Sample, UserId};
     pub use crate::shard::ShardStat;
+    pub use crate::stream::{
+        events_of, run_stream, EpochOutput, EpochStat, StreamEngine, StreamEvent, StreamRun,
+        StreamStats,
+    };
     pub use crate::stretch::{fingerprint_stretch, sample_stretch};
 }
 
 pub use config::{
-    GloveConfig, ResidualPolicy, ShardBy, ShardPolicy, StretchConfig, SuppressionThresholds,
+    CarryPolicy, GloveConfig, ResidualPolicy, ShardBy, ShardPolicy, StreamConfig, StretchConfig,
+    SuppressionThresholds, UnderKPolicy,
 };
 pub use error::GloveError;
 pub use model::{Dataset, Fingerprint, Sample, UserId};

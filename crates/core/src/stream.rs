@@ -1,0 +1,788 @@
+//! Streaming anonymization: windowed online GLOVE with carry-over groups.
+//!
+//! The batch algorithm of [`crate::glove`] needs the whole dataset in memory
+//! before Alg. 1 can run, which rules out the continuous-publication regime
+//! real CDR pipelines face — and the regime online fingerprinting attackers
+//! operate in. This module closes that gap: a [`StreamEngine`] consumes
+//! time-ordered [`StreamEvent`]s, closes an *epoch* every
+//! [`StreamConfig::window_min`] minutes, runs the (pruned, optionally
+//! sharded) greedy loop on the epoch's per-user slices, and emits an
+//! anonymized [`EpochOutput`] per window — keeping only the current window
+//! (plus any deferred under-`k` users) resident.
+//!
+//! ### Window semantics
+//!
+//! * An event belongs to window `⌊t / W⌋` of its sample's *start* minute.
+//!   A sample whose box straddles the boundary stays in the window it
+//!   started in — windows partition events, not time boxes.
+//! * Each closed window's per-user slices form one epoch dataset
+//!   (fingerprints ordered by ascending first user id) and are anonymized
+//!   with the configured [`crate::config::GloveConfig`]. Every epoch output
+//!   is independently k-anonymous.
+//! * [`CarryPolicy::Fresh`] regroups every window. With one window covering
+//!   the whole horizon the streamed output is **byte-identical** to the
+//!   monolithic batch run — the exactness anchor every streaming change
+//!   must preserve (see `crates/core/tests/stream_properties.rs`).
+//! * [`CarryPolicy::Sticky`] seeds the next epoch's pair arena with the
+//!   previous window's groups: users who shared a published fingerprint and
+//!   are active again enter pre-merged, so stable cohorts keep their merge
+//!   partners. See DESIGN.md for what this does *not* guarantee about
+//!   cross-epoch linkability.
+//! * A window whose population is below `k` cannot be released at all;
+//!   [`UnderKPolicy`] either suppresses those users for the window or
+//!   defers them (samples ride along) to the next epoch. Both paths are
+//!   accounted in [`StreamStats`].
+//!
+//! ### Bounded memory
+//!
+//! The engine's resident state is the current window's per-user buffers,
+//! deferred users, and the previous window's group memberships (user ids
+//! only, `Sticky`). [`StreamStats::peak_resident_fingerprints`] /
+//! [`StreamStats::peak_resident_samples`] record the high-water marks, so
+//! benches can demonstrate that memory follows the window population, not
+//! the dataset (`crates/bench/benches/stream_e2e.rs`).
+
+use crate::config::{CarryPolicy, StreamConfig, UnderKPolicy};
+use crate::error::GloveError;
+use crate::glove::{anonymize, GloveOutput};
+use crate::merge::merge_fingerprints;
+use crate::model::{Dataset, Fingerprint, Sample, UserId};
+use crate::suppress::SuppressionLedger;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One logged network event entering the stream: a subscriber observed in a
+/// spatiotemporal box. Events must reach the engine in non-decreasing
+/// `sample.t` order (the order a probe on the live network produces).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamEvent {
+    /// The subscriber the event belongs to.
+    pub user: UserId,
+    /// Where/when the subscriber was observed.
+    pub sample: Sample,
+}
+
+/// Per-epoch slice of a streaming run's statistics.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochStat {
+    /// Epoch sequence number (0-based, counting emitted epochs).
+    pub epoch: u64,
+    /// Start of the epoch's window, minutes since the stream origin.
+    pub window_start_min: u64,
+    /// Fingerprints entering the epoch's pair arena (after seeding).
+    pub fingerprints_in: usize,
+    /// Subscribers entering the epoch (deferred users included).
+    pub users_in: usize,
+    /// Pre-merged carry-over groups seeded into the arena (`Sticky` only).
+    pub seeded_groups: usize,
+    /// k-anonymous groups the epoch published.
+    pub groups_out: usize,
+    /// Merges performed inside the epoch.
+    pub merges: u64,
+    /// Eq. 10 evaluations inside the epoch.
+    pub pairs_computed: u64,
+    /// Pair evaluations skipped by the admissible bound inside the epoch.
+    pub pairs_pruned: u64,
+    /// Wall-clock seconds of the epoch's anonymization run.
+    pub elapsed_s: f64,
+}
+
+/// Statistics of a whole streaming run.
+#[derive(Debug, Clone, Default)]
+pub struct StreamStats {
+    /// Events consumed.
+    pub events: u64,
+    /// Epochs emitted (windows that published a dataset).
+    pub epochs: u64,
+    /// Peak number of per-user buffers resident at once (current window
+    /// plus deferred users) — the memory bound is the window population,
+    /// not the dataset.
+    pub peak_resident_fingerprints: usize,
+    /// Peak number of samples resident at once.
+    pub peak_resident_samples: usize,
+    /// Merges across all epochs.
+    pub merges: u64,
+    /// Eq. 10 evaluations across all epochs.
+    pub pairs_computed: u64,
+    /// Pair evaluations skipped by the admissible bound across all epochs.
+    pub pairs_pruned: u64,
+    /// Pre-merged carry-over groups seeded across all epochs (`Sticky`).
+    pub seeded_groups: u64,
+    /// User-window slices dropped because their window fell below `k`
+    /// (includes deferred users flushed unpublished at end of stream).
+    pub suppressed_users: u64,
+    /// Samples dropped with those users.
+    pub suppressed_samples: u64,
+    /// Users who entered deferral (counted once per continuous stretch of
+    /// deferral, however many quiet windows it spans).
+    pub deferred_users: u64,
+    /// Samples booked into deferral, each counted exactly once.
+    pub deferred_samples: u64,
+    /// Sample suppression performed while pre-merging `Sticky` seed groups
+    /// (per-epoch anonymization suppression is inside each epoch's
+    /// [`GloveOutput`]).
+    pub seed_suppressed: SuppressionLedger,
+    /// Per-epoch breakdown, in emission order.
+    pub per_epoch: Vec<EpochStat>,
+    /// Total wall-clock seconds spent anonymizing epochs.
+    pub elapsed_s: f64,
+}
+
+impl StreamStats {
+    /// User-window slices that entered an emitted epoch (a user active in
+    /// three windows counts three times). Slices an epoch's residual policy
+    /// discarded are still counted here — the actually-published total is
+    /// `entered_user_slices() − Σ epoch discarded_users`.
+    pub fn entered_user_slices(&self) -> u64 {
+        self.per_epoch.iter().map(|e| e.users_in as u64).sum()
+    }
+}
+
+/// One emitted epoch: the anonymized dataset of a closed window.
+#[derive(Debug, Clone)]
+pub struct EpochOutput {
+    /// Epoch sequence number (matches [`EpochStat::epoch`]).
+    pub epoch: u64,
+    /// Start of the window, minutes since the stream origin.
+    pub window_start_min: u64,
+    /// The anonymized epoch dataset plus the epoch's own GLOVE statistics.
+    pub output: GloveOutput,
+}
+
+/// Accumulated result of a convenience [`run_stream`] call.
+#[derive(Debug, Clone)]
+pub struct StreamRun {
+    /// All emitted epochs, in order.
+    pub epochs: Vec<EpochOutput>,
+    /// Whole-run statistics.
+    pub stats: StreamStats,
+}
+
+/// The windowed online GLOVE engine.
+///
+/// ```
+/// use glove_core::prelude::*;
+/// use glove_core::stream::{StreamEngine, StreamEvent};
+///
+/// let config = StreamConfig { window_min: 60, ..StreamConfig::default() };
+/// let mut engine = StreamEngine::new("live", config).unwrap();
+/// // Two subscribers moving together inside the first hour.
+/// for t in [5, 10, 20] {
+///     for user in [0, 1] {
+///         engine
+///             .push(StreamEvent { user, sample: Sample::point(100 * t as i64, 0, t) })
+///             .unwrap();
+///     }
+/// }
+/// let (last, stats) = engine.finish().unwrap();
+/// let epoch = last.expect("one window closed at end of stream");
+/// assert!(epoch.output.dataset.is_k_anonymous(2));
+/// assert_eq!(stats.events, 6);
+/// ```
+#[derive(Debug)]
+pub struct StreamEngine {
+    name: String,
+    config: StreamConfig,
+    /// Window currently being filled (`None` until the first event).
+    current_window: Option<u64>,
+    /// Per-user sample buffers of the current window.
+    buffers: BTreeMap<UserId, Vec<Sample>>,
+    /// Users deferred from under-`k` windows, with their accumulated
+    /// samples.
+    deferred: BTreeMap<UserId, Vec<Sample>>,
+    /// Group memberships of the previous emitted epoch (`Sticky` seeds).
+    prev_groups: Vec<Vec<UserId>>,
+    /// Largest event timestamp seen (order enforcement).
+    last_t: u32,
+    epochs_emitted: u64,
+    resident_samples: usize,
+    stats: StreamStats,
+}
+
+impl StreamEngine {
+    /// Creates an engine for a named stream (the name becomes the epoch
+    /// datasets' name, exactly as a batch run would see it).
+    pub fn new(name: impl Into<String>, config: StreamConfig) -> Result<Self, GloveError> {
+        config.validate()?;
+        Ok(Self {
+            name: name.into(),
+            config,
+            current_window: None,
+            buffers: BTreeMap::new(),
+            deferred: BTreeMap::new(),
+            prev_groups: Vec::new(),
+            last_t: 0,
+            epochs_emitted: 0,
+            resident_samples: 0,
+            stats: StreamStats::default(),
+        })
+    }
+
+    /// The stream configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &StreamStats {
+        &self.stats
+    }
+
+    /// Consumes one event. Returns the epoch output of the window the event
+    /// closed, if any (at most one window can be non-empty at a time, so at
+    /// most one epoch is emitted per push).
+    ///
+    /// # Errors
+    ///
+    /// [`GloveError::OutOfOrderEvent`] if the event starts earlier than an
+    /// already-consumed event; any [`GloveError`] the per-epoch
+    /// anonymization produces.
+    pub fn push(&mut self, event: StreamEvent) -> Result<Option<EpochOutput>, GloveError> {
+        let t = event.sample.t;
+        if self.stats.events > 0 && t < self.last_t {
+            return Err(GloveError::OutOfOrderEvent(format!(
+                "event for user {} at t = {t} after clock reached {}",
+                event.user, self.last_t
+            )));
+        }
+        self.last_t = t;
+        let window = u64::from(t) / u64::from(self.config.window_min);
+
+        let mut emitted = None;
+        match self.current_window {
+            None => self.current_window = Some(window),
+            Some(current) if window > current => {
+                emitted = self.close_window()?;
+                self.current_window = Some(window);
+            }
+            _ => {}
+        }
+
+        self.stats.events += 1;
+        self.buffers
+            .entry(event.user)
+            .or_default()
+            .push(event.sample);
+        self.resident_samples += 1;
+        self.note_residency();
+        Ok(emitted)
+    }
+
+    /// Ends the stream: closes the final window (if any) and flushes the
+    /// deferred ledger. Returns the final epoch output (if the last window
+    /// published) and the whole-run statistics.
+    pub fn finish(mut self) -> Result<(Option<EpochOutput>, StreamStats), GloveError> {
+        let last = self.close_window()?;
+        // Users still deferred never found a publishable window.
+        for (_, samples) in std::mem::take(&mut self.deferred) {
+            self.stats.suppressed_users += 1;
+            self.stats.suppressed_samples += samples.len() as u64;
+        }
+        Ok((last, self.stats))
+    }
+
+    fn note_residency(&mut self) {
+        let resident = self.buffers.len() + self.deferred.len();
+        self.stats.peak_resident_fingerprints = self.stats.peak_resident_fingerprints.max(resident);
+        self.stats.peak_resident_samples =
+            self.stats.peak_resident_samples.max(self.resident_samples);
+    }
+
+    /// Closes the currently-filling window: folds deferred users in, applies
+    /// the under-`k` policy, seeds carry-over groups, anonymizes and emits.
+    fn close_window(&mut self) -> Result<Option<EpochOutput>, GloveError> {
+        let Some(window) = self.current_window.take() else {
+            return Ok(None);
+        };
+        if self.buffers.is_empty() && self.deferred.is_empty() {
+            return Ok(None);
+        }
+
+        // Population of the closing window: this window's users plus any
+        // still-deferred users not active again.
+        let population = self.buffers.len()
+            + self
+                .deferred
+                .keys()
+                .filter(|u| !self.buffers.contains_key(u))
+                .count();
+        if population < self.config.glove.k {
+            let buffers = std::mem::take(&mut self.buffers);
+            match self.config.under_k {
+                UnderKPolicy::Suppress => {
+                    // `deferred` is only populated under `Defer`, so the
+                    // suppressed ledger is exactly this window's buffers.
+                    for (_, samples) in buffers {
+                        self.stats.suppressed_users += 1;
+                        self.stats.suppressed_samples += samples.len() as u64;
+                        self.resident_samples -= samples.len();
+                    }
+                }
+                UnderKPolicy::Defer => {
+                    // Count only what is *newly* deferred: a user re-deferred
+                    // across consecutive quiet windows contributes one slice,
+                    // and each sample is booked exactly once.
+                    for (user, mut samples) in buffers {
+                        self.stats.deferred_samples += samples.len() as u64;
+                        match self.deferred.entry(user) {
+                            std::collections::btree_map::Entry::Occupied(mut e) => {
+                                e.get_mut().append(&mut samples);
+                            }
+                            std::collections::btree_map::Entry::Vacant(e) => {
+                                self.stats.deferred_users += 1;
+                                e.insert(samples);
+                            }
+                        }
+                    }
+                }
+            }
+            return Ok(None);
+        }
+
+        // Deferred users join the closing window's population.
+        let deferred = std::mem::take(&mut self.deferred);
+        for (user, mut samples) in deferred {
+            self.buffers.entry(user).or_default().append(&mut samples);
+        }
+
+        let (fingerprints, seeded_groups) = self.build_epoch_fingerprints()?;
+        self.resident_samples = 0;
+        let fingerprints_in = fingerprints.len();
+        let epoch_ds = Dataset::new(self.name.clone(), fingerprints)?;
+
+        let started = Instant::now();
+        let output = anonymize(&epoch_ds, &self.config.glove)?;
+        let elapsed_s = started.elapsed().as_secs_f64();
+
+        // Remember group memberships for the next epoch's seeds.
+        self.prev_groups = output
+            .dataset
+            .fingerprints
+            .iter()
+            .map(|fp| fp.users().to_vec())
+            .collect();
+
+        let epoch = self.epochs_emitted;
+        self.epochs_emitted += 1;
+        self.stats.epochs += 1;
+        self.stats.merges += output.stats.merges;
+        self.stats.pairs_computed += output.stats.pairs_computed;
+        self.stats.pairs_pruned += output.stats.pairs_pruned;
+        self.stats.seeded_groups += seeded_groups as u64;
+        self.stats.elapsed_s += elapsed_s;
+        self.stats.per_epoch.push(EpochStat {
+            epoch,
+            window_start_min: window * u64::from(self.config.window_min),
+            fingerprints_in,
+            users_in: population,
+            seeded_groups,
+            groups_out: output.dataset.fingerprints.len(),
+            merges: output.stats.merges,
+            pairs_computed: output.stats.pairs_computed,
+            pairs_pruned: output.stats.pairs_pruned,
+            elapsed_s,
+        });
+
+        Ok(Some(EpochOutput {
+            epoch,
+            window_start_min: window * u64::from(self.config.window_min),
+            output,
+        }))
+    }
+
+    /// Turns the closed window's buffers into epoch fingerprints: singletons
+    /// under `Fresh`, previous-epoch cohorts pre-merged under `Sticky`.
+    /// Fingerprints are ordered by ascending first user id, which makes the
+    /// single-full-window `Fresh` epoch dataset identical to a batch input
+    /// ordered by user id.
+    fn build_epoch_fingerprints(&mut self) -> Result<(Vec<Fingerprint>, usize), GloveError> {
+        let buffers = std::mem::take(&mut self.buffers);
+        let mut singles: BTreeMap<UserId, Fingerprint> = BTreeMap::new();
+        for (user, samples) in buffers {
+            singles.insert(user, Fingerprint::with_users(vec![user], samples)?);
+        }
+
+        if self.config.carry == CarryPolicy::Fresh || self.prev_groups.is_empty() {
+            return Ok((singles.into_values().collect(), 0));
+        }
+
+        // Sticky: pre-merge each previous group's members that are active
+        // in this window. Merging in ascending user-id order keeps the seed
+        // deterministic.
+        let cfg = &self.config.glove.stretch;
+        let thresholds = &self.config.glove.suppression;
+        let mut seeded: Vec<Fingerprint> = Vec::new();
+        let mut seeded_groups = 0usize;
+        for group in &self.prev_groups {
+            let mut present: Vec<Fingerprint> =
+                group.iter().filter_map(|u| singles.remove(u)).collect();
+            if present.is_empty() {
+                continue;
+            }
+            let mut merged = present.remove(0);
+            let premerged = !present.is_empty();
+            for fp in present {
+                let outcome = merge_fingerprints(&merged, &fp, cfg, thresholds)?;
+                self.stats.seed_suppressed.absorb(outcome.suppressed);
+                merged = outcome.fingerprint;
+            }
+            if premerged {
+                seeded_groups += 1;
+            }
+            seeded.push(merged);
+        }
+        // New arrivals (never grouped before) enter as singletons.
+        seeded.extend(singles.into_values());
+        seeded.sort_by_key(|fp| fp.users()[0]);
+        Ok((seeded, seeded_groups))
+    }
+}
+
+/// Convenience driver: feeds every event through a [`StreamEngine`] and
+/// collects all epoch outputs. Prefer driving the engine directly when the
+/// epochs should be written out (and dropped) incrementally.
+pub fn run_stream(
+    name: impl Into<String>,
+    events: impl IntoIterator<Item = StreamEvent>,
+    config: StreamConfig,
+) -> Result<StreamRun, GloveError> {
+    let mut engine = StreamEngine::new(name, config)?;
+    let mut epochs = Vec::new();
+    for event in events {
+        if let Some(epoch) = engine.push(event)? {
+            epochs.push(epoch);
+        }
+    }
+    let (last, stats) = engine.finish()?;
+    epochs.extend(last);
+    Ok(StreamRun { epochs, stats })
+}
+
+/// Flattens a dataset into the time-ordered event stream an online observer
+/// would have seen: one event per (subscriber, sample), ordered by
+/// `(t, user, x, y)`. The inverse view used by the batch-equivalence anchor
+/// and by the CLI when replaying a dataset file through `glove stream`.
+pub fn events_of(dataset: &Dataset) -> Vec<StreamEvent> {
+    let mut events: Vec<StreamEvent> = dataset
+        .fingerprints
+        .iter()
+        .flat_map(|fp| {
+            fp.users().iter().flat_map(move |&user| {
+                fp.samples()
+                    .iter()
+                    .map(move |&sample| StreamEvent { user, sample })
+            })
+        })
+        .collect();
+    events.sort_unstable_by_key(|e| {
+        (
+            e.sample.t,
+            e.user,
+            e.sample.x,
+            e.sample.y,
+            e.sample.dx,
+            e.sample.dy,
+            e.sample.dt,
+        )
+    });
+    events
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CarryPolicy, GloveConfig, UnderKPolicy};
+
+    /// `n` users in two tight spatial clusters, one event per user every
+    /// `period` minutes over `span` minutes.
+    fn regular_events(n: u32, period: u32, span: u32) -> Vec<StreamEvent> {
+        let mut events = Vec::new();
+        let mut t = 0;
+        while t < span {
+            for user in 0..n {
+                let cluster = i64::from(user % 2) * 60_000;
+                events.push(StreamEvent {
+                    user,
+                    sample: Sample::point(cluster + i64::from(user) * 100, 0, t + user % 3),
+                });
+            }
+            t += period;
+        }
+        events.sort_unstable_by_key(|e| (e.sample.t, e.user));
+        events
+    }
+
+    fn cfg(window_min: u32) -> StreamConfig {
+        StreamConfig {
+            window_min,
+            ..StreamConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_full_window_matches_batch_run() {
+        let events = regular_events(8, 60, 600);
+        let mut per_user: BTreeMap<UserId, Vec<Sample>> = BTreeMap::new();
+        for e in &events {
+            per_user.entry(e.user).or_default().push(e.sample);
+        }
+        let fps = per_user
+            .into_iter()
+            .map(|(u, s)| Fingerprint::with_users(vec![u], s).unwrap())
+            .collect();
+        let ds = Dataset::new("stream-unit", fps).unwrap();
+        let batch = anonymize(&ds, &GloveConfig::default()).unwrap();
+
+        let run = run_stream("stream-unit", events, cfg(100_000)).unwrap();
+        assert_eq!(run.epochs.len(), 1);
+        let streamed = &run.epochs[0].output;
+        assert_eq!(streamed.dataset.name, batch.dataset.name);
+        assert_eq!(streamed.dataset.fingerprints, batch.dataset.fingerprints);
+        assert_eq!(streamed.stats.merges, batch.stats.merges);
+    }
+
+    #[test]
+    fn windows_emit_incrementally_and_stay_k_anonymous() {
+        let events = regular_events(6, 30, 360);
+        let run = run_stream("windows", events, cfg(120)).unwrap();
+        assert_eq!(run.epochs.len(), 3, "360 min of events, 120 min windows");
+        for (i, epoch) in run.epochs.iter().enumerate() {
+            assert_eq!(epoch.epoch as usize, i);
+            assert!(epoch.output.dataset.is_k_anonymous(2));
+            assert_eq!(epoch.output.dataset.num_users(), 6);
+        }
+        assert_eq!(run.stats.epochs, 3);
+        assert_eq!(run.stats.events, 6 * 12);
+        // Memory followed the window, not the stream: at most 6 users and
+        // 6 * 4 rounds of samples were ever resident.
+        assert_eq!(run.stats.peak_resident_fingerprints, 6);
+        assert!(run.stats.peak_resident_samples <= 6 * 4);
+    }
+
+    #[test]
+    fn rejects_out_of_order_events() {
+        let mut engine = StreamEngine::new("order", cfg(60)).unwrap();
+        engine
+            .push(StreamEvent {
+                user: 0,
+                sample: Sample::point(0, 0, 50),
+            })
+            .unwrap();
+        let err = engine
+            .push(StreamEvent {
+                user: 1,
+                sample: Sample::point(0, 0, 49),
+            })
+            .unwrap_err();
+        assert!(matches!(err, GloveError::OutOfOrderEvent(_)));
+    }
+
+    #[test]
+    fn under_k_window_suppresses_by_default() {
+        // Window 0 holds a lone user; windows 1.. hold a full population.
+        let mut events = vec![StreamEvent {
+            user: 9,
+            sample: Sample::point(0, 0, 10),
+        }];
+        events.extend(regular_events(4, 30, 120).into_iter().map(|mut e| {
+            e.sample.t += 60;
+            e
+        }));
+        let run = run_stream("underk", events, cfg(60)).unwrap();
+        assert_eq!(run.stats.suppressed_users, 1);
+        assert_eq!(run.stats.suppressed_samples, 1);
+        assert!(run.epochs.iter().all(|e| !e
+            .output
+            .dataset
+            .fingerprints
+            .iter()
+            .any(|f| f.users().contains(&9))));
+    }
+
+    #[test]
+    fn under_k_defer_publishes_in_next_epoch() {
+        let mut events = vec![StreamEvent {
+            user: 9,
+            sample: Sample::point(0, 0, 10),
+        }];
+        events.extend(regular_events(4, 30, 120).into_iter().map(|mut e| {
+            e.sample.t += 60;
+            e
+        }));
+        let config = StreamConfig {
+            window_min: 60,
+            under_k: UnderKPolicy::Defer,
+            ..StreamConfig::default()
+        };
+        let run = run_stream("defer", events, config).unwrap();
+        assert_eq!(run.stats.deferred_users, 1);
+        assert_eq!(run.stats.suppressed_users, 0);
+        let first = &run.epochs[0].output.dataset;
+        assert_eq!(first.num_users(), 5, "deferred user joins the next epoch");
+        // The deferred user's window-0 sample was published.
+        let published_t: Vec<u32> = first
+            .fingerprints
+            .iter()
+            .filter(|f| f.users().contains(&9))
+            .flat_map(|f| f.samples().iter().map(|s| s.t))
+            .collect();
+        assert!(published_t.contains(&10) || published_t.iter().any(|&t| t <= 60));
+    }
+
+    #[test]
+    fn consecutive_quiet_windows_book_deferrals_once() {
+        // User 3 alone in windows 0 and 1 (one sample each); a full
+        // population only in window 2. Re-deferral must not double-count.
+        let mut events = vec![
+            StreamEvent {
+                user: 3,
+                sample: Sample::point(0, 0, 10),
+            },
+            StreamEvent {
+                user: 3,
+                sample: Sample::point(0, 0, 70),
+            },
+        ];
+        events.extend(regular_events(3, 30, 60).into_iter().map(|mut e| {
+            e.sample.t += 120;
+            e
+        }));
+        let config = StreamConfig {
+            window_min: 60,
+            under_k: UnderKPolicy::Defer,
+            ..StreamConfig::default()
+        };
+        let run = run_stream("requeue", events, config).unwrap();
+        assert_eq!(run.stats.deferred_users, 1, "one user entered deferral");
+        assert_eq!(
+            run.stats.deferred_samples, 2,
+            "each deferred sample booked exactly once"
+        );
+        assert_eq!(run.stats.suppressed_users, 0);
+        assert_eq!(run.epochs.len(), 1);
+        let published = &run.epochs[0].output.dataset;
+        assert_eq!(published.num_users(), 4, "deferred user published");
+        // Both early samples made it out.
+        let early: usize = published
+            .fingerprints
+            .iter()
+            .filter(|f| f.users().contains(&3))
+            .flat_map(|f| f.samples())
+            .filter(|s| s.t < 120)
+            .count();
+        assert!(early >= 1, "deferred samples must be published");
+    }
+
+    #[test]
+    fn deferred_users_flushed_at_end_are_suppressed() {
+        let events = vec![StreamEvent {
+            user: 3,
+            sample: Sample::point(0, 0, 10),
+        }];
+        let config = StreamConfig {
+            window_min: 60,
+            under_k: UnderKPolicy::Defer,
+            ..StreamConfig::default()
+        };
+        let run = run_stream("flush", events, config).unwrap();
+        assert!(run.epochs.is_empty());
+        assert_eq!(run.stats.deferred_users, 1);
+        assert_eq!(run.stats.suppressed_users, 1, "flush counts as suppression");
+    }
+
+    #[test]
+    fn sticky_carry_keeps_stable_cohorts() {
+        // Two clear cohorts repeating identically across four windows.
+        let events = regular_events(8, 30, 480);
+        let config = StreamConfig {
+            window_min: 120,
+            carry: CarryPolicy::Sticky,
+            ..StreamConfig::default()
+        };
+        let run = run_stream("sticky", events, config).unwrap();
+        assert_eq!(run.epochs.len(), 4);
+        assert!(
+            run.stats.seeded_groups > 0,
+            "later epochs must reuse groups"
+        );
+        let groups_of = |e: &EpochOutput| -> Vec<Vec<UserId>> {
+            let mut g: Vec<Vec<UserId>> = e
+                .output
+                .dataset
+                .fingerprints
+                .iter()
+                .map(|f| f.users().to_vec())
+                .collect();
+            g.sort();
+            g
+        };
+        let first = groups_of(&run.epochs[1]);
+        for later in &run.epochs[2..] {
+            assert_eq!(
+                groups_of(later),
+                first,
+                "sticky cohorts reshuffled between epochs"
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_and_sticky_agree_on_first_epoch() {
+        let events = regular_events(6, 30, 120);
+        let sticky = StreamConfig {
+            window_min: 120,
+            carry: CarryPolicy::Sticky,
+            ..StreamConfig::default()
+        };
+        let fresh = cfg(120);
+        let a = run_stream("agree", events.clone(), fresh).unwrap();
+        let b = run_stream("agree", events, sticky).unwrap();
+        assert_eq!(
+            a.epochs[0].output.dataset.fingerprints, b.epochs[0].output.dataset.fingerprints,
+            "no carry state exists before the first epoch"
+        );
+    }
+
+    #[test]
+    fn empty_stream_finishes_cleanly() {
+        let engine = StreamEngine::new("empty", cfg(60)).unwrap();
+        let (last, stats) = engine.finish().unwrap();
+        assert!(last.is_none());
+        assert_eq!(stats.events, 0);
+        assert_eq!(stats.epochs, 0);
+    }
+
+    #[test]
+    fn events_of_round_trips_single_user_datasets() {
+        let fps = vec![
+            Fingerprint::from_points(0, &[(0, 0, 5), (100, 0, 9)]).unwrap(),
+            Fingerprint::from_points(1, &[(200, 0, 7)]).unwrap(),
+        ];
+        let ds = Dataset::new("ev", fps).unwrap();
+        let events = events_of(&ds);
+        assert_eq!(events.len(), 3);
+        let ts: Vec<u32> = events.iter().map(|e| e.sample.t).collect();
+        assert_eq!(ts, vec![5, 7, 9], "events are time-ordered");
+        // Multi-user fingerprints fan out one event per subscriber.
+        let shared = Fingerprint::with_users(vec![5, 6], vec![Sample::point(0, 0, 3)]).unwrap();
+        let ds2 = Dataset::new("ev2", vec![shared]).unwrap();
+        assert_eq!(events_of(&ds2).len(), 2);
+    }
+
+    #[test]
+    fn epoch_stats_account_for_population() {
+        let events = regular_events(6, 30, 240);
+        let run = run_stream("stats", events, cfg(120)).unwrap();
+        assert_eq!(run.stats.per_epoch.len(), 2);
+        for e in &run.stats.per_epoch {
+            assert_eq!(e.users_in, 6);
+            assert!(e.groups_out >= 1);
+            assert!(e.merges >= 1);
+        }
+        assert_eq!(
+            run.stats.entered_user_slices(),
+            12,
+            "6 users in each of 2 windows"
+        );
+    }
+}

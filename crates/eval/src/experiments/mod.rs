@@ -8,7 +8,9 @@
 //! * [`attack`] — record-linkage adversaries before/after GLOVE (§1, §2.3);
 //! * [`ablation`] — design-choice ablations (DESIGN.md §5);
 //! * [`shard`] — sharded vs monolithic GLOVE: speedup and k-anonymity
-//!   retention of the §6.3 batching idea.
+//!   retention of the §6.3 batching idea;
+//! * [`stream`] — windowed online GLOVE: k-retention, accuracy and
+//!   residency vs window length against the batch run.
 
 pub mod ablation;
 pub mod accuracy;
@@ -16,4 +18,5 @@ pub mod attack;
 pub mod kgap;
 pub mod misc;
 pub mod shard;
+pub mod stream;
 pub mod table2;

@@ -41,6 +41,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "attack",
     "ablation",
     "shard",
+    "stream",
 ];
 
 /// Runs one experiment by name. Returns `None` for unknown names.
@@ -62,6 +63,7 @@ pub fn run_experiment(name: &str, ctx: &mut EvalContext) -> Option<Report> {
         "attack" => experiments::attack::attack(ctx),
         "ablation" => experiments::ablation::ablation(ctx),
         "shard" => experiments::shard::shard(ctx),
+        "stream" => experiments::stream::stream(ctx),
         _ => return None,
     };
     Some(report)

@@ -21,6 +21,9 @@
 //!   of poor anonymizability (§5.3);
 //! * [`scenario`] — end-to-end dataset builders with activity screening
 //!   (the paper keeps only users averaging ≥ 1 sample/day in `d4d-civ`);
+//! * [`events`] — the event-iterator view of a scenario: the same process
+//!   as a time-ordered stream feeding `core::stream`, without ever
+//!   materializing a `Dataset`;
 //! * [`subset`] — the time-span, user-fraction and city subsetting used by
 //!   the generality analysis (§7.3, Figs. 10–11, Table 2's `abidjan`/`dakar`
 //!   columns).
@@ -31,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod country;
+pub mod events;
 pub mod mobility;
 pub mod quality;
 pub mod scenario;
@@ -39,6 +43,7 @@ pub mod towers;
 pub mod traffic;
 
 pub use country::{City, Country};
+pub use events::ScenarioEvents;
 pub use quality::QualityReport;
 pub use scenario::{generate, ScenarioConfig, SynthDataset};
 pub use subset::{city_subset, time_subset, user_subset};

@@ -141,6 +141,102 @@ pub struct SynthDataset {
     pub screened_out: usize,
 }
 
+/// The resident generation state of one accepted subscriber: the event
+/// minutes still to be synthesized, the itinerary that positions them, and
+/// the mid-stream RNG whose remaining draws are the per-event jitter.
+///
+/// This is the unit both [`generate`] and the event-iterator view
+/// ([`crate::events::ScenarioEvents`]) build on — the two paths share the
+/// same candidate screening and the same per-event synthesis, so they can
+/// never drift apart.
+pub(crate) struct UserGen {
+    pub(crate) minutes: Vec<u32>,
+    pub(crate) itinerary: crate::mobility::Itinerary,
+    pub(crate) rng: StdRng,
+    pub(crate) home_city: Option<usize>,
+}
+
+/// Screening floor: minimum events over the span to keep a candidate.
+pub(crate) fn min_events(cfg: &ScenarioConfig) -> usize {
+    let floor = (cfg.min_events_per_day * cfg.span_days as f64).ceil() as usize;
+    floor.max(1)
+}
+
+/// Runs one candidate through profile/rate/screening. Returns `None` when
+/// the candidate is screened out. Deterministic per `(seed, candidate)`.
+pub(crate) fn spawn_user(cfg: &ScenarioConfig, candidate: u64) -> Option<UserGen> {
+    // Independent, reproducible stream per candidate.
+    let mut rng = StdRng::seed_from_u64(
+        cfg.seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(candidate),
+    );
+    let profile = sample_profile(&cfg.country, &cfg.mobility, &mut rng);
+    let rate = sample_user_rate(&cfg.traffic, &mut rng);
+    let minutes = generate_event_minutes(rate, cfg.span_days, &cfg.traffic, &mut rng);
+    if minutes.len() < min_events(cfg) {
+        return None;
+    }
+    let itinerary = build_itinerary(
+        &profile,
+        &cfg.country,
+        &cfg.mobility,
+        cfg.span_days,
+        &mut rng,
+    );
+    Some(UserGen {
+        minutes,
+        itinerary,
+        rng,
+        home_city: profile.home_city,
+    })
+}
+
+/// Panic guard shared by both generation paths: a pathologically low
+/// acceptance rate indicates an inconsistent configuration (e.g. screening
+/// threshold far above the traffic rate).
+pub(crate) fn screening_guard(cfg: &ScenarioConfig, candidate: u64, screened_out: usize) {
+    if candidate > 50 * cfg.num_users as u64 + 1_000 {
+        panic!(
+            "screening rejected {screened_out} of {candidate} candidates; \
+             the scenario configuration is inconsistent"
+        );
+    }
+}
+
+/// Synthesizes the logged sample of one event: true position from the
+/// itinerary, excursion/wander jitter, clamp, nearest tower, 100 m grid.
+pub(crate) fn synth_sample(
+    cfg: &ScenarioConfig,
+    towers: &TowerNetwork,
+    itinerary: &crate::mobility::Itinerary,
+    rng: &mut StdRng,
+    t: u32,
+) -> Sample {
+    let (mut x, mut y) = itinerary.position_at(t);
+    // Rare excursion: the device is somewhere unusual entirely.
+    if rng.gen_bool(cfg.excursion_p) {
+        let u: f64 = rng.gen_range(1e-9..1.0f64);
+        let d = (3_000.0 * u.powf(-1.0 / 1.3)).min(cfg.country.width_m.max(cfg.country.height_m));
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        x += d * theta.cos();
+        y += d * theta.sin();
+    } else if cfg.wander_sigma_m > 0.0 {
+        x += normal(rng) * cfg.wander_sigma_m;
+        y += normal(rng) * cfg.wander_sigma_m;
+    }
+    let (x, y) = cfg.country.clamp(x, y);
+    let tower = towers.towers()[towers.nearest(x, y)];
+    Sample::point(tower.x, tower.y, t)
+}
+
+/// Deploys the tower network of a scenario (deterministic per seed).
+pub(crate) fn deploy_towers(cfg: &ScenarioConfig) -> TowerNetwork {
+    cfg.country.validate().expect("valid country geometry");
+    let mut deploy_rng = StdRng::seed_from_u64(cfg.seed ^ 0x7077_3235);
+    TowerNetwork::deploy(&cfg.country, cfg.num_towers, &mut deploy_rng)
+}
+
 /// Generates a synthetic CDR dataset. Deterministic for a given config.
 ///
 /// # Panics
@@ -148,65 +244,32 @@ pub struct SynthDataset {
 /// (more than 50× oversampling), which indicates an inconsistent
 /// configuration (e.g. screening threshold far above the traffic rate).
 pub fn generate(cfg: &ScenarioConfig) -> SynthDataset {
-    cfg.country.validate().expect("valid country geometry");
-    let mut deploy_rng = StdRng::seed_from_u64(cfg.seed ^ 0x7077_3235);
-    let towers = TowerNetwork::deploy(&cfg.country, cfg.num_towers, &mut deploy_rng);
+    let towers = deploy_towers(cfg);
 
     let mut fingerprints: Vec<Fingerprint> = Vec::with_capacity(cfg.num_users);
     let mut home_city = Vec::with_capacity(cfg.num_users);
     let mut screened_out = 0usize;
-    let min_events = (cfg.min_events_per_day * cfg.span_days as f64).ceil() as usize;
-    let min_events = min_events.max(1);
 
     let mut candidate = 0u64;
     while fingerprints.len() < cfg.num_users {
-        if candidate > 50 * cfg.num_users as u64 + 1_000 {
-            panic!(
-                "screening rejected {screened_out} of {candidate} candidates; \
-                 the scenario configuration is inconsistent"
-            );
-        }
-        // Independent, reproducible stream per candidate.
-        let mut rng = StdRng::seed_from_u64(
-            cfg.seed
-                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-                .wrapping_add(candidate),
-        );
+        screening_guard(cfg, candidate, screened_out);
+        let Some(mut user_gen) = spawn_user(cfg, candidate) else {
+            screened_out += 1;
+            candidate += 1;
+            continue;
+        };
         candidate += 1;
 
-        let profile = sample_profile(&cfg.country, &cfg.mobility, &mut rng);
-        let rate = sample_user_rate(&cfg.traffic, &mut rng);
-        let minutes = generate_event_minutes(rate, cfg.span_days, &cfg.traffic, &mut rng);
-        if minutes.len() < min_events {
-            screened_out += 1;
-            continue;
-        }
-        let itinerary = build_itinerary(
-            &profile,
-            &cfg.country,
-            &cfg.mobility,
-            cfg.span_days,
-            &mut rng,
-        );
-
+        let minutes = std::mem::take(&mut user_gen.minutes);
         let mut samples = Vec::with_capacity(minutes.len());
         for &t in &minutes {
-            let (mut x, mut y) = itinerary.position_at(t);
-            // Rare excursion: the device is somewhere unusual entirely.
-            if rng.gen_bool(cfg.excursion_p) {
-                let u: f64 = rng.gen_range(1e-9..1.0f64);
-                let d = (3_000.0 * u.powf(-1.0 / 1.3))
-                    .min(cfg.country.width_m.max(cfg.country.height_m));
-                let theta = rng.gen_range(0.0..std::f64::consts::TAU);
-                x += d * theta.cos();
-                y += d * theta.sin();
-            } else if cfg.wander_sigma_m > 0.0 {
-                x += normal(&mut rng) * cfg.wander_sigma_m;
-                y += normal(&mut rng) * cfg.wander_sigma_m;
-            }
-            let (x, y) = cfg.country.clamp(x, y);
-            let tower = towers.towers()[towers.nearest(x, y)];
-            samples.push(Sample::point(tower.x, tower.y, t));
+            samples.push(synth_sample(
+                cfg,
+                &towers,
+                &user_gen.itinerary,
+                &mut user_gen.rng,
+                t,
+            ));
         }
         // One event per minute is guaranteed by the traffic process, but the
         // same (cell, minute) can only appear once in a fingerprint.
@@ -216,7 +279,7 @@ pub fn generate(cfg: &ScenarioConfig) -> SynthDataset {
         let user = fingerprints.len() as UserId;
         fingerprints
             .push(Fingerprint::with_users(vec![user], samples).expect("non-empty by screening"));
-        home_city.push(profile.home_city);
+        home_city.push(user_gen.home_city);
     }
 
     let dataset = Dataset::new(cfg.name.clone(), fingerprints).expect("unique user ids");

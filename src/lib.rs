@@ -59,12 +59,17 @@ pub mod prelude {
     pub use glove_core::glove::{anonymize, GloveOutput, GloveStats};
     pub use glove_core::kgap::{kgap, kgap_all, kgap_decomposed_all};
     pub use glove_core::shard::ShardStat;
+    pub use glove_core::stream::{
+        events_of, run_stream, EpochOutput, StreamEngine, StreamEvent, StreamRun, StreamStats,
+    };
     pub use glove_core::{
-        Dataset, Fingerprint, GloveConfig, GloveError, ResidualPolicy, Sample, ShardBy,
-        ShardPolicy, StretchConfig, SuppressionThresholds, UserId,
+        CarryPolicy, Dataset, Fingerprint, GloveConfig, GloveError, ResidualPolicy, Sample,
+        ShardBy, ShardPolicy, StreamConfig, StretchConfig, SuppressionThresholds, UnderKPolicy,
+        UserId,
     };
     pub use glove_stats::{radius_of_gyration, twi, Ecdf, Summary};
     pub use glove_synth::{
-        city_subset, generate, time_subset, user_subset, ScenarioConfig, SynthDataset,
+        city_subset, generate, time_subset, user_subset, ScenarioConfig, ScenarioEvents,
+        SynthDataset,
     };
 }

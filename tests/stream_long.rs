@@ -1,0 +1,110 @@
+//! Long-horizon streaming anonymization: the metro scenario replayed
+//! through the windowed engine over its full 14-day span (≥ 24 h of
+//! windows), with sticky carry and per-epoch sharding — the workload the
+//! streaming subsystem exists for.
+//!
+//! Ignored by default — the run takes minutes — and executed in CI's
+//! scheduled job:
+//!
+//! ```sh
+//! cargo test -q --release --test stream_long -- --ignored
+//! ```
+//!
+//! A small non-ignored companion keeps the same code path exercised on
+//! every `cargo test`.
+
+use glove::core::stream::{run_stream, StreamRun};
+use glove::prelude::*;
+use glove::synth::{generate, ScenarioConfig};
+
+const METRO_USERS: usize = 10_000;
+/// 12-hour windows over the 14-day span: 28 epochs, comfortably past the
+/// "≥ 24 h of windows" bar while keeping per-epoch populations realistic.
+const METRO_WINDOW_MIN: u32 = 720;
+/// Per-epoch shard count sized like `metro_shard`'s: a few hundred
+/// fingerprints per shard.
+const METRO_SHARDS: usize = 32;
+
+fn run_long(users: usize, window_min: u32, shards: Option<usize>) -> StreamRun {
+    let scenario = ScenarioConfig::metro_like(users);
+    let synth = generate(&scenario);
+    assert_eq!(synth.dataset.num_users(), users);
+    let events = glove::core::stream::events_of(&synth.dataset);
+
+    let config = StreamConfig {
+        window_min,
+        carry: CarryPolicy::Sticky,
+        under_k: UnderKPolicy::Defer,
+        glove: GloveConfig {
+            k: 2,
+            shard: shards.map(ShardPolicy::activity),
+            ..GloveConfig::default()
+        },
+    };
+    let run = run_stream(synth.dataset.name.clone(), events, config)
+        .expect("long-horizon streamed anonymization succeeds");
+
+    // The invariants every streaming change must preserve: every epoch is
+    // independently k-anonymous, and every user-window slice is accounted
+    // for (published, suppressed, or deferred-then-flushed).
+    assert!(run.stats.epochs >= 2, "long horizon must span many windows");
+    let mut published = 0u64;
+    let mut discarded = 0u64;
+    for epoch in &run.epochs {
+        assert!(
+            epoch.output.dataset.is_k_anonymous(2),
+            "epoch {} not 2-anonymous",
+            epoch.epoch
+        );
+        published += epoch.output.dataset.num_users() as u64;
+        discarded += epoch.output.stats.discarded_users;
+    }
+    assert_eq!(
+        published + discarded,
+        run.stats.entered_user_slices(),
+        "slice accounting broken"
+    );
+
+    // Residency follows the window population, never the whole stream.
+    let max_window_users = run
+        .stats
+        .per_epoch
+        .iter()
+        .map(|e| e.users_in)
+        .max()
+        .unwrap_or(0);
+    assert!(
+        run.stats.peak_resident_fingerprints
+            <= max_window_users + run.stats.deferred_users as usize,
+        "peak resident fingerprints {} exceeded window population {}",
+        run.stats.peak_resident_fingerprints,
+        max_window_users
+    );
+    run
+}
+
+/// The CI-gated long-horizon run (see .github/workflows/ci.yml, scheduled
+/// job).
+#[test]
+#[ignore = "long-horizon metro run: minutes of wall clock; exercised by the scheduled CI job"]
+fn metro_long_horizon_streamed_anonymization() {
+    let run = run_long(METRO_USERS, METRO_WINDOW_MIN, Some(METRO_SHARDS));
+    // 14 days of 12 h windows ≈ 28 epochs (quiet windows may merge away).
+    assert!(
+        run.stats.epochs >= 24,
+        "expected ≥ 24 epochs over 14 days, got {}",
+        run.stats.epochs
+    );
+    assert!(
+        run.stats.seeded_groups > 0,
+        "sticky carry must seed groups across a stable metro population"
+    );
+}
+
+/// Same path at a population and horizon every `cargo test` can afford.
+#[test]
+fn metro_small_streamed_anonymization() {
+    let run = run_long(300, 2_880, None);
+    assert!(run.stats.epochs >= 4);
+    assert!(run.stats.seeded_groups > 0);
+}
