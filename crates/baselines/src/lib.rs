@@ -9,12 +9,17 @@
 //!   able to anonymize trajectories along both space and time, used as the
 //!   state-of-the-art benchmark in §7.2 / Table 2. Re-implemented from
 //!   scratch (the original tool is unavailable); see DESIGN.md §1.
+//! * [`adapter`] — both baselines behind the unified
+//!   [`glove_core::api::Anonymizer`] trait, so harnesses compare defenses
+//!   through one run API with one [`glove_core::api::RunReport`] shape.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapter;
 pub mod uniform;
 pub mod w4m;
 
+pub use adapter::{UniformAnonymizer, W4mAnonymizer};
 pub use uniform::{generalize_uniform, GeneralizationLevel};
 pub use w4m::{w4m_lc, W4mConfig, W4mOutput, W4mStats};

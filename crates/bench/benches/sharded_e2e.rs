@@ -12,11 +12,16 @@
 //! fast. `--users N` overrides the population either way.
 
 use glove_bench::metro_bench_dataset;
+use glove_core::api::RunBuilder;
 use glove_core::glove::anonymize;
 use glove_core::{GloveConfig, ShardPolicy};
 use std::time::Instant;
 
 const SHARDS: usize = 8;
+
+/// Wall-clock slack absorbing single-run timer noise when asserting the
+/// run-API overhead bound (the recorded JSON carries the raw ratio).
+const OVERHEAD_SLACK_S: f64 = 0.25;
 
 fn run(
     ds: &glove_core::Dataset,
@@ -53,6 +58,37 @@ fn main() {
     eprintln!("[sharded_e2e] sharded run ({SHARDS} activity shards)…");
     let (shard_s, sharded) = run(&ds, Some(ShardPolicy::activity(SHARDS)));
 
+    // The same sharded run through the unified run API: output must be
+    // byte-identical and the orchestration overhead negligible (< 1% with
+    // timer-noise slack; the raw ratio is recorded in the JSON).
+    eprintln!("[sharded_e2e] sharded run through RunBuilder…");
+    let started = Instant::now();
+    let outcome = RunBuilder::new(GloveConfig {
+        k: 2,
+        threads: 0,
+        ..GloveConfig::default()
+    })
+    .sharded(ShardPolicy::activity(SHARDS))
+    .run(&ds)
+    .expect("builder run succeeds");
+    let api_s = started.elapsed().as_secs_f64();
+    let api_overhead_pct = (api_s / shard_s.max(1e-9) - 1.0) * 100.0;
+    assert_eq!(
+        outcome
+            .output
+            .dataset()
+            .expect("single release")
+            .fingerprints,
+        sharded.dataset.fingerprints,
+        "run API diverged from the direct sharded call"
+    );
+    assert_eq!(outcome.report.pairs_computed, sharded.stats.pairs_computed);
+    assert!(
+        api_s <= shard_s * 1.01 + OVERHEAD_SLACK_S,
+        "run-API overhead too high: direct {shard_s:.3} s vs builder {api_s:.3} s \
+         ({api_overhead_pct:.2}%)"
+    );
+
     // The benchmark doubles as an invariant check: both outputs must be
     // 2-anonymous and conserve the population.
     assert!(mono.dataset.is_k_anonymous(2));
@@ -65,6 +101,7 @@ fn main() {
         "{{\"name\":\"sharded_e2e\",\"scenario\":\"metro_like\",\"users\":{users},\
          \"samples\":{samples},\"shards\":{SHARDS},\"mode\":\"{}\",\
          \"monolithic_s\":{mono_s:.3},\"sharded_s\":{shard_s:.3},\"speedup\":{speedup:.2},\
+         \"sharded_api_s\":{api_s:.3},\"api_overhead_pct\":{api_overhead_pct:.2},\
          \"monolithic_pairs\":{},\"sharded_pairs\":{},\
          \"monolithic_pruned\":{},\"sharded_pruned\":{}}}",
         if test_mode { "test" } else { "bench" },

@@ -20,12 +20,17 @@
 //! `--test` (CI smoke) shrinks the population. `--users N` overrides.
 
 use glove_bench::metro_bench_dataset;
+use glove_core::api::{NullObserver, RunBuilder};
 use glove_core::glove::anonymize;
 use glove_core::stream::{events_of, run_stream};
 use glove_core::{CarryPolicy, GloveConfig, StreamConfig, UnderKPolicy};
 use std::time::Instant;
 
 const WINDOW_MIN: u32 = 1_440; // daily epochs over the 14-day metro span
+
+/// Wall-clock slack absorbing single-run timer noise when asserting the
+/// run-API overhead bound (the recorded JSON carries the raw ratio).
+const OVERHEAD_SLACK_S: f64 = 0.25;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -59,6 +64,37 @@ fn main() {
     let run =
         run_stream(ds.name.clone(), events.iter().copied(), config).expect("streamed run succeeds");
     let stream_s = started.elapsed().as_secs_f64();
+
+    // The same streamed run through the unified run API (bounded-memory
+    // run_events path): epoch outputs must be identical and the
+    // orchestration overhead negligible (< 1% with timer-noise slack; the
+    // raw ratio is recorded in the JSON).
+    eprintln!("[stream_e2e] streamed run through RunBuilder…");
+    let started = Instant::now();
+    let outcome = RunBuilder::new(config.glove)
+        .stream(config)
+        .run_events(
+            &ds.name,
+            &mut events.iter().copied().map(Ok),
+            &mut NullObserver,
+        )
+        .expect("builder run succeeds");
+    let api_s = started.elapsed().as_secs_f64();
+    let api_overhead_pct = (api_s / stream_s.max(1e-9) - 1.0) * 100.0;
+    let api_epochs = outcome.output.epochs();
+    assert_eq!(api_epochs.len(), run.epochs.len());
+    for (new, old) in api_epochs.iter().zip(&run.epochs) {
+        assert_eq!(
+            new.output.dataset.fingerprints, old.output.dataset.fingerprints,
+            "run API diverged from the direct streamed call at epoch {}",
+            old.epoch
+        );
+    }
+    assert!(
+        api_s <= stream_s * 1.01 + OVERHEAD_SLACK_S,
+        "run-API overhead too high: direct {stream_s:.3} s vs builder {api_s:.3} s \
+         ({api_overhead_pct:.2}%)"
+    );
 
     // The benchmark doubles as an invariant check.
     assert!(batch.dataset.is_k_anonymous(2));
@@ -95,7 +131,8 @@ fn main() {
     let json = format!(
         "{{\"name\":\"stream_e2e\",\"scenario\":\"metro_like\",\"users\":{users},\
          \"samples\":{samples},\"events\":{},\"window_min\":{WINDOW_MIN},\"mode\":\"{}\",\
-         \"batch_s\":{batch_s:.3},\"stream_s\":{stream_s:.3},\"events_per_s\":{events_per_s:.0},\
+         \"batch_s\":{batch_s:.3},\"stream_s\":{stream_s:.3},\"stream_api_s\":{api_s:.3},\
+         \"api_overhead_pct\":{api_overhead_pct:.2},\"events_per_s\":{events_per_s:.0},\
          \"epochs\":{},\"peak_resident_fingerprints\":{},\"max_window_users\":{max_window_users},\
          \"peak_resident_samples\":{},\"suppressed_user_slices\":{},\
          \"deferred_user_slices\":{}}}",

@@ -1,0 +1,199 @@
+//! Inspection and adversarial evaluation verbs: `glove info`,
+//! `glove audit` (the §5 anonymizability audit) and `glove attack`
+//! (record-linkage adversaries).
+
+use crate::io;
+use glove_core::kgap::kgap_all;
+use glove_core::StretchConfig;
+use glove_stats::{Ecdf, Summary};
+use glove_synth::QualityReport;
+use std::error::Error;
+use std::path::Path;
+
+/// `glove info`: dataset summary.
+pub fn info(input: &Path) -> Result<String, Box<dyn Error>> {
+    let ds = io::read_file(input)?;
+    let lens: Vec<f64> = ds.fingerprints.iter().map(|f| f.len() as f64).collect();
+    let len_summary = Summary::of(&lens).ok_or("empty dataset")?;
+    let mut out = String::new();
+    out.push_str(&format!("name:          {}\n", ds.name));
+    out.push_str(&format!("fingerprints:  {}\n", ds.fingerprints.len()));
+    out.push_str(&format!("subscribers:   {}\n", ds.num_users()));
+    out.push_str(&format!("samples:       {}\n", ds.num_samples()));
+    out.push_str(&format!(
+        "span:          {} min ({:.1} days)\n",
+        ds.span_min(),
+        ds.span_min() as f64 / 1_440.0
+    ));
+    out.push_str(&format!(
+        "samples/fp:    median {:.0}, mean {:.1}, max {:.0}\n",
+        len_summary.median, len_summary.mean, len_summary.max
+    ));
+    let k = (2..=16)
+        .take_while(|&k| ds.is_k_anonymous(k))
+        .last()
+        .unwrap_or(1);
+    out.push_str(&format!("k-anonymity:   {k}\n"));
+    if let Some(quality) = QualityReport::of(&ds) {
+        out.push_str("--- data quality ---\n");
+        out.push_str(&quality.render());
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+/// `glove audit`: the anonymizability audit of §5 — k-gap distribution.
+///
+/// On anonymized output the audit is multiplicity-aware (PR 2 semantics,
+/// see DESIGN.md "k-gap on anonymized output"): a published record hiding
+/// ≥ k subscribers reports a gap of 0, so a GLOVE run audits as
+/// "already k-anonymous: 100%".
+pub fn audit(input: &Path, k: usize, threads: usize) -> Result<String, Box<dyn Error>> {
+    let ds = io::read_file(input)?;
+    if k < 2 || ds.num_users() < k {
+        return Err(format!("k must be in [2, {}] for this dataset", ds.num_users()).into());
+    }
+    let cfg = StretchConfig::default();
+    let gaps = kgap_all(&ds, k, threads, &cfg);
+    let ecdf = Ecdf::new(gaps).ok_or("k-gap computation produced no values")?;
+    let mut out = String::new();
+    out.push_str(&format!("k-gap audit of {} (k = {k})\n", ds.name));
+    out.push_str(&format!(
+        "already k-anonymous: {:.1}%\n",
+        ecdf.fraction_at_or_below(0.0) * 100.0
+    ));
+    for p in [0.25, 0.5, 0.75, 0.9, 0.95, 0.99] {
+        out.push_str(&format!(
+            "p{:<4} {:.4}\n",
+            (p * 100.0) as u32,
+            ecdf.quantile(p)
+        ));
+    }
+    out.push_str(&format!(
+        "mean  {:.4}\nmax   {:.4}\n",
+        ecdf.mean(),
+        ecdf.max()
+    ));
+    out.push_str(
+        "\nInterpretation: 0 = already hidden in a crowd of k; 1 = hiding this user\n\
+         saturates both the 20 km spatial and 8 h temporal caps (uninformative).\n",
+    );
+    Ok(out)
+}
+
+/// `glove attack`: record-linkage adversaries against a published dataset.
+///
+/// `original` holds the ground truth the adversary observed (raw
+/// fingerprints); `published` is what was released (possibly anonymized).
+/// Pass the same file twice to measure raw-data uniqueness.
+pub fn attack_cmd(
+    original: &Path,
+    published: &Path,
+    points: usize,
+    trials: usize,
+) -> Result<String, Box<dyn Error>> {
+    let orig = io::read_file(original)?;
+    let publ = io::read_file(published)?;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "record-linkage attacks: knowledge from {}, linking against {}\n\n",
+        orig.name, publ.name
+    ));
+    out.push_str("top-location adversary (unique signatures in the published data):\n");
+    for l in [1usize, 2, 3] {
+        out.push_str(&format!(
+            "  top-{l}: {:.1}%\n",
+            glove_attack::top_location_uniqueness(&publ, l) * 100.0
+        ));
+    }
+    let cfg = glove_attack::RandomPointAttack {
+        points,
+        trials,
+        seed: 0xC11,
+    };
+    let outcome = glove_attack::random_point_attack(&orig, &publ, &cfg);
+    if outcome.anonymity_sets.is_empty() {
+        out.push_str("\nrandom-point adversary: no target has enough samples\n");
+    } else {
+        out.push_str(&format!(
+            "\nrandom-point adversary ({points} points, {trials} trials):\n  \
+             pinpoint rate: {:.1}%\n  min anonymity set: {}\n  mean anonymity set: {:.1}\n",
+            outcome.pinpoint_rate() * 100.0,
+            outcome.min_anonymity(),
+            outcome.mean_anonymity(),
+        ));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::temp;
+    use super::super::{anonymize_cmd, synth, AnonymizeOpts};
+    use super::*;
+    use glove_core::{ResidualPolicy, ShardBy};
+
+    #[test]
+    fn attack_command_raw_vs_anonymized() {
+        let data = temp("attack-data");
+        let anon = temp("attack-anon");
+        synth("civ", 24, Some(5), Some(&data), None).unwrap();
+        let opts = AnonymizeOpts {
+            k: 2,
+            suppress_space_m: None,
+            suppress_time_min: None,
+            residual: ResidualPolicy::MergeIntoNearest,
+            threads: 1,
+            shards: None,
+            shard_by: ShardBy::Activity,
+        };
+        anonymize_cmd(&data, &anon, &opts).unwrap();
+
+        let raw = attack_cmd(&data, &data, 3, 50).unwrap();
+        assert!(raw.contains("pinpoint rate"));
+        let protected = attack_cmd(&data, &anon, 3, 50).unwrap();
+        assert!(
+            protected.contains("pinpoint rate: 0.0%"),
+            "anonymized data must not be pinpointable:\n{protected}"
+        );
+
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&anon);
+    }
+
+    #[test]
+    fn audit_rejects_bad_k() {
+        let data = temp("audit-k");
+        synth("civ", 10, Some(1), Some(&data), None).unwrap();
+        assert!(audit(&data, 1, 1).is_err());
+        assert!(audit(&data, 999, 1).is_err());
+        let _ = std::fs::remove_file(&data);
+    }
+
+    #[test]
+    fn audit_of_anonymized_output_is_all_zero() {
+        // The multiplicity-aware audit round-trip: GLOVE output must report
+        // 100% already-k-anonymous (the PR 2 semantics documented in
+        // DESIGN.md).
+        let data = temp("audit-rt-data");
+        let anon = temp("audit-rt-anon");
+        synth("civ", 12, Some(23), Some(&data), None).unwrap();
+        let opts = AnonymizeOpts {
+            k: 2,
+            suppress_space_m: None,
+            suppress_time_min: None,
+            residual: ResidualPolicy::MergeIntoNearest,
+            threads: 1,
+            shards: None,
+            shard_by: ShardBy::Activity,
+        };
+        anonymize_cmd(&data, &anon, &opts).unwrap();
+        let msg = audit(&anon, 2, 1).unwrap();
+        assert!(
+            msg.contains("already k-anonymous: 100.0%"),
+            "audit message: {msg}"
+        );
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&anon);
+    }
+}

@@ -1,0 +1,63 @@
+//! The CLI subcommand implementations, separated from argument parsing so
+//! they can be unit-tested directly. One module per verb family:
+//!
+//! * [`mod@synth`] — dataset / event-stream synthesis;
+//! * [`anonymize`] — the single-release engines (`anonymize`, `generalize`,
+//!   `w4m`), all driven through [`glove_core::api::RunBuilder`];
+//! * [`stream`] — the windowed online engine, driven through the same
+//!   builder with an epoch-writing [`glove_core::api::Observer`];
+//! * [`eval`] — inspection and adversarial evaluation (`info`, `audit`,
+//!   `attack`).
+
+pub mod anonymize;
+pub mod eval;
+pub mod stream;
+pub mod synth;
+
+pub use anonymize::{anonymize_cmd, generalize_cmd, w4m_cmd, AnonymizeOpts};
+pub use eval::{attack_cmd, audit, info};
+pub use stream::{stream_cmd, StreamOpts};
+pub use synth::synth;
+
+use crate::io;
+use glove_core::Dataset;
+use glove_synth::ScenarioConfig;
+
+/// Resolves a preset name to its scenario configuration.
+pub(crate) fn preset_config(
+    preset: &str,
+    users: usize,
+    seed: Option<u64>,
+) -> Result<ScenarioConfig, String> {
+    let mut cfg = match preset {
+        "civ" | "civ-like" => ScenarioConfig::civ_like(users),
+        "sen" | "sen-like" => ScenarioConfig::sen_like(users),
+        "metro" | "metro-like" => ScenarioConfig::metro_like(users),
+        other => return Err(format!("unknown preset '{other}' (use civ | sen | metro)")),
+    };
+    if let Some(seed) = seed {
+        cfg.seed = seed;
+    }
+    Ok(cfg)
+}
+
+/// Convenience used by tests: writes `dataset` to a temp file and returns
+/// its path.
+pub fn write_temp(dataset: &Dataset, stem: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("glove-cli-{stem}-{}.txt", std::process::id()));
+    io::write_file(dataset, &path).expect("temp file writable");
+    path
+}
+
+#[cfg(test)]
+pub(crate) mod test_util {
+    /// A per-process temp file path for command tests.
+    pub fn temp(stem: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("glove-cmd-{stem}-{}.txt", std::process::id()))
+    }
+
+    /// A per-process temp directory path for command tests.
+    pub fn temp_dir(stem: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("glove-cmd-{stem}-{}", std::process::id()))
+    }
+}

@@ -1,0 +1,109 @@
+//! `glove synth` — synthetic dataset and event-stream generation.
+
+use super::preset_config;
+use crate::io;
+use glove_core::stream::events_of;
+use glove_synth::{generate, ScenarioEvents};
+use std::error::Error;
+use std::path::Path;
+
+/// `glove synth`: generate a synthetic dataset file (`out`), an event
+/// stream file (`events_out`), or both. The events-only path streams
+/// straight from the scenario's event iterator and never materializes a
+/// dataset.
+pub fn synth(
+    preset: &str,
+    users: usize,
+    seed: Option<u64>,
+    out: Option<&Path>,
+    events_out: Option<&Path>,
+) -> Result<String, Box<dyn Error>> {
+    let cfg = preset_config(preset, users, seed)?;
+    match (out, events_out) {
+        (None, None) => Err("synth needs --out and/or --events-out".into()),
+        (None, Some(ev_path)) => {
+            // Bounded-memory path: lazy event iterator straight to disk.
+            let mut stream = ScenarioEvents::new(&cfg);
+            let total = stream.remaining();
+            io::write_events_file(&cfg.name, stream.by_ref(), ev_path)?;
+            Ok(format!(
+                "wrote {}: {} events from {} users, {} towers ({} candidates screened out)",
+                ev_path.display(),
+                total,
+                users,
+                stream.towers().len(),
+                stream.screened_out(),
+            ))
+        }
+        (Some(out), events_out) => {
+            let synth = generate(&cfg);
+            io::write_file(&synth.dataset, out)?;
+            let mut msg = format!(
+                "wrote {}: {} users, {} samples, span {} days, {} towers \
+                 ({} candidates screened out)",
+                out.display(),
+                synth.dataset.num_users(),
+                synth.dataset.num_samples(),
+                synth.dataset.span_min().div_ceil(1_440),
+                synth.towers.len(),
+                synth.screened_out,
+            );
+            if let Some(ev_path) = events_out {
+                let events = events_of(&synth.dataset);
+                io::write_events_file(&synth.dataset.name, events.iter().copied(), ev_path)?;
+                msg.push_str(&format!(
+                    "\nwrote {}: {} events (time-ordered view of the same dataset)",
+                    ev_path.display(),
+                    events.len(),
+                ));
+            }
+            Ok(msg)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::temp;
+    use super::*;
+
+    #[test]
+    fn synth_rejects_unknown_preset() {
+        let out = temp("bad-preset");
+        assert!(synth("mars", 10, None, Some(&out), None).is_err());
+    }
+
+    #[test]
+    fn synth_events_only_writes_a_streamable_file() {
+        let events = temp("synth-events");
+        let msg = synth("civ", 10, Some(4), None, Some(&events)).unwrap();
+        assert!(msg.contains("events from 10 users"), "message: {msg}");
+        assert!(io::is_events_file(&events).unwrap());
+        let reader = io::EventReader::open(&events).unwrap();
+        assert_eq!(reader.name(), "civ-like");
+        let parsed: Result<Vec<_>, _> = reader.collect();
+        let parsed = parsed.unwrap();
+        assert!(!parsed.is_empty());
+        assert!(parsed.windows(2).all(|w| w[0].sample.t <= w[1].sample.t));
+        let _ = std::fs::remove_file(&events);
+    }
+
+    #[test]
+    fn synth_events_view_matches_dataset_view() {
+        // --out + --events-out must describe the same data.
+        let data = temp("synth-both-ds");
+        let events = temp("synth-both-ev");
+        synth("civ", 8, Some(4), Some(&data), Some(&events)).unwrap();
+        let ds = io::read_file(&data).unwrap();
+        let (name, parsed) = {
+            let reader = io::EventReader::open(&events).unwrap();
+            let name = reader.name().to_string();
+            let ev: Result<Vec<_>, _> = reader.collect();
+            (name, ev.unwrap())
+        };
+        assert_eq!(name, ds.name);
+        assert_eq!(parsed, events_of(&ds));
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&events);
+    }
+}

@@ -1,0 +1,457 @@
+//! A minimal JSON tree: enough to serialize a [`super::RunReport`] and
+//! parse it back, with no external dependencies (the build environment has
+//! no crates.io access, so serde is not an option).
+//!
+//! The subset is deliberately small — objects, arrays, strings, finite
+//! numbers, booleans and `null` — but the implementation is a complete
+//! reader/writer for that subset: everything [`JsonValue::render`] emits,
+//! [`JsonValue::parse`] accepts, and numbers round-trip exactly (integers
+//! below 2⁵³ verbatim, other finite doubles through Rust's shortest
+//! round-trip float formatting).
+
+/// One JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite number (stored as `f64`; non-finite values render as
+    /// `null`).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object. Insertion order is preserved (and significant for
+    /// equality, matching the deterministic rendering).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Convenience constructor for an object from key/value pairs.
+    pub fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+        JsonValue::Obj(
+            fields
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        )
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer (rejects fractional numbers).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `usize` (rejects fractional numbers).
+    pub fn as_usize(&self) -> Option<usize> {
+        self.as_u64().map(|v| v as usize)
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Renders the value as compact JSON (no whitespace), deterministically.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Num(v) => render_number(*v, out),
+            JsonValue::Str(s) => render_string(s, out),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(key, out);
+                    out.push(':');
+                    value.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document. The whole input must be one value (plus
+    /// surrounding whitespace).
+    pub fn parse(input: &str) -> Result<JsonValue, String> {
+        let bytes = input.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+/// Integers render verbatim (exact below 2⁵³); other finite doubles use
+/// Rust's shortest round-trip formatting, which `str::parse::<f64>` maps
+/// back to the identical bits. Non-finite values degrade to `null`.
+fn render_number(v: f64, out: &mut String) {
+    use std::fmt::Write as _;
+    if !v.is_finite() {
+        out.push_str("null");
+    } else if v.fract() == 0.0 && v.abs() < 9.0e15 {
+        let _ = write!(out, "{}", v as i64);
+    } else {
+        let _ = write!(out, "{v}");
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, token: &str) -> Result<(), String> {
+    if bytes[*pos..].starts_with(token.as_bytes()) {
+        *pos += token.len();
+        Ok(())
+    } else {
+        Err(format!("expected '{token}' at byte {pos}"))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => expect(bytes, pos, "null").map(|()| JsonValue::Null),
+        Some(b't') => expect(bytes, pos, "true").map(|()| JsonValue::Bool(true)),
+        Some(b'f') => expect(bytes, pos, "false").map(|()| JsonValue::Bool(false)),
+        Some(b'"') => parse_string(bytes, pos).map(JsonValue::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                let value = parse_value(bytes, pos)?;
+                fields.push((key, value));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => parse_number(bytes, pos).map(JsonValue::Num),
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected '\"' at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let mut code = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        // Standard serializers emit non-BMP characters as a
+                        // UTF-16 surrogate pair of \u escapes.
+                        if (0xD800..0xDC00).contains(&code) {
+                            if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u".as_slice()) {
+                                return Err("lone high surrogate in \\u escape".into());
+                            }
+                            let low = parse_hex4(bytes, *pos + 3)?;
+                            if !(0xDC00..0xE000).contains(&low) {
+                                return Err("invalid low surrogate in \\u escape".into());
+                            }
+                            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            *pos += 6;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| format!("invalid \\u escape {code:04x}"))?,
+                        );
+                    }
+                    other => return Err(format!("invalid escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (the input is a &str, so the
+                // byte sequence is valid).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+/// Reads the four hex digits of a `\u` escape starting at `at`.
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| "truncated \\u escape".to_string())?;
+    let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+    u32::from_str_radix(hex, 16).map_err(|e| format!("invalid \\u escape {hex}: {e}"))
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    if start == *pos {
+        return Err(format!("expected a value at byte {start}"));
+    }
+    let value = std::str::from_utf8(&bytes[start..*pos])
+        .map_err(|e| e.to_string())?
+        .parse::<f64>()
+        .map_err(|e| format!("invalid number at byte {start}: {e}"))?;
+    // Overflowing literals (1e999) parse to ±inf, which would violate the
+    // finite-Num invariant and break round-tripping (inf renders as null).
+    if !value.is_finite() {
+        return Err(format!("number at byte {start} overflows an f64"));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for (text, value) in [
+            ("null", JsonValue::Null),
+            ("true", JsonValue::Bool(true)),
+            ("false", JsonValue::Bool(false)),
+            ("42", JsonValue::Num(42.0)),
+            ("-7", JsonValue::Num(-7.0)),
+            ("\"hi\"", JsonValue::Str("hi".into())),
+        ] {
+            assert_eq!(JsonValue::parse(text).unwrap(), value);
+            assert_eq!(value.render(), text);
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        for v in [0.1, 1.5e-9, 123456.789, f64::MAX, 5e-324, -0.333333333333] {
+            let rendered = JsonValue::Num(v).render();
+            let parsed = JsonValue::parse(&rendered).unwrap();
+            assert_eq!(parsed.as_f64(), Some(v), "via {rendered}");
+        }
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let value = JsonValue::obj(vec![
+            ("name", JsonValue::Str("a \"quoted\"\nname".into())),
+            (
+                "items",
+                JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Null]),
+            ),
+            ("empty_obj", JsonValue::Obj(vec![])),
+            ("empty_arr", JsonValue::Arr(vec![])),
+        ]);
+        let text = value.render();
+        assert_eq!(JsonValue::parse(&text).unwrap(), value);
+    }
+
+    #[test]
+    fn accessors() {
+        let value = JsonValue::obj(vec![
+            ("n", JsonValue::Num(3.0)),
+            ("s", JsonValue::Str("x".into())),
+            ("b", JsonValue::Bool(true)),
+            ("a", JsonValue::Arr(vec![JsonValue::Num(0.5)])),
+        ]);
+        assert_eq!(value.get("n").and_then(JsonValue::as_u64), Some(3));
+        assert_eq!(value.get("n").and_then(JsonValue::as_usize), Some(3));
+        assert_eq!(value.get("s").and_then(JsonValue::as_str), Some("x"));
+        assert_eq!(value.get("b").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(
+            value.get("a").and_then(JsonValue::as_arr).map(<[_]>::len),
+            Some(1)
+        );
+        assert!(value.get("missing").is_none());
+        assert_eq!(JsonValue::Num(0.5).as_u64(), None, "fractional is not u64");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "tru", "1 2", "\"unterminated"] {
+            assert!(JsonValue::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn whitespace_is_tolerated() {
+        let parsed = JsonValue::parse("  { \"a\" : [ 1 , 2 ] }\n").unwrap();
+        assert_eq!(
+            parsed,
+            JsonValue::obj(vec![(
+                "a",
+                JsonValue::Arr(vec![JsonValue::Num(1.0), JsonValue::Num(2.0)])
+            )])
+        );
+    }
+
+    #[test]
+    fn unicode_escapes_parse() {
+        let parsed = JsonValue::parse("\"\\u00e9\\u0041\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("éA"));
+        // Control characters render as escapes and round-trip.
+        let v = JsonValue::Str("\u{1}".into());
+        assert_eq!(v.render(), "\"\\u0001\"");
+        assert_eq!(JsonValue::parse(&v.render()).unwrap(), v);
+        // Non-BMP characters arrive from standard serializers as UTF-16
+        // surrogate pairs.
+        let parsed = JsonValue::parse("\"\\ud83d\\ude00!\"").unwrap();
+        assert_eq!(parsed.as_str(), Some("😀!"));
+        assert!(JsonValue::parse("\"\\ud83d\"").is_err(), "lone surrogate");
+        assert!(
+            JsonValue::parse("\"\\ud83d\\u0041\"").is_err(),
+            "bad low surrogate"
+        );
+    }
+
+    #[test]
+    fn overflowing_numbers_are_rejected() {
+        assert!(JsonValue::parse("1e999").is_err());
+        assert!(JsonValue::parse("-1e999").is_err());
+        // The largest finite double still parses.
+        assert!(JsonValue::parse("1.7976931348623157e308").is_ok());
+    }
+}

@@ -1,0 +1,289 @@
+//! Observer hooks of the run API: progress callbacks every engine emits
+//! through one trait, with ready-made sinks.
+//!
+//! ### Ordering guarantees
+//!
+//! Every [`crate::api::Anonymizer`] implementation in this workspace upholds
+//! the following contract (see DESIGN.md "Run API"):
+//!
+//! 1. **Phases are sequential.** Every [`Observer::on_phase_start`] is
+//!    matched by exactly one [`Observer::on_phase_end`] with the same
+//!    `(engine, phase)` before the next phase starts; phases never nest or
+//!    overlap.
+//! 2. **Shard callbacks fire in stitch order**, once per shard, inside the
+//!    `run` phase (after the shard fan-out completes — per-shard wall clocks
+//!    are in the [`crate::shard::ShardStat`] itself, not in callback
+//!    timing).
+//! 3. **Epoch callbacks fire in emission order**, *incrementally*: an
+//!    epoch is observed before any event of a later window is consumed, so
+//!    a sink may write (and drop) epochs as they close — the
+//!    bounded-memory property of the streaming engine survives the hook.
+//!    Epochs of closed windows arrive inside the `run` phase; the final
+//!    window, which only the end of the stream closes, arrives inside the
+//!    `flush` phase.
+//! 4. **Progress counters are cumulative and monotone** across
+//!    [`Observer::on_progress`] calls; the final call carries the same
+//!    totals as the run's [`crate::api::RunReport`].
+//! 5. **[`Observer::on_report`] fires exactly once, last**, with the same
+//!    report returned in the [`crate::api::RunOutcome`].
+//!
+//! Observer methods are infallible by design: a sink that can fail (e.g.
+//! one writing epochs to disk) should buffer its first error and surface it
+//! after the run returns.
+
+use crate::api::report::{PhaseMetric, RunReport};
+use crate::shard::ShardStat;
+use crate::stream::EpochOutput;
+use std::io::Write;
+
+/// Progress hooks of one anonymization run. All methods default to no-ops,
+/// so implementations override only what they consume.
+pub trait Observer {
+    /// A wall-clock phase of the run began (`"prepare"`, `"run"`,
+    /// `"flush"`, …).
+    fn on_phase_start(&mut self, engine: &str, phase: &str) {
+        let _ = (engine, phase);
+    }
+
+    /// The phase ended after `elapsed_s` seconds.
+    fn on_phase_end(&mut self, engine: &str, phase: &str, elapsed_s: f64) {
+        let _ = (engine, phase, elapsed_s);
+    }
+
+    /// A shard of a sharded run finished (stitch order).
+    fn on_shard(&mut self, stat: &ShardStat) {
+        let _ = stat;
+    }
+
+    /// A streaming epoch was emitted (emission order, incremental).
+    fn on_epoch(&mut self, epoch: &EpochOutput) {
+        let _ = epoch;
+    }
+
+    /// Cumulative merge/pair-effort counters (monotone across calls).
+    fn on_progress(&mut self, merges: u64, pairs_computed: u64, pairs_pruned: u64) {
+        let _ = (merges, pairs_computed, pairs_pruned);
+    }
+
+    /// The run finished; `report` is the same value the caller receives in
+    /// the [`crate::api::RunOutcome`]. Fires exactly once, last.
+    fn on_report(&mut self, report: &RunReport) {
+        let _ = report;
+    }
+}
+
+/// The do-nothing observer (the default of [`crate::api::RunBuilder::run`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+/// An observer that writes one human-readable line per event to a
+/// [`Write`] sink — `LogObserver::stderr()` for interactive progress,
+/// `LogObserver::new(Vec::new())` to capture lines in tests.
+#[derive(Debug)]
+pub struct LogObserver<W: Write> {
+    out: W,
+}
+
+impl LogObserver<std::io::Stderr> {
+    /// A logger writing to standard error.
+    pub fn stderr() -> Self {
+        Self {
+            out: std::io::stderr(),
+        }
+    }
+}
+
+impl<W: Write> LogObserver<W> {
+    /// A logger writing to `out`.
+    pub fn new(out: W) -> Self {
+        Self { out }
+    }
+
+    /// Consumes the logger, returning its sink.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Observer for LogObserver<W> {
+    fn on_phase_start(&mut self, engine: &str, phase: &str) {
+        let _ = writeln!(self.out, "[{engine}] phase {phase} started");
+    }
+
+    fn on_phase_end(&mut self, engine: &str, phase: &str, elapsed_s: f64) {
+        let _ = writeln!(
+            self.out,
+            "[{engine}] phase {phase} done in {elapsed_s:.3} s"
+        );
+    }
+
+    fn on_shard(&mut self, stat: &ShardStat) {
+        let _ = writeln!(
+            self.out,
+            "[shard {}] {} fps ({} users) -> {} groups, {} merges, {} pairs (+{} pruned), {:.3} s",
+            stat.shard,
+            stat.fingerprints_in,
+            stat.users_in,
+            stat.fingerprints_out,
+            stat.merges,
+            stat.pairs_computed,
+            stat.pairs_pruned,
+            stat.elapsed_s,
+        );
+    }
+
+    fn on_epoch(&mut self, epoch: &EpochOutput) {
+        let _ = writeln!(
+            self.out,
+            "[epoch {}] window @ {} min: {} groups, {} users",
+            epoch.epoch,
+            epoch.window_start_min,
+            epoch.output.dataset.fingerprints.len(),
+            epoch.output.dataset.num_users(),
+        );
+    }
+
+    fn on_progress(&mut self, merges: u64, pairs_computed: u64, pairs_pruned: u64) {
+        let _ = writeln!(
+            self.out,
+            "[progress] {merges} merges, {pairs_computed} pairs computed, {pairs_pruned} pruned",
+        );
+    }
+
+    fn on_report(&mut self, report: &RunReport) {
+        let _ = writeln!(
+            self.out,
+            "[{}] finished: {} -> {} fingerprints in {:.3} s",
+            report.engine, report.fingerprints_in, report.fingerprints_out, report.elapsed_s,
+        );
+    }
+}
+
+/// An observer that accumulates metrics across one or more runs and
+/// serializes the collected [`RunReport`]s — the machine-readable
+/// counterpart of [`LogObserver`]. Useful for harnesses that run several
+/// engines over the same data (the eval Table 2 workload) and want one
+/// uniform JSON artifact.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSink {
+    phases: Vec<PhaseMetric>,
+    merges: u64,
+    pairs_computed: u64,
+    pairs_pruned: u64,
+    shards_seen: usize,
+    epochs_seen: usize,
+    reports: Vec<RunReport>,
+}
+
+impl MetricsSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Completed phases observed so far, in order.
+    pub fn phases(&self) -> &[PhaseMetric] {
+        &self.phases
+    }
+
+    /// Latest cumulative progress counters `(merges, pairs_computed,
+    /// pairs_pruned)`.
+    pub fn progress(&self) -> (u64, u64, u64) {
+        (self.merges, self.pairs_computed, self.pairs_pruned)
+    }
+
+    /// Shard callbacks observed.
+    pub fn shards_seen(&self) -> usize {
+        self.shards_seen
+    }
+
+    /// Epoch callbacks observed.
+    pub fn epochs_seen(&self) -> usize {
+        self.epochs_seen
+    }
+
+    /// The finished reports observed, in completion order.
+    pub fn reports(&self) -> &[RunReport] {
+        &self.reports
+    }
+
+    /// Serializes every collected report as one JSON object per line
+    /// (JSONL) — the format the bench artifacts use.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for report in &self.reports {
+            out.push_str(&report.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Observer for MetricsSink {
+    fn on_phase_end(&mut self, _engine: &str, phase: &str, elapsed_s: f64) {
+        self.phases.push(PhaseMetric {
+            phase: phase.to_string(),
+            elapsed_s,
+        });
+    }
+
+    fn on_shard(&mut self, _stat: &ShardStat) {
+        self.shards_seen += 1;
+    }
+
+    fn on_epoch(&mut self, _epoch: &EpochOutput) {
+        self.epochs_seen += 1;
+    }
+
+    fn on_progress(&mut self, merges: u64, pairs_computed: u64, pairs_pruned: u64) {
+        self.merges = merges;
+        self.pairs_computed = pairs_computed;
+        self.pairs_pruned = pairs_pruned;
+    }
+
+    fn on_report(&mut self, report: &RunReport) {
+        self.reports.push(report.clone());
+    }
+}
+
+/// Broadcasts every event to two observers (used by the builder to feed a
+/// caller's observer and an internal sink from one run).
+pub(crate) struct Tee<'a, 'b> {
+    pub first: &'a mut dyn Observer,
+    pub second: &'b mut dyn Observer,
+}
+
+impl Observer for Tee<'_, '_> {
+    fn on_phase_start(&mut self, engine: &str, phase: &str) {
+        self.first.on_phase_start(engine, phase);
+        self.second.on_phase_start(engine, phase);
+    }
+
+    fn on_phase_end(&mut self, engine: &str, phase: &str, elapsed_s: f64) {
+        self.first.on_phase_end(engine, phase, elapsed_s);
+        self.second.on_phase_end(engine, phase, elapsed_s);
+    }
+
+    fn on_shard(&mut self, stat: &ShardStat) {
+        self.first.on_shard(stat);
+        self.second.on_shard(stat);
+    }
+
+    fn on_epoch(&mut self, epoch: &EpochOutput) {
+        self.first.on_epoch(epoch);
+        self.second.on_epoch(epoch);
+    }
+
+    fn on_progress(&mut self, merges: u64, pairs_computed: u64, pairs_pruned: u64) {
+        self.first.on_progress(merges, pairs_computed, pairs_pruned);
+        self.second
+            .on_progress(merges, pairs_computed, pairs_pruned);
+    }
+
+    fn on_report(&mut self, report: &RunReport) {
+        self.first.on_report(report);
+        self.second.on_report(report);
+    }
+}

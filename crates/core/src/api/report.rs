@@ -1,0 +1,629 @@
+//! The unified, serializable run report every engine produces.
+//!
+//! [`RunReport`] supersedes the ad-hoc stats plumbing that used to leak
+//! into every consumer (`GloveStats` for batch/sharded runs, `StreamStats`
+//! for streams, the baselines' own types): one top-level shape carries the
+//! counters every engine shares, and the engine-specific types survive as
+//! embedded **detail sections** ([`RunDetail`]) for consumers that need the
+//! per-shard / per-epoch breakdowns.
+//!
+//! Reports serialize to JSON ([`RunReport::to_json`]) and parse back
+//! ([`RunReport::from_json`]) with exact round-trip fidelity — enforced by
+//! the `api_properties` test suite — so they can travel through bench
+//! artifacts, CI trajectories and external tooling without this crate.
+
+use crate::api::json::JsonValue;
+use crate::glove::GloveStats;
+use crate::shard::ShardStat;
+use crate::stream::{EpochStat, StreamStats};
+use crate::suppress::SuppressionLedger;
+
+/// Wall-clock duration of one run phase (see the ordering guarantees in
+/// [`crate::api::observer`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseMetric {
+    /// Phase name (`"prepare"`, `"run"`, `"flush"`, …).
+    pub phase: String,
+    /// Elapsed wall-clock seconds.
+    pub elapsed_s: f64,
+}
+
+/// Engine-specific detail embedded in a [`RunReport`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum RunDetail {
+    /// No engine-specific detail.
+    #[default]
+    None,
+    /// Batch / sharded GLOVE statistics (per-shard breakdown included).
+    Glove(GloveStats),
+    /// Streaming statistics (per-epoch breakdown included).
+    Stream(StreamStats),
+    /// Detail of an engine outside this crate (the baselines adapters),
+    /// as a JSON tree under the engine's name.
+    External {
+        /// The producing engine's identifier.
+        engine: String,
+        /// Engine-defined payload.
+        data: JsonValue,
+    },
+}
+
+impl RunDetail {
+    /// The embedded GLOVE stats, if this is a batch/sharded detail.
+    pub fn as_glove(&self) -> Option<&GloveStats> {
+        match self {
+            RunDetail::Glove(stats) => Some(stats),
+            _ => None,
+        }
+    }
+
+    /// The embedded stream stats, if this is a streaming detail.
+    pub fn as_stream(&self) -> Option<&StreamStats> {
+        match self {
+            RunDetail::Stream(stats) => Some(stats),
+            _ => None,
+        }
+    }
+
+    /// The embedded external payload, if any.
+    pub fn as_external(&self) -> Option<&JsonValue> {
+        match self {
+            RunDetail::External { data, .. } => Some(data),
+            _ => None,
+        }
+    }
+}
+
+/// The unified result summary of one anonymization run, whatever the
+/// engine.
+///
+/// Counters an engine does not produce stay zero (e.g. `merges` for the
+/// uniform baseline, `created_samples` for every engine but W4M); `k` is 0
+/// for engines without an anonymity parameter.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RunReport {
+    /// Engine identifier (`"glove-batch"`, `"glove-sharded"`,
+    /// `"glove-stream"`, `"uniform"`, `"w4m-lc"`).
+    pub engine: String,
+    /// Input dataset / stream name.
+    pub dataset: String,
+    /// Anonymity level of the run (0 when the engine has none).
+    pub k: usize,
+    /// Fingerprints in the input (0 when unknown, e.g. a pure event
+    /// stream).
+    pub fingerprints_in: usize,
+    /// Subscribers in the input (0 when unknown).
+    pub users_in: usize,
+    /// Samples in the input; for event streams, the events consumed.
+    pub samples_in: usize,
+    /// Published fingerprints (summed over epochs for streams).
+    pub fingerprints_out: usize,
+    /// Published subscribers (user-slices summed over epochs for streams).
+    pub users_out: usize,
+    /// Published samples (summed over epochs for streams).
+    pub samples_out: usize,
+    /// Pairwise merges performed.
+    pub merges: u64,
+    /// Eq. 10 evaluations performed.
+    pub pairs_computed: u64,
+    /// Pair evaluations skipped by the admissible bound.
+    pub pairs_pruned: u64,
+    /// Samples dropped by §7.1 suppression (merge decisions).
+    pub suppressed_samples: u64,
+    /// Suppressed samples weighted by fingerprint multiplicity.
+    pub suppressed_user_samples: u64,
+    /// Synthetic samples fabricated (W4M resampling; GLOVE never creates).
+    pub created_samples: u64,
+    /// Original samples deleted by resampling (W4M).
+    pub deleted_samples: u64,
+    /// Fingerprints discarded (residual suppression, W4M trashing, stream
+    /// under-k user-slices).
+    pub discarded_fingerprints: u64,
+    /// Subscribers dropped with those fingerprints.
+    pub discarded_users: u64,
+    /// Total wall-clock seconds of the run.
+    pub elapsed_s: f64,
+    /// Wall-clock phases, in execution order.
+    pub phases: Vec<PhaseMetric>,
+    /// Engine-specific detail section.
+    pub detail: RunDetail,
+}
+
+impl RunReport {
+    /// Fraction of candidate pairs the admissible bound skipped, in
+    /// `[0, 1]` (0 when the engine evaluates no pairs).
+    pub fn pruned_fraction(&self) -> f64 {
+        let candidates = self.pairs_computed + self.pairs_pruned;
+        if candidates > 0 {
+            self.pairs_pruned as f64 / candidates as f64
+        } else {
+            0.0
+        }
+    }
+
+    /// Serializes the report as compact JSON.
+    pub fn to_json(&self) -> String {
+        self.to_value().render()
+    }
+
+    /// Parses a report serialized by [`RunReport::to_json`].
+    pub fn from_json(text: &str) -> Result<RunReport, String> {
+        Self::from_value(&JsonValue::parse(text)?)
+    }
+
+    /// The report as a JSON tree.
+    pub fn to_value(&self) -> JsonValue {
+        JsonValue::obj(vec![
+            ("engine", JsonValue::Str(self.engine.clone())),
+            ("dataset", JsonValue::Str(self.dataset.clone())),
+            ("k", num(self.k as f64)),
+            ("fingerprints_in", num(self.fingerprints_in as f64)),
+            ("users_in", num(self.users_in as f64)),
+            ("samples_in", num(self.samples_in as f64)),
+            ("fingerprints_out", num(self.fingerprints_out as f64)),
+            ("users_out", num(self.users_out as f64)),
+            ("samples_out", num(self.samples_out as f64)),
+            ("merges", num(self.merges as f64)),
+            ("pairs_computed", num(self.pairs_computed as f64)),
+            ("pairs_pruned", num(self.pairs_pruned as f64)),
+            ("suppressed_samples", num(self.suppressed_samples as f64)),
+            (
+                "suppressed_user_samples",
+                num(self.suppressed_user_samples as f64),
+            ),
+            ("created_samples", num(self.created_samples as f64)),
+            ("deleted_samples", num(self.deleted_samples as f64)),
+            (
+                "discarded_fingerprints",
+                num(self.discarded_fingerprints as f64),
+            ),
+            ("discarded_users", num(self.discarded_users as f64)),
+            ("elapsed_s", num(self.elapsed_s)),
+            (
+                "phases",
+                JsonValue::Arr(
+                    self.phases
+                        .iter()
+                        .map(|p| {
+                            JsonValue::obj(vec![
+                                ("phase", JsonValue::Str(p.phase.clone())),
+                                ("elapsed_s", num(p.elapsed_s)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("detail", detail_to_value(&self.detail)),
+        ])
+    }
+
+    /// Reconstructs a report from a JSON tree.
+    pub fn from_value(v: &JsonValue) -> Result<RunReport, String> {
+        let phases = v
+            .get("phases")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing phases")?
+            .iter()
+            .map(|p| {
+                Ok(PhaseMetric {
+                    phase: str_field(p, "phase")?,
+                    elapsed_s: f64_field(p, "elapsed_s")?,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(RunReport {
+            engine: str_field(v, "engine")?,
+            dataset: str_field(v, "dataset")?,
+            k: usize_field(v, "k")?,
+            fingerprints_in: usize_field(v, "fingerprints_in")?,
+            users_in: usize_field(v, "users_in")?,
+            samples_in: usize_field(v, "samples_in")?,
+            fingerprints_out: usize_field(v, "fingerprints_out")?,
+            users_out: usize_field(v, "users_out")?,
+            samples_out: usize_field(v, "samples_out")?,
+            merges: u64_field(v, "merges")?,
+            pairs_computed: u64_field(v, "pairs_computed")?,
+            pairs_pruned: u64_field(v, "pairs_pruned")?,
+            suppressed_samples: u64_field(v, "suppressed_samples")?,
+            suppressed_user_samples: u64_field(v, "suppressed_user_samples")?,
+            created_samples: u64_field(v, "created_samples")?,
+            deleted_samples: u64_field(v, "deleted_samples")?,
+            discarded_fingerprints: u64_field(v, "discarded_fingerprints")?,
+            discarded_users: u64_field(v, "discarded_users")?,
+            elapsed_s: f64_field(v, "elapsed_s")?,
+            phases,
+            detail: detail_from_value(v.get("detail").ok_or("missing detail")?)?,
+        })
+    }
+}
+
+#[inline]
+fn num(v: f64) -> JsonValue {
+    JsonValue::Num(v)
+}
+
+fn str_field(v: &JsonValue, key: &str) -> Result<String, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("missing string field '{key}'"))
+}
+
+fn f64_field(v: &JsonValue, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("missing numeric field '{key}'"))
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+fn usize_field(v: &JsonValue, key: &str) -> Result<usize, String> {
+    v.get(key)
+        .and_then(JsonValue::as_usize)
+        .ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+fn detail_to_value(detail: &RunDetail) -> JsonValue {
+    match detail {
+        RunDetail::None => JsonValue::Null,
+        RunDetail::Glove(stats) => JsonValue::obj(vec![
+            ("type", JsonValue::Str("glove".into())),
+            ("stats", glove_stats_to_value(stats)),
+        ]),
+        RunDetail::Stream(stats) => JsonValue::obj(vec![
+            ("type", JsonValue::Str("stream".into())),
+            ("stats", stream_stats_to_value(stats)),
+        ]),
+        RunDetail::External { engine, data } => JsonValue::obj(vec![
+            ("type", JsonValue::Str("external".into())),
+            ("engine", JsonValue::Str(engine.clone())),
+            ("data", data.clone()),
+        ]),
+    }
+}
+
+fn detail_from_value(v: &JsonValue) -> Result<RunDetail, String> {
+    if *v == JsonValue::Null {
+        return Ok(RunDetail::None);
+    }
+    match v.get("type").and_then(JsonValue::as_str) {
+        Some("glove") => Ok(RunDetail::Glove(glove_stats_from_value(
+            v.get("stats").ok_or("missing glove stats")?,
+        )?)),
+        Some("stream") => Ok(RunDetail::Stream(stream_stats_from_value(
+            v.get("stats").ok_or("missing stream stats")?,
+        )?)),
+        Some("external") => Ok(RunDetail::External {
+            engine: str_field(v, "engine")?,
+            data: v.get("data").cloned().ok_or("missing external data")?,
+        }),
+        other => Err(format!("unknown detail type {other:?}")),
+    }
+}
+
+fn ledger_to_value(ledger: &SuppressionLedger) -> JsonValue {
+    JsonValue::obj(vec![
+        ("samples", num(ledger.samples as f64)),
+        ("user_samples", num(ledger.user_samples as f64)),
+    ])
+}
+
+fn ledger_from_value(v: &JsonValue) -> Result<SuppressionLedger, String> {
+    Ok(SuppressionLedger {
+        samples: u64_field(v, "samples")?,
+        user_samples: u64_field(v, "user_samples")?,
+    })
+}
+
+fn shard_stat_to_value(stat: &ShardStat) -> JsonValue {
+    JsonValue::obj(vec![
+        ("shard", num(stat.shard as f64)),
+        ("fingerprints_in", num(stat.fingerprints_in as f64)),
+        ("users_in", num(stat.users_in as f64)),
+        ("fingerprints_out", num(stat.fingerprints_out as f64)),
+        ("merges", num(stat.merges as f64)),
+        ("pairs_computed", num(stat.pairs_computed as f64)),
+        ("pairs_pruned", num(stat.pairs_pruned as f64)),
+        ("elapsed_s", num(stat.elapsed_s)),
+    ])
+}
+
+fn shard_stat_from_value(v: &JsonValue) -> Result<ShardStat, String> {
+    Ok(ShardStat {
+        shard: usize_field(v, "shard")?,
+        fingerprints_in: usize_field(v, "fingerprints_in")?,
+        users_in: usize_field(v, "users_in")?,
+        fingerprints_out: usize_field(v, "fingerprints_out")?,
+        merges: u64_field(v, "merges")?,
+        pairs_computed: u64_field(v, "pairs_computed")?,
+        pairs_pruned: u64_field(v, "pairs_pruned")?,
+        elapsed_s: f64_field(v, "elapsed_s")?,
+    })
+}
+
+/// Serializes [`GloveStats`] (the batch/sharded detail section).
+pub fn glove_stats_to_value(stats: &GloveStats) -> JsonValue {
+    JsonValue::obj(vec![
+        ("merges", num(stats.merges as f64)),
+        ("pairs_computed", num(stats.pairs_computed as f64)),
+        ("pairs_pruned", num(stats.pairs_pruned as f64)),
+        (
+            "per_shard",
+            JsonValue::Arr(stats.per_shard.iter().map(shard_stat_to_value).collect()),
+        ),
+        ("suppressed", ledger_to_value(&stats.suppressed)),
+        ("reshaped_samples", num(stats.reshaped_samples as f64)),
+        (
+            "discarded_fingerprints",
+            num(stats.discarded_fingerprints as f64),
+        ),
+        ("discarded_users", num(stats.discarded_users as f64)),
+        ("elapsed_s", num(stats.elapsed_s)),
+    ])
+}
+
+/// Parses a [`GloveStats`] detail section.
+pub fn glove_stats_from_value(v: &JsonValue) -> Result<GloveStats, String> {
+    Ok(GloveStats {
+        merges: u64_field(v, "merges")?,
+        pairs_computed: u64_field(v, "pairs_computed")?,
+        pairs_pruned: u64_field(v, "pairs_pruned")?,
+        per_shard: v
+            .get("per_shard")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing per_shard")?
+            .iter()
+            .map(shard_stat_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
+        suppressed: ledger_from_value(v.get("suppressed").ok_or("missing suppressed")?)?,
+        reshaped_samples: u64_field(v, "reshaped_samples")?,
+        discarded_fingerprints: u64_field(v, "discarded_fingerprints")?,
+        discarded_users: u64_field(v, "discarded_users")?,
+        elapsed_s: f64_field(v, "elapsed_s")?,
+    })
+}
+
+fn epoch_stat_to_value(stat: &EpochStat) -> JsonValue {
+    JsonValue::obj(vec![
+        ("epoch", num(stat.epoch as f64)),
+        ("window_start_min", num(stat.window_start_min as f64)),
+        ("fingerprints_in", num(stat.fingerprints_in as f64)),
+        ("users_in", num(stat.users_in as f64)),
+        ("seeded_groups", num(stat.seeded_groups as f64)),
+        ("groups_out", num(stat.groups_out as f64)),
+        ("merges", num(stat.merges as f64)),
+        ("pairs_computed", num(stat.pairs_computed as f64)),
+        ("pairs_pruned", num(stat.pairs_pruned as f64)),
+        ("elapsed_s", num(stat.elapsed_s)),
+    ])
+}
+
+fn epoch_stat_from_value(v: &JsonValue) -> Result<EpochStat, String> {
+    Ok(EpochStat {
+        epoch: u64_field(v, "epoch")?,
+        window_start_min: u64_field(v, "window_start_min")?,
+        fingerprints_in: usize_field(v, "fingerprints_in")?,
+        users_in: usize_field(v, "users_in")?,
+        seeded_groups: usize_field(v, "seeded_groups")?,
+        groups_out: usize_field(v, "groups_out")?,
+        merges: u64_field(v, "merges")?,
+        pairs_computed: u64_field(v, "pairs_computed")?,
+        pairs_pruned: u64_field(v, "pairs_pruned")?,
+        elapsed_s: f64_field(v, "elapsed_s")?,
+    })
+}
+
+/// Serializes [`StreamStats`] (the streaming detail section).
+pub fn stream_stats_to_value(stats: &StreamStats) -> JsonValue {
+    JsonValue::obj(vec![
+        ("events", num(stats.events as f64)),
+        ("epochs", num(stats.epochs as f64)),
+        (
+            "peak_resident_fingerprints",
+            num(stats.peak_resident_fingerprints as f64),
+        ),
+        (
+            "peak_resident_samples",
+            num(stats.peak_resident_samples as f64),
+        ),
+        ("merges", num(stats.merges as f64)),
+        ("pairs_computed", num(stats.pairs_computed as f64)),
+        ("pairs_pruned", num(stats.pairs_pruned as f64)),
+        ("seeded_groups", num(stats.seeded_groups as f64)),
+        ("suppressed_users", num(stats.suppressed_users as f64)),
+        ("suppressed_samples", num(stats.suppressed_samples as f64)),
+        ("deferred_users", num(stats.deferred_users as f64)),
+        ("deferred_samples", num(stats.deferred_samples as f64)),
+        ("seed_suppressed", ledger_to_value(&stats.seed_suppressed)),
+        (
+            "per_epoch",
+            JsonValue::Arr(stats.per_epoch.iter().map(epoch_stat_to_value).collect()),
+        ),
+        ("elapsed_s", num(stats.elapsed_s)),
+    ])
+}
+
+/// Parses a [`StreamStats`] detail section.
+pub fn stream_stats_from_value(v: &JsonValue) -> Result<StreamStats, String> {
+    Ok(StreamStats {
+        events: u64_field(v, "events")?,
+        epochs: u64_field(v, "epochs")?,
+        peak_resident_fingerprints: usize_field(v, "peak_resident_fingerprints")?,
+        peak_resident_samples: usize_field(v, "peak_resident_samples")?,
+        merges: u64_field(v, "merges")?,
+        pairs_computed: u64_field(v, "pairs_computed")?,
+        pairs_pruned: u64_field(v, "pairs_pruned")?,
+        seeded_groups: u64_field(v, "seeded_groups")?,
+        suppressed_users: u64_field(v, "suppressed_users")?,
+        suppressed_samples: u64_field(v, "suppressed_samples")?,
+        deferred_users: u64_field(v, "deferred_users")?,
+        deferred_samples: u64_field(v, "deferred_samples")?,
+        seed_suppressed: ledger_from_value(v.get("seed_suppressed").ok_or("missing ledger")?)?,
+        per_epoch: v
+            .get("per_epoch")
+            .and_then(JsonValue::as_arr)
+            .ok_or("missing per_epoch")?
+            .iter()
+            .map(epoch_stat_from_value)
+            .collect::<Result<Vec<_>, _>>()?,
+        elapsed_s: f64_field(v, "elapsed_s")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> RunReport {
+        RunReport {
+            engine: "glove-sharded".into(),
+            dataset: "civ-like".into(),
+            k: 2,
+            fingerprints_in: 100,
+            users_in: 100,
+            samples_in: 1_234,
+            fingerprints_out: 50,
+            users_out: 100,
+            samples_out: 900,
+            merges: 50,
+            pairs_computed: 4_000,
+            pairs_pruned: 950,
+            suppressed_samples: 3,
+            suppressed_user_samples: 5,
+            created_samples: 0,
+            deleted_samples: 0,
+            discarded_fingerprints: 1,
+            discarded_users: 1,
+            elapsed_s: 0.12345,
+            phases: vec![
+                PhaseMetric {
+                    phase: "prepare".into(),
+                    elapsed_s: 0.0001,
+                },
+                PhaseMetric {
+                    phase: "run".into(),
+                    elapsed_s: 0.123,
+                },
+            ],
+            detail: RunDetail::Glove(GloveStats {
+                merges: 50,
+                pairs_computed: 4_000,
+                pairs_pruned: 950,
+                per_shard: vec![ShardStat {
+                    shard: 0,
+                    fingerprints_in: 100,
+                    users_in: 100,
+                    fingerprints_out: 50,
+                    merges: 50,
+                    pairs_computed: 4_000,
+                    pairs_pruned: 950,
+                    elapsed_s: 0.11,
+                }],
+                suppressed: SuppressionLedger {
+                    samples: 3,
+                    user_samples: 5,
+                },
+                reshaped_samples: 7,
+                discarded_fingerprints: 1,
+                discarded_users: 1,
+                elapsed_s: 0.12,
+            }),
+        }
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let report = sample_report();
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn stream_detail_round_trips() {
+        let mut report = sample_report();
+        report.engine = "glove-stream".into();
+        report.detail = RunDetail::Stream(StreamStats {
+            events: 10_000,
+            epochs: 3,
+            peak_resident_fingerprints: 42,
+            peak_resident_samples: 321,
+            merges: 77,
+            pairs_computed: 5_000,
+            pairs_pruned: 123,
+            seeded_groups: 4,
+            suppressed_users: 2,
+            suppressed_samples: 9,
+            deferred_users: 1,
+            deferred_samples: 3,
+            seed_suppressed: SuppressionLedger::default(),
+            per_epoch: vec![EpochStat {
+                epoch: 0,
+                window_start_min: 1_440,
+                fingerprints_in: 40,
+                users_in: 40,
+                seeded_groups: 0,
+                groups_out: 20,
+                merges: 20,
+                pairs_computed: 780,
+                pairs_pruned: 12,
+                elapsed_s: 0.05,
+            }],
+            elapsed_s: 0.2,
+        });
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn external_detail_round_trips() {
+        let mut report = sample_report();
+        report.engine = "w4m-lc".into();
+        report.detail = RunDetail::External {
+            engine: "w4m-lc".into(),
+            data: JsonValue::obj(vec![
+                ("mean_position_error_m", JsonValue::Num(812.5)),
+                ("mean_time_error_min", JsonValue::Num(44.25)),
+            ]),
+        };
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        assert_eq!(
+            parsed
+                .detail
+                .as_external()
+                .and_then(|d| d.get("mean_position_error_m"))
+                .and_then(JsonValue::as_f64),
+            Some(812.5)
+        );
+    }
+
+    #[test]
+    fn none_detail_round_trips() {
+        let mut report = sample_report();
+        report.detail = RunDetail::None;
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn from_json_rejects_mangled_reports() {
+        let report = sample_report();
+        let json = report.to_json();
+        assert!(RunReport::from_json(&json.replace("\"engine\"", "\"motor\"")).is_err());
+        assert!(RunReport::from_json("{}").is_err());
+        assert!(RunReport::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn pruned_fraction_is_well_defined() {
+        let mut report = sample_report();
+        assert!((report.pruned_fraction() - 950.0 / 4_950.0).abs() < 1e-12);
+        report.pairs_computed = 0;
+        report.pairs_pruned = 0;
+        assert_eq!(report.pruned_fraction(), 0.0);
+    }
+}

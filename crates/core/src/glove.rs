@@ -48,7 +48,7 @@ use crate::suppress::SuppressionLedger;
 use std::time::Instant;
 
 /// Statistics of one GLOVE run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct GloveStats {
     /// Number of pairwise merges performed.
     pub merges: u64,

@@ -7,6 +7,17 @@
 //! is already k-anonymous; `Δᵏ_a = 1` means `a` is so isolated that hiding
 //! them saturates both the spatial and temporal caps.
 //!
+//! That textbook definition — Eq. 11 verbatim — assumes every record hides
+//! exactly one subscriber, which is true of raw input but false of
+//! anonymized output, where a published record is a merged group. [`kgap`]
+//! and [`kgap_all`] are therefore **multiplicity-aware**: a record hiding
+//! ≥ `k` subscribers has a gap of 0, and otherwise the crowd of `k` is
+//! assembled counting each neighbouring record's multiplicity (see the
+//! function docs and DESIGN.md "k-gap on anonymized output"). On raw
+//! single-subscriber data this reduces exactly to Eq. 11. The sweep
+//! helpers [`kgap_many`] and [`kgap_decomposed_all`] are §5 *raw-data*
+//! workloads and keep the single-subscriber assumption.
+//!
 //! For the root-cause analysis of §5.3, [`kgap_decomposed_all`] additionally
 //! returns, per subscriber, the matched per-sample efforts split into their
 //! spatial (`w_σ φ_σ`) and temporal (`w_τ φ_τ`) components — the sets `Sᵏ_a`

@@ -36,7 +36,11 @@
 //!   memory;
 //! * [`accuracy`] — spatiotemporal accuracy metrics of anonymized output;
 //! * [`parallel`] — the data-parallel kernel that stands in for the paper's
-//!   GPU implementation (§6.3).
+//!   GPU implementation (§6.3);
+//! * [`api`] — the unified run API: the [`api::Anonymizer`] trait over
+//!   every engine (including the baselines adapters of `glove-baselines`),
+//!   the [`api::RunBuilder`] mode selector, [`api::Observer`] progress
+//!   hooks and the serializable [`api::RunReport`].
 //!
 //! ## Quickstart
 //!
@@ -64,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod accuracy;
+pub mod api;
 pub mod config;
 pub mod error;
 pub mod glove;
@@ -80,6 +85,10 @@ pub mod suppress;
 /// Convenient re-exports of the types used in almost every interaction with
 /// the crate.
 pub mod prelude {
+    pub use crate::api::{
+        Anonymizer, LogObserver, MetricsSink, NullObserver, Observer, RunBuilder, RunDetail,
+        RunMode, RunOutcome, RunOutput, RunReport,
+    };
     pub use crate::config::{
         CarryPolicy, GloveConfig, ResidualPolicy, ShardBy, ShardPolicy, StreamConfig,
         StretchConfig, SuppressionThresholds, UnderKPolicy,

@@ -88,7 +88,7 @@ pub struct EpochStat {
 }
 
 /// Statistics of a whole streaming run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StreamStats {
     /// Events consumed.
     pub events: u64,

@@ -1,0 +1,508 @@
+//! Properties of the unified run API (`glove_core::api`):
+//!
+//! * **Equivalence** — `RunBuilder` output is byte-identical to the legacy
+//!   entry points for all three core engines (the PR 2/3 exactness anchors
+//!   must survive the new surface);
+//! * **trait-object safety** — engines run behind `Box<dyn Anonymizer>`;
+//! * **builder validation** — invalid configurations fail at `build()`;
+//! * **report round-trip** — reports of real runs survive JSON
+//!   serialization exactly;
+//! * **observer ordering** — the callback contract of
+//!   `glove_core::api::observer` holds on real runs.
+
+use glove_core::api::{
+    Anonymizer, BatchGlove, MetricsSink, NullObserver, Observer, RunBuilder, RunOutput, RunReport,
+    ShardedGlove, StreamGlove,
+};
+use glove_core::glove::anonymize;
+use glove_core::prelude::*;
+use glove_core::shard::ShardStat;
+use glove_core::stream::{events_of, run_stream, EpochOutput};
+
+/// Zeroes the wall-clock fields of a stream detail so two runs of the same
+/// work compare equal (timing is the one legitimately non-deterministic
+/// part of a report).
+fn normalize_stream(report: &RunReport) -> glove_core::stream::StreamStats {
+    let mut stats = report.detail.as_stream().expect("stream detail").clone();
+    stats.elapsed_s = 0.0;
+    for epoch in &mut stats.per_epoch {
+        epoch.elapsed_s = 0.0;
+    }
+    stats
+}
+
+/// Deterministic mixed-activity dataset: two spatial clusters, varying
+/// sample counts and slight temporal jitter.
+fn dataset(n: usize) -> Dataset {
+    let fps = (0..n)
+        .map(|u| {
+            let cluster = (u % 2) as i64;
+            let extra = u % 4;
+            let mut points = vec![(
+                cluster * 150_000 + (u as i64 % 9) * 200,
+                0,
+                30 + u as u32 % 7,
+            )];
+            for e in 0..extra {
+                points.push((
+                    cluster * 150_000 + 400 * (e as i64 + 1),
+                    500,
+                    400 + 350 * e as u32 + u as u32 % 5,
+                ));
+            }
+            Fingerprint::from_points(u as u32, &points).unwrap()
+        })
+        .collect();
+    Dataset::new("api-prop", fps).unwrap()
+}
+
+#[test]
+fn batch_builder_output_is_identical_to_legacy_anonymize() {
+    let ds = dataset(24);
+    for k in [2usize, 3] {
+        let config = GloveConfig {
+            k,
+            threads: 1,
+            ..GloveConfig::default()
+        };
+        let legacy = anonymize(&ds, &config).unwrap();
+        let outcome = RunBuilder::new(config).run(&ds).unwrap();
+        let published = outcome.expect_dataset();
+        assert_eq!(published.name, legacy.dataset.name);
+        assert_eq!(
+            published.fingerprints, legacy.dataset.fingerprints,
+            "k={k}: builder diverged from legacy batch output"
+        );
+    }
+}
+
+#[test]
+fn sharded_builder_output_is_identical_to_legacy_anonymize() {
+    let ds = dataset(32);
+    for by in [ShardBy::Activity, ShardBy::Spatial] {
+        let policy = ShardPolicy { shards: 4, by };
+        let config = GloveConfig {
+            shard: Some(policy),
+            threads: 1,
+            ..GloveConfig::default()
+        };
+        let legacy = anonymize(&ds, &config).unwrap();
+        // Mode selected explicitly, from a shard-free config.
+        let outcome = RunBuilder::new(GloveConfig {
+            shard: None,
+            ..config
+        })
+        .sharded(policy)
+        .run(&ds)
+        .unwrap();
+        assert_eq!(outcome.report.engine, "glove-sharded");
+        let stats = outcome.report.detail.as_glove().unwrap();
+        assert_eq!(stats.per_shard.len(), legacy.stats.per_shard.len());
+        assert_eq!(
+            outcome.expect_dataset().fingerprints,
+            legacy.dataset.fingerprints,
+            "{by:?}: builder diverged from legacy sharded output"
+        );
+    }
+}
+
+#[test]
+fn stream_builder_epochs_are_identical_to_legacy_run_stream() {
+    let ds = dataset(18);
+    let events = events_of(&ds);
+    for (window, carry) in [
+        (300u32, CarryPolicy::Fresh),
+        (300, CarryPolicy::Sticky),
+        (10_000, CarryPolicy::Fresh),
+    ] {
+        let config = StreamConfig {
+            window_min: window,
+            carry,
+            under_k: UnderKPolicy::Defer,
+            glove: GloveConfig {
+                threads: 1,
+                ..GloveConfig::default()
+            },
+        };
+        let legacy = run_stream(ds.name.clone(), events.iter().copied(), config).unwrap();
+        let outcome = RunBuilder::new(config.glove)
+            .stream(config)
+            .run(&ds)
+            .unwrap();
+        let epochs = outcome.output.epochs();
+        assert_eq!(epochs.len(), legacy.epochs.len(), "window={window}");
+        for (new, old) in epochs.iter().zip(&legacy.epochs) {
+            assert_eq!(new.epoch, old.epoch);
+            assert_eq!(new.window_start_min, old.window_start_min);
+            assert_eq!(
+                new.output.dataset.fingerprints, old.output.dataset.fingerprints,
+                "window={window}: epoch {} diverged",
+                new.epoch
+            );
+        }
+        assert_eq!(
+            outcome.report.detail.as_stream().map(|s| s.events),
+            Some(legacy.stats.events)
+        );
+    }
+}
+
+#[test]
+fn full_horizon_stream_through_builder_matches_batch_through_builder() {
+    // The PR 3 exactness anchor, expressed entirely in the new surface.
+    let ds = dataset(16);
+    let config = GloveConfig {
+        threads: 1,
+        ..GloveConfig::default()
+    };
+    let batch = RunBuilder::new(config).run(&ds).unwrap().expect_dataset();
+    let stream = RunBuilder::new(config)
+        .stream(StreamConfig {
+            window_min: ds.span_min() as u32 + 1,
+            ..StreamConfig::default()
+        })
+        .run(&ds)
+        .unwrap();
+    let epochs = stream.output.epochs();
+    assert_eq!(epochs.len(), 1);
+    assert_eq!(epochs[0].output.dataset.fingerprints, batch.fingerprints);
+}
+
+#[test]
+fn engines_run_as_trait_objects() {
+    let ds = dataset(20);
+    let config = GloveConfig {
+        threads: 1,
+        ..GloveConfig::default()
+    };
+    let engines: Vec<Box<dyn Anonymizer>> = vec![
+        Box::new(BatchGlove::new(config)),
+        Box::new(ShardedGlove::new(config, ShardPolicy::activity(2))),
+        Box::new(StreamGlove::new(StreamConfig {
+            window_min: 500,
+            glove: config,
+            ..StreamConfig::default()
+        })),
+    ];
+    for engine in engines {
+        engine.prepare(&ds).expect("prepare succeeds");
+        let outcome = engine.run(&ds, &mut NullObserver).expect("run succeeds");
+        assert_eq!(outcome.report.engine, engine.engine());
+        match outcome.output {
+            RunOutput::Dataset(published) => {
+                assert!(published.is_k_anonymous(2));
+                assert_eq!(published.num_users(), 20);
+            }
+            RunOutput::Epochs(epochs) => {
+                assert!(!epochs.is_empty());
+                for epoch in &epochs {
+                    assert!(epoch.output.dataset.is_k_anonymous(2));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn prepare_rejects_without_running() {
+    let ds = dataset(4);
+    let undersized = BatchGlove::new(GloveConfig {
+        k: 10,
+        ..GloveConfig::default()
+    });
+    assert!(matches!(
+        undersized.prepare(&ds),
+        Err(GloveError::Unsatisfiable(_))
+    ));
+    let empty = Dataset::new("empty", vec![]).unwrap();
+    assert!(matches!(
+        BatchGlove::new(GloveConfig::default()).prepare(&empty),
+        Err(GloveError::InvalidDataset(_))
+    ));
+}
+
+#[test]
+fn builder_validation_errors() {
+    // Invalid k.
+    assert!(RunBuilder::new(GloveConfig {
+        k: 0,
+        ..GloveConfig::default()
+    })
+    .build()
+    .is_err());
+    // Invalid stretch weights.
+    assert!(RunBuilder::new(GloveConfig {
+        stretch: StretchConfig {
+            w_space: 0.9,
+            w_time: 0.9,
+            ..StretchConfig::default()
+        },
+        ..GloveConfig::default()
+    })
+    .build()
+    .is_err());
+    // Zero-shard policy.
+    assert!(RunBuilder::new(GloveConfig::default())
+        .sharded(ShardPolicy::activity(0))
+        .build()
+        .is_err());
+    // Zero-length stream window.
+    assert!(RunBuilder::new(GloveConfig::default())
+        .stream(StreamConfig {
+            window_min: 0,
+            ..StreamConfig::default()
+        })
+        .build()
+        .is_err());
+    // run_events outside stream mode.
+    assert!(RunBuilder::new(GloveConfig::default())
+        .run_events("x", &mut std::iter::empty(), &mut NullObserver)
+        .is_err());
+    // The happy path still builds.
+    assert!(RunBuilder::new(GloveConfig::default()).build().is_ok());
+}
+
+#[test]
+fn reports_of_real_runs_round_trip_through_json() {
+    let ds = dataset(20);
+    let config = GloveConfig {
+        threads: 1,
+        suppression: SuppressionThresholds {
+            max_space_m: Some(20_000),
+            max_time_min: None,
+        },
+        ..GloveConfig::default()
+    };
+    let outcomes = vec![
+        RunBuilder::new(config).run(&ds).unwrap(),
+        RunBuilder::new(config)
+            .sharded(ShardPolicy::activity(2))
+            .run(&ds)
+            .unwrap(),
+        RunBuilder::new(config)
+            .stream(StreamConfig {
+                window_min: 400,
+                ..StreamConfig::default()
+            })
+            .run(&ds)
+            .unwrap(),
+    ];
+    for outcome in outcomes {
+        let json = outcome.report.to_json();
+        let parsed = RunReport::from_json(&json).unwrap();
+        assert_eq!(
+            parsed, outcome.report,
+            "report of {} does not round-trip",
+            outcome.report.engine
+        );
+    }
+}
+
+/// Records every callback in arrival order for ordering assertions.
+#[derive(Default)]
+struct TraceObserver {
+    events: Vec<String>,
+    progress: Vec<(u64, u64, u64)>,
+    reports: Vec<RunReport>,
+}
+
+impl Observer for TraceObserver {
+    fn on_phase_start(&mut self, engine: &str, phase: &str) {
+        self.events.push(format!("start:{engine}:{phase}"));
+    }
+    fn on_phase_end(&mut self, engine: &str, phase: &str, _elapsed_s: f64) {
+        self.events.push(format!("end:{engine}:{phase}"));
+    }
+    fn on_shard(&mut self, stat: &ShardStat) {
+        self.events.push(format!("shard:{}", stat.shard));
+    }
+    fn on_epoch(&mut self, epoch: &EpochOutput) {
+        self.events.push(format!("epoch:{}", epoch.epoch));
+    }
+    fn on_progress(&mut self, merges: u64, pairs_computed: u64, pairs_pruned: u64) {
+        self.events.push("progress".into());
+        self.progress.push((merges, pairs_computed, pairs_pruned));
+    }
+    fn on_report(&mut self, report: &RunReport) {
+        self.events.push("report".into());
+        self.reports.push(report.clone());
+    }
+}
+
+/// Checks the phase bracketing/ordering contract over a recorded trace.
+fn assert_contract(trace: &TraceObserver) {
+    let mut open: Option<&str> = None;
+    for event in &trace.events {
+        if let Some(rest) = event.strip_prefix("start:") {
+            assert!(open.is_none(), "phase {rest} started inside another phase");
+            open = Some(rest);
+        } else if let Some(rest) = event.strip_prefix("end:") {
+            assert_eq!(open, Some(rest), "phase end without matching start");
+            open = None;
+        }
+    }
+    assert!(open.is_none(), "unclosed phase at end of run");
+    assert_eq!(trace.events.last().map(String::as_str), Some("report"));
+    assert_eq!(trace.reports.len(), 1);
+    for pair in trace.progress.windows(2) {
+        assert!(pair[0].0 <= pair[1].0, "merge counter regressed");
+        assert!(pair[0].1 <= pair[1].1, "pair counter regressed");
+        assert!(pair[0].2 <= pair[1].2, "pruned counter regressed");
+    }
+    let last = trace.progress.last().expect("at least one progress call");
+    let report = &trace.reports[0];
+    assert_eq!(
+        (report.merges, report.pairs_computed, report.pairs_pruned),
+        *last,
+        "final progress must equal the report totals"
+    );
+}
+
+#[test]
+fn observer_ordering_contract_holds_for_all_engines() {
+    let ds = dataset(20);
+    let config = GloveConfig {
+        threads: 1,
+        ..GloveConfig::default()
+    };
+
+    let mut batch = TraceObserver::default();
+    RunBuilder::new(config)
+        .run_observed(&ds, &mut batch)
+        .unwrap();
+    assert_contract(&batch);
+
+    let mut sharded = TraceObserver::default();
+    RunBuilder::new(config)
+        .sharded(ShardPolicy::activity(3))
+        .run_observed(&ds, &mut sharded)
+        .unwrap();
+    assert_contract(&sharded);
+    let shard_events: Vec<String> = sharded
+        .events
+        .iter()
+        .filter(|e| e.starts_with("shard:"))
+        .cloned()
+        .collect();
+    assert_eq!(
+        shard_events,
+        vec!["shard:0", "shard:1", "shard:2"],
+        "shards must arrive in stitch order"
+    );
+
+    let mut stream = TraceObserver::default();
+    RunBuilder::new(config)
+        .stream(StreamConfig {
+            window_min: 300,
+            ..StreamConfig::default()
+        })
+        .run_observed(&ds, &mut stream)
+        .unwrap();
+    assert_contract(&stream);
+    let epoch_ids: Vec<&String> = stream
+        .events
+        .iter()
+        .filter(|e| e.starts_with("epoch:"))
+        .collect();
+    assert!(!epoch_ids.is_empty(), "stream run must emit epochs");
+    for (i, id) in epoch_ids.iter().enumerate() {
+        assert_eq!(**id, format!("epoch:{i}"), "epochs out of emission order");
+    }
+}
+
+#[test]
+fn keep_epochs_false_drops_outputs_but_keeps_the_report() {
+    let ds = dataset(16);
+    let config = GloveConfig {
+        threads: 1,
+        ..GloveConfig::default()
+    };
+    let stream_cfg = StreamConfig {
+        window_min: 300,
+        ..StreamConfig::default()
+    };
+    let kept = RunBuilder::new(config).stream(stream_cfg).run(&ds).unwrap();
+    let mut sink = MetricsSink::new();
+    let dropped = RunBuilder::new(config)
+        .stream(stream_cfg)
+        .keep_epochs(false)
+        .run_observed(&ds, &mut sink)
+        .unwrap();
+    assert!(!kept.output.epochs().is_empty());
+    assert!(dropped.output.epochs().is_empty(), "epochs must be dropped");
+    // The observer still saw every epoch, and the report lost nothing.
+    assert_eq!(sink.epochs_seen(), kept.output.epochs().len());
+    assert_eq!(
+        dropped.report.fingerprints_out,
+        kept.report.fingerprints_out
+    );
+    assert_eq!(dropped.report.users_out, kept.report.users_out);
+    assert_eq!(dropped.report.samples_out, kept.report.samples_out);
+    assert_eq!(
+        normalize_stream(&dropped.report),
+        normalize_stream(&kept.report)
+    );
+}
+
+#[test]
+fn run_events_matches_dataset_run() {
+    let ds = dataset(14);
+    let config = GloveConfig {
+        threads: 1,
+        ..GloveConfig::default()
+    };
+    let stream_cfg = StreamConfig {
+        window_min: 400,
+        ..StreamConfig::default()
+    };
+    let via_dataset = RunBuilder::new(config).stream(stream_cfg).run(&ds).unwrap();
+    let events = events_of(&ds);
+    let via_events = RunBuilder::new(config)
+        .stream(stream_cfg)
+        .run_events(&ds.name, &mut events.into_iter().map(Ok), &mut NullObserver)
+        .unwrap();
+    assert_eq!(
+        via_events.output.epochs().len(),
+        via_dataset.output.epochs().len()
+    );
+    for (a, b) in via_events
+        .output
+        .epochs()
+        .iter()
+        .zip(via_dataset.output.epochs())
+    {
+        assert_eq!(a.output.dataset.fingerprints, b.output.dataset.fingerprints);
+    }
+    // Event runs cannot know the input dataset shape…
+    assert_eq!(via_events.report.fingerprints_in, 0);
+    assert_eq!(via_events.report.users_in, 0);
+    // …but everything observable from the stream itself must agree.
+    assert_eq!(via_events.report.samples_in, via_dataset.report.samples_in);
+    assert_eq!(
+        normalize_stream(&via_events.report),
+        normalize_stream(&via_dataset.report)
+    );
+}
+
+#[test]
+fn run_events_surfaces_producer_errors() {
+    let config = GloveConfig {
+        threads: 1,
+        ..GloveConfig::default()
+    };
+    let mut events = vec![
+        Ok(glove_core::stream::StreamEvent {
+            user: 0,
+            sample: Sample::point(0, 0, 5),
+        }),
+        Err(GloveError::InvalidDataset(
+            "malformed record at line 2".into(),
+        )),
+    ]
+    .into_iter();
+    let err = RunBuilder::new(config)
+        .stream(StreamConfig::default())
+        .run_events("broken", &mut events, &mut NullObserver)
+        .unwrap_err();
+    assert!(matches!(err, GloveError::InvalidDataset(_)));
+}

@@ -1,7 +1,8 @@
 //! Shared state across experiments: configuration, dataset cache and
 //! memoized GLOVE runs.
 
-use glove_core::glove::{anonymize, GloveOutput};
+use glove_core::api::RunBuilder;
+use glove_core::glove::GloveOutput;
 use glove_core::{Dataset, GloveConfig, SuppressionThresholds};
 use glove_synth::{generate, ScenarioConfig, SynthDataset};
 use std::collections::HashMap;
@@ -117,7 +118,19 @@ impl EvalContext {
             "[eval] GLOVE on {} (k={}, suppression={:?}/{:?})…",
             dataset.name, k, suppression.max_space_m, suppression.max_time_min
         );
-        let out = anonymize(dataset, &config).expect("anonymization must succeed");
+        let outcome = RunBuilder::new(config)
+            .run(dataset)
+            .expect("anonymization must succeed");
+        let stats = outcome
+            .report
+            .detail
+            .as_glove()
+            .expect("glove detail")
+            .clone();
+        let out = GloveOutput {
+            dataset: outcome.expect_dataset(),
+            stats,
+        };
         self.glove_cache.insert(key.clone(), out);
         self.glove_cache[&key].clone()
     }

@@ -12,7 +12,7 @@
 use crate::context::EvalContext;
 use crate::report::{fmt, pct, write_csv, Report};
 use glove_core::accuracy::{mean_position_accuracy_m, mean_time_accuracy_min};
-use glove_core::glove::anonymize;
+use glove_core::api::RunBuilder;
 use glove_core::stretch::{fingerprint_stretch, fingerprint_stretch_naive};
 use glove_core::{GloveConfig, ResidualPolicy, StretchConfig};
 use std::time::Instant;
@@ -112,11 +112,13 @@ pub fn ablation(ctx: &mut EvalContext) -> Report {
     let mut rows = Vec::new();
     for (label, config) in variants {
         eprintln!("[eval] ablation variant {label}…");
-        let out = anonymize(&ds, &config).expect("anonymization succeeds");
-        assert!(out.dataset.is_k_anonymous(config.k));
+        let outcome = RunBuilder::new(config)
+            .run(&ds)
+            .expect("anonymization succeeds");
+        let published = outcome.expect_dataset();
+        assert!(published.is_k_anonymous(config.k));
         // Count residual time overlaps (readability metric of §6.2).
-        let overlaps: usize = out
-            .dataset
+        let overlaps: usize = published
             .fingerprints
             .iter()
             .map(|fp| {
@@ -126,14 +128,14 @@ pub fn ablation(ctx: &mut EvalContext) -> Report {
                     .count()
             })
             .sum();
-        let mean_pos = mean_position_accuracy_m(&out.dataset);
-        let mean_time = mean_time_accuracy_min(&out.dataset);
+        let mean_pos = mean_position_accuracy_m(&published);
+        let mean_time = mean_time_accuracy_min(&published);
         rows.push(vec![
             label.to_string(),
             fmt(mean_pos / 1_000.0),
             fmt(mean_time),
             overlaps.to_string(),
-            pct(out.dataset.num_users() as f64 / ds.num_users() as f64),
+            pct(published.num_users() as f64 / ds.num_users() as f64),
         ]);
         csv_rows.push(vec![label.into(), fmt(mean_pos), fmt(mean_time)]);
     }

@@ -3,7 +3,8 @@
 
 use crate::context::EvalContext;
 use crate::report::{ascii_cdf, fmt, pct, write_csv, NamedCurve, Report};
-use glove_baselines::{generalize_uniform, GeneralizationLevel};
+use glove_baselines::{GeneralizationLevel, UniformAnonymizer};
+use glove_core::api::{Anonymizer, NullObserver};
 use glove_core::kgap::{kgap_all, kgap_decomposed_all, kgap_many};
 use glove_core::StretchConfig;
 use glove_stats::{twi, Ecdf};
@@ -161,7 +162,12 @@ pub fn fig4(ctx: &mut EvalContext) -> Report {
         let mut rows = Vec::new();
         let mut csv_rows: Vec<Vec<String>> = Vec::new();
         for level in GeneralizationLevel::figure4_sweep() {
-            let generalized = generalize_uniform(&ds, &level);
+            // The uniform baseline through the same trait every other
+            // defense is driven by.
+            let generalized = UniformAnonymizer::new(level)
+                .run(&ds, &mut NullObserver)
+                .expect("generalization succeeds")
+                .expect_dataset();
             let gaps = kgap_all(&generalized, 2, threads, &cfg);
             let ecdf = Ecdf::new(gaps).expect("non-empty");
             let anon = ecdf.fraction_at_or_below(0.0);

@@ -13,7 +13,7 @@
 use crate::context::EvalContext;
 use crate::report::{fmt, pct, write_csv, Report};
 use glove_core::accuracy::{mean_position_accuracy_m, mean_time_accuracy_min};
-use glove_core::glove::anonymize;
+use glove_core::api::RunBuilder;
 use glove_core::{GloveConfig, ShardBy, ShardPolicy};
 use std::time::Instant;
 
@@ -63,28 +63,33 @@ fn run_one(
     let config = GloveConfig {
         k,
         threads,
-        shard,
         ..GloveConfig::default()
     };
+    // One builder path serves both modes; `new` defaults to batch and
+    // `sharded` overrides it.
+    let builder = match shard {
+        Some(policy) => RunBuilder::new(config).sharded(policy),
+        None => RunBuilder::new(config).batch(),
+    };
     let started = Instant::now();
-    let out = anonymize(ds, &config).expect("anonymization succeeds");
+    let outcome = builder.run(ds).expect("anonymization succeeds");
     let elapsed_s = started.elapsed().as_secs_f64();
+    let published = outcome.output.dataset().expect("single-release engine");
     Row {
         label: label.to_string(),
         elapsed_s,
-        pairs: out.stats.pairs_computed,
-        pruned: out.stats.pairs_pruned,
-        merges: out.stats.merges,
-        min_multiplicity: out
-            .dataset
+        pairs: outcome.report.pairs_computed,
+        pruned: outcome.report.pairs_pruned,
+        merges: outcome.report.merges,
+        min_multiplicity: published
             .fingerprints
             .iter()
             .map(|f| f.multiplicity())
             .min()
             .unwrap_or(0),
-        users_retained: out.dataset.num_users() as f64 / ds.num_users() as f64,
-        pos_acc_m: mean_position_accuracy_m(&out.dataset),
-        time_acc_min: mean_time_accuracy_min(&out.dataset),
+        users_retained: outcome.report.users_out as f64 / ds.num_users() as f64,
+        pos_acc_m: mean_position_accuracy_m(published),
+        time_acc_min: mean_time_accuracy_min(published),
     }
 }
 

@@ -19,7 +19,8 @@
 use crate::context::EvalContext;
 use crate::report::{fmt, pct, write_csv, Report};
 use glove_core::accuracy::{mean_position_accuracy_m, mean_time_accuracy_min};
-use glove_core::stream::{events_of, run_stream, StreamEvent, StreamRun};
+use glove_core::api::{NullObserver, RunBuilder, RunOutput};
+use glove_core::stream::{events_of, StreamEvent, StreamRun};
 use glove_core::{CarryPolicy, GloveConfig, StreamConfig, SuppressionThresholds, UnderKPolicy};
 
 /// One measured configuration.
@@ -82,19 +83,33 @@ fn run_one(
     threads: usize,
     label: &str,
 ) -> (Row, StreamRun) {
+    let glove = GloveConfig {
+        threads,
+        ..GloveConfig::default()
+    };
     let config = StreamConfig {
         window_min,
         carry,
         under_k: UnderKPolicy::Suppress,
-        glove: GloveConfig {
-            threads,
-            ..GloveConfig::default()
-        },
+        glove,
     };
     let started = std::time::Instant::now();
-    let run =
-        run_stream(name.to_string(), events.iter().copied(), config).expect("stream succeeds");
+    let outcome = RunBuilder::new(glove)
+        .stream(config)
+        .run_events(name, &mut events.iter().copied().map(Ok), &mut NullObserver)
+        .expect("stream succeeds");
     let elapsed = started.elapsed().as_secs_f64();
+    let stats = outcome
+        .report
+        .detail
+        .as_stream()
+        .expect("stream detail")
+        .clone();
+    let epochs = match outcome.output {
+        RunOutput::Epochs(epochs) => epochs,
+        RunOutput::Dataset(_) => unreachable!("stream mode emits epochs"),
+    };
+    let run = StreamRun { epochs, stats };
     for epoch in &run.epochs {
         assert!(
             epoch.output.dataset.is_k_anonymous(2),

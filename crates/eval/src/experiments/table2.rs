@@ -9,8 +9,10 @@
 
 use crate::context::EvalContext;
 use crate::report::{fmt, pct, write_csv, Report};
-use glove_baselines::{w4m_lc, W4mConfig};
+use glove_baselines::{W4mAnonymizer, W4mConfig};
 use glove_core::accuracy::{mean_position_accuracy_m, mean_time_accuracy_min};
+use glove_core::api::json::JsonValue;
+use glove_core::api::{Anonymizer, NullObserver};
 use glove_core::{Dataset, SuppressionThresholds};
 use glove_synth::city_subset;
 
@@ -42,24 +44,30 @@ fn run_glove(ctx: &mut EvalContext, ds: &Dataset, k: usize) -> Cell {
     }
 }
 
+/// W4M runs through the unified [`Anonymizer`] trait: the shared counters
+/// come straight off the engine-agnostic report, the error metrics off its
+/// external detail section — the same uniform read any future defense
+/// behind the trait gets.
 fn run_w4m(ds: &Dataset, k: usize) -> Cell {
     let total_samples = ds.num_user_samples() as f64;
-    let out = w4m_lc(
-        ds,
-        &W4mConfig {
-            k,
-            ..W4mConfig::default()
-        },
-    );
+    let engine: Box<dyn Anonymizer> = Box::new(W4mAnonymizer::new(W4mConfig {
+        k,
+        ..W4mConfig::default()
+    }));
+    engine.prepare(ds).expect("W4M applicable to raw input");
+    let outcome = engine.run(ds, &mut NullObserver).expect("W4M succeeds");
+    let report = &outcome.report;
+    let detail = report.detail.as_external().expect("w4m detail");
+    let err = |key: &str| detail.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
     Cell {
-        discarded_fp: out.stats.discarded_fingerprints,
-        discarded_fp_frac: out.stats.discarded_fingerprints as f64 / ds.fingerprints.len() as f64,
-        created_samples: out.stats.created_samples,
-        created_frac: out.stats.created_samples as f64 / total_samples,
-        deleted_samples: out.stats.deleted_samples,
-        deleted_frac: out.stats.deleted_samples as f64 / total_samples,
-        mean_pos_err_m: out.stats.mean_position_error_m,
-        mean_time_err_min: out.stats.mean_time_error_min,
+        discarded_fp: report.discarded_fingerprints,
+        discarded_fp_frac: report.discarded_fingerprints as f64 / ds.fingerprints.len() as f64,
+        created_samples: report.created_samples,
+        created_frac: report.created_samples as f64 / total_samples,
+        deleted_samples: report.deleted_samples,
+        deleted_frac: report.deleted_samples as f64 / total_samples,
+        mean_pos_err_m: err("mean_position_error_m"),
+        mean_time_err_min: err("mean_time_error_min"),
     }
 }
 

@@ -21,6 +21,9 @@
 //!
 //! ## Quickstart
 //!
+//! Every engine runs through one [`core::api::RunBuilder`] and returns the
+//! same serializable [`core::api::RunReport`]:
+//!
 //! ```
 //! use glove::prelude::*;
 //!
@@ -29,9 +32,13 @@
 //! scenario.num_towers = 300;
 //! let synth = generate(&scenario);
 //!
-//! let output = anonymize(&synth.dataset, &GloveConfig::default()).unwrap();
-//! assert!(output.dataset.is_k_anonymous(2));
-//! assert_eq!(output.dataset.num_users(), 20);
+//! let outcome = RunBuilder::new(GloveConfig::default())
+//!     .run(&synth.dataset)
+//!     .unwrap();
+//! assert_eq!(outcome.report.engine, "glove-batch");
+//! let published = outcome.expect_dataset();
+//! assert!(published.is_k_anonymous(2));
+//! assert_eq!(published.num_users(), 20);
 //! ```
 //!
 //! See the `examples/` directory for complete workflows and DESIGN.md for
@@ -55,7 +62,14 @@ pub mod prelude {
     pub use glove_attack::{
         random_point_attack, top_location_uniqueness, AttackOutcome, RandomPointAttack,
     };
-    pub use glove_baselines::{generalize_uniform, w4m_lc, GeneralizationLevel, W4mConfig};
+    pub use glove_baselines::{
+        generalize_uniform, w4m_lc, GeneralizationLevel, UniformAnonymizer, W4mAnonymizer,
+        W4mConfig,
+    };
+    pub use glove_core::api::{
+        Anonymizer, LogObserver, MetricsSink, NullObserver, Observer, RunBuilder, RunDetail,
+        RunMode, RunOutcome, RunOutput, RunReport,
+    };
     pub use glove_core::glove::{anonymize, GloveOutput, GloveStats};
     pub use glove_core::kgap::{kgap, kgap_all, kgap_decomposed_all};
     pub use glove_core::shard::ShardStat;
