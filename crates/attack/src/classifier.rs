@@ -1,0 +1,400 @@
+//! The top-locations classifier adversary, in the spirit of
+//! *k-fingerprinting* (Hayes & Danezis): train a per-record location
+//! profile on one period of the published output, then link the records of
+//! a later period back to their training profiles by feature similarity.
+//!
+//! Where the multi-point adversary holds exact spatiotemporal points, this
+//! one holds *behavioural features* — the frequency profile of the cells a
+//! record visits — and needs no ground-truth observation at all: both the
+//! training and the linking side are published data. It therefore measures
+//! a different leak: whether the released records of two periods can be
+//! chained by their location habits, the longitudinal version of the
+//! Zang–Bolot top-location attack.
+//!
+//! The classifier is a deterministic nearest-profile matcher (cosine
+//! similarity over top-`L` coarse-cell frequencies) rather than a trained
+//! forest — the published feature space is small enough that the nearest
+//! profile is the Bayes-ish baseline, and determinism keeps the whole
+//! evaluation reproducible. Linking is parallelized over
+//! [`glove_core::parallel`].
+
+use crate::report::{Attack, AttackReport, PublishedView};
+use glove_core::parallel::par_map;
+use glove_core::{Dataset, Fingerprint, GloveError, Sample, UserId};
+use std::collections::BTreeMap;
+
+/// Side length of the coarse feature cells, meters. Published boxes are
+/// binned by their center, so records generalized to different extents
+/// still land in comparable features.
+pub const FEATURE_CELL_M: i64 = 1_000;
+
+/// Configuration of the top-locations classifier adversary.
+#[derive(Debug, Clone, Copy)]
+pub struct TopLocationClassifier {
+    /// Number of most-frequent cells kept per profile (`L`).
+    pub l: usize,
+    /// Boundary minute between the training and the linking period.
+    /// `None` splits the published span in half (epoch views split the
+    /// epoch list in half instead).
+    pub split_min: Option<u32>,
+    /// Worker threads (0 = one per core).
+    pub threads: usize,
+}
+
+impl Default for TopLocationClassifier {
+    fn default() -> Self {
+        Self {
+            l: 5,
+            split_min: None,
+            threads: 0,
+        }
+    }
+}
+
+/// One record's location profile: its top-`L` coarse cells with normalized
+/// visit frequencies, plus the subscribers behind it (ground truth for
+/// scoring only — the classifier itself never reads them).
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Subscribers hidden in the record.
+    pub users: Vec<UserId>,
+    /// `(coarse cell, frequency)` pairs, sorted by cell for merge-joins.
+    pub cells: Vec<((i64, i64), f64)>,
+}
+
+/// Builds the top-`l` coarse-cell frequency profile of `samples`.
+pub(crate) fn profile_of(
+    users: &[UserId],
+    samples: impl Iterator<Item = Sample>,
+    l: usize,
+) -> Option<Profile> {
+    let mut counts: BTreeMap<(i64, i64), u32> = BTreeMap::new();
+    for s in samples {
+        let cx = (s.x + i64::from(s.dx) / 2).div_euclid(FEATURE_CELL_M);
+        let cy = (s.y + i64::from(s.dy) / 2).div_euclid(FEATURE_CELL_M);
+        *counts.entry((cx, cy)).or_default() += 1;
+    }
+    if counts.is_empty() {
+        return None;
+    }
+    let mut ranked: Vec<((i64, i64), u32)> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(l);
+    let norm = f64::sqrt(ranked.iter().map(|(_, c)| f64::from(*c).powi(2)).sum());
+    let mut cells: Vec<((i64, i64), f64)> = ranked
+        .into_iter()
+        .map(|(cell, c)| (cell, f64::from(c) / norm))
+        .collect();
+    cells.sort_by_key(|(cell, _)| *cell);
+    Some(Profile {
+        users: users.to_vec(),
+        cells,
+    })
+}
+
+/// Cosine similarity of two sorted sparse profiles (both are unit-norm
+/// over their kept cells, so this is a plain sparse dot product).
+pub fn profile_similarity(a: &Profile, b: &Profile) -> f64 {
+    let (mut i, mut j, mut dot) = (0usize, 0usize, 0.0f64);
+    while i < a.cells.len() && j < b.cells.len() {
+        match a.cells[i].0.cmp(&b.cells[j].0) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                dot += a.cells[i].1 * b.cells[j].1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    dot
+}
+
+/// Result of one classifier linkage run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkageOutcome {
+    /// Profiles in the training period.
+    pub training_profiles: usize,
+    /// Subscribers covered by the training profiles.
+    pub training_users: usize,
+    /// Link-period records scored (records with no samples in the period
+    /// are not scorable and excluded).
+    pub targets: usize,
+    /// Targets whose top-similarity training profile(s) share at least one
+    /// subscriber with them.
+    pub linked: usize,
+    /// Mean subscriber count of the tied top-similarity profile set.
+    pub mean_candidate_users: f64,
+}
+
+impl LinkageOutcome {
+    /// Fraction of scorable targets correctly linked.
+    pub fn linkage_rate(&self) -> f64 {
+        if self.targets == 0 {
+            0.0
+        } else {
+            self.linked as f64 / self.targets as f64
+        }
+    }
+}
+
+/// Splits the published view into (training, linking) profile sets.
+fn periods(view: &PublishedView<'_>, cfg: &TopLocationClassifier) -> (Vec<Profile>, Vec<Profile>) {
+    match view {
+        PublishedView::Dataset(ds) => {
+            let split = cfg.split_min.map(u64::from).unwrap_or(ds.span_min() / 2);
+            let train = ds
+                .fingerprints
+                .iter()
+                .filter_map(|fp| {
+                    profile_of(
+                        fp.users(),
+                        fp.samples()
+                            .iter()
+                            .copied()
+                            .filter(|s| u64::from(s.t) < split),
+                        cfg.l,
+                    )
+                })
+                .collect();
+            let link = ds
+                .fingerprints
+                .iter()
+                .filter_map(|fp| {
+                    profile_of(
+                        fp.users(),
+                        fp.samples()
+                            .iter()
+                            .copied()
+                            .filter(|s| u64::from(s.t) >= split),
+                        cfg.l,
+                    )
+                })
+                .collect();
+            (train, link)
+        }
+        PublishedView::Epochs(epochs) => {
+            let half = epochs.len().div_ceil(2);
+            let profiles = |slice: &[Dataset]| -> Vec<Profile> {
+                slice
+                    .iter()
+                    .flat_map(|ds| ds.fingerprints.iter())
+                    .filter_map(|fp: &Fingerprint| {
+                        profile_of(fp.users(), fp.samples().iter().copied(), cfg.l)
+                    })
+                    .collect()
+            };
+            (profiles(&epochs[..half]), profiles(&epochs[half..]))
+        }
+    }
+}
+
+/// Runs the classifier linkage over `published`: profiles are trained on
+/// the first period and every later-period record is linked to its
+/// nearest training profile.
+pub fn classifier_attack(
+    published: &PublishedView<'_>,
+    cfg: &TopLocationClassifier,
+) -> LinkageOutcome {
+    assert!(cfg.l >= 1, "the classifier needs at least one feature cell");
+    let (train, link) = periods(published, cfg);
+    let training_users: usize = train.iter().map(|p| p.users.len()).sum();
+    if train.is_empty() || link.is_empty() {
+        return LinkageOutcome {
+            training_profiles: train.len(),
+            training_users,
+            targets: 0,
+            linked: 0,
+            mean_candidate_users: 0.0,
+        };
+    }
+    // (linked?, users in the tied top set) per target, in parallel. Each
+    // similarity is computed once and cached for the tie scan.
+    let scored: Vec<(bool, usize)> = par_map(link.len(), cfg.threads, |i| {
+        let target = &link[i];
+        let sims: Vec<f64> = train
+            .iter()
+            .map(|candidate| profile_similarity(target, candidate))
+            .collect();
+        let best = sims.iter().copied().fold(0.0f64, f64::max);
+        if best <= 0.0 {
+            // No training profile shares a single cell with the target:
+            // the classifier learned nothing. Not a link; the candidate
+            // set degrades to the whole training population.
+            return (false, training_users);
+        }
+        let mut tied_users = 0usize;
+        let mut linked = false;
+        for (candidate, sim) in train.iter().zip(&sims) {
+            if (sim - best).abs() < 1e-12 {
+                tied_users += candidate.users.len();
+                if candidate.users.iter().any(|u| target.users.contains(u)) {
+                    linked = true;
+                }
+            }
+        }
+        (linked, tied_users)
+    });
+    let linked = scored.iter().filter(|(hit, _)| *hit).count();
+    let mean_candidate_users =
+        scored.iter().map(|(_, users)| users).sum::<usize>() as f64 / scored.len() as f64;
+    LinkageOutcome {
+        training_profiles: train.len(),
+        training_users,
+        targets: link.len(),
+        linked,
+        mean_candidate_users,
+    }
+}
+
+impl Attack for TopLocationClassifier {
+    fn name(&self) -> &'static str {
+        "top-location"
+    }
+
+    fn run(
+        &self,
+        _original: &Dataset,
+        published: &PublishedView<'_>,
+    ) -> Result<AttackReport, GloveError> {
+        let outcome = classifier_attack(published, self);
+        Ok(AttackReport {
+            attack: self.name().to_string(),
+            dataset: published.name().to_string(),
+            population: published.population(),
+            trials: outcome.targets,
+            success_rate: outcome.linkage_rate(),
+            mean_anonymity: outcome.mean_candidate_users,
+            min_anonymity: 0,
+            metrics: vec![
+                ("l".to_string(), self.l as f64),
+                (
+                    "training_profiles".to_string(),
+                    outcome.training_profiles as f64,
+                ),
+                ("training_users".to_string(), outcome.training_users as f64),
+                ("linked".to_string(), outcome.linked as f64),
+            ],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use glove_core::glove::anonymize;
+    use glove_core::GloveConfig;
+
+    /// Six habitual subscribers: each lives in their own cell, visited in
+    /// both halves of the horizon.
+    fn habitual_dataset() -> Dataset {
+        let fps = (0..6u32)
+            .map(|u| {
+                let home = i64::from(u) * 10_000;
+                Fingerprint::from_points(
+                    u,
+                    &[
+                        (home, 0, 10 + u),
+                        (home, 0, 200 + u),
+                        (home, 0, 1_000 + u),
+                        (home, 0, 1_200 + u),
+                    ],
+                )
+                .unwrap()
+            })
+            .collect();
+        Dataset::new("habits", fps).unwrap()
+    }
+
+    #[test]
+    fn habitual_raw_records_are_fully_linkable() {
+        let ds = habitual_dataset();
+        let cfg = TopLocationClassifier {
+            split_min: Some(600),
+            ..TopLocationClassifier::default()
+        };
+        let outcome = classifier_attack(&PublishedView::Dataset(&ds), &cfg);
+        assert_eq!(outcome.targets, 6);
+        assert_eq!(outcome.linkage_rate(), 1.0);
+        assert_eq!(outcome.mean_candidate_users, 1.0);
+    }
+
+    #[test]
+    fn training_side_conserves_the_user_count() {
+        let ds = habitual_dataset();
+        let cfg = TopLocationClassifier {
+            split_min: Some(600),
+            ..TopLocationClassifier::default()
+        };
+        let outcome = classifier_attack(&PublishedView::Dataset(&ds), &cfg);
+        assert_eq!(
+            outcome.training_users,
+            ds.num_users(),
+            "every subscriber must appear in exactly one training profile"
+        );
+    }
+
+    #[test]
+    fn merged_records_blunt_the_classifier() {
+        let ds = habitual_dataset();
+        let out = anonymize(&ds, &GloveConfig::default()).unwrap();
+        let cfg = TopLocationClassifier {
+            split_min: Some(600),
+            ..TopLocationClassifier::default()
+        };
+        let raw = classifier_attack(&PublishedView::Dataset(&ds), &cfg);
+        let anon = classifier_attack(&PublishedView::Dataset(&out.dataset), &cfg);
+        // Each linked record now names a >= k crowd, never an individual.
+        assert!(anon.mean_candidate_users >= 2.0 || anon.targets == 0);
+        assert!(anon.mean_candidate_users >= raw.mean_candidate_users);
+    }
+
+    #[test]
+    fn epoch_view_splits_the_epoch_list() {
+        let ds = habitual_dataset();
+        let early = Dataset::new(
+            "habits",
+            ds.fingerprints
+                .iter()
+                .map(|fp| {
+                    let samples: Vec<Sample> =
+                        fp.samples().iter().copied().filter(|s| s.t < 600).collect();
+                    Fingerprint::with_users(fp.users().to_vec(), samples).unwrap()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let late = Dataset::new(
+            "habits",
+            ds.fingerprints
+                .iter()
+                .map(|fp| {
+                    let samples: Vec<Sample> = fp
+                        .samples()
+                        .iter()
+                        .copied()
+                        .filter(|s| s.t >= 600)
+                        .collect();
+                    Fingerprint::with_users(fp.users().to_vec(), samples).unwrap()
+                })
+                .collect(),
+        )
+        .unwrap();
+        let epochs = [early, late];
+        let outcome = classifier_attack(
+            &PublishedView::Epochs(&epochs),
+            &TopLocationClassifier::default(),
+        );
+        assert_eq!(outcome.targets, 6);
+        assert_eq!(outcome.linkage_rate(), 1.0);
+    }
+
+    #[test]
+    fn similarity_is_cosine_on_shared_cells() {
+        let a = profile_of(&[0], [Sample::point(0, 0, 1)].into_iter(), 3).unwrap();
+        let b = profile_of(&[1], [Sample::point(0, 0, 2)].into_iter(), 3).unwrap();
+        let c = profile_of(&[2], [Sample::point(50_000, 0, 2)].into_iter(), 3).unwrap();
+        assert!((profile_similarity(&a, &b) - 1.0).abs() < 1e-12);
+        assert_eq!(profile_similarity(&a, &c), 0.0);
+    }
+}

@@ -1,4 +1,4 @@
-//! # glove-attack — record-linkage adversaries
+//! # glove-attack — the adversary subsystem
 //!
 //! The paper motivates GLOVE with two published attacks on mobile traffic
 //! micro-data (§1, §2.3):
@@ -11,28 +11,60 @@
 //!   adversary knows a handful of random spatiotemporal points of the
 //!   target. Four points identified 95 % of 1.5 M users.
 //!
-//! GLOVE defends against *record linkage* under quasi-identifier-blind
-//! anonymity: whatever portion of the target's true trajectory the
-//! adversary holds, every published record consistent with it hides ≥ k
-//! subscribers. This crate measures exactly that:
+//! Real adversaries go further — *k-fingerprinting* (Hayes & Danezis)
+//! trains classifiers on observed traffic, and online attackers correlate
+//! serial releases — so this crate scales the adversary the same way the
+//! rest of the workspace scales the defense. Three attacks run behind the
+//! common [`Attack`] trait, all parallelized over `glove_core::parallel`
+//! and all reporting through the serializable [`AttackReport`] that embeds
+//! into the unified `RunReport`:
 //!
-//! * [`top_location_uniqueness`] — the share of subscribers whose top-L
-//!   cell set is unique in the dataset (attack `[5]` on raw data);
-//! * [`random_point_attack`] — draws `p` true samples per target and counts
-//!   the candidate subscribers consistent with them in the *published*
-//!   dataset: the anonymity-set size. On raw data it collapses to 1 (the
-//!   attack succeeds); after GLOVE it is ≥ k by construction.
+//! * [`MultiPointAttack`] — `p` known (time, location) points per target
+//!   with configurable observation noise, ranking candidates by
+//!   consistency ([`multi_point_attack`]); the `p = 1`…`n` generalization
+//!   of ref. `[6]`. The legacy [`random_point_attack`] is this attack with
+//!   an exact adversary.
+//! * [`TopLocationClassifier`] — trains per-record location profiles on
+//!   one period of the *published* output and links a later period back
+//!   by feature similarity ([`classifier_attack`]); the longitudinal
+//!   version of ref. `[5]` in the k-fingerprinting mold.
+//! * [`CrossEpochAttack`] — consumes the per-epoch outputs of a streaming
+//!   run and measures how often groups can be chained across windows
+//!   ([`cross_epoch_attack`]); the [`AttackObserver`] scores epochs
+//!   incrementally as a stream emits them. This is the measurement behind
+//!   DESIGN.md's `Sticky`-vs-`Fresh` linkability caveat.
+//!
+//! Raw-data uniqueness statistics ([`top_location_uniqueness`]) complete
+//! the picture: on raw data the attacks pinpoint most subscribers; after
+//! GLOVE every record hides ≥ k of them, so the anonymity set is bounded
+//! below by k *whatever* the adversary's `p`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod classifier;
+pub mod linkage;
+pub mod multi;
+pub mod report;
+
+pub use classifier::{classifier_attack, LinkageOutcome, Profile, TopLocationClassifier};
+pub use linkage::{
+    cross_epoch_attack, AttackObserver, CrossEpochAttack, CrossEpochOutcome, CrossEpochTracker,
+    EpochLinkStat,
+};
+pub use multi::{
+    multi_point_attack, AdversaryNoise, MultiPointAttack, MultiPointOutcome, TrialOutcome,
+};
+pub use report::{Attack, AttackReport, PublishedView};
+
+use glove_core::model::{NATIVE_PITCH_M, NATIVE_QUANTUM_MIN};
 use glove_core::{Dataset, Fingerprint, Sample};
-use rand::prelude::*;
-use rand::rngs::StdRng;
 use std::collections::HashMap;
 
-/// A spatiotemporal point of adversary knowledge: the target was at cell
-/// `(x, y)` at minute `t` (native granularity ground truth).
+/// A spatiotemporal point of adversary knowledge: the target was inside
+/// the native cell whose west/south edge is `(x, y)` — a
+/// [`NATIVE_PITCH_M`]-sized square — at some instant of minute `t`
+/// (i.e. during the half-open minute `[t, t + 1)`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct KnownPoint {
     /// Cell west edge, meters.
@@ -44,15 +76,46 @@ pub struct KnownPoint {
 }
 
 impl KnownPoint {
-    /// True if a published (possibly generalized) sample is consistent with
-    /// this knowledge: its box covers the point in space and time.
+    /// True if a published (possibly generalized) sample is consistent
+    /// with this knowledge: the sample's box *intersects* the known
+    /// cell-minute, so the target cannot be ruled out as the record's
+    /// subscriber.
+    ///
+    /// All axes use half-open interval intersection. The knowledge cell is
+    /// `[x, x + 100) × [y, y + 100)`, the knowledge minute `[t, t + 1)`;
+    /// a box touching only at an edge does **not** intersect. On the
+    /// grid-aligned boxes GLOVE emits, intersection coincides with the
+    /// older corner-containment check, but on arbitrarily offset boxes
+    /// (W4M resampling, uniform generalization) corner containment wrongly
+    /// ruled out records that partially cover the cell — silently
+    /// *shrinking* anonymity sets and inflating attack rates. The boundary
+    /// semantics are pinned by this module's unit tests.
     pub fn consistent_with(&self, s: &Sample) -> bool {
-        s.x <= self.x
-            && self.x < s.x_end()
-            && s.y <= self.y
-            && self.y < s.y_end()
-            && s.t <= self.t
-            && u64::from(self.t) < s.t_end()
+        self.consistent_within(s, 0, 0)
+    }
+
+    /// [`KnownPoint::consistent_with`] under an adversary-noise envelope:
+    /// the sample's box is dilated by `space_m` meters per spatial axis
+    /// and `time_min` minutes per time direction before the intersection
+    /// test, so a point perturbed by at most the envelope can never rule
+    /// out the record it was observed from.
+    pub fn consistent_within(&self, s: &Sample, space_m: u32, time_min: u32) -> bool {
+        let (sp, tm) = (i64::from(space_m), i64::from(time_min));
+        let cell = i64::from(NATIVE_PITCH_M);
+        let quantum = i64::from(NATIVE_QUANTUM_MIN);
+        // Spatial: dilated box [s.x - sp, s.x_end() + sp) must intersect
+        // the knowledge cell [x, x + cell).
+        if s.x - sp >= self.x + cell || self.x >= s.x_end() + sp {
+            return false;
+        }
+        if s.y - sp >= self.y + cell || self.y >= s.y_end() + sp {
+            return false;
+        }
+        // Temporal: dilated window [s.t - tm, s.t_end() + tm) must
+        // intersect the knowledge minute [t, t + 1). Signed arithmetic —
+        // the window start may dip below zero under dilation.
+        let t = i64::from(self.t);
+        i64::from(s.t) - tm < t + quantum && t < s.t_end() as i64 + tm
     }
 }
 
@@ -77,11 +140,14 @@ pub fn top_locations(fp: &Fingerprint, l: usize) -> Vec<(i64, i64)> {
 /// groups are inherently non-unique.
 pub fn top_location_uniqueness(dataset: &Dataset, l: usize) -> f64 {
     assert!(l >= 1, "need at least one location of knowledge");
-    let mut signature_population: HashMap<Vec<(i64, i64)>, usize> = HashMap::new();
-    for fp in &dataset.fingerprints {
-        *signature_population
-            .entry(top_locations(fp, l))
-            .or_default() += fp.multiplicity();
+    let signatures: Vec<Vec<(i64, i64)>> = dataset
+        .fingerprints
+        .iter()
+        .map(|fp| top_locations(fp, l))
+        .collect();
+    let mut signature_population: HashMap<&[(i64, i64)], usize> = HashMap::new();
+    for (fp, sig) in dataset.fingerprints.iter().zip(&signatures) {
+        *signature_population.entry(sig.as_slice()).or_default() += fp.multiplicity();
     }
     let total: usize = dataset.num_users();
     if total == 0 {
@@ -90,13 +156,15 @@ pub fn top_location_uniqueness(dataset: &Dataset, l: usize) -> f64 {
     let unique_users: usize = dataset
         .fingerprints
         .iter()
-        .filter(|fp| signature_population[&top_locations(fp, l)] == 1)
-        .map(|fp| fp.multiplicity())
+        .zip(&signatures)
+        .filter(|(_, sig)| signature_population[sig.as_slice()] == 1)
+        .map(|(fp, _)| fp.multiplicity())
         .sum();
     unique_users as f64 / total as f64
 }
 
-/// Configuration of the random-point adversary.
+/// Configuration of the random-point adversary (the exact-knowledge
+/// special case of [`MultiPointAttack`], kept for API stability).
 #[derive(Debug, Clone, Copy)]
 pub struct RandomPointAttack {
     /// Points of knowledge per target (ref. `[6]` uses 4–5).
@@ -150,12 +218,15 @@ impl AttackOutcome {
     }
 }
 
-/// Runs the random-point linkage attack.
+/// Runs the random-point linkage attack — [`multi_point_attack`] with an
+/// exact (noise-free) adversary, kept as the stable legacy entry point.
 ///
 /// For each trial a target subscriber is drawn from `original` (the ground
 /// truth the adversary observed) together with `points` of their true
-/// samples; the attack then counts the subscribers of every record in
-/// `published` consistent with *all* points.
+/// samples, uniformly over the target's *sample list* (frequently visited
+/// cells are proportionally more likely to be observed); the attack then
+/// counts the subscribers of every record in `published` consistent with
+/// *all* points.
 ///
 /// Call with `published = original` to measure raw-data uniqueness (the
 /// ref. `[6]` experiment); call with the GLOVE output to verify the defence.
@@ -169,56 +240,20 @@ pub fn random_point_attack(
     published: &Dataset,
     cfg: &RandomPointAttack,
 ) -> AttackOutcome {
-    assert!(cfg.points >= 1, "the adversary needs at least one point");
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let population = published.num_users();
-    let mut anonymity_sets = Vec::with_capacity(cfg.trials);
-
-    let candidates: Vec<&Fingerprint> = original
-        .fingerprints
-        .iter()
-        .filter(|fp| fp.len() >= cfg.points)
-        .collect();
-    if candidates.is_empty() {
-        return AttackOutcome {
-            anonymity_sets: Vec::new(),
-        };
+    let outcome = multi_point_attack(
+        original,
+        &PublishedView::Dataset(published),
+        &MultiPointAttack {
+            points: cfg.points,
+            trials: cfg.trials,
+            seed: cfg.seed,
+            noise: AdversaryNoise::exact(),
+            threads: 0,
+        },
+    );
+    AttackOutcome {
+        anonymity_sets: outcome.anonymity_sets(),
     }
-
-    for _ in 0..cfg.trials {
-        let target = candidates[rng.gen_range(0..candidates.len())];
-        // Sample `points` distinct true samples of the target.
-        let mut indices: Vec<usize> = (0..target.len()).collect();
-        indices.shuffle(&mut rng);
-        let knowledge: Vec<KnownPoint> = indices[..cfg.points]
-            .iter()
-            .map(|&i| {
-                let s = target.samples()[i];
-                KnownPoint {
-                    x: s.x,
-                    y: s.y,
-                    t: s.t,
-                }
-            })
-            .collect();
-
-        let consistent_users: usize = published
-            .fingerprints
-            .iter()
-            .filter(|fp| {
-                knowledge
-                    .iter()
-                    .all(|p| fp.samples().iter().any(|s| p.consistent_with(s)))
-            })
-            .map(|fp| fp.multiplicity())
-            .sum();
-        anonymity_sets.push(if consistent_users == 0 {
-            population
-        } else {
-            consistent_users
-        });
-    }
-    AttackOutcome { anonymity_sets }
 }
 
 #[cfg(test)]
@@ -256,6 +291,76 @@ mod tests {
         assert!(!p.consistent_with(&elsewhere));
         let too_late = Sample::new(0, 0, 1_000, 1_000, 51, 10).unwrap();
         assert!(!p.consistent_with(&too_late));
+    }
+
+    #[test]
+    fn spatial_boundaries_are_half_open_intersections() {
+        // Knowledge cell: [100, 200) × [200, 300).
+        let p = KnownPoint {
+            x: 100,
+            y: 200,
+            t: 50,
+        };
+        // A box ending exactly at the cell's west edge does not intersect.
+        let west_adjacent = Sample::new(0, 200, 100, 100, 50, 1).unwrap();
+        assert!(!p.consistent_with(&west_adjacent));
+        // One meter further east it does.
+        let west_grazing = Sample::new(1, 200, 100, 100, 50, 1).unwrap();
+        assert!(p.consistent_with(&west_grazing));
+        // A box starting exactly at the cell's east edge does not intersect…
+        let east_adjacent = Sample::new(200, 200, 100, 100, 50, 1).unwrap();
+        assert!(!p.consistent_with(&east_adjacent));
+        // …but one starting at the last meter of the cell does — this is
+        // the case the older corner-containment check wrongly excluded.
+        let east_grazing = Sample::new(199, 200, 100, 100, 50, 1).unwrap();
+        assert!(p.consistent_with(&east_grazing));
+        // Same semantics on the y axis.
+        let north_grazing = Sample::new(100, 299, 100, 100, 50, 1).unwrap();
+        assert!(p.consistent_with(&north_grazing));
+        let north_adjacent = Sample::new(100, 300, 100, 100, 50, 1).unwrap();
+        assert!(!p.consistent_with(&north_adjacent));
+    }
+
+    #[test]
+    fn temporal_boundaries_are_half_open_intersections() {
+        // Knowledge minute: [50, 51).
+        let p = KnownPoint { x: 0, y: 0, t: 50 };
+        // Window [40, 50) ends exactly at the knowledge minute: no overlap.
+        let ends_at = Sample::new(0, 0, 100, 100, 40, 10).unwrap();
+        assert!(!p.consistent_with(&ends_at));
+        // Window [40, 51) includes minute 50.
+        let ends_after = Sample::new(0, 0, 100, 100, 40, 11).unwrap();
+        assert!(p.consistent_with(&ends_after));
+        // Window [50, 51) is exactly the knowledge minute.
+        let exact = Sample::new(0, 0, 100, 100, 50, 1).unwrap();
+        assert!(p.consistent_with(&exact));
+        // Window [51, 60) starts after the knowledge minute: no overlap.
+        let starts_after = Sample::new(0, 0, 100, 100, 51, 9).unwrap();
+        assert!(!p.consistent_with(&starts_after));
+    }
+
+    #[test]
+    fn noise_dilation_is_symmetric_and_sound() {
+        let p = KnownPoint {
+            x: 1_000,
+            y: 0,
+            t: 50,
+        };
+        // 300 m west of the cell: inconsistent exactly; a 300 m envelope
+        // makes the dilated box *touch* the cell (still no overlap under
+        // half-open semantics), one more meter overlaps.
+        let west = Sample::new(600, 0, 100, 100, 50, 1).unwrap();
+        assert!(!p.consistent_with(&west));
+        assert!(!p.consistent_within(&west, 300, 0));
+        assert!(p.consistent_within(&west, 301, 0));
+        // Ten minutes early: needs a 10-minute envelope.
+        let early = Sample::new(1_000, 0, 100, 100, 30, 10).unwrap();
+        assert!(!p.consistent_within(&early, 0, 10));
+        assert!(p.consistent_within(&early, 0, 11));
+        // Time dilation below zero must not underflow.
+        let origin = KnownPoint { x: 0, y: 0, t: 0 };
+        let at_zero = Sample::new(0, 0, 100, 100, 0, 1).unwrap();
+        assert!(origin.consistent_within(&at_zero, 0, 1_000));
     }
 
     #[test]
@@ -368,6 +473,37 @@ mod tests {
         let a = random_point_attack(&ds, &ds, &cfg);
         let b = random_point_attack(&ds, &ds, &cfg);
         assert_eq!(a.anonymity_sets, b.anonymity_sets);
+    }
+
+    #[test]
+    fn legacy_entry_point_equals_the_multi_point_attack() {
+        // The acceptance anchor of the subsystem: for every p, the legacy
+        // wrapper reports exactly the multi-point engine's anonymity sets.
+        let ds = raw_dataset();
+        let published = anonymize(&ds, &GloveConfig::default()).unwrap().dataset;
+        for points in [1usize, 2] {
+            let legacy = random_point_attack(
+                &ds,
+                &published,
+                &RandomPointAttack {
+                    points,
+                    trials: 50,
+                    seed: 77,
+                },
+            );
+            let multi = multi_point_attack(
+                &ds,
+                &PublishedView::Dataset(&published),
+                &MultiPointAttack {
+                    points,
+                    trials: 50,
+                    seed: 77,
+                    noise: AdversaryNoise::exact(),
+                    threads: 0,
+                },
+            );
+            assert_eq!(legacy.anonymity_sets, multi.anonymity_sets());
+        }
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! Property harness for the adversary subsystem, mirroring the
+//! conservation discipline of the core suppression-ledger checks:
+//!
+//! * **Monotonicity in k** — on GLOVE output, attack success never grows
+//!   with k: the pinpoint rate is 0 for every k ≥ 2 (each anonymity set is
+//!   a union of ≥ k-subscriber groups), so the raw → k=2 → k=3 success
+//!   sequence is non-increasing, and every nonempty anonymity set is
+//!   bounded below by k.
+//! * **Conservation** — every attack's anonymity-set accounting covers the
+//!   population exactly: consistent + ruled-out subscribers sum to the
+//!   published user count per trial, classifier training profiles cover
+//!   every subscriber once, and the cross-epoch group ledger matches each
+//!   epoch's user count.
+
+use glove_attack::{
+    classifier_attack, cross_epoch_attack, multi_point_attack, AdversaryNoise, CrossEpochAttack,
+    MultiPointAttack, PublishedView, TopLocationClassifier,
+};
+use glove_core::glove::anonymize;
+use glove_core::stream::{events_of, run_stream};
+use glove_core::{CarryPolicy, Dataset, Fingerprint, GloveConfig, Sample, StreamConfig, UserId};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Strategy: point-like samples clustered around three "cities" inside a
+/// two-day horizon, the same shape the stream property harness uses.
+fn arb_sample() -> impl Strategy<Value = Sample> {
+    (0usize..3, -4_000i64..4_000, -4_000i64..4_000, 0u32..2_880).prop_map(|(city, ox, oy, t)| {
+        let (cx, cy) = [(0, 0), (90_000, 0), (0, 120_000)][city];
+        Sample::point(cx + ox, cy + oy, t)
+    })
+}
+
+/// Strategy: a raw dataset of single-subscriber fingerprints.
+fn arb_dataset(users: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = Dataset> {
+    vec(vec(arb_sample(), 2..=6), users).prop_map(|fps| {
+        let fps = fps
+            .into_iter()
+            .enumerate()
+            .map(|(u, samples)| {
+                Fingerprint::with_users(vec![u as UserId], samples).expect("non-empty")
+            })
+            .collect();
+        Dataset::new("attack-prop", fps).expect("unique users")
+    })
+}
+
+fn attack_cfg(points: usize) -> MultiPointAttack {
+    MultiPointAttack {
+        points,
+        trials: 48,
+        seed: 0xA77AC4,
+        noise: AdversaryNoise::exact(),
+        threads: 1,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Attack success is monotonically non-increasing in k, and every
+    /// nonempty anonymity set on k-anonymized output is at least k.
+    #[test]
+    fn success_is_monotone_non_increasing_in_k(
+        ds in arb_dataset(6..=12),
+        points in 1usize..4,
+    ) {
+        let cfg = attack_cfg(points);
+        let mut success = Vec::new();
+        // k = 1 is the raw release (identity defense).
+        let raw = multi_point_attack(&ds, &PublishedView::Dataset(&ds), &cfg);
+        success.push(raw.pinpoint_rate());
+        for k in [2usize, 3] {
+            if ds.num_users() < k {
+                continue;
+            }
+            let published = anonymize(&ds, &GloveConfig { k, ..GloveConfig::default() })
+                .expect("anonymization succeeds")
+                .dataset;
+            let outcome =
+                multi_point_attack(&ds, &PublishedView::Dataset(&published), &cfg);
+            for trial in &outcome.trials {
+                prop_assert!(
+                    trial.consistent_users == 0 || trial.consistent_users >= k,
+                    "k = {k}: a nonempty anonymity set of {} undercuts k",
+                    trial.consistent_users
+                );
+            }
+            prop_assert!(outcome.trials.is_empty() || outcome.min_anonymity() >= k);
+            success.push(outcome.pinpoint_rate());
+        }
+        for pair in success.windows(2) {
+            prop_assert!(
+                pair[1] <= pair[0] + 1e-12,
+                "success grew with k: {success:?}"
+            );
+        }
+    }
+
+    /// Multi-point accounting conserves the population: every subscriber
+    /// is either consistent with all points or ruled out by at least one.
+    #[test]
+    fn multi_point_accounting_conserves_users(
+        ds in arb_dataset(4..=10),
+        points in 1usize..4,
+        anonymized in 0usize..2,
+    ) {
+        let published = if anonymized == 1 {
+            anonymize(&ds, &GloveConfig::default()).expect("anonymize").dataset
+        } else {
+            ds.clone()
+        };
+        let view = PublishedView::Dataset(&published);
+        let outcome = multi_point_attack(&ds, &view, &attack_cfg(points));
+        let population = published.num_users();
+        prop_assert_eq!(outcome.population, population);
+        for trial in &outcome.trials {
+            prop_assert!(trial.consistent_users <= population);
+            prop_assert!(trial.anonymity_set >= 1 && trial.anonymity_set <= population);
+            prop_assert!(trial.top_rank_users >= 1 && trial.top_rank_users <= population);
+            if trial.consistent_users == 0 {
+                prop_assert_eq!(trial.anonymity_set, population,
+                    "learned-nothing trials degrade to the population");
+            } else {
+                prop_assert_eq!(trial.anonymity_set, trial.consistent_users);
+            }
+        }
+    }
+
+    /// Classifier training profiles cover every published subscriber
+    /// exactly once (each record contributes one profile per period).
+    #[test]
+    fn classifier_training_conserves_users(ds in arb_dataset(4..=10)) {
+        let published = anonymize(&ds, &GloveConfig::default()).expect("anonymize").dataset;
+        let cfg = TopLocationClassifier { split_min: Some(0), threads: 1, ..TopLocationClassifier::default() };
+        // split_min = 0 puts every sample in the link period and none in
+        // training; the real split must cover all subscribers on each side
+        // that has samples.
+        let outcome = classifier_attack(&PublishedView::Dataset(&published), &cfg);
+        prop_assert_eq!(outcome.training_profiles, 0);
+        let cfg = TopLocationClassifier { split_min: Some(3_000), threads: 1, ..TopLocationClassifier::default() };
+        let outcome = classifier_attack(&PublishedView::Dataset(&published), &cfg);
+        // All samples start before minute 2 880, so training covers the
+        // whole population and the link period is empty.
+        prop_assert_eq!(outcome.training_users, published.num_users());
+        prop_assert_eq!(outcome.targets, 0);
+    }
+
+    /// Cross-epoch accounting matches each epoch's published users and
+    /// groups, for both carry policies.
+    #[test]
+    fn cross_epoch_accounting_conserves_users(
+        ds in arb_dataset(4..=10),
+        sticky in 0usize..2,
+    ) {
+        let config = StreamConfig {
+            window_min: 720,
+            carry: if sticky == 1 { CarryPolicy::Sticky } else { CarryPolicy::Fresh },
+            ..StreamConfig::default()
+        };
+        let run = run_stream(ds.name.clone(), events_of(&ds), config)
+            .expect("stream succeeds");
+        let epochs: Vec<Dataset> =
+            run.epochs.into_iter().map(|e| e.output.dataset).collect();
+        let outcome = cross_epoch_attack(&epochs, &CrossEpochAttack { l: 8, threads: 1 });
+        prop_assert_eq!(outcome.epochs, epochs.len());
+        prop_assert_eq!(outcome.pairs.len(), epochs.len().saturating_sub(1));
+        for (stat, ds) in outcome.pairs.iter().zip(&epochs[1..]) {
+            prop_assert_eq!(stat.groups, ds.fingerprints.len());
+            prop_assert_eq!(stat.users, ds.num_users());
+            prop_assert!(stat.attempts <= stat.groups);
+            prop_assert!(stat.signature_hits <= stat.attempts);
+            prop_assert!(stat.persisted <= stat.groups);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! `attack_e2e` — the adversary subsystem end to end on the `metro_like`
+//! scenario, emitting a BENCH JSON point.
+//!
+//! Like `sharded_e2e`/`stream_e2e`, this target measures full runs
+//! directly rather than through the Criterion shim: the multi-point
+//! linkage adversary against the raw and the GLOVE-anonymized release
+//! (single-threaded and all-cores, so the `core::parallel` fan-out
+//! speedup is on record) and the cross-epoch linkage adversary over a
+//! streamed release under both carry policies. A `BENCH {...}` line goes
+//! to stdout and the JSON point to `BENCH_attack_e2e.json` so CI archives
+//! the trajectory.
+//!
+//! The fingerprints CI watches:
+//!
+//! * **trials/s** — multi-point attack throughput on the anonymized
+//!   release, end to end, plus the parallel speedup;
+//! * **pinpoint rates** — high on raw data, exactly 0 after GLOVE (the
+//!   bench doubles as the k-anonymity invariant check);
+//! * **sticky-vs-fresh linkage gap** — the cross-epoch leak DESIGN.md
+//!   documents, measured.
+
+use glove_attack::{
+    cross_epoch_attack, multi_point_attack, AdversaryNoise, CrossEpochAttack, MultiPointAttack,
+    PublishedView,
+};
+use glove_bench::metro_bench_dataset;
+use glove_core::glove::anonymize;
+use glove_core::stream::{events_of, run_stream};
+use glove_core::{CarryPolicy, Dataset, GloveConfig, StreamConfig};
+use std::time::Instant;
+
+const POINTS: usize = 4;
+const WINDOW_MIN: u32 = 2_880; // two-day epochs over the metro span
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
+    let mut users = if test_mode { 96 } else { 600 };
+    if let Some(pos) = args.iter().position(|a| a == "--users") {
+        users = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--users N");
+    }
+    let trials = if test_mode { 64 } else { 400 };
+
+    eprintln!("[attack_e2e] generating metro_like ({users} users)…");
+    let ds = metro_bench_dataset(users);
+
+    eprintln!("[attack_e2e] anonymizing (k = 2)…");
+    let published = anonymize(&ds, &GloveConfig::default())
+        .expect("anonymization succeeds")
+        .dataset;
+
+    let cfg = MultiPointAttack {
+        points: POINTS,
+        trials,
+        seed: 0x00A7_7AC4,
+        noise: AdversaryNoise::exact(),
+        threads: 0,
+    };
+
+    eprintln!("[attack_e2e] multi-point adversary on the raw release…");
+    let raw = multi_point_attack(&ds, &PublishedView::Dataset(&ds), &cfg);
+
+    eprintln!("[attack_e2e] multi-point adversary on the anonymized release…");
+    let started = Instant::now();
+    let anon = multi_point_attack(&ds, &PublishedView::Dataset(&published), &cfg);
+    let parallel_s = started.elapsed().as_secs_f64();
+
+    let started = Instant::now();
+    let anon_single = multi_point_attack(
+        &ds,
+        &PublishedView::Dataset(&published),
+        &MultiPointAttack { threads: 1, ..cfg },
+    );
+    let single_s = started.elapsed().as_secs_f64();
+    assert_eq!(
+        anon, anon_single,
+        "thread count must never change the attack outcome"
+    );
+    let speedup = single_s / parallel_s.max(1e-9);
+
+    // The defense invariant, enforced at bench scale: no pinpoint after
+    // GLOVE, every nonempty anonymity set >= k.
+    assert_eq!(anon.pinpoint_rate(), 0.0, "GLOVE output was pinpointed");
+    assert!(anon.min_anonymity() >= 2, "anonymity set below k");
+    assert!(
+        raw.pinpoint_rate() > 0.5,
+        "raw metro data should be highly identifiable, got {}",
+        raw.pinpoint_rate()
+    );
+
+    eprintln!("[attack_e2e] cross-epoch adversary over streamed releases…");
+    let events = events_of(&ds);
+    let linkage = |carry: CarryPolicy| {
+        let config = StreamConfig {
+            window_min: WINDOW_MIN,
+            carry,
+            ..StreamConfig::default()
+        };
+        let run = run_stream(ds.name.clone(), events.iter().copied(), config)
+            .expect("streamed run succeeds");
+        let epochs: Vec<Dataset> = run.epochs.into_iter().map(|e| e.output.dataset).collect();
+        cross_epoch_attack(&epochs, &CrossEpochAttack::default())
+    };
+    let fresh = linkage(CarryPolicy::Fresh);
+    let sticky = linkage(CarryPolicy::Sticky);
+    let linkage_gap = sticky.linkage_rate() - fresh.linkage_rate();
+    let persistence_gap = sticky.persistence_rate() - fresh.persistence_rate();
+
+    let trials_per_s = trials as f64 / parallel_s.max(1e-9);
+    let json = format!(
+        "{{\"name\":\"attack_e2e\",\"scenario\":\"metro_like\",\"users\":{users},\
+         \"points\":{POINTS},\"trials\":{trials},\"mode\":\"{}\",\
+         \"attack_s\":{parallel_s:.3},\"attack_single_s\":{single_s:.3},\
+         \"trials_per_s\":{trials_per_s:.1},\"parallel_speedup\":{speedup:.2},\
+         \"raw_pinpoint\":{:.4},\"anon_pinpoint\":{:.4},\"anon_min_set\":{},\
+         \"window_min\":{WINDOW_MIN},\"fresh_linkage\":{:.4},\"sticky_linkage\":{:.4},\
+         \"linkage_gap\":{linkage_gap:.4},\"fresh_persistence\":{:.4},\
+         \"sticky_persistence\":{:.4},\"persistence_gap\":{persistence_gap:.4}}}",
+        if test_mode { "test" } else { "bench" },
+        raw.pinpoint_rate(),
+        anon.pinpoint_rate(),
+        anon.min_anonymity(),
+        fresh.linkage_rate(),
+        sticky.linkage_rate(),
+        fresh.persistence_rate(),
+        sticky.persistence_rate(),
+    );
+    println!("BENCH {json}");
+    let dir = std::env::var("BENCH_DIR").unwrap_or_else(|_| {
+        let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+        if std::path::Path::new(&root).is_dir() {
+            root
+        } else {
+            ".".to_string()
+        }
+    });
+    let path = format!("{dir}/BENCH_attack_e2e.json");
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("[attack_e2e] could not write {path}: {e}");
+    }
+    println!(
+        "attack_e2e/metro_{users}: {trials} trials in {parallel_s:.2}s ({trials_per_s:.0}/s, \
+         {speedup:.1}x parallel), raw pinpoint {:.0}%, anonymized 0% (min set {}), \
+         sticky-vs-fresh linkage gap {linkage_gap:+.2}",
+        raw.pinpoint_rate() * 100.0,
+        anon.min_anonymity(),
+    );
+}

@@ -81,46 +81,202 @@ pub fn audit(input: &Path, k: usize, threads: usize) -> Result<String, Box<dyn E
     Ok(out)
 }
 
-/// `glove attack`: record-linkage adversaries against a published dataset.
+/// Options of `glove attack`.
+#[derive(Debug, Clone)]
+pub struct AttackOpts {
+    /// Points of knowledge per target (multi-point adversary).
+    pub points: usize,
+    /// Targets drawn per attack.
+    pub trials: usize,
+    /// RNG seed (the whole command is deterministic given the seed).
+    pub seed: u64,
+    /// Spatial observation-noise envelope, meters per axis.
+    pub noise_space_m: u32,
+    /// Temporal observation-noise envelope, minutes.
+    pub noise_time_min: u32,
+    /// Top-L feature cells of the classifier / cross-epoch profiles.
+    pub top_l: usize,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+}
+
+impl Default for AttackOpts {
+    fn default() -> Self {
+        Self {
+            points: 4,
+            trials: 200,
+            seed: 0xC11,
+            noise_space_m: 0,
+            noise_time_min: 0,
+            top_l: 5,
+            threads: 0,
+        }
+    }
+}
+
+/// Reads the `epoch-*.txt` files of a `glove stream` output directory, in
+/// epoch order.
+fn read_epochs(dir: &Path) -> Result<Vec<glove_core::Dataset>, Box<dyn Error>> {
+    let mut paths: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("epoch-") && n.ends_with(".txt"))
+        })
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no epoch-*.txt files in {}", dir.display()).into());
+    }
+    paths
+        .iter()
+        .map(|p| io::read_file(p).map_err(Into::into))
+        .collect()
+}
+
+/// `glove attack`: the adversary subsystem against a published release.
 ///
 /// `original` holds the ground truth the adversary observed (raw
-/// fingerprints); `published` is what was released (possibly anonymized).
-/// Pass the same file twice to measure raw-data uniqueness.
+/// fingerprints). Exactly one of `published` (a single released dataset)
+/// or `epochs_dir` (a `glove stream` output directory) selects what the
+/// adversary links against; passing the original as `published` measures
+/// raw-data uniqueness. Against a dataset, the multi-point and
+/// top-location-classifier adversaries run; against an epoch directory the
+/// cross-epoch linkage adversary runs too. `report_out` serializes every
+/// attack's [`glove_core::api::RunReport`] as JSONL.
 pub fn attack_cmd(
     original: &Path,
-    published: &Path,
-    points: usize,
-    trials: usize,
+    published: Option<&Path>,
+    epochs_dir: Option<&Path>,
+    report_out: Option<&Path>,
+    opts: &AttackOpts,
 ) -> Result<String, Box<dyn Error>> {
-    let orig = io::read_file(original)?;
-    let publ = io::read_file(published)?;
-    let mut out = String::new();
-    out.push_str(&format!(
-        "record-linkage attacks: knowledge from {}, linking against {}\n\n",
-        orig.name, publ.name
-    ));
-    out.push_str("top-location adversary (unique signatures in the published data):\n");
-    for l in [1usize, 2, 3] {
-        out.push_str(&format!(
-            "  top-{l}: {:.1}%\n",
-            glove_attack::top_location_uniqueness(&publ, l) * 100.0
-        ));
+    use glove_attack::{Attack, PublishedView};
+
+    if opts.points == 0 {
+        return Err("--points must be at least 1".into());
     }
-    let cfg = glove_attack::RandomPointAttack {
-        points,
-        trials,
-        seed: 0xC11,
+    if opts.top_l == 0 {
+        return Err("--top must be at least 1".into());
+    }
+    let orig = io::read_file(original)?;
+    let mut out = String::new();
+    let mut reports = Vec::new();
+
+    let epochs;
+    let publ;
+    let view = match (published, epochs_dir) {
+        (Some(path), None) => {
+            publ = io::read_file(path)?;
+            out.push_str(&format!(
+                "record-linkage attacks: knowledge from {}, linking against {}\n\n",
+                orig.name, publ.name
+            ));
+            PublishedView::Dataset(&publ)
+        }
+        (None, Some(dir)) => {
+            epochs = read_epochs(dir)?;
+            out.push_str(&format!(
+                "record-linkage attacks: knowledge from {}, linking against {} epochs \
+                 from {}\n\n",
+                orig.name,
+                epochs.len(),
+                dir.display()
+            ));
+            PublishedView::Epochs(&epochs)
+        }
+        _ => return Err("pass exactly one of --published FILE or --epochs-dir DIR".into()),
     };
-    let outcome = glove_attack::random_point_attack(&orig, &publ, &cfg);
-    if outcome.anonymity_sets.is_empty() {
-        out.push_str("\nrandom-point adversary: no target has enough samples\n");
+
+    if let PublishedView::Dataset(ds) = view {
+        out.push_str("top-location adversary (unique signatures in the published data):\n");
+        for l in [1usize, 2, 3] {
+            out.push_str(&format!(
+                "  top-{l}: {:.1}%\n",
+                glove_attack::top_location_uniqueness(ds, l) * 100.0
+            ));
+        }
+    }
+
+    // The multi-point adversary (p known points, optional noise).
+    let multi = glove_attack::MultiPointAttack {
+        points: opts.points,
+        trials: opts.trials,
+        seed: opts.seed,
+        noise: glove_attack::AdversaryNoise {
+            space_m: opts.noise_space_m,
+            time_min: opts.noise_time_min,
+        },
+        threads: opts.threads,
+    };
+    let report = multi.run(&orig, &view)?;
+    if report.trials == 0 {
+        out.push_str("\nmulti-point adversary: no target has enough samples\n");
     } else {
         out.push_str(&format!(
-            "\nrandom-point adversary ({points} points, {trials} trials):\n  \
-             pinpoint rate: {:.1}%\n  min anonymity set: {}\n  mean anonymity set: {:.1}\n",
-            outcome.pinpoint_rate() * 100.0,
-            outcome.min_anonymity(),
-            outcome.mean_anonymity(),
+            "\nmulti-point adversary ({} points, {} trials, noise {} m / {} min):\n  \
+             pinpoint rate: {:.1}%\n  linked rate: {:.1}%\n  min anonymity set: {}\n  \
+             mean anonymity set: {:.1}\n",
+            opts.points,
+            report.trials,
+            opts.noise_space_m,
+            opts.noise_time_min,
+            report.success_rate * 100.0,
+            report.metric("linked_rate").unwrap_or(0.0) * 100.0,
+            report.min_anonymity,
+            report.mean_anonymity,
+        ));
+    }
+    reports.push(report);
+
+    // The top-location classifier (trains on the first period of the
+    // published data, links the second back).
+    let classifier = glove_attack::TopLocationClassifier {
+        l: opts.top_l,
+        split_min: None,
+        threads: opts.threads,
+    };
+    let report = classifier.run(&orig, &view)?;
+    out.push_str(&format!(
+        "\ntop-{} location classifier (first period trains, second links):\n  \
+         linkage rate: {:.1}%\n  mean candidate set: {:.1} subscribers ({} targets)\n",
+        opts.top_l,
+        report.success_rate * 100.0,
+        report.mean_anonymity,
+        report.trials,
+    ));
+    reports.push(report);
+
+    // Cross-epoch linkage, when the adversary sees a streamed release.
+    if matches!(view, PublishedView::Epochs(_)) {
+        let cross = glove_attack::CrossEpochAttack {
+            l: opts.top_l,
+            threads: opts.threads,
+        };
+        let report = cross.run(&orig, &view)?;
+        out.push_str(&format!(
+            "\ncross-epoch adversary ({} epochs):\n  signature linkage: {:.1}% \
+             of {} attempts\n  cohort persistence: {:.1}%\n",
+            report.metric("epochs").unwrap_or(0.0),
+            report.success_rate * 100.0,
+            report.trials,
+            report.metric("cohort_persistence").unwrap_or(0.0) * 100.0,
+        ));
+        reports.push(report);
+    }
+
+    if let Some(path) = report_out {
+        let mut lines = String::new();
+        for report in &reports {
+            lines.push_str(&report.to_run_report().to_json());
+            lines.push('\n');
+        }
+        std::fs::write(path, lines)?;
+        out.push_str(&format!(
+            "\nattack reports written to {} ({} JSONL lines)\n",
+            path.display(),
+            reports.len()
         ));
     }
     Ok(out)
@@ -132,6 +288,15 @@ mod tests {
     use super::super::{anonymize_cmd, synth, AnonymizeOpts};
     use super::*;
     use glove_core::{ResidualPolicy, ShardBy};
+
+    fn attack_opts(points: usize, trials: usize) -> AttackOpts {
+        AttackOpts {
+            points,
+            trials,
+            threads: 1,
+            ..AttackOpts::default()
+        }
+    }
 
     #[test]
     fn attack_command_raw_vs_anonymized() {
@@ -149,9 +314,10 @@ mod tests {
         };
         anonymize_cmd(&data, &anon, &opts).unwrap();
 
-        let raw = attack_cmd(&data, &data, 3, 50).unwrap();
+        let raw = attack_cmd(&data, Some(&data), None, None, &attack_opts(3, 50)).unwrap();
         assert!(raw.contains("pinpoint rate"));
-        let protected = attack_cmd(&data, &anon, 3, 50).unwrap();
+        assert!(raw.contains("location classifier"));
+        let protected = attack_cmd(&data, Some(&anon), None, None, &attack_opts(3, 50)).unwrap();
         assert!(
             protected.contains("pinpoint rate: 0.0%"),
             "anonymized data must not be pinpointable:\n{protected}"
@@ -159,6 +325,72 @@ mod tests {
 
         let _ = std::fs::remove_file(&data);
         let _ = std::fs::remove_file(&anon);
+    }
+
+    #[test]
+    fn attack_command_requires_exactly_one_published_source() {
+        let data = temp("attack-one-src");
+        synth("civ", 12, Some(5), Some(&data), None).unwrap();
+        assert!(attack_cmd(&data, None, None, None, &attack_opts(2, 5)).is_err());
+        // Zero-valued knobs are CLI errors, not library panics.
+        assert!(attack_cmd(&data, Some(&data), None, None, &attack_opts(0, 5)).is_err());
+        let zero_top = AttackOpts {
+            top_l: 0,
+            ..attack_opts(2, 5)
+        };
+        assert!(attack_cmd(&data, Some(&data), None, None, &zero_top).is_err());
+        assert!(attack_cmd(
+            &data,
+            Some(&data),
+            Some(Path::new("/nonexistent")),
+            None,
+            &attack_opts(2, 5)
+        )
+        .is_err());
+        let _ = std::fs::remove_file(&data);
+    }
+
+    #[test]
+    fn attack_command_over_stream_epochs_writes_reports() {
+        use super::super::{stream_cmd, StreamOpts};
+        use glove_core::api::RunReport;
+
+        let data = temp("attack-stream-data");
+        let dir = super::super::test_util::temp_dir("attack-stream-epochs");
+        let report_path = temp("attack-stream-report");
+        synth("civ", 24, Some(7), Some(&data), None).unwrap();
+        let stream_opts = StreamOpts {
+            window_min: 2_880,
+            threads: 1,
+            ..StreamOpts::default()
+        };
+        stream_cmd(&data, &dir, &stream_opts).unwrap();
+
+        let out = attack_cmd(
+            &data,
+            None,
+            Some(&dir),
+            Some(&report_path),
+            &attack_opts(2, 40),
+        )
+        .unwrap();
+        assert!(out.contains("cross-epoch adversary"), "output:\n{out}");
+        assert!(out.contains("attack reports written"));
+
+        // The JSONL artifact round-trips through RunReport exactly.
+        let lines = std::fs::read_to_string(&report_path).unwrap();
+        let mut seen = 0;
+        for line in lines.lines() {
+            let report = RunReport::from_json(line).unwrap();
+            assert_eq!(report.engine, "glove-attack");
+            assert_eq!(report.to_json(), line, "byte-identical round trip");
+            seen += 1;
+        }
+        assert_eq!(seen, 3, "multi-point, classifier and cross-epoch reports");
+
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&report_path);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

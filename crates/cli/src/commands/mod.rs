@@ -15,7 +15,7 @@ pub mod stream;
 pub mod synth;
 
 pub use anonymize::{anonymize_cmd, generalize_cmd, w4m_cmd, AnonymizeOpts};
-pub use eval::{attack_cmd, audit, info};
+pub use eval::{attack_cmd, audit, info, AttackOpts};
 pub use stream::{stream_cmd, StreamOpts};
 pub use synth::synth;
 

@@ -25,13 +25,22 @@ USAGE:
                    [--threads N] [--shards N] [--shard-by activity|spatial]
   glove generalize --in FILE --out FILE --space METERS --time MINUTES
   glove w4m        --in FILE --out FILE --k K [--delta METERS]
-  glove attack     --original FILE --published FILE [--points N] [--trials N]
+  glove attack     --original FILE (--published FILE | --epochs-dir DIR)
+                   [--points N] [--trials N] [--seed S]
+                   [--noise-space METERS] [--noise-time MINUTES]
+                   [--top L] [--threads N] [--report FILE]
 
 Datasets and event streams are line-oriented text files (see `glove-cli`
 docs). `glove stream` accepts either: event files replay with bounded
 memory, dataset files are converted to their time-ordered event view.
 The stream --out-dir is owned by the command: epoch-*.txt files from a
 previous run are replaced.
+
+`glove attack` runs the adversary subsystem: the multi-point linkage
+attack (p known points with optional observation noise) and the top-L
+location classifier against a published dataset, plus the cross-epoch
+linkage adversary when --epochs-dir points at a `glove stream` output
+directory. --report writes one RunReport JSON line per attack.
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -233,18 +242,46 @@ fn run() -> Result<String, String> {
         }
         "attack" => {
             let original = PathBuf::from(required(&flags, "original")?);
-            let published = PathBuf::from(required(&flags, "published")?);
-            let points = flags
-                .get("points")
-                .map(|s| parse_num::<usize>(s, "points"))
-                .transpose()?
-                .unwrap_or(4);
-            let trials = flags
-                .get("trials")
-                .map(|s| parse_num::<usize>(s, "trials"))
-                .transpose()?
-                .unwrap_or(200);
-            commands::attack_cmd(&original, &published, points, trials).map_err(err)
+            let published = flags.get("published").map(PathBuf::from);
+            let epochs_dir = flags.get("epochs-dir").map(PathBuf::from);
+            let report = flags.get("report").map(PathBuf::from);
+            let defaults = commands::AttackOpts::default();
+            let parse_or = |key: &str, fallback: usize| -> Result<usize, String> {
+                flags
+                    .get(key)
+                    .map(|s| parse_num::<usize>(s, key))
+                    .transpose()
+                    .map(|v| v.unwrap_or(fallback))
+            };
+            let opts = commands::AttackOpts {
+                points: parse_or("points", defaults.points)?,
+                trials: parse_or("trials", defaults.trials)?,
+                seed: flags
+                    .get("seed")
+                    .map(|s| parse_num::<u64>(s, "seed"))
+                    .transpose()?
+                    .unwrap_or(defaults.seed),
+                noise_space_m: flags
+                    .get("noise-space")
+                    .map(|s| parse_num::<u32>(s, "noise-space"))
+                    .transpose()?
+                    .unwrap_or(defaults.noise_space_m),
+                noise_time_min: flags
+                    .get("noise-time")
+                    .map(|s| parse_num::<u32>(s, "noise-time"))
+                    .transpose()?
+                    .unwrap_or(defaults.noise_time_min),
+                top_l: parse_or("top", defaults.top_l)?,
+                threads: parse_threads(&flags)?,
+            };
+            commands::attack_cmd(
+                &original,
+                published.as_deref(),
+                epochs_dir.as_deref(),
+                report.as_deref(),
+                &opts,
+            )
+            .map_err(err)
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command '{other}'")),

@@ -167,7 +167,17 @@ fn render_string(s: &str, out: &mut String) {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            // C0 controls must be escaped per the JSON grammar; DEL and the
+            // C1 block are escaped too so arbitrary scenario names never put
+            // raw control bytes on a JSONL line, and U+2028/U+2029 because
+            // line-oriented (and JavaScript-adjacent) consumers treat them
+            // as terminators. Everything else — non-ASCII included — is
+            // emitted verbatim as UTF-8.
+            c if (c as u32) < 0x20
+                || (0x7F..=0x9F).contains(&(c as u32))
+                || c == '\u{2028}'
+                || c == '\u{2029}' =>
+            {
                 use std::fmt::Write as _;
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
@@ -445,6 +455,22 @@ mod tests {
             JsonValue::parse("\"\\ud83d\\u0041\"").is_err(),
             "bad low surrogate"
         );
+    }
+
+    #[test]
+    fn control_and_separator_characters_stay_escaped_on_one_line() {
+        // DEL, a C1 control, and the Unicode line/paragraph separators all
+        // render as \u escapes — a serialized report is always exactly one
+        // JSONL-safe line, whatever the scenario name contains.
+        let v = JsonValue::Str("a\u{7f}b\u{85}c\u{2028}d\u{2029}e\nf".into());
+        let rendered = v.render();
+        assert_eq!(rendered, "\"a\\u007fb\\u0085c\\u2028d\\u2029e\\nf\"");
+        assert!(!rendered.contains('\u{2028}') && !rendered.contains('\u{2029}'));
+        assert_eq!(JsonValue::parse(&rendered).unwrap(), v);
+        // Non-ASCII text is emitted verbatim and round-trips.
+        let name = JsonValue::Str("métro-北京-🜂".into());
+        assert_eq!(name.render(), "\"métro-北京-🜂\"");
+        assert_eq!(JsonValue::parse(&name.render()).unwrap(), name);
     }
 
     #[test]

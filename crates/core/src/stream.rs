@@ -196,6 +196,10 @@ pub struct StreamEngine {
     last_t: u32,
     epochs_emitted: u64,
     resident_samples: usize,
+    /// Users present in `buffers` *and* `deferred` (a deferred user active
+    /// again). Maintained incrementally so the per-event residency note
+    /// stays O(1) instead of scanning the deferred ledger.
+    deferred_active: usize,
     stats: StreamStats,
 }
 
@@ -214,6 +218,7 @@ impl StreamEngine {
             last_t: 0,
             epochs_emitted: 0,
             resident_samples: 0,
+            deferred_active: 0,
             stats: StreamStats::default(),
         })
     }
@@ -259,10 +264,13 @@ impl StreamEngine {
         }
 
         self.stats.events += 1;
-        self.buffers
-            .entry(event.user)
-            .or_default()
-            .push(event.sample);
+        let buffer = self.buffers.entry(event.user).or_default();
+        // A freshly created buffer (only inserts leave a buffer non-empty)
+        // for a user sitting in the deferred ledger starts an overlap.
+        if buffer.is_empty() && self.deferred.contains_key(&event.user) {
+            self.deferred_active += 1;
+        }
+        buffer.push(event.sample);
         self.resident_samples += 1;
         self.note_residency();
         Ok(emitted)
@@ -282,7 +290,14 @@ impl StreamEngine {
     }
 
     fn note_residency(&mut self) {
-        let resident = self.buffers.len() + self.deferred.len();
+        // One resident buffer set per *user*: a deferred user who is active
+        // again in the current window holds samples in both maps but is a
+        // single carried-over fingerprint (the two sample lists merge at
+        // window close), so counting both maps would double-count them in
+        // the high-water mark. `deferred_active` tracks that overlap
+        // incrementally. Carried `Sticky` group memberships are bare
+        // user-id lists and are never counted as resident fingerprints.
+        let resident = self.buffers.len() + self.deferred.len() - self.deferred_active;
         self.stats.peak_resident_fingerprints = self.stats.peak_resident_fingerprints.max(resident);
         self.stats.peak_resident_samples =
             self.stats.peak_resident_samples.max(self.resident_samples);
@@ -308,6 +323,9 @@ impl StreamEngine {
                 .count();
         if population < self.config.glove.k {
             let buffers = std::mem::take(&mut self.buffers);
+            // The live buffers drain (suppressed or folded into the
+            // deferred ledger), so no user can be in both maps anymore.
+            self.deferred_active = 0;
             match self.config.under_k {
                 UnderKPolicy::Suppress => {
                     // `deferred` is only populated under `Defer`, so the
@@ -341,6 +359,7 @@ impl StreamEngine {
 
         // Deferred users join the closing window's population.
         let deferred = std::mem::take(&mut self.deferred);
+        self.deferred_active = 0;
         for (user, mut samples) in deferred {
             self.buffers.entry(user).or_default().append(&mut samples);
         }
@@ -688,6 +707,39 @@ mod tests {
         assert!(run.epochs.is_empty());
         assert_eq!(run.stats.deferred_users, 1);
         assert_eq!(run.stats.suppressed_users, 1, "flush counts as suppression");
+    }
+
+    #[test]
+    fn reactivated_deferred_user_is_one_resident_fingerprint() {
+        // User 3 is alone in window 0 (deferred); all four users are active
+        // in window 1. While window 1 fills, user 3 has samples in both the
+        // deferred ledger and the live buffer — the high-water mark must
+        // count them once, so the peak equals the four distinct users (the
+        // pre-fix union-less accounting reported five).
+        let mut events = vec![StreamEvent {
+            user: 3,
+            sample: Sample::point(0, 0, 10),
+        }];
+        for user in 0..4u32 {
+            events.push(StreamEvent {
+                user,
+                sample: Sample::point(i64::from(user) * 100, 0, 70 + user),
+            });
+        }
+        let config = StreamConfig {
+            window_min: 60,
+            under_k: UnderKPolicy::Defer,
+            ..StreamConfig::default()
+        };
+        let run = run_stream("reactivate", events, config).unwrap();
+        assert_eq!(run.stats.deferred_users, 1);
+        assert_eq!(
+            run.stats.peak_resident_fingerprints, 4,
+            "a deferred user active again must not be double-counted"
+        );
+        assert_eq!(run.stats.peak_resident_samples, 5, "all samples resident");
+        assert_eq!(run.epochs.len(), 1);
+        assert_eq!(run.epochs[0].output.dataset.num_users(), 4);
     }
 
     #[test]

@@ -506,3 +506,79 @@ fn run_events_surfaces_producer_errors() {
         .unwrap_err();
     assert!(matches!(err, GloveError::InvalidDataset(_)));
 }
+
+mod json_strings {
+    //! Round-trip property of the `core::api::json` subset writer for the
+    //! strings that travel through JSONL artifacts (scenario names, engine
+    //! ids, attack labels): arbitrary content — control characters and
+    //! non-ASCII included — must parse back identically, and the rendered
+    //! form must never break the one-line JSONL framing.
+
+    use glove_core::api::json::JsonValue;
+    use glove_core::api::{RunDetail, RunReport};
+    use proptest::collection::vec;
+    use proptest::prelude::*;
+
+    /// Arbitrary unicode strings, biased towards the troublesome ranges:
+    /// C0/C1 controls, DEL, the U+2028/U+2029 separators, and astral
+    /// characters, alongside plain text.
+    fn arb_string() -> impl Strategy<Value = String> {
+        vec((0usize..6, 0u32..0x0011_0000), 0..24).prop_map(|picks| {
+            picks
+                .into_iter()
+                .filter_map(|(bucket, raw)| match bucket {
+                    0 => char::from_u32(raw % 0x20),        // C0 controls
+                    1 => char::from_u32(0x7F + raw % 0x21), // DEL + C1
+                    2 => Some(['\u{2028}', '\u{2029}'][raw as usize % 2]),
+                    3 => char::from_u32(0x1F300 + raw % 0x100), // astral
+                    4 => char::from_u32(0xC0 + raw % 0x300),    // accented / CJK-ish
+                    _ => char::from_u32(0x20 + raw % 0x5F),     // printable ASCII
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        #[test]
+        fn strings_round_trip_and_stay_on_one_line(s in arb_string()) {
+            let value = JsonValue::Str(s.clone());
+            let rendered = value.render();
+            // JSONL framing: nothing a line-oriented reader splits on.
+            for terminator in ['\n', '\r', '\u{2028}', '\u{2029}'] {
+                prop_assert!(
+                    !rendered.contains(terminator),
+                    "rendered string leaked {terminator:?}: {rendered:?}"
+                );
+            }
+            prop_assert!(
+                rendered.chars().all(|c| c as u32 >= 0x20 && !(0x7F..=0x9F).contains(&(c as u32))),
+                "rendered string leaked a raw control character: {rendered:?}"
+            );
+            let parsed = JsonValue::parse(&rendered).unwrap();
+            prop_assert_eq!(parsed, value);
+        }
+
+        #[test]
+        fn reports_with_arbitrary_names_round_trip_byte_identically(
+            name in arb_string(),
+            engine in arb_string(),
+        ) {
+            let report = RunReport {
+                engine: engine.clone(),
+                dataset: name.clone(),
+                detail: RunDetail::External {
+                    engine,
+                    data: JsonValue::Str(name),
+                },
+                ..RunReport::default()
+            };
+            let json = report.to_json();
+            prop_assert!(!json.contains('\n'), "a report is one JSONL line");
+            let parsed = RunReport::from_json(&json).unwrap();
+            prop_assert_eq!(&parsed, &report);
+            prop_assert_eq!(parsed.to_json(), json, "render must be byte-stable");
+        }
+    }
+}

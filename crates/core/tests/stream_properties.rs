@@ -147,11 +147,23 @@ proptest! {
             );
         }
         assert_slices_conserved(&run);
+        // Residency invariant: resident fingerprints are counted per
+        // *distinct user* — a deferred user active again in the current
+        // window, or a user re-entering a Sticky carry-over group, is one
+        // buffer set, never two — so the high-water mark is bounded by the
+        // stream's user population whatever the carry/under-k policies.
         prop_assert!(
             run.stats.peak_resident_fingerprints <= ds.fingerprints.len(),
-            "residency exceeded the stream population"
+            "residency {} exceeded the stream population {} (double-counted \
+             deferred or carried users?)",
+            run.stats.peak_resident_fingerprints,
+            ds.fingerprints.len()
         );
         let total_events: usize = ds.fingerprints.iter().map(Fingerprint::len).sum();
+        prop_assert!(
+            run.stats.peak_resident_samples <= total_events,
+            "resident samples exceeded the events ever pushed"
+        );
         prop_assert_eq!(run.stats.events as usize, total_events);
     }
 

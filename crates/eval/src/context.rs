@@ -44,6 +44,7 @@ pub struct EvalContext {
     pub cfg: EvalConfig,
     civ: Option<SynthDataset>,
     sen: Option<SynthDataset>,
+    metro: Option<SynthDataset>,
     glove_cache: HashMap<String, GloveOutput>,
 }
 
@@ -54,6 +55,7 @@ impl EvalContext {
             cfg,
             civ: None,
             sen: None,
+            metro: None,
             glove_cache: HashMap::new(),
         }
     }
@@ -82,6 +84,20 @@ impl EvalContext {
             self.sen = Some(generate(&cfg));
         }
         self.sen.as_ref().expect("generated above")
+    }
+
+    /// The dense single-region `metro-like` scenario (generated on first
+    /// use) — the workload the adversarial evaluation targets.
+    pub fn metro(&mut self) -> &SynthDataset {
+        if self.metro.is_none() {
+            let mut cfg = ScenarioConfig::metro_like(self.cfg.users);
+            if let Some(rate) = self.cfg.events_per_day {
+                cfg.traffic.events_per_day_median = rate;
+            }
+            eprintln!("[eval] generating {} ({} users)…", cfg.name, self.cfg.users);
+            self.metro = Some(generate(&cfg));
+        }
+        self.metro.as_ref().expect("generated above")
     }
 
     /// Both nation-wide datasets, cloned out of the cache (cheap relative to

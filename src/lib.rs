@@ -10,9 +10,9 @@
 //! * [`stats`] — CDFs, quantiles, the Tail Weight Index, radius of gyration;
 //! * [`baselines`] — uniform generalization and W4M-LC, the evaluation
 //!   comparators;
-//! * [`attack`] — record-linkage adversaries (top-location and
-//!   random-point knowledge) quantifying uniqueness before and after
-//!   anonymization;
+//! * [`attack`] — the adversary subsystem: multi-point linkage with
+//!   observation noise, the top-location classifier, and cross-epoch
+//!   linkage over streamed releases, behind one `Attack` trait;
 //! * [`eval`] — the experiment harness regenerating the paper's tables and
 //!   figures;
 //! * [`cli`] — the library side of the `glove` binary (dataset text format
@@ -60,7 +60,10 @@ pub use glove_synth as synth;
 /// One-stop imports for typical use.
 pub mod prelude {
     pub use glove_attack::{
-        random_point_attack, top_location_uniqueness, AttackOutcome, RandomPointAttack,
+        classifier_attack, cross_epoch_attack, multi_point_attack, random_point_attack,
+        top_location_uniqueness, AdversaryNoise, Attack, AttackObserver, AttackOutcome,
+        AttackReport, CrossEpochAttack, MultiPointAttack, PublishedView, RandomPointAttack,
+        TopLocationClassifier,
     };
     pub use glove_baselines::{
         generalize_uniform, w4m_lc, GeneralizationLevel, UniformAnonymizer, W4mAnonymizer,
