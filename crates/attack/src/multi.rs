@@ -31,7 +31,7 @@
 
 use crate::report::{Attack, AttackReport, PublishedView};
 use crate::KnownPoint;
-use glove_core::parallel::par_map;
+use glove_core::parallel::{effective_threads, par_map};
 use glove_core::{Dataset, Fingerprint, GloveError, UserId};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -192,9 +192,22 @@ pub fn multi_point_attack(
         };
     }
     let records: Vec<&Fingerprint> = published.records().collect();
-    let trials = par_map(cfg.trials, cfg.threads, |trial| {
-        run_trial(cfg, &candidates, &records, population, trial)
+    // Trials are batched per worker: one contiguous slice of the trial
+    // range per thread, so the channel hand-off and scheduling overhead are
+    // paid once per batch instead of once per trial (tiny trials otherwise
+    // spend more time in the executor than in the attack). Each trial still
+    // derives its own RNG from `(seed, trial)`, so the concatenated batches
+    // are identical for every thread count.
+    let workers = effective_threads(cfg.threads).min(cfg.trials.max(1));
+    let batch_len = cfg.trials.div_ceil(workers.max(1));
+    let batches = par_map(workers, cfg.threads, |w| {
+        let lo = w * batch_len;
+        let hi = (lo + batch_len).min(cfg.trials);
+        (lo..hi)
+            .map(|trial| run_trial(cfg, &candidates, &records, population, trial))
+            .collect::<Vec<_>>()
     });
+    let trials: Vec<TrialOutcome> = batches.into_iter().flatten().collect();
     MultiPointOutcome { population, trials }
 }
 

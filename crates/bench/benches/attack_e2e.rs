@@ -80,6 +80,16 @@ fn main() {
         "thread count must never change the attack outcome"
     );
     let speedup = single_s / parallel_s.max(1e-9);
+    // With per-thread trial batches, the fan-out must actually pay off
+    // whenever more than one worker is available (on a single-core host
+    // both runs collapse to the same sequential loop, so there is nothing
+    // to assert).
+    if glove_core::parallel::effective_threads(0) > 1 && !test_mode {
+        assert!(
+            speedup > 1.0,
+            "parallel attack loop slower than single-threaded: {speedup:.2}x"
+        );
+    }
 
     // The defense invariant, enforced at bench scale: no pinpoint after
     // GLOVE, every nonempty anonymity set >= k.
@@ -115,11 +125,13 @@ fn main() {
          \"points\":{POINTS},\"trials\":{trials},\"mode\":\"{}\",\
          \"attack_s\":{parallel_s:.3},\"attack_single_s\":{single_s:.3},\
          \"trials_per_s\":{trials_per_s:.1},\"parallel_speedup\":{speedup:.2},\
+         \"threads_effective\":{},\
          \"raw_pinpoint\":{:.4},\"anon_pinpoint\":{:.4},\"anon_min_set\":{},\
          \"window_min\":{WINDOW_MIN},\"fresh_linkage\":{:.4},\"sticky_linkage\":{:.4},\
          \"linkage_gap\":{linkage_gap:.4},\"fresh_persistence\":{:.4},\
          \"sticky_persistence\":{:.4},\"persistence_gap\":{persistence_gap:.4}}}",
         if test_mode { "test" } else { "bench" },
+        glove_core::parallel::effective_threads(0),
         raw.pinpoint_rate(),
         anon.pinpoint_rate(),
         anon.min_anonymity(),

@@ -1,10 +1,12 @@
 //! `sharded_e2e` — end-to-end sharded vs monolithic GLOVE on the
 //! `metro_like` scenario, emitting a BENCH JSON point.
 //!
-//! Unlike the Criterion-shimmed benches, this target measures two full runs
-//! directly (monolithic and `--shards 8`), prints a `BENCH {...}` line and
-//! writes the same JSON point to `BENCH_sharded_e2e.json` in the working
-//! directory, so CI can archive the speedup trajectory across commits.
+//! Unlike the Criterion-shimmed benches, this target measures full runs
+//! directly (monolithic, `--shards 8`, and the sharded run again with the
+//! distance cascade off for the before/after delta), prints a `BENCH {...}`
+//! line and writes the same JSON point to `BENCH_sharded_e2e.json` in the
+//! working directory, so CI can archive the speedup trajectory across
+//! commits.
 //!
 //! Modes mirror the criterion shim: `cargo bench --bench sharded_e2e` (the
 //! plain `--bench` flag) measures at full size; `--test` (as in CI's
@@ -26,11 +28,13 @@ const OVERHEAD_SLACK_S: f64 = 0.25;
 fn run(
     ds: &glove_core::Dataset,
     shard: Option<ShardPolicy>,
+    cascade: bool,
 ) -> (f64, glove_core::glove::GloveOutput) {
     let config = GloveConfig {
         k: 2,
         threads: 0,
         shard,
+        cascade,
         ..GloveConfig::default()
     };
     let started = Instant::now();
@@ -54,9 +58,21 @@ fn main() {
     let samples = ds.num_samples();
 
     eprintln!("[sharded_e2e] monolithic run…");
-    let (mono_s, mono) = run(&ds, None);
+    let (mono_s, mono) = run(&ds, None, true);
     eprintln!("[sharded_e2e] sharded run ({SHARDS} activity shards)…");
-    let (shard_s, sharded) = run(&ds, Some(ShardPolicy::activity(SHARDS)));
+    let (shard_s, sharded) = run(&ds, Some(ShardPolicy::activity(SHARDS)), true);
+
+    // The same sharded run with the distance cascade off (tier-1 hull
+    // pruning only): the before/after delta of the hot-loop cascade, on
+    // record in the JSON. The cascade is a pure filter, so the published
+    // output must not move.
+    eprintln!("[sharded_e2e] sharded run, cascade off (before/after delta)…");
+    let (precascade_s, precascade) = run(&ds, Some(ShardPolicy::activity(SHARDS)), false);
+    let cascade_speedup = precascade_s / shard_s.max(1e-9);
+    assert_eq!(
+        precascade.dataset.fingerprints, sharded.dataset.fingerprints,
+        "cascade changed the sharded output"
+    );
 
     // The same sharded run through the unified run API: output must be
     // byte-identical and the orchestration overhead negligible (< 1% with
@@ -101,14 +117,19 @@ fn main() {
         "{{\"name\":\"sharded_e2e\",\"scenario\":\"metro_like\",\"users\":{users},\
          \"samples\":{samples},\"shards\":{SHARDS},\"mode\":\"{}\",\
          \"monolithic_s\":{mono_s:.3},\"sharded_s\":{shard_s:.3},\"speedup\":{speedup:.2},\
+         \"sharded_precascade_s\":{precascade_s:.3},\"cascade_speedup\":{cascade_speedup:.2},\
          \"sharded_api_s\":{api_s:.3},\"api_overhead_pct\":{api_overhead_pct:.2},\
          \"monolithic_pairs\":{},\"sharded_pairs\":{},\
-         \"monolithic_pruned\":{},\"sharded_pruned\":{}}}",
+         \"monolithic_pruned\":{},\"sharded_pruned\":{},\
+         \"sharded_tier0\":{},\"sharded_tier1\":{},\"sharded_abandoned\":{}}}",
         if test_mode { "test" } else { "bench" },
         mono.stats.pairs_computed,
         sharded.stats.pairs_computed,
         mono.stats.pairs_pruned,
         sharded.stats.pairs_pruned,
+        sharded.stats.pairs_skipped_tier0,
+        sharded.stats.pairs_skipped_tier1,
+        sharded.stats.pairs_abandoned,
     );
     println!("BENCH {json}");
     // Benches run with the package as working directory; anchor the JSON at
@@ -130,6 +151,6 @@ fn main() {
     }
     println!(
         "sharded_e2e/metro_{users}: monolithic {mono_s:.2}s, {SHARDS} shards {shard_s:.2}s \
-         -> {speedup:.1}x"
+         -> {speedup:.1}x (cascade {cascade_speedup:.1}x over hull-only {precascade_s:.2}s)"
     );
 }

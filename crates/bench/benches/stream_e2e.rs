@@ -2,8 +2,9 @@
 //! scenario, emitting a BENCH JSON point.
 //!
 //! Like `sharded_e2e`, this target measures full runs directly rather than
-//! through the Criterion shim: one monolithic batch run and one streamed
-//! run (daily windows, fresh carry) over the same events, printing a
+//! through the Criterion shim: one monolithic batch run and streamed runs
+//! (daily windows, fresh carry) over the same events — with the distance
+//! cascade on and off for the before/after delta — printing a
 //! `BENCH {...}` line and writing the JSON point to
 //! `BENCH_stream_e2e.json` so CI can archive the trajectory.
 //!
@@ -64,6 +65,36 @@ fn main() {
     let run =
         run_stream(ds.name.clone(), events.iter().copied(), config).expect("streamed run succeeds");
     let stream_s = started.elapsed().as_secs_f64();
+
+    // The same streamed run with the distance cascade off (tier-1 hull
+    // pruning only): the before/after delta of the hot-loop cascade, on
+    // record in the JSON. Daily metro windows hold ~4 samples per
+    // fingerprint — below the cascade's mean-length engagement gate — so
+    // the delta here is expected to sit near 1.0 (the gate exists exactly
+    // because tier 0 measured ~0.8x on this workload); the batch-regime
+    // delta lives in BENCH_hotloop.json. The cascade is a pure filter, so
+    // every epoch's published output must not move.
+    eprintln!("[stream_e2e] streamed run, cascade off (before/after delta)…");
+    let precascade_config = StreamConfig {
+        glove: GloveConfig {
+            cascade: false,
+            ..GloveConfig::default()
+        },
+        ..config
+    };
+    let started = Instant::now();
+    let precascade = run_stream(ds.name.clone(), events.iter().copied(), precascade_config)
+        .expect("streamed run succeeds");
+    let precascade_s = started.elapsed().as_secs_f64();
+    let cascade_speedup = precascade_s / stream_s.max(1e-9);
+    assert_eq!(precascade.epochs.len(), run.epochs.len());
+    for (before, after) in precascade.epochs.iter().zip(&run.epochs) {
+        assert_eq!(
+            before.output.dataset.fingerprints, after.output.dataset.fingerprints,
+            "cascade changed the streamed output at epoch {}",
+            after.epoch
+        );
+    }
 
     // The same streamed run through the unified run API (bounded-memory
     // run_events path): epoch outputs must be identical and the
@@ -132,10 +163,12 @@ fn main() {
         "{{\"name\":\"stream_e2e\",\"scenario\":\"metro_like\",\"users\":{users},\
          \"samples\":{samples},\"events\":{},\"window_min\":{WINDOW_MIN},\"mode\":\"{}\",\
          \"batch_s\":{batch_s:.3},\"stream_s\":{stream_s:.3},\"stream_api_s\":{api_s:.3},\
+         \"stream_precascade_s\":{precascade_s:.3},\"cascade_speedup\":{cascade_speedup:.2},\
          \"api_overhead_pct\":{api_overhead_pct:.2},\"events_per_s\":{events_per_s:.0},\
          \"epochs\":{},\"peak_resident_fingerprints\":{},\"max_window_users\":{max_window_users},\
          \"peak_resident_samples\":{},\"suppressed_user_slices\":{},\
-         \"deferred_user_slices\":{}}}",
+         \"deferred_user_slices\":{},\
+         \"stream_tier0\":{},\"stream_tier1\":{},\"stream_abandoned\":{}}}",
         run.stats.events,
         if test_mode { "test" } else { "bench" },
         run.stats.epochs,
@@ -143,6 +176,9 @@ fn main() {
         run.stats.peak_resident_samples,
         run.stats.suppressed_users,
         run.stats.deferred_users,
+        run.stats.pairs_skipped_tier0,
+        run.stats.pairs_skipped_tier1,
+        run.stats.pairs_abandoned,
     );
     println!("BENCH {json}");
     // Benches run with the package as working directory; anchor the JSON at
@@ -162,7 +198,8 @@ fn main() {
     }
     println!(
         "stream_e2e/metro_{users}: batch {batch_s:.2}s, streamed {stream_s:.2}s \
-         ({} daily epochs, {events_per_s:.0} events/s, peak {} fps / {} samples resident \
+         (cascade {cascade_speedup:.1}x over hull-only {precascade_s:.2}s; \
+         {} daily epochs, {events_per_s:.0} events/s, peak {} fps / {} samples resident \
          vs {} total)",
         run.stats.epochs,
         run.stats.peak_resident_fingerprints,

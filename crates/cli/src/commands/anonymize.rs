@@ -69,11 +69,20 @@ pub fn anonymize_cmd(
     let r = &outcome.report;
     let stats = outcome.report.detail.as_glove().expect("glove detail");
     let candidates = r.pairs_computed + r.pairs_pruned;
+    let pct = |n: u64| {
+        if candidates > 0 {
+            n as f64 / candidates as f64 * 100.0
+        } else {
+            0.0
+        }
+    };
     let mut msg = format!(
         "wrote {}: {} groups covering {} subscribers (k = {})\n\
          merges: {}, elapsed {:.1} s\n\
          pairs: {} computed + {} pruned of {} candidates ({:.1}% skipped by the \
          admissible bound), {:.0} pairs/s\n\
+         cascade: {:.1}% tier-0 signature, {:.1}% tier-1 hull, {:.1}% abandoned, \
+         {:.1}% exact\n\
          suppressed samples: {} ({} user-samples), reshaped: {}\n\
          discarded fingerprints: {} ({} subscribers)\n\
          mean accuracy: {:.0} m position, {:.0} min time",
@@ -88,6 +97,10 @@ pub fn anonymize_cmd(
         candidates,
         r.pruned_fraction() * 100.0,
         stats.pairs_per_second(),
+        pct(r.pairs_skipped_tier0),
+        pct(r.pairs_skipped_tier1),
+        pct(r.pairs_abandoned),
+        pct(r.pairs_computed),
         r.suppressed_samples,
         r.suppressed_user_samples,
         stats.reshaped_samples,
@@ -107,13 +120,17 @@ pub fn anonymize_cmd(
         ));
         for sh in &stats.per_shard {
             msg.push_str(&format!(
-                "\n  shard {}: {} fps ({} users) -> {} groups, {} merges, {} pairs, {:.2} s",
+                "\n  shard {}: {} fps ({} users) -> {} groups, {} merges, {} pairs \
+                 (t0 {} / t1 {} / ab {}), {:.2} s",
                 sh.shard,
                 sh.fingerprints_in,
                 sh.users_in,
                 sh.fingerprints_out,
                 sh.merges,
                 sh.pairs_computed,
+                sh.pairs_skipped_tier0,
+                sh.pairs_skipped_tier1,
+                sh.pairs_abandoned,
                 sh.elapsed_s,
             ));
         }
@@ -275,6 +292,9 @@ mod tests {
             msg.contains("candidates") && msg.contains("% skipped"),
             "message: {msg}"
         );
+        assert!(msg.contains("% tier-0 signature"), "message: {msg}");
+        assert!(msg.contains("% tier-1 hull"), "message: {msg}");
+        assert!(msg.contains("% abandoned"), "message: {msg}");
         let _ = std::fs::remove_file(&data);
         let _ = std::fs::remove_file(&anon);
     }

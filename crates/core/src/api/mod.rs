@@ -184,6 +184,9 @@ fn glove_report(
         merges: stats.merges,
         pairs_computed: stats.pairs_computed,
         pairs_pruned: stats.pairs_pruned,
+        pairs_skipped_tier0: stats.pairs_skipped_tier0,
+        pairs_skipped_tier1: stats.pairs_skipped_tier1,
+        pairs_abandoned: stats.pairs_abandoned,
         suppressed_samples: stats.suppressed.samples,
         suppressed_user_samples: stats.suppressed.user_samples,
         created_samples: 0,
@@ -491,6 +494,9 @@ impl StreamGlove {
             merges: stats.merges,
             pairs_computed: stats.pairs_computed,
             pairs_pruned: stats.pairs_pruned,
+            pairs_skipped_tier0: stats.pairs_skipped_tier0,
+            pairs_skipped_tier1: stats.pairs_skipped_tier1,
+            pairs_abandoned: stats.pairs_abandoned,
             suppressed_samples: suppressed.samples,
             suppressed_user_samples: suppressed.user_samples,
             created_samples: 0,

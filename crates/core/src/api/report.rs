@@ -108,6 +108,14 @@ pub struct RunReport {
     pub pairs_computed: u64,
     /// Pair evaluations skipped by the admissible bound.
     pub pairs_pruned: u64,
+    /// Pairs dismissed by the tier-0 bit-packed signature bound of the
+    /// distance cascade (0 for engines or configurations without it).
+    pub pairs_skipped_tier0: u64,
+    /// Pairs dismissed by the tier-1 hull bound of the distance cascade.
+    pub pairs_skipped_tier1: u64,
+    /// Exact evaluations started but abandoned early by the partial-mean
+    /// bound (tier 2 of the distance cascade).
+    pub pairs_abandoned: u64,
     /// Samples dropped by §7.1 suppression (merge decisions).
     pub suppressed_samples: u64,
     /// Suppressed samples weighted by fingerprint multiplicity.
@@ -166,6 +174,9 @@ impl RunReport {
             ("merges", num(self.merges as f64)),
             ("pairs_computed", num(self.pairs_computed as f64)),
             ("pairs_pruned", num(self.pairs_pruned as f64)),
+            ("pairs_skipped_tier0", num(self.pairs_skipped_tier0 as f64)),
+            ("pairs_skipped_tier1", num(self.pairs_skipped_tier1 as f64)),
+            ("pairs_abandoned", num(self.pairs_abandoned as f64)),
             ("suppressed_samples", num(self.suppressed_samples as f64)),
             (
                 "suppressed_user_samples",
@@ -224,6 +235,9 @@ impl RunReport {
             merges: u64_field(v, "merges")?,
             pairs_computed: u64_field(v, "pairs_computed")?,
             pairs_pruned: u64_field(v, "pairs_pruned")?,
+            pairs_skipped_tier0: u64_field(v, "pairs_skipped_tier0")?,
+            pairs_skipped_tier1: u64_field(v, "pairs_skipped_tier1")?,
+            pairs_abandoned: u64_field(v, "pairs_abandoned")?,
             suppressed_samples: u64_field(v, "suppressed_samples")?,
             suppressed_user_samples: u64_field(v, "suppressed_user_samples")?,
             created_samples: u64_field(v, "created_samples")?,
@@ -328,6 +342,9 @@ fn shard_stat_to_value(stat: &ShardStat) -> JsonValue {
         ("merges", num(stat.merges as f64)),
         ("pairs_computed", num(stat.pairs_computed as f64)),
         ("pairs_pruned", num(stat.pairs_pruned as f64)),
+        ("pairs_skipped_tier0", num(stat.pairs_skipped_tier0 as f64)),
+        ("pairs_skipped_tier1", num(stat.pairs_skipped_tier1 as f64)),
+        ("pairs_abandoned", num(stat.pairs_abandoned as f64)),
         ("elapsed_s", num(stat.elapsed_s)),
     ])
 }
@@ -341,6 +358,9 @@ fn shard_stat_from_value(v: &JsonValue) -> Result<ShardStat, String> {
         merges: u64_field(v, "merges")?,
         pairs_computed: u64_field(v, "pairs_computed")?,
         pairs_pruned: u64_field(v, "pairs_pruned")?,
+        pairs_skipped_tier0: u64_field(v, "pairs_skipped_tier0")?,
+        pairs_skipped_tier1: u64_field(v, "pairs_skipped_tier1")?,
+        pairs_abandoned: u64_field(v, "pairs_abandoned")?,
         elapsed_s: f64_field(v, "elapsed_s")?,
     })
 }
@@ -351,6 +371,9 @@ pub fn glove_stats_to_value(stats: &GloveStats) -> JsonValue {
         ("merges", num(stats.merges as f64)),
         ("pairs_computed", num(stats.pairs_computed as f64)),
         ("pairs_pruned", num(stats.pairs_pruned as f64)),
+        ("pairs_skipped_tier0", num(stats.pairs_skipped_tier0 as f64)),
+        ("pairs_skipped_tier1", num(stats.pairs_skipped_tier1 as f64)),
+        ("pairs_abandoned", num(stats.pairs_abandoned as f64)),
         (
             "per_shard",
             JsonValue::Arr(stats.per_shard.iter().map(shard_stat_to_value).collect()),
@@ -372,6 +395,9 @@ pub fn glove_stats_from_value(v: &JsonValue) -> Result<GloveStats, String> {
         merges: u64_field(v, "merges")?,
         pairs_computed: u64_field(v, "pairs_computed")?,
         pairs_pruned: u64_field(v, "pairs_pruned")?,
+        pairs_skipped_tier0: u64_field(v, "pairs_skipped_tier0")?,
+        pairs_skipped_tier1: u64_field(v, "pairs_skipped_tier1")?,
+        pairs_abandoned: u64_field(v, "pairs_abandoned")?,
         per_shard: v
             .get("per_shard")
             .and_then(JsonValue::as_arr)
@@ -398,6 +424,9 @@ fn epoch_stat_to_value(stat: &EpochStat) -> JsonValue {
         ("merges", num(stat.merges as f64)),
         ("pairs_computed", num(stat.pairs_computed as f64)),
         ("pairs_pruned", num(stat.pairs_pruned as f64)),
+        ("pairs_skipped_tier0", num(stat.pairs_skipped_tier0 as f64)),
+        ("pairs_skipped_tier1", num(stat.pairs_skipped_tier1 as f64)),
+        ("pairs_abandoned", num(stat.pairs_abandoned as f64)),
         ("elapsed_s", num(stat.elapsed_s)),
     ])
 }
@@ -413,6 +442,9 @@ fn epoch_stat_from_value(v: &JsonValue) -> Result<EpochStat, String> {
         merges: u64_field(v, "merges")?,
         pairs_computed: u64_field(v, "pairs_computed")?,
         pairs_pruned: u64_field(v, "pairs_pruned")?,
+        pairs_skipped_tier0: u64_field(v, "pairs_skipped_tier0")?,
+        pairs_skipped_tier1: u64_field(v, "pairs_skipped_tier1")?,
+        pairs_abandoned: u64_field(v, "pairs_abandoned")?,
         elapsed_s: f64_field(v, "elapsed_s")?,
     })
 }
@@ -433,6 +465,9 @@ pub fn stream_stats_to_value(stats: &StreamStats) -> JsonValue {
         ("merges", num(stats.merges as f64)),
         ("pairs_computed", num(stats.pairs_computed as f64)),
         ("pairs_pruned", num(stats.pairs_pruned as f64)),
+        ("pairs_skipped_tier0", num(stats.pairs_skipped_tier0 as f64)),
+        ("pairs_skipped_tier1", num(stats.pairs_skipped_tier1 as f64)),
+        ("pairs_abandoned", num(stats.pairs_abandoned as f64)),
         ("seeded_groups", num(stats.seeded_groups as f64)),
         ("suppressed_users", num(stats.suppressed_users as f64)),
         ("suppressed_samples", num(stats.suppressed_samples as f64)),
@@ -457,6 +492,9 @@ pub fn stream_stats_from_value(v: &JsonValue) -> Result<StreamStats, String> {
         merges: u64_field(v, "merges")?,
         pairs_computed: u64_field(v, "pairs_computed")?,
         pairs_pruned: u64_field(v, "pairs_pruned")?,
+        pairs_skipped_tier0: u64_field(v, "pairs_skipped_tier0")?,
+        pairs_skipped_tier1: u64_field(v, "pairs_skipped_tier1")?,
+        pairs_abandoned: u64_field(v, "pairs_abandoned")?,
         seeded_groups: u64_field(v, "seeded_groups")?,
         suppressed_users: u64_field(v, "suppressed_users")?,
         suppressed_samples: u64_field(v, "suppressed_samples")?,
@@ -492,6 +530,9 @@ mod tests {
             merges: 50,
             pairs_computed: 4_000,
             pairs_pruned: 950,
+            pairs_skipped_tier0: 600,
+            pairs_skipped_tier1: 300,
+            pairs_abandoned: 50,
             suppressed_samples: 3,
             suppressed_user_samples: 5,
             created_samples: 0,
@@ -513,6 +554,9 @@ mod tests {
                 merges: 50,
                 pairs_computed: 4_000,
                 pairs_pruned: 950,
+                pairs_skipped_tier0: 600,
+                pairs_skipped_tier1: 300,
+                pairs_abandoned: 50,
                 per_shard: vec![ShardStat {
                     shard: 0,
                     fingerprints_in: 100,
@@ -521,6 +565,9 @@ mod tests {
                     merges: 50,
                     pairs_computed: 4_000,
                     pairs_pruned: 950,
+                    pairs_skipped_tier0: 600,
+                    pairs_skipped_tier1: 300,
+                    pairs_abandoned: 50,
                     elapsed_s: 0.11,
                 }],
                 suppressed: SuppressionLedger {
@@ -554,6 +601,9 @@ mod tests {
             merges: 77,
             pairs_computed: 5_000,
             pairs_pruned: 123,
+            pairs_skipped_tier0: 70,
+            pairs_skipped_tier1: 40,
+            pairs_abandoned: 13,
             seeded_groups: 4,
             suppressed_users: 2,
             suppressed_samples: 9,
@@ -570,6 +620,9 @@ mod tests {
                 merges: 20,
                 pairs_computed: 780,
                 pairs_pruned: 12,
+                pairs_skipped_tier0: 7,
+                pairs_skipped_tier1: 4,
+                pairs_abandoned: 1,
                 elapsed_s: 0.05,
             }],
             elapsed_s: 0.2,

@@ -300,6 +300,18 @@ pub struct GloveConfig {
     /// is admissible, not approximate); only `pairs_computed` shrinks.
     /// Default: true.
     pub pruning: bool,
+    /// Distance cascade on top of pruning: seed candidate pairs with the
+    /// bit-packed tier-0 signature bound of `core::compact` before the hull
+    /// bound, and let surviving exact evaluations abandon early once their
+    /// partial mean proves them out of contention. Only active when
+    /// `pruning` is on, and the engine engages it only when the mean
+    /// fingerprint length clears a small threshold — for short fingerprints
+    /// the exact kernel is cheaper than the filter, so the run falls back
+    /// to hull-only pruning. The published output stays byte-identical either
+    /// way — the cascade only changes how much work each decision costs
+    /// (`pairs_skipped_tier0`/`pairs_skipped_tier1`/`pairs_abandoned`
+    /// record where candidates were dismissed). Default: true.
+    pub cascade: bool,
 }
 
 impl Default for GloveConfig {
@@ -313,6 +325,7 @@ impl Default for GloveConfig {
             threads: 0,
             shard: None,
             pruning: true,
+            cascade: true,
         }
     }
 }

@@ -17,33 +17,53 @@
 //! ### Implementation notes
 //!
 //! * The pairwise matrix is stored triangularly over an append-only slot
-//!   arena; merged inputs retire, merged outputs append. The arena compacts
-//!   itself when retired slots dominate, bounding memory at O(active²).
+//!   arena as struct-of-arrays pages (`PairPage`): one `f64` value column
+//!   and one `u8` tier column per row, so scans touch dense homogeneous
+//!   memory. Merged inputs retire, merged outputs append (slots that leave
+//!   the game keep an empty, lazily absent page). The arena compacts itself
+//!   when retired slots dominate, bounding memory at O(active²).
 //! * Each active slot caches its row minimum, so one iteration costs O(A)
 //!   for extraction plus O(A·n̄²) for the new row (A = active slots) — the
-//!   complexity stated in §6.3.
+//!   complexity stated in §6.3. The per-round extraction scan itself runs
+//!   as a deterministic parallel min-reduction once the active set is large
+//!   enough (see `global_best`).
 //! * Matrix construction and row recomputation fan out over
 //!   [`crate::parallel`], the stand-in for the paper's GPU kernel.
 //! * With [`GloveConfig::pruning`] on (the default), matrix cells hold an
-//!   admissible hull-derived lower bound on Eq. 10 until an exact value is
-//!   actually needed to decide a row minimum; pairs whose bound exceeds the
-//!   row's best exact effort are never evaluated at all. The published
-//!   output is byte-identical to the unpruned path — see
-//!   [`crate::stretch::stretch_lower_bound`] and DESIGN.md.
+//!   admissible lower bound on Eq. 10 until an exact value is actually
+//!   needed to decide a row minimum. Bounds escalate through a cascade of
+//!   tiers (see DESIGN.md "Distance cascade"): tier 0 is the bit-packed
+//!   popcount signature bound of [`crate::compact`], tier 1 the hull bound
+//!   of [`crate::stretch::stretch_lower_bound`], tier 2 the exact — but
+//!   cutoff-aware, early-abandoning — Eq. 10 evaluation of
+//!   [`crate::stretch::fingerprint_stretch_cutoff`]. [`GloveConfig::cascade`]
+//!   gates tiers 0 and the early abandonment, and the loop additionally
+//!   engages them only when fingerprints are long enough for the filter to
+//!   pay for itself (`CASCADE_MIN_MEAN_SAMPLES`); otherwise it degrades to the
+//!   plain hull-bound pruning of earlier revisions. Either way the
+//!   published output is byte-identical to the unpruned path.
+//! * Hull summaries are maintained *incrementally*: a merge that suppresses
+//!   no samples unions the parents' hulls in O(1) instead of rescanning the
+//!   merged fingerprint ([`StretchHull::union`]); suppressing merges fall
+//!   back to recomputation.
 //! * At most one fingerprint can be left with multiplicity < `k` when the
 //!   loop exhausts mergeable pairs; [`ResidualPolicy`] decides its fate
 //!   (the paper does not specify — see DESIGN.md).
 //! * [`GloveConfig::shard`] routes the run through [`crate::shard`], which
 //!   partitions the dataset and runs this loop per shard.
 
+use crate::compact::{signature_lower_bound, CompactSignature, SignatureSpace};
 use crate::config::{GloveConfig, ResidualPolicy, StretchConfig};
 use crate::error::GloveError;
 use crate::merge::merge_fingerprints;
 use crate::model::{Dataset, Fingerprint};
-use crate::parallel::par_map;
+use crate::parallel::{effective_threads, par_map};
 use crate::reshape::reshape_suppressed;
 use crate::shard::ShardStat;
-use crate::stretch::{fingerprint_stretch, stretch_lower_bound, StretchHull};
+use crate::stretch::{
+    fingerprint_stretch, fingerprint_stretch_cutoff_resume, stretch_lower_bound, StretchEval,
+    StretchHull, StretchProgress,
+};
 use crate::suppress::SuppressionLedger;
 use std::time::Instant;
 
@@ -52,17 +72,33 @@ use std::time::Instant;
 pub struct GloveStats {
     /// Number of pairwise merges performed.
     pub merges: u64,
-    /// Number of fingerprint-pair stretch efforts computed (Eq. 10
-    /// evaluations) — the unit of the paper's §6.3 throughput figure. With
-    /// pruning on, only pairs whose lower bound could not rule them out are
-    /// counted here; the rest land in `pairs_pruned`.
+    /// Number of fingerprint-pair stretch efforts computed *to completion*
+    /// (full Eq. 10 evaluations) — the unit of the paper's §6.3 throughput
+    /// figure. With pruning on, only pairs no cascade tier could rule out
+    /// are counted here; the rest land in `pairs_pruned`.
     pub pairs_computed: u64,
-    /// Distinct pairs whose full Eq. 10 evaluation was never needed: their
-    /// admissible lower bound ruled them out of every row minimum they
-    /// participated in (0 when pruning is disabled). `pairs_computed +
-    /// pairs_pruned` equals the number of pairs the unpruned kernel would
-    /// have evaluated.
+    /// Distinct pairs whose full Eq. 10 evaluation was never needed: some
+    /// tier of the admissible distance cascade ruled them out of every row
+    /// minimum they participated in (0 when pruning is disabled). Always
+    /// equals `pairs_skipped_tier0 + pairs_skipped_tier1 + pairs_abandoned`,
+    /// and `pairs_computed + pairs_pruned` equals the number of pairs the
+    /// unpruned kernel would have evaluated.
     pub pairs_pruned: u64,
+    /// Pairs dismissed by the tier-0 bit-packed signature bound alone:
+    /// their hull bound was never even computed. 0 when
+    /// [`GloveConfig::cascade`] is off or the run's mean fingerprint length
+    /// sits below the engagement gate (the hull tier then fields every
+    /// pair). Pairs involving an already-k-anonymous input fingerprint are
+    /// counted here in cascade runs — no tier ever needs to look at them.
+    pub pairs_skipped_tier0: u64,
+    /// Pairs dismissed by the tier-1 hull bound: promoted past the
+    /// signature tier but never worth starting an exact evaluation.
+    pub pairs_skipped_tier1: u64,
+    /// Pairs whose exact evaluation was *started* but abandoned early (tier
+    /// 2): the partial Eq. 10 mean proved them strictly above every cutoff
+    /// they were ever tested against, so the evaluation never ran to
+    /// completion. 0 when [`GloveConfig::cascade`] is off or not engaged.
+    pub pairs_abandoned: u64,
     /// Per-shard breakdown when the run was sharded (empty for monolithic
     /// runs).
     pub per_shard: Vec<ShardStat>,
@@ -80,11 +116,25 @@ pub struct GloveStats {
 }
 
 impl GloveStats {
-    /// Pairwise-effort throughput in pairs/second — comparable to the
-    /// paper's "20–50,000 fingerprint pairs per second" (§6.3).
+    /// Total pair decisions made: every candidate pair was either evaluated
+    /// in full (`pairs_computed`) or dismissed by an admissible cascade
+    /// tier (`pairs_pruned`). This is the work the unpruned kernel would
+    /// have evaluated exactly, making throughput figures comparable across
+    /// pruning configurations.
+    pub fn candidate_pairs(&self) -> u64 {
+        self.pairs_computed + self.pairs_pruned
+    }
+
+    /// Pair-decision throughput in pairs/second — comparable to the paper's
+    /// "20–50,000 fingerprint pairs per second" (§6.3). Counts
+    /// [`candidate_pairs`](Self::candidate_pairs), not just full
+    /// evaluations: under the distance cascade most candidates are resolved
+    /// by a cheap admissible bound, and each such resolution is a unit of
+    /// useful work the paper's kernel would have spent a full evaluation
+    /// on.
     pub fn pairs_per_second(&self) -> f64 {
         if self.elapsed_s > 0.0 {
-            self.pairs_computed as f64 / self.elapsed_s
+            self.candidate_pairs() as f64 / self.elapsed_s
         } else {
             0.0
         }
@@ -120,105 +170,341 @@ struct RowMin {
 
 const NO_PARTNER: usize = usize::MAX;
 
-/// Matrix cells hold either an exact Eq. 10 effort (`≥ 0`, with `+∞` for
-/// pairs that can never be read again) or an admissible lower bound awaiting
-/// lazy evaluation, encoded as `-bound - 1.0` (`≤ -1.0`) so one f64 carries
-/// both cases.
-#[inline]
-fn encode_bound(bound: f64) -> f64 {
-    -bound - 1.0
+/// Cell tiers of the distance cascade, in escalation order. A cell only
+/// ever moves to a higher tier, and its value is an admissible lower bound
+/// on the pair's Eq. 10 effort at every tier below [`TIER_EXACT`].
+const TIER_SIG: u8 = 0;
+/// The cell holds the hull-derived lower bound (tier 1).
+const TIER_HULL: u8 = 1;
+/// The cell holds a partial-evaluation lower bound: an exact evaluation was
+/// started and abandoned (tier 2, unfinished).
+const TIER_PARTIAL: u8 = 2;
+/// The cell holds the exact Eq. 10 effort (or `+∞` for cells that can never
+/// be read again).
+const TIER_EXACT: u8 = 3;
+
+/// One triangular matrix row in struct-of-arrays layout: the value column
+/// and the tier column live in separate dense vectors, so bound-only scans
+/// stream `f64`s and tier tests stream bytes instead of interleaving both
+/// through one encoded cell. The progress column carries the saved prefix
+/// of partially evaluated cells so a re-escalated cell resumes its exact
+/// scan instead of restarting from sample zero; unpruned runs leave it
+/// empty (every cell is exact on creation, so it is never read).
+#[derive(Debug, Clone, Default)]
+struct PairPage {
+    val: Vec<f64>,
+    tier: Vec<u8>,
+    prog: Vec<StretchProgress>,
 }
 
-#[inline]
-fn decode_bound(cell: f64) -> f64 {
-    -cell - 1.0
-}
-
-#[inline]
-fn is_exact(cell: f64) -> bool {
-    cell >= 0.0
-}
-
-/// The pruning walk shared by matrix construction, merged-row filling and
-/// row-minimum rescans: sorts `cand` by ascending `(bound, j)` and evaluates
-/// each candidate whose bound could still produce — or tie — the minimum,
-/// folding results into `best` under the `(value, smaller j)` rule.
+/// Transition counters of the distance cascade. Counting *transitions*
+/// (rather than scanning cell states at the end) keeps the attribution
+/// exact across arena compactions, which overwrite dead cells.
 ///
-/// Stops at the first bound strictly above the current best value: every
-/// remaining candidate's exact effort is ≥ that bound, so it can neither win
-/// nor tie. A candidate whose exact effort equals the final minimum always
-/// has a bound ≤ it and is therefore evaluated, which keeps tie-breaking —
-/// and hence the published output — byte-identical to the unpruned scan.
+/// Every created cell ends in exactly one derived bucket:
+/// `created = skipped_tier0 + skipped_tier1 + abandoned + exact`, with
+/// `exact = exact_from_hull + exact_from_partial` the cells whose full
+/// evaluation completed (counted in `GloveStats::pairs_computed`).
+#[derive(Debug, Clone, Copy, Default)]
+struct CascadeCounters {
+    /// Bound cells created (every pair the unpruned kernel would evaluate).
+    created: u64,
+    /// Cells that reached the hull tier (in hull-only runs, all of them).
+    hulled: u64,
+    /// Cells whose exact evaluation was started and abandoned at least
+    /// once.
+    entered_partial: u64,
+    /// Cells evaluated to completion directly from the hull tier.
+    exact_from_hull: u64,
+    /// Cells evaluated to completion after at least one abandonment.
+    exact_from_partial: u64,
+}
+
+impl CascadeCounters {
+    fn absorb(&mut self, o: CascadeCounters) {
+        self.created += o.created;
+        self.hulled += o.hulled;
+        self.entered_partial += o.entered_partial;
+        self.exact_from_hull += o.exact_from_hull;
+        self.exact_from_partial += o.exact_from_partial;
+    }
+
+    /// Cells the signature bound dismissed before a hull bound existed.
+    fn skipped_tier0(&self) -> u64 {
+        self.created - self.hulled
+    }
+
+    /// Cells the hull bound dismissed before an exact evaluation started.
+    fn skipped_tier1(&self) -> u64 {
+        self.hulled - self.entered_partial - self.exact_from_hull
+    }
+
+    /// Cells whose started evaluation never ran to completion.
+    fn abandoned(&self) -> u64 {
+        self.entered_partial - self.exact_from_partial
+    }
+}
+
+/// Read/write access to one matrix row, abstracting over rows that live in
+/// the arena's triangular pages versus local rows still under construction.
+trait CellRow {
+    fn get(&self, j: usize) -> (f64, u8);
+    fn set(&mut self, j: usize, val: f64, tier: u8);
+    /// Saved evaluation prefix of the cell, for resumable tier-2 scans.
+    fn progress(&mut self, j: usize) -> &mut StretchProgress;
+}
+
+/// A row of the installed triangular matrix: cell `(i, j)` lives in
+/// `pages[max(i,j)]` at column `min(i,j)`.
+struct TriRow<'a> {
+    pages: &'a mut [PairPage],
+    i: usize,
+}
+
+impl CellRow for TriRow<'_> {
+    #[inline]
+    fn get(&self, j: usize) -> (f64, u8) {
+        debug_assert_ne!(self.i, j);
+        let (r, c) = if self.i > j { (self.i, j) } else { (j, self.i) };
+        (self.pages[r].val[c], self.pages[r].tier[c])
+    }
+
+    #[inline]
+    fn set(&mut self, j: usize, val: f64, tier: u8) {
+        debug_assert_ne!(self.i, j);
+        let (r, c) = if self.i > j { (self.i, j) } else { (j, self.i) };
+        self.pages[r].val[c] = val;
+        self.pages[r].tier[c] = tier;
+    }
+
+    #[inline]
+    fn progress(&mut self, j: usize) -> &mut StretchProgress {
+        debug_assert_ne!(self.i, j);
+        let (r, c) = if self.i > j { (self.i, j) } else { (j, self.i) };
+        &mut self.pages[r].prog[c]
+    }
+}
+
+/// A row under construction (matrix build or merged-row fill), not yet
+/// installed in the arena.
+struct LocalRow<'a> {
+    val: &'a mut [f64],
+    tier: &'a mut [u8],
+    prog: &'a mut [StretchProgress],
+}
+
+impl CellRow for LocalRow<'_> {
+    #[inline]
+    fn get(&self, j: usize) -> (f64, u8) {
+        (self.val[j], self.tier[j])
+    }
+
+    #[inline]
+    fn set(&mut self, j: usize, val: f64, tier: u8) {
+        self.val[j] = val;
+        self.tier[j] = tier;
+    }
+
+    #[inline]
+    fn progress(&mut self, j: usize) -> &mut StretchProgress {
+        &mut self.prog[j]
+    }
+}
+
+/// The cascade walk shared by matrix construction, merged-row filling and
+/// row-minimum rescans: sorts `cand` by ascending `(bound, j)` and
+/// escalates each candidate whose bound could still produce — or tie — the
+/// minimum through the remaining tiers, folding completed evaluations into
+/// `best` under the `(value, smaller j)` rule.
 ///
-/// `eval` computes the exact effort for partner `j` and is responsible for
-/// storing it and counting the evaluation.
-fn ascending_bound_walk(
+/// Stops at the first stored bound strictly above the current best value:
+/// every remaining candidate's exact effort is ≥ that bound, so it can
+/// neither win nor tie. Inside the walk, a tier-0 candidate is first
+/// promoted to the max of its signature and hull bounds (both admissible,
+/// neither dominating: the hull sees convex extents, the signature sees
+/// occupancy holes); if that already rules it out the candidate is skipped
+/// without touching the fingerprints. Survivors are evaluated with the current best as the
+/// abandonment cutoff (when `early_abandon` is on): an abandoned candidate
+/// proved itself *strictly* worse than the best, so it cannot win or tie,
+/// and it leaves behind both a tighter admissible bound for later rounds
+/// and its saved evaluation prefix, so a re-escalation resumes the exact
+/// scan where it stopped instead of restarting from sample zero. A
+/// candidate whose exact effort equals the final minimum
+/// always survives every tier and is evaluated in full — which keeps
+/// tie-breaking, and hence the published output, byte-identical to the
+/// unpruned scan.
+#[allow(clippy::too_many_arguments)]
+fn cascade_walk<R: CellRow>(
     mut cand: Vec<(f64, usize)>,
     best: &mut RowMin,
-    mut eval: impl FnMut(usize) -> f64,
+    row: &mut R,
+    mut hull_bound: impl FnMut(usize) -> f64,
+    mut eval: impl FnMut(usize, f64, &mut StretchProgress) -> StretchEval,
+    early_abandon: bool,
+    counters: &mut CascadeCounters,
+    computed: &mut u64,
 ) {
     cand.sort_unstable_by(|a, b| a.partial_cmp(b).expect("bounds are finite"));
     for &(bound, j) in &cand {
         if bound > best.value {
             break;
         }
-        let d = eval(j);
-        if d < best.value || (d == best.value && j < best.partner) {
+        let (mut val, mut tier) = row.get(j);
+        if tier == TIER_SIG {
+            counters.hulled += 1;
+            // Both bounds are admissible but incomparable: the hull bound
+            // sees the convex extent (tight for separated clouds), the
+            // signature bound sees occupancy holes (tight for interleaved
+            // extents with disjoint cells) — so keep the larger.
+            val = hull_bound(j).max(val);
+            tier = TIER_HULL;
+            row.set(j, val, tier);
+            if val > best.value {
+                continue;
+            }
+        }
+        if tier != TIER_EXACT {
+            let cutoff = if early_abandon {
+                best.value
+            } else {
+                f64::INFINITY
+            };
+            match eval(j, cutoff, row.progress(j)) {
+                StretchEval::Exact(d) => {
+                    if tier == TIER_PARTIAL {
+                        counters.exact_from_partial += 1;
+                    } else {
+                        counters.exact_from_hull += 1;
+                    }
+                    *computed += 1;
+                    val = d;
+                    row.set(j, d, TIER_EXACT);
+                }
+                StretchEval::AtLeast(p) => {
+                    if tier != TIER_PARTIAL {
+                        counters.entered_partial += 1;
+                    }
+                    row.set(j, p, TIER_PARTIAL);
+                    continue;
+                }
+            }
+        }
+        if val < best.value || (val == best.value && j < best.partner) {
             *best = RowMin {
-                value: d,
+                value: val,
                 partner: j,
             };
         }
     }
 }
 
+/// Minimum mean samples per fingerprint for the distance cascade to
+/// engage. The tier-0 signature machinery trades a fixed per-cell cost
+/// (bitmap builds, XOR/popcount dilation probes, suffix-floor bookkeeping)
+/// against the exact evaluations it avoids — whose cost scales with the
+/// *product* of the two fingerprints' lengths. Short fingerprints make the
+/// exact kernel cheaper than the filter: on daily metro stream windows
+/// (~4 samples per fingerprint) the cascade measures ~0.8x, while on the
+/// 600-user batch anchor (~41 samples) it measures ~2.5x. Below this mean
+/// the run falls back to the hull-only pruner, which is already within a
+/// few percent of optimal there. Purely a performance gate: every tier is
+/// an admissible filter, so engagement never changes the published output.
+const CASCADE_MIN_MEAN_SAMPLES: usize = 16;
+
+/// Below this many active slots the per-round best-pair extraction stays
+/// sequential: [`par_map`] spawns OS threads per call, whose setup cost
+/// dwarfs a sub-microsecond scan. Above it, the scan runs as a
+/// deterministic parallel min-reduction.
+const PAR_SCAN_MIN: usize = 8192;
+
+/// The per-round global best-pair extraction over cached row minima.
+///
+/// Deterministic min-reduction (documented in DESIGN.md): the active list —
+/// kept in ascending slot order by construction — is split at fixed chunk
+/// boundaries; each chunk folds locally in slot order under the
+/// `(value, smaller slot)` rule, and the chunk winners fold in chunk order
+/// under the same rule. Because the comparison is a total lexicographic
+/// order on `(value, slot)` and both folds visit candidates in ascending
+/// slot order, the result is the unique minimum — identical to the
+/// sequential scan, bit for bit, for any thread count.
+fn global_best(active: &[usize], row_min: &[RowMin], threads: usize) -> (usize, RowMin) {
+    let init = (
+        NO_PARTNER,
+        RowMin {
+            value: f64::INFINITY,
+            partner: NO_PARTNER,
+        },
+    );
+    let fold = |acc: (usize, RowMin), i: usize| {
+        let rm = row_min[i];
+        if rm.value < acc.1.value || (rm.value == acc.1.value && i < acc.0) {
+            (i, rm)
+        } else {
+            acc
+        }
+    };
+    let workers = effective_threads(threads);
+    if active.len() < PAR_SCAN_MIN || workers <= 1 {
+        return active.iter().fold(init, |acc, &i| fold(acc, i));
+    }
+    let chunks = workers.min(active.len());
+    let chunk_len = active.len().div_ceil(chunks);
+    let winners = par_map(chunks, threads, |c| {
+        let lo = c * chunk_len;
+        let hi = (lo + chunk_len).min(active.len());
+        active[lo..hi].iter().fold(init, |acc, &i| fold(acc, i))
+    });
+    winners.into_iter().fold(init, |acc, w| {
+        if w.1.value < acc.1.value || (w.1.value == acc.1.value && w.0 < acc.0) {
+            w
+        } else {
+            acc
+        }
+    })
+}
+
 struct Arena {
     fps: Vec<Fingerprint>,
     states: Vec<SlotState>,
-    /// Per-slot hull summaries feeding the admissible lower bound.
+    /// Per-slot hull summaries feeding the tier-1 bound, maintained
+    /// incrementally on merge.
     hulls: Vec<StretchHull>,
-    /// Lower-triangular effort matrix: `tri[i][j]` = Δ between slots i and j
-    /// for j < i (encoded; see [`encode_bound`]).
-    tri: Vec<Vec<f64>>,
+    /// Per-slot bit-packed signatures feeding the tier-0 bound; empty when
+    /// the cascade is off.
+    sigs: Vec<CompactSignature>,
+    /// Lower-triangular effort matrix in struct-of-arrays pages:
+    /// `pages[i]` holds columns `0..i`.
+    pages: Vec<PairPage>,
     row_min: Vec<RowMin>,
     active: Vec<usize>,
     retired_count: usize,
-    /// Bound cells later upgraded to exact by a lazy evaluation. Together
-    /// with the count of bound cells ever created this yields the distinct
-    /// never-evaluated pairs (`GloveStats::pairs_pruned`).
-    lazy_evaluated: u64,
+    counters: CascadeCounters,
 }
 
 impl Arena {
     #[inline]
-    fn dist(&self, i: usize, j: usize) -> f64 {
+    fn cell(&self, i: usize, j: usize) -> (f64, u8) {
         debug_assert_ne!(i, j);
-        if i > j {
-            self.tri[i][j]
-        } else {
-            self.tri[j][i]
-        }
-    }
-
-    #[inline]
-    fn set_dist(&mut self, i: usize, j: usize, cell: f64) {
-        debug_assert_ne!(i, j);
-        if i > j {
-            self.tri[i][j] = cell;
-        } else {
-            self.tri[j][i] = cell;
-        }
+        let (r, c) = if i > j { (i, j) } else { (j, i) };
+        (self.pages[r].val[c], self.pages[r].tier[c])
     }
 
     /// Recomputes the cached row minimum of slot `i` by scanning the active
-    /// set, lazily evaluating bound-only cells in ascending-bound order
-    /// until the bound alone rules the remainder out.
+    /// set, escalating non-exact cells through the cascade in
+    /// ascending-bound order until the stored bounds alone rule the
+    /// remainder out.
     ///
     /// The result is the exact minimum by `(value, partner)`: every cell
-    /// whose exact effort could equal the final minimum has a bound no
-    /// larger than it and is therefore evaluated before the walk stops, so
-    /// ties break on the same partner the unpruned scan would pick.
-    fn rescan_row_min(&mut self, i: usize, cfg: &StretchConfig, stats: &mut GloveStats) {
+    /// whose exact effort could equal the final minimum survives every tier
+    /// and is evaluated before the walk stops, so ties break on the same
+    /// partner the unpruned scan would pick.
+    fn rescan_row_min(
+        &mut self,
+        i: usize,
+        cfg: &StretchConfig,
+        cascade: bool,
+        stats: &mut GloveStats,
+    ) {
         let mut best = RowMin {
             value: f64::INFINITY,
             partner: NO_PARTNER,
@@ -228,29 +514,52 @@ impl Arena {
             if j == i {
                 continue;
             }
-            let cell = self.dist(i, j);
-            if is_exact(cell) {
-                if cell < best.value || (cell == best.value && j < best.partner) {
+            let (val, tier) = self.cell(i, j);
+            if tier == TIER_EXACT {
+                if val < best.value || (val == best.value && j < best.partner) {
                     best = RowMin {
-                        value: cell,
+                        value: val,
                         partner: j,
                     };
                 }
             } else {
-                deferred.push((decode_bound(cell), j));
+                deferred.push((val, j));
             }
         }
-        ascending_bound_walk(deferred, &mut best, |j| {
-            let d = fingerprint_stretch(&self.fps[i], &self.fps[j], cfg);
-            stats.pairs_computed += 1;
-            self.lazy_evaluated += 1;
-            self.set_dist(i, j, d);
-            d
-        });
+        let Arena {
+            ref fps,
+            ref hulls,
+            ref mut pages,
+            ref mut counters,
+            ..
+        } = *self;
+        let mut computed = 0u64;
+        let mut row = TriRow { pages, i };
+        cascade_walk(
+            deferred,
+            &mut best,
+            &mut row,
+            |j| stretch_lower_bound(&hulls[i], &hulls[j], cfg),
+            |j, cutoff, prog| {
+                // Canonical orientation (larger slot first): the saved
+                // prefix of an equal-length pair is direction-specific, so
+                // every evaluation of one cell must walk the directions in
+                // the same order regardless of which row triggered it. The
+                // published value is symmetric either way.
+                let (r, c) = if i > j { (i, j) } else { (j, i) };
+                fingerprint_stretch_cutoff_resume(&fps[r], &fps[c], cfg, cutoff, prog)
+            },
+            cascade,
+            counters,
+            &mut computed,
+        );
+        stats.pairs_computed += computed;
         self.row_min[i] = best;
     }
 
-    /// Drops retired slots and remaps ids, shrinking the matrix.
+    /// Drops retired slots and remaps ids, shrinking the matrix. Cascade
+    /// attribution is unaffected: the transition counters live on the arena,
+    /// not in the cells this rewrites.
     fn compact(&mut self) {
         let old_ids: Vec<usize> = (0..self.states.len())
             .filter(|&i| self.states[i] != SlotState::Retired)
@@ -260,10 +569,12 @@ impl Arena {
             remap[old_id] = new_id;
         }
 
+        let track_sigs = !self.sigs.is_empty();
         let mut fps = Vec::with_capacity(old_ids.len());
         let mut states = Vec::with_capacity(old_ids.len());
         let mut hulls = Vec::with_capacity(old_ids.len());
-        let mut tri = Vec::with_capacity(old_ids.len());
+        let mut sigs = Vec::with_capacity(if track_sigs { old_ids.len() } else { 0 });
+        let mut pages = Vec::with_capacity(old_ids.len());
         let mut row_min = Vec::with_capacity(old_ids.len());
         for (new_i, &old_i) in old_ids.iter().enumerate() {
             fps.push(std::mem::replace(
@@ -273,19 +584,37 @@ impl Arena {
             ));
             states.push(self.states[old_i]);
             hulls.push(self.hulls[old_i]);
-            // Only Active–Active distances are ever read again; Done slots
+            if track_sigs {
+                sigs.push(self.sigs[old_i]);
+            }
+            // Only Active–Active cells are ever read again; Done slots
             // appended mid-run have empty rows, so copying their entries
             // would be both wrong and out of bounds.
             let i_active = self.states[old_i] == SlotState::Active;
-            let mut row = Vec::with_capacity(new_i);
+            // Unpruned runs never track progress (`prog` stays empty), and
+            // the empty rows of Done slots appended mid-run have none to
+            // copy either; their placeholder cells are never read.
+            let track_prog = !self.pages[old_i].prog.is_empty();
+            let mut val = Vec::with_capacity(new_i);
+            let mut tier = Vec::with_capacity(new_i);
+            let mut prog = Vec::with_capacity(new_i);
             for &old_j in &old_ids[..new_i] {
                 if i_active && self.states[old_j] == SlotState::Active {
-                    row.push(self.dist(old_i, old_j));
+                    let (v, t) = self.cell(old_i, old_j);
+                    val.push(v);
+                    tier.push(t);
+                    prog.push(if track_prog {
+                        self.pages[old_i].prog[old_j]
+                    } else {
+                        StretchProgress::start()
+                    });
                 } else {
-                    row.push(f64::INFINITY);
+                    val.push(f64::INFINITY);
+                    tier.push(TIER_EXACT);
+                    prog.push(StretchProgress::start());
                 }
             }
-            tri.push(row);
+            pages.push(PairPage { val, tier, prog });
             let old_min = self.row_min[old_i];
             row_min.push(RowMin {
                 value: old_min.value,
@@ -300,7 +629,8 @@ impl Arena {
         self.fps = fps;
         self.states = states;
         self.hulls = hulls;
-        self.tri = tri;
+        self.sigs = sigs;
+        self.pages = pages;
         self.row_min = row_min;
         self.retired_count = 0;
     }
@@ -352,9 +682,16 @@ pub(crate) fn run_monolithic(
     let mut stats = GloveStats::default();
     let threads = config.threads;
     let cfg = &config.stretch;
+    let n = dataset.fingerprints.len();
+    // Engage the cascade only where the filter is cheaper than what it
+    // filters (see `CASCADE_MIN_MEAN_SAMPLES`); sharded runs pass through
+    // here per shard, so the gate adapts to each shard's population.
+    let cascade =
+        config.pruning && config.cascade && dataset.num_samples() >= CASCADE_MIN_MEAN_SAMPLES * n;
+    let space = SignatureSpace::of(cfg);
+    let init_tier = if cascade { TIER_SIG } else { TIER_HULL };
 
     // ---- Initialization (Alg. 1 lines 1–3) -------------------------------
-    let n = dataset.fingerprints.len();
     let mut arena = Arena {
         fps: dataset.fingerprints.clone(),
         states: dataset
@@ -369,7 +706,16 @@ pub(crate) fn run_monolithic(
             })
             .collect(),
         hulls: dataset.fingerprints.iter().map(StretchHull::of).collect(),
-        tri: Vec::with_capacity(n),
+        sigs: if cascade {
+            dataset
+                .fingerprints
+                .iter()
+                .map(|f| CompactSignature::of(f, &space))
+                .collect()
+        } else {
+            Vec::new()
+        },
+        pages: Vec::with_capacity(n),
         row_min: vec![
             RowMin {
                 value: f64::INFINITY,
@@ -379,91 +725,116 @@ pub(crate) fn run_monolithic(
         ],
         active: Vec::new(),
         retired_count: 0,
-        lazy_evaluated: 0,
+        counters: CascadeCounters::default(),
     };
     arena.active = (0..n)
         .filter(|&i| arena.states[i] == SlotState::Active)
         .collect();
 
-    // Triangular matrix, rows in parallel. Pruned runs seed every cell with
-    // the O(1) hull bound and, still inside the parallel row pass, walk the
-    // row's active candidates in ascending-bound order evaluating exactly
-    // until the bound rules the rest out — so the bulk of the exact efforts
-    // is computed in parallel and the sequential row-minimum rescans below
-    // only top up cells a row-local walk cannot see (j > i). Unpruned runs
+    // Triangular matrix, rows in parallel. Pruned runs seed every
+    // Active–Active cell with the cheapest admissible bound of the cascade
+    // (tier-0 signature with the cascade on, tier-1 hull without) and,
+    // still inside the parallel row pass, walk the row's candidates in
+    // ascending-bound order escalating tiers exactly until the bounds rule
+    // the rest out — so the bulk of the exact efforts is computed in
+    // parallel and the sequential row-minimum rescans below only top up
+    // cells a row-local walk cannot see (j > i). Cells with an
+    // already-k-anonymous endpoint are created but never read, so they stay
+    // at the cheapest tier without even a bound computation. Unpruned runs
     // evaluate everything up front (the paper's full-matrix GPU kernel).
-    let mut bound_created: u64 = 0;
     if config.pruning {
         let hulls_ref = &arena.hulls;
+        let sigs_ref = &arena.sigs;
         let fps_ref = &arena.fps;
         let states_ref = &arena.states;
-        let rows: Vec<(Vec<f64>, u64)> = par_map(n, threads, |i| {
-            let mut row = Vec::with_capacity(i);
+        let rows: Vec<(PairPage, CascadeCounters, u64)> = par_map(n, threads, |i| {
+            let mut val = Vec::with_capacity(i);
+            let mut tier = Vec::with_capacity(i);
+            let mut prog = vec![StretchProgress::start(); i];
             let mut cand: Vec<(f64, usize)> = Vec::new();
+            let mut counters = CascadeCounters {
+                created: i as u64,
+                ..CascadeCounters::default()
+            };
+            if !cascade {
+                counters.hulled += i as u64;
+            }
             for j in 0..i {
-                let b = stretch_lower_bound(&hulls_ref[i], &hulls_ref[j], cfg);
-                row.push(encode_bound(b));
                 if states_ref[i] == SlotState::Active && states_ref[j] == SlotState::Active {
+                    let b = if cascade {
+                        signature_lower_bound(&sigs_ref[i], &sigs_ref[j], cfg, &space)
+                    } else {
+                        stretch_lower_bound(&hulls_ref[i], &hulls_ref[j], cfg)
+                    };
+                    val.push(b);
+                    tier.push(init_tier);
                     cand.push((b, j));
+                } else {
+                    val.push(f64::INFINITY);
+                    tier.push(init_tier);
                 }
             }
-            let mut evals = 0u64;
             let mut best = RowMin {
                 value: f64::INFINITY,
                 partner: NO_PARTNER,
             };
-            ascending_bound_walk(cand, &mut best, |j| {
-                let d = fingerprint_stretch(&fps_ref[i], &fps_ref[j], cfg);
-                evals += 1;
-                row[j] = d;
-                d
-            });
-            (row, evals)
+            let mut computed = 0u64;
+            let mut row = LocalRow {
+                val: &mut val,
+                tier: &mut tier,
+                prog: &mut prog,
+            };
+            cascade_walk(
+                cand,
+                &mut best,
+                &mut row,
+                |j| stretch_lower_bound(&hulls_ref[i], &hulls_ref[j], cfg),
+                |j, cutoff, prog| {
+                    fingerprint_stretch_cutoff_resume(&fps_ref[i], &fps_ref[j], cfg, cutoff, prog)
+                },
+                cascade,
+                &mut counters,
+                &mut computed,
+            );
+            (PairPage { val, tier, prog }, counters, computed)
         });
-        let mut tri = Vec::with_capacity(n);
-        for (row, evals) in rows {
-            stats.pairs_computed += evals;
-            bound_created += row.len() as u64 - evals;
-            tri.push(row);
+        for (page, counters, computed) in rows {
+            stats.pairs_computed += computed;
+            arena.counters.absorb(counters);
+            arena.pages.push(page);
         }
-        arena.tri = tri;
     } else {
         let fps_ref = &arena.fps;
-        arena.tri = par_map(n, threads, |i| {
-            let mut row = Vec::with_capacity(i);
+        arena.pages = par_map(n, threads, |i| {
+            let mut val = Vec::with_capacity(i);
             for j in 0..i {
-                row.push(fingerprint_stretch(&fps_ref[i], &fps_ref[j], cfg));
+                val.push(fingerprint_stretch(&fps_ref[i], &fps_ref[j], cfg));
             }
-            row
+            PairPage {
+                tier: vec![TIER_EXACT; i],
+                val,
+                prog: Vec::new(),
+            }
         });
         stats.pairs_computed += (n as u64) * (n as u64 - 1) / 2;
     }
 
     let actives: Vec<usize> = arena.active.clone();
     for &i in &actives {
-        arena.rescan_row_min(i, cfg, &mut stats);
+        arena.rescan_row_min(i, cfg, cascade, &mut stats);
     }
 
     // ---- Main loop (Alg. 1 lines 4–15) ------------------------------------
     while arena.active.len() >= 2 {
-        // Global minimum over cached row minima.
-        let mut best = RowMin {
-            value: f64::INFINITY,
-            partner: NO_PARTNER,
-        };
-        let mut best_i = NO_PARTNER;
-        for &i in &arena.active {
-            let rm = arena.row_min[i];
-            if rm.value < best.value || (rm.value == best.value && i < best_i) {
-                best = rm;
-                best_i = i;
-            }
-        }
+        // Global minimum over cached row minima (parallel min-reduction for
+        // large active sets; see `global_best`).
+        let (best_i, best) = global_best(&arena.active, &arena.row_min, threads);
         let (a, b) = (best_i, best.partner);
         debug_assert_ne!(b, NO_PARTNER, "active set of >= 2 must yield a pair");
 
         // Merge and retire (lines 5–8).
         let outcome = merge_fingerprints(&arena.fps[a], &arena.fps[b], cfg, &config.suppression)?;
+        let merge_dropped = outcome.suppressed.samples;
         stats.merges += 1;
         stats.suppressed.absorb(outcome.suppressed);
         arena.states[a] = SlotState::Retired;
@@ -473,9 +844,30 @@ pub(crate) fn run_monolithic(
 
         let m = arena.fps.len();
         let m_multiplicity = outcome.fingerprint.multiplicity();
-        arena.hulls.push(StretchHull::of(&outcome.fingerprint));
+        // Incremental hull maintenance: when the merge suppressed nothing,
+        // every parent sample is covered by some merged sample and every
+        // merged sample is a bounding box of parent samples, so the merged
+        // hull is exactly the union of the parents' hulls — no O(n) rescan.
+        // Suppression can shrink the true hull, so those merges refresh.
+        let hull = if merge_dropped == 0 {
+            let h = arena.hulls[a].union(&arena.hulls[b], outcome.fingerprint.len());
+            debug_assert_eq!(
+                h,
+                StretchHull::of(&outcome.fingerprint),
+                "suppression-free merges must preserve the union hull"
+            );
+            h
+        } else {
+            StretchHull::of(&outcome.fingerprint)
+        };
+        arena.hulls.push(hull);
+        if cascade {
+            arena
+                .sigs
+                .push(CompactSignature::of(&outcome.fingerprint, &space));
+        }
         arena.fps.push(outcome.fingerprint);
-        arena.tri.push(Vec::new());
+        arena.pages.push(PairPage::default());
         arena.row_min.push(RowMin {
             value: f64::INFINITY,
             partner: NO_PARTNER,
@@ -496,7 +888,7 @@ pub(crate) fn run_monolithic(
                 })
                 .collect();
             for i in stale {
-                arena.rescan_row_min(i, cfg, &mut stats);
+                arena.rescan_row_min(i, cfg, cascade, &mut stats);
             }
         } else {
             // Compute efforts of the merged fingerprint to every remaining
@@ -505,65 +897,156 @@ pub(crate) fn run_monolithic(
             let partners = arena.active.clone();
 
             if config.pruning {
-                // Bound every candidate, then evaluate in ascending-bound
-                // order until the bound alone rules the remainder out.
-                let mut row = vec![f64::INFINITY; m];
+                // Seed every candidate with the cheapest bound, then walk
+                // in ascending-bound order escalating tiers until the
+                // bounds alone rule the remainder out.
+                let mut val = vec![f64::INFINITY; m];
+                let mut tier = vec![TIER_EXACT; m];
+                let mut prog = vec![StretchProgress::start(); m];
                 let mut cand: Vec<(f64, usize)> = Vec::with_capacity(partners.len());
                 for &j in &partners {
-                    let b = stretch_lower_bound(&arena.hulls[m], &arena.hulls[j], cfg);
-                    row[j] = encode_bound(b);
+                    let b = if cascade {
+                        signature_lower_bound(&arena.sigs[m], &arena.sigs[j], cfg, &space)
+                    } else {
+                        stretch_lower_bound(&arena.hulls[m], &arena.hulls[j], cfg)
+                    };
+                    val[j] = b;
+                    tier[j] = init_tier;
                     cand.push((b, j));
                 }
-                let n_cand = cand.len() as u64;
+                arena.counters.created += partners.len() as u64;
+                if !cascade {
+                    arena.counters.hulled += partners.len() as u64;
+                }
                 let mut new_min = RowMin {
                     value: f64::INFINITY,
                     partner: NO_PARTNER,
                 };
-                let mut evals = 0u64;
-                let fps_ref = &arena.fps;
-                ascending_bound_walk(cand, &mut new_min, |j| {
-                    let d = fingerprint_stretch(&fps_ref[m], &fps_ref[j], cfg);
-                    evals += 1;
-                    row[j] = d;
-                    d
-                });
-                stats.pairs_computed += evals;
-                bound_created += n_cand - evals;
-                arena.tri[m] = row;
+                let mut computed = 0u64;
+                {
+                    let Arena {
+                        ref fps,
+                        ref hulls,
+                        ref mut counters,
+                        ..
+                    } = arena;
+                    let mut row = LocalRow {
+                        val: &mut val,
+                        tier: &mut tier,
+                        prog: &mut prog,
+                    };
+                    cascade_walk(
+                        cand,
+                        &mut new_min,
+                        &mut row,
+                        |j| stretch_lower_bound(&hulls[m], &hulls[j], cfg),
+                        |j, cutoff, prog| {
+                            fingerprint_stretch_cutoff_resume(&fps[m], &fps[j], cfg, cutoff, prog)
+                        },
+                        cascade,
+                        counters,
+                        &mut computed,
+                    );
+                }
+                stats.pairs_computed += computed;
+                arena.pages[m] = PairPage { val, tier, prog };
                 arena.row_min[m] = new_min;
 
-                // Partners whose minimum pointed at a retired slot rescan;
-                // the rest only evaluate the new pair when its bound could
-                // actually beat their cached minimum (a tie never wins: `m`
-                // is the largest id).
+                // Partners whose minimum pointed at a retired slot rescan
+                // first (their iterations are independent of the updates
+                // below: rescans touch cells among pre-existing slots,
+                // updates only the new slot's row). The stale set is fixed
+                // *before* rescanning: a rescanned row does not fold the
+                // newcomer in this round (its rescan ran while `m` was not
+                // yet active), exactly like the unpruned path — folding it
+                // would shift tie attribution and the merge order.
+                let stale_rows: Vec<usize> = partners
+                    .iter()
+                    .copied()
+                    .filter(|&j| {
+                        let p = arena.row_min[j].partner;
+                        p == a || p == b
+                    })
+                    .collect();
+                for &j in &stale_rows {
+                    arena.rescan_row_min(j, cfg, cascade, &mut stats);
+                }
+                // The rest only escalate the new pair's cell while its
+                // bound could actually beat their cached minimum (a tie
+                // never wins: `m` is the largest id).
+                let Arena {
+                    ref fps,
+                    ref hulls,
+                    ref mut pages,
+                    ref mut counters,
+                    ref mut row_min,
+                    ..
+                } = arena;
+                let mut computed = 0u64;
                 for &j in &partners {
-                    let p = arena.row_min[j].partner;
-                    if p == a || p == b {
-                        arena.rescan_row_min(j, cfg, &mut stats);
+                    if stale_rows.binary_search(&j).is_ok() {
                         continue;
                     }
-                    let cell = arena.dist(m, j);
-                    let d = if is_exact(cell) {
-                        cell
+                    let (mut val, mut tier) = (pages[m].val[j], pages[m].tier[j]);
+                    let d = if tier == TIER_EXACT {
+                        val
                     } else {
-                        if decode_bound(cell) >= arena.row_min[j].value {
+                        if val >= row_min[j].value {
                             continue;
                         }
-                        let d = fingerprint_stretch(&arena.fps[m], &arena.fps[j], cfg);
-                        stats.pairs_computed += 1;
-                        arena.lazy_evaluated += 1;
-                        arena.set_dist(m, j, d);
-                        d
+                        if tier == TIER_SIG {
+                            counters.hulled += 1;
+                            // Admissible but incomparable bounds: keep the
+                            // larger (see `cascade_walk`).
+                            val = stretch_lower_bound(&hulls[m], &hulls[j], cfg).max(val);
+                            tier = TIER_HULL;
+                            pages[m].val[j] = val;
+                            pages[m].tier[j] = tier;
+                            if val >= row_min[j].value {
+                                continue;
+                            }
+                        }
+                        let cutoff = if cascade {
+                            row_min[j].value
+                        } else {
+                            f64::INFINITY
+                        };
+                        match fingerprint_stretch_cutoff_resume(
+                            &fps[m],
+                            &fps[j],
+                            cfg,
+                            cutoff,
+                            &mut pages[m].prog[j],
+                        ) {
+                            StretchEval::Exact(d) => {
+                                if tier == TIER_PARTIAL {
+                                    counters.exact_from_partial += 1;
+                                } else {
+                                    counters.exact_from_hull += 1;
+                                }
+                                computed += 1;
+                                pages[m].val[j] = d;
+                                pages[m].tier[j] = TIER_EXACT;
+                                d
+                            }
+                            StretchEval::AtLeast(p) => {
+                                if tier != TIER_PARTIAL {
+                                    counters.entered_partial += 1;
+                                }
+                                pages[m].val[j] = p;
+                                pages[m].tier[j] = TIER_PARTIAL;
+                                continue;
+                            }
+                        }
                     };
-                    if d < arena.row_min[j].value
-                        || (d == arena.row_min[j].value && m < arena.row_min[j].partner)
-                    {
-                        arena.row_min[j] = RowMin {
+                    if d < row_min[j].value || (d == row_min[j].value && m < row_min[j].partner) {
+                        row_min[j] = RowMin {
                             value: d,
                             partner: m,
                         };
                     }
                 }
+                stats.pairs_computed += computed;
             } else {
                 // Unpruned: the full new row, in parallel.
                 let fps_ref = &arena.fps;
@@ -573,15 +1056,19 @@ pub(crate) fn run_monolithic(
                 stats.pairs_computed += partners.len() as u64;
 
                 // Fill the new slot's triangular row (it is the largest id,
-                // so everything fits in tri[m]).
-                arena.tri[m] = vec![f64::INFINITY; m];
+                // so everything fits in pages[m]).
+                arena.pages[m] = PairPage {
+                    val: vec![f64::INFINITY; m],
+                    tier: vec![TIER_EXACT; m],
+                    prog: Vec::new(),
+                };
                 let mut new_min = RowMin {
                     value: f64::INFINITY,
                     partner: NO_PARTNER,
                 };
                 for (idx, &j) in partners.iter().enumerate() {
                     let d = dists[idx];
-                    arena.tri[m][j] = d;
+                    arena.pages[m].val[j] = d;
                     if d < new_min.value || (d == new_min.value && j < new_min.partner) {
                         new_min = RowMin {
                             value: d,
@@ -596,7 +1083,7 @@ pub(crate) fn run_monolithic(
                 for (idx, &j) in partners.iter().enumerate() {
                     let p = arena.row_min[j].partner;
                     if p == a || p == b {
-                        arena.rescan_row_min(j, cfg, &mut stats);
+                        arena.rescan_row_min(j, cfg, cascade, &mut stats);
                     } else {
                         let d = dists[idx];
                         if d < arena.row_min[j].value
@@ -679,9 +1166,14 @@ pub(crate) fn run_monolithic(
             published.push(fp);
         }
     }
-    // Every pair cell ever created was either evaluated (at creation or
-    // lazily) or survived the whole run on its bound alone.
-    stats.pairs_pruned = bound_created.saturating_sub(arena.lazy_evaluated);
+    // Every pair cell ever created ended in exactly one cascade bucket:
+    // dismissed at tier 0 or 1, abandoned mid-evaluation, or evaluated to
+    // completion (`pairs_computed`).
+    stats.pairs_skipped_tier0 = arena.counters.skipped_tier0();
+    stats.pairs_skipped_tier1 = arena.counters.skipped_tier1();
+    stats.pairs_abandoned = arena.counters.abandoned();
+    stats.pairs_pruned =
+        stats.pairs_skipped_tier0 + stats.pairs_skipped_tier1 + stats.pairs_abandoned;
     stats.elapsed_s = started.elapsed().as_secs_f64();
 
     let dataset = Dataset::new(format!("{}-glove-k{}", dataset.name, config.k), published)?;
@@ -746,6 +1238,104 @@ mod tests {
         );
         assert_eq!(out.dataset.fingerprints, unpruned.dataset.fingerprints);
         assert_eq!(out.stats.merges, unpruned.stats.merges);
+    }
+
+    /// Two spatial clusters of fingerprints long enough to clear the
+    /// cascade's mean-length engagement gate (`CASCADE_MIN_MEAN_SAMPLES`).
+    fn long_toy_dataset(n: usize) -> Dataset {
+        let fps = (0..n)
+            .map(|u| {
+                let cluster = (u % 2) as i64;
+                let points: Vec<(i64, i64, u32)> = (0..20)
+                    .map(|p| {
+                        (
+                            cluster * 50_000 + (u as i64 % 7) * 100 + p * 250,
+                            (p % 5) * 300,
+                            60 * p as u32 + u as u32 % 5,
+                        )
+                    })
+                    .collect();
+                Fingerprint::from_points(u as u32, &points).unwrap()
+            })
+            .collect();
+        Dataset::new("long-toy", fps).unwrap()
+    }
+
+    #[test]
+    fn cascade_tiers_account_for_every_pair_and_stay_byte_identical() {
+        let ds = long_toy_dataset(24);
+        let unpruned = anonymize(
+            &ds,
+            &GloveConfig {
+                pruning: false,
+                ..GloveConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(unpruned.stats.pairs_skipped_tier0, 0);
+        assert_eq!(unpruned.stats.pairs_skipped_tier1, 0);
+        assert_eq!(unpruned.stats.pairs_abandoned, 0);
+
+        // Hull-only pruning (the pre-cascade comparator) and the full
+        // cascade must both reproduce the unpruned output byte for byte
+        // and account for every candidate pair exactly once.
+        let hull_only = anonymize(
+            &ds,
+            &GloveConfig {
+                cascade: false,
+                ..GloveConfig::default()
+            },
+        )
+        .unwrap();
+        let cascade = anonymize(&ds, &GloveConfig::default()).unwrap();
+        for out in [&hull_only, &cascade] {
+            assert_eq!(out.dataset.fingerprints, unpruned.dataset.fingerprints);
+            assert_eq!(out.stats.merges, unpruned.stats.merges);
+            assert_eq!(
+                out.stats.pairs_pruned,
+                out.stats.pairs_skipped_tier0
+                    + out.stats.pairs_skipped_tier1
+                    + out.stats.pairs_abandoned
+            );
+            assert_eq!(
+                out.stats.pairs_computed + out.stats.pairs_pruned,
+                unpruned.stats.pairs_computed
+            );
+            assert_eq!(out.stats.candidate_pairs(), unpruned.stats.pairs_computed);
+        }
+        // Hull-only runs have no tier-0 or abandonment activity by
+        // construction.
+        assert_eq!(hull_only.stats.pairs_skipped_tier0, 0);
+        assert_eq!(hull_only.stats.pairs_abandoned, 0);
+        // The cascade never evaluates more pairs in full than hull-only
+        // pruning does, and on this fixture it actually fields candidates
+        // at every tier (the fixture clears the engagement gate).
+        assert!(cascade.stats.pairs_computed <= hull_only.stats.pairs_computed);
+        assert!(cascade.stats.pairs_skipped_tier0 > 0);
+        assert!(cascade.stats.pairs_abandoned > 0);
+    }
+
+    #[test]
+    fn cascade_gate_disengages_on_short_fingerprints() {
+        // toy_dataset fingerprints hold 3 samples — well under the
+        // engagement gate — so a default run must behave exactly like the
+        // hull-only pruner: no signature activity, no abandonments, same
+        // published bytes (the gate is a performance decision, never a
+        // semantic one).
+        let ds = toy_dataset(20);
+        let gated = anonymize(&ds, &GloveConfig::default()).unwrap();
+        let hull_only = anonymize(
+            &ds,
+            &GloveConfig {
+                cascade: false,
+                ..GloveConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(gated.stats.pairs_skipped_tier0, 0);
+        assert_eq!(gated.stats.pairs_abandoned, 0);
+        assert_eq!(gated.dataset.fingerprints, hull_only.dataset.fingerprints);
+        assert_eq!(gated.stats.pairs_computed, hull_only.stats.pairs_computed);
     }
 
     #[test]
@@ -884,6 +1474,88 @@ mod tests {
         let out = anonymize(&ds, &cfg).unwrap();
         assert!(out.dataset.is_k_anonymous(5));
         assert_eq!(out.dataset.num_users(), 64);
+        // Compaction must not disturb the exactness anchor either.
+        let unpruned = anonymize(
+            &ds,
+            &GloveConfig {
+                k: 5,
+                pruning: false,
+                ..GloveConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.dataset.fingerprints, unpruned.dataset.fingerprints);
+        assert_eq!(
+            out.stats.pairs_computed + out.stats.pairs_pruned,
+            unpruned.stats.pairs_computed
+        );
+    }
+
+    #[test]
+    fn incremental_hulls_match_recomputation_after_merge_sequences() {
+        // Satellite regression: drive arbitrary (seeded) merge sequences
+        // through `merge_fingerprints` and check the O(1) union hull equals
+        // the recomputed hull at every step, as long as nothing was
+        // suppressed (the engine falls back to recomputation otherwise).
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        let cfg = StretchConfig::default();
+        for _round in 0..4 {
+            let mut pool: Vec<Fingerprint> = (0..12u32)
+                .map(|u| {
+                    let base_x = (next() % 40_000) as i64;
+                    let base_y = (next() % 40_000) as i64;
+                    let base_t = (next() % 1_000) as u32;
+                    Fingerprint::from_points(
+                        u,
+                        &[
+                            (base_x, base_y, base_t),
+                            (
+                                base_x + (next() % 8_000) as i64,
+                                base_y + (next() % 8_000) as i64,
+                                base_t + 60 + (next() % 300) as u32,
+                            ),
+                            (
+                                base_x - (next() % 5_000) as i64,
+                                base_y,
+                                base_t + 400 + (next() % 300) as u32,
+                            ),
+                        ],
+                    )
+                    .unwrap()
+                })
+                .collect();
+            let mut hulls: Vec<StretchHull> = pool.iter().map(StretchHull::of).collect();
+            while pool.len() > 1 {
+                let i = (next() % pool.len() as u64) as usize;
+                let mut j = (next() % pool.len() as u64) as usize;
+                if i == j {
+                    j = (j + 1) % pool.len();
+                }
+                let (i, j) = (i.min(j), i.max(j));
+                let b_fp = pool.swap_remove(j);
+                let b_hull = hulls.swap_remove(j);
+                let a_fp = pool.swap_remove(i);
+                let a_hull = hulls.swap_remove(i);
+                let outcome =
+                    merge_fingerprints(&a_fp, &b_fp, &cfg, &SuppressionThresholds::default())
+                        .unwrap();
+                assert_eq!(outcome.suppressed.samples, 0, "no thresholds, no drops");
+                let union = a_hull.union(&b_hull, outcome.fingerprint.len());
+                assert_eq!(
+                    union,
+                    StretchHull::of(&outcome.fingerprint),
+                    "incremental hull diverged from recomputation"
+                );
+                hulls.push(union);
+                pool.push(outcome.fingerprint);
+            }
+        }
     }
 
     #[test]
@@ -892,5 +1564,9 @@ mod tests {
         let out = anonymize(&ds, &GloveConfig::default()).unwrap();
         assert!(out.stats.pairs_per_second() > 0.0);
         assert!(out.stats.elapsed_s > 0.0);
+        assert_eq!(
+            out.stats.candidate_pairs(),
+            out.stats.pairs_computed + out.stats.pairs_pruned
+        );
     }
 }

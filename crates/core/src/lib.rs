@@ -29,6 +29,8 @@
 //! * [`glove`] — Algorithm 1: greedy global merging until every published
 //!   fingerprint hides at least `k` subscribers, with admissible pair
 //!   pruning;
+//! * [`compact`] — bit-packed occupancy signatures: the popcount/XOR tier-0
+//!   filter of the distance cascade inside the greedy merge;
 //! * [`shard`] — the sharded engine: activity/spatially bucketed partitions
 //!   anonymized independently and stitched (the §6.3 batching idea);
 //! * [`stream`] — the streaming engine: windowed online GLOVE over
@@ -69,6 +71,7 @@
 
 pub mod accuracy;
 pub mod api;
+pub mod compact;
 pub mod config;
 pub mod error;
 pub mod glove;

@@ -54,6 +54,12 @@ pub struct ShardStat {
     pub pairs_computed: u64,
     /// Pair evaluations skipped by the admissible bound inside the shard.
     pub pairs_pruned: u64,
+    /// Prunes decided by the tier-0 bit-packed signature bound alone.
+    pub pairs_skipped_tier0: u64,
+    /// Prunes decided by the tier-1 stretch-hull bound.
+    pub pairs_skipped_tier1: u64,
+    /// Exact evaluations abandoned early by the partial-mean cutoff.
+    pub pairs_abandoned: u64,
     /// Wall-clock seconds of the shard's own run (shards overlap in time
     /// when workers run them concurrently).
     pub elapsed_s: f64,
@@ -194,6 +200,9 @@ pub(crate) fn anonymize_sharded(
         stats.merges += output.stats.merges;
         stats.pairs_computed += output.stats.pairs_computed;
         stats.pairs_pruned += output.stats.pairs_pruned;
+        stats.pairs_skipped_tier0 += output.stats.pairs_skipped_tier0;
+        stats.pairs_skipped_tier1 += output.stats.pairs_skipped_tier1;
+        stats.pairs_abandoned += output.stats.pairs_abandoned;
         stats.suppressed.absorb(output.stats.suppressed);
         stats.reshaped_samples += output.stats.reshaped_samples;
         stats.discarded_fingerprints += output.stats.discarded_fingerprints;
@@ -206,6 +215,9 @@ pub(crate) fn anonymize_sharded(
             merges: output.stats.merges,
             pairs_computed: output.stats.pairs_computed,
             pairs_pruned: output.stats.pairs_pruned,
+            pairs_skipped_tier0: output.stats.pairs_skipped_tier0,
+            pairs_skipped_tier1: output.stats.pairs_skipped_tier1,
+            pairs_abandoned: output.stats.pairs_abandoned,
             elapsed_s: output.stats.elapsed_s,
         });
         published.extend(output.dataset.fingerprints);

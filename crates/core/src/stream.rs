@@ -83,6 +83,12 @@ pub struct EpochStat {
     pub pairs_computed: u64,
     /// Pair evaluations skipped by the admissible bound inside the epoch.
     pub pairs_pruned: u64,
+    /// Prunes decided by the tier-0 bit-packed signature bound alone.
+    pub pairs_skipped_tier0: u64,
+    /// Prunes decided by the tier-1 stretch-hull bound.
+    pub pairs_skipped_tier1: u64,
+    /// Exact evaluations abandoned early by the partial-mean cutoff.
+    pub pairs_abandoned: u64,
     /// Wall-clock seconds of the epoch's anonymization run.
     pub elapsed_s: f64,
 }
@@ -106,6 +112,12 @@ pub struct StreamStats {
     pub pairs_computed: u64,
     /// Pair evaluations skipped by the admissible bound across all epochs.
     pub pairs_pruned: u64,
+    /// Prunes decided by the tier-0 bit-packed signature bound alone.
+    pub pairs_skipped_tier0: u64,
+    /// Prunes decided by the tier-1 stretch-hull bound.
+    pub pairs_skipped_tier1: u64,
+    /// Exact evaluations abandoned early by the partial-mean cutoff.
+    pub pairs_abandoned: u64,
     /// Pre-merged carry-over groups seeded across all epochs (`Sticky`).
     pub seeded_groups: u64,
     /// User-window slices dropped because their window fell below `k`
@@ -387,6 +399,9 @@ impl StreamEngine {
         self.stats.merges += output.stats.merges;
         self.stats.pairs_computed += output.stats.pairs_computed;
         self.stats.pairs_pruned += output.stats.pairs_pruned;
+        self.stats.pairs_skipped_tier0 += output.stats.pairs_skipped_tier0;
+        self.stats.pairs_skipped_tier1 += output.stats.pairs_skipped_tier1;
+        self.stats.pairs_abandoned += output.stats.pairs_abandoned;
         self.stats.seeded_groups += seeded_groups as u64;
         self.stats.elapsed_s += elapsed_s;
         self.stats.per_epoch.push(EpochStat {
@@ -399,6 +414,9 @@ impl StreamEngine {
             merges: output.stats.merges,
             pairs_computed: output.stats.pairs_computed,
             pairs_pruned: output.stats.pairs_pruned,
+            pairs_skipped_tier0: output.stats.pairs_skipped_tier0,
+            pairs_skipped_tier1: output.stats.pairs_skipped_tier1,
+            pairs_abandoned: output.stats.pairs_abandoned,
             elapsed_s,
         });
 

@@ -175,6 +175,255 @@ fn directed_stretch(long: &Fingerprint, short: &Fingerprint, cfg: &StretchConfig
     total / long.len() as f64
 }
 
+/// Result of a cutoff-aware Eq. (10) evaluation: either the exact stretch
+/// effort, or — if the evaluation was abandoned early — an admissible lower
+/// bound on it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StretchEval {
+    /// The evaluation ran to completion; the value is bit-identical to what
+    /// [`fingerprint_stretch`] returns for the same pair.
+    Exact(f64),
+    /// The evaluation was abandoned because the partial mean — strengthened
+    /// by the per-sample hull floors still owed by the unvisited suffix —
+    /// already proved `Δ_ab` strictly above the cutoff; the carried value is
+    /// a lower bound on the true effort (and itself strictly above the
+    /// cutoff).
+    AtLeast(f64),
+}
+
+/// Cutoff-aware variant of [`fingerprint_stretch`] — tier 2 of the distance
+/// cascade.
+///
+/// Evaluates `Δ_ab` but abandons as soon as the effort accumulated so far
+/// proves the result *strictly* exceeds `cutoff`, returning the proven
+/// lower bound instead of finishing the scan. With `cutoff =
+/// f64::INFINITY` the function never abandons and
+/// `Exact(fingerprint_stretch(a, b, cfg))` is returned bit-for-bit (the
+/// accumulation order and arithmetic are identical).
+///
+/// Admissibility of the partial mean: Eq. (10) averages per-sample minima,
+/// each ≥ 0, so after `i` of `n` outer samples the final sum is at least
+/// the partial sum (IEEE addition of a non-negative term is monotone and
+/// correctly rounded, so this survives floating point) and the final mean
+/// is at least `partial_total / n`. The unvisited suffix is additionally
+/// booked at its per-sample hull floors rather than at zero (the suffix
+/// strengthening) — each floor is an admissible lower bound
+/// on the matching effort of one outer sample, and the comparison concedes
+/// a rounding slack so the strengthened bound stays below the *computed*
+/// value too. For equal-length fingerprints the canonical `Δ` averages
+/// both directions; the per-direction mappings `m ↦ m/2` (second direction
+/// still unknown, bounded below by 0) and `m ↦ (d₁+m)/2` (first direction
+/// exact) keep the carried value a lower bound on the averaged result.
+///
+/// Abandonment is *strict* (`> cutoff`, never `≥`), so a pair whose true
+/// effort ties the cutoff is always evaluated exactly — callers that use
+/// the running best-pair value as the cutoff keep their tie-breaking
+/// behavior, and hence their output, byte-identical.
+pub fn fingerprint_stretch_cutoff(
+    a: &Fingerprint,
+    b: &Fingerprint,
+    cfg: &StretchConfig,
+    cutoff: f64,
+) -> StretchEval {
+    fingerprint_stretch_cutoff_resume(a, b, cfg, cutoff, &mut StretchProgress::start())
+}
+
+/// Saved position of an abandoned [`fingerprint_stretch_cutoff_resume`]
+/// evaluation of one fixed pair.
+///
+/// The exact prefix sum of per-sample minima is a deterministic function of
+/// the two fingerprints alone — the cutoff only decides *where* the scan
+/// stops, never what it accumulates — so an abandoned evaluation can resume
+/// from its saved prefix under a later (typically larger) cutoff instead of
+/// restarting from sample zero, and a resumed evaluation that runs to
+/// completion returns the same bits as an uninterrupted one.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StretchProgress {
+    /// First direction's exact mean — meaningful once `dir == 1`
+    /// (equal-length pairs only).
+    d1: f64,
+    /// Exact prefix sum of the direction currently being scanned.
+    total: f64,
+    /// Outer samples of the current direction already folded into `total`.
+    next: u32,
+    /// 0 while the first directed scan is incomplete, 1 afterwards.
+    dir: u8,
+}
+
+impl StretchProgress {
+    /// Progress of an evaluation that has not started.
+    #[inline]
+    pub fn start() -> Self {
+        Self::default()
+    }
+}
+
+/// Resumable form of [`fingerprint_stretch_cutoff`]: picks the evaluation
+/// of this pair up where `progress` says it previously abandoned.
+///
+/// On [`StretchEval::AtLeast`] the updated `progress` records the exact
+/// work already done; passing it back in (for the *same* pair and config)
+/// skips straight to the first unvisited sample. On [`StretchEval::Exact`]
+/// the result is bit-identical to an uninterrupted evaluation — callers
+/// cache it and never evaluate the pair again.
+pub fn fingerprint_stretch_cutoff_resume(
+    a: &Fingerprint,
+    b: &Fingerprint,
+    cfg: &StretchConfig,
+    cutoff: f64,
+    progress: &mut StretchProgress,
+) -> StretchEval {
+    match a.len().cmp(&b.len()) {
+        std::cmp::Ordering::Greater => directed_resume(a, b, cfg, cutoff, |m| m, progress),
+        std::cmp::Ordering::Less => directed_resume(b, a, cfg, cutoff, |m| m, progress),
+        std::cmp::Ordering::Equal => {
+            if progress.dir == 0 {
+                match directed_resume(a, b, cfg, cutoff, |m| m / 2.0, progress) {
+                    StretchEval::Exact(d1) => {
+                        progress.d1 = d1;
+                        progress.dir = 1;
+                        progress.total = 0.0;
+                        progress.next = 0;
+                    }
+                    abandoned => return abandoned,
+                }
+            }
+            let d1 = progress.d1;
+            match directed_resume(b, a, cfg, cutoff, |m| (d1 + m) / 2.0, progress) {
+                StretchEval::Exact(d2) => StretchEval::Exact((d1 + d2) / 2.0),
+                abandoned => abandoned,
+            }
+        }
+    }
+}
+
+/// Slack conceded by the suffix-strengthened abandonment test of
+/// [`directed_stretch_cutoff`].
+///
+/// The per-sample hull floors and their running remainder are rounded
+/// independently of the exact accumulation, so a floor-augmented bound can
+/// exceed the *computed* Eq. (10) value by a few ulps even though it never
+/// exceeds the real-arithmetic one. Admissibility must hold against the
+/// computed value (that is what the exact path publishes and what ties are
+/// broken on), so the test concedes this margin — vastly larger than the
+/// worst accumulated IEEE error for any realistic fingerprint length
+/// (`< len·ε` in the mean) — both before abandoning and in the carried
+/// bound. The concession only ever makes abandonment rarer, never unsound.
+const FLOOR_SLACK: f64 = 1e-9;
+
+/// Admissible floor on the matching effort of one outer sample: the
+/// per-sample analog of [`stretch_lower_bound`], against the hull of the
+/// shorter fingerprint.
+///
+/// Every candidate match lies inside `hull`, per-axis interval gaps only
+/// shrink as intervals grow, the raw stretches of Eqs. (4)–(9) dominate the
+/// gaps (the direction weights sum to 1), and the saturation caps are
+/// monotone — so no sample of the hulled fingerprint can be matched from
+/// `s` below this value.
+#[inline]
+fn sample_hull_floor(s: &Sample, hull: &StretchHull, cfg: &StretchConfig) -> f64 {
+    let gx = interval_gap(s.x, s.x_end(), hull.x_min, hull.x_end);
+    let gy = interval_gap(s.y, s.y_end(), hull.y_min, hull.y_end);
+    let gt = interval_gap(i64::from(s.t), s.t_end() as i64, hull.t_min, hull.t_end);
+    if gx == 0 && gy == 0 && gt == 0 {
+        return 0.0;
+    }
+    let phi_s = ((gx + gy) as f64 / cfg.phi_max_space_m).min(1.0);
+    let phi_t = (gt as f64 / cfg.phi_max_time_min).min(1.0);
+    cfg.w_space * phi_s + cfg.w_time * phi_t
+}
+
+/// One direction of [`fingerprint_stretch_cutoff_resume`]. `bound_of` maps
+/// the partial mean of *this* direction to a lower bound on the caller's
+/// final result (identity for unequal lengths; the averaging maps for the
+/// equal-length case). Mirrors [`directed_stretch`] exactly on the
+/// non-abandoning path, including the naive/pruned inner-loop split, and
+/// starts from — and on abandonment saves back to — the `total`/`next`
+/// prefix recorded in `progress`.
+///
+/// The plain partial mean books every unvisited sample at zero effort, so
+/// it only proves abandonment near the end of the scan — on dense metro
+/// fingerprints an abandoned evaluation used to cost almost as much as a
+/// full one. A finite cutoff therefore arms a suffix strengthening: each
+/// outer sample owes at least its [`sample_hull_floor`] toward the final
+/// sum, and `owed` carries the floors of the samples not yet visited. The
+/// pre-scan check (prefix plus everything owed) frequently abandons before
+/// a single inner loop runs, in O(|long|) integer gap arithmetic.
+fn directed_resume(
+    long: &Fingerprint,
+    short: &Fingerprint,
+    cfg: &StretchConfig,
+    cutoff: f64,
+    bound_of: impl Fn(f64) -> f64,
+    progress: &mut StretchProgress,
+) -> StretchEval {
+    let n_long = long.multiplicity() as f64;
+    let n_short = short.multiplicity() as f64;
+    let len = long.len() as f64;
+    let first = progress.next as usize;
+    if first >= long.len() {
+        // The whole direction is already folded (the previous call abandoned
+        // on the final bound check); its mean is now exact.
+        return StretchEval::Exact(progress.total / len);
+    }
+    // Suffix floors are pure overhead when the caller never abandons
+    // (`cutoff = ∞`), so only arm them for a finite cutoff.
+    let floors = cutoff.is_finite().then(|| StretchHull::of(short));
+    let mut owed = 0.0;
+    if let Some(hull) = &floors {
+        for s in &long.samples()[first..] {
+            owed += sample_hull_floor(s, hull, cfg);
+        }
+        let lb = bound_of((progress.total + owed) / len) - FLOOR_SLACK;
+        if lb > cutoff {
+            return StretchEval::AtLeast(lb);
+        }
+    }
+    let mut total = progress.total;
+    let abandon_at = |i: usize, total: f64, lb: f64, progress: &mut StretchProgress| {
+        progress.total = total;
+        progress.next = (i + 1) as u32;
+        StretchEval::AtLeast(lb)
+    };
+    if short.len() < PRUNE_MIN_SHORT_LEN {
+        for (i, s) in long.samples().iter().enumerate().skip(first) {
+            if let Some(hull) = &floors {
+                owed -= sample_hull_floor(s, hull, cfg);
+            }
+            let mut best = f64::INFINITY;
+            for q in short.samples() {
+                let d = sample_stretch(s, n_long, q, n_short, cfg);
+                if d < best {
+                    best = d;
+                }
+            }
+            total += best;
+            let lb = bound_of((total + owed.max(0.0)) / len) - FLOOR_SLACK;
+            if lb > cutoff {
+                return abandon_at(i, total, lb, progress);
+            }
+        }
+    } else {
+        let short_max_dt = short
+            .samples()
+            .iter()
+            .map(|q| q.dt)
+            .max()
+            .expect("fingerprints are never empty");
+        for (i, s) in long.samples().iter().enumerate().skip(first) {
+            if let Some(hull) = &floors {
+                owed -= sample_hull_floor(s, hull, cfg);
+            }
+            total += min_stretch_to(s, n_long, short, n_short, short_max_dt, cfg);
+            let lb = bound_of((total + owed.max(0.0)) / len) - FLOOR_SLACK;
+            if lb > cutoff {
+                return abandon_at(i, total, lb, progress);
+            }
+        }
+    }
+    StretchEval::Exact(total / len)
+}
+
 /// `Δ_ab` together with the matched per-sample efforts, decomposed into
 /// `(w_σ φ_σ, w_τ φ_τ)` pairs — one per sample of the longer fingerprint.
 /// These are the elements of the sets `S^k_a` and `T^k_a` of §5.3.
@@ -357,6 +606,32 @@ impl StretchHull {
             hull.t_end = hull.t_end.max(s.t_end() as i64);
         }
         hull
+    }
+
+    /// The union of two hulls, with `len` the sample count of the merged
+    /// fingerprint it summarizes.
+    ///
+    /// This is the incremental-maintenance primitive of the merge loop:
+    /// when a GLOVE merge suppresses no samples, every merged sample is the
+    /// bounding box of a group containing at least one sample from each
+    /// parent region it covers, and every parent sample is covered by some
+    /// merged sample — so the merged fingerprint's hull is *exactly* the
+    /// union of the parents' hulls and needs no O(n) recomputation. (When
+    /// the merge does suppress samples, the union is merely a superset and
+    /// the caller must fall back to [`StretchHull::of`]: a too-large hull
+    /// would weaken the bound's admissibility guarantee in the other
+    /// direction — the bound stays sound, but the equality invariant the
+    /// incremental path relies on would silently drift.)
+    pub fn union(&self, other: &Self, len: usize) -> Self {
+        Self {
+            x_min: self.x_min.min(other.x_min),
+            x_end: self.x_end.max(other.x_end),
+            y_min: self.y_min.min(other.y_min),
+            y_end: self.y_end.max(other.y_end),
+            t_min: self.t_min.min(other.t_min),
+            t_end: self.t_end.max(other.t_end),
+            len,
+        }
     }
 }
 
@@ -641,6 +916,79 @@ mod tests {
             assert!(h.y_min <= s.y && s.y_end() <= h.y_end);
             assert!(h.t_min <= i64::from(s.t) && s.t_end() as i64 <= h.t_end);
         }
+    }
+
+    #[test]
+    fn cutoff_infinity_is_bitwise_exact() {
+        // Unequal and equal lengths, both inner paths trivially covered by
+        // structured data; the exact path of the cutoff evaluator must be
+        // bit-identical to the plain one.
+        let a = Fingerprint::from_points(0, &[(0, 0, 5), (3_000, 200, 300), (0, 0, 900)]).unwrap();
+        let b = Fingerprint::from_points(1, &[(100, 0, 20), (2_500, 0, 310)]).unwrap();
+        let c = Fingerprint::from_points(2, &[(40, 80, 25), (2_600, -100, 330)]).unwrap();
+        for (x, y) in [(&a, &b), (&b, &a), (&b, &c)] {
+            let exact = fingerprint_stretch(x, y, &cfg());
+            match fingerprint_stretch_cutoff(x, y, &cfg(), f64::INFINITY) {
+                StretchEval::Exact(d) => {
+                    assert_eq!(d.to_bits(), exact.to_bits(), "must be bit-identical")
+                }
+                StretchEval::AtLeast(_) => panic!("infinite cutoff must never abandon"),
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_abandonment_is_admissible_and_strict() {
+        let cfg = cfg();
+        let a = Fingerprint::from_points(0, &[(0, 0, 10), (500, 0, 2_000), (0, 0, 4_000)]).unwrap();
+        let b = Fingerprint::from_points(1, &[(90_000, 0, 10_000)]).unwrap();
+        let exact = fingerprint_stretch(&a, &b, &cfg);
+        assert!(exact > 0.5);
+        // A cutoff below the true effort: abandonment must return a lower
+        // bound that is strictly above the cutoff yet never above the truth.
+        match fingerprint_stretch_cutoff(&a, &b, &cfg, 0.1) {
+            StretchEval::AtLeast(lb) => {
+                assert!(lb > 0.1);
+                assert!(lb <= exact + 1e-12);
+            }
+            StretchEval::Exact(d) => assert_eq!(d, exact, "finishing anyway is also fine"),
+        }
+        // A cutoff that ties the true effort must NOT abandon (strictness
+        // preserves tie-breaking downstream).
+        match fingerprint_stretch_cutoff(&a, &b, &cfg, exact) {
+            StretchEval::Exact(d) => assert_eq!(d.to_bits(), exact.to_bits()),
+            StretchEval::AtLeast(lb) => {
+                panic!("tie with the cutoff must evaluate exactly, got AtLeast({lb})")
+            }
+        }
+    }
+
+    #[test]
+    fn cutoff_equal_length_bounds_stay_admissible() {
+        let cfg = cfg();
+        let a = Fingerprint::from_points(0, &[(0, 0, 10), (1_000, 0, 5_000)]).unwrap();
+        let b = Fingerprint::from_points(1, &[(70_000, 0, 10), (71_000, 0, 5_000)]).unwrap();
+        let exact = fingerprint_stretch(&a, &b, &cfg);
+        for cutoff in [0.0, 0.1, 0.24, 0.4] {
+            match fingerprint_stretch_cutoff(&a, &b, &cfg, cutoff) {
+                StretchEval::AtLeast(lb) => {
+                    assert!(lb > cutoff, "abandonment must prove the cutoff exceeded");
+                    assert!(lb <= exact + 1e-12, "bound {lb} exceeds exact {exact}");
+                }
+                StretchEval::Exact(d) => assert_eq!(d.to_bits(), exact.to_bits()),
+            }
+        }
+    }
+
+    #[test]
+    fn hull_union_matches_recomputation() {
+        let a = Fingerprint::from_points(0, &[(0, 0, 10), (5_000, -2_000, 700)]).unwrap();
+        let b = Fingerprint::from_points(1, &[(-3_000, 9_000, 40), (200, 100, 1_440)]).unwrap();
+        let mut samples = a.samples().to_vec();
+        samples.extend_from_slice(b.samples());
+        let merged = Fingerprint::with_users(vec![0, 1], samples).unwrap();
+        let union = StretchHull::of(&a).union(&StretchHull::of(&b), merged.len());
+        assert_eq!(union, StretchHull::of(&merged));
     }
 
     #[test]

@@ -263,8 +263,13 @@ fn stats_accounting_is_consistent() {
     let ds = dataset(18, 6, 3);
     let out = anonymize(&ds, &GloveConfig::default()).expect("run succeeds");
     // k = 2 on 18 users: exactly 9 merges, no new active rows, so the pair
-    // count is exactly the initial matrix.
+    // decisions (computed in full or dismissed by the cascade) are exactly
+    // the initial matrix.
     assert_eq!(out.stats.merges, 9);
-    assert_eq!(out.stats.pairs_computed, 18 * 17 / 2);
+    assert_eq!(out.stats.candidate_pairs(), 18 * 17 / 2);
+    assert_eq!(
+        out.stats.pairs_computed + out.stats.pairs_pruned,
+        18 * 17 / 2
+    );
     assert_eq!(out.dataset.fingerprints.len(), 9);
 }

@@ -7,10 +7,19 @@
 //! * **Exactness** — pruned and unpruned GLOVE produce identical `Dataset`
 //!   serializations and identical `merges` counts on randomized inputs: the
 //!   lower bound is admissible, not approximate.
+//! * **Cascade admissibility** — the tier-0 popcount bound from bit-packed
+//!   signatures never exceeds the exact Eq. (10) stretch (no false prunes),
+//!   and resumable cutoff evaluations stay admissible at every abandon and
+//!   complete to a value bit-identical to the direct exact computation.
 
+use glove_core::compact::{signature_lower_bound, CompactSignature, SignatureSpace};
 use glove_core::glove::anonymize;
+use glove_core::stretch::{
+    fingerprint_stretch, fingerprint_stretch_cutoff_resume, StretchEval, StretchProgress,
+};
 use glove_core::{
-    Dataset, Fingerprint, GloveConfig, ResidualPolicy, Sample, ShardBy, ShardPolicy, UserId,
+    Dataset, Fingerprint, GloveConfig, ResidualPolicy, Sample, ShardBy, ShardPolicy, StretchConfig,
+    UserId,
 };
 use proptest::collection::vec;
 use proptest::prelude::*;
@@ -46,6 +55,15 @@ fn arb_dataset(users: std::ops::RangeInclusive<usize>) -> impl Strategy<Value = 
             })
             .collect();
         Dataset::new("shard-prop", fps).expect("unique users")
+    })
+}
+
+/// Strategy: a standalone (possibly multi-subscriber) fingerprint with
+/// 1..=8 samples, for pairwise kernel properties.
+fn arb_fingerprint() -> impl Strategy<Value = Fingerprint> {
+    (vec(arb_sample(), 1..=8), 1usize..=3).prop_map(|(samples, users)| {
+        let users = (0..users as UserId).collect();
+        Fingerprint::with_users(users, samples).expect("non-empty")
     })
 }
 
@@ -156,5 +174,72 @@ proptest! {
             .expect("unpruned run succeeds");
         prop_assert_eq!(serialize(&pruned.dataset), serialize(&unpruned.dataset));
         prop_assert_eq!(pruned.stats.merges, unpruned.stats.merges);
+    }
+
+    /// Tier 0 of the distance cascade is admissible: the popcount bound
+    /// computed from the bit-packed occupancy signatures alone never exceeds
+    /// the exact Eq. (10) stretch, so a tier-0 prune can never drop a pair
+    /// that would have become the round's best merge (no false prunes).
+    #[test]
+    fn signature_bound_never_exceeds_exact_stretch(
+        a in arb_fingerprint(),
+        b in arb_fingerprint(),
+    ) {
+        let cfg = StretchConfig::default();
+        let space = SignatureSpace::of(&cfg);
+        let bound = signature_lower_bound(
+            &CompactSignature::of(&a, &space),
+            &CompactSignature::of(&b, &space),
+            &cfg,
+            &space,
+        );
+        let exact = fingerprint_stretch(&a, &b, &cfg);
+        prop_assert!(
+            bound <= exact,
+            "tier-0 bound {bound} exceeds exact stretch {exact}"
+        );
+    }
+
+    /// Resumable cutoff evaluations are admissible and exact: every abandon
+    /// under a finite cutoff reports a lower bound strictly above the cutoff
+    /// yet never above the true stretch, and once the scan completes (here
+    /// forced by an infinite cutoff) the result is bit-identical to the
+    /// direct exact computation — the saved prefix is cutoff-independent.
+    #[test]
+    fn resumed_cutoff_evaluations_are_admissible_and_exact(
+        a in arb_fingerprint(),
+        b in arb_fingerprint(),
+        fractions in vec(0.0f64..1.0, 1..=5),
+    ) {
+        let cfg = StretchConfig::default();
+        let exact = fingerprint_stretch(&a, &b, &cfg);
+        let mut cutoffs: Vec<f64> = fractions.iter().map(|f| f * exact).collect();
+        cutoffs.sort_by(f64::total_cmp);
+        cutoffs.push(f64::INFINITY);
+        let mut progress = StretchProgress::start();
+        for cutoff in cutoffs {
+            match fingerprint_stretch_cutoff_resume(&a, &b, &cfg, cutoff, &mut progress) {
+                StretchEval::Exact(d) => {
+                    prop_assert_eq!(
+                        d.to_bits(),
+                        exact.to_bits(),
+                        "resumed completion diverged: {} vs exact {}",
+                        d,
+                        exact
+                    );
+                    break;
+                }
+                StretchEval::AtLeast(lb) => {
+                    prop_assert!(
+                        lb > cutoff,
+                        "abandon must certify the cutoff is beaten: {lb} <= {cutoff}"
+                    );
+                    prop_assert!(
+                        lb <= exact,
+                        "carried bound {lb} exceeds the true stretch {exact}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -23,6 +23,9 @@ struct Row {
     elapsed_s: f64,
     pairs: u64,
     pruned: u64,
+    skipped_tier0: u64,
+    skipped_tier1: u64,
+    abandoned: u64,
     merges: u64,
     min_multiplicity: usize,
     users_retained: f64,
@@ -40,6 +43,9 @@ impl Row {
             fmt(mono_s / self.elapsed_s.max(1e-9)),
             self.pairs.to_string(),
             self.pruned.to_string(),
+            self.skipped_tier0.to_string(),
+            self.skipped_tier1.to_string(),
+            self.abandoned.to_string(),
             self.merges.to_string(),
             self.min_multiplicity.to_string(),
             if retained_as_pct {
@@ -80,6 +86,9 @@ fn run_one(
         elapsed_s,
         pairs: outcome.report.pairs_computed,
         pruned: outcome.report.pairs_pruned,
+        skipped_tier0: outcome.report.pairs_skipped_tier0,
+        skipped_tier1: outcome.report.pairs_skipped_tier1,
+        abandoned: outcome.report.pairs_abandoned,
         merges: outcome.report.merges,
         min_multiplicity: published
             .fingerprints
@@ -129,6 +138,9 @@ pub fn shard(ctx: &mut EvalContext) -> Report {
             "speedup",
             "pairs",
             "pruned",
+            "tier0",
+            "tier1",
+            "abandoned",
             "merges",
             "min mult",
             "users kept",
@@ -163,6 +175,9 @@ pub fn shard(ctx: &mut EvalContext) -> Report {
             "speedup",
             "pairs",
             "pruned",
+            "pairs_skipped_tier0",
+            "pairs_skipped_tier1",
+            "pairs_abandoned",
             "merges",
             "min_multiplicity",
             "users_retained",
