@@ -111,7 +111,9 @@ fn main() {
          \"pairs_computed\":{},\"pairs_skipped_tier0\":{},\"pairs_skipped_tier1\":{},\
          \"pairs_abandoned\":{},\
          \"tier0_pct\":{:.1},\"tier1_pct\":{:.1},\"abandoned_pct\":{:.1},\"exact_pct\":{:.1},\
-         \"precascade_computed\":{},\"precascade_pruned\":{}}}",
+         \"precascade_computed\":{},\"precascade_pruned\":{},\
+         \"peak_arena_bytes\":{},\"peak_store_bytes\":{},\
+         \"resident_pages\":{},\"peak_rss_bytes\":{}}}",
         if test_mode { "test" } else { "bench" },
         casc.stats.pairs_computed,
         casc.stats.pairs_skipped_tier0,
@@ -123,6 +125,10 @@ fn main() {
         pct(casc.stats.pairs_computed),
         hull.stats.pairs_computed,
         hull.stats.pairs_pruned,
+        casc.stats.ledger.peak_arena_bytes,
+        casc.stats.ledger.peak_store_bytes,
+        casc.stats.ledger.resident_pages,
+        casc.stats.ledger.peak_rss_bytes,
     );
     println!("BENCH {json}");
     let dir = std::env::var("BENCH_DIR").unwrap_or_else(|_| {

@@ -121,7 +121,9 @@ fn main() {
          \"sharded_api_s\":{api_s:.3},\"api_overhead_pct\":{api_overhead_pct:.2},\
          \"monolithic_pairs\":{},\"sharded_pairs\":{},\
          \"monolithic_pruned\":{},\"sharded_pruned\":{},\
-         \"sharded_tier0\":{},\"sharded_tier1\":{},\"sharded_abandoned\":{}}}",
+         \"sharded_tier0\":{},\"sharded_tier1\":{},\"sharded_abandoned\":{},\
+         \"peak_arena_bytes\":{},\"peak_store_bytes\":{},\
+         \"resident_pages\":{},\"peak_rss_bytes\":{}}}",
         if test_mode { "test" } else { "bench" },
         mono.stats.pairs_computed,
         sharded.stats.pairs_computed,
@@ -130,6 +132,10 @@ fn main() {
         sharded.stats.pairs_skipped_tier0,
         sharded.stats.pairs_skipped_tier1,
         sharded.stats.pairs_abandoned,
+        sharded.stats.ledger.peak_arena_bytes,
+        sharded.stats.ledger.peak_store_bytes,
+        sharded.stats.ledger.resident_pages,
+        sharded.stats.ledger.peak_rss_bytes,
     );
     println!("BENCH {json}");
     // Benches run with the package as working directory; anchor the JSON at

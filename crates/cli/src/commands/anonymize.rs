@@ -85,6 +85,8 @@ pub fn anonymize_cmd(
          {:.1}% exact\n\
          suppressed samples: {} ({} user-samples), reshaped: {}\n\
          discarded fingerprints: {} ({} subscribers)\n\
+         memory: {:.1} MiB arena peak, {:.1} MiB store peak ({} pages), \
+         {:.1} MiB process peak-RSS\n\
          mean accuracy: {:.0} m position, {:.0} min time",
         out.display(),
         r.fingerprints_out,
@@ -106,6 +108,10 @@ pub fn anonymize_cmd(
         stats.reshaped_samples,
         r.discarded_fingerprints,
         r.discarded_users,
+        stats.ledger.peak_arena_bytes as f64 / (1 << 20) as f64,
+        stats.ledger.peak_store_bytes as f64 / (1 << 20) as f64,
+        stats.ledger.resident_pages,
+        stats.ledger.peak_rss_bytes as f64 / (1 << 20) as f64,
         mean_position_accuracy_m(published),
         mean_time_accuracy_min(published),
     );
@@ -116,6 +122,7 @@ pub fn anonymize_cmd(
             match opts.shard_by {
                 ShardBy::Activity => "activity",
                 ShardBy::Spatial => "spatial",
+                ShardBy::TwoLevel => "two-level",
             }
         ));
         for sh in &stats.per_shard {
@@ -249,6 +256,27 @@ mod tests {
         assert!(msg.contains("shards: 4 (activity)"), "message: {msg}");
         assert!(msg.contains("shard 0:"), "message: {msg}");
         assert!(msg.contains("shard 3:"), "message: {msg}");
+        let anonymized = io::read_file(&anon).unwrap();
+        assert!(anonymized.is_k_anonymous(2));
+        assert_eq!(anonymized.num_users(), 24);
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&anon);
+    }
+
+    #[test]
+    fn two_level_sharded_anonymize_reports_memory() {
+        let data = temp("twolevel-data");
+        let anon = temp("twolevel-anon");
+        synth("civ", 24, Some(13), Some(&data), None).unwrap();
+        let opts = AnonymizeOpts {
+            shards: Some(4),
+            shard_by: ShardBy::TwoLevel,
+            ..default_opts()
+        };
+        let msg = anonymize_cmd(&data, &anon, &opts).unwrap();
+        assert!(msg.contains("(two-level)"), "message: {msg}");
+        assert!(msg.contains("MiB arena peak"), "message: {msg}");
+        assert!(msg.contains("MiB process peak-RSS"), "message: {msg}");
         let anonymized = io::read_file(&anon).unwrap();
         assert!(anonymized.is_k_anonymous(2));
         assert_eq!(anonymized.num_users(), 24);

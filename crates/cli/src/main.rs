@@ -18,11 +18,11 @@ USAGE:
   glove anonymize  --in FILE --out FILE --k K
                    [--suppress-space METERS] [--suppress-time MINUTES]
                    [--residual merge|suppress] [--threads N]
-                   [--shards N] [--shard-by activity|spatial]
+                   [--shards N] [--shard-by activity|spatial|two-level]
   glove stream     --in FILE --out-dir DIR --k K [--window MINUTES]
                    [--carry fresh|sticky] [--under-k suppress|defer]
                    [--suppress-space METERS] [--suppress-time MINUTES]
-                   [--threads N] [--shards N] [--shard-by activity|spatial]
+                   [--threads N] [--shards N] [--shard-by activity|spatial|two-level]
   glove generalize --in FILE --out FILE --space METERS --time MINUTES
   glove w4m        --in FILE --out FILE --k K [--delta METERS]
   glove attack     --original FILE (--published FILE | --epochs-dir DIR)
@@ -105,7 +105,7 @@ fn parse_suppression(
     Ok((space, time))
 }
 
-/// `--shards N` / `--shard-by activity|spatial` with their coupling rules,
+/// `--shards N` / `--shard-by activity|spatial|two-level` with their coupling rules,
 /// shared by `anonymize` and `stream`.
 fn parse_sharding(flags: &HashMap<String, String>) -> Result<(Option<usize>, ShardBy), String> {
     let shards = flags

@@ -5,12 +5,14 @@
 //! The subset is deliberately small — objects, arrays, strings, finite
 //! numbers, booleans and `null` — but the implementation is a complete
 //! reader/writer for that subset: everything [`JsonValue::render`] emits,
-//! [`JsonValue::parse`] accepts, and numbers round-trip exactly (integers
-//! below 2⁵³ verbatim, other finite doubles through Rust's shortest
-//! round-trip float formatting).
+//! [`JsonValue::parse`] accepts, and numbers round-trip exactly. Integer
+//! literals are kept on a dedicated [`JsonValue::Int`] path so counters
+//! beyond 2⁵³ (pair counts at metro-1M volumes) never round through an
+//! `f64`; other finite doubles go through Rust's shortest round-trip float
+//! formatting.
 
 /// One JSON value.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub enum JsonValue {
     /// `null`.
     Null,
@@ -19,6 +21,10 @@ pub enum JsonValue {
     /// A finite number (stored as `f64`; non-finite values render as
     /// `null`).
     Num(f64),
+    /// An integer, kept exact at any magnitude an `i128` holds — the
+    /// lossless path for `u64` counters, which silently round above 2⁵³
+    /// when squeezed through [`JsonValue::Num`].
+    Int(i128),
     /// A string.
     Str(String),
     /// An array.
@@ -26,6 +32,38 @@ pub enum JsonValue {
     /// An object. Insertion order is preserved (and significant for
     /// equality, matching the deterministic rendering).
     Obj(Vec<(String, JsonValue)>),
+}
+
+/// Exact cross-representation equality: an `f64` equals an `i128` iff it is
+/// a finite integer in `i128` range with the same value. Integer-valued
+/// doubles in range convert exactly, so the comparison is lossless — e.g.
+/// `Num(2⁵³)` equals `Int(2⁵³)` but not `Int(2⁵³ + 1)`.
+fn num_eq_int(f: f64, i: i128) -> bool {
+    f.is_finite()
+        && f.fract() == 0.0
+        && (-(2f64.powi(127))..2f64.powi(127)).contains(&f)
+        && f as i128 == i
+}
+
+impl PartialEq for JsonValue {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (JsonValue::Null, JsonValue::Null) => true,
+            (JsonValue::Bool(a), JsonValue::Bool(b)) => a == b,
+            (JsonValue::Num(a), JsonValue::Num(b)) => a == b,
+            (JsonValue::Int(a), JsonValue::Int(b)) => a == b,
+            // A re-parsed integer literal comes back as `Int` even when it
+            // was rendered from an integer-valued `Num`; the two compare
+            // equal exactly when the values are identical.
+            (JsonValue::Num(f), JsonValue::Int(i)) | (JsonValue::Int(i), JsonValue::Num(f)) => {
+                num_eq_int(*f, *i)
+            }
+            (JsonValue::Str(a), JsonValue::Str(b)) => a == b,
+            (JsonValue::Arr(a), JsonValue::Arr(b)) => a == b,
+            (JsonValue::Obj(a), JsonValue::Obj(b)) => a == b,
+            _ => false,
+        }
+    }
 }
 
 impl JsonValue {
@@ -47,18 +85,26 @@ impl JsonValue {
         }
     }
 
-    /// The value as a finite number, if it is one.
+    /// The value as a finite number, if it is one. Integers beyond 2⁵³
+    /// convert with rounding — use [`JsonValue::as_u64`] where exactness
+    /// matters.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             JsonValue::Num(v) => Some(*v),
+            JsonValue::Int(i) => Some(*i as f64),
             _ => None,
         }
     }
 
-    /// The value as an unsigned integer (rejects fractional numbers).
+    /// The value as an unsigned integer (rejects fractional and
+    /// out-of-range numbers). `Int` values are exact at any magnitude;
+    /// integer-valued `Num`s are accepted for compatibility.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
-            JsonValue::Num(v) if *v >= 0.0 && v.fract() == 0.0 => Some(*v as u64),
+            JsonValue::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v < 2f64.powi(64) => {
+                Some(*v as u64)
+            }
+            JsonValue::Int(i) => u64::try_from(*i).ok(),
             _ => None,
         }
     }
@@ -104,6 +150,10 @@ impl JsonValue {
             JsonValue::Null => out.push_str("null"),
             JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
             JsonValue::Num(v) => render_number(*v, out),
+            JsonValue::Int(i) => {
+                use std::fmt::Write as _;
+                let _ = write!(out, "{i}");
+            }
             JsonValue::Str(s) => render_string(s, out),
             JsonValue::Arr(items) => {
                 out.push('[');
@@ -260,7 +310,7 @@ fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
                 }
             }
         }
-        Some(_) => parse_number(bytes, pos).map(JsonValue::Num),
+        Some(_) => parse_number(bytes, pos),
     }
 }
 
@@ -334,7 +384,7 @@ fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
     u32::from_str_radix(hex, 16).map_err(|e| format!("invalid \\u escape {hex}: {e}"))
 }
 
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
     let start = *pos;
     while *pos < bytes.len()
         && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
@@ -344,8 +394,17 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
     if start == *pos {
         return Err(format!("expected a value at byte {start}"));
     }
-    let value = std::str::from_utf8(&bytes[start..*pos])
-        .map_err(|e| e.to_string())?
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    // Pure integer literals (optional sign, digits only) take the lossless
+    // path: counters beyond 2⁵³ must not round through an f64. Literals
+    // overflowing an i128 fall through to the float path below.
+    let digits = text.strip_prefix('-').unwrap_or(text);
+    if !digits.is_empty() && digits.bytes().all(|b| b.is_ascii_digit()) {
+        if let Ok(i) = text.parse::<i128>() {
+            return Ok(JsonValue::Int(i));
+        }
+    }
+    let value = text
         .parse::<f64>()
         .map_err(|e| format!("invalid number at byte {start}: {e}"))?;
     // Overflowing literals (1e999) parse to ±inf, which would violate the
@@ -353,7 +412,7 @@ fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<f64, String> {
     if !value.is_finite() {
         return Err(format!("number at byte {start} overflows an f64"));
     }
-    Ok(value)
+    Ok(JsonValue::Num(value))
 }
 
 #[cfg(test)]
@@ -479,5 +538,49 @@ mod tests {
         assert!(JsonValue::parse("-1e999").is_err());
         // The largest finite double still parses.
         assert!(JsonValue::parse("1.7976931348623157e308").is_ok());
+    }
+
+    #[test]
+    fn integers_beyond_2_53_round_trip_losslessly() {
+        // 2⁵³ + 1 is the first integer an f64 cannot represent: the old
+        // Num-only path silently rounded it to 2⁵³. The Int path must keep
+        // every u64 counter exact, u64::MAX included.
+        for v in [(1u64 << 53) + 1, (1u64 << 53) + 3, u64::MAX - 1, u64::MAX] {
+            let rendered = JsonValue::Int(v as i128).render();
+            assert_eq!(rendered, v.to_string(), "integers render verbatim");
+            let parsed = JsonValue::parse(&rendered).unwrap();
+            assert_eq!(parsed.as_u64(), Some(v), "via {rendered}");
+            assert_eq!(parsed, JsonValue::Int(v as i128));
+        }
+        // Negative integers take the same path.
+        let parsed = JsonValue::parse("-9007199254740993").unwrap();
+        assert_eq!(parsed, JsonValue::Int(-((1i128 << 53) + 1)));
+        assert_eq!(parsed.render(), "-9007199254740993");
+    }
+
+    #[test]
+    fn num_int_cross_equality_is_exact() {
+        // Equal values compare equal across representations...
+        assert_eq!(JsonValue::Num(42.0), JsonValue::Int(42));
+        assert_eq!(JsonValue::Num(-7.0), JsonValue::Int(-7));
+        assert_eq!(JsonValue::Num(9007199254740992.0), JsonValue::Int(1 << 53));
+        // ...but a rounded double never equals the integer it rounded from.
+        assert_ne!(
+            JsonValue::Num((1u64 << 53) as f64),
+            JsonValue::Int((1 << 53) + 1)
+        );
+        assert_ne!(JsonValue::Num(0.5), JsonValue::Int(0));
+        assert_ne!(JsonValue::Num(f64::NAN), JsonValue::Int(0));
+        // An f64 at or beyond 2¹²⁷ is out of i128 range entirely.
+        assert_ne!(JsonValue::Num(2f64.powi(127)), JsonValue::Int(i128::MAX));
+        assert_eq!(JsonValue::Num(-(2f64.powi(127))), JsonValue::Int(i128::MIN));
+    }
+
+    #[test]
+    fn int_literals_overflowing_i128_degrade_to_float() {
+        // 2¹²⁸ doesn't fit an i128; the literal still parses, via f64.
+        let parsed = JsonValue::parse("340282366920938463463374607431768211456").unwrap();
+        assert_eq!(parsed.as_f64(), Some(2f64.powi(128)));
+        assert!(matches!(parsed, JsonValue::Num(_)));
     }
 }

@@ -14,6 +14,7 @@
 
 use crate::api::json::JsonValue;
 use crate::glove::GloveStats;
+use crate::ledger::MemoryLedger;
 use crate::shard::ShardStat;
 use crate::stream::{EpochStat, StreamStats};
 use crate::suppress::SuppressionLedger;
@@ -164,31 +165,28 @@ impl RunReport {
         JsonValue::obj(vec![
             ("engine", JsonValue::Str(self.engine.clone())),
             ("dataset", JsonValue::Str(self.dataset.clone())),
-            ("k", num(self.k as f64)),
-            ("fingerprints_in", num(self.fingerprints_in as f64)),
-            ("users_in", num(self.users_in as f64)),
-            ("samples_in", num(self.samples_in as f64)),
-            ("fingerprints_out", num(self.fingerprints_out as f64)),
-            ("users_out", num(self.users_out as f64)),
-            ("samples_out", num(self.samples_out as f64)),
-            ("merges", num(self.merges as f64)),
-            ("pairs_computed", num(self.pairs_computed as f64)),
-            ("pairs_pruned", num(self.pairs_pruned as f64)),
-            ("pairs_skipped_tier0", num(self.pairs_skipped_tier0 as f64)),
-            ("pairs_skipped_tier1", num(self.pairs_skipped_tier1 as f64)),
-            ("pairs_abandoned", num(self.pairs_abandoned as f64)),
-            ("suppressed_samples", num(self.suppressed_samples as f64)),
+            ("k", uint(self.k as u64)),
+            ("fingerprints_in", uint(self.fingerprints_in as u64)),
+            ("users_in", uint(self.users_in as u64)),
+            ("samples_in", uint(self.samples_in as u64)),
+            ("fingerprints_out", uint(self.fingerprints_out as u64)),
+            ("users_out", uint(self.users_out as u64)),
+            ("samples_out", uint(self.samples_out as u64)),
+            ("merges", uint(self.merges)),
+            ("pairs_computed", uint(self.pairs_computed)),
+            ("pairs_pruned", uint(self.pairs_pruned)),
+            ("pairs_skipped_tier0", uint(self.pairs_skipped_tier0)),
+            ("pairs_skipped_tier1", uint(self.pairs_skipped_tier1)),
+            ("pairs_abandoned", uint(self.pairs_abandoned)),
+            ("suppressed_samples", uint(self.suppressed_samples)),
             (
                 "suppressed_user_samples",
-                num(self.suppressed_user_samples as f64),
+                uint(self.suppressed_user_samples),
             ),
-            ("created_samples", num(self.created_samples as f64)),
-            ("deleted_samples", num(self.deleted_samples as f64)),
-            (
-                "discarded_fingerprints",
-                num(self.discarded_fingerprints as f64),
-            ),
-            ("discarded_users", num(self.discarded_users as f64)),
+            ("created_samples", uint(self.created_samples)),
+            ("deleted_samples", uint(self.deleted_samples)),
+            ("discarded_fingerprints", uint(self.discarded_fingerprints)),
+            ("discarded_users", uint(self.discarded_users)),
             ("elapsed_s", num(self.elapsed_s)),
             (
                 "phases",
@@ -254,6 +252,14 @@ impl RunReport {
 #[inline]
 fn num(v: f64) -> JsonValue {
     JsonValue::Num(v)
+}
+
+/// The dedicated integer path for counters: `u64` values ride through
+/// [`JsonValue::Int`] and survive at any magnitude, where the old
+/// `as f64` route silently lost precision past 2⁵³.
+#[inline]
+fn uint(v: u64) -> JsonValue {
+    JsonValue::Int(v as i128)
 }
 
 fn str_field(v: &JsonValue, key: &str) -> Result<String, String> {
@@ -333,18 +339,37 @@ fn ledger_from_value(v: &JsonValue) -> Result<SuppressionLedger, String> {
     })
 }
 
+fn memory_to_value(ledger: &MemoryLedger) -> JsonValue {
+    JsonValue::obj(vec![
+        ("peak_arena_bytes", uint(ledger.peak_arena_bytes)),
+        ("peak_store_bytes", uint(ledger.peak_store_bytes)),
+        ("resident_pages", uint(ledger.resident_pages)),
+        ("peak_rss_bytes", uint(ledger.peak_rss_bytes)),
+    ])
+}
+
+fn memory_from_value(v: &JsonValue) -> Result<MemoryLedger, String> {
+    Ok(MemoryLedger {
+        peak_arena_bytes: u64_field(v, "peak_arena_bytes")?,
+        peak_store_bytes: u64_field(v, "peak_store_bytes")?,
+        resident_pages: u64_field(v, "resident_pages")?,
+        peak_rss_bytes: u64_field(v, "peak_rss_bytes")?,
+    })
+}
+
 fn shard_stat_to_value(stat: &ShardStat) -> JsonValue {
     JsonValue::obj(vec![
-        ("shard", num(stat.shard as f64)),
-        ("fingerprints_in", num(stat.fingerprints_in as f64)),
-        ("users_in", num(stat.users_in as f64)),
-        ("fingerprints_out", num(stat.fingerprints_out as f64)),
-        ("merges", num(stat.merges as f64)),
-        ("pairs_computed", num(stat.pairs_computed as f64)),
-        ("pairs_pruned", num(stat.pairs_pruned as f64)),
-        ("pairs_skipped_tier0", num(stat.pairs_skipped_tier0 as f64)),
-        ("pairs_skipped_tier1", num(stat.pairs_skipped_tier1 as f64)),
-        ("pairs_abandoned", num(stat.pairs_abandoned as f64)),
+        ("shard", uint(stat.shard as u64)),
+        ("fingerprints_in", uint(stat.fingerprints_in as u64)),
+        ("users_in", uint(stat.users_in as u64)),
+        ("fingerprints_out", uint(stat.fingerprints_out as u64)),
+        ("merges", uint(stat.merges)),
+        ("pairs_computed", uint(stat.pairs_computed)),
+        ("pairs_pruned", uint(stat.pairs_pruned)),
+        ("pairs_skipped_tier0", uint(stat.pairs_skipped_tier0)),
+        ("pairs_skipped_tier1", uint(stat.pairs_skipped_tier1)),
+        ("pairs_abandoned", uint(stat.pairs_abandoned)),
+        ("memory", memory_to_value(&stat.ledger)),
         ("elapsed_s", num(stat.elapsed_s)),
     ])
 }
@@ -361,6 +386,7 @@ fn shard_stat_from_value(v: &JsonValue) -> Result<ShardStat, String> {
         pairs_skipped_tier0: u64_field(v, "pairs_skipped_tier0")?,
         pairs_skipped_tier1: u64_field(v, "pairs_skipped_tier1")?,
         pairs_abandoned: u64_field(v, "pairs_abandoned")?,
+        ledger: memory_from_value(v.get("memory").ok_or("missing shard memory")?)?,
         elapsed_s: f64_field(v, "elapsed_s")?,
     })
 }
@@ -368,23 +394,21 @@ fn shard_stat_from_value(v: &JsonValue) -> Result<ShardStat, String> {
 /// Serializes [`GloveStats`] (the batch/sharded detail section).
 pub fn glove_stats_to_value(stats: &GloveStats) -> JsonValue {
     JsonValue::obj(vec![
-        ("merges", num(stats.merges as f64)),
-        ("pairs_computed", num(stats.pairs_computed as f64)),
-        ("pairs_pruned", num(stats.pairs_pruned as f64)),
-        ("pairs_skipped_tier0", num(stats.pairs_skipped_tier0 as f64)),
-        ("pairs_skipped_tier1", num(stats.pairs_skipped_tier1 as f64)),
-        ("pairs_abandoned", num(stats.pairs_abandoned as f64)),
+        ("merges", uint(stats.merges)),
+        ("pairs_computed", uint(stats.pairs_computed)),
+        ("pairs_pruned", uint(stats.pairs_pruned)),
+        ("pairs_skipped_tier0", uint(stats.pairs_skipped_tier0)),
+        ("pairs_skipped_tier1", uint(stats.pairs_skipped_tier1)),
+        ("pairs_abandoned", uint(stats.pairs_abandoned)),
         (
             "per_shard",
             JsonValue::Arr(stats.per_shard.iter().map(shard_stat_to_value).collect()),
         ),
         ("suppressed", ledger_to_value(&stats.suppressed)),
-        ("reshaped_samples", num(stats.reshaped_samples as f64)),
-        (
-            "discarded_fingerprints",
-            num(stats.discarded_fingerprints as f64),
-        ),
-        ("discarded_users", num(stats.discarded_users as f64)),
+        ("reshaped_samples", uint(stats.reshaped_samples)),
+        ("discarded_fingerprints", uint(stats.discarded_fingerprints)),
+        ("discarded_users", uint(stats.discarded_users)),
+        ("memory", memory_to_value(&stats.ledger)),
         ("elapsed_s", num(stats.elapsed_s)),
     ])
 }
@@ -409,24 +433,25 @@ pub fn glove_stats_from_value(v: &JsonValue) -> Result<GloveStats, String> {
         reshaped_samples: u64_field(v, "reshaped_samples")?,
         discarded_fingerprints: u64_field(v, "discarded_fingerprints")?,
         discarded_users: u64_field(v, "discarded_users")?,
+        ledger: memory_from_value(v.get("memory").ok_or("missing memory")?)?,
         elapsed_s: f64_field(v, "elapsed_s")?,
     })
 }
 
 fn epoch_stat_to_value(stat: &EpochStat) -> JsonValue {
     JsonValue::obj(vec![
-        ("epoch", num(stat.epoch as f64)),
-        ("window_start_min", num(stat.window_start_min as f64)),
-        ("fingerprints_in", num(stat.fingerprints_in as f64)),
-        ("users_in", num(stat.users_in as f64)),
-        ("seeded_groups", num(stat.seeded_groups as f64)),
-        ("groups_out", num(stat.groups_out as f64)),
-        ("merges", num(stat.merges as f64)),
-        ("pairs_computed", num(stat.pairs_computed as f64)),
-        ("pairs_pruned", num(stat.pairs_pruned as f64)),
-        ("pairs_skipped_tier0", num(stat.pairs_skipped_tier0 as f64)),
-        ("pairs_skipped_tier1", num(stat.pairs_skipped_tier1 as f64)),
-        ("pairs_abandoned", num(stat.pairs_abandoned as f64)),
+        ("epoch", uint(stat.epoch)),
+        ("window_start_min", uint(stat.window_start_min)),
+        ("fingerprints_in", uint(stat.fingerprints_in as u64)),
+        ("users_in", uint(stat.users_in as u64)),
+        ("seeded_groups", uint(stat.seeded_groups as u64)),
+        ("groups_out", uint(stat.groups_out as u64)),
+        ("merges", uint(stat.merges)),
+        ("pairs_computed", uint(stat.pairs_computed)),
+        ("pairs_pruned", uint(stat.pairs_pruned)),
+        ("pairs_skipped_tier0", uint(stat.pairs_skipped_tier0)),
+        ("pairs_skipped_tier1", uint(stat.pairs_skipped_tier1)),
+        ("pairs_abandoned", uint(stat.pairs_abandoned)),
         ("elapsed_s", num(stat.elapsed_s)),
     ])
 }
@@ -452,32 +477,33 @@ fn epoch_stat_from_value(v: &JsonValue) -> Result<EpochStat, String> {
 /// Serializes [`StreamStats`] (the streaming detail section).
 pub fn stream_stats_to_value(stats: &StreamStats) -> JsonValue {
     JsonValue::obj(vec![
-        ("events", num(stats.events as f64)),
-        ("epochs", num(stats.epochs as f64)),
+        ("events", uint(stats.events)),
+        ("epochs", uint(stats.epochs)),
         (
             "peak_resident_fingerprints",
-            num(stats.peak_resident_fingerprints as f64),
+            uint(stats.peak_resident_fingerprints as u64),
         ),
         (
             "peak_resident_samples",
-            num(stats.peak_resident_samples as f64),
+            uint(stats.peak_resident_samples as u64),
         ),
-        ("merges", num(stats.merges as f64)),
-        ("pairs_computed", num(stats.pairs_computed as f64)),
-        ("pairs_pruned", num(stats.pairs_pruned as f64)),
-        ("pairs_skipped_tier0", num(stats.pairs_skipped_tier0 as f64)),
-        ("pairs_skipped_tier1", num(stats.pairs_skipped_tier1 as f64)),
-        ("pairs_abandoned", num(stats.pairs_abandoned as f64)),
-        ("seeded_groups", num(stats.seeded_groups as f64)),
-        ("suppressed_users", num(stats.suppressed_users as f64)),
-        ("suppressed_samples", num(stats.suppressed_samples as f64)),
-        ("deferred_users", num(stats.deferred_users as f64)),
-        ("deferred_samples", num(stats.deferred_samples as f64)),
+        ("merges", uint(stats.merges)),
+        ("pairs_computed", uint(stats.pairs_computed)),
+        ("pairs_pruned", uint(stats.pairs_pruned)),
+        ("pairs_skipped_tier0", uint(stats.pairs_skipped_tier0)),
+        ("pairs_skipped_tier1", uint(stats.pairs_skipped_tier1)),
+        ("pairs_abandoned", uint(stats.pairs_abandoned)),
+        ("seeded_groups", uint(stats.seeded_groups)),
+        ("suppressed_users", uint(stats.suppressed_users)),
+        ("suppressed_samples", uint(stats.suppressed_samples)),
+        ("deferred_users", uint(stats.deferred_users)),
+        ("deferred_samples", uint(stats.deferred_samples)),
         ("seed_suppressed", ledger_to_value(&stats.seed_suppressed)),
         (
             "per_epoch",
             JsonValue::Arr(stats.per_epoch.iter().map(epoch_stat_to_value).collect()),
         ),
+        ("memory", memory_to_value(&stats.ledger)),
         ("elapsed_s", num(stats.elapsed_s)),
     ])
 }
@@ -508,6 +534,7 @@ pub fn stream_stats_from_value(v: &JsonValue) -> Result<StreamStats, String> {
             .iter()
             .map(epoch_stat_from_value)
             .collect::<Result<Vec<_>, _>>()?,
+        ledger: memory_from_value(v.get("memory").ok_or("missing memory")?)?,
         elapsed_s: f64_field(v, "elapsed_s")?,
     })
 }
@@ -568,6 +595,12 @@ mod tests {
                     pairs_skipped_tier0: 600,
                     pairs_skipped_tier1: 300,
                     pairs_abandoned: 50,
+                    ledger: MemoryLedger {
+                        peak_arena_bytes: 1 << 20,
+                        peak_store_bytes: 24 * 1_234,
+                        resident_pages: 1,
+                        peak_rss_bytes: 64 << 20,
+                    },
                     elapsed_s: 0.11,
                 }],
                 suppressed: SuppressionLedger {
@@ -577,6 +610,12 @@ mod tests {
                 reshaped_samples: 7,
                 discarded_fingerprints: 1,
                 discarded_users: 1,
+                ledger: MemoryLedger {
+                    peak_arena_bytes: 1 << 20,
+                    peak_store_bytes: 24 * 1_234,
+                    resident_pages: 1,
+                    peak_rss_bytes: 64 << 20,
+                },
                 elapsed_s: 0.12,
             }),
         }
@@ -610,6 +649,12 @@ mod tests {
             deferred_users: 1,
             deferred_samples: 3,
             seed_suppressed: SuppressionLedger::default(),
+            ledger: MemoryLedger {
+                peak_arena_bytes: 512 << 10,
+                peak_store_bytes: 24 * 321,
+                resident_pages: 1,
+                peak_rss_bytes: 48 << 20,
+            },
             per_epoch: vec![EpochStat {
                 epoch: 0,
                 window_start_min: 1_440,
@@ -669,6 +714,40 @@ mod tests {
         assert!(RunReport::from_json(&json.replace("\"engine\"", "\"motor\"")).is_err());
         assert!(RunReport::from_json("{}").is_err());
         assert!(RunReport::from_json("not json").is_err());
+    }
+
+    /// Regression: counters used to ride through `f64`, which silently
+    /// rounds integers past 2⁵³ — a week-long metro run's pair count no
+    /// longer survives that path. The dedicated integer path must
+    /// round-trip every `u64` exactly.
+    #[test]
+    fn counters_beyond_2_53_round_trip_exactly() {
+        let mut report = sample_report();
+        report.pairs_computed = (1u64 << 53) + 1;
+        report.pairs_pruned = u64::MAX;
+        report.merges = (1u64 << 60) + 7;
+        let json = report.to_json();
+        assert!(
+            json.contains(&((1u64 << 53) + 1).to_string()),
+            "integer counters must render as exact integer literals"
+        );
+        let parsed = RunReport::from_json(&json).unwrap();
+        assert_eq!(parsed.pairs_computed, (1u64 << 53) + 1);
+        assert_eq!(parsed.pairs_pruned, u64::MAX);
+        assert_eq!(parsed.merges, (1u64 << 60) + 7);
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn memory_ledger_round_trips_in_detail() {
+        let report = sample_report();
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        let stats = parsed.detail.as_glove().unwrap();
+        assert_eq!(stats.ledger.peak_arena_bytes, 1 << 20);
+        assert_eq!(stats.ledger.peak_store_bytes, 24 * 1_234);
+        assert_eq!(stats.ledger.resident_pages, 1);
+        assert_eq!(stats.ledger.peak_rss_bytes, 64 << 20);
+        assert_eq!(stats.per_shard[0].ledger, stats.ledger);
     }
 
     #[test]

@@ -125,6 +125,13 @@ pub enum ShardBy {
     /// each shard holds geographically coherent users and cheap merges stay
     /// available within the shard.
     Spatial,
+    /// Hierarchical two-level bucketing for metro-scale datasets: an outer
+    /// spatial Z-order cut into `⌈√shards⌉` contiguous buckets, each
+    /// re-sorted by activity and cut again so the total shard count comes
+    /// out to `shards`. Shards are then both geographically coherent (outer
+    /// level keeps cheap merges available) *and* length-homogeneous (inner
+    /// level keeps the quadratic kernel's work per shard balanced).
+    TwoLevel,
 }
 
 impl std::str::FromStr for ShardBy {
@@ -134,7 +141,10 @@ impl std::str::FromStr for ShardBy {
         match s {
             "activity" => Ok(ShardBy::Activity),
             "spatial" => Ok(ShardBy::Spatial),
-            other => Err(format!("shard key must be activity|spatial, got '{other}'")),
+            "two-level" => Ok(ShardBy::TwoLevel),
+            other => Err(format!(
+                "shard key must be activity|spatial|two-level, got '{other}'"
+            )),
         }
     }
 }
@@ -171,6 +181,15 @@ impl ShardPolicy {
         Self {
             shards,
             by: ShardBy::Spatial,
+        }
+    }
+
+    /// A hierarchical two-level (spatial outer, activity inner) policy with
+    /// `shards` shards.
+    pub fn two_level(shards: usize) -> Self {
+        Self {
+            shards,
+            by: ShardBy::TwoLevel,
         }
     }
 }
@@ -312,6 +331,15 @@ pub struct GloveConfig {
     /// (`pairs_skipped_tier0`/`pairs_skipped_tier1`/`pairs_abandoned`
     /// record where candidates were dismissed). Default: true.
     pub cascade: bool,
+    /// Columnar sample storage: keep the arena's samples in the bit-packed
+    /// struct-of-arrays pages of `core::compact::SampleStore` (24 bytes per
+    /// sample, no per-fingerprint heap allocation) instead of one
+    /// `Vec<Sample>` per fingerprint. The stretch kernels read the pages
+    /// directly through the same generic arithmetic as the reference
+    /// layout, so the published output is byte-identical either way; only
+    /// the memory footprint changes (see `GloveStats::ledger`).
+    /// Default: true.
+    pub columnar: bool,
 }
 
 impl Default for GloveConfig {
@@ -326,6 +354,7 @@ impl Default for GloveConfig {
             shard: None,
             pruning: true,
             cascade: true,
+            columnar: true,
         }
     }
 }

@@ -52,19 +52,23 @@
 //! * [`GloveConfig::shard`] routes the run through [`crate::shard`], which
 //!   partitions the dataset and runs this loop per shard.
 
-use crate::compact::{signature_lower_bound, CompactSignature, SignatureSpace};
+use crate::compact::{
+    signature_lower_bound, CompactSignature, SampleSpan, SampleStore, SignatureSpace, StoreSlice,
+};
 use crate::config::{GloveConfig, ResidualPolicy, StretchConfig};
 use crate::error::GloveError;
+use crate::ledger::MemoryLedger;
 use crate::merge::merge_fingerprints;
-use crate::model::{Dataset, Fingerprint};
+use crate::model::{Dataset, Fingerprint, UserId};
 use crate::parallel::{effective_threads, par_map};
 use crate::reshape::reshape_suppressed;
 use crate::shard::ShardStat;
 use crate::stretch::{
-    fingerprint_stretch, fingerprint_stretch_cutoff_resume, stretch_lower_bound, StretchEval,
-    StretchHull, StretchProgress,
+    fingerprint_stretch_cutoff_resume_seq, fingerprint_stretch_seq, stretch_lower_bound,
+    StretchEval, StretchHull, StretchOperand, StretchProgress,
 };
 use crate::suppress::SuppressionLedger;
+use std::borrow::Cow;
 use std::time::Instant;
 
 /// Statistics of one GLOVE run.
@@ -111,6 +115,10 @@ pub struct GloveStats {
     pub discarded_fingerprints: u64,
     /// Subscribers dropped with those fingerprints.
     pub discarded_users: u64,
+    /// Peak memory accounting of the run: arena bytes, columnar store
+    /// bytes/pages and process peak-RSS (summed across shards for sharded
+    /// runs, RSS excepted — see [`MemoryLedger::absorb`]).
+    pub ledger: MemoryLedger,
     /// Wall-clock duration of the run in seconds.
     pub elapsed_s: f64,
 }
@@ -463,8 +471,181 @@ fn global_best(active: &[usize], row_min: &[RowMin], threads: usize) -> (usize, 
     })
 }
 
+/// Backing storage of the arena's fingerprints: either the classic
+/// one-`Vec<Sample>`-per-fingerprint reference layout, or the columnar
+/// [`SampleStore`] whose packed pages the kernels read directly.
+///
+/// Both layouts expose the same [`StretchOperand<StoreSlice>`] operand, so
+/// the hot loop is written once against one concrete type and the published
+/// output is byte-identical across layouts (the generic kernels run the
+/// same arithmetic over both).
+enum SlotSamples {
+    /// Reference layout: whole fingerprints, one heap allocation each.
+    Reference(Vec<Fingerprint>),
+    /// Columnar layout: samples bit-packed in struct-of-arrays pages,
+    /// per-slot spans, and the user lists kept out of the hot data.
+    Columnar {
+        store: SampleStore,
+        spans: Vec<SampleSpan>,
+        users: Vec<Vec<UserId>>,
+    },
+}
+
+impl SlotSamples {
+    fn of(dataset: &Dataset, columnar: bool) -> Self {
+        if columnar {
+            let mut store = SampleStore::new();
+            let mut spans = Vec::with_capacity(dataset.fingerprints.len());
+            let mut users = Vec::with_capacity(dataset.fingerprints.len());
+            for fp in &dataset.fingerprints {
+                spans.push(store.push(fp.samples()));
+                users.push(fp.users().to_vec());
+            }
+            Self::Columnar {
+                store,
+                spans,
+                users,
+            }
+        } else {
+            Self::Reference(dataset.fingerprints.clone())
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Self::Reference(fps) => fps.len(),
+            Self::Columnar { spans, .. } => spans.len(),
+        }
+    }
+
+    fn multiplicity(&self, i: usize) -> usize {
+        match self {
+            Self::Reference(fps) => fps[i].multiplicity(),
+            Self::Columnar { users, .. } => users[i].len(),
+        }
+    }
+
+    /// The kernel operand of slot `i` — one concrete type for both layouts,
+    /// so the hot loop needs no generic dispatch of its own.
+    #[inline]
+    fn operand(&self, i: usize) -> StretchOperand<StoreSlice<'_>> {
+        match self {
+            Self::Reference(fps) => StretchOperand {
+                samples: StoreSlice::wide(fps[i].samples()),
+                multiplicity: fps[i].multiplicity(),
+            },
+            Self::Columnar {
+                store,
+                spans,
+                users,
+            } => StretchOperand {
+                samples: store.slice(spans[i]),
+                multiplicity: users[i].len(),
+            },
+        }
+    }
+
+    /// Slot `i` as a fingerprint: borrowed on the reference path,
+    /// materialized bit-identically from the pages on the columnar path.
+    fn fingerprint(&self, i: usize) -> Cow<'_, Fingerprint> {
+        match self {
+            Self::Reference(fps) => Cow::Borrowed(&fps[i]),
+            Self::Columnar {
+                store,
+                spans,
+                users,
+            } => Cow::Owned(
+                Fingerprint::with_users(users[i].clone(), store.materialize(spans[i]))
+                    .expect("stored fingerprints preserve the model invariants"),
+            ),
+        }
+    }
+
+    fn push(&mut self, fp: Fingerprint) {
+        match self {
+            Self::Reference(fps) => fps.push(fp),
+            Self::Columnar {
+                store,
+                spans,
+                users,
+            } => {
+                spans.push(store.push(fp.samples()));
+                users.push(fp.users().to_vec());
+            }
+        }
+    }
+
+    fn replace(&mut self, i: usize, fp: Fingerprint) {
+        match self {
+            Self::Reference(fps) => fps[i] = fp,
+            Self::Columnar {
+                store,
+                spans,
+                users,
+            } => {
+                // The old span's samples become garbage in the store; the
+                // next compaction (or run end) drops them.
+                spans[i] = store.push(fp.samples());
+                users[i] = fp.users().to_vec();
+            }
+        }
+    }
+
+    /// Keeps only `old_ids`, in order — the slot side of arena compaction.
+    /// The columnar store is rebuilt densely, dropping retired samples.
+    fn compacted(&mut self, old_ids: &[usize]) {
+        match self {
+            Self::Reference(fps) => {
+                let mut out = Vec::with_capacity(old_ids.len());
+                for &i in old_ids {
+                    out.push(std::mem::replace(
+                        &mut fps[i],
+                        Fingerprint::with_users(
+                            vec![0],
+                            vec![crate::model::Sample::point(0, 0, 0)],
+                        )
+                        .expect("placeholder"),
+                    ));
+                }
+                *fps = out;
+            }
+            Self::Columnar {
+                store,
+                spans,
+                users,
+            } => {
+                let live: Vec<SampleSpan> = old_ids.iter().map(|&i| spans[i]).collect();
+                let (new_store, new_spans) = store.rebuilt(&live);
+                *store = new_store;
+                *spans = new_spans;
+                *users = old_ids
+                    .iter()
+                    .map(|&i| std::mem::take(&mut users[i]))
+                    .collect();
+            }
+        }
+    }
+
+    /// Bytes held by columnar sample pages (0 on the reference layout,
+    /// whose samples are scattered across per-fingerprint allocations).
+    fn store_bytes(&self) -> u64 {
+        match self {
+            Self::Reference(_) => 0,
+            Self::Columnar { store, .. } => store.bytes(),
+        }
+    }
+
+    /// Resident columnar pages (0 on the reference layout).
+    fn resident_pages(&self) -> u64 {
+        match self {
+            Self::Reference(_) => 0,
+            Self::Columnar { store, .. } => store.resident_pages(),
+        }
+    }
+}
+
 struct Arena {
-    fps: Vec<Fingerprint>,
+    slots: SlotSamples,
     states: Vec<SlotState>,
     /// Per-slot hull summaries feeding the tier-1 bound, maintained
     /// incrementally on merge.
@@ -527,7 +708,7 @@ impl Arena {
             }
         }
         let Arena {
-            ref fps,
+            ref slots,
             ref hulls,
             ref mut pages,
             ref mut counters,
@@ -547,7 +728,13 @@ impl Arena {
                 // the same order regardless of which row triggered it. The
                 // published value is symmetric either way.
                 let (r, c) = if i > j { (i, j) } else { (j, i) };
-                fingerprint_stretch_cutoff_resume(&fps[r], &fps[c], cfg, cutoff, prog)
+                fingerprint_stretch_cutoff_resume_seq(
+                    slots.operand(r),
+                    slots.operand(c),
+                    cfg,
+                    cutoff,
+                    prog,
+                )
             },
             cascade,
             counters,
@@ -570,18 +757,12 @@ impl Arena {
         }
 
         let track_sigs = !self.sigs.is_empty();
-        let mut fps = Vec::with_capacity(old_ids.len());
         let mut states = Vec::with_capacity(old_ids.len());
         let mut hulls = Vec::with_capacity(old_ids.len());
         let mut sigs = Vec::with_capacity(if track_sigs { old_ids.len() } else { 0 });
         let mut pages = Vec::with_capacity(old_ids.len());
         let mut row_min = Vec::with_capacity(old_ids.len());
         for (new_i, &old_i) in old_ids.iter().enumerate() {
-            fps.push(std::mem::replace(
-                &mut self.fps[old_i],
-                Fingerprint::with_users(vec![0], vec![crate::model::Sample::point(0, 0, 0)])
-                    .expect("placeholder"),
-            ));
             states.push(self.states[old_i]);
             hulls.push(self.hulls[old_i]);
             if track_sigs {
@@ -626,13 +807,41 @@ impl Arena {
             });
         }
         self.active = self.active.iter().map(|&i| remap[i]).collect();
-        self.fps = fps;
+        self.slots.compacted(&old_ids);
         self.states = states;
         self.hulls = hulls;
         self.sigs = sigs;
         self.pages = pages;
         self.row_min = row_min;
         self.retired_count = 0;
+    }
+
+    /// Current bytes held by the arena's own structures: matrix pages,
+    /// hulls, signatures and cached minima. Sample storage is accounted
+    /// separately by the slot layer.
+    fn bytes(&self) -> u64 {
+        let mut bytes = 0u64;
+        for p in &self.pages {
+            bytes += (p.val.capacity() * std::mem::size_of::<f64>()
+                + p.tier.capacity()
+                + p.prog.capacity() * std::mem::size_of::<StretchProgress>())
+                as u64;
+        }
+        bytes += (self.hulls.capacity() * std::mem::size_of::<StretchHull>()) as u64;
+        bytes += (self.sigs.capacity() * std::mem::size_of::<CompactSignature>()) as u64;
+        bytes += (self.row_min.capacity() * std::mem::size_of::<RowMin>()) as u64;
+        bytes +=
+            (self.states.capacity() + self.active.capacity() * std::mem::size_of::<usize>()) as u64;
+        bytes
+    }
+
+    /// Folds the arena's current footprint into the run ledger. Arena and
+    /// store memory grow monotonically between compactions, so observing at
+    /// build end, just before each compaction, and at loop end captures the
+    /// true peaks without per-round scans.
+    fn observe(&self, ledger: &mut MemoryLedger) {
+        ledger.observe_arena(self.bytes());
+        ledger.observe_store(self.slots.store_bytes(), self.slots.resident_pages());
     }
 }
 
@@ -692,8 +901,9 @@ pub(crate) fn run_monolithic(
     let init_tier = if cascade { TIER_SIG } else { TIER_HULL };
 
     // ---- Initialization (Alg. 1 lines 1–3) -------------------------------
+    let mut ledger = MemoryLedger::default();
     let mut arena = Arena {
-        fps: dataset.fingerprints.clone(),
+        slots: SlotSamples::of(dataset, config.columnar),
         states: dataset
             .fingerprints
             .iter()
@@ -745,7 +955,7 @@ pub(crate) fn run_monolithic(
     if config.pruning {
         let hulls_ref = &arena.hulls;
         let sigs_ref = &arena.sigs;
-        let fps_ref = &arena.fps;
+        let slots_ref = &arena.slots;
         let states_ref = &arena.states;
         let rows: Vec<(PairPage, CascadeCounters, u64)> = par_map(n, threads, |i| {
             let mut val = Vec::with_capacity(i);
@@ -790,7 +1000,13 @@ pub(crate) fn run_monolithic(
                 &mut row,
                 |j| stretch_lower_bound(&hulls_ref[i], &hulls_ref[j], cfg),
                 |j, cutoff, prog| {
-                    fingerprint_stretch_cutoff_resume(&fps_ref[i], &fps_ref[j], cfg, cutoff, prog)
+                    fingerprint_stretch_cutoff_resume_seq(
+                        slots_ref.operand(i),
+                        slots_ref.operand(j),
+                        cfg,
+                        cutoff,
+                        prog,
+                    )
                 },
                 cascade,
                 &mut counters,
@@ -804,11 +1020,15 @@ pub(crate) fn run_monolithic(
             arena.pages.push(page);
         }
     } else {
-        let fps_ref = &arena.fps;
+        let slots_ref = &arena.slots;
         arena.pages = par_map(n, threads, |i| {
             let mut val = Vec::with_capacity(i);
             for j in 0..i {
-                val.push(fingerprint_stretch(&fps_ref[i], &fps_ref[j], cfg));
+                val.push(fingerprint_stretch_seq(
+                    slots_ref.operand(i),
+                    slots_ref.operand(j),
+                    cfg,
+                ));
             }
             PairPage {
                 tier: vec![TIER_EXACT; i],
@@ -823,6 +1043,7 @@ pub(crate) fn run_monolithic(
     for &i in &actives {
         arena.rescan_row_min(i, cfg, cascade, &mut stats);
     }
+    arena.observe(&mut ledger);
 
     // ---- Main loop (Alg. 1 lines 4–15) ------------------------------------
     while arena.active.len() >= 2 {
@@ -833,7 +1054,11 @@ pub(crate) fn run_monolithic(
         debug_assert_ne!(b, NO_PARTNER, "active set of >= 2 must yield a pair");
 
         // Merge and retire (lines 5–8).
-        let outcome = merge_fingerprints(&arena.fps[a], &arena.fps[b], cfg, &config.suppression)?;
+        let outcome = {
+            let fa = arena.slots.fingerprint(a);
+            let fb = arena.slots.fingerprint(b);
+            merge_fingerprints(&fa, &fb, cfg, &config.suppression)?
+        };
         let merge_dropped = outcome.suppressed.samples;
         stats.merges += 1;
         stats.suppressed.absorb(outcome.suppressed);
@@ -842,7 +1067,7 @@ pub(crate) fn run_monolithic(
         arena.retired_count += 2;
         arena.active.retain(|&i| i != a && i != b);
 
-        let m = arena.fps.len();
+        let m = arena.slots.len();
         let m_multiplicity = outcome.fingerprint.multiplicity();
         // Incremental hull maintenance: when the merge suppressed nothing,
         // every parent sample is covered by some merged sample and every
@@ -866,7 +1091,7 @@ pub(crate) fn run_monolithic(
                 .sigs
                 .push(CompactSignature::of(&outcome.fingerprint, &space));
         }
-        arena.fps.push(outcome.fingerprint);
+        arena.slots.push(outcome.fingerprint);
         arena.pages.push(PairPage::default());
         arena.row_min.push(RowMin {
             value: f64::INFINITY,
@@ -925,7 +1150,7 @@ pub(crate) fn run_monolithic(
                 let mut computed = 0u64;
                 {
                     let Arena {
-                        ref fps,
+                        ref slots,
                         ref hulls,
                         ref mut counters,
                         ..
@@ -941,7 +1166,13 @@ pub(crate) fn run_monolithic(
                         &mut row,
                         |j| stretch_lower_bound(&hulls[m], &hulls[j], cfg),
                         |j, cutoff, prog| {
-                            fingerprint_stretch_cutoff_resume(&fps[m], &fps[j], cfg, cutoff, prog)
+                            fingerprint_stretch_cutoff_resume_seq(
+                                slots.operand(m),
+                                slots.operand(j),
+                                cfg,
+                                cutoff,
+                                prog,
+                            )
                         },
                         cascade,
                         counters,
@@ -975,7 +1206,7 @@ pub(crate) fn run_monolithic(
                 // bound could actually beat their cached minimum (a tie
                 // never wins: `m` is the largest id).
                 let Arena {
-                    ref fps,
+                    ref slots,
                     ref hulls,
                     ref mut pages,
                     ref mut counters,
@@ -1011,9 +1242,9 @@ pub(crate) fn run_monolithic(
                         } else {
                             f64::INFINITY
                         };
-                        match fingerprint_stretch_cutoff_resume(
-                            &fps[m],
-                            &fps[j],
+                        match fingerprint_stretch_cutoff_resume_seq(
+                            slots.operand(m),
+                            slots.operand(j),
                             cfg,
                             cutoff,
                             &mut pages[m].prog[j],
@@ -1049,9 +1280,13 @@ pub(crate) fn run_monolithic(
                 stats.pairs_computed += computed;
             } else {
                 // Unpruned: the full new row, in parallel.
-                let fps_ref = &arena.fps;
+                let slots_ref = &arena.slots;
                 let dists = par_map(partners.len(), threads, |idx| {
-                    fingerprint_stretch(&fps_ref[m], &fps_ref[partners[idx]], cfg)
+                    fingerprint_stretch_seq(
+                        slots_ref.operand(m),
+                        slots_ref.operand(partners[idx]),
+                        cfg,
+                    )
                 });
                 stats.pairs_computed += partners.len() as u64;
 
@@ -1100,11 +1335,15 @@ pub(crate) fn run_monolithic(
             arena.active.push(m);
         }
 
-        // Keep memory proportional to the live set.
+        // Keep memory proportional to the live set. Memory grows
+        // monotonically between compactions, so observing just before each
+        // one captures the intervening peak.
         if arena.retired_count > 64 && arena.retired_count * 2 > arena.states.len() {
+            arena.observe(&mut ledger);
             arena.compact();
         }
     }
+    arena.observe(&mut ledger);
 
     // ---- Residual handling (not specified by Alg. 1; see DESIGN.md) -------
     if let Some(&r) = arena.active.first() {
@@ -1120,13 +1359,13 @@ pub(crate) fn run_monolithic(
                     return Err(GloveError::Unsatisfiable(format!(
                         "no k-anonymous group exists to absorb the residual fingerprint \
                          ({} users < k = {})",
-                        arena.fps[r].multiplicity(),
+                        arena.slots.multiplicity(r),
                         config.k
                     )));
                 }
-                let fps_ref = &arena.fps;
+                let slots_ref = &arena.slots;
                 let dists = par_map(done.len(), threads, |idx| {
-                    fingerprint_stretch(&fps_ref[r], &fps_ref[done[idx]], cfg)
+                    fingerprint_stretch_seq(slots_ref.operand(r), slots_ref.operand(done[idx]), cfg)
                 });
                 stats.pairs_computed += done.len() as u64;
                 let (best_idx, _) = dists
@@ -1135,20 +1374,19 @@ pub(crate) fn run_monolithic(
                     .min_by(|(i, x), (j, y)| x.partial_cmp(y).unwrap().then(i.cmp(j)))
                     .expect("done is non-empty");
                 let target = done[best_idx];
-                let outcome = merge_fingerprints(
-                    &arena.fps[target],
-                    &arena.fps[r],
-                    cfg,
-                    &config.suppression,
-                )?;
+                let outcome = {
+                    let ft = arena.slots.fingerprint(target);
+                    let fr = arena.slots.fingerprint(r);
+                    merge_fingerprints(&ft, &fr, cfg, &config.suppression)?
+                };
                 stats.merges += 1;
                 stats.suppressed.absorb(outcome.suppressed);
-                arena.fps[target] = outcome.fingerprint;
+                arena.slots.replace(target, outcome.fingerprint);
                 arena.states[r] = SlotState::Retired;
             }
             ResidualPolicy::Suppress => {
                 stats.discarded_fingerprints += 1;
-                stats.discarded_users += arena.fps[r].multiplicity() as u64;
+                stats.discarded_users += arena.slots.multiplicity(r) as u64;
                 arena.states[r] = SlotState::Retired;
             }
         }
@@ -1158,7 +1396,7 @@ pub(crate) fn run_monolithic(
     let mut published = Vec::new();
     for i in 0..arena.states.len() {
         if arena.states[i] == SlotState::Done {
-            let mut fp = arena.fps[i].clone();
+            let mut fp = arena.slots.fingerprint(i).into_owned();
             if config.reshape {
                 stats.reshaped_samples +=
                     reshape_suppressed(&mut fp, &config.suppression, &mut stats.suppressed)? as u64;
@@ -1174,6 +1412,9 @@ pub(crate) fn run_monolithic(
     stats.pairs_abandoned = arena.counters.abandoned();
     stats.pairs_pruned =
         stats.pairs_skipped_tier0 + stats.pairs_skipped_tier1 + stats.pairs_abandoned;
+    arena.observe(&mut ledger);
+    ledger.capture_rss();
+    stats.ledger = ledger;
     stats.elapsed_s = started.elapsed().as_secs_f64();
 
     let dataset = Dataset::new(format!("{}-glove-k{}", dataset.name, config.k), published)?;

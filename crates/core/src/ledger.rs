@@ -1,0 +1,154 @@
+//! Memory-audit ledger: peak arena bytes, resident columnar pages and
+//! process peak-RSS, threaded through every engine's statistics.
+//!
+//! The ROADMAP north star is a million-user metro on one box; at that scale
+//! "how much memory did this run actually need" is a first-class result,
+//! not a profiler afterthought. Every engine therefore records a
+//! [`MemoryLedger`] alongside its counters: the greedy core tracks the peak
+//! footprint of its pair arena and columnar [`SampleStore`] pages, the
+//! sharded engine sums the per-shard peaks (a sound bound — shards run
+//! concurrently), and everything captures the kernel's own high-water mark
+//! (`VmHWM`) at the end of the run.
+//!
+//! [`SampleStore`]: crate::compact::SampleStore
+
+/// Peak memory accounting for one run (or one shard of a run).
+///
+/// All byte figures are *peaks over the run*, not final values: an arena
+/// that grows to 2 GiB and is then compacted to 200 MiB reports 2 GiB.
+/// `peak_rss_bytes` is process-wide (the kernel's `VmHWM`), so in a sharded
+/// run every shard observes the same number; [`MemoryLedger::absorb`] takes
+/// the max rather than summing it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryLedger {
+    /// Peak bytes held by the pairwise-distance arena (pages, hulls,
+    /// signatures, row minima) over the run.
+    pub peak_arena_bytes: u64,
+    /// Peak bytes held by the columnar sample store's pages over the run
+    /// (zero when the engine runs on the `Vec<Sample>` reference path).
+    pub peak_store_bytes: u64,
+    /// Columnar pages resident when the store peaked (zero on the
+    /// reference path).
+    pub resident_pages: u64,
+    /// Process peak resident-set size (`VmHWM` from `/proc/self/status`)
+    /// captured at the end of the run; 0 on platforms without procfs.
+    pub peak_rss_bytes: u64,
+}
+
+impl MemoryLedger {
+    /// Records an arena footprint observation, keeping the maximum.
+    pub fn observe_arena(&mut self, bytes: u64) {
+        self.peak_arena_bytes = self.peak_arena_bytes.max(bytes);
+    }
+
+    /// Records a columnar-store footprint observation, keeping the byte
+    /// maximum and the page count at that maximum.
+    pub fn observe_store(&mut self, bytes: u64, pages: u64) {
+        if bytes >= self.peak_store_bytes {
+            self.peak_store_bytes = bytes;
+            self.resident_pages = self.resident_pages.max(pages);
+        }
+    }
+
+    /// Captures the process high-water mark into `peak_rss_bytes`.
+    pub fn capture_rss(&mut self) {
+        self.peak_rss_bytes = self.peak_rss_bytes.max(process_peak_rss_bytes());
+    }
+
+    /// Folds another ledger into this one: arena/store peaks and page
+    /// counts add (shards run concurrently, so the sum bounds the true
+    /// simultaneous footprint), process RSS takes the max (it is already
+    /// process-wide).
+    pub fn absorb(&mut self, other: &MemoryLedger) {
+        self.peak_arena_bytes += other.peak_arena_bytes;
+        self.peak_store_bytes += other.peak_store_bytes;
+        self.resident_pages += other.resident_pages;
+        self.peak_rss_bytes = self.peak_rss_bytes.max(other.peak_rss_bytes);
+    }
+
+    /// Folds another ledger into this one taking element-wise maxima: the
+    /// right combination for *sequential* phases (stream epochs), whose
+    /// footprints are released before the next observation rather than
+    /// coexisting — summing them would overstate the bound by the epoch
+    /// count.
+    pub fn merge_max(&mut self, other: &MemoryLedger) {
+        self.peak_arena_bytes = self.peak_arena_bytes.max(other.peak_arena_bytes);
+        self.peak_store_bytes = self.peak_store_bytes.max(other.peak_store_bytes);
+        self.resident_pages = self.resident_pages.max(other.resident_pages);
+        self.peak_rss_bytes = self.peak_rss_bytes.max(other.peak_rss_bytes);
+    }
+}
+
+/// Reads the process peak resident-set size in bytes from the kernel's
+/// `VmHWM` line in `/proc/self/status`. Returns 0 when procfs is absent
+/// (non-Linux platforms) or unparsable, never errors.
+pub fn process_peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+            return 0;
+        };
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kib = rest
+                    .trim()
+                    .trim_end_matches("kB")
+                    .trim()
+                    .parse::<u64>()
+                    .unwrap_or(0);
+                return kib.saturating_mul(1024);
+            }
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_keeps_peaks() {
+        let mut ledger = MemoryLedger::default();
+        ledger.observe_arena(100);
+        ledger.observe_arena(50);
+        ledger.observe_store(1_000, 2);
+        ledger.observe_store(500, 9);
+        assert_eq!(ledger.peak_arena_bytes, 100);
+        assert_eq!(ledger.peak_store_bytes, 1_000);
+        assert_eq!(ledger.resident_pages, 2);
+    }
+
+    #[test]
+    fn absorb_sums_arena_and_maxes_rss() {
+        let mut a = MemoryLedger {
+            peak_arena_bytes: 10,
+            peak_store_bytes: 20,
+            resident_pages: 1,
+            peak_rss_bytes: 5_000,
+        };
+        let b = MemoryLedger {
+            peak_arena_bytes: 7,
+            peak_store_bytes: 3,
+            resident_pages: 2,
+            peak_rss_bytes: 9_000,
+        };
+        a.absorb(&b);
+        assert_eq!(a.peak_arena_bytes, 17);
+        assert_eq!(a.peak_store_bytes, 23);
+        assert_eq!(a.resident_pages, 3);
+        assert_eq!(a.peak_rss_bytes, 9_000);
+    }
+
+    #[test]
+    fn rss_capture_is_nonzero_on_linux() {
+        let rss = process_peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            assert!(rss > 0, "VmHWM should be readable on Linux");
+        }
+    }
+}

@@ -36,6 +36,8 @@
 //! * [`stream`] — the streaming engine: windowed online GLOVE over
 //!   time-ordered events with carry-over groups and bounded resident
 //!   memory;
+//! * [`ledger`] — the memory-audit ledger: peak arena bytes, resident
+//!   columnar pages and process peak-RSS recorded with every run;
 //! * [`accuracy`] — spatiotemporal accuracy metrics of anonymized output;
 //! * [`parallel`] — the data-parallel kernel that stands in for the paper's
 //!   GPU implementation (§6.3);
@@ -76,6 +78,7 @@ pub mod config;
 pub mod error;
 pub mod glove;
 pub mod kgap;
+pub mod ledger;
 pub mod merge;
 pub mod model;
 pub mod parallel;
@@ -99,6 +102,7 @@ pub mod prelude {
     pub use crate::error::GloveError;
     pub use crate::glove::{anonymize, GloveOutput, GloveStats};
     pub use crate::kgap::{kgap, kgap_all};
+    pub use crate::ledger::MemoryLedger;
     pub use crate::model::{Dataset, Fingerprint, Sample, UserId};
     pub use crate::shard::ShardStat;
     pub use crate::stream::{

@@ -38,7 +38,9 @@ pub struct MergeOutcome {
 ///
 /// Never fails in practice: the stage-1 bases guarantee at least one sample
 /// survives even under aggressive thresholds. The `Result` covers the
-/// invariant-violation path defensively.
+/// invariant-violation path defensively, and surfaces
+/// [`GloveError::InvalidSample`] when a generalization span overflows
+/// `u32` (continent-scale inputs).
 ///
 /// ```
 /// use glove_core::merge::merge_fingerprints;
@@ -94,7 +96,7 @@ pub fn merge_fingerprints(
         }
         let mut acc = short.samples()[j];
         for &i in group {
-            let candidate = acc.generalize_with(&long.samples()[i]);
+            let candidate = acc.generalize_with(&long.samples()[i])?;
             if !thresholds.is_disabled() && violates(&candidate, thresholds) {
                 ledger.record(long.multiplicity());
             } else {
@@ -122,7 +124,7 @@ pub fn merge_fingerprints(
                 best_m = m;
             }
         }
-        let candidate = merged[best_m].generalize_with(q);
+        let candidate = merged[best_m].generalize_with(q)?;
         if !thresholds.is_disabled() && violates(&candidate, thresholds) {
             ledger.record(short.multiplicity());
         } else {

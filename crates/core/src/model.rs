@@ -121,21 +121,37 @@ impl Sample {
 
     /// The generalization of Eqs. (12)–(13): the smallest box covering both
     /// samples along every axis.
-    pub fn generalize_with(&self, other: &Sample) -> Sample {
+    ///
+    /// # Errors
+    ///
+    /// [`GloveError::InvalidSample`] when a merged span exceeds `u32::MAX`
+    /// (continent-scale or corrupt inputs). The old behavior silently
+    /// wrapped the span through an `as u32` cast, publishing a box that no
+    /// longer covered its inputs — at metro-1M volumes that corruption is
+    /// reachable, so overflow now surfaces instead.
+    pub fn generalize_with(&self, other: &Sample) -> Result<Sample, GloveError> {
         let x = self.x.min(other.x);
         let y = self.y.min(other.y);
-        let dx = (self.x_end().max(other.x_end()) - x) as u32;
-        let dy = (self.y_end().max(other.y_end()) - y) as u32;
         let t = self.t.min(other.t);
-        let dt = (self.t_end().max(other.t_end()) - u64::from(t)) as u32;
-        Sample {
+        let span = |axis: &str, v: i64| {
+            u32::try_from(v).map_err(|_| {
+                GloveError::InvalidSample(format!(
+                    "merged sample span overflows u32 on the {axis} axis: {v} > {}",
+                    u32::MAX
+                ))
+            })
+        };
+        let dx = span("x", self.x_end().max(other.x_end()) - x)?;
+        let dy = span("y", self.y_end().max(other.y_end()) - y)?;
+        let dt = span("t", (self.t_end().max(other.t_end()) - u64::from(t)) as i64)?;
+        Ok(Sample {
             x,
             y,
             dx,
             dy,
             t,
             dt,
-        }
+        })
     }
 
     /// Mean spatial side length `(dx + dy) / 2` in meters — the "position
@@ -361,7 +377,7 @@ mod tests {
     fn generalize_covers_both_inputs() {
         let a = Sample::point(0, 0, 10);
         let b = Sample::point(1_000, -500, 200);
-        let m = a.generalize_with(&b);
+        let m = a.generalize_with(&b).unwrap();
         assert!(m.covers(&a));
         assert!(m.covers(&b));
         assert_eq!(m.x, 0);
@@ -376,8 +392,54 @@ mod tests {
     fn generalize_is_commutative_and_idempotent() {
         let a = Sample::new(10, 20, 300, 400, 5, 6).unwrap();
         let b = Sample::new(-5, 100, 50, 60, 9, 30).unwrap();
-        assert_eq!(a.generalize_with(&b), b.generalize_with(&a));
-        assert_eq!(a.generalize_with(&a), a);
+        assert_eq!(
+            a.generalize_with(&b).unwrap(),
+            b.generalize_with(&a).unwrap()
+        );
+        assert_eq!(a.generalize_with(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn generalize_at_u32_max_span_is_exact() {
+        // Boundary values: merged spans of exactly u32::MAX are the largest
+        // representable boxes and must come through unwrapped.
+        let a = Sample::new(0, 0, 1, 1, 0, 1).unwrap();
+        let b = Sample::new(i64::from(u32::MAX) - 1, 0, 1, 1, 0, 1).unwrap();
+        let m = a.generalize_with(&b).unwrap();
+        assert_eq!(m.dx, u32::MAX);
+        assert!(m.covers(&a) && m.covers(&b));
+
+        let c = Sample::new(0, i64::from(u32::MAX) - 1, 1, 1, 0, 1).unwrap();
+        assert_eq!(a.generalize_with(&c).unwrap().dy, u32::MAX);
+
+        let d = Sample::new(0, 0, 1, 1, u32::MAX - 1, 1).unwrap();
+        let m = a.generalize_with(&d).unwrap();
+        assert_eq!(m.dt, u32::MAX);
+        assert_eq!(m.t_end(), u64::from(u32::MAX) - 1 + 1);
+    }
+
+    #[test]
+    fn generalize_surfaces_span_overflow_instead_of_wrapping() {
+        let a = Sample::new(0, 0, 1, 1, 0, 1).unwrap();
+        // One meter past the largest representable x-span: the old cast
+        // wrapped this to dx = 0.
+        let b = Sample::new(i64::from(u32::MAX), 0, 1, 1, 0, 1).unwrap();
+        assert!(matches!(
+            a.generalize_with(&b),
+            Err(GloveError::InvalidSample(_))
+        ));
+        // Same on the y axis.
+        let c = Sample::new(0, i64::from(u32::MAX), 1, 1, 0, 1).unwrap();
+        assert!(matches!(
+            a.generalize_with(&c),
+            Err(GloveError::InvalidSample(_))
+        ));
+        // And on the time axis: a window ending past t + u32::MAX minutes.
+        let d = Sample::new(0, 0, 1, 1, u32::MAX, 2).unwrap();
+        assert!(matches!(
+            a.generalize_with(&d),
+            Err(GloveError::InvalidSample(_))
+        ));
     }
 
     #[test]

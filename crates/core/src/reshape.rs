@@ -23,7 +23,7 @@ use crate::suppress::{violates, SuppressionLedger};
 /// overlapping samples together. Returns the number of samples absorbed
 /// (input length minus output length).
 pub fn reshape(fingerprint: &mut Fingerprint) -> Result<usize, GloveError> {
-    let merged = reshape_samples(fingerprint.samples());
+    let merged = reshape_samples(fingerprint.samples())?;
     let absorbed = fingerprint.len() - merged.len();
     fingerprint.replace_samples(merged)?;
     Ok(absorbed)
@@ -51,7 +51,7 @@ pub fn reshape_suppressed(
     for s in fingerprint.samples() {
         match out.last_mut() {
             Some(last) if s.overlaps_in_time(last) => {
-                let candidate = last.generalize_with(s);
+                let candidate = last.generalize_with(s)?;
                 if violates(&candidate, thresholds) {
                     // Union would blow the budget: suppress the incoming
                     // sample (the emitted one already satisfies the
@@ -71,12 +71,17 @@ pub fn reshape_suppressed(
 
 /// Pure-function core of [`reshape`]: samples must be sorted by start time
 /// (a [`Fingerprint`] invariant).
-pub fn reshape_samples(samples: &[Sample]) -> Vec<Sample> {
+///
+/// # Errors
+///
+/// [`GloveError::InvalidSample`] when a generalized span overflows `u32`
+/// (see [`Sample::generalize_with`]).
+pub fn reshape_samples(samples: &[Sample]) -> Result<Vec<Sample>, GloveError> {
     let mut out: Vec<Sample> = Vec::with_capacity(samples.len());
     for s in samples {
         match out.last_mut() {
             Some(last) if s.overlaps_in_time(last) => {
-                *last = last.generalize_with(s);
+                *last = last.generalize_with(s)?;
             }
             _ => out.push(*s),
         }
@@ -87,7 +92,7 @@ pub fn reshape_samples(samples: &[Sample]) -> Vec<Sample> {
     // or before the current one's start. A single pass suffices; assert the
     // postcondition in debug builds.
     debug_assert!(out.windows(2).all(|w| !w[0].overlaps_in_time(&w[1])));
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -32,6 +32,7 @@
 use crate::config::{GloveConfig, ShardBy, ShardPolicy};
 use crate::error::GloveError;
 use crate::glove::{run_monolithic, GloveOutput, GloveStats};
+use crate::ledger::MemoryLedger;
 use crate::model::{Dataset, Fingerprint};
 use crate::parallel::par_map;
 use glove_geo::{Grid, MetricPoint};
@@ -60,6 +61,8 @@ pub struct ShardStat {
     pub pairs_skipped_tier1: u64,
     /// Exact evaluations abandoned early by the partial-mean cutoff.
     pub pairs_abandoned: u64,
+    /// Peak memory accounting of the shard's own run.
+    pub ledger: MemoryLedger,
     /// Wall-clock seconds of the shard's own run (shards overlap in time
     /// when workers run them concurrently).
     pub elapsed_s: f64,
@@ -78,38 +81,41 @@ pub fn partition(dataset: &Dataset, policy: &ShardPolicy, config: &GloveConfig) 
     let n = dataset.fingerprints.len();
     let shards = policy.shards.max(1).min(n.max(1));
 
-    // Order fingerprints by the shard key, stably by input index.
+    // Order fingerprints by the shard key, stably by input index, and cut
+    // into contiguous buckets.
     let mut order: Vec<usize> = (0..n).collect();
-    match policy.by {
+    let buckets: Vec<Vec<usize>> = match policy.by {
         ShardBy::Activity => {
             order.sort_by_key(|&i| (dataset.fingerprints[i].len(), i));
+            cut(&order, shards)
         }
         ShardBy::Spatial => {
-            // One cell per spatial saturation cap: fingerprints whose merge
-            // could cost less than a saturated move share a locality.
-            let grid = Grid::new(config.stretch.phi_max_space_m.max(1.0));
-            let keys: Vec<u64> = dataset
-                .fingerprints
-                .iter()
-                .map(|fp| grid.cell_of(centroid(fp)).z_index())
-                .collect();
+            let keys = spatial_keys(dataset, config);
             order.sort_by_key(|&i| (keys[i], i));
+            cut(&order, shards)
         }
-    }
-
-    // Cut the ordered run into `shards` near-equal contiguous buckets.
-    let base = n / shards;
-    let extra = n % shards;
-    let mut buckets: Vec<Vec<usize>> = Vec::with_capacity(shards);
-    let mut cursor = 0usize;
-    for s in 0..shards {
-        let len = base + usize::from(s < extra);
-        if len == 0 {
-            continue;
+        ShardBy::TwoLevel => {
+            // Outer level: a Z-order spatial cut into ⌈√shards⌉ contiguous
+            // buckets keeps each bucket geographically coherent. Inner
+            // level: every outer bucket is re-sorted by activity and cut
+            // again, with the total shard count distributed near-evenly
+            // across outer buckets — shards end up both spatially coherent
+            // and length-homogeneous.
+            let keys = spatial_keys(dataset, config);
+            order.sort_by_key(|&i| (keys[i], i));
+            let outer_n = (shards as f64).sqrt().ceil() as usize;
+            let outer = cut(&order, outer_n);
+            let base = shards / outer.len();
+            let extra = shards % outer.len();
+            let mut buckets = Vec::with_capacity(shards);
+            for (o, mut bucket) in outer.into_iter().enumerate() {
+                bucket.sort_by_key(|&i| (dataset.fingerprints[i].len(), i));
+                let inner_n = (base + usize::from(o < extra)).max(1);
+                buckets.extend(cut(&bucket, inner_n));
+            }
+            buckets
         }
-        buckets.push(order[cursor..cursor + len].to_vec());
-        cursor += len;
-    }
+    };
 
     // Coalesce buckets below the `k`-subscriber floor forward into their
     // successor (an undersized run keeps accumulating until it clears the
@@ -139,6 +145,39 @@ pub fn partition(dataset: &Dataset, policy: &ShardPolicy, config: &GloveConfig) 
         }
     }
     coalesced
+}
+
+/// Cuts an ordered index run into `parts` near-equal contiguous buckets
+/// (first `n % parts` buckets get one extra element; empty buckets are
+/// dropped when `parts > n`).
+fn cut(order: &[usize], parts: usize) -> Vec<Vec<usize>> {
+    let n = order.len();
+    let parts = parts.max(1).min(n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut buckets = Vec::with_capacity(parts);
+    let mut cursor = 0usize;
+    for s in 0..parts {
+        let len = base + usize::from(s < extra);
+        if len == 0 {
+            continue;
+        }
+        buckets.push(order[cursor..cursor + len].to_vec());
+        cursor += len;
+    }
+    buckets
+}
+
+/// Z-order spatial sort keys: one grid cell per spatial saturation cap, so
+/// fingerprints whose merge could cost less than a saturated move share a
+/// locality.
+fn spatial_keys(dataset: &Dataset, config: &GloveConfig) -> Vec<u64> {
+    let grid = Grid::new(config.stretch.phi_max_space_m.max(1.0));
+    dataset
+        .fingerprints
+        .iter()
+        .map(|fp| grid.cell_of(centroid(fp)).z_index())
+        .collect()
 }
 
 /// Mean of the sample-box centers of a fingerprint, on the metric plane.
@@ -207,6 +246,7 @@ pub(crate) fn anonymize_sharded(
         stats.reshaped_samples += output.stats.reshaped_samples;
         stats.discarded_fingerprints += output.stats.discarded_fingerprints;
         stats.discarded_users += output.stats.discarded_users;
+        stats.ledger.absorb(&output.stats.ledger);
         stats.per_shard.push(ShardStat {
             shard: s,
             fingerprints_in: shard_inputs[s].fingerprints.len(),
@@ -218,10 +258,12 @@ pub(crate) fn anonymize_sharded(
             pairs_skipped_tier0: output.stats.pairs_skipped_tier0,
             pairs_skipped_tier1: output.stats.pairs_skipped_tier1,
             pairs_abandoned: output.stats.pairs_abandoned,
+            ledger: output.stats.ledger,
             elapsed_s: output.stats.elapsed_s,
         });
         published.extend(output.dataset.fingerprints);
     }
+    stats.ledger.capture_rss();
     stats.elapsed_s = started.elapsed().as_secs_f64();
 
     let dataset = Dataset::new(format!("{}-glove-k{}", dataset.name, config.k), published)?;

@@ -45,6 +45,7 @@
 use crate::config::{CarryPolicy, StreamConfig, UnderKPolicy};
 use crate::error::GloveError;
 use crate::glove::{anonymize, GloveOutput};
+use crate::ledger::MemoryLedger;
 use crate::merge::merge_fingerprints;
 use crate::model::{Dataset, Fingerprint, Sample, UserId};
 use crate::suppress::SuppressionLedger;
@@ -136,6 +137,9 @@ pub struct StreamStats {
     pub seed_suppressed: SuppressionLedger,
     /// Per-epoch breakdown, in emission order.
     pub per_epoch: Vec<EpochStat>,
+    /// Peak memory accounting across all epochs (element-wise maxima —
+    /// epochs run sequentially and release their footprint in between).
+    pub ledger: MemoryLedger,
     /// Total wall-clock seconds spent anonymizing epochs.
     pub elapsed_s: f64,
 }
@@ -298,6 +302,7 @@ impl StreamEngine {
             self.stats.suppressed_users += 1;
             self.stats.suppressed_samples += samples.len() as u64;
         }
+        self.stats.ledger.capture_rss();
         Ok((last, self.stats))
     }
 
@@ -403,6 +408,7 @@ impl StreamEngine {
         self.stats.pairs_skipped_tier1 += output.stats.pairs_skipped_tier1;
         self.stats.pairs_abandoned += output.stats.pairs_abandoned;
         self.stats.seeded_groups += seeded_groups as u64;
+        self.stats.ledger.merge_max(&output.stats.ledger);
         self.stats.elapsed_s += elapsed_s;
         self.stats.per_epoch.push(EpochStat {
             epoch,

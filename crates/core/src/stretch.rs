@@ -19,6 +19,57 @@
 use crate::config::StretchConfig;
 use crate::model::{Fingerprint, Sample};
 
+/// Read-only, random-access sequence of samples — the storage abstraction
+/// the Eq. (10) kernels are generic over, so one set of arithmetic (and
+/// therefore bit-identical results) serves both `Vec<Sample>`-backed
+/// fingerprints and the columnar pages of
+/// [`SampleStore`](crate::compact::SampleStore).
+pub trait SampleSeq: Copy {
+    /// Number of samples in the sequence.
+    fn len(self) -> usize;
+    /// The `i`-th sample, assembled by value (columnar backends decode it
+    /// from their column arrays, slice backends copy it out — both are
+    /// exact integer moves, so downstream arithmetic is identical).
+    fn get(self, i: usize) -> Sample;
+    /// True when the sequence holds no samples (never, for fingerprints).
+    fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl SampleSeq for &[Sample] {
+    #[inline]
+    fn len(self) -> usize {
+        <[Sample]>::len(self)
+    }
+
+    #[inline]
+    fn get(self, i: usize) -> Sample {
+        self[i]
+    }
+}
+
+/// One side of a generic Eq. (10) evaluation: a sample sequence plus the
+/// multiplicity that weights it (Eqs. 4 and 7).
+#[derive(Debug, Clone, Copy)]
+pub struct StretchOperand<S: SampleSeq> {
+    /// The samples.
+    pub samples: S,
+    /// Subscribers behind the sequence (`n_a` in the paper's weighting).
+    pub multiplicity: usize,
+}
+
+impl<'a> StretchOperand<&'a [Sample]> {
+    /// The operand view of a fingerprint.
+    #[inline]
+    pub fn of(fp: &'a Fingerprint) -> Self {
+        Self {
+            samples: fp.samples(),
+            multiplicity: fp.multiplicity(),
+        }
+    }
+}
+
 /// The spatial covering stretch of Eqs. (4)–(6), *before* capping and
 /// normalization: the population-weighted sum of how far `a`'s box must grow
 /// to cover `b`'s and vice versa, in meters.
@@ -123,7 +174,18 @@ pub fn time_gap_min(a: &Sample, b: &Sample) -> f64 {
 /// assert_eq!(d, fingerprint_stretch(&b, &a, &cfg), "Δ is symmetric");
 /// ```
 pub fn fingerprint_stretch(a: &Fingerprint, b: &Fingerprint, cfg: &StretchConfig) -> f64 {
-    match a.len().cmp(&b.len()) {
+    fingerprint_stretch_seq(StretchOperand::of(a), StretchOperand::of(b), cfg)
+}
+
+/// Storage-generic form of [`fingerprint_stretch`]: the same Eq. (10)
+/// arithmetic over any [`SampleSeq`] backing, so columnar-store slices and
+/// `Vec<Sample>` fingerprints produce bit-identical efforts.
+pub fn fingerprint_stretch_seq<A: SampleSeq, B: SampleSeq>(
+    a: StretchOperand<A>,
+    b: StretchOperand<B>,
+    cfg: &StretchConfig,
+) -> f64 {
+    match a.samples.len().cmp(&b.samples.len()) {
         std::cmp::Ordering::Greater => directed_stretch(a, b, cfg),
         std::cmp::Ordering::Less => directed_stretch(b, a, cfg),
         // Eq. (10) leaves the orientation ambiguous for equal lengths (the
@@ -144,15 +206,21 @@ pub fn fingerprint_stretch(a: &Fingerprint, b: &Fingerprint, cfg: &StretchConfig
 const PRUNE_MIN_SHORT_LEN: usize = 128;
 
 /// One direction of Eq. (10): match every sample of `long` into `short`.
-fn directed_stretch(long: &Fingerprint, short: &Fingerprint, cfg: &StretchConfig) -> f64 {
-    let n_long = long.multiplicity() as f64;
-    let n_short = short.multiplicity() as f64;
+fn directed_stretch<L: SampleSeq, S: SampleSeq>(
+    long: StretchOperand<L>,
+    short: StretchOperand<S>,
+    cfg: &StretchConfig,
+) -> f64 {
+    let n_long = long.multiplicity as f64;
+    let n_short = short.multiplicity as f64;
     let mut total = 0.0;
-    if short.len() < PRUNE_MIN_SHORT_LEN {
-        for s in long.samples() {
+    if short.samples.len() < PRUNE_MIN_SHORT_LEN {
+        for i in 0..long.samples.len() {
+            let s = long.samples.get(i);
             let mut best = f64::INFINITY;
-            for q in short.samples() {
-                let d = sample_stretch(s, n_long, q, n_short, cfg);
+            for j in 0..short.samples.len() {
+                let q = short.samples.get(j);
+                let d = sample_stretch(&s, n_long, &q, n_short, cfg);
                 if d < best {
                     best = d;
                 }
@@ -162,17 +230,22 @@ fn directed_stretch(long: &Fingerprint, short: &Fingerprint, cfg: &StretchConfig
     } else {
         // Largest window length in the shorter fingerprint, needed to make
         // the temporal pruning bound valid on samples sorted by start time.
-        let short_max_dt = short
-            .samples()
-            .iter()
-            .map(|q| q.dt)
-            .max()
-            .expect("fingerprints are never empty");
-        for s in long.samples() {
-            total += min_stretch_to(s, n_long, short, n_short, short_max_dt, cfg);
+        let short_max_dt = seq_max_dt(short.samples);
+        for i in 0..long.samples.len() {
+            let s = long.samples.get(i);
+            total += min_stretch_to(&s, n_long, short.samples, n_short, short_max_dt, cfg);
         }
     }
-    total / long.len() as f64
+    total / long.samples.len() as f64
+}
+
+/// Largest window length in a sample sequence.
+#[inline]
+fn seq_max_dt<S: SampleSeq>(samples: S) -> u32 {
+    (0..samples.len())
+        .map(|j| samples.get(j).dt)
+        .max()
+        .expect("fingerprints are never empty")
 }
 
 /// Result of a cutoff-aware Eq. (10) evaluation: either the exact stretch
@@ -273,7 +346,26 @@ pub fn fingerprint_stretch_cutoff_resume(
     cutoff: f64,
     progress: &mut StretchProgress,
 ) -> StretchEval {
-    match a.len().cmp(&b.len()) {
+    fingerprint_stretch_cutoff_resume_seq(
+        StretchOperand::of(a),
+        StretchOperand::of(b),
+        cfg,
+        cutoff,
+        progress,
+    )
+}
+
+/// Storage-generic form of [`fingerprint_stretch_cutoff_resume`]: the tier-2
+/// cascade evaluation over any [`SampleSeq`] backing. Bit-identical to the
+/// fingerprint entry point for the same samples, cutoff and progress.
+pub fn fingerprint_stretch_cutoff_resume_seq<A: SampleSeq, B: SampleSeq>(
+    a: StretchOperand<A>,
+    b: StretchOperand<B>,
+    cfg: &StretchConfig,
+    cutoff: f64,
+    progress: &mut StretchProgress,
+) -> StretchEval {
+    match a.samples.len().cmp(&b.samples.len()) {
         std::cmp::Ordering::Greater => directed_resume(a, b, cfg, cutoff, |m| m, progress),
         std::cmp::Ordering::Less => directed_resume(b, a, cfg, cutoff, |m| m, progress),
         std::cmp::Ordering::Equal => {
@@ -349,30 +441,32 @@ fn sample_hull_floor(s: &Sample, hull: &StretchHull, cfg: &StretchConfig) -> f64
 /// sum, and `owed` carries the floors of the samples not yet visited. The
 /// pre-scan check (prefix plus everything owed) frequently abandons before
 /// a single inner loop runs, in O(|long|) integer gap arithmetic.
-fn directed_resume(
-    long: &Fingerprint,
-    short: &Fingerprint,
+fn directed_resume<L: SampleSeq, S: SampleSeq>(
+    long: StretchOperand<L>,
+    short: StretchOperand<S>,
     cfg: &StretchConfig,
     cutoff: f64,
     bound_of: impl Fn(f64) -> f64,
     progress: &mut StretchProgress,
 ) -> StretchEval {
-    let n_long = long.multiplicity() as f64;
-    let n_short = short.multiplicity() as f64;
-    let len = long.len() as f64;
+    let n_long = long.multiplicity as f64;
+    let n_short = short.multiplicity as f64;
+    let len = long.samples.len() as f64;
     let first = progress.next as usize;
-    if first >= long.len() {
+    if first >= long.samples.len() {
         // The whole direction is already folded (the previous call abandoned
         // on the final bound check); its mean is now exact.
         return StretchEval::Exact(progress.total / len);
     }
     // Suffix floors are pure overhead when the caller never abandons
     // (`cutoff = ∞`), so only arm them for a finite cutoff.
-    let floors = cutoff.is_finite().then(|| StretchHull::of(short));
+    let floors = cutoff
+        .is_finite()
+        .then(|| StretchHull::of_seq(short.samples));
     let mut owed = 0.0;
     if let Some(hull) = &floors {
-        for s in &long.samples()[first..] {
-            owed += sample_hull_floor(s, hull, cfg);
+        for i in first..long.samples.len() {
+            owed += sample_hull_floor(&long.samples.get(i), hull, cfg);
         }
         let lb = bound_of((progress.total + owed) / len) - FLOOR_SLACK;
         if lb > cutoff {
@@ -385,14 +479,16 @@ fn directed_resume(
         progress.next = (i + 1) as u32;
         StretchEval::AtLeast(lb)
     };
-    if short.len() < PRUNE_MIN_SHORT_LEN {
-        for (i, s) in long.samples().iter().enumerate().skip(first) {
+    if short.samples.len() < PRUNE_MIN_SHORT_LEN {
+        for i in first..long.samples.len() {
+            let s = long.samples.get(i);
             if let Some(hull) = &floors {
-                owed -= sample_hull_floor(s, hull, cfg);
+                owed -= sample_hull_floor(&s, hull, cfg);
             }
             let mut best = f64::INFINITY;
-            for q in short.samples() {
-                let d = sample_stretch(s, n_long, q, n_short, cfg);
+            for j in 0..short.samples.len() {
+                let q = short.samples.get(j);
+                let d = sample_stretch(&s, n_long, &q, n_short, cfg);
                 if d < best {
                     best = d;
                 }
@@ -404,17 +500,13 @@ fn directed_resume(
             }
         }
     } else {
-        let short_max_dt = short
-            .samples()
-            .iter()
-            .map(|q| q.dt)
-            .max()
-            .expect("fingerprints are never empty");
-        for (i, s) in long.samples().iter().enumerate().skip(first) {
+        let short_max_dt = seq_max_dt(short.samples);
+        for i in first..long.samples.len() {
+            let s = long.samples.get(i);
             if let Some(hull) = &floors {
-                owed -= sample_hull_floor(s, hull, cfg);
+                owed -= sample_hull_floor(&s, hull, cfg);
             }
-            total += min_stretch_to(s, n_long, short, n_short, short_max_dt, cfg);
+            total += min_stretch_to(&s, n_long, short.samples, n_short, short_max_dt, cfg);
             let lb = bound_of((total + owed.max(0.0)) / len) - FLOOR_SLACK;
             if lb > cutoff {
                 return abandon_at(i, total, lb, progress);
@@ -488,21 +580,32 @@ fn directed_decomposed(
 ///
 /// Since the raw temporal stretch is at least the gap and `δ ≥ w_τ·φ_τ`,
 /// once both bounds exceed the best effort found no better match can exist.
-fn min_stretch_to(
+fn min_stretch_to<S: SampleSeq>(
     s: &Sample,
     ns: f64,
-    short: &Fingerprint,
+    samples: S,
     n_short: f64,
     short_max_dt: u32,
     cfg: &StretchConfig,
 ) -> f64 {
-    let samples = short.samples();
     let m = samples.len();
     let max_dt = i64::from(short_max_dt);
     let s_t = i64::from(s.t);
     let s_end = s.t_end() as i64;
-    // Start position: first sample with start time >= s.t.
-    let pivot = samples.partition_point(|q| q.t < s.t);
+    // Start position: first sample with start time >= s.t (a manual
+    // partition_point — the generic sequence has no slice methods).
+    let pivot = {
+        let (mut lo, mut hi) = (0usize, m);
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            if samples.get(mid).t < s.t {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    };
     let mut best = f64::INFINITY;
     // A candidate with window gap >= gap_cutoff cannot beat `best`:
     // δ >= w_τ·min(gap/φmax_τ, 1). Expressed as a gap so the per-candidate
@@ -523,12 +626,12 @@ fn min_stretch_to(
         // Minimum possible gap of the next candidate on each side (and, by
         // sort order + max_dt, of everything beyond it).
         let left_gap = if lo > 0 {
-            s_t - i64::from(samples[lo - 1].t) - max_dt
+            s_t - i64::from(samples.get(lo - 1).t) - max_dt
         } else {
             i64::MAX
         };
         let right_gap = if hi < m {
-            i64::from(samples[hi].t) - s_end
+            i64::from(samples.get(hi).t) - s_end
         } else {
             i64::MAX
         };
@@ -537,16 +640,16 @@ fn min_stretch_to(
         }
         // Visit the side with the smaller gap bound first.
         if left_gap <= right_gap {
-            let q = &samples[lo - 1];
-            let d = sample_stretch(s, ns, q, n_short, cfg);
+            let q = samples.get(lo - 1);
+            let d = sample_stretch(s, ns, &q, n_short, cfg);
             if d < best {
                 best = d;
                 gap_cutoff = cutoff_of(best);
             }
             lo -= 1;
         } else {
-            let q = &samples[hi];
-            let d = sample_stretch(s, ns, q, n_short, cfg);
+            let q = samples.get(hi);
+            let d = sample_stretch(s, ns, &q, n_short, cfg);
             if d < best {
                 best = d;
                 gap_cutoff = cutoff_of(best);
@@ -586,8 +689,12 @@ pub struct StretchHull {
 impl StretchHull {
     /// Computes the hull of a fingerprint.
     pub fn of(fp: &Fingerprint) -> Self {
-        let samples = fp.samples();
-        let first = &samples[0];
+        Self::of_seq(fp.samples())
+    }
+
+    /// Computes the hull of any non-empty sample sequence.
+    pub fn of_seq<S: SampleSeq>(samples: S) -> Self {
+        let first = samples.get(0);
         let mut hull = Self {
             x_min: first.x,
             x_end: first.x_end(),
@@ -597,7 +704,8 @@ impl StretchHull {
             t_end: first.t_end() as i64,
             len: samples.len(),
         };
-        for s in &samples[1..] {
+        for i in 1..samples.len() {
+            let s = samples.get(i);
             hull.x_min = hull.x_min.min(s.x);
             hull.x_end = hull.x_end.max(s.x_end());
             hull.y_min = hull.y_min.min(s.y);

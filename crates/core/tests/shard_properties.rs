@@ -94,10 +94,14 @@ proptest! {
         ds in arb_dataset(6..=16),
         k in 2usize..=3,
         shards in 1usize..=6,
-        spatial in 0usize..2,
+        spatial in 0usize..3,
         suppress_residual in 0usize..2,
     ) {
-        let by = if spatial == 1 { ShardBy::Spatial } else { ShardBy::Activity };
+        let by = match spatial {
+            1 => ShardBy::Spatial,
+            2 => ShardBy::TwoLevel,
+            _ => ShardBy::Activity,
+        };
         let config = GloveConfig {
             k,
             residual: if suppress_residual == 1 {

@@ -31,13 +31,17 @@ struct Row {
     users_retained: f64,
     pos_acc_m: f64,
     time_acc_min: f64,
+    peak_arena_bytes: u64,
+    peak_store_bytes: u64,
+    peak_rss_bytes: u64,
 }
 
 impl Row {
     /// One serialized row; the stdout table shows `users_retained` as a
-    /// percentage, the CSV as a plain fraction.
+    /// percentage and memory in MiB, the CSV plain fractions and raw bytes.
     fn cells(&self, mono_s: f64, retained_as_pct: bool) -> Vec<String> {
-        vec![
+        let mib = |b: u64| fmt(b as f64 / (1 << 20) as f64);
+        let mut cells = vec![
             self.label.clone(),
             fmt(self.elapsed_s),
             fmt(mono_s / self.elapsed_s.max(1e-9)),
@@ -55,7 +59,17 @@ impl Row {
             },
             fmt(self.pos_acc_m),
             fmt(self.time_acc_min),
-        ]
+        ];
+        if retained_as_pct {
+            cells.extend([mib(self.peak_arena_bytes), mib(self.peak_rss_bytes)]);
+        } else {
+            cells.extend([
+                self.peak_arena_bytes.to_string(),
+                self.peak_store_bytes.to_string(),
+                self.peak_rss_bytes.to_string(),
+            ]);
+        }
+        cells
     }
 }
 
@@ -81,6 +95,12 @@ fn run_one(
     let outcome = builder.run(ds).expect("anonymization succeeds");
     let elapsed_s = started.elapsed().as_secs_f64();
     let published = outcome.output.dataset().expect("single-release engine");
+    let ledger = outcome
+        .report
+        .detail
+        .as_glove()
+        .expect("glove detail")
+        .ledger;
     Row {
         label: label.to_string(),
         elapsed_s,
@@ -99,6 +119,9 @@ fn run_one(
         users_retained: outcome.report.users_out as f64 / ds.num_users() as f64,
         pos_acc_m: mean_position_accuracy_m(published),
         time_acc_min: mean_time_accuracy_min(published),
+        peak_arena_bytes: ledger.peak_arena_bytes,
+        peak_store_bytes: ledger.peak_store_bytes,
+        peak_rss_bytes: ledger.peak_rss_bytes,
     }
 }
 
@@ -118,6 +141,7 @@ pub fn shard(ctx: &mut EvalContext) -> Report {
         for (by, tag) in [
             (ShardBy::Activity, "activity"),
             (ShardBy::Spatial, "spatial"),
+            (ShardBy::TwoLevel, "two-level"),
         ] {
             rows.push(run_one(
                 &ds,
@@ -146,6 +170,8 @@ pub fn shard(ctx: &mut EvalContext) -> Report {
             "users kept",
             "pos acc [m]",
             "time acc [min]",
+            "arena [MiB]",
+            "rss [MiB]",
         ],
         &table,
     );
@@ -183,6 +209,9 @@ pub fn shard(ctx: &mut EvalContext) -> Report {
             "users_retained",
             "pos_acc_m",
             "time_acc_min",
+            "peak_arena_bytes",
+            "peak_store_bytes",
+            "peak_rss_bytes",
         ],
         &rows
             .iter()

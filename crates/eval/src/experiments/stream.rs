@@ -34,6 +34,8 @@ struct Row {
     events_per_s: f64,
     peak_fps: usize,
     peak_samples: usize,
+    peak_store_bytes: u64,
+    peak_rss_bytes: u64,
 }
 
 impl Row {
@@ -52,6 +54,8 @@ impl Row {
             fmt(self.events_per_s),
             self.peak_fps.to_string(),
             self.peak_samples.to_string(),
+            self.peak_store_bytes.to_string(),
+            self.peak_rss_bytes.to_string(),
         ]
     }
 }
@@ -138,6 +142,8 @@ fn run_one(
         events_per_s: run.stats.events as f64 / elapsed.max(1e-9),
         peak_fps: run.stats.peak_resident_fingerprints,
         peak_samples: run.stats.peak_resident_samples,
+        peak_store_bytes: run.stats.ledger.peak_store_bytes,
+        peak_rss_bytes: run.stats.ledger.peak_rss_bytes,
     };
     (row, run)
 }
@@ -195,6 +201,8 @@ pub fn stream(ctx: &mut EvalContext) -> Report {
             "events/s",
             "peak fps",
             "peak samples",
+            "store [B]",
+            "rss [B]",
         ],
         &table,
     );
@@ -225,6 +233,8 @@ pub fn stream(ctx: &mut EvalContext) -> Report {
             "events_per_s",
             "peak_resident_fingerprints",
             "peak_resident_samples",
+            "peak_store_bytes",
+            "peak_rss_bytes",
         ],
         &rows.iter().map(|r| r.cells(false)).collect::<Vec<_>>(),
     ) {

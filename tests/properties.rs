@@ -72,7 +72,7 @@ proptest! {
 
     #[test]
     fn generalize_with_covers_both(a in arb_sample(), b in arb_sample()) {
-        let m = a.generalize_with(&b);
+        let m = a.generalize_with(&b).expect("country-sized spans fit u32");
         prop_assert!(m.covers(&a));
         prop_assert!(m.covers(&b));
         // And it is the *smallest* such box: its corners touch the inputs.
@@ -126,7 +126,7 @@ proptest! {
     fn reshape_yields_disjoint_windows_preserving_coverage(samples in vec(arb_sample(), 1..=15)) {
         let mut sorted = samples.clone();
         sorted.sort_by_key(|s| (s.t, s.x, s.y));
-        let reshaped = reshape_samples(&sorted);
+        let reshaped = reshape_samples(&sorted).expect("country-sized spans fit u32");
         // Disjoint windows.
         for w in reshaped.windows(2) {
             prop_assert!(!w[0].overlaps_in_time(&w[1]));
