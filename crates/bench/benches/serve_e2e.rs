@@ -1,0 +1,246 @@
+//! `serve_e2e` — the `glove serve` daemon end to end over real TCP on the
+//! `metro_like` scenario, emitting a BENCH JSON point.
+//!
+//! Three phases, each doubling as an invariant check (ISSUE 8):
+//!
+//! 1. **Throughput** — two concurrent tenant clients replay the metro
+//!    event stream through the daemon; per-tenant events/s is the
+//!    fingerprint CI watches, and each tenant's stream stats must be
+//!    identical to a direct `run_stream` library call (the byte-identity
+//!    anchor: socket framing, the bounded queue, and worker scheduling
+//!    change timing, never output).
+//! 2. **Slow consumer** — a tenant with a deliberately stalled epoch sink
+//!    and a tiny queue is fed in `--shed` mode: the queue's high-water
+//!    mark must respect its capacity (bounded memory) and the shed ledger
+//!    in the final `RunReport` must be non-empty while accepted events are
+//!    never lost (`events + shed_events == offered`).
+//! 3. **Graceful shutdown** — a tenant sends its stream but never FLUSHes;
+//!    a second connection issues SHUTDOWN. The daemon summary must carry
+//!    the finalized session with *zero* accepted-event loss.
+//!
+//! Modes mirror the criterion shim: `--bench` measures at full size (600
+//! users), `--test` (CI smoke) shrinks the population. `--users N`
+//! overrides.
+
+use glove_bench::metro_bench_dataset;
+use glove_core::stream::{events_of, run_stream};
+use glove_core::{CarryPolicy, Dataset, StreamConfig, UnderKPolicy};
+use glove_serve::{Client, ServeOptions, Server, ServerHandle};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+const WINDOW_MIN: u32 = 1_440; // daily epochs over the 14-day metro span
+
+fn tenant_config(threads: usize) -> StreamConfig {
+    let mut config = StreamConfig {
+        window_min: WINDOW_MIN,
+        carry: CarryPolicy::Fresh,
+        under_k: UnderKPolicy::Defer,
+        ..StreamConfig::default()
+    };
+    config.glove.threads = threads;
+    config
+}
+
+fn discarding_writer() -> Arc<glove_serve::EpochWriteFn> {
+    Arc::new(|_ds: &Dataset, _path: &Path| Ok(()))
+}
+
+fn stalled_writer(delay_ms: u64) -> Arc<glove_serve::EpochWriteFn> {
+    Arc::new(move |_ds: &Dataset, _path: &Path| {
+        std::thread::sleep(std::time::Duration::from_millis(delay_ms));
+        Ok(())
+    })
+}
+
+fn spawn(opts: ServeOptions) -> ServerHandle {
+    Server::bind("127.0.0.1:0", opts)
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
+    let mut users = if test_mode { 96 } else { 600 };
+    if let Some(pos) = args.iter().position(|a| a == "--users") {
+        users = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--users N");
+    }
+    let out_dir = std::env::temp_dir().join(format!("glove-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&out_dir);
+
+    eprintln!("[serve_e2e] generating metro_like ({users} users)…");
+    let ds = metro_bench_dataset(users);
+    let events = events_of(&ds);
+    let samples = ds.num_samples();
+
+    // ---- Phase 1: two concurrent tenants, throughput + exactness. ----
+    eprintln!("[serve_e2e] phase 1: two concurrent tenants over TCP…");
+    let server = spawn(ServeOptions {
+        out_dir: Some(out_dir.clone()),
+        queue_events: 8192,
+        retry_ms: 1,
+        epoch_writer: Some(discarding_writer()),
+    });
+    let tenants = ["metro-a", "metro-b"];
+    let started = Instant::now();
+    let mut joins = Vec::new();
+    for tenant in tenants {
+        let addr = server.addr();
+        let events = events.clone();
+        joins.push(std::thread::spawn(move || {
+            let t0 = Instant::now();
+            let mut client = Client::connect(addr).expect("connect");
+            client
+                .hello(tenant, tenant_config(1), false)
+                .expect("hello");
+            let outcome = client.send_events(&events, 4096).expect("send");
+            assert_eq!(outcome.accepted, events.len() as u64);
+            let report = client.flush().expect("flush");
+            client.close().expect("close");
+            (report, t0.elapsed().as_secs_f64(), outcome.busy_retries)
+        }));
+    }
+    let results: Vec<_> = joins.into_iter().map(|j| j.join().unwrap()).collect();
+    let wall_s = started.elapsed().as_secs_f64();
+
+    // Exactness anchor: each tenant's run equals the solo library run.
+    let reference = run_stream(ds.name.clone(), events.iter().copied(), tenant_config(1))
+        .expect("library run succeeds");
+    let mut busy_retries_total = 0u64;
+    for (tenant, (report, _, busy)) in tenants.iter().zip(&results) {
+        let stats = report.detail.as_stream().expect("stream stats");
+        assert_eq!(stats.events, reference.stats.events, "tenant {tenant}");
+        assert_eq!(stats.epochs, reference.stats.epochs, "tenant {tenant}");
+        assert_eq!(stats.merges, reference.stats.merges, "tenant {tenant}");
+        assert_eq!(
+            stats.pairs_computed, reference.stats.pairs_computed,
+            "tenant {tenant}"
+        );
+        assert_eq!(stats.shed_events, 0, "tenant {tenant}");
+        busy_retries_total += busy;
+    }
+    let per_tenant_events_per_s = results
+        .iter()
+        .map(|(_, s, _)| events.len() as f64 / s.max(1e-9))
+        .fold(f64::INFINITY, f64::min);
+    let total_events_per_s = (events.len() * tenants.len()) as f64 / wall_s.max(1e-9);
+
+    glove_serve::client::shutdown(server.addr()).expect("shutdown");
+    let summary = server.join();
+    assert_eq!(summary.reports.len(), tenants.len());
+    assert!(summary.failures.is_empty(), "{:?}", summary.failures);
+
+    // ---- Phase 2: slow consumer, bounded queue + shed ledger. ----
+    eprintln!("[serve_e2e] phase 2: slow consumer with a tiny queue (shed mode)…");
+    const SHED_QUEUE: usize = 64;
+    let server = spawn(ServeOptions {
+        out_dir: Some(out_dir.clone()),
+        queue_events: SHED_QUEUE,
+        retry_ms: 1,
+        epoch_writer: Some(stalled_writer(25)),
+    });
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .hello("slow-consumer", tenant_config(1), true)
+        .expect("hello");
+    let outcome = client.send_events(&events, 512).expect("send");
+    assert_eq!(
+        outcome.accepted + outcome.shed,
+        events.len() as u64,
+        "every offered event is accounted for"
+    );
+    let shed_report = client.flush().expect("flush");
+    client.close().expect("close");
+    glove_serve::client::shutdown(server.addr()).expect("shutdown");
+    server.join();
+
+    let shed_stats = shed_report.detail.as_stream().expect("stream stats");
+    assert!(
+        shed_stats.shed_events > 0,
+        "a stalled sink behind a {SHED_QUEUE}-event queue must shed"
+    );
+    assert_eq!(shed_stats.shed_events, outcome.shed);
+    assert_eq!(
+        shed_stats.events + shed_stats.shed_events,
+        events.len() as u64,
+        "accepted events are never shed"
+    );
+
+    // ---- Phase 3: graceful shutdown flushes an open session. ----
+    eprintln!("[serve_e2e] phase 3: graceful shutdown with an open session…");
+    let server = spawn(ServeOptions {
+        out_dir: Some(out_dir.clone()),
+        queue_events: 8192,
+        retry_ms: 1,
+        epoch_writer: Some(discarding_writer()),
+    });
+    let mut client = Client::connect(server.addr()).expect("connect");
+    client
+        .hello("abandoned", tenant_config(1), false)
+        .expect("hello");
+    let sent = client.send_events(&events, 4096).expect("send");
+    assert_eq!(sent.accepted, events.len() as u64);
+    // No FLUSH, no CLOSE: the daemon is shut down out from under the
+    // client, and must finalize the session on its own.
+    glove_serve::client::shutdown(server.addr()).expect("shutdown");
+    let summary = server.join();
+    assert_eq!(summary.reports.len(), 1, "{:?}", summary.failures);
+    let final_stats = summary.reports[0].detail.as_stream().expect("stream stats");
+    assert_eq!(
+        final_stats.events,
+        events.len() as u64,
+        "graceful shutdown lost accepted events"
+    );
+    assert_eq!(final_stats.epochs, reference.stats.epochs);
+
+    let _ = std::fs::remove_dir_all(&out_dir);
+
+    let json = format!(
+        "{{\"name\":\"serve_e2e\",\"scenario\":\"metro_like\",\"users\":{users},\
+         \"samples\":{samples},\"events\":{},\"window_min\":{WINDOW_MIN},\"mode\":\"{}\",\
+         \"tenants\":{},\"wall_s\":{wall_s:.3},\
+         \"per_tenant_events_per_s\":{per_tenant_events_per_s:.0},\
+         \"total_events_per_s\":{total_events_per_s:.0},\
+         \"busy_retries\":{busy_retries_total},\
+         \"shed_queue_events\":{SHED_QUEUE},\"shed_events\":{},\
+         \"shed_accepted\":{},\"shutdown_events\":{},\"epochs\":{}}}",
+        events.len(),
+        if test_mode { "test" } else { "bench" },
+        tenants.len(),
+        shed_stats.shed_events,
+        shed_stats.events,
+        final_stats.events,
+        reference.stats.epochs,
+    );
+    println!("BENCH {json}");
+    // Benches run with the package as working directory; anchor the JSON at
+    // the workspace root so CI can pick up BENCH_*.json uniformly.
+    let dir = std::env::var("BENCH_DIR").unwrap_or_else(|_| {
+        let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+        if std::path::Path::new(&root).is_dir() {
+            root
+        } else {
+            ".".to_string()
+        }
+    });
+    let path = format!("{dir}/BENCH_serve_e2e.json");
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("[serve_e2e] could not write {path}: {e}");
+    }
+    println!(
+        "serve_e2e/metro_{users}: {} tenants x {} events in {wall_s:.2}s \
+         ({per_tenant_events_per_s:.0} events/s per tenant, {busy_retries_total} BUSY retries; \
+         shed phase dropped {} of {} offered; shutdown kept all {} accepted)",
+        tenants.len(),
+        events.len(),
+        shed_stats.shed_events,
+        events.len(),
+        final_stats.events,
+    );
+}

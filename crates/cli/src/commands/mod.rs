@@ -11,11 +11,13 @@
 
 pub mod anonymize;
 pub mod eval;
+pub mod serve;
 pub mod stream;
 pub mod synth;
 
 pub use anonymize::{anonymize_cmd, generalize_cmd, w4m_cmd, AnonymizeOpts};
 pub use eval::{attack_cmd, audit, info, AttackOpts};
+pub use serve::{send_cmd, serve_cmd, shutdown_cmd, SendOpts, ServeOpts};
 pub use stream::{stream_cmd, StreamOpts};
 pub use synth::synth;
 

@@ -1,0 +1,282 @@
+//! `glove serve` — the long-running multi-tenant ingest daemon, and
+//! `glove send` — its file-feeding client.
+//!
+//! The daemon is [`glove_serve::Server`] with the CLI's dataset writer
+//! injected as the epoch persistence hook, so every tenant's
+//! `epoch-NNNN.txt` files under `--out-dir` use exactly the `glove
+//! stream` file format — `glove attack --epochs-dir` and `glove info`
+//! consume them unchanged.
+
+use crate::commands::StreamOpts;
+use crate::{io, net};
+use glove_serve::{ServeOptions, Server};
+use std::error::Error;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Options of `glove serve`.
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Listen address, e.g. `127.0.0.1:7400` (port 0 picks one).
+    pub listen: String,
+    /// Root output directory (`<out-dir>/<tenant>/epoch-NNNN.txt`);
+    /// `None` disables persistence.
+    pub out_dir: Option<PathBuf>,
+    /// Bounded per-tenant queue capacity, events.
+    pub queue: usize,
+    /// Backoff suggested to clients in `BUSY` replies, milliseconds.
+    pub retry_ms: u32,
+    /// File to write the bound address to once listening (for scripts
+    /// using an ephemeral port).
+    pub port_file: Option<PathBuf>,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        Self {
+            listen: "127.0.0.1:0".to_string(),
+            out_dir: None,
+            queue: 4096,
+            retry_ms: 25,
+            port_file: None,
+        }
+    }
+}
+
+/// `glove serve`: binds, announces the address, and blocks until a client
+/// sends `SHUTDOWN`. Returns a lifetime summary.
+pub fn serve_cmd(opts: &ServeOpts) -> Result<String, Box<dyn Error>> {
+    let server = Server::bind(
+        opts.listen.as_str(),
+        ServeOptions {
+            out_dir: opts.out_dir.clone(),
+            queue_events: opts.queue.max(1),
+            retry_ms: opts.retry_ms.max(1),
+            epoch_writer: Some(Arc::new(|ds: &glove_core::Dataset, path: &Path| {
+                io::write_file(ds, path)
+            })),
+        },
+    )?;
+    let addr = server.local_addr();
+    // Announce on stderr (stdout carries the final summary) and via the
+    // port file, which scripts poll to learn an ephemeral port.
+    eprintln!("glove serve: listening on {addr}");
+    if let Some(port_file) = &opts.port_file {
+        let mut f = std::fs::File::create(port_file)?;
+        writeln!(f, "{addr}")?;
+        f.sync_all()?;
+    }
+
+    let summary = server.run();
+    let mut msg = format!(
+        "served {} tenant session(s), {} failure(s)",
+        summary.reports.len(),
+        summary.failures.len(),
+    );
+    for report in &summary.reports {
+        if let Some(stats) = report.detail.as_stream() {
+            msg.push_str(&format!(
+                "\n  {}: {} events in {} epochs, {} shed, {} merges",
+                report.dataset, stats.events, stats.epochs, stats.shed_events, stats.merges,
+            ));
+        }
+    }
+    for (tenant, cause) in &summary.failures {
+        msg.push_str(&format!("\n  {tenant}: FAILED — {cause}"));
+    }
+    Ok(msg)
+}
+
+/// Options of `glove send`.
+#[derive(Debug, Clone)]
+pub struct SendOpts {
+    /// Daemon address, e.g. `127.0.0.1:7400`.
+    pub addr: String,
+    /// Tenant name (`[A-Za-z0-9_-]+`, unique per daemon lifetime).
+    pub tenant: String,
+    /// Per-tenant engine configuration, inlined in `HELLO`.
+    pub stream: StreamOpts,
+    /// Events per `EVENTS` frame.
+    pub batch: usize,
+    /// Load-shedding mode: on a full queue the daemon drops the overflow
+    /// (booked in the shed ledger) instead of replying `BUSY`.
+    pub shed: bool,
+}
+
+/// `glove send`: streams an event or dataset file into a running daemon
+/// and prints the tenant's final report.
+pub fn send_cmd(input: &Path, opts: &SendOpts) -> Result<String, Box<dyn Error>> {
+    let summary = net::send_file(
+        opts.addr.as_str(),
+        &opts.tenant,
+        input,
+        opts.stream.to_stream_config(),
+        opts.shed,
+        opts.batch,
+    )?;
+    let stats = summary
+        .report
+        .detail
+        .as_stream()
+        .ok_or("daemon returned a non-stream report")?;
+    let mut msg = format!(
+        "tenant {}: {} events accepted, {} shed, {} epochs, {} merges \
+         ({} BUSY retries, {} epoch notices)",
+        opts.tenant,
+        summary.accepted,
+        summary.shed,
+        stats.epochs,
+        stats.merges,
+        summary.busy_retries,
+        summary.epochs.len(),
+    );
+    if stats.suppressed_users > 0 || stats.deferred_users > 0 {
+        msg.push_str(&format!(
+            "\nunder-k ledger: {} user-slices suppressed ({} samples), {} deferred ({} samples)",
+            stats.suppressed_users,
+            stats.suppressed_samples,
+            stats.deferred_users,
+            stats.deferred_samples,
+        ));
+    }
+    Ok(msg)
+}
+
+/// `glove send --shutdown`: asks the daemon to shut down gracefully.
+pub fn shutdown_cmd(addr: &str) -> Result<String, Box<dyn Error>> {
+    net::shutdown(addr)?;
+    Ok(format!("daemon at {addr} is shutting down"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_util::temp_dir;
+    use super::super::{attack_cmd, synth, AttackOpts};
+    use super::*;
+    use crate::commands::write_temp;
+
+    fn spawn_daemon(out_dir: &Path) -> (std::net::SocketAddr, std::thread::JoinHandle<String>) {
+        let opts = ServeOpts {
+            listen: "127.0.0.1:0".to_string(),
+            out_dir: Some(out_dir.to_path_buf()),
+            queue: 512,
+            retry_ms: 1,
+            port_file: None,
+        };
+        // serve_cmd blocks; bind here to learn the port, then run inline.
+        let server = Server::bind(
+            opts.listen.as_str(),
+            ServeOptions {
+                out_dir: opts.out_dir.clone(),
+                queue_events: opts.queue,
+                retry_ms: opts.retry_ms,
+                epoch_writer: Some(Arc::new(|ds: &glove_core::Dataset, path: &Path| {
+                    io::write_file(ds, path)
+                })),
+            },
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let join = std::thread::spawn(move || {
+            let summary = server.run();
+            format!("{} sessions", summary.reports.len())
+        });
+        (addr, join)
+    }
+
+    #[test]
+    fn served_epochs_feed_the_cross_epoch_attack() {
+        // The interop round trip pinned by ISSUE 8: serve → epochs-dir →
+        // `glove attack --epochs-dir`, exercising the directory layout and
+        // the epoch file format end to end.
+        let out_dir = temp_dir("serve-attack-epochs");
+        let _ = std::fs::remove_dir_all(&out_dir);
+        let (addr, join) = spawn_daemon(&out_dir);
+
+        let ds = crate::commands::preset_config("civ", 14, Some(23))
+            .map(|cfg| glove_synth::generate(&cfg).dataset)
+            .unwrap();
+        let original = write_temp(&ds, "serve-attack-orig");
+
+        let send = SendOpts {
+            addr: addr.to_string(),
+            tenant: "epochs".to_string(),
+            stream: StreamOpts {
+                k: 2,
+                window_min: 2_880,
+                threads: 1,
+                ..StreamOpts::default()
+            },
+            batch: 64,
+            shed: false,
+        };
+        let msg = send_cmd(&original, &send).unwrap();
+        assert!(msg.contains("events accepted"), "message: {msg}");
+
+        // The daemon's per-tenant directory is a valid --epochs-dir input.
+        let epochs_dir = out_dir.join("epochs");
+        let attack_opts = AttackOpts {
+            trials: 16,
+            threads: 1,
+            ..AttackOpts::default()
+        };
+        let report = attack_cmd(&original, None, Some(&epochs_dir), None, &attack_opts).unwrap();
+        assert!(
+            report.contains("cross-epoch"),
+            "cross-epoch adversary must run on served epochs: {report}"
+        );
+
+        shutdown_cmd(&addr.to_string()).unwrap();
+        join.join().unwrap();
+        let _ = std::fs::remove_file(&original);
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn serve_and_send_round_trip_through_the_command_api() {
+        let out_dir = temp_dir("serve-cmd-epochs");
+        let _ = std::fs::remove_dir_all(&out_dir);
+        let (addr, join) = spawn_daemon(&out_dir);
+
+        let events =
+            std::env::temp_dir().join(format!("glove-serve-cmd-events-{}.txt", std::process::id()));
+        synth("civ", 10, Some(31), None, Some(&events)).unwrap();
+
+        let send = SendOpts {
+            addr: addr.to_string(),
+            tenant: "cmd_round_trip".to_string(),
+            stream: StreamOpts {
+                k: 2,
+                window_min: 4_320,
+                threads: 1,
+                ..StreamOpts::default()
+            },
+            batch: 32,
+            shed: false,
+        };
+        let msg = send_cmd(&events, &send).unwrap();
+        assert!(msg.contains("tenant cmd_round_trip"), "message: {msg}");
+
+        // Epoch files parse with the CLI reader and honor k.
+        let dir = out_dir.join("cmd_round_trip");
+        let mut n = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let name = path.file_name().unwrap().to_string_lossy().to_string();
+            if name.starts_with("epoch-") && name.ends_with(".txt") {
+                let epoch = io::read_file(&path).unwrap();
+                assert!(epoch.is_k_anonymous(2), "{name} not 2-anonymous");
+                n += 1;
+            }
+        }
+        assert!(n > 0, "no epoch files written");
+        // The flushed-per-record report survives next to the epochs.
+        assert!(dir.join("report.jsonl").is_file());
+
+        shutdown_cmd(&addr.to_string()).unwrap();
+        join.join().unwrap();
+        let _ = std::fs::remove_file(&events);
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+}

@@ -56,6 +56,32 @@ impl Default for StreamOpts {
     }
 }
 
+impl StreamOpts {
+    /// The engine configuration these options describe (shared by
+    /// `glove stream` and `glove send`, which inlines it in `HELLO`).
+    pub fn to_stream_config(&self) -> StreamConfig {
+        let glove = GloveConfig {
+            k: self.k,
+            suppression: SuppressionThresholds {
+                max_space_m: self.suppress_space_m,
+                max_time_min: self.suppress_time_min,
+            },
+            threads: self.threads,
+            shard: self.shards.map(|shards| ShardPolicy {
+                shards,
+                by: self.shard_by,
+            }),
+            ..GloveConfig::default()
+        };
+        StreamConfig {
+            window_min: self.window_min,
+            carry: self.carry,
+            under_k: self.under_k,
+            glove,
+        }
+    }
+}
+
 /// Writes each emitted epoch to `out_dir/epoch-NNNN.txt` as it closes.
 /// Observer callbacks are infallible, so the first I/O error is buffered
 /// in the shared cell; the event feed watches that cell and aborts the run
@@ -93,27 +119,10 @@ pub fn stream_cmd(
     out_dir: &Path,
     opts: &StreamOpts,
 ) -> Result<String, Box<dyn Error>> {
-    let glove = GloveConfig {
-        k: opts.k,
-        suppression: SuppressionThresholds {
-            max_space_m: opts.suppress_space_m,
-            max_time_min: opts.suppress_time_min,
-        },
-        threads: opts.threads,
-        shard: opts.shards.map(|shards| ShardPolicy {
-            shards,
-            by: opts.shard_by,
-        }),
-        ..GloveConfig::default()
-    };
-    let stream = StreamConfig {
-        window_min: opts.window_min,
-        carry: opts.carry,
-        under_k: opts.under_k,
-        glove, // authoritative copy travels through the builder below
-    };
-    // Open (or load) the input before touching the output directory, so a
-    // typo'd path or unparseable file cannot destroy a previous run.
+    let stream = opts.to_stream_config();
+    let glove = stream.glove; // authoritative copy travels through the builder below
+                              // Open (or load) the input before touching the output directory, so a
+                              // typo'd path or unparseable file cannot destroy a previous run.
     enum Source {
         Events(io::EventReader<std::io::BufReader<std::fs::File>>),
         Dataset(glove_core::Dataset),

@@ -21,3 +21,4 @@
 
 pub mod commands;
 pub mod io;
+pub mod net;

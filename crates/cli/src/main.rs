@@ -29,6 +29,15 @@ USAGE:
                    [--points N] [--trials N] [--seed S]
                    [--noise-space METERS] [--noise-time MINUTES]
                    [--top L] [--threads N] [--report FILE]
+  glove serve      --listen ADDR [--out-dir DIR] [--queue EVENTS]
+                   [--retry-ms MS] [--port-file FILE]
+  glove send       --addr ADDR --tenant NAME --in FILE [--batch N]
+                   [--shed true]
+                   [--k K] [--window MINUTES] [--carry fresh|sticky]
+                   [--under-k suppress|defer] [--suppress-space METERS]
+                   [--suppress-time MINUTES] [--threads N]
+                   [--shards N] [--shard-by activity|spatial|two-level]
+  glove send       --addr ADDR --shutdown true
 
 Datasets and event streams are line-oriented text files (see `glove-cli`
 docs). `glove stream` accepts either: event files replay with bounded
@@ -41,6 +50,15 @@ attack (p known points with optional observation noise) and the top-L
 location classifier against a published dataset, plus the cross-epoch
 linkage adversary when --epochs-dir points at a `glove stream` output
 directory. --report writes one RunReport JSON line per attack.
+
+`glove serve` runs the multi-tenant ingest daemon: each tenant opened by a
+`glove send` client is an isolated windowed engine with its own epoch
+clock and `--out-dir/<tenant>/` epoch directory (same file format as
+`glove stream`). Per-tenant queues are bounded: a full queue answers BUSY
+(client retries) or, with `--shed`, drops the overflow into the shed
+ledger reported in the tenant's final stats. The daemon runs until a
+client sends `glove send --addr ADDR --shutdown true`; open sessions are
+flushed, losing no accepted events.
 ";
 
 fn fail(msg: &str) -> ExitCode {
@@ -282,6 +300,88 @@ fn run() -> Result<String, String> {
                 &opts,
             )
             .map_err(err)
+        }
+        "serve" => {
+            let opts = commands::ServeOpts {
+                listen: required(&flags, "listen")?.to_string(),
+                out_dir: flags.get("out-dir").map(PathBuf::from),
+                queue: flags
+                    .get("queue")
+                    .map(|s| parse_num::<usize>(s, "queue"))
+                    .transpose()?
+                    .unwrap_or(4096),
+                retry_ms: flags
+                    .get("retry-ms")
+                    .map(|s| parse_num::<u32>(s, "retry-ms"))
+                    .transpose()?
+                    .unwrap_or(25),
+                port_file: flags.get("port-file").map(PathBuf::from),
+            };
+            if opts.queue == 0 {
+                return Err("--queue must be at least 1".into());
+            }
+            commands::serve_cmd(&opts).map_err(err)
+        }
+        "send" => {
+            let addr = required(&flags, "addr")?.to_string();
+            if flags.contains_key("shutdown") {
+                return commands::shutdown_cmd(&addr).map_err(err);
+            }
+            let input = PathBuf::from(required(&flags, "in")?);
+            let k: usize = flags
+                .get("k")
+                .map(|s| parse_num::<usize>(s, "k"))
+                .transpose()?
+                .unwrap_or(2);
+            let window_min = flags
+                .get("window")
+                .map(|s| parse_num::<u32>(s, "window"))
+                .transpose()?
+                .unwrap_or(1_440);
+            let carry = flags
+                .get("carry")
+                .map(|s| s.parse::<CarryPolicy>())
+                .transpose()
+                .map_err(|e| format!("--carry: {e}"))?
+                .unwrap_or_default();
+            let under_k = flags
+                .get("under-k")
+                .map(|s| s.parse::<UnderKPolicy>())
+                .transpose()
+                .map_err(|e| format!("--under-k: {e}"))?
+                .unwrap_or_default();
+            let (suppress_space_m, suppress_time_min) = parse_suppression(&flags)?;
+            let threads = parse_threads(&flags)?;
+            let (shards, shard_by) = parse_sharding(&flags)?;
+            let opts = commands::SendOpts {
+                addr,
+                tenant: required(&flags, "tenant")?.to_string(),
+                stream: StreamOpts {
+                    k,
+                    window_min,
+                    carry,
+                    under_k,
+                    suppress_space_m,
+                    suppress_time_min,
+                    threads,
+                    shards,
+                    shard_by,
+                },
+                batch: flags
+                    .get("batch")
+                    .map(|s| parse_num::<usize>(s, "batch"))
+                    .transpose()?
+                    .unwrap_or(512),
+                shed: match flags.get("shed").map(String::as_str) {
+                    None | Some("false") => false,
+                    Some("true") => true,
+                    Some(other) => return Err(format!("--shed must be true|false, got '{other}'")),
+                },
+            };
+            if opts.batch == 0 {
+                return Err("--batch must be at least 1".into());
+            }
+            commands::send_cmd(&input, &opts).map_err(err)
         }
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown command '{other}'")),

@@ -1,0 +1,97 @@
+//! File-oriented client library over the [`glove_serve`] wire client.
+//!
+//! The `glove send` verb is a thin shell around this module, and external
+//! tooling can use it directly: feed an event or dataset file to a running
+//! `glove serve` daemon under a tenant name, honoring backpressure, with
+//! bounded memory (event files are streamed batch by batch, never fully
+//! loaded).
+
+use crate::io;
+use glove_core::api::RunReport;
+use glove_core::config::StreamConfig;
+use glove_core::stream::{events_of, StreamEvent};
+use glove_serve::client::EpochNote;
+use glove_serve::Client;
+use std::error::Error;
+use std::net::ToSocketAddrs;
+use std::path::Path;
+
+/// What one [`send_file`] call achieved, end to end.
+#[derive(Debug)]
+pub struct SendSummary {
+    /// Events accepted into the tenant's queue.
+    pub accepted: u64,
+    /// Events shed by the daemon (only in `--shed` mode).
+    pub shed: u64,
+    /// `BUSY` round-trips absorbed while sending.
+    pub busy_retries: u64,
+    /// `EPOCH` pushes observed, in arrival order.
+    pub epochs: Vec<EpochNote>,
+    /// The tenant's final report, as returned by `FLUSH`.
+    pub report: RunReport,
+}
+
+/// Streams `input` (an event file or a dataset file) to the daemon at
+/// `addr` as tenant `tenant`, then flushes and returns the final report.
+///
+/// Event files are read incrementally: at most `batch` events are resident
+/// on the client at any moment, so arbitrarily long recordings can be
+/// replayed into a daemon from a small machine.
+pub fn send_file(
+    addr: impl ToSocketAddrs,
+    tenant: &str,
+    input: &Path,
+    config: StreamConfig,
+    shed: bool,
+    batch: usize,
+) -> Result<SendSummary, Box<dyn Error>> {
+    let batch = batch.max(1);
+    let mut client = Client::connect(addr)?;
+    client.hello(tenant, config, shed)?;
+
+    let mut accepted = 0u64;
+    let mut shed_total = 0u64;
+    let mut send = |client: &mut Client, buf: &[StreamEvent]| -> Result<(), Box<dyn Error>> {
+        let outcome = client.send_events(buf, batch)?;
+        accepted += outcome.accepted;
+        shed_total += outcome.shed;
+        Ok(())
+    };
+
+    if io::is_events_file(input)? {
+        let reader = io::EventReader::open(input)?;
+        let mut buf: Vec<StreamEvent> = Vec::with_capacity(batch);
+        for event in reader {
+            buf.push(event?);
+            if buf.len() == batch {
+                send(&mut client, &buf)?;
+                buf.clear();
+            }
+        }
+        if !buf.is_empty() {
+            send(&mut client, &buf)?;
+        }
+    } else {
+        let dataset = io::read_file(input)?;
+        send(&mut client, &events_of(&dataset))?;
+    }
+
+    let report = client.flush()?;
+    let busy_retries = client.busy_retries();
+    let epochs = client.epochs().to_vec();
+    client.close()?;
+    Ok(SendSummary {
+        accepted,
+        shed: shed_total,
+        busy_retries,
+        epochs,
+        report,
+    })
+}
+
+/// Asks the daemon at `addr` to shut down gracefully (open sessions are
+/// finalized and their partial windows flushed).
+pub fn shutdown(addr: impl ToSocketAddrs) -> Result<(), Box<dyn Error>> {
+    glove_serve::client::shutdown(addr)?;
+    Ok(())
+}

@@ -42,7 +42,7 @@ pub mod json;
 pub mod observer;
 pub mod report;
 
-pub use observer::{LogObserver, MetricsSink, NullObserver, Observer};
+pub use observer::{JsonlReportWriter, LogObserver, MetricsSink, NullObserver, Observer};
 pub use report::{PhaseMetric, RunDetail, RunReport};
 
 use crate::config::{GloveConfig, ShardPolicy, StreamConfig};

@@ -499,6 +499,7 @@ pub fn stream_stats_to_value(stats: &StreamStats) -> JsonValue {
         ("deferred_users", uint(stats.deferred_users)),
         ("deferred_samples", uint(stats.deferred_samples)),
         ("seed_suppressed", ledger_to_value(&stats.seed_suppressed)),
+        ("shed_events", uint(stats.shed_events)),
         (
             "per_epoch",
             JsonValue::Arr(stats.per_epoch.iter().map(epoch_stat_to_value).collect()),
@@ -527,6 +528,11 @@ pub fn stream_stats_from_value(v: &JsonValue) -> Result<StreamStats, String> {
         deferred_users: u64_field(v, "deferred_users")?,
         deferred_samples: u64_field(v, "deferred_samples")?,
         seed_suppressed: ledger_from_value(v.get("seed_suppressed").ok_or("missing ledger")?)?,
+        // Absent in reports serialized before the shed ledger existed.
+        shed_events: match v.get("shed_events") {
+            Some(_) => u64_field(v, "shed_events")?,
+            None => 0,
+        },
         per_epoch: v
             .get("per_epoch")
             .and_then(JsonValue::as_arr)
@@ -649,6 +655,7 @@ mod tests {
             deferred_users: 1,
             deferred_samples: 3,
             seed_suppressed: SuppressionLedger::default(),
+            shed_events: 6,
             ledger: MemoryLedger {
                 peak_arena_bytes: 512 << 10,
                 peak_store_bytes: 24 * 321,

@@ -92,8 +92,8 @@ pub mod suppress;
 /// the crate.
 pub mod prelude {
     pub use crate::api::{
-        Anonymizer, LogObserver, MetricsSink, NullObserver, Observer, RunBuilder, RunDetail,
-        RunMode, RunOutcome, RunOutput, RunReport,
+        Anonymizer, JsonlReportWriter, LogObserver, MetricsSink, NullObserver, Observer,
+        RunBuilder, RunDetail, RunMode, RunOutcome, RunOutput, RunReport,
     };
     pub use crate::config::{
         CarryPolicy, GloveConfig, ResidualPolicy, ShardBy, ShardPolicy, StreamConfig,

@@ -135,6 +135,12 @@ pub struct StreamStats {
     /// (per-epoch anonymization suppression is inside each epoch's
     /// [`GloveOutput`]).
     pub seed_suppressed: SuppressionLedger,
+    /// Events dropped by a load-shedding ingress *before* reaching the
+    /// engine (the `glove serve` daemon's bounded-queue ledger). The engine
+    /// itself never sheds: [`StreamEngine::push`] books this as 0, and an
+    /// ingest front-end that drops events under pressure accounts for them
+    /// here so `events + shed_events` is the offered load.
+    pub shed_events: u64,
     /// Per-epoch breakdown, in emission order.
     pub per_epoch: Vec<EpochStat>,
     /// Peak memory accounting across all epochs (element-wise maxima —

@@ -1,0 +1,189 @@
+//! Property tests for the serve wire protocol.
+//!
+//! Three families:
+//! 1. every frame round-trips `encode_frame → decode_frame` exactly;
+//! 2. every truncation/corruption of a valid encoding is rejected with a
+//!    byte-offset error, never a panic;
+//! 3. arbitrary byte soup never panics the decoder.
+
+use glove_core::config::{CarryPolicy, StreamConfig, UnderKPolicy};
+use glove_core::stream::StreamEvent;
+use glove_core::Sample;
+use glove_serve::protocol::{
+    decode_frame, encode_frame, ErrorCode, Frame, MAX_FRAME_LEN, PAYLOAD_OFFSET,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn sample_strategy() -> impl Strategy<Value = Sample> {
+    (
+        -1_000_000i64..1_000_000,
+        -1_000_000i64..1_000_000,
+        1u32..5000,
+        1u32..5000,
+        0u32..100_000,
+        1u32..10_000,
+    )
+        .prop_map(|(x, y, dx, dy, t, dt)| Sample::new(x, y, dx, dy, t, dt).unwrap())
+}
+
+fn event_strategy() -> impl Strategy<Value = StreamEvent> {
+    (0u32..5_000, sample_strategy()).prop_map(|(user, sample)| StreamEvent { user, sample })
+}
+
+fn config_strategy() -> impl Strategy<Value = StreamConfig> {
+    (2usize..9, 15u32..1440, 0u8..2, 0u8..2).prop_map(|(k, window, carry, under_k)| {
+        let mut c = StreamConfig::default();
+        c.glove.k = k;
+        c.window_min = window;
+        c.carry = if carry == 0 {
+            CarryPolicy::Fresh
+        } else {
+            CarryPolicy::Sticky
+        };
+        c.under_k = if under_k == 0 {
+            UnderKPolicy::Suppress
+        } else {
+            UnderKPolicy::Defer
+        };
+        c
+    })
+}
+
+fn tenant_strategy() -> impl Strategy<Value = String> {
+    "[A-Za-z0-9_-]{1,24}"
+}
+
+const ERROR_CODES: [ErrorCode; 5] = [
+    ErrorCode::Protocol,
+    ErrorCode::TenantExists,
+    ErrorCode::NoTenant,
+    ErrorCode::Engine,
+    ErrorCode::Shutdown,
+];
+
+/// Draws one frame covering every protocol variant.
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (
+        0u8..13,
+        tenant_strategy(),
+        config_strategy(),
+        vec(event_strategy(), 0..40),
+        (0u32..10_000, 0u32..10_000),
+        (0u64..1_000_000, 0u64..1_000_000, 0u64..100_000),
+        "[ -~]{0,60}",
+    )
+        .prop_map(
+            |(variant, tenant, config, events, (a, b), (e1, e2, e3), text)| match variant {
+                0 => Frame::Hello {
+                    tenant,
+                    shed: a % 2 == 0,
+                    config,
+                },
+                1 => Frame::HelloOk { tenant, queue: a },
+                2 => Frame::Events(events),
+                3 => Frame::EventsOk {
+                    accepted: a,
+                    shed: b,
+                },
+                4 => Frame::Busy {
+                    accepted: a,
+                    retry_ms: b,
+                },
+                5 => Frame::Flush,
+                6 => Frame::Close,
+                7 => Frame::Bye,
+                8 => Frame::Epoch {
+                    tenant,
+                    epoch: e1,
+                    window_start_min: e2,
+                    groups: e3,
+                    users: u64::from(a),
+                },
+                9 => Frame::Report {
+                    tenant,
+                    report: Box::new(glove_core::api::RunReport {
+                        engine: "glove-serve".to_string(),
+                        dataset: text.clone(),
+                        k: (a % 10) as usize,
+                        samples_in: b as usize,
+                        ..Default::default()
+                    }),
+                },
+                10 => Frame::Stats,
+                11 => Frame::Shutdown,
+                _ => Frame::Error {
+                    code: ERROR_CODES[(a as usize) % ERROR_CODES.len()],
+                    message: text,
+                },
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(300))]
+
+    #[test]
+    fn every_frame_round_trips(frame in frame_strategy()) {
+        let bytes = encode_frame(&frame);
+        let (decoded, consumed) = decode_frame(&bytes).unwrap();
+        prop_assert_eq!(consumed, bytes.len());
+        prop_assert_eq!(decoded, frame);
+    }
+
+    #[test]
+    fn truncations_are_rejected_with_offsets(frame in frame_strategy(), frac in 0.0f64..1.0) {
+        let bytes = encode_frame(&frame);
+        // Every strict prefix is either "need more bytes" (reported at the
+        // cut) or, below the 4-byte header, reported at the prefix length.
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        if cut < bytes.len() {
+            let err = decode_frame(&bytes[..cut]).unwrap_err();
+            prop_assert!(err.offset <= cut, "offset {} past cut {cut}", err.offset);
+        }
+    }
+
+    #[test]
+    fn corrupted_tags_are_rejected(frame in frame_strategy(), tag in 14u8..255) {
+        let mut bytes = encode_frame(&frame);
+        bytes[4] = tag;
+        let err = decode_frame(&bytes).unwrap_err();
+        prop_assert_eq!(err.offset, 4);
+        prop_assert!(err.message.contains("tag"), "{}", err.message);
+    }
+
+    #[test]
+    fn byte_soup_never_panics(bytes in vec(0u8..=255, 0..512)) {
+        // Any outcome is fine except a panic; errors must carry an
+        // in-range offset.
+        if let Err(e) = decode_frame(&bytes) {
+            prop_assert!(e.offset <= bytes.len().max(PAYLOAD_OFFSET));
+        }
+    }
+
+    #[test]
+    fn json_payload_corruption_is_rejected_at_payload_offset(
+        frame in frame_strategy(),
+        junk in 0u8..=255,
+    ) {
+        // Overwrite the first payload byte of a JSON-framed message with a
+        // byte that cannot start a JSON object.
+        let json_framed = !matches!(frame, Frame::Events(_) | Frame::Flush | Frame::Close
+            | Frame::Bye | Frame::Stats | Frame::Shutdown);
+        if json_framed && junk != b'{' {
+            let mut bytes = encode_frame(&frame);
+            bytes[PAYLOAD_OFFSET] = junk;
+            prop_assert!(decode_frame(&bytes).is_err());
+        }
+    }
+}
+
+#[test]
+fn oversized_length_is_rejected_up_front() {
+    let mut bytes = encode_frame(&Frame::Flush);
+    let huge = (MAX_FRAME_LEN as u32) + 1;
+    bytes[..4].copy_from_slice(&huge.to_le_bytes());
+    let err = decode_frame(&bytes).unwrap_err();
+    assert_eq!(err.offset, 0);
+    assert!(err.message.contains("frame"), "{}", err.message);
+}

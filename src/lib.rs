@@ -70,8 +70,8 @@ pub mod prelude {
         W4mConfig,
     };
     pub use glove_core::api::{
-        Anonymizer, LogObserver, MetricsSink, NullObserver, Observer, RunBuilder, RunDetail,
-        RunMode, RunOutcome, RunOutput, RunReport,
+        Anonymizer, JsonlReportWriter, LogObserver, MetricsSink, NullObserver, Observer,
+        RunBuilder, RunDetail, RunMode, RunOutcome, RunOutput, RunReport,
     };
     pub use glove_core::glove::{anonymize, GloveOutput, GloveStats};
     pub use glove_core::kgap::{kgap, kgap_all, kgap_decomposed_all};

@@ -34,6 +34,7 @@ const SOURCE_ROOTS: &[&str] = &[
     "crates/baselines/src",
     "crates/attack/src",
     "crates/eval/src",
+    "crates/serve/src",
     "crates/cli/src",
     "crates/bench/src",
 ];
