@@ -110,6 +110,21 @@ pub fn profile_similarity(a: &Profile, b: &Profile) -> f64 {
     dot
 }
 
+/// One scored link-period record: what the classifier decided for it,
+/// plus the ground-truth subscribers (kept so the run can be re-scored per
+/// cohort afterwards).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TargetLink {
+    /// Subscribers hidden in the target record.
+    pub users: Vec<UserId>,
+    /// Whether the tied top-similarity profile set shares a subscriber
+    /// with the target.
+    pub linked: bool,
+    /// Subscribers in the tied top-similarity profile set (the training
+    /// population when the classifier learned nothing).
+    pub candidate_users: usize,
+}
+
 /// Result of one classifier linkage run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkageOutcome {
@@ -125,6 +140,8 @@ pub struct LinkageOutcome {
     pub linked: usize,
     /// Mean subscriber count of the tied top-similarity profile set.
     pub mean_candidate_users: f64,
+    /// Per-target detail, in link-period record order.
+    pub per_target: Vec<TargetLink>,
 }
 
 impl LinkageOutcome {
@@ -135,6 +152,21 @@ impl LinkageOutcome {
         } else {
             self.linked as f64 / self.targets as f64
         }
+    }
+
+    /// Re-scores the run on the targets holding at least one `cohort`
+    /// subscriber: `(targets in cohort, linked rate among them)`.
+    pub fn linkage_rate_within(&self, cohort: &std::collections::HashSet<UserId>) -> (usize, f64) {
+        let in_cohort: Vec<&TargetLink> = self
+            .per_target
+            .iter()
+            .filter(|t| t.users.iter().any(|u| cohort.contains(u)))
+            .collect();
+        if in_cohort.is_empty() {
+            return (0, 0.0);
+        }
+        let linked = in_cohort.iter().filter(|t| t.linked).count();
+        (in_cohort.len(), linked as f64 / in_cohort.len() as f64)
     }
 }
 
@@ -206,11 +238,12 @@ pub fn classifier_attack(
             targets: 0,
             linked: 0,
             mean_candidate_users: 0.0,
+            per_target: Vec::new(),
         };
     }
-    // (linked?, users in the tied top set) per target, in parallel. Each
-    // similarity is computed once and cached for the tie scan.
-    let scored: Vec<(bool, usize)> = par_map(link.len(), cfg.threads, |i| {
+    // One scored [`TargetLink`] per target, in parallel. Each similarity
+    // is computed once and cached for the tie scan.
+    let scored: Vec<TargetLink> = par_map(link.len(), cfg.threads, |i| {
         let target = &link[i];
         let sims: Vec<f64> = train
             .iter()
@@ -221,7 +254,11 @@ pub fn classifier_attack(
             // No training profile shares a single cell with the target:
             // the classifier learned nothing. Not a link; the candidate
             // set degrades to the whole training population.
-            return (false, training_users);
+            return TargetLink {
+                users: target.users.clone(),
+                linked: false,
+                candidate_users: training_users,
+            };
         }
         let mut tied_users = 0usize;
         let mut linked = false;
@@ -233,17 +270,22 @@ pub fn classifier_attack(
                 }
             }
         }
-        (linked, tied_users)
+        TargetLink {
+            users: target.users.clone(),
+            linked,
+            candidate_users: tied_users,
+        }
     });
-    let linked = scored.iter().filter(|(hit, _)| *hit).count();
+    let linked = scored.iter().filter(|t| t.linked).count();
     let mean_candidate_users =
-        scored.iter().map(|(_, users)| users).sum::<usize>() as f64 / scored.len() as f64;
+        scored.iter().map(|t| t.candidate_users).sum::<usize>() as f64 / scored.len() as f64;
     LinkageOutcome {
         training_profiles: train.len(),
         training_users,
         targets: link.len(),
         linked,
         mean_candidate_users,
+        per_target: scored,
     }
 }
 
@@ -275,6 +317,7 @@ impl Attack for TopLocationClassifier {
                 ("training_users".to_string(), outcome.training_users as f64),
                 ("linked".to_string(), outcome.linked as f64),
             ],
+            cohorts: Vec::new(),
         })
     }
 }
@@ -387,6 +430,30 @@ mod tests {
         );
         assert_eq!(outcome.targets, 6);
         assert_eq!(outcome.linkage_rate(), 1.0);
+    }
+
+    #[test]
+    fn cohort_rescoring_matches_the_overall_rate_on_a_full_cohort() {
+        let ds = habitual_dataset();
+        let cfg = TopLocationClassifier {
+            split_min: Some(600),
+            ..TopLocationClassifier::default()
+        };
+        let outcome = classifier_attack(&PublishedView::Dataset(&ds), &cfg);
+        assert_eq!(outcome.per_target.len(), outcome.targets);
+        let all: std::collections::HashSet<u32> = (0..6u32).collect();
+        assert_eq!(
+            outcome.linkage_rate_within(&all),
+            (outcome.targets, outcome.linkage_rate())
+        );
+        let two: std::collections::HashSet<u32> = [1u32, 4].into_iter().collect();
+        let (n, rate) = outcome.linkage_rate_within(&two);
+        assert_eq!(n, 2);
+        assert_eq!(rate, 1.0, "habitual subscribers always link");
+        assert_eq!(
+            outcome.linkage_rate_within(&std::collections::HashSet::new()),
+            (0, 0.0)
+        );
     }
 
     #[test]

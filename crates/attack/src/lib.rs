@@ -47,15 +47,17 @@ pub mod linkage;
 pub mod multi;
 pub mod report;
 
-pub use classifier::{classifier_attack, LinkageOutcome, Profile, TopLocationClassifier};
+pub use classifier::{
+    classifier_attack, LinkageOutcome, Profile, TargetLink, TopLocationClassifier,
+};
 pub use linkage::{
-    cross_epoch_attack, AttackObserver, CrossEpochAttack, CrossEpochOutcome, CrossEpochTracker,
-    EpochLinkStat,
+    cross_epoch_attack, cross_epoch_attack_cohort, AttackObserver, CrossEpochAttack,
+    CrossEpochOutcome, CrossEpochTracker, EpochLinkStat,
 };
 pub use multi::{
     multi_point_attack, AdversaryNoise, MultiPointAttack, MultiPointOutcome, TrialOutcome,
 };
-pub use report::{Attack, AttackReport, PublishedView};
+pub use report::{Attack, AttackReport, CohortBreakdown, PublishedView};
 
 use glove_core::model::{NATIVE_PITCH_M, NATIVE_QUANTUM_MIN};
 use glove_core::{Dataset, Fingerprint, Sample};

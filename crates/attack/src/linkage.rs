@@ -31,6 +31,7 @@ use glove_core::api::Observer;
 use glove_core::parallel::par_map;
 use glove_core::stream::EpochOutput;
 use glove_core::{Dataset, GloveError, UserId};
+use std::collections::HashSet;
 
 /// Configuration of the cross-epoch linkage adversary.
 #[derive(Debug, Clone, Copy)]
@@ -65,6 +66,11 @@ pub struct EpochLinkStat {
     /// Groups whose exact member set already published in the previous
     /// epoch.
     pub persisted: usize,
+    /// Attempts whose group holds at least one tracked-cohort member
+    /// (0 when no cohort is tracked).
+    pub cohort_attempts: usize,
+    /// Cohort attempts the signature adversary linked correctly.
+    pub cohort_hits: usize,
 }
 
 /// Accumulated result of a cross-epoch linkage run.
@@ -102,6 +108,22 @@ impl CrossEpochOutcome {
             self.pairs.iter().map(|p| p.persisted).sum::<usize>() as f64 / groups as f64
         }
     }
+
+    /// Total linkage attempts on groups holding tracked-cohort members.
+    pub fn cohort_attempts(&self) -> usize {
+        self.pairs.iter().map(|p| p.cohort_attempts).sum()
+    }
+
+    /// Linkage rate restricted to attempts on cohort-holding groups
+    /// (0 when the tracker holds no cohort or no such attempt occurred).
+    pub fn cohort_linkage_rate(&self) -> f64 {
+        let attempts = self.cohort_attempts();
+        if attempts == 0 {
+            0.0
+        } else {
+            self.pairs.iter().map(|p| p.cohort_hits).sum::<usize>() as f64 / attempts as f64
+        }
+    }
 }
 
 /// One epoch's published groups, reduced to what linking needs.
@@ -118,6 +140,8 @@ struct EpochGroups {
 #[derive(Default)]
 pub struct CrossEpochTracker {
     cfg: CrossEpochAttack,
+    /// Ground-truth cohort whose groups get the extra per-pair counters.
+    cohort: Option<HashSet<UserId>>,
     prev: Option<EpochGroups>,
     outcome: CrossEpochOutcome,
 }
@@ -127,8 +151,19 @@ impl CrossEpochTracker {
     pub fn new(cfg: CrossEpochAttack) -> Self {
         Self {
             cfg,
+            cohort: None,
             prev: None,
             outcome: CrossEpochOutcome::default(),
+        }
+    }
+
+    /// A tracker that additionally scores the attempts on groups holding
+    /// at least one `cohort` member (ground truth; the adversary itself
+    /// never reads it).
+    pub fn with_cohort(cfg: CrossEpochAttack, cohort: HashSet<UserId>) -> Self {
+        Self {
+            cohort: Some(cohort),
+            ..Self::new(cfg)
         }
     }
 
@@ -148,7 +183,14 @@ impl CrossEpochTracker {
         };
         self.outcome.epochs += 1;
         if let Some(prev) = &self.prev {
-            let stat = link_pair(prev, &current, epoch, ds.num_users(), self.cfg.threads);
+            let stat = link_pair(
+                prev,
+                &current,
+                epoch,
+                ds.num_users(),
+                self.cfg.threads,
+                self.cohort.as_ref(),
+            );
             self.outcome.pairs.push(stat);
         }
         self.prev = Some(current);
@@ -188,9 +230,11 @@ fn link_pair(
     epoch: u64,
     users: usize,
     threads: usize,
+    cohort: Option<&HashSet<UserId>>,
 ) -> EpochLinkStat {
-    // (has truth predecessor, signature hit, persisted) per current group.
-    let scored: Vec<(bool, bool, bool)> = par_map(current.members.len(), threads, |g| {
+    // (has truth predecessor, signature hit, persisted, holds cohort
+    // member) per current group.
+    let scored: Vec<(bool, bool, bool, bool)> = par_map(current.members.len(), threads, |g| {
         let members = &current.members[g];
         // Ground truth: the previous group sharing the most members
         // (deterministic tie-break on the lowest index).
@@ -223,21 +267,40 @@ fn link_pair(
         };
         let has_truth = truth.is_some();
         let persisted = prev.members.iter().any(|m| m == members);
-        (has_truth, hit, persisted)
+        let in_cohort = cohort
+            .map(|c| members.iter().any(|u| c.contains(u)))
+            .unwrap_or(false);
+        (has_truth, hit, persisted, in_cohort)
     });
     EpochLinkStat {
         epoch,
         groups: current.members.len(),
         users,
-        attempts: scored.iter().filter(|(t, _, _)| *t).count(),
-        signature_hits: scored.iter().filter(|(_, h, _)| *h).count(),
-        persisted: scored.iter().filter(|(_, _, p)| *p).count(),
+        attempts: scored.iter().filter(|(t, _, _, _)| *t).count(),
+        signature_hits: scored.iter().filter(|(_, h, _, _)| *h).count(),
+        persisted: scored.iter().filter(|(_, _, p, _)| *p).count(),
+        cohort_attempts: scored.iter().filter(|(t, _, _, c)| *t && *c).count(),
+        cohort_hits: scored.iter().filter(|(t, h, _, c)| *t && *h && *c).count(),
     }
 }
 
 /// Runs the cross-epoch linkage attack over a sequence of epoch datasets.
 pub fn cross_epoch_attack(epochs: &[Dataset], cfg: &CrossEpochAttack) -> CrossEpochOutcome {
     let mut tracker = CrossEpochTracker::new(*cfg);
+    for (i, ds) in epochs.iter().enumerate() {
+        tracker.absorb(i as u64, ds);
+    }
+    tracker.into_outcome()
+}
+
+/// [`cross_epoch_attack`] with the extra per-pair counters for the groups
+/// holding `cohort` members (e.g. a long-tail ground-truth cohort).
+pub fn cross_epoch_attack_cohort(
+    epochs: &[Dataset],
+    cfg: &CrossEpochAttack,
+    cohort: HashSet<UserId>,
+) -> CrossEpochOutcome {
+    let mut tracker = CrossEpochTracker::with_cohort(*cfg, cohort);
     for (i, ds) in epochs.iter().enumerate() {
         tracker.absorb(i as u64, ds);
     }
@@ -273,6 +336,7 @@ impl Attack for CrossEpochAttack {
                 ("epochs".to_string(), outcome.epochs as f64),
                 ("cohort_persistence".to_string(), outcome.persistence_rate()),
             ],
+            cohorts: Vec::new(),
         })
     }
 }
@@ -315,6 +379,7 @@ impl AttackObserver {
                 ("epochs".to_string(), outcome.epochs as f64),
                 ("cohort_persistence".to_string(), outcome.persistence_rate()),
             ],
+            cohorts: Vec::new(),
         }
     }
 }
@@ -434,6 +499,30 @@ mod tests {
             assert_eq!(stat.users, ds.num_users());
             assert!(stat.attempts <= stat.groups);
             assert!(stat.signature_hits <= stat.attempts);
+        }
+    }
+
+    #[test]
+    fn cohort_counters_bound_and_match_the_full_population() {
+        let epochs = streamed_epochs(CarryPolicy::Sticky);
+        let cfg = CrossEpochAttack { l: 8, threads: 1 };
+        let plain = cross_epoch_attack(&epochs, &cfg);
+        assert_eq!(plain.cohort_attempts(), 0, "no cohort tracked");
+
+        // The full population as cohort reproduces the overall counters.
+        let everyone: HashSet<UserId> = (0..8u32).collect();
+        let full = cross_epoch_attack_cohort(&epochs, &cfg, everyone);
+        assert_eq!(full.cohort_attempts(), full.attempts());
+        assert_eq!(full.cohort_linkage_rate(), full.linkage_rate());
+
+        // A strict subset stays bounded by the overall counters.
+        let some: HashSet<UserId> = [0u32, 1].into_iter().collect();
+        let sub = cross_epoch_attack_cohort(&epochs, &cfg, some);
+        assert!(sub.cohort_attempts() <= sub.attempts());
+        assert!(sub.cohort_attempts() > 0, "users 0/1 publish every epoch");
+        for pair in &sub.pairs {
+            assert!(pair.cohort_hits <= pair.cohort_attempts);
+            assert!(pair.cohort_attempts <= pair.attempts);
         }
     }
 

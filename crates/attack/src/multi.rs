@@ -85,6 +85,9 @@ impl Default for MultiPointAttack {
 /// One scored trial of the multi-point adversary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrialOutcome {
+    /// Subscribers behind the drawn target record (ground truth, kept so
+    /// outcomes can be re-scored per cohort after the run).
+    pub target_users: Vec<UserId>,
     /// The (possibly noisy) points the adversary held.
     pub knowledge: Vec<KnownPoint>,
     /// Subscribers consistent with *all* points (before the
@@ -157,6 +160,22 @@ impl MultiPointOutcome {
     /// [`crate::AttackOutcome`] payload).
     pub fn anonymity_sets(&self) -> Vec<usize> {
         self.trials.iter().map(|t| t.anonymity_set).collect()
+    }
+
+    /// Re-scores the run on the trials whose target belongs to `cohort`:
+    /// `(trials in cohort, linked rate among them)`. Zero cohort trials
+    /// yield a rate of 0.
+    pub fn linked_rate_within(&self, cohort: &HashSet<UserId>) -> (usize, f64) {
+        let in_cohort: Vec<&TrialOutcome> = self
+            .trials
+            .iter()
+            .filter(|t| t.target_users.iter().any(|u| cohort.contains(u)))
+            .collect();
+        if in_cohort.is_empty() {
+            return (0, 0.0);
+        }
+        let linked = in_cohort.iter().filter(|t| t.linked).count();
+        (in_cohort.len(), linked as f64 / in_cohort.len() as f64)
     }
 }
 
@@ -289,6 +308,7 @@ fn run_trial(
         (top.len(), linked)
     };
     TrialOutcome {
+        target_users: target.users().to_vec(),
         knowledge,
         consistent_users,
         anonymity_set: if consistent_users == 0 {
@@ -327,6 +347,7 @@ impl Attack for MultiPointAttack {
                 ("linked_rate".to_string(), outcome.linked_rate()),
                 ("mean_top_rank".to_string(), outcome.mean_top_rank()),
             ],
+            cohorts: Vec::new(),
         })
     }
 }
@@ -475,6 +496,28 @@ mod tests {
         assert_eq!(report.trials, 40);
         assert_eq!(report.metric("points"), Some(2.0));
         assert!(report.metric("linked_rate").is_some());
+    }
+
+    #[test]
+    fn cohort_rescoring_partitions_the_trials() {
+        let ds = raw_dataset();
+        let cfg = MultiPointAttack {
+            points: 2,
+            trials: 80,
+            seed: 13,
+            ..MultiPointAttack::default()
+        };
+        let outcome = multi_point_attack(&ds, &PublishedView::Dataset(&ds), &cfg);
+        let cohort: HashSet<UserId> = [2u32, 3].into_iter().collect();
+        let rest: HashSet<UserId> = [0u32, 1, 4, 5].into_iter().collect();
+        let (in_cohort, _) = outcome.linked_rate_within(&cohort);
+        let (in_rest, _) = outcome.linked_rate_within(&rest);
+        assert_eq!(in_cohort + in_rest, outcome.trials.len());
+        assert!(in_cohort > 0, "80 trials over 6 users must hit the cohort");
+        assert_eq!(outcome.linked_rate_within(&HashSet::new()), (0, 0.0));
+        for t in &outcome.trials {
+            assert_eq!(t.target_users.len(), 1, "raw targets are single-user");
+        }
     }
 
     #[test]

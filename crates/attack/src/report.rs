@@ -84,6 +84,18 @@ pub trait Attack {
     ) -> Result<AttackReport, GloveError>;
 }
 
+/// Success of one attack restricted to a ground-truth cohort (e.g. the
+/// long-tail users a scenario labels), for per-cohort risk reporting.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CohortBreakdown {
+    /// Cohort label (e.g. `"night-shift"`, `"long-tail"`).
+    pub cohort: String,
+    /// Attempts scored against cohort members.
+    pub trials: usize,
+    /// Adversary success rate on those attempts, in `[0, 1]`.
+    pub success_rate: f64,
+}
+
 /// The serializable result of one attack run — the adversary-side
 /// counterpart of [`RunReport`].
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -106,6 +118,9 @@ pub struct AttackReport {
     pub min_anonymity: usize,
     /// Ordered attack-specific metrics (name, value).
     pub metrics: Vec<(String, f64)>,
+    /// Optional per-cohort success breakdown (empty when the harness
+    /// tracked no cohorts; reports without the field parse as empty).
+    pub cohorts: Vec<CohortBreakdown>,
 }
 
 impl AttackReport {
@@ -115,6 +130,18 @@ impl AttackReport {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, v)| *v)
+    }
+
+    /// Looks up a cohort breakdown by label.
+    pub fn cohort(&self, label: &str) -> Option<&CohortBreakdown> {
+        self.cohorts.iter().find(|c| c.cohort == label)
+    }
+
+    /// The report with `cohorts` attached (builder-style).
+    #[must_use]
+    pub fn with_cohorts(mut self, cohorts: Vec<CohortBreakdown>) -> Self {
+        self.cohorts = cohorts;
+        self
     }
 
     /// The report as a JSON tree.
@@ -136,6 +163,21 @@ impl AttackReport {
                             JsonValue::obj(vec![
                                 ("name", JsonValue::Str(name.clone())),
                                 ("value", JsonValue::Num(*value)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "cohorts",
+                JsonValue::Arr(
+                    self.cohorts
+                        .iter()
+                        .map(|c| {
+                            JsonValue::obj(vec![
+                                ("cohort", JsonValue::Str(c.cohort.clone())),
+                                ("trials", JsonValue::Num(c.trials as f64)),
+                                ("success_rate", JsonValue::Num(c.success_rate)),
                             ])
                         })
                         .collect(),
@@ -179,6 +221,33 @@ impl AttackReport {
                 Ok((name.to_string(), value))
             })
             .collect::<Result<Vec<_>, String>>()?;
+        // Lenient on purpose: reports written before the cohort breakdown
+        // existed carry no "cohorts" field and parse as empty.
+        let cohorts = match v.get("cohorts") {
+            None => Vec::new(),
+            Some(arr) => arr
+                .as_arr()
+                .ok_or("field 'cohorts' is not an array")?
+                .iter()
+                .map(|c| {
+                    Ok(CohortBreakdown {
+                        cohort: c
+                            .get("cohort")
+                            .and_then(JsonValue::as_str)
+                            .ok_or("cohort breakdown without a label")?
+                            .to_string(),
+                        trials: c
+                            .get("trials")
+                            .and_then(JsonValue::as_usize)
+                            .ok_or("cohort breakdown without trials")?,
+                        success_rate: c
+                            .get("success_rate")
+                            .and_then(JsonValue::as_f64)
+                            .ok_or("cohort breakdown without a success rate")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        };
         Ok(AttackReport {
             attack: str_field("attack")?,
             dataset: str_field("dataset")?,
@@ -188,6 +257,7 @@ impl AttackReport {
             mean_anonymity: num_field("mean_anonymity")?,
             min_anonymity: usize_field("min_anonymity")?,
             metrics,
+            cohorts,
         })
     }
 
@@ -245,6 +315,18 @@ mod tests {
                 ("linked_rate".into(), 0.0625),
                 ("noise_space_m".into(), 0.0),
             ],
+            cohorts: vec![
+                CohortBreakdown {
+                    cohort: "night-shift".into(),
+                    trials: 24,
+                    success_rate: 0.25,
+                },
+                CohortBreakdown {
+                    cohort: "long-tail".into(),
+                    trials: 40,
+                    success_rate: 0.2,
+                },
+            ],
         }
     }
 
@@ -255,6 +337,26 @@ mod tests {
         assert_eq!(parsed, report);
         assert_eq!(report.metric("points"), Some(3.0));
         assert_eq!(report.metric("missing"), None);
+        assert_eq!(report.cohort("night-shift").map(|c| c.trials), Some(24));
+        assert_eq!(report.cohort("typical"), None);
+    }
+
+    #[test]
+    fn reports_without_a_cohorts_field_parse_as_empty() {
+        // Pre-breakdown artifacts stay readable.
+        let mut report = sample_report();
+        report.cohorts.clear();
+        let json = report.to_value().render();
+        let legacy = JsonValue::parse(&json.replace(",\"cohorts\":[]", "")).unwrap();
+        assert!(legacy.get("cohorts").is_none(), "field really removed");
+        let parsed = AttackReport::from_value(&legacy).unwrap();
+        assert_eq!(parsed, report);
+
+        // A present-but-mangled breakdown is an error, not silently empty.
+        let mangled =
+            JsonValue::parse(&json.replace("\"cohorts\":[]", "\"cohorts\":[{\"trials\":1}]"))
+                .unwrap();
+        assert!(AttackReport::from_value(&mangled).is_err());
     }
 
     #[test]

@@ -1,0 +1,120 @@
+//! `scenarios` — every workload scenario preset, end to end, emitting one
+//! BENCH JSON point.
+//!
+//! For each preset in `glove_synth::PRESETS` the target generates the
+//! batch dataset, drains the `ScenarioEvents` view, and anonymizes the
+//! release — timing all three — while holding the exactness anchors:
+//!
+//! * **batch/stream parity** — the event stream grouped by user id must
+//!   reproduce the batch fingerprints byte for byte (churn id routing,
+//!   corridor overlays and long-tail cohorts included);
+//! * **k-anonymity** — the anonymized release must be k-anonymous (k = 2)
+//!   for every preset, however adversarial the workload.
+//!
+//! So the benchmark doubles as the proof that every advertised scenario
+//! completes and stays consistent at bench scale, and CI archives the
+//! per-preset cost trajectory in `BENCH_scenarios.json`.
+//!
+//! Modes mirror the other e2e targets: `--bench` measures at full size,
+//! `--test` (CI smoke) shrinks the population. `--users N` overrides.
+
+use glove_core::glove::anonymize;
+use glove_core::{GloveConfig, Sample, UserId};
+use glove_synth::{generate, ScenarioConfig, ScenarioEvents, PRESETS};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
+    let mut users = if test_mode { 48 } else { 240 };
+    if let Some(pos) = args.iter().position(|a| a == "--users") {
+        users = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--users N");
+    }
+
+    let mut entries = Vec::new();
+    for &preset in PRESETS {
+        let cfg = ScenarioConfig::preset(preset, users).expect("advertised preset");
+        eprintln!("[scenarios] {preset}: generating ({users} users)…");
+        let started = Instant::now();
+        let batch = generate(&cfg);
+        let gen_s = started.elapsed().as_secs_f64();
+        let samples = batch.dataset.num_samples();
+        let ids = batch.dataset.num_users();
+        let long_tail = batch.long_tail_users().len();
+
+        // Drain the event view and hold the parity anchor: grouped stream
+        // == batch fingerprints, byte for byte.
+        let started = Instant::now();
+        let stream = ScenarioEvents::new(&cfg);
+        let mut per_user: BTreeMap<UserId, Vec<Sample>> = BTreeMap::new();
+        for e in stream {
+            per_user.entry(e.user).or_default().push(e.sample);
+        }
+        let stream_s = started.elapsed().as_secs_f64();
+        assert_eq!(
+            per_user.len(),
+            batch.dataset.fingerprints.len(),
+            "{preset}: stream id population diverged"
+        );
+        for (user, samples) in &per_user {
+            let fp = &batch.dataset.fingerprints[*user as usize];
+            assert_eq!(
+                fp.samples(),
+                &samples[..],
+                "{preset}: event stream diverged from batch for user {user}"
+            );
+        }
+
+        // Anonymize the release: every preset must come out k-anonymous.
+        eprintln!("[scenarios] {preset}: anonymizing ({ids} ids, {samples} samples)…");
+        let started = Instant::now();
+        let out = anonymize(&batch.dataset, &GloveConfig::default()).expect("anonymize succeeds");
+        let glove_s = started.elapsed().as_secs_f64();
+        assert!(
+            out.dataset.is_k_anonymous(2),
+            "{preset}: anonymized release below k"
+        );
+
+        let events_per_s = samples as f64 / stream_s.max(1e-9);
+        entries.push(format!(
+            "{{\"scenario\":\"{preset}\",\"user_ids\":{ids},\"long_tail_ids\":{long_tail},\
+             \"samples\":{samples},\"gen_s\":{gen_s:.3},\"stream_s\":{stream_s:.3},\
+             \"stream_events_per_s\":{events_per_s:.0},\"glove_s\":{glove_s:.3},\
+             \"users_out\":{}}}",
+            out.dataset.num_users(),
+        ));
+        println!(
+            "scenarios/{preset}_{users}: gen {gen_s:.2}s, stream {stream_s:.2}s \
+             ({events_per_s:.0} events/s), glove {glove_s:.2}s, {ids} ids \
+             ({long_tail} long-tail), {samples} samples"
+        );
+    }
+
+    let json = format!(
+        "{{\"name\":\"scenarios\",\"users\":{users},\"mode\":\"{}\",\"presets\":{},\
+         \"scenarios\":[{}]}}",
+        if test_mode { "test" } else { "bench" },
+        PRESETS.len(),
+        entries.join(",")
+    );
+    println!("BENCH {json}");
+    // Benches run with the package as working directory; anchor the JSON at
+    // the workspace root so CI can pick up BENCH_*.json uniformly (see
+    // sharded_e2e for the fallback rationale).
+    let dir = std::env::var("BENCH_DIR").unwrap_or_else(|_| {
+        let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+        if std::path::Path::new(&root).is_dir() {
+            root
+        } else {
+            ".".to_string()
+        }
+    });
+    let path = format!("{dir}/BENCH_scenarios.json");
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("[scenarios] could not write {path}: {e}");
+    }
+}

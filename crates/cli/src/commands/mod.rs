@@ -25,18 +25,19 @@ use crate::io;
 use glove_core::Dataset;
 use glove_synth::ScenarioConfig;
 
-/// Resolves a preset name to its scenario configuration.
+/// Resolves a preset name to its scenario configuration. Accepts every
+/// name in [`glove_synth::PRESETS`], with or without the `-like` suffix.
 pub(crate) fn preset_config(
     preset: &str,
     users: usize,
     seed: Option<u64>,
 ) -> Result<ScenarioConfig, String> {
-    let mut cfg = match preset {
-        "civ" | "civ-like" => ScenarioConfig::civ_like(users),
-        "sen" | "sen-like" => ScenarioConfig::sen_like(users),
-        "metro" | "metro-like" => ScenarioConfig::metro_like(users),
-        other => return Err(format!("unknown preset '{other}' (use civ | sen | metro)")),
-    };
+    let mut cfg = ScenarioConfig::preset(preset, users).ok_or_else(|| {
+        format!(
+            "unknown preset '{preset}' (use {})",
+            glove_synth::PRESETS.join(" | ")
+        )
+    })?;
     if let Some(seed) = seed {
         cfg.seed = seed;
     }

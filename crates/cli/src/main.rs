@@ -11,8 +11,10 @@ const USAGE: &str = "\
 glove — k-anonymization of mobile traffic fingerprints (GLOVE, CoNEXT'15)
 
 USAGE:
-  glove synth      --preset civ|sen|metro --users N [--seed S]
+  glove synth      --preset NAME --users N [--seed S]
                    [--out FILE] [--events-out FILE]
+                   presets: civ sen metro mixed flash corridor churn
+                            longtail storm
   glove info       --in FILE
   glove audit      --in FILE --k K [--threads N]
   glove anonymize  --in FILE --out FILE --k K

@@ -373,6 +373,93 @@ fn bad_invocations_exit_nonzero_with_usage() {
 }
 
 #[test]
+fn every_advertised_preset_synths_at_tiny_scale() {
+    // Each name in `glove_synth::PRESETS` must work end to end through the
+    // binary — both the batch dataset path and the streaming events path —
+    // so the USAGE text never advertises a preset that doesn't run.
+    for preset in glove_synth::PRESETS {
+        let data = temp_path(&format!("preset-{preset}.txt"));
+        let out = run(&[
+            "synth",
+            "--preset",
+            preset,
+            "--users",
+            "10",
+            "--seed",
+            "7",
+            "--out",
+            data.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "synth --preset {preset} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            stdout.contains("users"),
+            "synth --preset {preset} output: {stdout}"
+        );
+        let ds = io::read_file(&data).expect("preset output parseable");
+        // Churn presets split people across extra SIM ids; everything else
+        // keeps exactly the requested population.
+        assert!(
+            ds.num_users() >= 10,
+            "preset {preset} produced only {} user ids",
+            ds.num_users()
+        );
+        assert!(ds.num_samples() > 0, "preset {preset} produced no samples");
+
+        let events = temp_path(&format!("preset-{preset}-events.txt"));
+        let out = run(&[
+            "synth",
+            "--preset",
+            preset,
+            "--users",
+            "10",
+            "--seed",
+            "7",
+            "--events-out",
+            events.to_str().unwrap(),
+        ]);
+        assert!(
+            out.status.success(),
+            "synth --preset {preset} --events-out failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(io::is_events_file(&events).unwrap());
+
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_file(&events);
+    }
+}
+
+#[test]
+fn unknown_preset_error_lists_the_presets() {
+    let out = run(&[
+        "synth",
+        "--preset",
+        "mars",
+        "--users",
+        "10",
+        "--out",
+        "/tmp/never-written.txt",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unknown preset 'mars'"),
+        "unhelpful preset error: {stderr}"
+    );
+    for preset in glove_synth::PRESETS {
+        assert!(
+            stderr.contains(preset),
+            "preset error does not mention '{preset}': {stderr}"
+        );
+    }
+}
+
+#[test]
 fn help_prints_usage_on_stdout() {
     let out = run(&["help"]);
     assert!(out.status.success());

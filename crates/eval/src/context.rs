@@ -45,6 +45,7 @@ pub struct EvalContext {
     civ: Option<SynthDataset>,
     sen: Option<SynthDataset>,
     metro: Option<SynthDataset>,
+    scenarios: HashMap<String, SynthDataset>,
     glove_cache: HashMap<String, GloveOutput>,
 }
 
@@ -56,6 +57,7 @@ impl EvalContext {
             civ: None,
             sen: None,
             metro: None,
+            scenarios: HashMap::new(),
             glove_cache: HashMap::new(),
         }
     }
@@ -98,6 +100,23 @@ impl EvalContext {
             self.metro = Some(generate(&cfg));
         }
         self.metro.as_ref().expect("generated above")
+    }
+
+    /// A workload scenario by preset name (`"flash"`, `"churn"`, …; see
+    /// `glove_synth::PRESETS`), generated on first use at the harness user
+    /// count. Panics on unknown preset names — the scenario-matrix
+    /// experiment only asks for advertised ones.
+    pub fn scenario(&mut self, name: &str) -> &SynthDataset {
+        if !self.scenarios.contains_key(name) {
+            let mut cfg = ScenarioConfig::preset(name, self.cfg.users)
+                .unwrap_or_else(|| panic!("unknown scenario preset '{name}'"));
+            if let Some(rate) = self.cfg.events_per_day {
+                cfg.traffic.events_per_day_median = rate;
+            }
+            eprintln!("[eval] generating {} ({} users)…", cfg.name, self.cfg.users);
+            self.scenarios.insert(name.to_string(), generate(&cfg));
+        }
+        &self.scenarios[name]
     }
 
     /// Both nation-wide datasets, cloned out of the cache (cheap relative to
@@ -171,6 +190,18 @@ mod tests {
         let a = ctx.civ().dataset.num_samples();
         let b = ctx.civ().dataset.num_samples();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scenario_cache_serves_workload_presets() {
+        let mut ctx = tiny_ctx();
+        let a = ctx.scenario("longtail").dataset.num_samples();
+        let b = ctx.scenario("longtail").dataset.num_samples();
+        assert_eq!(a, b);
+        assert!(
+            !ctx.scenario("longtail").long_tail_users().is_empty(),
+            "the longtail preset must label a cohort"
+        );
     }
 
     #[test]

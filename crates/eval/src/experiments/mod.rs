@@ -10,13 +10,16 @@
 //! * [`shard`] — sharded vs monolithic GLOVE: speedup and k-anonymity
 //!   retention of the §6.3 batching idea;
 //! * [`stream`] — windowed online GLOVE: k-retention, accuracy and
-//!   residency vs window length against the batch run.
+//!   residency vs window length against the batch run;
+//! * [`scenarios`] — the scenario matrix: every engine against every
+//!   adversarial workload preset, with long-tail cohort risk splits.
 
 pub mod ablation;
 pub mod accuracy;
 pub mod attack;
 pub mod kgap;
 pub mod misc;
+pub mod scenarios;
 pub mod shard;
 pub mod stream;
 pub mod table2;

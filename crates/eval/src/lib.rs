@@ -42,6 +42,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "ablation",
     "shard",
     "stream",
+    "scenarios",
 ];
 
 /// Runs one experiment by name. Returns `None` for unknown names.
@@ -64,6 +65,7 @@ pub fn run_experiment(name: &str, ctx: &mut EvalContext) -> Option<Report> {
         "ablation" => experiments::ablation::ablation(ctx),
         "shard" => experiments::shard::shard(ctx),
         "stream" => experiments::stream::stream(ctx),
+        "scenarios" => experiments::scenarios::scenarios(ctx),
         _ => return None,
     };
     Some(report)

@@ -4,7 +4,7 @@
 //! glove-eval [OPTIONS] <experiment>... | all
 //!
 //! Experiments: fig3a fig3b fig4 fig5a fig5b fig7 fig8 fig9 fig10 fig11
-//!              table2 rog throughput attack ablation shard
+//!              table2 rog throughput attack ablation shard stream scenarios
 //!
 //! Options:
 //!   --users N     subscribers per nation-wide dataset  (default 600)

@@ -1,0 +1,161 @@
+//! Device churn: subscribers whose samples split across user ids.
+//!
+//! Real CDR horizons contain identities that are not 1:1 with people: SIM
+//! swaps move a person to a fresh subscriber id mid-horizon, and dual-SIM
+//! devices interleave two ids over the whole span. Both inflate the id
+//! population with *correlated* fingerprints — exactly the structure
+//! cross-epoch linkage adversaries exploit — while halving per-id history,
+//! which stresses the k-anonymization screening assumptions.
+//!
+//! The plan for each person is drawn once at spawn time from their final
+//! event minutes (`plan_churn`), so the batch generator and the
+//! [`crate::events::ScenarioEvents`] iterator route every event to the same
+//! id. Secondary ids are allocated past `num_users` in person-acceptance
+//! order on both paths, keeping them byte-identical.
+
+use crate::mobility::DAY_MIN;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Fractions of the population whose samples split across two user ids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DeviceChurn {
+    /// Fraction of users who swap SIMs mid-horizon: every event from the
+    /// swap minute (their median event minute) onward is logged under a
+    /// fresh user id.
+    pub sim_swap: f64,
+    /// Fraction of users carrying two SIMs: weekday 08:00–18:00 events go
+    /// to the second (work) SIM for the whole span.
+    pub dual_sim: f64,
+}
+
+/// The churn decision for one person, fixed at spawn time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ChurnPlan {
+    /// All events stay on the primary id.
+    None,
+    /// Events at `t >= at_min` move to the secondary id.
+    SimSwap {
+        /// The swap minute.
+        at_min: u32,
+    },
+    /// Weekday work-hour events move to the secondary (work) SIM.
+    DualSim,
+}
+
+impl ChurnPlan {
+    /// Whether this person materializes as two user ids.
+    pub(crate) fn is_split(self) -> bool {
+        !matches!(self, ChurnPlan::None)
+    }
+
+    /// Whether the event at minute `t` is logged under the secondary id.
+    pub(crate) fn routes_secondary(self, t: u32) -> bool {
+        match self {
+            ChurnPlan::None => false,
+            ChurnPlan::SimSwap { at_min } => t >= at_min,
+            ChurnPlan::DualSim => {
+                let day = t / DAY_MIN;
+                let minute = t % DAY_MIN;
+                day % 7 < 5 && (8 * 60..18 * 60).contains(&minute)
+            }
+        }
+    }
+}
+
+/// Draws the churn plan of one person from their final (post-workload)
+/// event minutes. Exactly one uniform draw is consumed regardless of the
+/// outcome. Degrades to [`ChurnPlan::None`] when either identity would end
+/// up without events, so split persons always materialize as two non-empty
+/// fingerprints.
+pub(crate) fn plan_churn(churn: &DeviceChurn, minutes: &[u32], rng: &mut StdRng) -> ChurnPlan {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let plan = if u < churn.sim_swap {
+        ChurnPlan::SimSwap {
+            at_min: minutes[minutes.len() / 2],
+        }
+    } else if u < churn.sim_swap + churn.dual_sim {
+        ChurnPlan::DualSim
+    } else {
+        return ChurnPlan::None;
+    };
+    let secondary = minutes
+        .iter()
+        .filter(|&&t| plan.routes_secondary(t))
+        .count();
+    if secondary == 0 || secondary == minutes.len() {
+        ChurnPlan::None
+    } else {
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sim_swap_partitions_at_the_median_minute() {
+        let minutes: Vec<u32> = (0..100).map(|i| i * 37).collect();
+        let churn = DeviceChurn {
+            sim_swap: 1.0,
+            dual_sim: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let plan = plan_churn(&churn, &minutes, &mut rng);
+        let ChurnPlan::SimSwap { at_min } = plan else {
+            panic!("sim_swap = 1.0 must always swap, got {plan:?}");
+        };
+        assert_eq!(at_min, minutes[50]);
+        let secondary = minutes
+            .iter()
+            .filter(|&&t| plan.routes_secondary(t))
+            .count();
+        assert_eq!(secondary, 50);
+    }
+
+    #[test]
+    fn dual_sim_routes_weekday_work_hours() {
+        let plan = ChurnPlan::DualSim;
+        // Monday 09:00 → work SIM; Monday 19:00 → personal; Saturday 09:00
+        // (day 5) → personal.
+        assert!(plan.routes_secondary(9 * 60));
+        assert!(!plan.routes_secondary(19 * 60));
+        assert!(!plan.routes_secondary(5 * DAY_MIN + 9 * 60));
+    }
+
+    #[test]
+    fn degenerate_partitions_degrade_to_no_churn() {
+        // All minutes inside work hours: a dual-SIM split would leave the
+        // primary id empty, so the plan degrades.
+        let minutes: Vec<u32> = (9 * 60..10 * 60).collect();
+        let churn = DeviceChurn {
+            sim_swap: 0.0,
+            dual_sim: 1.0,
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(plan_churn(&churn, &minutes, &mut rng), ChurnPlan::None);
+    }
+
+    #[test]
+    fn draw_count_is_outcome_independent() {
+        // Whatever the plan, exactly one uniform must be consumed, so the
+        // downstream per-user stream stays aligned.
+        let minutes: Vec<u32> = (0..60).map(|i| i * 53).collect();
+        let probe = |churn: DeviceChurn| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let _ = plan_churn(&churn, &minutes, &mut rng);
+            rng.gen_range(0.0..1.0f64)
+        };
+        let a = probe(DeviceChurn {
+            sim_swap: 1.0,
+            dual_sim: 0.0,
+        });
+        let b = probe(DeviceChurn {
+            sim_swap: 0.0,
+            dual_sim: 0.0,
+        });
+        assert_eq!(a, b, "plan_churn consumed a different number of draws");
+    }
+}

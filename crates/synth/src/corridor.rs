@@ -1,0 +1,187 @@
+//! Scheduled inter-city corridor travel.
+//!
+//! A corridor traveller takes round trips along one of the country's
+//! declared [`crate::country::Corridor`] routes: depart in the morning,
+//! hand over along the corridor tower chain (one logged event per waypoint
+//! arrival, so the chain actually shows up in the fingerprint), dwell at
+//! the destination, and return the same way. The resulting fingerprints
+//! have the long, thin spatial support that Eq. 10's stretch cost punishes
+//! hardest — the regime where greedy merging either balloons cost or
+//! suppresses the traveller.
+
+use crate::country::Country;
+use crate::mobility::{Itinerary, UserProfile, DAY_MIN};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Scheduled round trips along the country's travel corridors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorridorTravel {
+    /// Fraction of (typical-cohort) users who travel at all.
+    pub travelers: f64,
+    /// Round trips per traveller over the span.
+    pub trips: usize,
+    /// Travel speed along the corridor, meters per minute (1 200 ≈ 72 km/h).
+    pub speed_m_min: f64,
+    /// Dwell time at the destination before the return leg, minutes.
+    pub dwell_min: u32,
+}
+
+/// Applies corridor travel to one candidate: decides whether they travel
+/// (one Bernoulli draw), then overlays each trip's block chain on the
+/// itinerary and injects a logged event at every waypoint arrival.
+pub(crate) fn apply_corridor(
+    travel: &CorridorTravel,
+    country: &Country,
+    profile: &UserProfile,
+    minutes: &mut Vec<u32>,
+    itinerary: &mut Itinerary,
+    span_min: u32,
+    rng: &mut StdRng,
+) {
+    if country.corridors.is_empty() || !rng.gen_bool(travel.travelers) {
+        return;
+    }
+    let span_days = span_min / DAY_MIN;
+    for _ in 0..travel.trips {
+        let corridor = &country.corridors[rng.gen_range(0..country.corridors.len())];
+        let mut waypoints = corridor.waypoints(country);
+        // Travel away from home: reverse the route when the user lives at
+        // the far end; coin-flip for users attached to neither endpoint.
+        let outbound_from_a = match profile.home_city {
+            Some(c) if c == corridor.a => true,
+            Some(c) if c == corridor.b => false,
+            _ => rng.gen_bool(0.5),
+        };
+        if !outbound_from_a {
+            waypoints.reverse();
+        }
+        let day = rng.gen_range(0..span_days);
+        let depart = day * DAY_MIN + rng.gen_range(7 * 60..10 * 60);
+
+        // Outbound leg, dwell, return leg: one block (and one logged
+        // event) per waypoint arrival.
+        let mut path: Vec<(u32, (f64, f64))> = vec![(depart, waypoints[0])];
+        let mut t = depart;
+        for pair in waypoints.windows(2) {
+            t = t.saturating_add(leg_minutes(pair[0], pair[1], travel.speed_m_min));
+            path.push((t, pair[1]));
+        }
+        t = t.saturating_add(travel.dwell_min.max(1));
+        let mut prev = *waypoints.last().expect("corridor has waypoints");
+        for &wp in waypoints.iter().rev().skip(1) {
+            t = t.saturating_add(leg_minutes(prev, wp, travel.speed_m_min));
+            path.push((t, wp));
+            prev = wp;
+        }
+        let end = t.saturating_add(30).min(span_min);
+        itinerary.overlay_path(&path, end);
+        for &(wt, _) in &path {
+            if wt < span_min {
+                minutes.push(wt);
+            }
+        }
+    }
+}
+
+/// Travel time of one corridor leg, minutes (at least 1).
+fn leg_minutes(a: (f64, f64), b: (f64, f64), speed_m_min: f64) -> u32 {
+    let d = ((a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)).sqrt();
+    ((d / speed_m_min).ceil() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::{build_itinerary, sample_profile, MobilityConfig};
+    use rand::SeedableRng;
+
+    fn travel() -> CorridorTravel {
+        CorridorTravel {
+            travelers: 1.0,
+            trips: 2,
+            speed_m_min: 1_200.0,
+            dwell_min: 240,
+        }
+    }
+
+    #[test]
+    fn travellers_visit_the_far_end_of_a_corridor() {
+        let country = Country::corridor_like();
+        let cfg = MobilityConfig::default();
+        let span_days = 14;
+        let mut reached = false;
+        for seed in 0..20u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let profile = sample_profile(&country, &cfg, &mut rng);
+            let mut it = build_itinerary(&profile, &country, &cfg, span_days, &mut rng);
+            let home = it.position_at(0);
+            let mut minutes: Vec<u32> = (0..span_days * DAY_MIN).step_by(180).collect();
+            apply_corridor(
+                &travel(),
+                &country,
+                &profile,
+                &mut minutes,
+                &mut it,
+                span_days * DAY_MIN,
+                &mut rng,
+            );
+            // Some block of the itinerary must now be > 100 km from home.
+            reached |= it.blocks().iter().any(|&(_, (x, y))| {
+                ((x - home.0).powi(2) + (y - home.1).powi(2)).sqrt() > 100_000.0
+            });
+        }
+        assert!(reached, "no traveller ever reached a far corridor end");
+    }
+
+    #[test]
+    fn corridor_trips_keep_itinerary_invariants() {
+        let country = Country::corridor_like();
+        let cfg = MobilityConfig::default();
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let profile = sample_profile(&country, &cfg, &mut rng);
+            let mut it = build_itinerary(&profile, &country, &cfg, 14, &mut rng);
+            let mut minutes = vec![10, 2_000, 9_000];
+            apply_corridor(
+                &travel(),
+                &country,
+                &profile,
+                &mut minutes,
+                &mut it,
+                14 * DAY_MIN,
+                &mut rng,
+            );
+            for w in it.blocks().windows(2) {
+                assert!(w[0].0 < w[1].0, "block starts not strictly increasing");
+            }
+            assert!(minutes.iter().all(|&t| t < 14 * DAY_MIN));
+        }
+    }
+
+    #[test]
+    fn non_travellers_consume_one_draw_and_change_nothing() {
+        let country = Country::corridor_like();
+        let cfg = MobilityConfig::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let profile = sample_profile(&country, &cfg, &mut rng);
+        let it0 = build_itinerary(&profile, &country, &cfg, 7, &mut rng);
+        let mut it = it0.clone();
+        let mut minutes = vec![100, 200];
+        let none = CorridorTravel {
+            travelers: 0.0,
+            ..travel()
+        };
+        apply_corridor(
+            &none,
+            &country,
+            &profile,
+            &mut minutes,
+            &mut it,
+            7 * DAY_MIN,
+            &mut rng,
+        );
+        assert_eq!(it.blocks(), it0.blocks());
+        assert_eq!(minutes, vec![100, 200]);
+    }
+}

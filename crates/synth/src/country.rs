@@ -23,6 +23,40 @@ pub struct City {
     pub sigma_m: f64,
 }
 
+/// An inter-city travel corridor: an ordered polyline route joining two
+/// cities, optionally through intermediate waypoints. Tower deployment
+/// chains roadside cells along corridors, and the corridor-travel workload
+/// ([`crate::workloads::WorkloadConfig::corridor`]) schedules round trips
+/// over them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corridor {
+    /// Index of the origin city in [`Country::cities`].
+    pub a: usize,
+    /// Index of the destination city in [`Country::cities`].
+    pub b: usize,
+    /// Intermediate waypoints between the two city centres, meters.
+    pub via: Vec<(f64, f64)>,
+}
+
+impl Corridor {
+    /// The corridor polyline: origin centre, via points, destination centre.
+    pub fn waypoints(&self, country: &Country) -> Vec<(f64, f64)> {
+        let mut pts = Vec::with_capacity(self.via.len() + 2);
+        pts.push(country.cities[self.a].center);
+        pts.extend(self.via.iter().copied());
+        pts.push(country.cities[self.b].center);
+        pts
+    }
+
+    /// Total polyline length, meters.
+    pub fn length_m(&self, country: &Country) -> f64 {
+        self.waypoints(country)
+            .windows(2)
+            .map(|w| ((w[1].0 - w[0].0).powi(2) + (w[1].1 - w[0].1).powi(2)).sqrt())
+            .sum()
+    }
+}
+
 /// A rectangular country on the projected plane.
 #[derive(Debug, Clone)]
 pub struct Country {
@@ -34,6 +68,9 @@ pub struct Country {
     pub height_m: f64,
     /// The cities, ordered by decreasing weight.
     pub cities: Vec<City>,
+    /// Inter-city travel corridors (empty for the classic presets; tower
+    /// deployment and travel workloads activate only when present).
+    pub corridors: Vec<Corridor>,
 }
 
 impl Country {
@@ -69,6 +106,19 @@ impl Country {
         }
         if total >= 1.0 {
             return Err(format!("city weights sum to {total} >= 1"));
+        }
+        for (i, corridor) in self.corridors.iter().enumerate() {
+            if corridor.a >= self.cities.len() || corridor.b >= self.cities.len() {
+                return Err(format!("corridor {i} references a city out of range"));
+            }
+            if corridor.a == corridor.b {
+                return Err(format!("corridor {i} must join two distinct cities"));
+            }
+            for &(x, y) in &corridor.via {
+                if !(0.0..=self.width_m).contains(&x) || !(0.0..=self.height_m).contains(&y) {
+                    return Err(format!("corridor {i} has a waypoint outside the country"));
+                }
+            }
         }
         Ok(())
     }
@@ -150,8 +200,83 @@ impl Country {
                     sigma_m: 2_500.0,
                 },
             ],
+            corridors: vec![],
         };
         country.validate().expect("civ-like preset is valid");
+        country
+    }
+
+    /// The civ-like geometry threaded with explicit inter-city corridors:
+    /// the coast-to-north axis (abidjan → bouake → korhogo) and the coastal
+    /// highway (abidjan → san-pedro). Tower deployment chains roadside
+    /// cells along these routes and the corridor-travel workload schedules
+    /// trips over them.
+    pub fn corridor_like() -> Self {
+        let mut country = Self::civ_like();
+        country.name = "corridor-like".into();
+        country.corridors = vec![
+            // abidjan → bouake, bending through the yamoussoukro area.
+            Corridor {
+                a: 0,
+                b: 1,
+                via: vec![(400_000.0, 180_000.0), (330_000.0, 290_000.0)],
+            },
+            // bouake → korhogo, the northern continuation.
+            Corridor {
+                a: 1,
+                b: 3,
+                via: vec![(320_000.0, 500_000.0)],
+            },
+            // abidjan → san-pedro along the coast.
+            Corridor {
+                a: 0,
+                b: 4,
+                via: vec![(320_000.0, 50_000.0)],
+            },
+        ];
+        country.validate().expect("corridor-like preset is valid");
+        country
+    }
+
+    /// Mixed topology: one dense conurbation in the middle of a vast,
+    /// sparsely covered rural plain dotted with small villages — the
+    /// dense-core + sparse-rural regime in a single country, where a third
+    /// of the population produces rural fingerprints over enormous cells
+    /// while the core looks like the metro preset.
+    pub fn mixed_like() -> Self {
+        let country = Self {
+            name: "mixed-like".into(),
+            width_m: 300_000.0,
+            height_m: 300_000.0,
+            cities: vec![
+                City {
+                    name: "core".into(),
+                    center: (150_000.0, 150_000.0),
+                    weight: 0.52,
+                    sigma_m: 5_000.0,
+                },
+                City {
+                    name: "norte-village".into(),
+                    center: (70_000.0, 245_000.0),
+                    weight: 0.05,
+                    sigma_m: 1_500.0,
+                },
+                City {
+                    name: "este-village".into(),
+                    center: (235_000.0, 180_000.0),
+                    weight: 0.05,
+                    sigma_m: 1_500.0,
+                },
+                City {
+                    name: "sur-village".into(),
+                    center: (180_000.0, 55_000.0),
+                    weight: 0.04,
+                    sigma_m: 1_200.0,
+                },
+            ],
+            corridors: vec![],
+        };
+        country.validate().expect("mixed-like preset is valid");
         country
     }
 
@@ -196,6 +321,7 @@ impl Country {
                     sigma_m: 2_800.0,
                 },
             ],
+            corridors: vec![],
         };
         country.validate().expect("metro-like preset is valid");
         country
@@ -252,6 +378,7 @@ impl Country {
                     sigma_m: 2_500.0,
                 },
             ],
+            corridors: vec![],
         };
         country.validate().expect("sen-like preset is valid");
         country
@@ -295,6 +422,45 @@ mod tests {
         let (x, y) = c.clamp(-5.0, 1e9);
         assert_eq!(x, 0.0);
         assert_eq!(y, c.height_m);
+    }
+
+    #[test]
+    fn corridor_and_mixed_presets_are_valid() {
+        Country::corridor_like().validate().unwrap();
+        Country::mixed_like().validate().unwrap();
+        assert_eq!(Country::corridor_like().corridors.len(), 3);
+        assert!(Country::mixed_like().rural_weight() > 0.3);
+    }
+
+    #[test]
+    fn corridor_waypoints_join_city_centres() {
+        let c = Country::corridor_like();
+        let corridor = &c.corridors[0];
+        let pts = corridor.waypoints(&c);
+        assert_eq!(pts.first().copied(), Some(c.cities[corridor.a].center));
+        assert_eq!(pts.last().copied(), Some(c.cities[corridor.b].center));
+        assert_eq!(pts.len(), corridor.via.len() + 2);
+        // abidjan–bouake is a few hundred km as drawn.
+        let len = corridor.length_m(&c);
+        assert!(
+            (300_000.0..600_000.0).contains(&len),
+            "implausible corridor length {len}"
+        );
+    }
+
+    #[test]
+    fn validation_catches_bad_corridors() {
+        let mut c = Country::corridor_like();
+        c.corridors[0].b = 99;
+        assert!(c.validate().is_err(), "out-of-range city index rejected");
+
+        let mut c = Country::corridor_like();
+        c.corridors[0].b = c.corridors[0].a;
+        assert!(c.validate().is_err(), "self-loop corridor rejected");
+
+        let mut c = Country::corridor_like();
+        c.corridors[0].via.push((-5.0, 0.0));
+        assert!(c.validate().is_err(), "outside waypoint rejected");
     }
 
     #[test]

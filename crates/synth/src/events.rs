@@ -16,8 +16,11 @@
 //! `spawn_user`/`synth_sample` helpers in [`crate::scenario`], and the
 //! equivalence is pinned by tests (`stream_matches_generated_dataset`).
 
-use crate::scenario::{deploy_towers, min_events, screening_guard, spawn_user, ScenarioConfig};
+use crate::scenario::{
+    deploy_towers, min_events, screening_guard, spawn_user, ScenarioConfig, ScenarioError,
+};
 use crate::towers::TowerNetwork;
+use crate::workloads::Cohort;
 use glove_core::stream::StreamEvent;
 use glove_core::UserId;
 use std::cmp::Reverse;
@@ -31,7 +34,10 @@ use crate::scenario::UserGen;
 /// Events are ordered by `(minute, user id)` — the same canonical order
 /// [`glove_core::stream::events_of`] produces from a materialized dataset —
 /// so the stream can be consumed by a
-/// [`glove_core::stream::StreamEngine`] as-is.
+/// [`glove_core::stream::StreamEngine`] as-is. Device-churn scenarios
+/// route each event to the person's primary or secondary id exactly like
+/// the batch generator (secondary ids allocated past `num_users` in
+/// person-acceptance order).
 ///
 /// ```
 /// use glove_synth::{ScenarioConfig, ScenarioEvents};
@@ -45,17 +51,34 @@ pub struct ScenarioEvents {
     cfg: ScenarioConfig,
     towers: TowerNetwork,
     users: Vec<UserCursor>,
-    /// Min-heap of `(next event minute, user id)` — one entry per user with
-    /// events remaining.
-    heap: BinaryHeap<Reverse<(u32, UserId)>>,
+    /// Min-heap of `(next event minute, emitted user id, person index)` —
+    /// one entry per person with events remaining. Minutes are unique per
+    /// person and ids unique per (person, route), so ordering by
+    /// `(minute, id)` is total.
+    heap: BinaryHeap<Reverse<(u32, UserId, u32)>>,
     screened_out: usize,
+    /// Ground-truth cohort per emitted user id (primaries then split
+    /// secondaries), matching [`crate::SynthDataset::cohorts`].
+    cohorts: Vec<Cohort>,
 }
 
-/// One user's generation state plus its emission position.
+/// One person's generation state plus its emission position.
 struct UserCursor {
     gen: UserGen,
     /// Index of the next minute to synthesize.
     next: usize,
+    /// Secondary user id, for persons with a split churn plan.
+    secondary: Option<UserId>,
+}
+
+impl UserCursor {
+    /// The id the event at minute `t` is logged under.
+    fn emit_id(&self, person: u32, t: u32) -> UserId {
+        match self.secondary {
+            Some(sec) if self.gen.churn.routes_secondary(t) => sec,
+            _ => person as UserId,
+        }
+    }
 }
 
 impl ScenarioEvents {
@@ -63,9 +86,21 @@ impl ScenarioEvents {
     /// are identical to [`crate::generate`] (deterministic per seed).
     ///
     /// # Panics
-    /// Panics on a pathologically low screening acceptance rate, exactly
-    /// like [`crate::generate`].
+    /// Panics with the [`ScenarioError`] message on a degenerate
+    /// configuration (use [`Self::try_new`] for a `Result`), and on a
+    /// pathologically low screening acceptance rate, exactly like
+    /// [`crate::generate`].
     pub fn new(cfg: &ScenarioConfig) -> Self {
+        match Self::try_new(cfg) {
+            Ok(events) => events,
+            Err(e) => panic!("invalid scenario configuration: {e}"),
+        }
+    }
+
+    /// [`Self::new`] with the degenerate-configuration panic lifted into a
+    /// typed [`ScenarioError`].
+    pub fn try_new(cfg: &ScenarioConfig) -> Result<Self, ScenarioError> {
+        cfg.validate()?;
         let towers = deploy_towers(cfg);
         let mut users = Vec::with_capacity(cfg.num_users);
         let mut screened_out = 0usize;
@@ -73,24 +108,45 @@ impl ScenarioEvents {
         while users.len() < cfg.num_users {
             screening_guard(cfg, candidate, screened_out);
             match spawn_user(cfg, candidate) {
-                Some(gen) => users.push(UserCursor { gen, next: 0 }),
+                Some(gen) => users.push(UserCursor {
+                    gen,
+                    next: 0,
+                    secondary: None,
+                }),
                 None => screened_out += 1,
             }
             candidate += 1;
         }
+        // Secondary churn ids: past num_users, in person-acceptance order —
+        // the identical allocation the batch generator performs.
+        let mut cohorts: Vec<Cohort> = users.iter().map(|c| c.gen.cohort).collect();
+        let mut next_secondary = cfg.num_users as UserId;
+        for cursor in users.iter_mut() {
+            if cursor.gen.churn.is_split() {
+                cursor.secondary = Some(next_secondary);
+                cohorts.push(cursor.gen.cohort);
+                next_secondary += 1;
+            }
+        }
         let mut heap = BinaryHeap::with_capacity(users.len());
-        for (user, cursor) in users.iter().enumerate() {
+        for (person, cursor) in users.iter().enumerate() {
             // Screening guarantees at least `min_events` minutes per user.
             debug_assert!(cursor.gen.minutes.len() >= min_events(cfg));
-            heap.push(Reverse((cursor.gen.minutes[0], user as UserId)));
+            let t0 = cursor.gen.minutes[0];
+            heap.push(Reverse((
+                t0,
+                cursor.emit_id(person as u32, t0),
+                person as u32,
+            )));
         }
-        Self {
+        Ok(Self {
             cfg: cfg.clone(),
             towers,
             users,
             heap,
             screened_out,
-        }
+            cohorts,
+        })
     }
 
     /// Candidates rejected by the activity screening before `num_users`
@@ -103,6 +159,18 @@ impl ScenarioEvents {
     /// The deployed tower network (identical to the batch path's).
     pub fn towers(&self) -> &TowerNetwork {
         &self.towers
+    }
+
+    /// Ground-truth cohort per emitted user id — primaries `0..num_users`,
+    /// then churn secondaries — matching
+    /// [`crate::SynthDataset::cohorts`].
+    pub fn cohorts(&self) -> &[Cohort] {
+        &self.cohorts
+    }
+
+    /// Total user ids this stream emits (persons plus churn secondaries).
+    pub fn num_user_ids(&self) -> usize {
+        self.cohorts.len()
     }
 
     /// Events not yet emitted.
@@ -118,8 +186,8 @@ impl Iterator for ScenarioEvents {
     type Item = StreamEvent;
 
     fn next(&mut self) -> Option<StreamEvent> {
-        let Reverse((t, user)) = self.heap.pop()?;
-        let cursor = &mut self.users[user as usize];
+        let Reverse((t, user, person)) = self.heap.pop()?;
+        let cursor = &mut self.users[person as usize];
         let sample = synth_sample(
             &self.cfg,
             &self.towers,
@@ -129,7 +197,8 @@ impl Iterator for ScenarioEvents {
         );
         cursor.next += 1;
         if let Some(&next_t) = cursor.gen.minutes.get(cursor.next) {
-            self.heap.push(Reverse((next_t, user)));
+            let id = cursor.emit_id(person, next_t);
+            self.heap.push(Reverse((next_t, id, person)));
         }
         Some(StreamEvent { user, sample })
     }
@@ -211,5 +280,71 @@ mod tests {
         let a: Vec<StreamEvent> = ScenarioEvents::new(&cfg).collect();
         let b: Vec<StreamEvent> = ScenarioEvents::new(&cfg).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_preset_streams_byte_identical_to_batch() {
+        // The parity anchor over the whole preset surface, including the
+        // workload scenarios: churn id routing, corridor overlays and
+        // long-tail cohorts must all reproduce the batch fingerprints.
+        for &name in crate::scenario::PRESETS {
+            let mut cfg = ScenarioConfig::preset(name, 24).expect("advertised preset");
+            cfg.num_towers = cfg.num_towers.min(250);
+            let batch = generate(&cfg);
+            let stream = ScenarioEvents::try_new(&cfg).expect("presets validate");
+            assert_eq!(stream.cohorts(), &batch.cohorts[..], "cohorts for {name}");
+            assert_eq!(
+                stream.num_user_ids(),
+                batch.dataset.fingerprints.len(),
+                "user-id count for {name}"
+            );
+
+            let mut per_user: BTreeMap<UserId, Vec<glove_core::Sample>> = BTreeMap::new();
+            for e in stream {
+                per_user.entry(e.user).or_default().push(e.sample);
+            }
+            assert_eq!(
+                per_user.len(),
+                batch.dataset.fingerprints.len(),
+                "id population for {name}"
+            );
+            for (user, samples) in per_user {
+                let fp = &batch.dataset.fingerprints[user as usize];
+                assert_eq!(fp.users(), &[user]);
+                assert_eq!(
+                    fp.samples(),
+                    &samples[..],
+                    "preset {name} diverged from batch for user {user}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn churn_streams_emit_ids_past_num_users() {
+        let mut cfg = ScenarioConfig::churn_like(30);
+        cfg.num_towers = 250;
+        let stream = ScenarioEvents::new(&cfg);
+        let ids = stream.num_user_ids();
+        assert!(
+            ids > cfg.num_users,
+            "churn preset produced no secondary ids ({ids} ids for {} persons)",
+            cfg.num_users
+        );
+        let max_id = ScenarioEvents::new(&cfg)
+            .map(|e| e.user)
+            .max()
+            .expect("events");
+        assert_eq!(max_id as usize, ids - 1);
+    }
+
+    #[test]
+    fn try_new_surfaces_validation_errors() {
+        let mut cfg = small_cfg(4);
+        cfg.num_users = 0;
+        assert!(matches!(
+            ScenarioEvents::try_new(&cfg),
+            Err(ScenarioError::NoUsers)
+        ));
     }
 }

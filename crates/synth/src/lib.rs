@@ -21,6 +21,9 @@
 //!   of poor anonymizability (§5.3);
 //! * [`scenario`] — end-to-end dataset builders with activity screening
 //!   (the paper keeps only users averaging ≥ 1 sample/day in `d4d-civ`);
+//! * [`workloads`] — composable adversarial workload generators layered on
+//!   a scenario: flash crowds, corridor travel ([`corridor`]), device churn
+//!   ([`churn`]) and long-tail cohorts with ground-truth labels;
 //! * [`events`] — the event-iterator view of a scenario: the same process
 //!   as a time-ordered stream feeding `core::stream`, without ever
 //!   materializing a `Dataset`;
@@ -28,11 +31,15 @@
 //!   the generality analysis (§7.3, Figs. 10–11, Table 2's `abidjan`/`dakar`
 //!   columns).
 //!
-//! All generation is deterministic given the scenario seed.
+//! All generation is deterministic given the scenario seed, and the batch
+//! and event paths stay byte-identical for every preset (workloads
+//! included).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod churn;
+pub mod corridor;
 pub mod country;
 pub mod events;
 pub mod mobility;
@@ -41,10 +48,14 @@ pub mod scenario;
 pub mod subset;
 pub mod towers;
 pub mod traffic;
+pub mod workloads;
 
-pub use country::{City, Country};
+pub use churn::DeviceChurn;
+pub use corridor::CorridorTravel;
+pub use country::{City, Corridor, Country};
 pub use events::ScenarioEvents;
 pub use quality::QualityReport;
-pub use scenario::{generate, ScenarioConfig, SynthDataset};
+pub use scenario::{generate, try_generate, ScenarioConfig, ScenarioError, SynthDataset, PRESETS};
 pub use subset::{city_subset, time_subset, user_subset};
 pub use towers::TowerNetwork;
+pub use workloads::{Cohort, FlashCrowd, LongTailMix, WorkloadConfig};

@@ -178,6 +178,61 @@ impl Itinerary {
     pub fn blocks(&self) -> &[(u32, (f64, f64))] {
         &self.blocks
     }
+
+    /// Overrides the window `[start, end)` with a stay at `loc`. The
+    /// pre-window routine is untouched and the user resumes the position
+    /// they would have held at `end`.
+    pub fn overlay(&mut self, start: u32, end: u32, loc: (f64, f64)) {
+        self.overlay_path(&[(start, loc)], end);
+    }
+
+    /// Overrides `[path[0].0, end)` with an explicit block sequence (starts
+    /// must be non-decreasing; ties and out-of-window blocks are skipped).
+    /// Blocks previously starting inside the window are dropped, and the
+    /// position the user would have held at `end` is reinstated so the
+    /// original routine resumes seamlessly.
+    pub fn overlay_path(&mut self, path: &[(u32, (f64, f64))], end: u32) {
+        let Some(&(start, _)) = path.first() else {
+            return;
+        };
+        if start >= self.span_min || end <= start {
+            return;
+        }
+        let end = end.min(self.span_min);
+        let resume = self.position_at(end);
+        self.blocks.retain(|&(s, _)| s < start || s >= end);
+        let mut at = self.blocks.partition_point(|&(s, _)| s < start);
+        let mut last = None;
+        for &(s, loc) in path {
+            if s >= end {
+                break;
+            }
+            if last.is_some_and(|prev| s <= prev) {
+                continue;
+            }
+            self.blocks.insert(at, (s, loc));
+            at += 1;
+            last = Some(s);
+        }
+        if end < self.span_min && !self.blocks.iter().any(|&(s, _)| s == end) {
+            let i = self.blocks.partition_point(|&(s, _)| s < end);
+            self.blocks.insert(i, (end, resume));
+        }
+    }
+
+    /// Collapses the whole span to a single stay at `loc` (the sedentary
+    /// long-tail profile).
+    pub fn collapse_to(&mut self, loc: (f64, f64)) {
+        self.blocks = vec![(0, loc)];
+    }
+
+    /// Builds an itinerary from explicit blocks: the first must start at
+    /// minute 0 and starts must be strictly increasing.
+    pub(crate) fn from_blocks(blocks: Vec<(u32, (f64, f64))>, span_min: u32) -> Self {
+        debug_assert!(blocks.first().is_some_and(|b| b.0 == 0));
+        debug_assert!(blocks.windows(2).all(|w| w[0].0 < w[1].0));
+        Self { blocks, span_min }
+    }
 }
 
 /// Builds the full-span itinerary of a user. Day 0 is a Monday; days 5 and
@@ -404,6 +459,66 @@ mod tests {
         let a = build();
         let b = build();
         assert_eq!(a.blocks(), b.blocks());
+    }
+
+    #[test]
+    fn overlay_replaces_window_and_resumes_routine() {
+        let (country, cfg, mut rng) = setup(7);
+        let p = sample_profile(&country, &cfg, &mut rng);
+        let mut it = build_itinerary(&p, &country, &cfg, 7, &mut rng);
+        let original = it.clone();
+        let venue = (1_234.0, 5_678.0);
+        let (start, end) = (2 * DAY_MIN + 19 * 60, 2 * DAY_MIN + 22 * 60);
+        it.overlay(start, end, venue);
+
+        for t in (0..it.span_min()).step_by(13) {
+            if (start..end).contains(&t) {
+                assert_eq!(it.position_at(t), venue, "minute {t} not at the venue");
+            } else if !(end..end + 1).contains(&t) {
+                assert_eq!(
+                    it.position_at(t),
+                    original.position_at(t),
+                    "minute {t} deviates outside the overlay window"
+                );
+            }
+        }
+        // Starts stay strictly increasing (the itinerary invariant).
+        for w in it.blocks().windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn overlay_path_splices_a_block_chain() {
+        let (country, cfg, mut rng) = setup(8);
+        let p = sample_profile(&country, &cfg, &mut rng);
+        let mut it = build_itinerary(&p, &country, &cfg, 3, &mut rng);
+        let original = it.clone();
+        let path = [
+            (600u32, (10.0, 10.0)),
+            (700, (20.0, 20.0)),
+            (800, (30.0, 30.0)),
+        ];
+        it.overlay_path(&path, 900);
+        assert_eq!(it.position_at(650), (10.0, 10.0));
+        assert_eq!(it.position_at(750), (20.0, 20.0));
+        assert_eq!(it.position_at(850), (30.0, 30.0));
+        assert_eq!(it.position_at(900), original.position_at(900));
+        for w in it.blocks().windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+    }
+
+    #[test]
+    fn collapse_to_pins_every_minute() {
+        let (country, cfg, mut rng) = setup(9);
+        let p = sample_profile(&country, &cfg, &mut rng);
+        let mut it = build_itinerary(&p, &country, &cfg, 5, &mut rng);
+        it.collapse_to(p.home);
+        for t in (0..it.span_min()).step_by(97) {
+            assert_eq!(it.position_at(t), p.home);
+        }
+        assert_eq!(it.num_blocks(), 1);
     }
 
     #[test]

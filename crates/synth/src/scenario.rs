@@ -11,13 +11,17 @@
 //! see DESIGN.md §1 on scaling): [`ScenarioConfig::civ_like`] and
 //! [`ScenarioConfig::sen_like`].
 
+use crate::churn::{ChurnPlan, DeviceChurn};
+use crate::corridor::CorridorTravel;
 use crate::country::Country;
-use crate::mobility::{build_itinerary, sample_profile, MobilityConfig};
+use crate::mobility::{build_itinerary, sample_profile, MobilityConfig, DAY_MIN};
 use crate::towers::TowerNetwork;
 use crate::traffic::{generate_event_minutes, sample_user_rate, TrafficConfig};
+use crate::workloads::{apply_workloads, Cohort, FlashCrowd, LongTailMix, WorkloadConfig};
 use glove_core::{Dataset, Fingerprint, Sample, UserId};
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use std::fmt;
 
 /// Full configuration of a synthetic CDR scenario.
 #[derive(Debug, Clone)]
@@ -49,7 +53,54 @@ pub struct ScenarioConfig {
     /// from the routine (heavy-tailed displacement) — the rare outlier
     /// samples that §5.4 identifies as the anonymization blockers.
     pub excursion_p: f64,
+    /// Composable adversarial workloads layered on the base commuter model
+    /// (flash crowds, corridor travel, device churn, long-tail cohorts).
+    /// The default empty stack reproduces the legacy generator byte for
+    /// byte.
+    pub workloads: WorkloadConfig,
 }
+
+/// A typed rejection of a degenerate [`ScenarioConfig`], returned by
+/// [`ScenarioConfig::validate`] / [`try_generate`] instead of panicking or
+/// silently producing an empty dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// `num_users` is zero.
+    NoUsers,
+    /// `num_towers` is zero.
+    NoTowers,
+    /// `span_days` is zero.
+    NoSpan,
+    /// A numeric tunable is outside its domain (negative sigma,
+    /// out-of-range probability, non-finite value, …).
+    InvalidField {
+        /// Dotted path of the offending field.
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The country geometry failed [`Country::validate`].
+    InvalidCountry(String),
+    /// The workload stack is inconsistent with the scenario.
+    InvalidWorkload(String),
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::NoUsers => write!(f, "num_users must be at least 1"),
+            ScenarioError::NoTowers => write!(f, "num_towers must be at least 1"),
+            ScenarioError::NoSpan => write!(f, "span_days must be at least 1"),
+            ScenarioError::InvalidField { field, value } => {
+                write!(f, "{field} = {value} is outside its domain")
+            }
+            ScenarioError::InvalidCountry(why) => write!(f, "invalid country: {why}"),
+            ScenarioError::InvalidWorkload(why) => write!(f, "invalid workload: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
 
 impl ScenarioConfig {
     /// Ivory-Coast-like scenario (`d4d-civ` stand-in): 2-week span,
@@ -67,6 +118,7 @@ impl ScenarioConfig {
             min_events_per_day: 1.0,
             wander_sigma_m: 220.0,
             excursion_p: 0.012,
+            workloads: WorkloadConfig::default(),
         }
     }
 
@@ -95,6 +147,7 @@ impl ScenarioConfig {
             min_events_per_day: 1.0,
             wander_sigma_m: 180.0,
             excursion_p: 0.006,
+            workloads: WorkloadConfig::default(),
         }
     }
 
@@ -120,9 +173,258 @@ impl ScenarioConfig {
             min_events_per_day: 0.75,
             wander_sigma_m: 250.0,
             excursion_p: 0.010,
+            workloads: WorkloadConfig::default(),
         }
     }
+
+    /// Mixed-topology scenario: a dense conurbation core inside a vast
+    /// sparse rural plain ([`Country::mixed_like`]) — both coverage regimes
+    /// in one dataset, so one engine run faces metro-dense and
+    /// rural-sparse fingerprints simultaneously.
+    pub fn mixed_like(num_users: usize) -> Self {
+        Self {
+            name: "mixed-like".into(),
+            seed: 0x301D_C04E,
+            num_users,
+            span_days: 14,
+            num_towers: 500,
+            country: Country::mixed_like(),
+            mobility: MobilityConfig::default(),
+            traffic: TrafficConfig {
+                events_per_day_median: 3.0,
+                ..TrafficConfig::default()
+            },
+            min_events_per_day: 1.0,
+            wander_sigma_m: 200.0,
+            excursion_p: 0.008,
+            workloads: WorkloadConfig::default(),
+        }
+    }
+
+    /// Flash-crowd scenario: the metro preset plus two evening venue
+    /// surges (a stadium night at the centro, a concert in levante).
+    pub fn flash_like(num_users: usize) -> Self {
+        let mut cfg = Self::metro_like(num_users);
+        cfg.name = "flash-like".into();
+        cfg.seed = 0xF1A5_4C40;
+        cfg.workloads.flash_crowds = vec![
+            FlashCrowd {
+                venue: None, // primary city centre (centro)
+                scatter_m: 400.0,
+                start_min: 2 * DAY_MIN + 19 * 60,
+                duration_min: 180,
+                attendance: 0.35,
+                extra_events: 3,
+            },
+            FlashCrowd {
+                venue: Some((58_000.0, 38_000.0)), // levante
+                scatter_m: 500.0,
+                start_min: 9 * DAY_MIN + 20 * 60,
+                duration_min: 240,
+                attendance: 0.25,
+                extra_events: 2,
+            },
+        ];
+        cfg
+    }
+
+    /// Corridor-travel scenario: the civ-like nation with explicit
+    /// inter-city corridors ([`Country::corridor_like`]) and a third of the
+    /// population taking scheduled round trips along them.
+    pub fn corridor_like(num_users: usize) -> Self {
+        let mut cfg = Self::civ_like(num_users);
+        cfg.name = "corridor-like".into();
+        cfg.seed = 0xC044_1D04;
+        cfg.country = Country::corridor_like();
+        cfg.workloads.corridor = Some(CorridorTravel {
+            travelers: 0.30,
+            trips: 2,
+            speed_m_min: 1_200.0,
+            dwell_min: 240,
+        });
+        cfg
+    }
+
+    /// Device-churn scenario: the metro preset with SIM swaps and dual-SIM
+    /// users splitting samples across user ids mid-horizon.
+    pub fn churn_like(num_users: usize) -> Self {
+        let mut cfg = Self::metro_like(num_users);
+        cfg.name = "churn-like".into();
+        cfg.seed = 0xC4_42_17;
+        cfg.workloads.churn = Some(DeviceChurn {
+            sim_swap: 0.18,
+            dual_sim: 0.12,
+        });
+        cfg
+    }
+
+    /// Long-tail scenario: the metro preset with ground-truth-labelled
+    /// night-shift, hyper-mobile and sedentary outlier cohorts injected.
+    pub fn longtail_like(num_users: usize) -> Self {
+        let mut cfg = Self::metro_like(num_users);
+        cfg.name = "longtail-like".into();
+        cfg.seed = 0x10A6_7A11;
+        cfg.workloads.long_tail = Some(LongTailMix {
+            night_shift: 0.06,
+            hyper_mobile: 0.05,
+            sedentary: 0.08,
+        });
+        cfg
+    }
+
+    /// The composition proof: metro base with a flash crowd, device churn
+    /// *and* long-tail cohorts stacked in one dataset.
+    pub fn storm_like(num_users: usize) -> Self {
+        let mut cfg = Self::metro_like(num_users);
+        cfg.name = "storm-like".into();
+        cfg.seed = 0x5702_4A11;
+        cfg.workloads = WorkloadConfig {
+            flash_crowds: vec![FlashCrowd {
+                venue: None,
+                scatter_m: 450.0,
+                start_min: 4 * DAY_MIN + 19 * 60 + 30,
+                duration_min: 200,
+                attendance: 0.30,
+                extra_events: 3,
+            }],
+            corridor: None,
+            churn: Some(DeviceChurn {
+                sim_swap: 0.12,
+                dual_sim: 0.08,
+            }),
+            long_tail: Some(LongTailMix {
+                night_shift: 0.05,
+                hyper_mobile: 0.04,
+                sedentary: 0.06,
+            }),
+        };
+        cfg
+    }
+
+    /// Resolves a preset name — any entry of [`PRESETS`], with or without
+    /// the `-like` suffix — to its configuration. `None` for unknown names.
+    pub fn preset(name: &str, num_users: usize) -> Option<Self> {
+        Some(match name.strip_suffix("-like").unwrap_or(name) {
+            "civ" => Self::civ_like(num_users),
+            "sen" => Self::sen_like(num_users),
+            "metro" => Self::metro_like(num_users),
+            "mixed" => Self::mixed_like(num_users),
+            "flash" => Self::flash_like(num_users),
+            "corridor" => Self::corridor_like(num_users),
+            "churn" => Self::churn_like(num_users),
+            "longtail" => Self::longtail_like(num_users),
+            "storm" => Self::storm_like(num_users),
+            _ => return None,
+        })
+    }
+
+    /// Validates the configuration, returning the first violation as a
+    /// typed [`ScenarioError`]. [`try_generate`] and
+    /// [`crate::ScenarioEvents::try_new`] run this before generating.
+    pub fn validate(&self) -> Result<(), ScenarioError> {
+        if self.num_users == 0 {
+            return Err(ScenarioError::NoUsers);
+        }
+        if self.num_towers == 0 {
+            return Err(ScenarioError::NoTowers);
+        }
+        if self.span_days == 0 {
+            return Err(ScenarioError::NoSpan);
+        }
+        let field = |field: &'static str, value: f64, ok: bool| {
+            if ok && value.is_finite() {
+                Ok(())
+            } else {
+                Err(ScenarioError::InvalidField { field, value })
+            }
+        };
+        field(
+            "min_events_per_day",
+            self.min_events_per_day,
+            self.min_events_per_day >= 0.0,
+        )?;
+        field(
+            "wander_sigma_m",
+            self.wander_sigma_m,
+            self.wander_sigma_m >= 0.0,
+        )?;
+        field(
+            "excursion_p",
+            self.excursion_p,
+            (0.0..=1.0).contains(&self.excursion_p),
+        )?;
+        let m = &self.mobility;
+        field(
+            "mobility.employed_p",
+            m.employed_p,
+            (0.0..=1.0).contains(&m.employed_p),
+        )?;
+        field(
+            "mobility.work_same_city_p",
+            m.work_same_city_p,
+            (0.0..=1.0).contains(&m.work_same_city_p),
+        )?;
+        field(
+            "mobility.commute_median_m",
+            m.commute_median_m,
+            m.commute_median_m > 0.0,
+        )?;
+        field(
+            "mobility.commute_sigma",
+            m.commute_sigma,
+            m.commute_sigma >= 0.0,
+        )?;
+        field(
+            "mobility.errand_radius_m",
+            m.errand_radius_m,
+            m.errand_radius_m > 200.0,
+        )?;
+        field(
+            "mobility.weekend_trip_p",
+            m.weekend_trip_p,
+            (0.0..=1.0).contains(&m.weekend_trip_p),
+        )?;
+        field("mobility.trip_alpha", m.trip_alpha, m.trip_alpha > 0.0)?;
+        field("mobility.trip_min_m", m.trip_min_m, m.trip_min_m > 0.0)?;
+        if m.errands_min > m.errands_max {
+            return Err(ScenarioError::InvalidField {
+                field: "mobility.errands_min",
+                value: m.errands_min as f64,
+            });
+        }
+        let t = &self.traffic;
+        field(
+            "traffic.events_per_day_median",
+            t.events_per_day_median,
+            t.events_per_day_median > 0.0,
+        )?;
+        field("traffic.rate_sigma", t.rate_sigma, t.rate_sigma >= 0.0)?;
+        field(
+            "traffic.session_extra_mean",
+            t.session_extra_mean,
+            t.session_extra_mean >= 0.0,
+        )?;
+        if t.session_gap_max_min == 0 {
+            return Err(ScenarioError::InvalidField {
+                field: "traffic.session_gap_max_min",
+                value: 0.0,
+            });
+        }
+        self.country
+            .validate()
+            .map_err(ScenarioError::InvalidCountry)?;
+        self.workloads
+            .validate(&self.country, self.span_days)
+            .map_err(ScenarioError::InvalidWorkload)?;
+        Ok(())
+    }
 }
+
+/// All preset names accepted by [`ScenarioConfig::preset`] and by
+/// `glove synth --preset`.
+pub const PRESETS: &[&str] = &[
+    "civ", "sen", "metro", "mixed", "flash", "corridor", "churn", "longtail", "storm",
+];
 
 /// A generated dataset together with the geometry needed by the city
 /// subsetting and by diagnostics.
@@ -136,9 +438,25 @@ pub struct SynthDataset {
     pub country: Country,
     /// Home-city index per user id (`None` = rural), aligned with user ids.
     pub home_city: Vec<Option<usize>>,
+    /// Ground-truth mobility cohort per user id (secondary churn
+    /// identities inherit their person's cohort), aligned with user ids.
+    pub cohorts: Vec<Cohort>,
     /// Users rejected by the activity screening before `num_users` accepted
     /// candidates were found.
     pub screened_out: usize,
+}
+
+impl SynthDataset {
+    /// User ids labelled with a long-tail cohort — the ground truth for
+    /// cohort-conditioned attack scoring.
+    pub fn long_tail_users(&self) -> Vec<UserId> {
+        self.cohorts
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_long_tail())
+            .map(|(i, _)| i as UserId)
+            .collect()
+    }
 }
 
 /// The resident generation state of one accepted subscriber: the event
@@ -154,6 +472,8 @@ pub(crate) struct UserGen {
     pub(crate) itinerary: crate::mobility::Itinerary,
     pub(crate) rng: StdRng,
     pub(crate) home_city: Option<usize>,
+    pub(crate) cohort: Cohort,
+    pub(crate) churn: ChurnPlan,
 }
 
 /// Screening floor: minimum events over the span to keep a candidate.
@@ -173,15 +493,26 @@ pub(crate) fn spawn_user(cfg: &ScenarioConfig, candidate: u64) -> Option<UserGen
     );
     let profile = sample_profile(&cfg.country, &cfg.mobility, &mut rng);
     let rate = sample_user_rate(&cfg.traffic, &mut rng);
-    let minutes = generate_event_minutes(rate, cfg.span_days, &cfg.traffic, &mut rng);
+    let mut minutes = generate_event_minutes(rate, cfg.span_days, &cfg.traffic, &mut rng);
     if minutes.len() < min_events(cfg) {
         return None;
     }
-    let itinerary = build_itinerary(
+    let mut itinerary = build_itinerary(
         &profile,
         &cfg.country,
         &cfg.mobility,
         cfg.span_days,
+        &mut rng,
+    );
+    // Workloads transform the accepted candidate in place (screening stays
+    // on the base traffic process); an empty stack consumes zero draws.
+    let (cohort, churn) = apply_workloads(
+        &cfg.workloads,
+        &cfg.country,
+        cfg.span_days,
+        &profile,
+        &mut minutes,
+        &mut itinerary,
         &mut rng,
     );
     Some(UserGen {
@@ -189,6 +520,8 @@ pub(crate) fn spawn_user(cfg: &ScenarioConfig, candidate: u64) -> Option<UserGen
         itinerary,
         rng,
         home_city: profile.home_city,
+        cohort,
+        churn,
     })
 }
 
@@ -240,14 +573,35 @@ pub(crate) fn deploy_towers(cfg: &ScenarioConfig) -> TowerNetwork {
 /// Generates a synthetic CDR dataset. Deterministic for a given config.
 ///
 /// # Panics
-/// Panics if the acceptance rate of the screening is pathologically low
-/// (more than 50× oversampling), which indicates an inconsistent
-/// configuration (e.g. screening threshold far above the traffic rate).
+/// Panics with the [`ScenarioError`] message on a degenerate configuration
+/// (use [`try_generate`] for a `Result`), and if the acceptance rate of the
+/// screening is pathologically low (more than 50× oversampling), which
+/// indicates an inconsistent configuration (e.g. screening threshold far
+/// above the traffic rate).
 pub fn generate(cfg: &ScenarioConfig) -> SynthDataset {
+    match try_generate(cfg) {
+        Ok(synth) => synth,
+        Err(e) => panic!("invalid scenario configuration: {e}"),
+    }
+}
+
+/// [`generate`] with the degenerate-configuration panic lifted into a typed
+/// [`ScenarioError`].
+pub fn try_generate(cfg: &ScenarioConfig) -> Result<SynthDataset, ScenarioError> {
+    cfg.validate()?;
+    Ok(generate_inner(cfg))
+}
+
+fn generate_inner(cfg: &ScenarioConfig) -> SynthDataset {
     let towers = deploy_towers(cfg);
 
     let mut fingerprints: Vec<Fingerprint> = Vec::with_capacity(cfg.num_users);
     let mut home_city = Vec::with_capacity(cfg.num_users);
+    let mut cohorts = Vec::with_capacity(cfg.num_users);
+    // Samples routed to secondary (churn) identities, in person-acceptance
+    // order; their ids are allocated past `num_users` after the loop, the
+    // same allocation the event-iterator path performs.
+    let mut split: Vec<(Vec<Sample>, Option<usize>, Cohort)> = Vec::new();
     let mut screened_out = 0usize;
 
     let mut candidate = 0u64;
@@ -262,14 +616,14 @@ pub fn generate(cfg: &ScenarioConfig) -> SynthDataset {
 
         let minutes = std::mem::take(&mut user_gen.minutes);
         let mut samples = Vec::with_capacity(minutes.len());
+        let mut secondary = Vec::new();
         for &t in &minutes {
-            samples.push(synth_sample(
-                cfg,
-                &towers,
-                &user_gen.itinerary,
-                &mut user_gen.rng,
-                t,
-            ));
+            let sample = synth_sample(cfg, &towers, &user_gen.itinerary, &mut user_gen.rng, t);
+            if user_gen.churn.routes_secondary(t) {
+                secondary.push(sample);
+            } else {
+                samples.push(sample);
+            }
         }
         // One event per minute is guaranteed by the traffic process, but the
         // same (cell, minute) can only appear once in a fingerprint.
@@ -280,6 +634,20 @@ pub fn generate(cfg: &ScenarioConfig) -> SynthDataset {
         fingerprints
             .push(Fingerprint::with_users(vec![user], samples).expect("non-empty by screening"));
         home_city.push(user_gen.home_city);
+        cohorts.push(user_gen.cohort);
+        if !secondary.is_empty() {
+            secondary.sort_unstable_by_key(|s| (s.t, s.x, s.y));
+            secondary.dedup();
+            split.push((secondary, user_gen.home_city, user_gen.cohort));
+        }
+    }
+
+    for (samples, city, cohort) in split {
+        let user = fingerprints.len() as UserId;
+        fingerprints
+            .push(Fingerprint::with_users(vec![user], samples).expect("split ids are non-empty"));
+        home_city.push(city);
+        cohorts.push(cohort);
     }
 
     let dataset = Dataset::new(cfg.name.clone(), fingerprints).expect("unique user ids");
@@ -288,6 +656,7 @@ pub fn generate(cfg: &ScenarioConfig) -> SynthDataset {
         towers,
         country: cfg.country.clone(),
         home_city,
+        cohorts,
         screened_out,
     }
 }
@@ -403,6 +772,185 @@ mod tests {
             gaps.iter().all(|&g| g > 0.0),
             "some users are already 2-anonymous — synthetic data too regular"
         );
+    }
+
+    #[test]
+    fn preset_lookup_covers_every_advertised_name() {
+        for &name in PRESETS {
+            let cfg = ScenarioConfig::preset(name, 10)
+                .unwrap_or_else(|| panic!("advertised preset '{name}' unknown"));
+            cfg.validate()
+                .unwrap_or_else(|e| panic!("preset '{name}' invalid: {e}"));
+            assert!(
+                ScenarioConfig::preset(&format!("{name}-like"), 10).is_some(),
+                "'{name}-like' alias must resolve"
+            );
+        }
+        assert!(ScenarioConfig::preset("atlantis", 10).is_none());
+    }
+
+    #[test]
+    fn validation_rejects_each_degenerate_field() {
+        let base = || {
+            let mut c = ScenarioConfig::civ_like(10);
+            c.num_towers = 100;
+            c
+        };
+        let mut c = base();
+        c.num_users = 0;
+        assert_eq!(c.validate(), Err(ScenarioError::NoUsers));
+
+        let mut c = base();
+        c.num_towers = 0;
+        assert_eq!(c.validate(), Err(ScenarioError::NoTowers));
+
+        let mut c = base();
+        c.span_days = 0;
+        assert_eq!(c.validate(), Err(ScenarioError::NoSpan));
+
+        let mut c = base();
+        c.wander_sigma_m = -1.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ScenarioError::InvalidField {
+                field: "wander_sigma_m",
+                ..
+            })
+        ));
+
+        let mut c = base();
+        c.excursion_p = 1.5;
+        assert!(matches!(
+            c.validate(),
+            Err(ScenarioError::InvalidField {
+                field: "excursion_p",
+                ..
+            })
+        ));
+
+        let mut c = base();
+        c.mobility.commute_sigma = -0.5;
+        assert!(matches!(
+            c.validate(),
+            Err(ScenarioError::InvalidField {
+                field: "mobility.commute_sigma",
+                ..
+            })
+        ));
+
+        let mut c = base();
+        c.mobility.commute_median_m = f64::NAN;
+        assert!(c.validate().is_err(), "NaN must be rejected");
+
+        let mut c = base();
+        c.traffic.events_per_day_median = 0.0;
+        assert!(matches!(
+            c.validate(),
+            Err(ScenarioError::InvalidField {
+                field: "traffic.events_per_day_median",
+                ..
+            })
+        ));
+
+        let mut c = base();
+        c.country.cities.clear();
+        assert!(matches!(
+            c.validate(),
+            Err(ScenarioError::InvalidCountry(_))
+        ));
+
+        let mut c = base();
+        c.workloads.churn = Some(DeviceChurn {
+            sim_swap: 0.8,
+            dual_sim: 0.8,
+        });
+        assert!(matches!(
+            c.validate(),
+            Err(ScenarioError::InvalidWorkload(_))
+        ));
+
+        // The Result path surfaces the same error without generating.
+        let mut c = base();
+        c.num_users = 0;
+        assert_eq!(try_generate(&c).err(), Some(ScenarioError::NoUsers));
+        // The error renders a human-readable message.
+        assert!(ScenarioError::NoUsers.to_string().contains("num_users"));
+    }
+
+    #[test]
+    fn churn_split_allocates_secondary_ids_past_num_users() {
+        let mut cfg = ScenarioConfig::churn_like(40);
+        cfg.num_towers = 250;
+        let s = generate(&cfg);
+        assert!(
+            s.dataset.num_users() > 40,
+            "churn at 30% produced no split identity"
+        );
+        assert_eq!(s.dataset.fingerprints.len(), s.cohorts.len());
+        assert_eq!(s.dataset.fingerprints.len(), s.home_city.len());
+        for (i, fp) in s.dataset.fingerprints.iter().enumerate() {
+            assert_eq!(fp.users(), &[i as UserId], "ids must equal indices");
+            assert!(!fp.samples().is_empty(), "split ids must be non-empty");
+        }
+    }
+
+    #[test]
+    fn longtail_cohorts_are_labelled_with_night_events_at_night() {
+        let mut cfg = ScenarioConfig::longtail_like(150);
+        cfg.num_towers = 250;
+        let s = generate(&cfg);
+        let long_tail = s.long_tail_users();
+        assert!(
+            (5..75).contains(&long_tail.len()),
+            "{} long-tail users out of 150 is outside the configured band",
+            long_tail.len()
+        );
+        // Night-shift users log a large share of events in the small hours
+        // (00:00–06:00), where typical diurnal traffic nearly vanishes.
+        let night_share = |fp: &Fingerprint| {
+            let night = fp
+                .samples()
+                .iter()
+                .filter(|smp| (smp.t % DAY_MIN) < 6 * 60)
+                .count();
+            night as f64 / fp.len() as f64
+        };
+        let mut checked = 0;
+        for (i, fp) in s.dataset.fingerprints.iter().enumerate() {
+            match s.cohorts[i] {
+                Cohort::NightShift => {
+                    assert!(
+                        night_share(fp) > 0.15,
+                        "night-shift user {i} has day-shaped traffic"
+                    );
+                    checked += 1;
+                }
+                Cohort::Typical => {
+                    assert!(
+                        night_share(fp) < 0.30,
+                        "typical user {i} looks night-shifted"
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert!(checked >= 2, "no night-shift users to check");
+    }
+
+    #[test]
+    fn storm_preset_composes_workloads_deterministically() {
+        let mut cfg = ScenarioConfig::storm_like(60);
+        cfg.num_towers = 250;
+        let a = generate(&cfg);
+        let b = generate(&cfg);
+        assert_eq!(a.dataset.fingerprints.len(), b.dataset.fingerprints.len());
+        for (fa, fb) in a.dataset.fingerprints.iter().zip(&b.dataset.fingerprints) {
+            assert_eq!(fa.samples(), fb.samples());
+        }
+        assert_eq!(a.cohorts, b.cohorts);
+        // All three stacked workloads materialize.
+        assert!(!a.long_tail_users().is_empty(), "no long-tail cohort");
+        assert!(a.dataset.num_users() > 60, "no churn split ids");
     }
 
     #[test]

@@ -1,0 +1,582 @@
+//! Composable scenario workloads: adversarial mobility layered on the base
+//! commuter model.
+//!
+//! The paper's evaluation datasets are commuter-dominated — the regime
+//! where greedy generalization looks best. This module injects the mobility
+//! it never saw: crowd surges ([`FlashCrowd`]), scheduled inter-city travel
+//! ([`crate::corridor::CorridorTravel`]), identity churn
+//! ([`crate::churn::DeviceChurn`]) and ground-truth-labelled long-tail
+//! outliers ([`LongTailMix`] → [`Cohort`]). Workloads are declared on
+//! [`crate::ScenarioConfig::workloads`] and compose freely in one dataset.
+//!
+//! Composition rules (fixed, so results are reproducible):
+//!
+//! 1. the long-tail cohort is assigned first and transforms the user's
+//!    minutes/itinerary;
+//! 2. corridor travel and flash crowds reshape only [`Cohort::Typical`]
+//!    users — long-tail users keep their ground-truth profile undiluted;
+//! 3. device churn is planned last, from the final event minutes, and
+//!    applies to every cohort (a night-shift worker can still swap SIMs).
+//!
+//! All randomness comes from the per-candidate RNG in a fixed draw order,
+//! and an empty [`WorkloadConfig`] consumes **zero** draws — legacy presets
+//! stay byte-identical. The batch generator and the event-iterator path
+//! share this code via `spawn_user`, preserving the parity invariant.
+
+use crate::churn::{plan_churn, ChurnPlan, DeviceChurn};
+use crate::corridor::{apply_corridor, CorridorTravel};
+use crate::country::Country;
+use crate::mobility::{Itinerary, UserProfile, DAY_MIN};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Ground-truth mobility cohort of a synthetic subscriber. Long-tail
+/// cohorts are the adversarially atypical profiles that fingerprinting
+/// classifiers single out; [`crate::SynthDataset::cohorts`] carries the
+/// label per user id so attacks can be scored on them specifically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cohort {
+    /// Baseline commuter mobility.
+    Typical,
+    /// Diurnal pattern shifted by 12 h: active and at work at night.
+    NightShift,
+    /// No stable anchors: relocates to a uniformly random position every
+    /// few hours, country-wide.
+    HyperMobile,
+    /// Never leaves the home cell.
+    Sedentary,
+}
+
+impl Cohort {
+    /// Whether this cohort belongs to the adversarial long tail.
+    pub fn is_long_tail(self) -> bool {
+        !matches!(self, Cohort::Typical)
+    }
+
+    /// Stable lowercase label (used in CSV/JSON artifacts).
+    pub fn label(self) -> &'static str {
+        match self {
+            Cohort::Typical => "typical",
+            Cohort::NightShift => "night-shift",
+            Cohort::HyperMobile => "hyper-mobile",
+            Cohort::Sedentary => "sedentary",
+        }
+    }
+}
+
+/// A bounded-window crowd surge: a fraction of the population converges on
+/// one venue block for a few hours, produces extra traffic there, then
+/// disperses back to their routines.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlashCrowd {
+    /// Venue centre, meters (`None` → the primary city's centre).
+    pub venue: Option<(f64, f64)>,
+    /// Gaussian scatter of attendees around the venue centre, meters.
+    pub scatter_m: f64,
+    /// Surge start, minutes from the span origin.
+    pub start_min: u32,
+    /// Surge duration, minutes.
+    pub duration_min: u32,
+    /// Fraction of (typical-cohort) users attending.
+    pub attendance: f64,
+    /// Extra logged events per attendee inside the window (photos, calls,
+    /// "where are you" texts).
+    pub extra_events: usize,
+}
+
+/// Fractions of the population assigned to each long-tail cohort (the
+/// remainder stays [`Cohort::Typical`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LongTailMix {
+    /// Fraction of night-shift workers.
+    pub night_shift: f64,
+    /// Fraction of hyper-mobile users.
+    pub hyper_mobile: f64,
+    /// Fraction of single-cell sedentary users.
+    pub sedentary: f64,
+}
+
+/// The workload stack of a scenario. `Default` is empty: no extra draws,
+/// byte-identical to the pre-workload generator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkloadConfig {
+    /// Crowd surges (applied in order).
+    pub flash_crowds: Vec<FlashCrowd>,
+    /// Scheduled inter-city travel (requires [`Country::corridors`]).
+    pub corridor: Option<CorridorTravel>,
+    /// SIM-swap / dual-SIM identity churn.
+    pub churn: Option<DeviceChurn>,
+    /// Long-tail cohort injection.
+    pub long_tail: Option<LongTailMix>,
+}
+
+impl WorkloadConfig {
+    /// Whether the stack is empty (no transform, zero RNG draws).
+    pub fn is_empty(&self) -> bool {
+        self.flash_crowds.is_empty()
+            && self.corridor.is_none()
+            && self.churn.is_none()
+            && self.long_tail.is_none()
+    }
+
+    /// Validates the stack against the scenario geometry and span.
+    pub(crate) fn validate(&self, country: &Country, span_days: u32) -> Result<(), String> {
+        let span_min = span_days * DAY_MIN;
+        let prob = |field: &str, v: f64| {
+            if v.is_finite() && (0.0..=1.0).contains(&v) {
+                Ok(())
+            } else {
+                Err(format!("{field} = {v} is not a probability"))
+            }
+        };
+        for (i, crowd) in self.flash_crowds.iter().enumerate() {
+            prob(&format!("flash_crowds[{i}].attendance"), crowd.attendance)?;
+            if !(crowd.scatter_m >= 0.0 && crowd.scatter_m.is_finite()) {
+                return Err(format!(
+                    "flash_crowds[{i}].scatter_m must be finite and >= 0"
+                ));
+            }
+            if crowd.duration_min == 0 {
+                return Err(format!("flash_crowds[{i}].duration_min must be positive"));
+            }
+            if crowd.start_min >= span_min {
+                return Err(format!(
+                    "flash_crowds[{i}].start_min = {} is past the {span_min}-minute span",
+                    crowd.start_min
+                ));
+            }
+            if let Some((x, y)) = crowd.venue {
+                if !(0.0..=country.width_m).contains(&x) || !(0.0..=country.height_m).contains(&y) {
+                    return Err(format!("flash_crowds[{i}].venue is outside the country"));
+                }
+            }
+        }
+        if let Some(travel) = &self.corridor {
+            if country.corridors.is_empty() {
+                return Err(
+                    "corridor travel configured but the country declares no corridors".to_string(),
+                );
+            }
+            prob("corridor.travelers", travel.travelers)?;
+            if travel.trips == 0 {
+                return Err("corridor.trips must be positive".to_string());
+            }
+            if !(travel.speed_m_min > 0.0 && travel.speed_m_min.is_finite()) {
+                return Err("corridor.speed_m_min must be finite and positive".to_string());
+            }
+        }
+        if let Some(churn) = &self.churn {
+            prob("churn.sim_swap", churn.sim_swap)?;
+            prob("churn.dual_sim", churn.dual_sim)?;
+            if churn.sim_swap + churn.dual_sim > 1.0 {
+                return Err("churn fractions sum past 1".to_string());
+            }
+        }
+        if let Some(mix) = &self.long_tail {
+            prob("long_tail.night_shift", mix.night_shift)?;
+            prob("long_tail.hyper_mobile", mix.hyper_mobile)?;
+            prob("long_tail.sedentary", mix.sedentary)?;
+            if mix.night_shift + mix.hyper_mobile + mix.sedentary > 1.0 {
+                return Err("long-tail fractions sum past 1".to_string());
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Applies the workload stack to one accepted candidate, in the fixed
+/// composition order documented on the module. Returns the ground-truth
+/// cohort and the churn plan. Consumes zero RNG draws when the stack is
+/// empty.
+pub(crate) fn apply_workloads(
+    w: &WorkloadConfig,
+    country: &Country,
+    span_days: u32,
+    profile: &UserProfile,
+    minutes: &mut Vec<u32>,
+    itinerary: &mut Itinerary,
+    rng: &mut StdRng,
+) -> (Cohort, ChurnPlan) {
+    if w.is_empty() {
+        return (Cohort::Typical, ChurnPlan::None);
+    }
+    let span_min = span_days * DAY_MIN;
+
+    // 1. Long-tail cohort assignment and transform.
+    let cohort = match &w.long_tail {
+        Some(mix) => assign_cohort(mix, rng),
+        None => Cohort::Typical,
+    };
+    match cohort {
+        Cohort::Typical => {}
+        Cohort::NightShift => night_shift(profile, minutes, itinerary, span_days),
+        Cohort::HyperMobile => hyper_mobile(country, profile, itinerary, span_min, rng),
+        Cohort::Sedentary => itinerary.collapse_to(profile.home),
+    }
+
+    // 2–3. Corridor trips and crowd surges reshape only typical commuters;
+    // long-tail users keep their ground-truth profile undiluted.
+    if cohort == Cohort::Typical {
+        if let Some(travel) = &w.corridor {
+            apply_corridor(travel, country, profile, minutes, itinerary, span_min, rng);
+        }
+        for crowd in &w.flash_crowds {
+            apply_flash_crowd(crowd, country, minutes, itinerary, span_min, rng);
+        }
+    }
+
+    minutes.retain(|&t| t < span_min);
+    minutes.sort_unstable();
+    minutes.dedup();
+
+    // 4. Device churn plan, from the final event minutes.
+    let plan = match &w.churn {
+        Some(churn) => plan_churn(churn, minutes, rng),
+        None => ChurnPlan::None,
+    };
+    (cohort, plan)
+}
+
+/// One uniform draw → cohort, by stacked fractions.
+fn assign_cohort(mix: &LongTailMix, rng: &mut StdRng) -> Cohort {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    if u < mix.night_shift {
+        Cohort::NightShift
+    } else if u < mix.night_shift + mix.hyper_mobile {
+        Cohort::HyperMobile
+    } else if u < mix.night_shift + mix.hyper_mobile + mix.sedentary {
+        Cohort::Sedentary
+    } else {
+        Cohort::Typical
+    }
+}
+
+/// Shifts the whole diurnal pattern by 12 h: event minutes move to the
+/// night half of each day (a per-day bijection, so the event count is
+/// preserved), and an employed user's work block covers 22:00–06:00.
+fn night_shift(
+    profile: &UserProfile,
+    minutes: &mut [u32],
+    itinerary: &mut Itinerary,
+    span_days: u32,
+) {
+    for t in minutes.iter_mut() {
+        let day = *t / DAY_MIN;
+        *t = day * DAY_MIN + (*t % DAY_MIN + 12 * 60) % DAY_MIN;
+    }
+    if let Some(work) = profile.work {
+        for day in 0..span_days {
+            let base = day * DAY_MIN;
+            itinerary.overlay(base + 22 * 60, base + DAY_MIN + 6 * 60, work);
+        }
+    }
+}
+
+/// Replaces the anchored routine with a country-wide relocation walk: a
+/// fresh uniform position every 2–6 hours, no home/work regularity.
+fn hyper_mobile(
+    country: &Country,
+    profile: &UserProfile,
+    itinerary: &mut Itinerary,
+    span_min: u32,
+    rng: &mut StdRng,
+) {
+    let mut blocks = vec![(0u32, profile.home)];
+    let mut t = 0u32;
+    loop {
+        t += rng.gen_range(120..360);
+        if t >= span_min {
+            break;
+        }
+        blocks.push((
+            t,
+            (
+                rng.gen_range(0.0..country.width_m),
+                rng.gen_range(0.0..country.height_m),
+            ),
+        ));
+    }
+    *itinerary = Itinerary::from_blocks(blocks, span_min);
+}
+
+/// One crowd surge for one candidate: a Bernoulli attendance draw, then an
+/// itinerary overlay at a per-attendee spot near the venue plus extra
+/// logged events inside the window.
+fn apply_flash_crowd(
+    crowd: &FlashCrowd,
+    country: &Country,
+    minutes: &mut Vec<u32>,
+    itinerary: &mut Itinerary,
+    span_min: u32,
+    rng: &mut StdRng,
+) {
+    if !rng.gen_bool(crowd.attendance) {
+        return;
+    }
+    let center = crowd.venue.unwrap_or(country.primary_city().center);
+    let spot = country.clamp(
+        center.0 + normal(rng) * crowd.scatter_m,
+        center.1 + normal(rng) * crowd.scatter_m,
+    );
+    let start = crowd.start_min.min(span_min.saturating_sub(1));
+    let end = crowd
+        .start_min
+        .saturating_add(crowd.duration_min)
+        .min(span_min);
+    if end <= start {
+        return;
+    }
+    itinerary.overlay(start, end, spot);
+    for _ in 0..crowd.extra_events {
+        minutes.push(rng.gen_range(start..end));
+    }
+}
+
+/// Standard normal via Box–Muller.
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0f64);
+    let u2: f64 = rng.gen_range(0.0..1.0f64);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mobility::{build_itinerary, sample_profile, MobilityConfig};
+    use rand::SeedableRng;
+
+    fn candidate(seed: u64, span_days: u32) -> (UserProfile, Vec<u32>, Itinerary, StdRng) {
+        let country = Country::metro_like();
+        let cfg = MobilityConfig::default();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let profile = sample_profile(&country, &cfg, &mut rng);
+        let it = build_itinerary(&profile, &country, &cfg, span_days, &mut rng);
+        let minutes: Vec<u32> = (0..span_days * DAY_MIN).step_by(211).collect();
+        (profile, minutes, it, rng)
+    }
+
+    #[test]
+    fn empty_stack_consumes_zero_draws() {
+        let (profile, mut minutes, mut it, mut rng) = candidate(1, 7);
+        let probe_before = rng.clone().gen_range(0.0..1.0f64);
+        let (cohort, plan) = apply_workloads(
+            &WorkloadConfig::default(),
+            &Country::metro_like(),
+            7,
+            &profile,
+            &mut minutes,
+            &mut it,
+            &mut rng,
+        );
+        assert_eq!(cohort, Cohort::Typical);
+        assert!(!plan.is_split());
+        assert_eq!(
+            rng.gen_range(0.0..1.0f64),
+            probe_before,
+            "empty workload stack must not consume RNG draws"
+        );
+    }
+
+    #[test]
+    fn flash_crowd_pins_attendees_to_the_venue_window() {
+        let country = Country::metro_like();
+        let crowd = FlashCrowd {
+            venue: Some((58_000.0, 38_000.0)),
+            scatter_m: 300.0,
+            start_min: 2 * DAY_MIN + 19 * 60,
+            duration_min: 180,
+            attendance: 1.0,
+            extra_events: 4,
+        };
+        let (_, mut minutes, mut it, mut rng) = candidate(2, 7);
+        let before_len = minutes.len();
+        apply_flash_crowd(
+            &crowd,
+            &country,
+            &mut minutes,
+            &mut it,
+            7 * DAY_MIN,
+            &mut rng,
+        );
+        let mid = crowd.start_min + 90;
+        let (x, y) = it.position_at(mid);
+        let d = ((x - 58_000.0).powi(2) + (y - 38_000.0).powi(2)).sqrt();
+        assert!(
+            d < 5.0 * crowd.scatter_m,
+            "attendee {d:.0} m from the venue"
+        );
+        assert_eq!(minutes.len(), before_len + crowd.extra_events);
+        assert!(minutes[before_len..]
+            .iter()
+            .all(|&t| (crowd.start_min..crowd.start_min + 180).contains(&t)));
+    }
+
+    #[test]
+    fn night_shift_is_a_per_day_bijection_on_minutes() {
+        let (profile, minutes0, mut it, _) = candidate(3, 7);
+        let mut minutes = minutes0.clone();
+        night_shift(&profile, &mut minutes, &mut it, 7);
+        assert_eq!(minutes.len(), minutes0.len());
+        let mut sorted = minutes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), minutes0.len(), "night shift collided minutes");
+        for (&m, &m0) in minutes.iter().zip(&minutes0) {
+            assert_eq!(m / DAY_MIN, m0 / DAY_MIN, "event moved across days");
+            assert_eq!(m % DAY_MIN, (m0 % DAY_MIN + 12 * 60) % DAY_MIN);
+        }
+    }
+
+    #[test]
+    fn night_shift_workers_are_at_work_at_3am() {
+        let mut found = 0;
+        for seed in 0..40u64 {
+            let (profile, mut minutes, mut it, _) = candidate(seed, 7);
+            let Some(work) = profile.work else { continue };
+            night_shift(&profile, &mut minutes, &mut it, 7);
+            // 03:00 on days 1..6 (day 0 starts at home before the first
+            // 22:00 shift) must be at work.
+            for day in 1..7 {
+                assert_eq!(
+                    it.position_at(day * DAY_MIN + 3 * 60),
+                    work,
+                    "seed {seed} day {day}: night worker not at work at 3 AM"
+                );
+            }
+            found += 1;
+        }
+        assert!(found > 10, "not enough employed candidates");
+    }
+
+    #[test]
+    fn sedentary_users_emit_a_single_position() {
+        let mix = LongTailMix {
+            night_shift: 0.0,
+            hyper_mobile: 0.0,
+            sedentary: 1.0,
+        };
+        let w = WorkloadConfig {
+            long_tail: Some(mix),
+            ..WorkloadConfig::default()
+        };
+        let country = Country::metro_like();
+        let (profile, mut minutes, mut it, mut rng) = candidate(4, 7);
+        let (cohort, _) =
+            apply_workloads(&w, &country, 7, &profile, &mut minutes, &mut it, &mut rng);
+        assert_eq!(cohort, Cohort::Sedentary);
+        for t in (0..7 * DAY_MIN).step_by(131) {
+            assert_eq!(it.position_at(t), profile.home);
+        }
+    }
+
+    #[test]
+    fn hyper_mobile_users_roam_the_whole_country() {
+        let country = Country::metro_like();
+        let (profile, _, mut it, mut rng) = candidate(5, 14);
+        hyper_mobile(&country, &profile, &mut it, 14 * DAY_MIN, &mut rng);
+        assert!(it.num_blocks() > 40, "too few relocations");
+        // Spread: positions span a large fraction of the country extent.
+        let xs: Vec<f64> = it.blocks().iter().map(|b| b.1 .0).collect();
+        let spread = xs.iter().cloned().fold(f64::MIN, f64::max)
+            - xs.iter().cloned().fold(f64::MAX, f64::min);
+        assert!(
+            spread > 0.5 * country.width_m,
+            "x spread only {spread:.0} m"
+        );
+    }
+
+    #[test]
+    fn cohort_fractions_roughly_match_mix() {
+        let mix = LongTailMix {
+            night_shift: 0.2,
+            hyper_mobile: 0.1,
+            sedentary: 0.3,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 4_000;
+        let mut counts = [0usize; 4];
+        for _ in 0..n {
+            let i = match assign_cohort(&mix, &mut rng) {
+                Cohort::NightShift => 0,
+                Cohort::HyperMobile => 1,
+                Cohort::Sedentary => 2,
+                Cohort::Typical => 3,
+            };
+            counts[i] += 1;
+        }
+        for (count, want) in counts.iter().zip([0.2, 0.1, 0.3, 0.4]) {
+            let share = *count as f64 / n as f64;
+            assert!(
+                (share - want).abs() < 0.03,
+                "cohort share {share} vs configured {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_workloads() {
+        let country = Country::metro_like();
+        let ok = WorkloadConfig::default();
+        assert!(ok.validate(&country, 14).is_ok());
+
+        let bad_attendance = WorkloadConfig {
+            flash_crowds: vec![FlashCrowd {
+                venue: None,
+                scatter_m: 100.0,
+                start_min: 0,
+                duration_min: 60,
+                attendance: 1.5,
+                extra_events: 0,
+            }],
+            ..WorkloadConfig::default()
+        };
+        assert!(bad_attendance.validate(&country, 14).is_err());
+
+        let late_start = WorkloadConfig {
+            flash_crowds: vec![FlashCrowd {
+                venue: None,
+                scatter_m: 100.0,
+                start_min: 14 * DAY_MIN,
+                duration_min: 60,
+                attendance: 0.5,
+                extra_events: 0,
+            }],
+            ..WorkloadConfig::default()
+        };
+        assert!(late_start.validate(&country, 14).is_err());
+
+        let corridorless = WorkloadConfig {
+            corridor: Some(CorridorTravel {
+                travelers: 0.5,
+                trips: 1,
+                speed_m_min: 1_000.0,
+                dwell_min: 60,
+            }),
+            ..WorkloadConfig::default()
+        };
+        assert!(
+            corridorless.validate(&country, 14).is_err(),
+            "corridor travel without country corridors rejected"
+        );
+        assert!(corridorless.validate(&Country::corridor_like(), 14).is_ok());
+
+        let heavy_tail = WorkloadConfig {
+            long_tail: Some(LongTailMix {
+                night_shift: 0.5,
+                hyper_mobile: 0.4,
+                sedentary: 0.3,
+            }),
+            ..WorkloadConfig::default()
+        };
+        assert!(heavy_tail.validate(&country, 14).is_err());
+
+        let negative_churn = WorkloadConfig {
+            churn: Some(DeviceChurn {
+                sim_swap: -0.1,
+                dual_sim: 0.0,
+            }),
+            ..WorkloadConfig::default()
+        };
+        assert!(negative_churn.validate(&country, 14).is_err());
+    }
+}

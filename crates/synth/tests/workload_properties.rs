@@ -1,0 +1,159 @@
+//! Property harness for the scenario workload stack: for *arbitrary*
+//! compositions of flash crowds, corridor travel, device churn and
+//! long-tail cohorts, the lazy [`ScenarioEvents`] view must
+//!
+//! * emit a globally time-ordered stream (non-decreasing minute, ties
+//!   broken by ascending emitted user id — the documented heap order), and
+//! * regroup into exactly the batch [`generate`] output, byte for byte:
+//!   same user-id population (churn secondaries included), same cohort
+//!   labels, same per-user sample sequences.
+//!
+//! The strategies deliberately stack workloads at random — any subset of
+//! the four transforms, with randomized knobs — so the parity proof covers
+//! combinations no preset ships.
+
+use glove_core::{Sample, UserId};
+use glove_synth::{
+    generate, CorridorTravel, DeviceChurn, FlashCrowd, LongTailMix, ScenarioConfig, ScenarioEvents,
+    WorkloadConfig,
+};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+const DAY_MIN: u32 = 1_440;
+const SPAN_DAYS: u32 = 4;
+
+/// `Option` strategy: a fair coin gating `inner` (the vendored proptest
+/// shim has no `option::of`).
+fn maybe<S: Strategy>(inner: S) -> impl Strategy<Value = Option<S::Value>> {
+    (0usize..2, inner).prop_map(|(on, v)| if on == 1 { Some(v) } else { None })
+}
+
+fn arb_flash_crowd() -> impl Strategy<Value = FlashCrowd> {
+    (
+        100.0f64..2_000.0,
+        0u32..(SPAN_DAYS * DAY_MIN - 1),
+        30u32..400,
+        0.05f64..0.6,
+        0usize..4,
+    )
+        .prop_map(
+            |(scatter_m, start_min, duration_min, attendance, extra_events)| FlashCrowd {
+                venue: None,
+                scatter_m,
+                start_min,
+                duration_min,
+                attendance,
+                extra_events,
+            },
+        )
+}
+
+fn arb_corridor() -> impl Strategy<Value = CorridorTravel> {
+    (0.05f64..0.6, 1usize..4, 600.0f64..2_000.0, 30u32..360).prop_map(
+        |(travelers, trips, speed_m_min, dwell_min)| CorridorTravel {
+            travelers,
+            trips,
+            speed_m_min,
+            dwell_min,
+        },
+    )
+}
+
+fn arb_churn() -> impl Strategy<Value = DeviceChurn> {
+    // Fractions kept clear of the sum-to-1 validation boundary.
+    (0.0f64..0.45, 0.0f64..0.45).prop_map(|(sim_swap, dual_sim)| DeviceChurn { sim_swap, dual_sim })
+}
+
+fn arb_long_tail() -> impl Strategy<Value = LongTailMix> {
+    (0.0f64..0.3, 0.0f64..0.3, 0.0f64..0.3).prop_map(|(night_shift, hyper_mobile, sedentary)| {
+        LongTailMix {
+            night_shift,
+            hyper_mobile,
+            sedentary,
+        }
+    })
+}
+
+/// Strategy: a small corridor-geometry scenario carrying any subset of the
+/// workload transforms. The corridor country keeps `corridor: Some(..)`
+/// combinations valid; a short span and tower budget keep cases fast.
+fn arb_config() -> impl Strategy<Value = ScenarioConfig> {
+    (
+        8usize..=20,
+        0u64..u64::MAX,
+        proptest::collection::vec(arb_flash_crowd(), 0..=2),
+        maybe(arb_corridor()),
+        maybe(arb_churn()),
+        maybe(arb_long_tail()),
+    )
+        .prop_map(|(users, seed, flash_crowds, corridor, churn, long_tail)| {
+            let mut cfg = ScenarioConfig::corridor_like(users);
+            cfg.name = "workload-prop".into();
+            cfg.seed = seed;
+            cfg.span_days = SPAN_DAYS;
+            cfg.num_towers = 250;
+            cfg.workloads = WorkloadConfig {
+                flash_crowds,
+                corridor,
+                churn,
+                long_tail,
+            };
+            cfg.validate().expect("strategy produces valid configs");
+            cfg
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The stream is globally ordered: minutes never decrease, and within a
+    /// minute emitted user ids ascend (each id appears at most once per
+    /// minute — per-person minutes are unique and ids belong to one person).
+    #[test]
+    fn scenario_events_are_globally_time_ordered(cfg in arb_config()) {
+        let events: Vec<_> = ScenarioEvents::new(&cfg).collect();
+        prop_assert!(!events.is_empty(), "scenario produced no events");
+        for pair in events.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            prop_assert!(
+                (a.sample.t, a.user) < (b.sample.t, b.user),
+                "stream out of order: ({}, {}) then ({}, {})",
+                a.sample.t, a.user, b.sample.t, b.user
+            );
+        }
+    }
+
+    /// Grouping the stream by emitted user id reproduces the batch output
+    /// exactly: same id population, same cohort labels, byte-identical
+    /// per-user sample sequences — whatever workloads are stacked.
+    #[test]
+    fn grouped_stream_is_byte_identical_to_batch(cfg in arb_config()) {
+        let batch = generate(&cfg);
+        let stream = ScenarioEvents::new(&cfg);
+        prop_assert_eq!(
+            stream.cohorts(),
+            &batch.cohorts[..],
+            "cohort ground truth diverged"
+        );
+        let mut per_user: BTreeMap<UserId, Vec<Sample>> = BTreeMap::new();
+        for e in stream {
+            per_user.entry(e.user).or_default().push(e.sample);
+        }
+        prop_assert_eq!(
+            per_user.len(),
+            batch.dataset.fingerprints.len(),
+            "stream id population diverged from batch"
+        );
+        for (user, samples) in &per_user {
+            let fp = &batch.dataset.fingerprints[*user as usize];
+            prop_assert_eq!(fp.users(), &[*user][..], "fingerprint id mismatch");
+            prop_assert_eq!(
+                fp.samples(),
+                &samples[..],
+                "stream diverged from batch for user {}",
+                user
+            );
+        }
+    }
+}
