@@ -1,0 +1,463 @@
+//! The closed loop: attack evidence in, next-epoch policy out.
+//!
+//! Everything before this module measures — the adversaries report how
+//! often they linked, the defense reports what it spent. This module is
+//! the missing arrow back: [`adapt_policy`] compares a set of
+//! [`AttackReport`]s against a declared [`AttackBudget`] and emits the
+//! [`PolicyPlane`] for the *next* epochs, so a long-running deployment
+//! (`glove serve`, the stream engine behind a [`glove_core::api::RunBuilder`])
+//! tightens exactly where the adversary succeeded and nowhere else.
+//!
+//! The tuner is **deterministic and rule-based** — no search, no
+//! randomness — because the operator has to be able to read the emitted
+//! plane and say why each rule exists. Three rules, applied in order:
+//!
+//! 1. **Carry demotion.** Cross-epoch linkage above budget while the
+//!    effective carry is [`CarryPolicy::Sticky`] demotes it to `Fresh`
+//!    from `from_epoch` on: persistent cohorts are the very
+//!    quasi-identifier the linkage adversary exploits (DESIGN.md's
+//!    Sticky-vs-Fresh caveat), and reshuffling is the strongest single
+//!    lever against it.
+//! 2. **Cohort deepening.** A per-cohort breakdown above budget raises
+//!    that cohort's k floor by [`AttackBudget::K_STEP`], capped at
+//!    [`AttackBudget::max_k`] — only the breached cohort pays the extra
+//!    stretch, the rest of the population keeps its utility.
+//! 3. **Global deepening.** A point-knowledge or classifier adversary
+//!    above budget raises the *global* k by [`AttackBudget::K_STEP`]
+//!    (same cap): those attacks do not target a cohort, so the whole
+//!    release must hide deeper.
+//!
+//! All emitted rules take effect at `from_epoch` (half-open, unbounded),
+//! so epochs already published keep the policy they were published
+//! under — the loop only ever changes the future.
+
+use crate::report::AttackReport;
+use glove_core::config::{CarryPolicy, StreamConfig};
+use glove_core::policy::{PolicyOverride, PolicyPlane, PolicyRule};
+use glove_core::GloveError;
+
+/// The operator's declared tolerance for adversary success, the yardstick
+/// [`adapt_policy`] tunes against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttackBudget {
+    /// Highest tolerated cross-epoch linkage rate (global and per
+    /// cohort), in `[0, 1]`.
+    pub max_linkage: f64,
+    /// Highest tolerated point-knowledge / classifier success rate, in
+    /// `[0, 1]`.
+    pub max_classifier: f64,
+    /// Ceiling on any k the tuner may emit — the utility guard-rail: the
+    /// loop never trades more than this much hiding depth for linkage
+    /// resistance.
+    pub max_k: usize,
+}
+
+impl AttackBudget {
+    /// How much one adaptation round deepens a breached k.
+    pub const K_STEP: usize = 2;
+}
+
+impl Default for AttackBudget {
+    fn default() -> Self {
+        Self {
+            max_linkage: 0.25,
+            max_classifier: 0.10,
+            max_k: 10,
+        }
+    }
+}
+
+/// One change [`adapt_policy`] made, in the order it was applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdaptAction {
+    /// Cross-epoch linkage breached the budget under `Sticky` carry:
+    /// groups reshuffle from `from_epoch` on.
+    DemoteCarry {
+        /// First epoch the demotion applies to.
+        from_epoch: u64,
+    },
+    /// A cohort's linkage breached the budget: its k floor deepens.
+    RaiseCohortK {
+        /// The breached cohort's label.
+        cohort: String,
+        /// First epoch the deeper floor applies to.
+        from_epoch: u64,
+        /// The new cohort k floor.
+        k: usize,
+    },
+    /// A point-knowledge / classifier adversary breached the budget: the
+    /// global k deepens.
+    RaiseGlobalK {
+        /// First epoch the deeper k applies to.
+        from_epoch: u64,
+        /// The new global k.
+        k: usize,
+    },
+}
+
+impl std::fmt::Display for AdaptAction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptAction::DemoteCarry { from_epoch } => {
+                write!(f, "carry: sticky -> fresh from epoch {from_epoch}")
+            }
+            AdaptAction::RaiseCohortK {
+                cohort,
+                from_epoch,
+                k,
+            } => {
+                write!(f, "cohort '{cohort}': k -> {k} from epoch {from_epoch}")
+            }
+            AdaptAction::RaiseGlobalK { from_epoch, k } => {
+                write!(f, "global: k -> {k} from epoch {from_epoch}")
+            }
+        }
+    }
+}
+
+/// Result of one adaptation round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptOutcome {
+    /// The next-epoch plane: `current` plus the appended rules. Unchanged
+    /// (and [`AdaptOutcome::actions`] empty) when every report is within
+    /// budget.
+    pub plane: PolicyPlane,
+    /// The changes made, in application order.
+    pub actions: Vec<AdaptAction>,
+}
+
+impl AdaptOutcome {
+    /// True when the round changed nothing — every adversary stayed
+    /// within budget (or every breached lever was already at its cap).
+    pub fn is_noop(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+/// One round of the closed loop: reads `reports`, compares them against
+/// `budget`, and returns `current` with the tightening rules for
+/// `from_epoch` onwards appended.
+///
+/// `base` is the deployment's static configuration — the fallback the
+/// plane's rules override; resolution of the *current* effective policy
+/// (what carry is live, what k a cohort already has) happens against it
+/// at `from_epoch`.
+///
+/// Report routing is by [`AttackReport::attack`]: `"cross-epoch"` drives
+/// the linkage rules (1) and (2); every other attack is treated as a
+/// point-knowledge / classifier adversary and drives rule (3). Cohort
+/// breakdowns naming cohorts the plane does not declare are skipped —
+/// the tuner cannot scope a rule to users it cannot name.
+///
+/// # Errors
+/// [`GloveError::InvalidConfig`] when `current` fails
+/// [`PolicyPlane::validate`] (the emitted plane is validated too, as a
+/// post-condition).
+pub fn adapt_policy(
+    current: &PolicyPlane,
+    base: &StreamConfig,
+    reports: &[AttackReport],
+    budget: &AttackBudget,
+    from_epoch: u64,
+) -> Result<AdaptOutcome, GloveError> {
+    current.validate()?;
+    let mut plane = current.clone();
+    let mut actions = Vec::new();
+    let eff = current.resolve(from_epoch, None, base);
+
+    // Rule 1 + 2: the cross-epoch linkage evidence.
+    for report in reports.iter().filter(|r| r.attack == "cross-epoch") {
+        if report.trials > 0
+            && report.success_rate > budget.max_linkage
+            && eff.carry == CarryPolicy::Sticky
+            && !actions
+                .iter()
+                .any(|a| matches!(a, AdaptAction::DemoteCarry { .. }))
+        {
+            plane.rules.push(PolicyRule {
+                from_epoch,
+                to_epoch: None,
+                cohort: None,
+                set: PolicyOverride {
+                    carry: Some(CarryPolicy::Fresh),
+                    ..PolicyOverride::default()
+                },
+            });
+            actions.push(AdaptAction::DemoteCarry { from_epoch });
+        }
+        for breakdown in &report.cohorts {
+            if breakdown.trials == 0 || breakdown.success_rate <= budget.max_linkage {
+                continue;
+            }
+            if !plane.cohorts.iter().any(|c| c.name == breakdown.cohort) {
+                continue; // the plane cannot name these users
+            }
+            let have = current.resolve(from_epoch, Some(&breakdown.cohort), base).k;
+            let next = (have + AttackBudget::K_STEP).min(budget.max_k);
+            if next <= have {
+                continue; // already at the cap
+            }
+            plane.rules.push(PolicyRule {
+                from_epoch,
+                to_epoch: None,
+                cohort: Some(breakdown.cohort.clone()),
+                set: PolicyOverride {
+                    k: Some(next),
+                    ..PolicyOverride::default()
+                },
+            });
+            actions.push(AdaptAction::RaiseCohortK {
+                cohort: breakdown.cohort.clone(),
+                from_epoch,
+                k: next,
+            });
+        }
+    }
+
+    // Rule 3: point-knowledge / classifier evidence. One global raise per
+    // round, sized by the worst offender.
+    let worst = reports
+        .iter()
+        .filter(|r| r.attack != "cross-epoch" && r.trials > 0)
+        .map(|r| r.success_rate)
+        .fold(f64::NEG_INFINITY, f64::max);
+    if worst > budget.max_classifier {
+        let next = (eff.k + AttackBudget::K_STEP).min(budget.max_k);
+        if next > eff.k {
+            plane.rules.push(PolicyRule {
+                from_epoch,
+                to_epoch: None,
+                cohort: None,
+                set: PolicyOverride {
+                    k: Some(next),
+                    ..PolicyOverride::default()
+                },
+            });
+            actions.push(AdaptAction::RaiseGlobalK {
+                from_epoch,
+                k: next,
+            });
+        }
+    }
+
+    plane.validate()?;
+    Ok(AdaptOutcome { plane, actions })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::CohortBreakdown;
+    use glove_core::config::{GloveConfig, UnderKPolicy};
+    use glove_core::policy::CohortSpec;
+
+    fn sticky_base() -> StreamConfig {
+        StreamConfig {
+            carry: CarryPolicy::Sticky,
+            under_k: UnderKPolicy::Defer,
+            ..StreamConfig::default()
+        }
+    }
+
+    fn linkage_report(rate: f64) -> AttackReport {
+        AttackReport {
+            attack: "cross-epoch".into(),
+            trials: 100,
+            success_rate: rate,
+            ..AttackReport::default()
+        }
+    }
+
+    #[test]
+    fn linkage_breach_demotes_sticky_to_fresh() {
+        let out = adapt_policy(
+            &PolicyPlane::uniform(),
+            &sticky_base(),
+            &[linkage_report(0.42)],
+            &AttackBudget::default(),
+            3,
+        )
+        .unwrap();
+        assert_eq!(
+            out.actions,
+            vec![AdaptAction::DemoteCarry { from_epoch: 3 }]
+        );
+        let eff = out.plane.resolve(3, None, &sticky_base());
+        assert_eq!(eff.carry, CarryPolicy::Fresh);
+        // Epochs already published keep their policy.
+        let before = out.plane.resolve(2, None, &sticky_base());
+        assert_eq!(before.carry, CarryPolicy::Sticky);
+    }
+
+    #[test]
+    fn within_budget_is_a_noop() {
+        let out = adapt_policy(
+            &PolicyPlane::uniform(),
+            &sticky_base(),
+            &[linkage_report(0.17)],
+            &AttackBudget::default(),
+            1,
+        )
+        .unwrap();
+        assert!(out.is_noop());
+        assert_eq!(out.plane, PolicyPlane::uniform());
+    }
+
+    #[test]
+    fn fresh_carry_needs_no_demotion() {
+        let out = adapt_policy(
+            &PolicyPlane::uniform(),
+            &StreamConfig::default(), // fresh carry
+            &[linkage_report(0.9)],
+            &AttackBudget::default(),
+            0,
+        )
+        .unwrap();
+        assert!(out.is_noop(), "nothing to demote: {:?}", out.actions);
+    }
+
+    #[test]
+    fn cohort_breach_deepens_only_that_cohort() {
+        let plane = PolicyPlane {
+            cohorts: vec![
+                CohortSpec {
+                    name: "night-shift".into(),
+                    users: vec![1, 2, 3],
+                },
+                CohortSpec {
+                    name: "long-tail".into(),
+                    users: vec![7, 8],
+                },
+            ],
+            rules: Vec::new(),
+        };
+        let mut report = linkage_report(0.1); // global within budget
+        report.cohorts = vec![
+            CohortBreakdown {
+                cohort: "night-shift".into(),
+                trials: 20,
+                success_rate: 0.5,
+            },
+            CohortBreakdown {
+                cohort: "long-tail".into(),
+                trials: 20,
+                success_rate: 0.05,
+            },
+        ];
+        let base = sticky_base();
+        let out = adapt_policy(&plane, &base, &[report], &AttackBudget::default(), 2).unwrap();
+        assert_eq!(
+            out.actions,
+            vec![AdaptAction::RaiseCohortK {
+                cohort: "night-shift".into(),
+                from_epoch: 2,
+                k: 4,
+            }]
+        );
+        assert_eq!(out.plane.resolve(2, Some("night-shift"), &base).k, 4);
+        assert_eq!(out.plane.resolve(2, Some("long-tail"), &base).k, 2);
+        assert_eq!(out.plane.resolve(2, None, &base).k, 2, "global untouched");
+    }
+
+    #[test]
+    fn undeclared_cohorts_are_skipped() {
+        let mut report = linkage_report(0.0);
+        report.cohorts = vec![CohortBreakdown {
+            cohort: "ghost".into(),
+            trials: 10,
+            success_rate: 1.0,
+        }];
+        let out = adapt_policy(
+            &PolicyPlane::uniform(),
+            &sticky_base(),
+            &[report],
+            &AttackBudget::default(),
+            0,
+        )
+        .unwrap();
+        assert!(out.is_noop());
+    }
+
+    #[test]
+    fn classifier_breach_raises_global_k_up_to_the_cap() {
+        let classifier = AttackReport {
+            attack: "top-location".into(),
+            trials: 50,
+            success_rate: 0.3,
+            ..AttackReport::default()
+        };
+        let base = StreamConfig::default();
+        let budget = AttackBudget {
+            max_k: 3,
+            ..AttackBudget::default()
+        };
+        let out = adapt_policy(
+            &PolicyPlane::uniform(),
+            &base,
+            std::slice::from_ref(&classifier),
+            &budget,
+            1,
+        )
+        .unwrap();
+        // k 2 + step 2 = 4, capped at 3.
+        assert_eq!(
+            out.actions,
+            vec![AdaptAction::RaiseGlobalK {
+                from_epoch: 1,
+                k: 3
+            }]
+        );
+        assert_eq!(out.plane.resolve(1, None, &base).k, 3);
+
+        // A second round at the cap is a no-op.
+        let again = adapt_policy(&out.plane, &base, &[classifier], &budget, 2).unwrap();
+        assert!(again.is_noop());
+    }
+
+    #[test]
+    fn successive_rounds_compose_on_the_same_plane() {
+        let base = sticky_base();
+        let budget = AttackBudget::default();
+        let first = adapt_policy(
+            &PolicyPlane::uniform(),
+            &base,
+            &[linkage_report(0.42)],
+            &budget,
+            1,
+        )
+        .unwrap();
+        assert_eq!(first.actions.len(), 1);
+        // Carry is now fresh from epoch 1; the same evidence no longer
+        // triggers the demotion.
+        let second =
+            adapt_policy(&first.plane, &base, &[linkage_report(0.42)], &budget, 2).unwrap();
+        assert!(second.is_noop());
+    }
+
+    #[test]
+    fn emitted_planes_always_validate() {
+        let base = StreamConfig {
+            glove: GloveConfig {
+                k: 9,
+                ..GloveConfig::default()
+            },
+            ..sticky_base()
+        };
+        let classifier = AttackReport {
+            attack: "multi-point".into(),
+            trials: 10,
+            success_rate: 1.0,
+            ..AttackReport::default()
+        };
+        let out = adapt_policy(
+            &PolicyPlane::uniform(),
+            &base,
+            &[linkage_report(1.0), classifier],
+            &AttackBudget::default(),
+            0,
+        )
+        .unwrap();
+        out.plane.validate().unwrap();
+        assert_eq!(out.plane.resolve(0, None, &base).k, 10, "capped at max_k");
+    }
+}

@@ -38,15 +38,24 @@
 //! the picture: on raw data the attacks pinpoint most subscribers; after
 //! GLOVE every record hides ≥ k of them, so the anonymity set is bounded
 //! below by k *whatever* the adversary's `p`.
+//!
+//! The [`adapt`] module closes the loop: [`adapt_policy`] compares a set
+//! of attack reports against a declared [`AttackBudget`] and emits the
+//! `glove_core::policy::PolicyPlane` for the next epochs — demoting
+//! `Sticky` carry when linkage breaches budget, deepening breached
+//! cohorts' k floors, raising the global k against classifier
+//! adversaries.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adapt;
 pub mod classifier;
 pub mod linkage;
 pub mod multi;
 pub mod report;
 
+pub use adapt::{adapt_policy, AdaptAction, AdaptOutcome, AttackBudget};
 pub use classifier::{
     classifier_attack, LinkageOutcome, Profile, TargetLink, TopLocationClassifier,
 };

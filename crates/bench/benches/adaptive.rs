@@ -1,0 +1,205 @@
+//! `adaptive` — the attack-guided policy loop end to end on the
+//! `metro_like` scenario, emitting a BENCH JSON point.
+//!
+//! The closed loop under test (DESIGN.md "The policy plane and the
+//! adaptive loop"): run the most exposed configuration (Sticky carry at
+//! the base k), score it with the cross-epoch linkage adversary, feed the
+//! attack report to [`glove_attack::adapt_policy`] against the default
+//! [`glove_attack::AttackBudget`], and re-run the same feed under the
+//! adapted plane. The bench *asserts* the loop's contract rather than
+//! just recording it:
+//!
+//! * **linkage** — the adapted run's cross-epoch linkage must drop to the
+//!   Fresh baseline's or below (the tuner demotes the sticky carry, and
+//!   may deepen k on top);
+//! * **bounded utility loss** — the adapted run's k-retention must stay
+//!   within 10 points of the Sticky baseline's (the budget caps how deep
+//!   the tuner may push k).
+
+use glove_attack::{cross_epoch_attack, AttackBudget, CrossEpochAttack, CrossEpochOutcome};
+use glove_bench::metro_bench_dataset;
+use glove_core::api::{NullObserver, RunBuilder, RunOutput};
+use glove_core::policy::PolicyPlane;
+use glove_core::stream::{events_of, StreamEvent};
+use glove_core::{CarryPolicy, Dataset, StreamConfig};
+use std::time::Instant;
+
+const WINDOW_MIN: u32 = 2_880; // two-day epochs over the metro span
+
+struct Scored {
+    linkage: f64,
+    persistence: f64,
+    retention: f64,
+    epochs: u64,
+    outcome: CrossEpochOutcome,
+    published: Vec<Dataset>,
+}
+
+fn run_scored(
+    name: &str,
+    events: &[StreamEvent],
+    base: &StreamConfig,
+    plane: Option<&PolicyPlane>,
+) -> Scored {
+    let mut builder = RunBuilder::new(base.glove).stream(*base);
+    if let Some(plane) = plane {
+        builder = builder.policy(plane.clone());
+    }
+    let run = builder
+        .run_events(name, &mut events.iter().copied().map(Ok), &mut NullObserver)
+        .expect("stream succeeds");
+    let stats = run
+        .report
+        .detail
+        .as_stream()
+        .expect("stream detail")
+        .clone();
+    let published: Vec<Dataset> = match run.output {
+        RunOutput::Epochs(epochs) => epochs.into_iter().map(|e| e.output.dataset).collect(),
+        RunOutput::Dataset(_) => unreachable!("stream mode emits epochs"),
+    };
+    let outcome = cross_epoch_attack(&published, &CrossEpochAttack::default());
+    let entered = stats.entered_user_slices() + stats.suppressed_users;
+    let kept: u64 = published.iter().map(|d| d.num_users() as u64).sum();
+    Scored {
+        linkage: outcome.linkage_rate(),
+        persistence: outcome.persistence_rate(),
+        retention: if entered > 0 {
+            kept as f64 / entered as f64
+        } else {
+            0.0
+        },
+        epochs: stats.epochs,
+        outcome,
+        published,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let test_mode = args.iter().any(|a| a == "--test") || !args.iter().any(|a| a == "--bench");
+    let mut users = if test_mode { 96 } else { 600 };
+    if let Some(pos) = args.iter().position(|a| a == "--users") {
+        users = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .expect("--users N");
+    }
+
+    eprintln!("[adaptive] generating metro_like ({users} users)…");
+    let ds = metro_bench_dataset(users);
+    let events = events_of(&ds);
+    let base_of = |carry: CarryPolicy| StreamConfig {
+        window_min: WINDOW_MIN,
+        carry,
+        ..StreamConfig::default()
+    };
+
+    eprintln!("[adaptive] fresh baseline…");
+    let fresh = run_scored(&ds.name, &events, &base_of(CarryPolicy::Fresh), None);
+    eprintln!("[adaptive] sticky baseline…");
+    let sticky_base = base_of(CarryPolicy::Sticky);
+    let sticky = run_scored(&ds.name, &events, &sticky_base, None);
+
+    // One tuner round on the sticky run's attack report.
+    let attack_report = glove_attack::Attack::run(
+        &CrossEpochAttack::default(),
+        &ds,
+        &glove_attack::PublishedView::Epochs(&sticky.published),
+    )
+    .expect("cross-epoch attack runs");
+    assert_eq!(attack_report.success_rate, sticky.outcome.linkage_rate());
+    let budget = AttackBudget::default();
+    let started = Instant::now();
+    let adapted_plane = glove_attack::adapt_policy(
+        &PolicyPlane::uniform(),
+        &sticky_base,
+        std::slice::from_ref(&attack_report),
+        &budget,
+        0,
+    )
+    .expect("adaptation succeeds");
+    let adapt_s = started.elapsed().as_secs_f64();
+
+    eprintln!(
+        "[adaptive] adapted re-run ({} action(s))…",
+        adapted_plane.actions.len()
+    );
+    let started = Instant::now();
+    let adapted = run_scored(&ds.name, &events, &sticky_base, Some(&adapted_plane.plane));
+    let rerun_s = started.elapsed().as_secs_f64();
+
+    // The loop's contract. The sticky baseline must actually be exposed
+    // (otherwise the bench measures nothing), the adapted run must reach
+    // the fresh baseline's linkage, and the retention cost must be small.
+    assert!(
+        sticky.linkage > fresh.linkage,
+        "sticky must leak more than fresh: {:.3} vs {:.3}",
+        sticky.linkage,
+        fresh.linkage
+    );
+    assert!(
+        !adapted_plane.actions.is_empty(),
+        "an over-budget sticky run must trigger at least one action"
+    );
+    assert!(
+        adapted.linkage <= fresh.linkage + 1e-9,
+        "adapted linkage {:.4} above the fresh baseline {:.4}",
+        adapted.linkage,
+        fresh.linkage
+    );
+    assert!(
+        adapted.retention >= sticky.retention - 0.10,
+        "adapted run gave up too much k-retention: {:.3} vs sticky {:.3}",
+        adapted.retention,
+        sticky.retention
+    );
+
+    let json = format!(
+        "{{\"name\":\"adaptive\",\"scenario\":\"metro_like\",\"users\":{users},\
+         \"mode\":\"{}\",\"window_min\":{WINDOW_MIN},\"epochs\":{},\
+         \"fresh_linkage\":{:.4},\"sticky_linkage\":{:.4},\"adapted_linkage\":{:.4},\
+         \"fresh_persistence\":{:.4},\"sticky_persistence\":{:.4},\
+         \"adapted_persistence\":{:.4},\
+         \"sticky_retention\":{:.4},\"adapted_retention\":{:.4},\
+         \"retention_delta\":{:.4},\"actions\":{},\
+         \"budget_max_linkage\":{:.4},\"budget_max_k\":{},\
+         \"adapt_s\":{adapt_s:.4},\"rerun_s\":{rerun_s:.3}}}",
+        if test_mode { "test" } else { "bench" },
+        adapted.epochs,
+        fresh.linkage,
+        sticky.linkage,
+        adapted.linkage,
+        fresh.persistence,
+        sticky.persistence,
+        adapted.persistence,
+        sticky.retention,
+        adapted.retention,
+        adapted.retention - sticky.retention,
+        adapted_plane.actions.len(),
+        budget.max_linkage,
+        budget.max_k,
+    );
+    println!("BENCH {json}");
+    let dir = std::env::var("BENCH_DIR").unwrap_or_else(|_| {
+        let root = format!("{}/../..", env!("CARGO_MANIFEST_DIR"));
+        if std::path::Path::new(&root).is_dir() {
+            root
+        } else {
+            ".".to_string()
+        }
+    });
+    let path = format!("{dir}/BENCH_adaptive.json");
+    if let Err(e) = std::fs::write(&path, format!("{json}\n")) {
+        eprintln!("[adaptive] could not write {path}: {e}");
+    }
+    println!(
+        "adaptive/metro_{users}: sticky linkage {:.0}% -> adapted {:.0}% \
+         (fresh baseline {:.0}%), retention {:+.1} points, {} action(s)",
+        sticky.linkage * 100.0,
+        adapted.linkage * 100.0,
+        fresh.linkage * 100.0,
+        (adapted.retention - sticky.retention) * 100.0,
+        adapted_plane.actions.len(),
+    );
+}

@@ -86,6 +86,7 @@ fn main() {
         queue_events: 8192,
         retry_ms: 1,
         epoch_writer: Some(discarding_writer()),
+        policy: glove_core::policy::PolicyPlane::uniform(),
     });
     let tenants = ["metro-a", "metro-b"];
     let started = Instant::now();
@@ -144,6 +145,7 @@ fn main() {
         queue_events: SHED_QUEUE,
         retry_ms: 1,
         epoch_writer: Some(stalled_writer(25)),
+        policy: glove_core::policy::PolicyPlane::uniform(),
     });
     let mut client = Client::connect(server.addr()).expect("connect");
     client
@@ -179,6 +181,7 @@ fn main() {
         queue_events: 8192,
         retry_ms: 1,
         epoch_writer: Some(discarding_writer()),
+        policy: glove_core::policy::PolicyPlane::uniform(),
     });
     let mut client = Client::connect(server.addr()).expect("connect");
     client

@@ -98,6 +98,10 @@ pub struct AttackOpts {
     pub top_l: usize,
     /// Worker threads (0 = all cores).
     pub threads: usize,
+    /// Declared cohorts (from `--policy`): the cross-epoch adversary is
+    /// re-scored per cohort and the breakdown lands in the summary and the
+    /// JSONL report (feeding [`glove_attack::adapt_policy`]).
+    pub cohorts: Vec<glove_core::policy::CohortSpec>,
 }
 
 impl Default for AttackOpts {
@@ -110,6 +114,7 @@ impl Default for AttackOpts {
             noise_time_min: 0,
             top_l: 5,
             threads: 0,
+            cohorts: Vec::new(),
         }
     }
 }
@@ -249,12 +254,12 @@ pub fn attack_cmd(
     reports.push(report);
 
     // Cross-epoch linkage, when the adversary sees a streamed release.
-    if matches!(view, PublishedView::Epochs(_)) {
+    if let PublishedView::Epochs(epoch_list) = view {
         let cross = glove_attack::CrossEpochAttack {
             l: opts.top_l,
             threads: opts.threads,
         };
-        let report = cross.run(&orig, &view)?;
+        let mut report = cross.run(&orig, &view)?;
         out.push_str(&format!(
             "\ncross-epoch adversary ({} epochs):\n  signature linkage: {:.1}% \
              of {} attempts\n  cohort persistence: {:.1}%\n",
@@ -263,6 +268,35 @@ pub fn attack_cmd(
             report.trials,
             report.metric("cohort_persistence").unwrap_or(0.0) * 100.0,
         ));
+        // Re-score the same adversary restricted to each declared cohort:
+        // the per-cohort breakdown is what the adaptive tuner keys on.
+        if !opts.cohorts.is_empty() {
+            let breakdowns: Vec<glove_attack::CohortBreakdown> = opts
+                .cohorts
+                .iter()
+                .map(|spec| {
+                    let outcome = glove_attack::cross_epoch_attack_cohort(
+                        epoch_list,
+                        &cross,
+                        spec.users.iter().copied().collect(),
+                    );
+                    glove_attack::CohortBreakdown {
+                        cohort: spec.name.clone(),
+                        trials: outcome.cohort_attempts(),
+                        success_rate: outcome.cohort_linkage_rate(),
+                    }
+                })
+                .collect();
+            for b in &breakdowns {
+                out.push_str(&format!(
+                    "  cohort {}: {:.1}% of {} attempts\n",
+                    b.cohort,
+                    b.success_rate * 100.0,
+                    b.trials,
+                ));
+            }
+            report = report.with_cohorts(breakdowns);
+        }
         reports.push(report);
     }
 

@@ -30,6 +30,9 @@ pub struct ServeOpts {
     /// File to write the bound address to once listening (for scripts
     /// using an ephemeral port).
     pub port_file: Option<PathBuf>,
+    /// Initial policy plane handed to every tenant session (from
+    /// `--policy FILE`); tenants retune via `RECONFIG`. `None` = uniform.
+    pub policy: Option<glove_core::policy::PolicyPlane>,
 }
 
 impl Default for ServeOpts {
@@ -40,6 +43,7 @@ impl Default for ServeOpts {
             queue: 4096,
             retry_ms: 25,
             port_file: None,
+            policy: None,
         }
     }
 }
@@ -56,6 +60,10 @@ pub fn serve_cmd(opts: &ServeOpts) -> Result<String, Box<dyn Error>> {
             epoch_writer: Some(Arc::new(|ds: &glove_core::Dataset, path: &Path| {
                 io::write_file(ds, path)
             })),
+            policy: opts
+                .policy
+                .clone()
+                .unwrap_or_else(glove_core::policy::PolicyPlane::uniform),
         },
     )?;
     let addr = server.local_addr();
@@ -163,6 +171,7 @@ mod tests {
             queue: 512,
             retry_ms: 1,
             port_file: None,
+            policy: None,
         };
         // serve_cmd blocks; bind here to learn the port, then run inline.
         let server = Server::bind(
@@ -174,6 +183,7 @@ mod tests {
                 epoch_writer: Some(Arc::new(|ds: &glove_core::Dataset, path: &Path| {
                     io::write_file(ds, path)
                 })),
+                policy: glove_core::policy::PolicyPlane::uniform(),
             },
         )
         .unwrap();

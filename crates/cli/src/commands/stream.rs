@@ -7,6 +7,7 @@
 
 use crate::io;
 use glove_core::api::{Observer, RunBuilder};
+use glove_core::policy::PolicyPlane;
 use glove_core::stream::{events_of, EpochOutput, StreamEvent};
 use glove_core::{
     CarryPolicy, GloveConfig, GloveError, ShardBy, ShardPolicy, StreamConfig,
@@ -38,6 +39,9 @@ pub struct StreamOpts {
     pub shards: Option<usize>,
     /// Shard assignment key (only meaningful with `shards`).
     pub shard_by: ShardBy,
+    /// Optional policy plane (from `--policy FILE`): per-cohort/per-epoch
+    /// overrides of the base configuration above. `None` = uniform.
+    pub policy: Option<PolicyPlane>,
 }
 
 impl Default for StreamOpts {
@@ -52,6 +56,7 @@ impl Default for StreamOpts {
             threads: 0,
             shards: None,
             shard_by: ShardBy::Activity,
+            policy: None,
         }
     }
 }
@@ -163,7 +168,10 @@ pub fn stream_cmd(
         }
         event
     };
-    let builder = RunBuilder::new(glove).stream(stream).keep_epochs(false);
+    let mut builder = RunBuilder::new(glove).stream(stream).keep_epochs(false);
+    if let Some(plane) = &opts.policy {
+        builder = builder.policy(plane.clone());
+    }
     let run = match source {
         Source::Events(reader) => {
             let name = reader.name().to_string();
@@ -355,6 +363,44 @@ mod tests {
             1,
             "stale epochs from the previous run must be cleared"
         );
+        let _ = std::fs::remove_file(&data);
+        let _ = std::fs::remove_dir_all(&out_dir);
+    }
+
+    #[test]
+    fn stream_policy_plane_deepens_k_from_epoch_one() {
+        // The CLI-level policy path: a JSON plane raising k to 3 from
+        // epoch 1 on must leave epoch 0 at k = 2 and deepen the rest.
+        let data = temp("stream-policy-data");
+        let out_dir = temp_dir("stream-policy-epochs");
+        synth("civ", 16, Some(9), Some(&data), None).unwrap();
+        let plane =
+            PolicyPlane::from_json(r#"{"cohorts": [], "rules": [{"from_epoch": 1, "k": 3}]}"#)
+                .unwrap();
+        let opts = StreamOpts {
+            k: 2,
+            window_min: 2_880,
+            threads: 1,
+            policy: Some(plane),
+            ..StreamOpts::default()
+        };
+        stream_cmd(&data, &out_dir, &opts).unwrap();
+        let mut epoch_files: Vec<_> = std::fs::read_dir(&out_dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        epoch_files.sort();
+        assert!(epoch_files.len() >= 2, "need at least two epochs");
+        for (i, f) in epoch_files.iter().enumerate() {
+            let epoch = io::read_file(f).unwrap();
+            let want = if i == 0 { 2 } else { 3 };
+            assert!(
+                epoch.is_k_anonymous(want),
+                "{} not {}-anonymous",
+                f.display(),
+                want
+            );
+        }
         let _ = std::fs::remove_file(&data);
         let _ = std::fs::remove_dir_all(&out_dir);
     }

@@ -25,14 +25,15 @@ USAGE:
                    [--carry fresh|sticky] [--under-k suppress|defer]
                    [--suppress-space METERS] [--suppress-time MINUTES]
                    [--threads N] [--shards N] [--shard-by activity|spatial|two-level]
+                   [--policy FILE]
   glove generalize --in FILE --out FILE --space METERS --time MINUTES
   glove w4m        --in FILE --out FILE --k K [--delta METERS]
   glove attack     --original FILE (--published FILE | --epochs-dir DIR)
                    [--points N] [--trials N] [--seed S]
                    [--noise-space METERS] [--noise-time MINUTES]
-                   [--top L] [--threads N] [--report FILE]
+                   [--top L] [--threads N] [--report FILE] [--policy FILE]
   glove serve      --listen ADDR [--out-dir DIR] [--queue EVENTS]
-                   [--retry-ms MS] [--port-file FILE]
+                   [--retry-ms MS] [--port-file FILE] [--policy FILE]
   glove send       --addr ADDR --tenant NAME --in FILE [--batch N]
                    [--shed true]
                    [--k K] [--window MINUTES] [--carry fresh|sticky]
@@ -52,6 +53,13 @@ attack (p known points with optional observation noise) and the top-L
 location classifier against a published dataset, plus the cross-epoch
 linkage adversary when --epochs-dir points at a `glove stream` output
 directory. --report writes one RunReport JSON line per attack.
+
+`--policy FILE` loads a JSON policy plane (cohort declarations plus
+per-epoch/per-cohort overrides of k, window, carry, under-k and
+suppression). `glove stream` resolves it per window; `glove serve` hands
+it to every tenant session (tenants retune mid-run via RECONFIG); `glove
+attack` uses its cohort declarations to break the cross-epoch adversary
+down per cohort.
 
 `glove serve` runs the multi-tenant ingest daemon: each tenant opened by a
 `glove send` client is an isolated windowed engine with its own epoch
@@ -123,6 +131,20 @@ fn parse_suppression(
         .map(|s| parse_num::<u32>(s, "suppress-time"))
         .transpose()?;
     Ok((space, time))
+}
+
+/// `--policy FILE`: a JSON policy plane, validated on load.
+fn parse_policy(
+    flags: &HashMap<String, String>,
+) -> Result<Option<glove_core::policy::PolicyPlane>, String> {
+    let Some(path) = flags.get("policy") else {
+        return Ok(None);
+    };
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("option --policy: cannot read '{path}': {e}"))?;
+    glove_core::policy::PolicyPlane::from_json(&text)
+        .map(Some)
+        .map_err(|e| format!("option --policy: {e}"))
 }
 
 /// `--shards N` / `--shard-by activity|spatial|two-level` with their coupling rules,
@@ -239,6 +261,7 @@ fn run() -> Result<String, String> {
                 threads,
                 shards,
                 shard_by,
+                policy: parse_policy(&flags)?,
             };
             commands::stream_cmd(&input, &out_dir, &opts).map_err(err)
         }
@@ -293,6 +316,9 @@ fn run() -> Result<String, String> {
                     .unwrap_or(defaults.noise_time_min),
                 top_l: parse_or("top", defaults.top_l)?,
                 threads: parse_threads(&flags)?,
+                cohorts: parse_policy(&flags)?
+                    .map(|plane| plane.cohorts)
+                    .unwrap_or_default(),
             };
             commands::attack_cmd(
                 &original,
@@ -318,6 +344,7 @@ fn run() -> Result<String, String> {
                     .transpose()?
                     .unwrap_or(25),
                 port_file: flags.get("port-file").map(PathBuf::from),
+                policy: parse_policy(&flags)?,
             };
             if opts.queue == 0 {
                 return Err("--queue must be at least 1".into());
@@ -368,6 +395,7 @@ fn run() -> Result<String, String> {
                     threads,
                     shards,
                     shard_by,
+                    policy: None,
                 },
                 batch: flags
                     .get("batch")

@@ -47,8 +47,9 @@ pub use report::{PhaseMetric, RunDetail, RunReport};
 
 use crate::config::{GloveConfig, ShardPolicy, StreamConfig};
 use crate::error::GloveError;
-use crate::glove::{anonymize, GloveOutput};
+use crate::glove::{anonymize_with_plan, GloveOutput};
 use crate::model::Dataset;
+use crate::policy::{KPlan, PolicyPlane, SharedPolicy};
 use crate::stream::{EpochOutput, StreamEngine, StreamEvent};
 use crate::suppress::SuppressionLedger;
 use observer::Tee;
@@ -199,12 +200,41 @@ fn glove_report(
     }
 }
 
+/// Resolves the epoch-0 view of a policy plane against a batch
+/// configuration: the effective [`GloveConfig`] (global k / suppression
+/// overrides applied) plus the [`KPlan`] carrying cohort k floors.
+/// Single-release engines publish exactly one epoch, so index 0 is the
+/// only one that can ever apply; window and carry rules are stream-only
+/// and ignored here.
+fn resolve_batch_policy(
+    policy: Option<&SharedPolicy>,
+    config: &GloveConfig,
+) -> Result<(GloveConfig, Option<KPlan>), GloveError> {
+    let Some(handle) = policy else {
+        return Ok((*config, None));
+    };
+    let plane = handle.read().expect("policy lock poisoned");
+    plane.validate()?;
+    let base = StreamConfig {
+        glove: *config,
+        ..StreamConfig::default()
+    };
+    let eff = plane.resolve(0, None, &base);
+    let effective = GloveConfig {
+        k: eff.k,
+        suppression: eff.suppression,
+        ..*config
+    };
+    Ok((effective, plane.kplan(0, &base)))
+}
+
 /// The monolithic batch engine (Alg. 1 over the whole dataset). Any
 /// sharding in the supplied configuration is stripped — use
 /// [`ShardedGlove`] for sharded runs.
 #[derive(Debug, Clone)]
 pub struct BatchGlove {
     config: GloveConfig,
+    policy: Option<SharedPolicy>,
 }
 
 impl BatchGlove {
@@ -215,7 +245,16 @@ impl BatchGlove {
                 shard: None,
                 ..config
             },
+            policy: None,
         }
+    }
+
+    /// Attaches a policy plane; its epoch-0 rules override k and
+    /// suppression, cohort rules become per-user k floors. A
+    /// [`PolicyPlane::uniform`] plane leaves output byte-identical.
+    pub fn with_policy(mut self, policy: SharedPolicy) -> Self {
+        self.policy = Some(policy);
+        self
     }
 
     /// The engine's effective configuration.
@@ -231,7 +270,8 @@ impl Anonymizer for BatchGlove {
 
     fn prepare(&self, dataset: &Dataset) -> Result<(), GloveError> {
         self.config.validate()?;
-        check_population(dataset, self.config.k)
+        let (effective, _) = resolve_batch_policy(self.policy.as_ref(), &self.config)?;
+        check_population(dataset, effective.k)
     }
 
     fn run(
@@ -239,7 +279,8 @@ impl Anonymizer for BatchGlove {
         dataset: &Dataset,
         observer: &mut dyn Observer,
     ) -> Result<RunOutcome, GloveError> {
-        run_glove(self.engine(), dataset, &self.config, observer)
+        let (effective, plan) = resolve_batch_policy(self.policy.as_ref(), &self.config)?;
+        run_glove(self.engine(), dataset, &effective, plan.as_ref(), observer)
     }
 }
 
@@ -248,6 +289,7 @@ impl Anonymizer for BatchGlove {
 #[derive(Debug, Clone)]
 pub struct ShardedGlove {
     config: GloveConfig,
+    policy: Option<SharedPolicy>,
 }
 
 impl ShardedGlove {
@@ -259,7 +301,15 @@ impl ShardedGlove {
                 shard: Some(policy),
                 ..config
             },
+            policy: None,
         }
+    }
+
+    /// Attaches a policy plane (see [`BatchGlove::with_policy`]); cohort k
+    /// floors are enforced inside every shard's greedy loop.
+    pub fn with_policy(mut self, policy: SharedPolicy) -> Self {
+        self.policy = Some(policy);
+        self
     }
 
     /// The engine's effective configuration.
@@ -275,7 +325,8 @@ impl Anonymizer for ShardedGlove {
 
     fn prepare(&self, dataset: &Dataset) -> Result<(), GloveError> {
         self.config.validate()?;
-        check_population(dataset, self.config.k)
+        let (effective, _) = resolve_batch_policy(self.policy.as_ref(), &self.config)?;
+        check_population(dataset, effective.k)
     }
 
     fn run(
@@ -283,7 +334,8 @@ impl Anonymizer for ShardedGlove {
         dataset: &Dataset,
         observer: &mut dyn Observer,
     ) -> Result<RunOutcome, GloveError> {
-        run_glove(self.engine(), dataset, &self.config, observer)
+        let (effective, plan) = resolve_batch_policy(self.policy.as_ref(), &self.config)?;
+        run_glove(self.engine(), dataset, &effective, plan.as_ref(), observer)
     }
 }
 
@@ -312,6 +364,7 @@ fn run_glove(
     engine: &str,
     dataset: &Dataset,
     config: &GloveConfig,
+    plan: Option<&KPlan>,
     observer: &mut dyn Observer,
 ) -> Result<RunOutcome, GloveError> {
     let started = Instant::now();
@@ -327,7 +380,7 @@ fn run_glove(
     });
 
     let (output, run_s) = phase(engine, "run", observer, |obs| {
-        let output = anonymize(dataset, config)?;
+        let output = anonymize_with_plan(dataset, config, plan)?;
         for stat in &output.stats.per_shard {
             obs.on_shard(stat);
         }
@@ -364,6 +417,7 @@ fn run_glove(
 #[derive(Debug, Clone)]
 pub struct StreamGlove {
     config: StreamConfig,
+    policy: SharedPolicy,
     keep_epochs: bool,
 }
 
@@ -373,8 +427,17 @@ impl StreamGlove {
     pub fn new(config: StreamConfig) -> Self {
         Self {
             config,
+            policy: crate::policy::shared(PolicyPlane::uniform()),
             keep_epochs: true,
         }
+    }
+
+    /// Attaches a policy plane: per-epoch/per-cohort overrides resolved at
+    /// every window boundary. Keeping the [`SharedPolicy`] handle lets the
+    /// caller retune a live run (the swap lands at the next boundary).
+    pub fn with_policy(mut self, policy: SharedPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// Whether emitted epochs are retained in the [`RunOutput`] (default
@@ -417,7 +480,7 @@ impl StreamGlove {
         let mut phases = Vec::new();
 
         let (mut engine, prep_s) = phase(engine_id, "prepare", observer, |_| {
-            StreamEngine::new(name.to_string(), self.config)
+            StreamEngine::with_policy(name.to_string(), self.config, self.policy.clone())
         })?;
         phases.push(PhaseMetric {
             phase: "prepare".into(),
@@ -524,6 +587,10 @@ impl Anonymizer for StreamGlove {
 
     fn prepare(&self, dataset: &Dataset) -> Result<(), GloveError> {
         self.config.validate()?;
+        self.policy
+            .read()
+            .expect("policy lock poisoned")
+            .validate()?;
         check_population(dataset, self.config.glove.k)
     }
 
@@ -584,6 +651,7 @@ pub struct RunBuilder {
     config: GloveConfig,
     mode: RunMode,
     keep_epochs: bool,
+    policy: Option<SharedPolicy>,
 }
 
 impl RunBuilder {
@@ -599,7 +667,26 @@ impl RunBuilder {
             config,
             mode,
             keep_epochs: true,
+            policy: None,
         }
+    }
+
+    /// Attaches a policy plane. Single-release modes apply its epoch-0
+    /// rules (global k / suppression overrides, cohort k floors); stream
+    /// mode re-resolves it at every window boundary. A
+    /// [`PolicyPlane::uniform`] plane leaves every mode byte-identical to
+    /// running without one.
+    pub fn policy(mut self, plane: PolicyPlane) -> Self {
+        self.policy = Some(crate::policy::shared(plane));
+        self
+    }
+
+    /// Attaches an already-shared policy handle, keeping a clone with the
+    /// caller so a live streaming run can be retuned mid-flight (the swap
+    /// applies at the next window boundary).
+    pub fn shared_policy(mut self, policy: SharedPolicy) -> Self {
+        self.policy = Some(policy);
+        self
     }
 
     /// Selects the monolithic batch engine (strips any sharding).
@@ -649,15 +736,24 @@ impl RunBuilder {
     /// [`GloveError::InvalidConfig`] for invalid k / stretch / shard /
     /// window parameters.
     pub fn build(self) -> Result<Box<dyn Anonymizer>, GloveError> {
+        if let Some(handle) = &self.policy {
+            handle.read().expect("policy lock poisoned").validate()?;
+        }
         match self.mode {
             RunMode::Batch => {
-                let engine = BatchGlove::new(self.config);
+                let mut engine = BatchGlove::new(self.config);
                 engine.config.validate()?;
+                if let Some(policy) = self.policy {
+                    engine = engine.with_policy(policy);
+                }
                 Ok(Box::new(engine))
             }
             RunMode::Sharded(policy) => {
-                let engine = ShardedGlove::new(self.config, policy);
+                let mut engine = ShardedGlove::new(self.config, policy);
                 engine.config.validate()?;
+                if let Some(plane) = self.policy {
+                    engine = engine.with_policy(plane);
+                }
                 Ok(Box::new(engine))
             }
             RunMode::Stream(stream) => {
@@ -666,11 +762,20 @@ impl RunBuilder {
                     ..stream
                 };
                 config.validate()?;
-                Ok(Box::new(
-                    StreamGlove::new(config).keep_epochs(self.keep_epochs),
-                ))
+                let mut engine = StreamGlove::new(config).keep_epochs(self.keep_epochs);
+                if let Some(policy) = self.policy {
+                    engine = engine.with_policy(policy);
+                }
+                Ok(Box::new(engine))
             }
-            RunMode::Custom(engine) => Ok(engine),
+            RunMode::Custom(engine) => {
+                if self.policy.is_some() {
+                    return Err(GloveError::InvalidConfig(
+                        "custom engines do not accept a policy plane".into(),
+                    ));
+                }
+                Ok(engine)
+            }
         }
     }
 
@@ -702,6 +807,7 @@ impl RunBuilder {
         observer: &mut dyn Observer,
     ) -> Result<RunOutcome, GloveError> {
         let keep = self.keep_epochs;
+        let policy = self.policy;
         match self.mode {
             RunMode::Stream(stream) => {
                 let config = StreamConfig {
@@ -709,9 +815,11 @@ impl RunBuilder {
                     ..stream
                 };
                 config.validate()?;
-                StreamGlove::new(config)
-                    .keep_epochs(keep)
-                    .run_events(name, events, observer)
+                let mut engine = StreamGlove::new(config).keep_epochs(keep);
+                if let Some(policy) = policy {
+                    engine = engine.with_policy(policy);
+                }
+                engine.run_events(name, events, observer)
             }
             other => Err(GloveError::InvalidConfig(format!(
                 "run_events requires stream mode, builder is in {other:?} mode"
@@ -743,6 +851,7 @@ impl RunBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::glove::anonymize;
     use crate::model::Fingerprint;
 
     fn toy(n: u32) -> Dataset {

@@ -13,6 +13,7 @@
 //! artifacts, CI trajectories and external tooling without this crate.
 
 use crate::api::json::JsonValue;
+use crate::config::{CarryPolicy, UnderKPolicy};
 use crate::glove::GloveStats;
 use crate::ledger::MemoryLedger;
 use crate::shard::ShardStat;
@@ -452,11 +453,43 @@ fn epoch_stat_to_value(stat: &EpochStat) -> JsonValue {
         ("pairs_skipped_tier0", uint(stat.pairs_skipped_tier0)),
         ("pairs_skipped_tier1", uint(stat.pairs_skipped_tier1)),
         ("pairs_abandoned", uint(stat.pairs_abandoned)),
+        (
+            "policy",
+            JsonValue::obj(vec![
+                ("k", uint(stat.policy_k as u64)),
+                ("window_min", uint(u64::from(stat.policy_window_min))),
+                (
+                    "carry",
+                    JsonValue::Str(
+                        match stat.policy_carry {
+                            CarryPolicy::Fresh => "fresh",
+                            CarryPolicy::Sticky => "sticky",
+                        }
+                        .into(),
+                    ),
+                ),
+                (
+                    "under_k",
+                    JsonValue::Str(
+                        match stat.policy_under_k {
+                            UnderKPolicy::Suppress => "suppress",
+                            UnderKPolicy::Defer => "defer",
+                        }
+                        .into(),
+                    ),
+                ),
+                ("cohort_users", uint(stat.policy_cohort_users as u64)),
+            ]),
+        ),
         ("elapsed_s", num(stat.elapsed_s)),
     ])
 }
 
 fn epoch_stat_from_value(v: &JsonValue) -> Result<EpochStat, String> {
+    // The per-epoch policy snapshot is parsed leniently: reports written
+    // before the policy plane existed simply read back the zero snapshot.
+    let policy = v.get("policy");
+    let pfield = |key: &str| policy.and_then(|p| p.get(key));
     Ok(EpochStat {
         epoch: u64_field(v, "epoch")?,
         window_start_min: u64_field(v, "window_start_min")?,
@@ -470,6 +503,22 @@ fn epoch_stat_from_value(v: &JsonValue) -> Result<EpochStat, String> {
         pairs_skipped_tier0: u64_field(v, "pairs_skipped_tier0")?,
         pairs_skipped_tier1: u64_field(v, "pairs_skipped_tier1")?,
         pairs_abandoned: u64_field(v, "pairs_abandoned")?,
+        policy_k: pfield("k").and_then(JsonValue::as_usize).unwrap_or(0),
+        policy_window_min: pfield("window_min")
+            .and_then(JsonValue::as_u64)
+            .and_then(|w| u32::try_from(w).ok())
+            .unwrap_or(0),
+        policy_carry: match pfield("carry").and_then(JsonValue::as_str) {
+            Some("sticky") => CarryPolicy::Sticky,
+            _ => CarryPolicy::Fresh,
+        },
+        policy_under_k: match pfield("under_k").and_then(JsonValue::as_str) {
+            Some("defer") => UnderKPolicy::Defer,
+            _ => UnderKPolicy::Suppress,
+        },
+        policy_cohort_users: pfield("cohort_users")
+            .and_then(JsonValue::as_usize)
+            .unwrap_or(0),
         elapsed_s: f64_field(v, "elapsed_s")?,
     })
 }
@@ -675,6 +724,11 @@ mod tests {
                 pairs_skipped_tier0: 7,
                 pairs_skipped_tier1: 4,
                 pairs_abandoned: 1,
+                policy_k: 2,
+                policy_window_min: 1_440,
+                policy_carry: CarryPolicy::Sticky,
+                policy_under_k: UnderKPolicy::Defer,
+                policy_cohort_users: 3,
                 elapsed_s: 0.05,
             }],
             elapsed_s: 0.2,

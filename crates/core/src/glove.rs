@@ -61,6 +61,7 @@ use crate::ledger::MemoryLedger;
 use crate::merge::merge_fingerprints;
 use crate::model::{Dataset, Fingerprint, UserId};
 use crate::parallel::{effective_threads, par_map};
+use crate::policy::KPlan;
 use crate::reshape::reshape_suppressed;
 use crate::shard::ShardStat;
 use crate::stretch::{
@@ -647,6 +648,10 @@ impl SlotSamples {
 struct Arena {
     slots: SlotSamples,
     states: Vec<SlotState>,
+    /// Per-slot k requirement: the maximum policy k over the slot's member
+    /// users. Uniform runs hold `config.k` everywhere; merged slots take
+    /// the max of their parents.
+    kreq: Vec<usize>,
     /// Per-slot hull summaries feeding the tier-1 bound, maintained
     /// incrementally on merge.
     hulls: Vec<StretchHull>,
@@ -758,12 +763,14 @@ impl Arena {
 
         let track_sigs = !self.sigs.is_empty();
         let mut states = Vec::with_capacity(old_ids.len());
+        let mut kreq = Vec::with_capacity(old_ids.len());
         let mut hulls = Vec::with_capacity(old_ids.len());
         let mut sigs = Vec::with_capacity(if track_sigs { old_ids.len() } else { 0 });
         let mut pages = Vec::with_capacity(old_ids.len());
         let mut row_min = Vec::with_capacity(old_ids.len());
         for (new_i, &old_i) in old_ids.iter().enumerate() {
             states.push(self.states[old_i]);
+            kreq.push(self.kreq[old_i]);
             hulls.push(self.hulls[old_i]);
             if track_sigs {
                 sigs.push(self.sigs[old_i]);
@@ -809,6 +816,7 @@ impl Arena {
         self.active = self.active.iter().map(|&i| remap[i]).collect();
         self.slots.compacted(&old_ids);
         self.states = states;
+        self.kreq = kreq;
         self.hulls = hulls;
         self.sigs = sigs;
         self.pages = pages;
@@ -859,33 +867,66 @@ impl Arena {
 ///   subscribers (no grouping can reach k-anonymity);
 /// * [`GloveError::InvalidDataset`] for an empty dataset.
 pub fn anonymize(dataset: &Dataset, config: &GloveConfig) -> Result<GloveOutput, GloveError> {
+    anonymize_with_plan(dataset, config, None)
+}
+
+/// [`anonymize`] under a per-user k plan from the policy plane
+/// (see [`crate::policy`]).
+///
+/// Every published fingerprint hides at least `config.k` subscribers, and
+/// additionally at least `plan.k_of(u)` subscribers for each member user
+/// `u` — a group is done only once its deepest member is hidden. Passing
+/// `None` (or a uniform plan) is byte-identical to [`anonymize`].
+///
+/// # Errors
+///
+/// As [`anonymize`]; additionally [`GloveError::Unsatisfiable`] when the
+/// dataset is smaller than the deepest k required by the plan.
+pub fn anonymize_with_plan(
+    dataset: &Dataset,
+    config: &GloveConfig,
+    plan: Option<&KPlan>,
+) -> Result<GloveOutput, GloveError> {
     config.validate()?;
     if dataset.fingerprints.is_empty() {
         return Err(GloveError::InvalidDataset(
             "cannot anonymize an empty dataset".into(),
         ));
     }
-    if dataset.num_users() < config.k {
+    // Satisfiability: the deepest requirement any fingerprint in this
+    // dataset actually carries must be coverable by the population.
+    let need = match plan {
+        Some(p) => dataset
+            .fingerprints
+            .iter()
+            .map(|f| p.required_k(f.users()))
+            .max()
+            .unwrap_or(config.k)
+            .max(config.k),
+        None => config.k,
+    };
+    if dataset.num_users() < need {
         return Err(GloveError::Unsatisfiable(format!(
             "dataset has {} subscribers, fewer than k = {}",
             dataset.num_users(),
-            config.k
+            need
         )));
     }
     match config.shard {
         Some(policy) if policy.shards > 1 => {
-            crate::shard::anonymize_sharded(dataset, config, policy)
+            crate::shard::anonymize_sharded(dataset, config, policy, plan)
         }
-        _ => run_monolithic(dataset, config),
+        _ => run_monolithic(dataset, config, plan),
     }
 }
 
 /// The monolithic Alg. 1 loop over one (possibly shard-sized) dataset.
 /// Callers guarantee a validated config and a non-empty dataset holding at
-/// least `k` subscribers.
+/// least `k` subscribers (the plan's deepest k when one is given).
 pub(crate) fn run_monolithic(
     dataset: &Dataset,
     config: &GloveConfig,
+    plan: Option<&KPlan>,
 ) -> Result<GloveOutput, GloveError> {
     let started = Instant::now();
     let mut stats = GloveStats::default();
@@ -902,19 +943,29 @@ pub(crate) fn run_monolithic(
 
     // ---- Initialization (Alg. 1 lines 1–3) -------------------------------
     let mut ledger = MemoryLedger::default();
+    // Per-slot k requirement: `config.k` uniformly, raised per fingerprint
+    // by the plan's deepest member. Uniform plans collapse to the same
+    // comparisons as the pre-policy code, so the merge order is unchanged.
+    let kreq: Vec<usize> = dataset
+        .fingerprints
+        .iter()
+        .map(|f| plan.map_or(config.k, |p| p.required_k(f.users()).max(config.k)))
+        .collect();
     let mut arena = Arena {
         slots: SlotSamples::of(dataset, config.columnar),
         states: dataset
             .fingerprints
             .iter()
-            .map(|f| {
-                if f.multiplicity() >= config.k {
+            .enumerate()
+            .map(|(i, f)| {
+                if f.multiplicity() >= kreq[i] {
                     SlotState::Done
                 } else {
                     SlotState::Active
                 }
             })
             .collect(),
+        kreq,
         hulls: dataset.fingerprints.iter().map(StretchHull::of).collect(),
         sigs: if cascade {
             dataset
@@ -1069,6 +1120,9 @@ pub(crate) fn run_monolithic(
 
         let m = arena.slots.len();
         let m_multiplicity = outcome.fingerprint.multiplicity();
+        // A merged group must hide its deepest member.
+        let m_kreq = arena.kreq[a].max(arena.kreq[b]);
+        arena.kreq.push(m_kreq);
         // Incremental hull maintenance: when the merge suppressed nothing,
         // every parent sample is covered by some merged sample and every
         // merged sample is a bounding box of parent samples, so the merged
@@ -1098,7 +1152,7 @@ pub(crate) fn run_monolithic(
             partner: NO_PARTNER,
         });
 
-        if m_multiplicity >= config.k {
+        if m_multiplicity >= m_kreq {
             // The merged fingerprint is k-anonymous: it leaves the game
             // (lines 10–14 skip recomputation).
             arena.states.push(SlotState::Done);
@@ -1360,7 +1414,7 @@ pub(crate) fn run_monolithic(
                         "no k-anonymous group exists to absorb the residual fingerprint \
                          ({} users < k = {})",
                         arena.slots.multiplicity(r),
-                        config.k
+                        arena.kreq[r]
                     )));
                 }
                 let slots_ref = &arena.slots;

@@ -41,6 +41,9 @@
 //! * [`accuracy`] — spatiotemporal accuracy metrics of anonymized output;
 //! * [`parallel`] — the data-parallel kernel that stands in for the paper's
 //!   GPU implementation (§6.3);
+//! * [`policy`] — the policy plane: `(epoch, cohort) → EffectivePolicy`
+//!   resolution over a base configuration, with the uniform plane as the
+//!   byte-identical default;
 //! * [`api`] — the unified run API: the [`api::Anonymizer`] trait over
 //!   every engine (including the baselines adapters of `glove-baselines`),
 //!   the [`api::RunBuilder`] mode selector, [`api::Observer`] progress
@@ -82,6 +85,7 @@ pub mod ledger;
 pub mod merge;
 pub mod model;
 pub mod parallel;
+pub mod policy;
 pub mod reshape;
 pub mod shard;
 pub mod stream;
@@ -104,6 +108,9 @@ pub mod prelude {
     pub use crate::kgap::{kgap, kgap_all};
     pub use crate::ledger::MemoryLedger;
     pub use crate::model::{Dataset, Fingerprint, Sample, UserId};
+    pub use crate::policy::{
+        CohortSpec, EffectivePolicy, KPlan, PolicyOverride, PolicyPlane, PolicyRule, SharedPolicy,
+    };
     pub use crate::shard::ShardStat;
     pub use crate::stream::{
         events_of, run_stream, EpochOutput, EpochStat, StreamEngine, StreamEvent, StreamRun,

@@ -35,6 +35,7 @@ use crate::glove::{run_monolithic, GloveOutput, GloveStats};
 use crate::ledger::MemoryLedger;
 use crate::model::{Dataset, Fingerprint};
 use crate::parallel::par_map;
+use crate::policy::KPlan;
 use glove_geo::{Grid, MetricPoint};
 use std::time::Instant;
 
@@ -200,6 +201,7 @@ pub(crate) fn anonymize_sharded(
     dataset: &Dataset,
     config: &GloveConfig,
     policy: ShardPolicy,
+    plan: Option<&KPlan>,
 ) -> Result<GloveOutput, GloveError> {
     let started = Instant::now();
     let chunks = partition(dataset, &policy, config);
@@ -228,8 +230,31 @@ pub(crate) fn anonymize_sharded(
         })
         .collect::<Result<_, _>>()?;
 
+    // A shard whose population cannot cover its deepest plan requirement
+    // would fail mid-run; detect it up front with the same error the
+    // monolithic entry point raises.
+    if let Some(p) = plan {
+        for input in &shard_inputs {
+            let need = input
+                .fingerprints
+                .iter()
+                .map(|f| p.required_k(f.users()))
+                .max()
+                .unwrap_or(config.k)
+                .max(config.k);
+            if input.num_users() < need {
+                return Err(GloveError::Unsatisfiable(format!(
+                    "shard '{}' has {} subscribers, fewer than the policy k = {}",
+                    input.name,
+                    input.num_users(),
+                    need
+                )));
+            }
+        }
+    }
+
     let outputs = par_map(shard_inputs.len(), config.threads, |s| {
-        run_monolithic(&shard_inputs[s], &inner)
+        run_monolithic(&shard_inputs[s], &inner, plan)
     });
 
     let mut stats = GloveStats::default();

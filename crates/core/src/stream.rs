@@ -33,6 +33,19 @@
 //!   defers them (samples ride along) to the next epoch. Both paths are
 //!   accounted in [`StreamStats`].
 //!
+//! ### The policy plane
+//!
+//! [`StreamEngine::with_policy`] runs the engine under a
+//! [`crate::policy::PolicyPlane`]: at every window boundary the plane is
+//! resolved against the *emitted-epoch index* the window would publish as,
+//! snapshotting the k, window length, carry policy, under-k policy and
+//! suppression thresholds in force for that window (plus the per-user k
+//! plan of any cohort floors). Empty windows do not advance the epoch
+//! clock. A [`crate::policy::SharedPolicy`] swapped mid-window takes
+//! effect when the next window opens. The uniform plane resolves to the
+//! base [`StreamConfig`] everywhere and is byte-identical to the
+//! pre-policy engine.
+//!
 //! ### Bounded memory
 //!
 //! The engine's resident state is the current window's per-user buffers,
@@ -42,12 +55,13 @@
 //! benches can demonstrate that memory follows the window population, not
 //! the dataset (`crates/bench/benches/stream_e2e.rs`).
 
-use crate::config::{CarryPolicy, StreamConfig, UnderKPolicy};
+use crate::config::{CarryPolicy, GloveConfig, StreamConfig, UnderKPolicy};
 use crate::error::GloveError;
-use crate::glove::{anonymize, GloveOutput};
+use crate::glove::{anonymize_with_plan, GloveOutput};
 use crate::ledger::MemoryLedger;
 use crate::merge::merge_fingerprints;
 use crate::model::{Dataset, Fingerprint, Sample, UserId};
+use crate::policy::{EffectivePolicy, KPlan, PolicyPlane, SharedPolicy};
 use crate::suppress::SuppressionLedger;
 use std::collections::BTreeMap;
 use std::time::Instant;
@@ -90,6 +104,19 @@ pub struct EpochStat {
     pub pairs_skipped_tier1: u64,
     /// Exact evaluations abandoned early by the partial-mean cutoff.
     pub pairs_abandoned: u64,
+    /// Anonymity level in force for this epoch — the policy plane's
+    /// resolved global k (equals the base configuration's k under the
+    /// uniform plane).
+    pub policy_k: usize,
+    /// Window length (minutes) in force when this epoch's window opened.
+    pub policy_window_min: u32,
+    /// Carry policy in force for this epoch.
+    pub policy_carry: CarryPolicy,
+    /// Under-k policy in force for this epoch.
+    pub policy_under_k: UnderKPolicy,
+    /// Users whose k requirement was raised above the epoch's global k by
+    /// a cohort rule (0 under the uniform plane).
+    pub policy_cohort_users: usize,
     /// Wall-clock seconds of the epoch's anonymization run.
     pub elapsed_s: f64,
 }
@@ -205,8 +232,20 @@ pub struct StreamRun {
 pub struct StreamEngine {
     name: String,
     config: StreamConfig,
-    /// Window currently being filled (`None` until the first event).
-    current_window: Option<u64>,
+    /// The policy plane resolved at every window boundary. The uniform
+    /// plane (the default) reproduces `config` for every epoch.
+    policy: SharedPolicy,
+    /// True once the first event has opened a window.
+    window_open: bool,
+    /// Start of the window currently being filled, minutes.
+    window_start: u64,
+    /// Length of the window currently being filled, minutes.
+    window_len: u64,
+    /// Policy snapshot of the filling window, resolved when it opened — a
+    /// plane swapped mid-window takes effect at the next boundary.
+    eff: EffectivePolicy,
+    /// Per-user k plan of the filling window (`None` under uniform k).
+    plan: Option<KPlan>,
     /// Per-user sample buffers of the current window.
     buffers: BTreeMap<UserId, Vec<Sample>>,
     /// Users deferred from under-`k` windows, with their accumulated
@@ -227,13 +266,33 @@ pub struct StreamEngine {
 
 impl StreamEngine {
     /// Creates an engine for a named stream (the name becomes the epoch
-    /// datasets' name, exactly as a batch run would see it).
+    /// datasets' name, exactly as a batch run would see it). Runs under the
+    /// uniform policy plane: every epoch gets exactly `config`.
     pub fn new(name: impl Into<String>, config: StreamConfig) -> Result<Self, GloveError> {
+        Self::with_policy(name, config, crate::policy::shared(PolicyPlane::uniform()))
+    }
+
+    /// Creates an engine whose per-epoch behavior is governed by a policy
+    /// plane over `config`. The handle is shared: a writer (the `serve`
+    /// RECONFIG path, the adaptive loop) may swap the plane while the
+    /// stream runs; the new plane takes effect when the next window opens.
+    pub fn with_policy(
+        name: impl Into<String>,
+        config: StreamConfig,
+        policy: SharedPolicy,
+    ) -> Result<Self, GloveError> {
         config.validate()?;
+        policy.read().expect("policy lock poisoned").validate()?;
+        let eff = EffectivePolicy::of(&config);
         Ok(Self {
             name: name.into(),
             config,
-            current_window: None,
+            policy,
+            window_open: false,
+            window_start: 0,
+            window_len: u64::from(eff.window_min),
+            eff,
+            plan: None,
             buffers: BTreeMap::new(),
             deferred: BTreeMap::new(),
             prev_groups: Vec::new(),
@@ -248,6 +307,11 @@ impl StreamEngine {
     /// The stream configuration.
     pub fn config(&self) -> &StreamConfig {
         &self.config
+    }
+
+    /// The engine's policy handle (clone it to retune the plane mid-run).
+    pub fn policy(&self) -> &SharedPolicy {
+        &self.policy
     }
 
     /// Statistics accumulated so far.
@@ -273,16 +337,15 @@ impl StreamEngine {
             )));
         }
         self.last_t = t;
-        let window = u64::from(t) / u64::from(self.config.window_min);
+        let t64 = u64::from(t);
 
         let mut emitted = None;
-        match self.current_window {
-            None => self.current_window = Some(window),
-            Some(current) if window > current => {
-                emitted = self.close_window()?;
-                self.current_window = Some(window);
-            }
-            _ => {}
+        if !self.window_open {
+            self.open_window(t64, 0);
+        } else if t64 >= self.window_start + self.window_len {
+            emitted = self.close_window()?;
+            let from = self.window_start + self.window_len;
+            self.open_window(t64, from);
         }
 
         self.stats.events += 1;
@@ -326,12 +389,34 @@ impl StreamEngine {
             self.stats.peak_resident_samples.max(self.resident_samples);
     }
 
+    /// Opens the window containing minute `t`, walking forward from
+    /// `from` (0 for the first window, the previous window's end
+    /// otherwise), and snapshots the policy in force for it.
+    ///
+    /// The policy of a window is resolved once, here, against the epoch
+    /// index it would be emitted as (`epochs_emitted`) — empty windows do
+    /// not advance the epoch clock, so every window skipped in the jump
+    /// below would have resolved identically, and the gap can be crossed
+    /// in one division. Under the uniform plane this computes exactly
+    /// `⌊t / W⌋ · W`, the pre-policy window arithmetic.
+    fn open_window(&mut self, t: u64, from: u64) {
+        let plane = self.policy.read().expect("policy lock poisoned");
+        self.eff = plane.resolve(self.epochs_emitted, None, &self.config);
+        self.plan = plane.kplan(self.epochs_emitted, &self.config);
+        drop(plane);
+        let len = u64::from(self.eff.window_min);
+        self.window_len = len;
+        self.window_start = from + ((t.saturating_sub(from)) / len) * len;
+        self.window_open = true;
+    }
+
     /// Closes the currently-filling window: folds deferred users in, applies
     /// the under-`k` policy, seeds carry-over groups, anonymizes and emits.
     fn close_window(&mut self) -> Result<Option<EpochOutput>, GloveError> {
-        let Some(window) = self.current_window.take() else {
+        if !self.window_open {
             return Ok(None);
-        };
+        }
+        self.window_open = false;
         if self.buffers.is_empty() && self.deferred.is_empty() {
             return Ok(None);
         }
@@ -344,12 +429,12 @@ impl StreamEngine {
                 .keys()
                 .filter(|u| !self.buffers.contains_key(u))
                 .count();
-        if population < self.config.glove.k {
+        if population < self.eff.k {
             let buffers = std::mem::take(&mut self.buffers);
             // The live buffers drain (suppressed or folded into the
             // deferred ledger), so no user can be in both maps anymore.
             self.deferred_active = 0;
-            match self.config.under_k {
+            match self.eff.under_k {
                 UnderKPolicy::Suppress => {
                     // `deferred` is only populated under `Defer`, so the
                     // suppressed ledger is exactly this window's buffers.
@@ -392,8 +477,17 @@ impl StreamEngine {
         let fingerprints_in = fingerprints.len();
         let epoch_ds = Dataset::new(self.name.clone(), fingerprints)?;
 
+        // The epoch's GLOVE run inherits the base configuration with the
+        // policy-resolved k and suppression in force; the per-user k plan
+        // (cohort floors) rides alongside. Under the uniform plane this is
+        // exactly `self.config.glove` with no plan.
+        let glove = GloveConfig {
+            k: self.eff.k,
+            suppression: self.eff.suppression,
+            ..self.config.glove
+        };
         let started = Instant::now();
-        let output = anonymize(&epoch_ds, &self.config.glove)?;
+        let output = anonymize_with_plan(&epoch_ds, &glove, self.plan.as_ref())?;
         let elapsed_s = started.elapsed().as_secs_f64();
 
         // Remember group memberships for the next epoch's seeds.
@@ -418,7 +512,7 @@ impl StreamEngine {
         self.stats.elapsed_s += elapsed_s;
         self.stats.per_epoch.push(EpochStat {
             epoch,
-            window_start_min: window * u64::from(self.config.window_min),
+            window_start_min: self.window_start,
             fingerprints_in,
             users_in: population,
             seeded_groups,
@@ -429,12 +523,24 @@ impl StreamEngine {
             pairs_skipped_tier0: output.stats.pairs_skipped_tier0,
             pairs_skipped_tier1: output.stats.pairs_skipped_tier1,
             pairs_abandoned: output.stats.pairs_abandoned,
+            policy_k: self.eff.k,
+            policy_window_min: self.eff.window_min,
+            policy_carry: self.eff.carry,
+            policy_under_k: self.eff.under_k,
+            policy_cohort_users: self.plan.as_ref().map_or(0, |p| {
+                epoch_ds
+                    .fingerprints
+                    .iter()
+                    .flat_map(|f| f.users())
+                    .filter(|&&u| p.k_of(u) > p.base())
+                    .count()
+            }),
             elapsed_s,
         });
 
         Ok(Some(EpochOutput {
             epoch,
-            window_start_min: window * u64::from(self.config.window_min),
+            window_start_min: self.window_start,
             output,
         }))
     }
@@ -451,7 +557,7 @@ impl StreamEngine {
             singles.insert(user, Fingerprint::with_users(vec![user], samples)?);
         }
 
-        if self.config.carry == CarryPolicy::Fresh || self.prev_groups.is_empty() {
+        if self.eff.carry == CarryPolicy::Fresh || self.prev_groups.is_empty() {
             return Ok((singles.into_values().collect(), 0));
         }
 
@@ -459,7 +565,7 @@ impl StreamEngine {
         // in this window. Merging in ascending user-id order keeps the seed
         // deterministic.
         let cfg = &self.config.glove.stretch;
-        let thresholds = &self.config.glove.suppression;
+        let thresholds = &self.eff.suppression;
         let mut seeded: Vec<Fingerprint> = Vec::new();
         let mut seeded_groups = 0usize;
         for group in &self.prev_groups {
@@ -495,7 +601,22 @@ pub fn run_stream(
     events: impl IntoIterator<Item = StreamEvent>,
     config: StreamConfig,
 ) -> Result<StreamRun, GloveError> {
-    let mut engine = StreamEngine::new(name, config)?;
+    run_stream_with_policy(
+        name,
+        events,
+        config,
+        crate::policy::shared(PolicyPlane::uniform()),
+    )
+}
+
+/// [`run_stream`] under a policy plane (see [`StreamEngine::with_policy`]).
+pub fn run_stream_with_policy(
+    name: impl Into<String>,
+    events: impl IntoIterator<Item = StreamEvent>,
+    config: StreamConfig,
+    policy: SharedPolicy,
+) -> Result<StreamRun, GloveError> {
+    let mut engine = StreamEngine::with_policy(name, config, policy)?;
     let mut epochs = Vec::new();
     for event in events {
         if let Some(epoch) = engine.push(event)? {
@@ -541,6 +662,7 @@ pub fn events_of(dataset: &Dataset) -> Vec<StreamEvent> {
 mod tests {
     use super::*;
     use crate::config::{CarryPolicy, GloveConfig, UnderKPolicy};
+    use crate::glove::anonymize;
 
     /// `n` users in two tight spatial clusters, one event per user every
     /// `period` minutes over `span` minutes.
@@ -849,6 +971,172 @@ mod tests {
         let shared = Fingerprint::with_users(vec![5, 6], vec![Sample::point(0, 0, 3)]).unwrap();
         let ds2 = Dataset::new("ev2", vec![shared]).unwrap();
         assert_eq!(events_of(&ds2).len(), 2);
+    }
+
+    #[test]
+    fn policy_uniform_plane_is_byte_identical() {
+        let events = regular_events(6, 30, 360);
+        let plain = run_stream("uniform", events.clone(), cfg(120)).unwrap();
+        let planned = run_stream_with_policy(
+            "uniform",
+            events,
+            cfg(120),
+            crate::policy::shared(PolicyPlane::uniform()),
+        )
+        .unwrap();
+        assert_eq!(plain.epochs.len(), planned.epochs.len());
+        for (a, b) in plain.epochs.iter().zip(&planned.epochs) {
+            assert_eq!(a.output.dataset.fingerprints, b.output.dataset.fingerprints);
+            assert_eq!(a.window_start_min, b.window_start_min);
+        }
+        // Wall-clock timings differ between runs; everything else must not.
+        let strip = |mut s: StreamStats| {
+            s.elapsed_s = 0.0;
+            for e in &mut s.per_epoch {
+                e.elapsed_s = 0.0;
+            }
+            s.ledger.peak_rss_bytes = 0;
+            s
+        };
+        assert_eq!(strip(plain.stats), strip(planned.stats));
+    }
+
+    #[test]
+    fn policy_switches_k_at_epoch_boundary() {
+        use crate::policy::{PolicyOverride, PolicyRule};
+        // k = 2 for epoch 0, k = 4 from epoch 1 on.
+        let mut plane = PolicyPlane::uniform();
+        plane.rules.push(PolicyRule {
+            from_epoch: 1,
+            to_epoch: None,
+            cohort: None,
+            set: PolicyOverride {
+                k: Some(4),
+                ..PolicyOverride::default()
+            },
+        });
+        let events = regular_events(8, 30, 240);
+        let run =
+            run_stream_with_policy("swk", events, cfg(120), crate::policy::shared(plane)).unwrap();
+        assert_eq!(run.epochs.len(), 2);
+        assert!(run.epochs[0].output.dataset.is_k_anonymous(2));
+        assert!(run.epochs[1].output.dataset.is_k_anonymous(4));
+        assert_eq!(run.stats.per_epoch[0].policy_k, 2);
+        assert_eq!(run.stats.per_epoch[1].policy_k, 4);
+        // Epoch 0 is allowed to publish pairs that epoch 1 must not.
+        assert!(run.epochs[1]
+            .output
+            .dataset
+            .fingerprints
+            .iter()
+            .all(|f| f.multiplicity() >= 4));
+    }
+
+    #[test]
+    fn policy_switches_window_length_at_boundary() {
+        use crate::policy::{PolicyOverride, PolicyRule};
+        // Epoch 0 closes after 120 min; epochs 1.. use 60-min windows.
+        let mut plane = PolicyPlane::uniform();
+        plane.rules.push(PolicyRule {
+            from_epoch: 1,
+            to_epoch: None,
+            cohort: None,
+            set: PolicyOverride {
+                window_min: Some(60),
+                ..PolicyOverride::default()
+            },
+        });
+        let events = regular_events(6, 30, 240);
+        let run =
+            run_stream_with_policy("sww", events, cfg(120), crate::policy::shared(plane)).unwrap();
+        assert_eq!(run.epochs.len(), 3, "120 + 60 + 60 covers 240 min");
+        let starts: Vec<u64> = run.epochs.iter().map(|e| e.window_start_min).collect();
+        assert_eq!(starts, vec![0, 120, 180]);
+        assert_eq!(run.stats.per_epoch[0].policy_window_min, 120);
+        assert_eq!(run.stats.per_epoch[1].policy_window_min, 60);
+    }
+
+    #[test]
+    fn policy_cohort_floor_deepens_members_groups() {
+        use crate::policy::{CohortSpec, PolicyOverride, PolicyRule};
+        // Users 0 and 2 must hide at depth 4 while the global k stays 2.
+        let plane = PolicyPlane {
+            cohorts: vec![CohortSpec {
+                name: "vip".into(),
+                users: vec![0, 2],
+            }],
+            rules: vec![PolicyRule {
+                from_epoch: 0,
+                to_epoch: None,
+                cohort: Some("vip".into()),
+                set: PolicyOverride {
+                    k: Some(4),
+                    ..PolicyOverride::default()
+                },
+            }],
+        };
+        let events = regular_events(8, 30, 120);
+        let run =
+            run_stream_with_policy("coh", events, cfg(120), crate::policy::shared(plane)).unwrap();
+        assert_eq!(run.epochs.len(), 1);
+        let ds = &run.epochs[0].output.dataset;
+        assert!(ds.is_k_anonymous(2), "global floor still holds");
+        for fp in &ds.fingerprints {
+            if fp.users().contains(&0) || fp.users().contains(&2) {
+                assert!(
+                    fp.multiplicity() >= 4,
+                    "cohort member published at depth {} < 4",
+                    fp.multiplicity()
+                );
+            }
+        }
+        assert_eq!(run.stats.per_epoch[0].policy_cohort_users, 2);
+    }
+
+    #[test]
+    fn policy_swap_applies_at_next_window() {
+        use crate::policy::{PolicyOverride, PolicyRule};
+        let handle = crate::policy::shared(PolicyPlane::uniform());
+        let mut engine = StreamEngine::with_policy("swap", cfg(60), handle.clone()).unwrap();
+        let feed = |engine: &mut StreamEngine, base: u32| {
+            let mut out = Vec::new();
+            for t in [0u32, 30] {
+                for user in 0..6u32 {
+                    if let Some(e) = engine
+                        .push(StreamEvent {
+                            user,
+                            sample: Sample::point(i64::from(user) * 100, 0, base + t),
+                        })
+                        .unwrap()
+                    {
+                        out.push(e);
+                    }
+                }
+            }
+            out
+        };
+        feed(&mut engine, 0);
+        // Retune between epochs: k = 6 for every epoch from now on.
+        let mut plane = PolicyPlane::uniform();
+        plane.rules.push(PolicyRule {
+            from_epoch: 0,
+            to_epoch: None,
+            cohort: None,
+            set: PolicyOverride {
+                k: Some(6),
+                ..PolicyOverride::default()
+            },
+        });
+        *handle.write().unwrap() = plane;
+        let mut emitted = feed(&mut engine, 60);
+        let (last, stats) = engine.finish().unwrap();
+        emitted.extend(last);
+        assert_eq!(emitted.len(), 2);
+        // Epoch 0 was already filling when the swap landed: old policy.
+        assert_eq!(stats.per_epoch[0].policy_k, 2);
+        // Epoch 1 opened after the swap: new policy.
+        assert_eq!(stats.per_epoch[1].policy_k, 6);
+        assert!(emitted[1].output.dataset.is_k_anonymous(6));
     }
 
     #[test]

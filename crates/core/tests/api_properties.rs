@@ -15,16 +15,18 @@ use glove_core::api::{
     ShardedGlove, StreamGlove,
 };
 use glove_core::glove::anonymize;
+use glove_core::policy::PolicyPlane;
 use glove_core::prelude::*;
 use glove_core::shard::ShardStat;
 use glove_core::stream::{events_of, run_stream, EpochOutput};
 
-/// Zeroes the wall-clock fields of a stream detail so two runs of the same
-/// work compare equal (timing is the one legitimately non-deterministic
-/// part of a report).
+/// Zeroes the wall-clock and OS-measured fields of a stream detail so two
+/// runs of the same work compare equal (timing and resident-set size are
+/// the legitimately non-deterministic parts of a report).
 fn normalize_stream(report: &RunReport) -> glove_core::stream::StreamStats {
     let mut stats = report.detail.as_stream().expect("stream detail").clone();
     stats.elapsed_s = 0.0;
+    stats.ledger.peak_rss_bytes = 0;
     for epoch in &mut stats.per_epoch {
         epoch.elapsed_s = 0.0;
     }
@@ -143,6 +145,77 @@ fn stream_builder_epochs_are_identical_to_legacy_run_stream() {
         assert_eq!(
             outcome.report.detail.as_stream().map(|s| s.events),
             Some(legacy.stats.events)
+        );
+    }
+}
+
+#[test]
+fn uniform_policy_plane_is_byte_identical_across_engines() {
+    // The PR 10 exactness anchor: attaching `PolicyPlane::uniform()` to a
+    // run must be a no-op for every engine mode — batch, sharded, and both
+    // stream carries — down to the published fingerprint bytes and (for
+    // streams) the full normalized stats report.
+    let ds = dataset(24);
+    let config = GloveConfig {
+        threads: 1,
+        ..GloveConfig::default()
+    };
+
+    // Batch.
+    let plain = RunBuilder::new(config).run(&ds).unwrap();
+    let planed = RunBuilder::new(config)
+        .policy(PolicyPlane::uniform())
+        .run(&ds)
+        .unwrap();
+    assert_eq!(
+        planed.expect_dataset().fingerprints,
+        plain.expect_dataset().fingerprints,
+        "batch: uniform plane changed the published bytes"
+    );
+
+    // Sharded.
+    let policy = ShardPolicy::activity(4);
+    let plain = RunBuilder::new(config).sharded(policy).run(&ds).unwrap();
+    let planed = RunBuilder::new(config)
+        .sharded(policy)
+        .policy(PolicyPlane::uniform())
+        .run(&ds)
+        .unwrap();
+    assert_eq!(
+        planed.expect_dataset().fingerprints,
+        plain.expect_dataset().fingerprints,
+        "sharded: uniform plane changed the published bytes"
+    );
+
+    // Stream, both carries (Fresh regroups every window; Sticky carries
+    // the grouping forward — the plane must be invisible to both paths).
+    for carry in [CarryPolicy::Fresh, CarryPolicy::Sticky] {
+        let stream_cfg = StreamConfig {
+            window_min: 300,
+            carry,
+            glove: config,
+            ..StreamConfig::default()
+        };
+        let plain = RunBuilder::new(config).stream(stream_cfg).run(&ds).unwrap();
+        let planed = RunBuilder::new(config)
+            .stream(stream_cfg)
+            .policy(PolicyPlane::uniform())
+            .run(&ds)
+            .unwrap();
+        let (a, b) = (planed.output.epochs(), plain.output.epochs());
+        assert_eq!(a.len(), b.len(), "{carry:?}: epoch count diverged");
+        for (new, old) in a.iter().zip(b) {
+            assert_eq!(new.epoch, old.epoch);
+            assert_eq!(
+                new.output.dataset.fingerprints, old.output.dataset.fingerprints,
+                "{carry:?}: uniform plane changed epoch {} bytes",
+                new.epoch
+            );
+        }
+        assert_eq!(
+            normalize_stream(&planed.report),
+            normalize_stream(&plain.report),
+            "{carry:?}: uniform plane changed the stream report"
         );
     }
 }

@@ -10,7 +10,7 @@
 //!   point where Alg. 1 is silent).
 
 use crate::context::EvalContext;
-use crate::report::{fmt, pct, write_csv, Report};
+use crate::report::{fmt, pct, Report};
 use glove_core::accuracy::{mean_position_accuracy_m, mean_time_accuracy_min};
 use glove_core::api::RunBuilder;
 use glove_core::stretch::{fingerprint_stretch, fingerprint_stretch_naive};
@@ -154,13 +154,11 @@ pub fn ablation(ctx: &mut EvalContext) -> Report {
     report.line("no-weighting sacrifices large groups to small ones (worse mean accuracy);");
     report.line("residual-suppress drops the odd leftover subscriber instead of merging.");
 
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "ablation.csv",
         &["variant", "value_a", "value_b"],
         &csv_rows,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
     report
 }

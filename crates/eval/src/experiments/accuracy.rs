@@ -2,7 +2,7 @@
 //! the suppression / timespan / dataset-size sweeps.
 
 use crate::context::EvalContext;
-use crate::report::{ascii_cdf, fmt, pct, write_csv, NamedCurve, Report};
+use crate::report::{ascii_cdf, fmt, pct, NamedCurve, Report};
 use glove_core::accuracy::{position_accuracy_m, time_accuracy_min};
 use glove_core::{Dataset, SuppressionThresholds};
 use glove_stats::{Ecdf, Summary};
@@ -57,14 +57,12 @@ fn write_accuracy_csv(
     let mut header = vec!["position_m".to_string()];
     header.extend(runs.iter().map(|(l, _, _)| format!("cdf_{l}")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         &format!("{stem}_position.csv"),
         &header_refs,
         &rows,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
 
     let time_grid = log_grid(1.0, 1_440.0, 80);
     let mut rows = Vec::new();
@@ -78,14 +76,12 @@ fn write_accuracy_csv(
     let mut header = vec!["time_min".to_string()];
     header.extend(runs.iter().map(|(l, _, _)| format!("cdf_{l}")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         &format!("{stem}_time.csv"),
         &header_refs,
         &rows,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
 }
 
 fn accuracy_ecdfs(ds: &Dataset) -> (Ecdf, Ecdf) {
@@ -228,7 +224,7 @@ pub fn fig9(ctx: &mut EvalContext) -> Report {
         ],
         &rows,
     );
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "fig9_suppression_spatial.csv",
         &[
@@ -240,9 +236,7 @@ pub fn fig9(ctx: &mut EvalContext) -> Report {
             "p75_m",
         ],
         &csv_rows,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
 
     // Right plot: temporal-only thresholds (footnote 8: spatial-only
     // thresholding gains little, so the temporal axis is swept alone).
@@ -313,7 +307,7 @@ pub fn fig9(ctx: &mut EvalContext) -> Report {
         ],
         &rows,
     );
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "fig9_suppression_temporal.csv",
         &[
@@ -325,9 +319,7 @@ pub fn fig9(ctx: &mut EvalContext) -> Report {
             "p75_min",
         ],
         &csv_rows,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
     report.line("");
     report.line("Paper: suppressing <8% of samples improves mean spatial accuracy ~5x;");
     report.line("thresholding time at 6h halves the mean time error for ~4% of samples.");
@@ -378,7 +370,7 @@ pub fn fig10(ctx: &mut EvalContext) -> Report {
             &rows,
         );
         report.line("");
-        if let Ok(path) = write_csv(
+        report.csv(
             &ctx.cfg.out_dir,
             &format!("fig10_timespan_{name}.csv"),
             &[
@@ -389,9 +381,7 @@ pub fn fig10(ctx: &mut EvalContext) -> Report {
                 "mean_time_min",
             ],
             &csv_rows,
-        ) {
-            report.csv_files.push(path);
-        }
+        );
     }
     report.line("Paper: 1-day datasets are ~2x more accurate than 2-week ones; the loss");
     report.line("flattens with length (weekly periodicity bounds fingerprint diversity).");
@@ -447,7 +437,7 @@ pub fn fig11(ctx: &mut EvalContext) -> Report {
             &rows,
         );
         report.line("");
-        if let Ok(path) = write_csv(
+        report.csv(
             &ctx.cfg.out_dir,
             &format!("fig11_size_{name}.csv"),
             &[
@@ -458,9 +448,7 @@ pub fn fig11(ctx: &mut EvalContext) -> Report {
                 "mean_time_min",
             ],
             &csv_rows,
-        ) {
-            report.csv_files.push(path);
-        }
+        );
     }
     report.line("Paper: accuracy degrades only for the smallest user fractions.");
     report

@@ -18,7 +18,7 @@
 //!   caveat that `Sticky` trades cross-epoch unlinkability for stability.
 
 use crate::context::EvalContext;
-use crate::report::{fmt, pct, write_csv, Report};
+use crate::report::{fmt, pct, Report};
 use glove_attack::{
     cross_epoch_attack, multi_point_attack, random_point_attack, top_location_uniqueness,
     AdversaryNoise, CrossEpochAttack, MultiPointAttack, PublishedView, RandomPointAttack,
@@ -87,14 +87,12 @@ pub fn attack(ctx: &mut EvalContext) -> Report {
     report.line(">= k subscribers, so the pinpoint rate must be exactly 0.");
     report.line("");
 
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "attack_linkage.csv",
         &["dataset", "adversary", "raw", "after_glove"],
         &csv_rows,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
 
     success_vs_k(ctx, &mut report);
     stream_linkage(ctx, &mut report);
@@ -157,7 +155,7 @@ fn success_vs_k(ctx: &mut EvalContext, report: &mut Report) {
         &rows,
     );
     report.line("");
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "attack_success_vs_k.csv",
         &[
@@ -170,9 +168,7 @@ fn success_vs_k(ctx: &mut EvalContext, report: &mut Report) {
             "min_anonymity",
         ],
         &csv,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
 }
 
 /// Cross-epoch linkage of streamed output: the Sticky-vs-Fresh gap.
@@ -248,7 +244,7 @@ fn stream_linkage(ctx: &mut EvalContext, report: &mut Report) {
         pct(gap_linkage),
         pct(gap_persistence),
     ));
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "attack_stream_linkage.csv",
         &[
@@ -261,7 +257,5 @@ fn stream_linkage(ctx: &mut EvalContext, report: &mut Report) {
             "cohort_persistence",
         ],
         &csv,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
 }

@@ -2,7 +2,7 @@
 //! generalization, and the tail-weight root-cause analysis.
 
 use crate::context::EvalContext;
-use crate::report::{ascii_cdf, fmt, pct, write_csv, NamedCurve, Report};
+use crate::report::{ascii_cdf, fmt, pct, NamedCurve, Report};
 use glove_baselines::{GeneralizationLevel, UniformAnonymizer};
 use glove_core::api::{Anonymizer, NullObserver};
 use glove_core::kgap::{kgap_all, kgap_decomposed_all, kgap_many};
@@ -69,14 +69,12 @@ pub fn fig3a(ctx: &mut EvalContext) -> Report {
         }
         csv_rows.push(row);
     }
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "fig3a_kgap_cdf.csv",
         &["delta2", "cdf_civ", "cdf_sen"],
         &csv_rows,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
     report
 }
 
@@ -138,14 +136,12 @@ pub fn fig3b(ctx: &mut EvalContext) -> Report {
     let mut header = vec!["deltak".to_string()];
     header.extend(ks.iter().map(|k| format!("cdf_k{k}")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "fig3b_kgap_by_k.csv",
         &header_refs,
         &csv_rows,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
     report
 }
 
@@ -187,14 +183,12 @@ pub fn fig4(ctx: &mut EvalContext) -> Report {
         report.line(format!("dataset: {name}"));
         report.table(&["km-min", "2-anonymous", "median gap", "p90 gap"], &rows);
         report.line("");
-        if let Ok(path) = write_csv(
+        report.csv(
             &ctx.cfg.out_dir,
             &format!("fig4_uniform_{name}.csv"),
             &["level", "frac_2anon", "median_gap", "p90_gap"],
             &csv_rows,
-        ) {
-            report.csv_files.push(path);
-        }
+        );
     }
     report.line("Paper: fraction 2-anonymized stays below ~35% even at 20km-480min.");
     report
@@ -266,14 +260,12 @@ pub fn fig5a(ctx: &mut EvalContext) -> Report {
         }
         csv_rows.push(row);
     }
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "fig5a_twi_cdf.csv",
         &["twi", "cdf_delta", "cdf_spatial", "cdf_temporal"],
         &csv_rows,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
     report
 }
 
@@ -324,13 +316,11 @@ pub fn fig5b(ctx: &mut EvalContext) -> Report {
         }
         csv_rows.push(row);
     }
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "fig5b_temporal_share.csv",
         &["share", "cdf_civ", "cdf_sen"],
         &csv_rows,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
     report
 }

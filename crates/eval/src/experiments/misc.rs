@@ -2,7 +2,7 @@
 //! kernel throughput (§6.3).
 
 use crate::context::EvalContext;
-use crate::report::{fmt, write_csv, Report};
+use crate::report::{fmt, Report};
 use glove_core::parallel::par_map;
 use glove_core::stretch::fingerprint_stretch;
 use glove_core::StretchConfig;
@@ -58,14 +58,12 @@ pub fn rog(ctx: &mut EvalContext) -> Report {
     );
     report.line("");
     report.line("Paper: median 1.8-2 km, mean 10-12 km.");
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "rog_stats.csv",
         &["dataset", "median_m", "mean_m", "p25_m", "p75_m"],
         &csv_rows,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
     report
 }
 
@@ -107,7 +105,7 @@ pub fn throughput(ctx: &mut EvalContext) -> Report {
     report.line(format!("throughput: {} pairs/second", fmt(rate)));
     report.line("");
     report.line("Paper: 20,000-50,000 pairs/second on a single low-end GPU (GT 740).");
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "throughput.csv",
         &[
@@ -124,8 +122,6 @@ pub fn throughput(ctx: &mut EvalContext) -> Report {
             fmt(elapsed),
             fmt(rate),
         ]],
-    ) {
-        report.csv_files.push(path);
-    }
+    );
     report
 }

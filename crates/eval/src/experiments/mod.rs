@@ -12,11 +12,15 @@
 //! * [`stream`] — windowed online GLOVE: k-retention, accuracy and
 //!   residency vs window length against the batch run;
 //! * [`scenarios`] — the scenario matrix: every engine against every
-//!   adversarial workload preset, with long-tail cohort risk splits.
+//!   adversarial workload preset, with long-tail cohort risk splits;
+//! * [`frontier`] — the defense frontier: utility vs cross-epoch attacker
+//!   success across the static carry × k grid, plus the point the
+//!   attack-guided adaptive policy loop converges to.
 
 pub mod ablation;
 pub mod accuracy;
 pub mod attack;
+pub mod frontier;
 pub mod kgap;
 pub mod misc;
 pub mod scenarios;

@@ -25,7 +25,7 @@
 //! surface.
 
 use crate::context::EvalContext;
-use crate::report::{fmt, pct, write_csv, Report};
+use crate::report::{fmt, pct, Report};
 use glove_attack::{
     classifier_attack, cross_epoch_attack_cohort, multi_point_attack, AdversaryNoise,
     CrossEpochAttack, MultiPointAttack, PublishedView, TopLocationClassifier,
@@ -355,7 +355,7 @@ pub fn scenarios(ctx: &mut EvalContext) -> Report {
          linkage only exists for the streaming engines.",
     );
 
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "scenario_matrix.csv",
         &[
@@ -378,8 +378,6 @@ pub fn scenarios(ctx: &mut EvalContext) -> Report {
             "ce_linked_longtail",
         ],
         &cells.iter().map(Cell::csv).collect::<Vec<_>>(),
-    ) {
-        report.csv_files.push(path);
-    }
+    );
     report
 }

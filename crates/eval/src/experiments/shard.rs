@@ -11,7 +11,7 @@
 //!   position/time accuracy vs the monolithic output).
 
 use crate::context::EvalContext;
-use crate::report::{fmt, pct, write_csv, Report};
+use crate::report::{fmt, pct, Report};
 use glove_core::accuracy::{mean_position_accuracy_m, mean_time_accuracy_min};
 use glove_core::api::RunBuilder;
 use glove_core::{GloveConfig, ShardBy, ShardPolicy};
@@ -192,7 +192,7 @@ pub fn shard(ctx: &mut EvalContext) -> Report {
         );
     }
 
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "shard_vs_monolithic.csv",
         &[
@@ -217,8 +217,6 @@ pub fn shard(ctx: &mut EvalContext) -> Report {
             .iter()
             .map(|r| r.cells(mono_s, false))
             .collect::<Vec<_>>(),
-    ) {
-        report.csv_files.push(path);
-    }
+    );
     report
 }

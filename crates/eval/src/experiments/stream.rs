@@ -17,7 +17,7 @@
 //! single epoch must equal the batch output exactly.
 
 use crate::context::EvalContext;
-use crate::report::{fmt, pct, write_csv, Report};
+use crate::report::{fmt, pct, Report};
 use glove_core::accuracy::{mean_position_accuracy_m, mean_time_accuracy_min};
 use glove_core::api::{NullObserver, RunBuilder, RunOutput};
 use glove_core::stream::{events_of, StreamEvent, StreamRun};
@@ -220,7 +220,7 @@ pub fn stream(ctx: &mut EvalContext) -> Report {
          keeps stable cohorts' merge partners across epochs.",
     );
 
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "stream_window.csv",
         &[
@@ -237,8 +237,6 @@ pub fn stream(ctx: &mut EvalContext) -> Report {
             "peak_rss_bytes",
         ],
         &rows.iter().map(|r| r.cells(false)).collect::<Vec<_>>(),
-    ) {
-        report.csv_files.push(path);
-    }
+    );
     report
 }

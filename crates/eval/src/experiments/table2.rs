@@ -8,7 +8,7 @@
 //! (4–17 %) suppression of samples.
 
 use crate::context::EvalContext;
-use crate::report::{fmt, pct, write_csv, Report};
+use crate::report::{fmt, pct, Report};
 use glove_baselines::{W4mAnonymizer, W4mConfig};
 use glove_core::accuracy::{mean_position_accuracy_m, mean_time_accuracy_min};
 use glove_core::api::json::JsonValue;
@@ -153,7 +153,7 @@ pub fn table2(ctx: &mut EvalContext) -> Report {
     report.line("kilometres / many hours; GLOVE creates none, discards no fingerprints,");
     report.line("and keeps errors around 1 km / ~1 h (k=2) with modest suppression.");
 
-    if let Ok(path) = write_csv(
+    report.csv(
         &ctx.cfg.out_dir,
         "table2_comparison.csv",
         &[
@@ -170,8 +170,6 @@ pub fn table2(ctx: &mut EvalContext) -> Report {
             "mean_time_err_min",
         ],
         &csv_rows,
-    ) {
-        report.csv_files.push(path);
-    }
+    );
     report
 }

@@ -43,6 +43,7 @@ pub const EXPERIMENTS: &[&str] = &[
     "shard",
     "stream",
     "scenarios",
+    "frontier",
 ];
 
 /// Runs one experiment by name. Returns `None` for unknown names.
@@ -66,6 +67,7 @@ pub fn run_experiment(name: &str, ctx: &mut EvalContext) -> Option<Report> {
         "shard" => experiments::shard::shard(ctx),
         "stream" => experiments::stream::stream(ctx),
         "scenarios" => experiments::scenarios::scenarios(ctx),
+        "frontier" => experiments::frontier::frontier(ctx),
         _ => return None,
     };
     Some(report)

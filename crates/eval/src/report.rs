@@ -62,6 +62,17 @@ impl Report {
         }
     }
 
+    /// Writes a CSV series under `dir` and books it in `csv_files` — the
+    /// one shared writer every experiment goes through. A write failure is
+    /// noted in the report body instead of aborting the experiment (the
+    /// text report is still worth printing on a read-only filesystem).
+    pub fn csv(&mut self, dir: &Path, file_name: &str, header: &[&str], rows: &[Vec<String>]) {
+        match write_csv(dir, file_name, header, rows) {
+            Ok(path) => self.csv_files.push(path),
+            Err(e) => self.line(format!("({file_name} not written: {e})")),
+        }
+    }
+
     /// Renders the full report for stdout.
     pub fn render(&self) -> String {
         let bar = "=".repeat(72);

@@ -11,6 +11,7 @@
 use crate::protocol::{read_frame, write_frame, ErrorCode, Frame, MAX_EVENTS_PER_FRAME};
 use glove_core::api::RunReport;
 use glove_core::config::StreamConfig;
+use glove_core::policy::PolicyPlane;
 use glove_core::stream::StreamEvent;
 use std::io::BufReader;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -189,6 +190,17 @@ impl Client {
             }
         }
         Ok(outcome)
+    }
+
+    /// Installs a new policy plane for the open session; the daemon picks
+    /// it up at the next window boundary. Returns the installed rule count.
+    pub fn reconfig(&mut self, plane: PolicyPlane) -> Result<u32, ClientError> {
+        match self.request(&Frame::Reconfig {
+            plane: Box::new(plane),
+        })? {
+            Frame::ReconfigOk { rules, .. } => Ok(rules),
+            other => Err(unexpected(other)),
+        }
     }
 
     /// Requests a live metrics snapshot for the open session.

@@ -30,6 +30,8 @@
 //! | `STATS`    | c → s     | request a mid-run report snapshot |
 //! | `SHUTDOWN` | c → s     | drain every session and stop the daemon; reply `BYE` |
 //! | `ERROR`    | s → c     | request failed (code + message) |
+//! | `RECONFIG` | c → s     | swap the tenant's policy plane (applies at the next window boundary) |
+//! | `RECONFIG_OK` | s → c  | policy plane installed; echoes the rule count |
 //!
 //! Decoding is total: any byte sequence either parses or yields a
 //! [`WireError`] carrying the byte offset (relative to the frame start)
@@ -39,6 +41,7 @@
 use glove_core::api::json::JsonValue;
 use glove_core::api::report::RunReport;
 use glove_core::config::StreamConfig;
+use glove_core::policy::PolicyPlane;
 use glove_core::stream::StreamEvent;
 use glove_core::Sample;
 use std::io::{Read, Write};
@@ -179,6 +182,21 @@ pub enum Frame {
         /// Human-readable detail.
         message: String,
     },
+    /// Swap the open session's policy plane. The engine picks the new
+    /// plane up at its next window boundary — the epoch currently filling
+    /// keeps the policy it opened under.
+    Reconfig {
+        /// The replacement plane (validated before installation). Boxed:
+        /// a plane with cohorts dwarfs the scalar variants.
+        plane: Box<PolicyPlane>,
+    },
+    /// Policy plane installed.
+    ReconfigOk {
+        /// Echoed tenant name.
+        tenant: String,
+        /// Rules in the installed plane (0 = back to uniform).
+        rules: u32,
+    },
 }
 
 impl Frame {
@@ -198,6 +216,8 @@ impl Frame {
             Frame::Stats => 11,
             Frame::Shutdown => 12,
             Frame::Error { .. } => 13,
+            Frame::Reconfig { .. } => 14,
+            Frame::ReconfigOk { .. } => 15,
         }
     }
 
@@ -217,6 +237,8 @@ impl Frame {
             Frame::Stats => "STATS",
             Frame::Shutdown => "SHUTDOWN",
             Frame::Error { .. } => "ERROR",
+            Frame::Reconfig { .. } => "RECONFIG",
+            Frame::ReconfigOk { .. } => "RECONFIG_OK",
         }
     }
 }
@@ -344,6 +366,13 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
         Frame::Error { code, message } => json_payload(&JsonValue::obj(vec![
             ("code", JsonValue::Str(code.as_str().to_string())),
             ("message", JsonValue::Str(message.clone())),
+        ])),
+        Frame::Reconfig { plane } => {
+            json_payload(&JsonValue::obj(vec![("plane", plane.to_value())]))
+        }
+        Frame::ReconfigOk { tenant, rules } => json_payload(&JsonValue::obj(vec![
+            ("tenant", JsonValue::Str(tenant.clone())),
+            ("rules", JsonValue::Int(i128::from(*rules))),
         ])),
     };
     let len = 1 + payload.len();
@@ -558,6 +587,24 @@ fn decode_body(tag: u8, payload: &[u8]) -> Result<Frame, WireError> {
                 message: str_field(&v, "message")?,
             })
         }
+        14 => {
+            let v = parse_json(payload, "RECONFIG")?;
+            let plane = PolicyPlane::from_value(
+                v.get("plane")
+                    .ok_or_else(|| WireError::new(PAYLOAD_OFFSET, "missing 'plane' object"))?,
+            )
+            .map_err(|e| WireError::new(PAYLOAD_OFFSET, format!("bad plane: {e}")))?;
+            Ok(Frame::Reconfig {
+                plane: Box::new(plane),
+            })
+        }
+        15 => {
+            let v = parse_json(payload, "RECONFIG_OK")?;
+            Ok(Frame::ReconfigOk {
+                tenant: str_field(&v, "tenant")?,
+                rules: u32_field(&v, "rules")?,
+            })
+        }
         other => Err(WireError::new(4, format!("unknown frame tag {other}"))),
     }
 }
@@ -683,6 +730,61 @@ mod tests {
         let frame = Frame::Events(events);
         let (back, _) = decode_frame(&encode_frame(&frame)).unwrap();
         assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn reconfig_round_trips_plane_exactly() {
+        use glove_core::policy::{CohortSpec, PolicyOverride, PolicyRule};
+        let plane = PolicyPlane {
+            cohorts: vec![CohortSpec {
+                name: "vip".into(),
+                users: vec![3, 9, 27],
+            }],
+            rules: vec![
+                PolicyRule {
+                    from_epoch: 2,
+                    to_epoch: Some(6),
+                    cohort: None,
+                    set: PolicyOverride {
+                        k: Some(4),
+                        ..PolicyOverride::default()
+                    },
+                },
+                PolicyRule {
+                    from_epoch: 2,
+                    to_epoch: None,
+                    cohort: Some("vip".into()),
+                    set: PolicyOverride {
+                        k: Some(6),
+                        ..PolicyOverride::default()
+                    },
+                },
+            ],
+        };
+        let frame = Frame::Reconfig {
+            plane: Box::new(plane),
+        };
+        let (back, used) = decode_frame(&encode_frame(&frame)).unwrap();
+        assert_eq!(used, encode_frame(&frame).len());
+        assert_eq!(back, frame);
+
+        let ok = Frame::ReconfigOk {
+            tenant: "metro".into(),
+            rules: 2,
+        };
+        let (back, _) = decode_frame(&encode_frame(&ok)).unwrap();
+        assert_eq!(back, ok);
+    }
+
+    #[test]
+    fn reconfig_without_a_plane_is_rejected() {
+        let mut bytes = Vec::new();
+        let payload = b"{\"nope\":1}";
+        bytes.extend_from_slice(&((1 + payload.len()) as u32).to_le_bytes());
+        bytes.push(14);
+        bytes.extend_from_slice(payload);
+        let err = decode_frame(&bytes).unwrap_err();
+        assert!(err.message.contains("plane"), "{}", err.message);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 use crate::protocol::{read_frame, write_frame, ErrorCode, Frame};
 use crate::session::{EpochWriteFn, Offer, PushSink, Session, SessionConfig};
 use glove_core::api::RunReport;
+use glove_core::policy::PolicyPlane;
 use std::collections::HashSet;
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -47,6 +48,10 @@ pub struct ServeOptions {
     /// epoch files are byte-identical to `glove stream` output); `None`
     /// disables epoch files.
     pub epoch_writer: Option<Arc<EpochWriteFn>>,
+    /// The initial policy plane handed to every tenant session
+    /// ([`PolicyPlane::uniform`] = plain runs). Tenants retune their own
+    /// copy mid-run via `RECONFIG`.
+    pub policy: PolicyPlane,
 }
 
 impl Default for ServeOptions {
@@ -56,6 +61,7 @@ impl Default for ServeOptions {
             queue_events: 4096,
             retry_ms: 25,
             epoch_writer: None,
+            policy: PolicyPlane::uniform(),
         }
     }
 }
@@ -311,6 +317,7 @@ fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
                         tenant: tenant.clone(),
                         shed,
                         stream: config,
+                        policy: state.opts.policy.clone(),
                         queue_events: state.opts.queue_events,
                         retry_ms: state.opts.retry_ms,
                         out_dir: state.opts.out_dir.as_ref().map(|d| d.join(&tenant)),
@@ -389,6 +396,22 @@ fn handle_connection(stream: TcpStream, state: Arc<ServerState>) {
                         Err(cause) => reply(&writer, &error_frame(ErrorCode::Engine, cause)),
                     }
                 }
+            },
+            Frame::Reconfig { plane } => match &session {
+                None => reply(
+                    &writer,
+                    &error_frame(ErrorCode::NoTenant, "RECONFIG before HELLO"),
+                ),
+                Some(open) => match open.swap_policy(*plane) {
+                    Ok(rules) => reply(
+                        &writer,
+                        &Frame::ReconfigOk {
+                            tenant: open.metrics().tenant().to_string(),
+                            rules,
+                        },
+                    ),
+                    Err(e) => reply(&writer, &error_frame(ErrorCode::Protocol, e.to_string())),
+                },
             },
             Frame::Close => {
                 let _ = finalize(&mut session, &state);

@@ -25,6 +25,7 @@ use crate::protocol::{write_frame, Frame};
 use glove_core::api::report::RunDetail;
 use glove_core::api::{JsonlReportWriter, Observer, RunBuilder, RunReport};
 use glove_core::config::StreamConfig;
+use glove_core::policy::{PolicyPlane, SharedPolicy};
 use glove_core::stream::{EpochOutput, StreamEvent, StreamStats};
 use glove_core::{Dataset, GloveError};
 use std::io::Write;
@@ -53,6 +54,11 @@ pub struct SessionConfig {
     pub shed: bool,
     /// The tenant's full streaming configuration.
     pub stream: StreamConfig,
+    /// The session's initial policy plane ([`PolicyPlane::uniform`] for
+    /// plain runs). Swappable mid-run via [`Session::swap_policy`] (the
+    /// `RECONFIG` frame); the engine picks swaps up at its next window
+    /// boundary.
+    pub policy: PolicyPlane,
     /// Bounded queue capacity, events.
     pub queue_events: usize,
     /// Backoff suggested to clients in `BUSY` replies, milliseconds.
@@ -189,6 +195,7 @@ pub struct Session {
     metrics: Arc<SessionMetrics>,
     sender: Option<SyncSender<StreamEvent>>,
     worker: Option<JoinHandle<Result<RunReport, String>>>,
+    policy: SharedPolicy,
     shed: bool,
     retry_ms: u32,
 }
@@ -199,6 +206,7 @@ impl Session {
     /// frames as windows close.
     pub fn spawn(config: SessionConfig, push: Option<PushSink>) -> Result<Session, GloveError> {
         config.stream.validate()?;
+        config.policy.validate()?;
         if let Some(dir) = &config.out_dir {
             std::fs::create_dir_all(dir).map_err(|e| {
                 GloveError::InvalidConfig(format!(
@@ -212,21 +220,35 @@ impl Session {
             config.stream.glove.k,
         ));
         let (shed, retry_ms) = (config.shed, config.retry_ms);
+        let policy = glove_core::policy::shared(config.policy.clone());
         let (sender, receiver) = sync_channel::<StreamEvent>(config.queue_events.max(1));
         let worker = {
             let metrics = Arc::clone(&metrics);
+            let policy = Arc::clone(&policy);
             std::thread::Builder::new()
                 .name(format!("glove-serve-{}", config.tenant))
-                .spawn(move || run_worker(config, receiver, metrics, push))
+                .spawn(move || run_worker(config, receiver, metrics, policy, push))
                 .map_err(|e| GloveError::InvalidConfig(format!("cannot spawn worker: {e}")))?
         };
         Ok(Session {
             metrics,
             sender: Some(sender),
             worker: Some(worker),
+            policy,
             shed,
             retry_ms,
         })
+    }
+
+    /// Swaps the session's policy plane (the `RECONFIG` handler). The
+    /// plane is validated before installation; the engine picks it up at
+    /// its next window boundary — the window currently filling keeps the
+    /// policy it opened under. Returns the installed rule count.
+    pub fn swap_policy(&self, plane: PolicyPlane) -> Result<u32, GloveError> {
+        plane.validate()?;
+        let rules = plane.rules.len() as u32;
+        *self.policy.write().expect("policy lock poisoned") = plane;
+        Ok(rules)
     }
 
     /// The session's live counters.
@@ -382,6 +404,7 @@ fn run_worker(
     config: SessionConfig,
     receiver: Receiver<StreamEvent>,
     metrics: Arc<SessionMetrics>,
+    policy: SharedPolicy,
     push: Option<PushSink>,
 ) -> Result<RunReport, String> {
     let SessionConfig {
@@ -408,7 +431,8 @@ fn run_worker(
     };
     let builder = RunBuilder::new(stream.glove)
         .stream(stream)
-        .keep_epochs(false);
+        .keep_epochs(false)
+        .shared_policy(policy);
     let run = builder.run_events(&tenant, &mut events, &mut observer);
     // The sink failure outranks the abort sentinel it raised — and covers
     // a failed write of the final, flush-emitted epoch too.
@@ -477,6 +501,7 @@ mod tests {
                 tenant: "t".into(),
                 shed: false,
                 stream: config(60),
+                policy: PolicyPlane::uniform(),
                 queue_events: 8,
                 retry_ms: 1,
                 out_dir: Some(dir.clone()),
@@ -541,6 +566,62 @@ mod tests {
     }
 
     #[test]
+    fn reconfig_applies_at_next_window() {
+        use glove_core::policy::{PolicyOverride, PolicyRule};
+        let feed = |t0: u32, t1: u32| -> Vec<StreamEvent> {
+            (t0..t1)
+                .flat_map(|t| {
+                    (0u32..6).map(move |user| StreamEvent {
+                        user,
+                        sample: Sample::point(i64::from(user) * 100, 0, t),
+                    })
+                })
+                .collect()
+        };
+        let mut session = Session::spawn(
+            SessionConfig {
+                tenant: "tune".into(),
+                shed: false,
+                stream: config(60),
+                policy: PolicyPlane::uniform(),
+                queue_events: 1024,
+                retry_ms: 1,
+                out_dir: None,
+                epoch_writer: None,
+            },
+            None,
+        )
+        .unwrap();
+
+        // Window 0 runs under the uniform plane.
+        assert!(matches!(session.offer(feed(1, 60)), Offer::Accepted { .. }));
+
+        // Retune mid-run: k = 6 from epoch 1 on. The rule starts at epoch 1
+        // and the swap happens-before any window-1 event is offered, so the
+        // outcome is deterministic no matter when the worker drains window 0.
+        let mut plane = PolicyPlane::uniform();
+        plane.rules.push(PolicyRule {
+            from_epoch: 1,
+            to_epoch: None,
+            cohort: None,
+            set: PolicyOverride {
+                k: Some(6),
+                ..PolicyOverride::default()
+            },
+        });
+        assert_eq!(session.swap_policy(plane).unwrap(), 1);
+
+        assert!(matches!(
+            session.offer(feed(61, 120)),
+            Offer::Accepted { .. }
+        ));
+        let report = session.finish().unwrap();
+        let stats = report.detail.as_stream().unwrap();
+        let ks: Vec<usize> = stats.per_epoch.iter().map(|e| e.policy_k).collect();
+        assert_eq!(ks, [2, 6]);
+    }
+
+    #[test]
     fn shed_session_bounds_the_queue_and_books_drops() {
         // A deliberately stalled consumer: the writer sleeps, so the tiny
         // queue fills and the shed ledger must pick up the overflow.
@@ -554,6 +635,7 @@ mod tests {
                 tenant: "shed".into(),
                 shed: true,
                 stream: config(10),
+                policy: PolicyPlane::uniform(),
                 queue_events: 4,
                 retry_ms: 1,
                 out_dir: Some(dir.clone()),
@@ -601,6 +683,7 @@ mod tests {
                 tenant: "ooo".into(),
                 shed: false,
                 stream: config(60),
+                policy: PolicyPlane::uniform(),
                 queue_events: 4,
                 retry_ms: 1,
                 out_dir: None,
@@ -633,6 +716,7 @@ mod tests {
                 tenant: "sink".into(),
                 shed: false,
                 stream: config(10),
+                policy: PolicyPlane::uniform(),
                 queue_events: 64,
                 retry_ms: 1,
                 out_dir: Some(
@@ -665,6 +749,7 @@ mod tests {
                 tenant: "snap".into(),
                 shed: true,
                 stream: config(1_000_000),
+                policy: PolicyPlane::uniform(),
                 queue_events: 2,
                 retry_ms: 1,
                 out_dir: None,

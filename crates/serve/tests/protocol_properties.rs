@@ -144,7 +144,7 @@ proptest! {
     }
 
     #[test]
-    fn corrupted_tags_are_rejected(frame in frame_strategy(), tag in 14u8..255) {
+    fn corrupted_tags_are_rejected(frame in frame_strategy(), tag in 16u8..255) {
         let mut bytes = encode_frame(&frame);
         bytes[4] = tag;
         let err = decode_frame(&bytes).unwrap_err();

@@ -62,6 +62,7 @@ fn spawn_server(dir: &Path, queue_events: usize) -> ServerHandle {
         queue_events,
         retry_ms: 1,
         epoch_writer: Some(Arc::new(write_epoch)),
+        policy: glove_core::policy::PolicyPlane::uniform(),
     };
     Server::bind("127.0.0.1:0", opts)
         .expect("bind")
